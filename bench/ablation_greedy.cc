@@ -1,0 +1,105 @@
+// Ablation: the two greedy design choices this library makes on top of the
+// paper's Figure 6 procedure.
+//
+//  1. Gain definition — the paper's literal equation (2) sums raw ΔF over
+//     every affected result; our default caps each ΔF at the gap to β and
+//     ignores already-satisfied results/queries (overshoot buys nothing).
+//     Measured effect: cost of the produced plan, before and after phase 2.
+//  2. Gain maintenance — the paper recomputes every gain each iteration
+//     (O(k) per increment); our default keeps a lazily invalidated max
+//     queue and only recomputes gains invalidated by the last increment.
+//     Measured effect: wall-clock time at growing data sizes (identical
+//     plans: the selection order is the same, only bookkeeping differs).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "strategy/greedy.h"
+#include "workload/generator.h"
+
+namespace pcqe {
+namespace {
+
+int Run() {
+  using namespace bench;
+  PrintHeader("Ablation (greedy)", "gain definition and gain maintenance");
+
+  // --- 1. Gain definition. ------------------------------------------------
+  std::printf("\n[1] gain definition: capped-unsatisfied (default) vs raw eq. (2)\n\n");
+  TablePrinter gain_table({"data size", "raw 1p", "raw 2p", "capped 1p", "capped 2p",
+                           "capped2p/raw2p"});
+  std::vector<size_t> gain_sizes =
+      BenchScale() == Scale::kQuick ? std::vector<size_t>{500, 1000}
+                                    : std::vector<size_t>{500, 1000, 3000, 5000};
+  for (size_t k : gain_sizes) {
+    WorkloadParams params;
+    params.num_base_tuples = k;
+    params.bases_per_result = 5;
+    params.seed = 42;
+    Workload w = GenerateWorkload(params);
+    auto problem = w.ToProblem();
+    if (!problem.ok()) return 1;
+
+    double costs[4];
+    int idx = 0;
+    for (GainMode mode : {GainMode::kRawAll, GainMode::kCappedUnsatisfied}) {
+      for (bool two_phase : {false, true}) {
+        GreedyOptions options;
+        options.gain_mode = mode;
+        options.two_phase = two_phase;
+        auto s = SolveGreedy(*problem, options);
+        if (!s.ok()) return 1;
+        costs[idx++] = s->total_cost;
+      }
+    }
+    char ratio[32];
+    std::snprintf(ratio, sizeof(ratio), "%.2f", costs[3] / costs[1]);
+    gain_table.AddRow({FormatCount(k), FormatCost(costs[0]), FormatCost(costs[1]),
+                       FormatCost(costs[2]), FormatCost(costs[3]), ratio});
+  }
+  gain_table.Print();
+  std::printf("\nReading: capping mostly pre-empts the waste phase 2 would remove;\n");
+  std::printf("capped 1p is already close to raw 2p, and capped 2p is the cheapest.\n");
+
+  // --- 2. Gain maintenance. -----------------------------------------------
+  std::printf("\n[2] gain maintenance: full rescan (paper) vs lazy queue (default)\n\n");
+  TablePrinter time_table({"data size", "rescan", "lazy queue", "speedup"});
+  std::vector<size_t> time_sizes =
+      BenchScale() == Scale::kQuick ? std::vector<size_t>{500, 1000}
+                                    : std::vector<size_t>{1000, 3000, 5000};
+  for (size_t k : time_sizes) {
+    WorkloadParams params;
+    params.num_base_tuples = k;
+    params.bases_per_result = 5;
+    params.seed = 42;
+    Workload w = GenerateWorkload(params);
+    auto problem = w.ToProblem();
+    if (!problem.ok()) return 1;
+
+    GreedyOptions rescan;
+    rescan.lazy_gain_queue = false;
+    Stopwatch timer;
+    auto s1 = SolveGreedy(*problem, rescan);
+    if (!s1.ok()) return 1;
+    double t1 = timer.ElapsedSeconds();
+
+    timer.Restart();
+    auto s2 = SolveGreedy(*problem);
+    if (!s2.ok()) return 1;
+    double t2 = timer.ElapsedSeconds();
+
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.0fx", t1 / std::max(t2, 1e-9));
+    time_table.AddRow({FormatCount(k), FormatSeconds(t1), FormatSeconds(t2), speedup});
+  }
+  time_table.Print();
+  std::printf("\nReading: the lazy queue turns the paper's O(k) per increment into\n");
+  std::printf("~O(affected) and grows the gap with data size.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pcqe
+
+int main() { return pcqe::Run(); }

@@ -1,0 +1,121 @@
+// Copyright (c) PCQE contributors.
+// Shared helpers for the figure/table reproduction harnesses.
+//
+// Every fig11_* binary prints the same series the corresponding panel of the
+// paper's Figure 11 plots, as an aligned text table. Sizes honor the
+// PCQE_BENCH_SCALE environment variable:
+//   quick — smallest sweep, for smoke runs (~seconds);
+//   paper — the default; laptop-scale version of the paper's sweep;
+//   full  — the paper's full range (greedy at >=50K takes very long, as the
+//           paper itself reports "hours").
+
+#ifndef PCQE_BENCH_BENCH_COMMON_H_
+#define PCQE_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace pcqe {
+namespace bench {
+
+enum class Scale { kQuick, kPaper, kFull };
+
+inline Scale BenchScale() {
+  const char* env = std::getenv("PCQE_BENCH_SCALE");
+  if (env == nullptr) return Scale::kPaper;
+  if (std::strcmp(env, "quick") == 0) return Scale::kQuick;
+  if (std::strcmp(env, "full") == 0) return Scale::kFull;
+  return Scale::kPaper;
+}
+
+inline const char* ScaleName(Scale scale) {
+  switch (scale) {
+    case Scale::kQuick:
+      return "quick";
+    case Scale::kPaper:
+      return "paper";
+    case Scale::kFull:
+      return "full";
+  }
+  return "?";
+}
+
+/// Aligned table printer: collect rows, then Print().
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header) { rows_.push_back(std::move(header)); }
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print() const {
+    std::vector<size_t> widths;
+    for (const auto& row : rows_) {
+      if (widths.size() < row.size()) widths.resize(row.size(), 0);
+      for (size_t c = 0; c < row.size(); ++c) {
+        if (row[c].size() > widths[c]) widths[c] = row[c].size();
+      }
+    }
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      for (size_t c = 0; c < rows_[r].size(); ++c) {
+        std::printf("%-*s  ", static_cast<int>(widths[c]), rows_[r][c].c_str());
+      }
+      std::printf("\n");
+      if (r == 0) {
+        for (size_t c = 0; c < widths.size(); ++c) {
+          std::printf("%s  ", std::string(widths[c], '-').c_str());
+        }
+        std::printf("\n");
+      }
+    }
+  }
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string FormatSeconds(double s) {
+  char buf[64];
+  if (s < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", s * 1e3);
+  } else if (s < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", s);
+  }
+  return buf;
+}
+
+inline std::string FormatCount(size_t n) {
+  char buf[32];
+  if (n >= 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", static_cast<double>(n) / 1e6);
+  } else if (n >= 10000) {
+    std::snprintf(buf, sizeof(buf), "%.0fK", static_cast<double>(n) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zu", n);
+  }
+  return buf;
+}
+
+inline std::string FormatCost(double c) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", c);
+  return buf;
+}
+
+inline void PrintHeader(const char* figure, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("scale=%s (set PCQE_BENCH_SCALE=quick|paper|full)\n",
+              ScaleName(BenchScale()));
+  std::printf("Table 4 defaults: delta=0.1, theta=50%%, beta=0.6\n");
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bench
+}  // namespace pcqe
+
+#endif  // PCQE_BENCH_BENCH_COMMON_H_

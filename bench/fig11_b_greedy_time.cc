@@ -1,0 +1,79 @@
+// Figure 11(b): one-phase vs two-phase greedy — response time vs data size.
+//
+// Paper setup (§5.2): data size 1K–9K(10K), 5 base tuples per result,
+// θ = 50%, β = 0.6. The paper's finding: "both versions of the greedy
+// algorithm have similar response time", i.e. the second (reducing) phase
+// adds negligible overhead. Gains use the paper's literal equation (2)
+// (GainMode::kRawAll) and the paper's O(k) full rescan per iteration so the
+// phase-2 saving and timing profile are comparable to the published plot.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "strategy/greedy.h"
+#include "workload/generator.h"
+
+namespace pcqe {
+namespace {
+
+std::vector<size_t> Sizes(bench::Scale scale) {
+  switch (scale) {
+    case bench::Scale::kQuick:
+      return {1000, 2000, 3000};
+    case bench::Scale::kPaper:
+      return {1000, 3000, 5000, 7000, 9000};
+    case bench::Scale::kFull:
+      return {1000, 3000, 5000, 7000, 9000, 10000};
+  }
+  return {};
+}
+
+int Run() {
+  using namespace bench;
+  PrintHeader("Figure 11(b)", "greedy one-phase vs two-phase: response time");
+  std::printf("workload: 5 base tuples/result, theta=50%%, beta=0.6, paper-literal\n"
+              "gain (eq. 2) and full gain rescan per iteration\n\n");
+
+  TablePrinter table({"data size", "one-phase", "two-phase", "overhead"});
+  for (size_t k : Sizes(BenchScale())) {
+    WorkloadParams params;
+    params.num_base_tuples = k;
+    params.bases_per_result = 5;
+    params.seed = 42;
+    Workload w = GenerateWorkload(params);
+    auto problem = w.ToProblem();
+    if (!problem.ok()) return 1;
+
+    GreedyOptions paper;
+    paper.gain_mode = GainMode::kRawAll;
+    paper.lazy_gain_queue = false;
+
+    GreedyOptions one_phase = paper;
+    one_phase.two_phase = false;
+    Stopwatch timer;
+    auto s1 = SolveGreedy(*problem, one_phase);
+    if (!s1.ok()) return 1;
+    double t1 = timer.ElapsedSeconds();
+
+    timer.Restart();
+    auto s2 = SolveGreedy(*problem, paper);
+    if (!s2.ok()) return 1;
+    double t2 = timer.ElapsedSeconds();
+
+    char overhead[32];
+    std::snprintf(overhead, sizeof(overhead), "%+.1f%%",
+                  (t2 / std::max(t1, 1e-9) - 1.0) * 100.0);
+    table.AddRow({FormatCount(k), FormatSeconds(t1), FormatSeconds(t2), overhead});
+    std::fflush(stdout);
+  }
+  table.Print();
+  std::printf("\nExpected shape (paper): the two curves overlap — phase 2's\n");
+  std::printf("O(k log k) refinement is negligible next to phase 1's O(k*l1).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pcqe
+
+int main() { return pcqe::Run(); }

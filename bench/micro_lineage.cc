@@ -1,0 +1,103 @@
+// Micro-benchmarks (google-benchmark) for the lineage layer: arena
+// construction, independent evaluation, exact (Shannon) evaluation.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "lineage/evaluate.h"
+#include "lineage/lineage.h"
+
+namespace pcqe {
+namespace {
+
+void BM_ArenaBuildRunningExample(benchmark::State& state) {
+  for (auto _ : state) {
+    LineageArena arena;
+    LineageRef f = arena.And(arena.Or(arena.Var(2), arena.Var(3)), arena.Var(13));
+    benchmark::DoNotOptimize(f);
+  }
+}
+BENCHMARK(BM_ArenaBuildRunningExample);
+
+void BM_ArenaBuildWide(benchmark::State& state) {
+  const size_t width = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    LineageArena arena;
+    std::vector<LineageRef> groups;
+    for (size_t g = 0; g < width; ++g) {
+      groups.push_back(arena.Or(arena.Var(2 * g), arena.Var(2 * g + 1)));
+    }
+    benchmark::DoNotOptimize(arena.And(groups));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(width));
+}
+BENCHMARK(BM_ArenaBuildWide)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_EvaluateIndependent(benchmark::State& state) {
+  const size_t width = static_cast<size_t>(state.range(0));
+  LineageArena arena;
+  std::vector<LineageRef> groups;
+  for (size_t g = 0; g < width; ++g) {
+    groups.push_back(arena.Or(arena.Var(2 * g), arena.Var(2 * g + 1)));
+  }
+  LineageRef f = arena.And(groups);
+  ConfidenceMap probs(0.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvaluateIndependent(arena, f, probs));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(2 * width));
+}
+BENCHMARK(BM_EvaluateIndependent)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_EvaluateExactSharedVars(benchmark::State& state) {
+  const size_t shared = static_cast<size_t>(state.range(0));
+  LineageArena arena;
+  // f = AND over OR(xi, yi) with x variables reused twice -> `shared`
+  // conditioning variables.
+  std::vector<LineageRef> groups;
+  for (size_t g = 0; g < shared; ++g) {
+    groups.push_back(arena.Or(arena.Var(g), arena.Var(100 + g)));
+    groups.push_back(arena.Or(arena.Var(g), arena.Var(200 + g)));
+  }
+  LineageRef f = arena.And(groups);
+  ConfidenceMap probs(0.3);
+  for (auto _ : state) {
+    auto r = EvaluateExact(arena, f, probs);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_EvaluateExactSharedVars)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_CopyFrom(benchmark::State& state) {
+  LineageArena src;
+  std::vector<LineageRef> groups;
+  for (size_t g = 0; g < 64; ++g) {
+    groups.push_back(src.Or(src.Var(2 * g), src.Var(2 * g + 1)));
+  }
+  LineageRef f = src.And(groups);
+  for (auto _ : state) {
+    LineageArena dst;
+    benchmark::DoNotOptimize(dst.CopyFrom(src, f));
+  }
+}
+BENCHMARK(BM_CopyFrom);
+
+void BM_Variables(benchmark::State& state) {
+  LineageArena arena;
+  std::vector<LineageRef> groups;
+  for (size_t g = 0; g < 128; ++g) {
+    groups.push_back(arena.Or(arena.Var(2 * g), arena.Var(2 * g + 1)));
+  }
+  LineageRef f = arena.And(groups);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arena.Variables(f));
+  }
+}
+BENCHMARK(BM_Variables);
+
+}  // namespace
+}  // namespace pcqe
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// Micro-benchmarks (google-benchmark) for the query engine: parsing,
+// planning, operator throughput with lineage propagation.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "query/parser.h"
+#include "query/query_engine.h"
+#include "relational/catalog.h"
+
+namespace pcqe {
+namespace {
+
+/// Catalog with `orders(id, customer, amount)` of `n` rows and
+/// `customers(customer, region)` of `n / 10` rows.
+std::unique_ptr<Catalog> MakeCatalog(size_t n) {
+  auto catalog = std::make_unique<Catalog>();
+  Rng rng(7);
+  Table* orders = *catalog->CreateTable(
+      "orders", Schema({{"id", DataType::kInt64, ""},
+                        {"customer", DataType::kInt64, ""},
+                        {"amount", DataType::kDouble, ""}}));
+  size_t num_customers = std::max<size_t>(1, n / 10);
+  for (size_t i = 0; i < n; ++i) {
+    (void)*orders->Insert(
+        {Value::Int(static_cast<int64_t>(i)),
+         Value::Int(rng.UniformInt(0, static_cast<int64_t>(num_customers) - 1)),
+         Value::Double(rng.Uniform(1.0, 1000.0))},
+        rng.Uniform(0.05, 0.95));
+  }
+  Table* customers = *catalog->CreateTable(
+      "customers",
+      Schema({{"customer", DataType::kInt64, ""}, {"region", DataType::kString, ""}}));
+  for (size_t c = 0; c < num_customers; ++c) {
+    (void)*customers->Insert(
+        {Value::Int(static_cast<int64_t>(c)),
+         Value::String(StrFormat("region-%lld", static_cast<long long>(c % 7)))},
+        rng.Uniform(0.05, 0.95));
+  }
+  return catalog;
+}
+
+void BM_ParseSelect(benchmark::State& state) {
+  const std::string sql =
+      "SELECT ci.company, ci.income FROM (SELECT DISTINCT company FROM proposal "
+      "WHERE funding < 1000000) AS c JOIN companyinfo AS ci ON c.company = ci.company "
+      "ORDER BY ci.income DESC LIMIT 10";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParseSelect(sql));
+  }
+}
+BENCHMARK(BM_ParseSelect);
+
+void BM_ScanWithConfidence(benchmark::State& state) {
+  auto catalog = MakeCatalog(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunQuery(*catalog, "SELECT * FROM orders"));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ScanWithConfidence)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_FilterSelective(benchmark::State& state) {
+  auto catalog = MakeCatalog(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        RunQuery(*catalog, "SELECT id FROM orders WHERE amount < 100"));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FilterSelective)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_HashJoin(benchmark::State& state) {
+  auto catalog = MakeCatalog(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunQuery(
+        *catalog,
+        "SELECT o.id, c.region FROM orders AS o JOIN customers AS c "
+        "ON o.customer = c.customer"));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HashJoin)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_DistinctWithOrLineage(benchmark::State& state) {
+  auto catalog = MakeCatalog(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        RunQuery(*catalog, "SELECT DISTINCT customer FROM orders"));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DistinctWithOrLineage)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_SortLimit(benchmark::State& state) {
+  auto catalog = MakeCatalog(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunQuery(
+        *catalog, "SELECT id, amount FROM orders ORDER BY amount DESC LIMIT 10"));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SortLimit)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pcqe
+
+BENCHMARK_MAIN();

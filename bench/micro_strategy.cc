@@ -1,0 +1,117 @@
+// Micro-benchmarks (google-benchmark) for the strategy layer: state
+// updates, gain maintenance, partitioning and the solvers on fixed sizes.
+
+#include <benchmark/benchmark.h>
+
+#include "strategy/dnc.h"
+#include "strategy/greedy.h"
+#include "strategy/heuristic.h"
+#include "strategy/partition.h"
+#include "workload/generator.h"
+
+namespace pcqe {
+namespace {
+
+Workload MakeWorkload(size_t k) {
+  WorkloadParams params;
+  params.num_base_tuples = k;
+  params.bases_per_result = 5;
+  params.seed = 42;
+  return GenerateWorkload(params);
+}
+
+void BM_ConfidenceStateSetProb(benchmark::State& state) {
+  Workload w = MakeWorkload(1000);
+  IncrementProblem p = *w.ToProblem();
+  ConfidenceState s(p);
+  size_t i = 0;
+  for (auto _ : state) {
+    s.SetProb(i % p.num_base_tuples(), (i % 2) ? 0.5 : 0.1);
+    ++i;
+  }
+}
+BENCHMARK(BM_ConfidenceStateSetProb);
+
+void BM_ProbeResult(benchmark::State& state) {
+  Workload w = MakeWorkload(1000);
+  IncrementProblem p = *w.ToProblem();
+  ConfidenceState s(p);
+  size_t i = 0;
+  for (auto _ : state) {
+    size_t base = i % p.num_base_tuples();
+    if (!p.results_of_base(base).empty()) {
+      benchmark::DoNotOptimize(s.ProbeResult(p.results_of_base(base)[0], base, 0.7));
+    }
+    ++i;
+  }
+}
+BENCHMARK(BM_ProbeResult);
+
+void BM_Partition(benchmark::State& state) {
+  Workload w = MakeWorkload(static_cast<size_t>(state.range(0)));
+  IncrementProblem p = *w.ToProblem();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PartitionResults(p));
+  }
+}
+BENCHMARK(BM_Partition)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+void BM_GreedyLazy(benchmark::State& state) {
+  Workload w = MakeWorkload(static_cast<size_t>(state.range(0)));
+  IncrementProblem p = *w.ToProblem();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveGreedy(p));
+  }
+}
+BENCHMARK(BM_GreedyLazy)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+void BM_GreedyPaperScan(benchmark::State& state) {
+  Workload w = MakeWorkload(static_cast<size_t>(state.range(0)));
+  IncrementProblem p = *w.ToProblem();
+  GreedyOptions options;
+  options.lazy_gain_queue = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveGreedy(p, options));
+  }
+}
+BENCHMARK(BM_GreedyPaperScan)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_Dnc(benchmark::State& state) {
+  Workload w = MakeWorkload(static_cast<size_t>(state.range(0)));
+  IncrementProblem p = *w.ToProblem();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveDnc(p));
+  }
+}
+BENCHMARK(BM_Dnc)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+void BM_HeuristicAll(benchmark::State& state) {
+  WorkloadParams params;
+  params.num_base_tuples = 10;
+  params.num_results = 6;
+  params.bases_per_result = 5;
+  params.or_group_size = 3;
+  params.seed = 1;
+  Workload w = GenerateWorkload(params);
+  IncrementProblem p = *w.ToProblem();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveHeuristic(p));
+  }
+}
+BENCHMARK(BM_HeuristicAll)->Unit(benchmark::kMillisecond);
+
+void BM_CostBeta(benchmark::State& state) {
+  Workload w = MakeWorkload(1000);
+  IncrementProblem p = *w.ToProblem();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CostBeta(p, i % p.num_base_tuples()));
+    ++i;
+  }
+}
+BENCHMARK(BM_CostBeta);
+
+}  // namespace
+}  // namespace pcqe
+
+BENCHMARK_MAIN();

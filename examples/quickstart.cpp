@@ -1,0 +1,73 @@
+// Quickstart: the PCQE pipeline in ~80 lines.
+//
+//   1. build a confidence-annotated database;
+//   2. declare roles and confidence policies <role, purpose, beta>;
+//   3. submit a SQL query through the engine;
+//   4. if the policy filters too much, inspect the costed improvement
+//      proposal, accept it, and re-query.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "engine/pcqe_engine.h"
+
+using namespace pcqe;
+
+int main() {
+  // --- 1. Data with confidence values and acquisition-cost models. -------
+  Catalog catalog;
+  Table* sensors = *catalog.CreateTable(
+      "sensors", Schema({{"site", DataType::kString, ""},
+                         {"reading", DataType::kDouble, ""}}));
+  // Each tuple: values, confidence, cost function (price of re-validating).
+  (void)*sensors->Insert({Value::String("north"), Value::Double(42.0)}, 0.9,
+                         *MakeLinearCost(50.0));
+  (void)*sensors->Insert({Value::String("south"), Value::Double(17.0)}, 0.35,
+                         *MakeLinearCost(20.0));
+  (void)*sensors->Insert({Value::String("east"), Value::Double(29.5)}, 0.4,
+                         *MakeExponentialCost(5.0, 2.0));
+
+  // --- 2. RBAC + confidence policies. ------------------------------------
+  RoleGraph roles;
+  (void)roles.AddRole("Analyst");
+  (void)roles.AddUser("alice");
+  (void)roles.AssignRole("alice", "Analyst");
+  PolicyStore policies;
+  // Alice may only use readings with confidence above 0.5 for reporting.
+  (void)policies.AddPolicy(roles, {"Analyst", "reporting", 0.5});
+
+  PcqeEngine engine(&catalog, std::move(roles), std::move(policies));
+
+  // --- 3. Query through the engine. ---------------------------------------
+  QueryRequest request;
+  request.sql = "SELECT site, reading FROM sensors WHERE reading > 10";
+  request.user = "alice";
+  request.purpose = "reporting";
+  request.required_fraction = 1.0;  // alice wants every matching row
+
+  QueryOutcome outcome = *engine.Submit(request);
+  std::printf("policy threshold beta = %.2f\n", outcome.policy.threshold);
+  std::printf("released %zu of %zu rows:\n%s\n", outcome.released.size(),
+              outcome.intermediate.rows.size(), outcome.ReleasedTable().c_str());
+
+  // --- 4. Not enough? The engine already computed the cheapest fix. -------
+  if (outcome.proposal.needed) {
+    std::printf("improvement proposal (%s, total cost %.2f):\n",
+                outcome.proposal.algorithm.c_str(), outcome.proposal.total_cost);
+    for (const IncrementAction& a : outcome.proposal.actions) {
+      std::printf("  raise tuple %llu from %.2f to %.2f (cost %.2f)\n",
+                  static_cast<unsigned long long>(a.base_tuple), a.from, a.to, a.cost);
+    }
+    // The user accepts: the improvement component updates the database.
+    if (Status s = engine.AcceptProposal(outcome.proposal); !s.ok()) {
+      std::fprintf(stderr, "apply failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    QueryOutcome after = *engine.Submit(request);
+    std::printf("\nafter improvement, released %zu of %zu rows:\n%s",
+                after.released.size(), after.intermediate.rows.size(),
+                after.ReleasedTable().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Full local check: configure, build, test, smoke-run examples and benches.
+# Usage: scripts/check.sh [--full]   (--full runs benches at paper scale)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE=quick
+if [[ "${1:-}" == "--full" ]]; then SCALE=paper; fi
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build -j"$(nproc)" --output-on-failure
+
+for example in build/examples/*; do
+  [[ -f "$example" && -x "$example" ]] || continue
+  echo "== example: $example"
+  "$example" > /dev/null
+done
+
+for bench in build/bench/*; do
+  [[ -f "$bench" && -x "$bench" ]] || continue
+  echo "== bench: $bench"
+  if [[ "$bench" == *micro_* ]]; then
+    PCQE_BENCH_SCALE=$SCALE "$bench" --benchmark_min_time=0.01 > /dev/null
+  else
+    PCQE_BENCH_SCALE=$SCALE "$bench" > /dev/null
+  fi
+done
+
+echo "all checks passed (scale=$SCALE)"

@@ -1,0 +1,35 @@
+#include "assign/assigner.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace pcqe {
+
+Result<AssignmentReport> AssignConfidences(Catalog* catalog,
+                                           const ProvenanceGraph& graph,
+                                           const std::vector<TupleProvenance>& mapping,
+                                           const TrustModelOptions& options) {
+  // Validate the whole mapping before writing anything.
+  for (const TupleProvenance& m : mapping) {
+    PCQE_ASSIGN_OR_RETURN(const Tuple* t, catalog->FindTuple(m.tuple));
+    (void)t;
+    if (m.item >= graph.num_items()) {
+      return Status::NotFound(StrFormat("provenance item %u not found", m.item));
+    }
+  }
+
+  AssignmentReport report;
+  PCQE_ASSIGN_OR_RETURN(report.trust, ComputeTrust(graph, options));
+
+  for (const TupleProvenance& m : mapping) {
+    PCQE_ASSIGN_OR_RETURN(const Tuple* t, catalog->FindTuple(m.tuple));
+    double confidence =
+        std::min(report.trust.item_trust[m.item], t->max_confidence());
+    PCQE_RETURN_NOT_OK(catalog->SetConfidence(m.tuple, confidence));
+    report.applied.push_back(m);
+  }
+  return report;
+}
+
+}  // namespace pcqe

@@ -1,0 +1,42 @@
+// Copyright (c) PCQE contributors.
+// Bridges the provenance trust model to stored tables: the framework's
+// "confidence assignment" component (Figure 1, top right).
+
+#ifndef PCQE_ASSIGN_ASSIGNER_H_
+#define PCQE_ASSIGN_ASSIGNER_H_
+
+#include <vector>
+
+#include "assign/trust_model.h"
+#include "common/result.h"
+#include "relational/catalog.h"
+
+namespace pcqe {
+
+/// \brief Maps one stored tuple to one provenance item.
+struct TupleProvenance {
+  BaseTupleId tuple = 0;
+  ItemId item = 0;
+};
+
+/// \brief Result of an assignment run.
+struct AssignmentReport {
+  TrustReport trust;
+  /// Tuples whose confidence was written, in input order.
+  std::vector<TupleProvenance> applied;
+};
+
+/// \brief Computes trust over `graph` and writes each mapped tuple's
+/// confidence.
+///
+/// Validation happens before any write: every tuple id must resolve and
+/// every item id must exist. A tuple's `max_confidence` still caps the
+/// stored value (a tuple that can never exceed 0.8 stays capped even if the
+/// model reports 0.9). Returns the trust report plus the applied mapping.
+Result<AssignmentReport> AssignConfidences(Catalog* catalog, const ProvenanceGraph& graph,
+                                           const std::vector<TupleProvenance>& mapping,
+                                           const TrustModelOptions& options = {});
+
+}  // namespace pcqe
+
+#endif  // PCQE_ASSIGN_ASSIGNER_H_

@@ -1,0 +1,60 @@
+#include "assign/provenance.h"
+
+#include "common/string_util.h"
+
+namespace pcqe {
+
+Result<AgentId> ProvenanceGraph::AddAgent(Agent agent) {
+  if (agent.name.empty()) return Status::InvalidArgument("agent name must be non-empty");
+  if (agent.prior_trust < 0.0 || agent.prior_trust > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("agent '%s': prior trust %g outside [0, 1]", agent.name.c_str(),
+                  agent.prior_trust));
+  }
+  agents_.push_back(std::move(agent));
+  return static_cast<AgentId>(agents_.size() - 1);
+}
+
+Result<ItemId> ProvenanceGraph::AddItem(ProvenanceItem item) {
+  if (item.entity.empty()) {
+    return Status::InvalidArgument("item entity key must be non-empty");
+  }
+  if (item.source >= agents_.size()) {
+    return Status::NotFound(StrFormat("source agent %u not found", item.source));
+  }
+  if (!agents_[item.source].is_source) {
+    return Status::InvalidArgument(
+        StrFormat("agent '%s' is an intermediary, not a source",
+                  agents_[item.source].name.c_str()));
+  }
+  for (AgentId a : item.intermediaries) {
+    if (a >= agents_.size()) {
+      return Status::NotFound(StrFormat("intermediate agent %u not found", a));
+    }
+    if (agents_[a].is_source) {
+      return Status::InvalidArgument(
+          StrFormat("agent '%s' is a source, not an intermediary",
+                    agents_[a].name.c_str()));
+    }
+  }
+
+  ItemId id = static_cast<ItemId>(items_.size());
+  // Group by entity (linear scan over distinct entities; provenance sets
+  // are configuration-sized).
+  size_t group = group_entities_.size();
+  for (size_t g = 0; g < group_entities_.size(); ++g) {
+    if (group_entities_[g] == item.entity) {
+      group = g;
+      break;
+    }
+  }
+  if (group == group_entities_.size()) {
+    group_entities_.push_back(item.entity);
+    groups_.emplace_back();
+  }
+  groups_[group].push_back(id);
+  items_.push_back(std::move(item));
+  return id;
+}
+
+}  // namespace pcqe

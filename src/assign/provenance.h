@@ -1,0 +1,90 @@
+// Copyright (c) PCQE contributors.
+// Provenance model for confidence assignment.
+//
+// Element (1) of the paper's framework assumes every base tuple already
+// carries a confidence value, "obtained by using techniques like those
+// proposed by Dai et al. [5] which determine the confidence value of a data
+// item based on various factors, such as the trustworthiness of data
+// providers and the way in which the data has been collected". This module
+// implements that substrate: data items arrive from source agents through
+// paths of intermediate agents, and their trustworthiness is computed by
+// the fixpoint model in trust_model.h.
+
+#ifndef PCQE_ASSIGN_PROVENANCE_H_
+#define PCQE_ASSIGN_PROVENANCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace pcqe {
+
+/// Identifier of a source or intermediate agent within a `ProvenanceGraph`.
+using AgentId = uint32_t;
+
+/// Identifier of a data item within a `ProvenanceGraph`.
+using ItemId = uint32_t;
+
+/// \brief An agent that originates or relays data.
+struct Agent {
+  std::string name;
+  /// Prior trustworthiness in [0, 1] (e.g. from contracts or history).
+  /// Source agents' trust is revised by the fixpoint; intermediate agents
+  /// keep their prior and act as attenuation on the path.
+  double prior_trust = 0.5;
+  /// True for originating sources (revised by the model), false for
+  /// intermediaries (fixed attenuation factors).
+  bool is_source = true;
+};
+
+/// \brief One reported data item: a numeric claim about an entity, plus the
+/// provenance path it arrived through.
+///
+/// Items claiming the same `entity` are compared: similar values corroborate
+/// each other, dissimilar values conflict (the similarity kernel lives in
+/// the trust model options).
+struct ProvenanceItem {
+  /// Key of the real-world fact this item reports (items about different
+  /// entities never interact).
+  std::string entity;
+  /// The reported value (the model compares values numerically).
+  double value = 0.0;
+  /// Originating source agent.
+  AgentId source = 0;
+  /// Relay chain from source to the database, in order; may be empty.
+  std::vector<AgentId> intermediaries;
+};
+
+/// \brief The provenance knowledge base: agents plus reported items.
+class ProvenanceGraph {
+ public:
+  ProvenanceGraph() = default;
+
+  /// Registers an agent; returns its id.
+  Result<AgentId> AddAgent(Agent agent);
+
+  /// Registers an item. Its agents must exist; the source must be a source
+  /// agent and the intermediaries must not be.
+  Result<ItemId> AddItem(ProvenanceItem item);
+
+  size_t num_agents() const { return agents_.size(); }
+  size_t num_items() const { return items_.size(); }
+  const Agent& agent(AgentId id) const { return agents_[id]; }
+  const ProvenanceItem& item(ItemId id) const { return items_[id]; }
+
+  /// Item ids grouped by entity, in first-seen entity order.
+  const std::vector<std::vector<ItemId>>& entity_groups() const { return groups_; }
+
+ private:
+  std::vector<Agent> agents_;
+  std::vector<ProvenanceItem> items_;
+  std::vector<std::vector<ItemId>> groups_;
+  std::vector<std::string> group_entities_;
+};
+
+}  // namespace pcqe
+
+#endif  // PCQE_ASSIGN_PROVENANCE_H_

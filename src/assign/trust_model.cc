@@ -1,0 +1,153 @@
+#include "assign/trust_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "common/string_util.h"
+
+namespace pcqe {
+
+double ValueSimilarity(double a, double b, double sigma) {
+  double z = (a - b) / sigma;
+  return std::exp(-z * z);
+}
+
+namespace {
+
+Status ValidateOptions(const TrustModelOptions& options) {
+  if (options.similarity_sigma <= 0.0) {
+    return Status::InvalidArgument("similarity_sigma must be positive");
+  }
+  if (options.similarity_threshold < 0.0 || options.similarity_threshold > 1.0) {
+    return Status::InvalidArgument("similarity_threshold outside [0, 1]");
+  }
+  if (options.weight_path <= 0.0 || options.weight_support < 0.0 ||
+      options.weight_conflict < 0.0) {
+    return Status::InvalidArgument(
+        "weight_path must be positive; support/conflict weights non-negative");
+  }
+  if (options.source_damping < 0.0 || options.source_damping > 1.0) {
+    return Status::InvalidArgument("source_damping outside [0, 1]");
+  }
+  if (options.max_iterations == 0) {
+    return Status::InvalidArgument("max_iterations must be at least 1");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<TrustReport> ComputeTrust(const ProvenanceGraph& graph,
+                                 const TrustModelOptions& options) {
+  PCQE_RETURN_NOT_OK(ValidateOptions(options));
+
+  TrustReport report;
+  report.agent_trust.resize(graph.num_agents());
+  for (AgentId a = 0; a < graph.num_agents(); ++a) {
+    report.agent_trust[a] = graph.agent(a).prior_trust;
+  }
+  report.item_trust.assign(graph.num_items(), 0.0);
+
+  // Path attenuation per item is structural: Π of intermediary priors.
+  // (Intermediary trust stays at its prior throughout.)
+  std::vector<double> attenuation(graph.num_items(), 1.0);
+  for (ItemId i = 0; i < graph.num_items(); ++i) {
+    for (AgentId a : graph.item(i).intermediaries) {
+      attenuation[i] *= graph.agent(a).prior_trust;
+    }
+  }
+
+  // Items reported per source, for the source-revision step.
+  std::vector<std::vector<ItemId>> by_source(graph.num_agents());
+  for (ItemId i = 0; i < graph.num_items(); ++i) {
+    by_source[graph.item(i).source].push_back(i);
+  }
+
+  // Seed item trust from path trust alone.
+  for (ItemId i = 0; i < graph.num_items(); ++i) {
+    report.item_trust[i] =
+        report.agent_trust[graph.item(i).source] * attenuation[i];
+  }
+
+  std::vector<double> next_item(graph.num_items());
+  for (report.iterations = 1; report.iterations <= options.max_iterations;
+       ++report.iterations) {
+    double max_delta = 0.0;
+
+    // --- Item update: path trust + corroboration - conflict. -------------
+    for (const std::vector<ItemId>& group : graph.entity_groups()) {
+      for (ItemId i : group) {
+        const ProvenanceItem& item = graph.item(i);
+        double path = report.agent_trust[item.source] * attenuation[i];
+
+        double support = 0.0;
+        double conflict = 0.0;
+        size_t peers = 0;
+        for (ItemId j : group) {
+          if (j == i) continue;
+          // Independent re-reports corroborate; the same source repeating
+          // itself does not count twice.
+          if (graph.item(j).source == item.source) continue;
+          ++peers;
+          double sim = ValueSimilarity(item.value, graph.item(j).value,
+                                       options.similarity_sigma);
+          if (sim >= options.similarity_threshold) {
+            support += report.item_trust[j] * sim;
+          } else {
+            conflict += report.item_trust[j] * (1.0 - sim);
+          }
+        }
+        if (peers > 0) {
+          support /= static_cast<double>(peers);
+          conflict /= static_cast<double>(peers);
+        }
+
+        // Support pulls trust up from the path baseline (capped at 1);
+        // conflict pushes toward 0. Dividing by the positive weights keeps
+        // the no-signal case exactly at `path` and the result in [0, 1]
+        // before clamping absorbs the conflict term.
+        double raw = (options.weight_path * path +
+                      options.weight_support * std::min(1.0, path + support) -
+                      options.weight_conflict * conflict) /
+                     (options.weight_path + options.weight_support);
+        next_item[i] = ClampProbability(raw);
+      }
+    }
+    for (ItemId i = 0; i < graph.num_items(); ++i) {
+      max_delta = std::max(max_delta, std::fabs(next_item[i] - report.item_trust[i]));
+      report.item_trust[i] = next_item[i];
+    }
+
+    // --- Source revision: damped pull toward the mean *source-attributable*
+    // trust of its items. Path attenuation is divided back out so relayed
+    // items do not unfairly drag their source down (an item trusted at
+    // exactly source x attenuation is evidence the source is exactly as
+    // trustworthy as believed, not less).
+    for (AgentId a = 0; a < graph.num_agents(); ++a) {
+      if (!graph.agent(a).is_source || by_source[a].empty()) continue;
+      double mean = 0.0;
+      size_t counted = 0;
+      for (ItemId i : by_source[a]) {
+        if (attenuation[i] <= kEpsilon) continue;  // fully attenuated: no signal
+        mean += std::min(1.0, report.item_trust[i] / attenuation[i]);
+        ++counted;
+      }
+      if (counted == 0) continue;
+      mean /= static_cast<double>(counted);
+      double revised = (1.0 - options.source_damping) * report.agent_trust[a] +
+                       options.source_damping * mean;
+      max_delta = std::max(max_delta, std::fabs(revised - report.agent_trust[a]));
+      report.agent_trust[a] = revised;
+    }
+
+    if (max_delta <= options.tolerance) {
+      report.converged = true;
+      break;
+    }
+  }
+  report.iterations = std::min(report.iterations, options.max_iterations);
+  return report;
+}
+
+}  // namespace pcqe

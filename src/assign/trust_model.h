@@ -1,0 +1,68 @@
+// Copyright (c) PCQE contributors.
+// Iterative trust computation over a provenance graph (after Dai et al.,
+// "An Approach to Evaluate Data Trustworthiness Based on Data Provenance",
+// SDM 2008 — the paper's reference [5] for confidence assignment).
+//
+// The model couples three signals into a fixpoint:
+//  - *path trust*: an item is at most as trustworthy as its source, further
+//    attenuated by each intermediate agent it passed through;
+//  - *corroboration*: items about the same entity with similar values
+//    support each other in proportion to the supporters' current trust;
+//  - *conflict*: items about the same entity with dissimilar values erode
+//    each other in proportion to the conflicters' current trust.
+// Source trust is in turn revised toward the mean trust of the items the
+// source reported (damped), and the loop repeats until convergence.
+
+#ifndef PCQE_ASSIGN_TRUST_MODEL_H_
+#define PCQE_ASSIGN_TRUST_MODEL_H_
+
+#include <vector>
+
+#include "assign/provenance.h"
+#include "common/result.h"
+
+namespace pcqe {
+
+/// \brief Tuning knobs for the trust fixpoint.
+struct TrustModelOptions {
+  /// Gaussian similarity kernel width: sim(a, b) = exp(-((a-b)/sigma)^2).
+  /// Values within ~sigma of each other corroborate; far values conflict.
+  double similarity_sigma = 1.0;
+  /// Similarity at or above this counts as corroboration; below, conflict.
+  double similarity_threshold = 0.5;
+  /// Weights of the three signals; they are normalized internally so only
+  /// ratios matter.
+  double weight_path = 1.0;
+  double weight_support = 0.5;
+  double weight_conflict = 0.5;
+  /// Damping of source-trust revision per round (0 = frozen priors,
+  /// 1 = full replacement).
+  double source_damping = 0.5;
+  /// Convergence tolerance on the max absolute trust change per round.
+  double tolerance = 1e-6;
+  /// Round cap; exceeding it returns the current (non-converged) state
+  /// with `TrustReport::converged = false`.
+  size_t max_iterations = 200;
+};
+
+/// \brief Output of the fixpoint: per-item and per-source trust.
+struct TrustReport {
+  /// Trust (confidence) per item, aligned with `ProvenanceGraph` item ids.
+  std::vector<double> item_trust;
+  /// Revised trust per agent (intermediaries keep their priors).
+  std::vector<double> agent_trust;
+  bool converged = false;
+  size_t iterations = 0;
+};
+
+/// Runs the fixpoint. Returns `kInvalidArgument` for malformed options.
+Result<TrustReport> ComputeTrust(const ProvenanceGraph& graph,
+                                 const TrustModelOptions& options = {});
+
+/// The similarity kernel used by the model, exposed for tests:
+/// `exp(-((a-b)/sigma)^2)`.
+double ValueSimilarity(double a, double b, double sigma);
+
+}  // namespace pcqe
+
+#endif  // PCQE_ASSIGN_TRUST_MODEL_H_

@@ -1,0 +1,97 @@
+// Copyright (c) PCQE contributors.
+// Minimal leveled logging and CHECK macros (Arrow DCHECK style).
+
+#ifndef PCQE_COMMON_LOGGING_H_
+#define PCQE_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace pcqe {
+
+/// \brief Severity levels for the library logger.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// \brief Process-wide log configuration.
+///
+/// The library is quiet by default (`kWarning`); benches and examples raise
+/// verbosity explicitly.
+class LogConfig {
+ public:
+  static LogLevel threshold() { return threshold_; }
+  static void set_threshold(LogLevel level) { threshold_ = level; }
+
+ private:
+  static inline LogLevel threshold_ = LogLevel::kWarning;
+};
+
+namespace internal {
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line << "] ";
+  }
+
+  ~LogMessage() {
+    if (level_ >= LogConfig::threshold()) {
+      std::cerr << stream_.str() << std::endl;
+    }
+    if (level_ == LogLevel::kFatal) std::abort();
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  static const char* LevelName(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug:
+        return "DEBUG";
+      case LogLevel::kInfo:
+        return "INFO";
+      case LogLevel::kWarning:
+        return "WARN";
+      case LogLevel::kError:
+        return "ERROR";
+      case LogLevel::kFatal:
+        return "FATAL";
+    }
+    return "?";
+  }
+
+  static const char* Basename(const char* path) {
+    const char* base = path;
+    for (const char* p = path; *p; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    return base;
+  }
+
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace pcqe
+
+#define PCQE_LOG(level) \
+  ::pcqe::internal::LogMessage(::pcqe::LogLevel::k##level, __FILE__, __LINE__).stream()
+
+/// Aborts with a message when `condition` is false. Used for internal
+/// invariants that indicate bugs, never for validating caller input (caller
+/// input errors return `Status::InvalidArgument`).
+#define PCQE_CHECK(condition)                                           \
+  if (!(condition))                                                     \
+  ::pcqe::internal::LogMessage(::pcqe::LogLevel::kFatal, __FILE__, __LINE__).stream() \
+      << "Check failed: " #condition " "
+
+#ifdef NDEBUG
+#define PCQE_DCHECK(condition) \
+  if (false) PCQE_CHECK(condition)
+#else
+#define PCQE_DCHECK(condition) PCQE_CHECK(condition)
+#endif
+
+#endif  // PCQE_COMMON_LOGGING_H_

@@ -1,0 +1,52 @@
+// Copyright (c) PCQE contributors.
+// Probability and numeric helpers shared by the lineage evaluator and the
+// strategy solvers.
+
+#ifndef PCQE_COMMON_MATH_UTIL_H_
+#define PCQE_COMMON_MATH_UTIL_H_
+
+#include <cmath>
+#include <cstddef>
+
+namespace pcqe {
+
+/// Absolute tolerance used when comparing confidences and costs. Confidence
+/// arithmetic chains a handful of multiplications, so 1e-9 is comfortably
+/// below any meaningful difference while absorbing rounding noise.
+inline constexpr double kEpsilon = 1e-9;
+
+/// True iff `a` and `b` differ by at most `eps`.
+inline bool ApproxEqual(double a, double b, double eps = kEpsilon) {
+  return std::fabs(a - b) <= eps;
+}
+
+/// True iff `a >= b - eps`; the comparison used for "confidence clears the
+/// policy threshold" so borderline results are not lost to rounding.
+inline bool ApproxGreaterEqual(double a, double b, double eps = kEpsilon) {
+  return a >= b - eps;
+}
+
+/// Clamps `p` into the valid confidence range [0, 1].
+inline double ClampProbability(double p) {
+  if (p < 0.0) return 0.0;
+  if (p > 1.0) return 1.0;
+  return p;
+}
+
+/// P(A and B) for independent events.
+inline double ProbAnd(double a, double b) { return a * b; }
+
+/// P(A or B) for independent events: a + b - a*b, computed in the
+/// complement domain for numerical robustness near 1.
+inline double ProbOr(double a, double b) { return 1.0 - (1.0 - a) * (1.0 - b); }
+
+/// Number of δ-granularity steps from `from` up to at most `to`
+/// (e.g. from=0.3, to=1.0, δ=0.1 → 7).
+inline size_t StepsBetween(double from, double to, double delta) {
+  if (to <= from || delta <= 0.0) return 0;
+  return static_cast<size_t>(std::floor((to - from) / delta + kEpsilon));
+}
+
+}  // namespace pcqe
+
+#endif  // PCQE_COMMON_MATH_UTIL_H_

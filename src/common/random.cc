@@ -1,0 +1,46 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pcqe {
+
+double Rng::Uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(gen_);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(gen_);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(gen_);
+}
+
+double Rng::ClampedGaussian(double mean, double stddev, double lo, double hi) {
+  return std::clamp(Gaussian(mean, stddev), lo, hi);
+}
+
+bool Rng::Bernoulli(double p) {
+  std::bernoulli_distribution dist(std::clamp(p, 0.0, 1.0));
+  return dist(gen_);
+}
+
+std::vector<size_t> Rng::Sample(size_t n, size_t k) {
+  assert(k <= n);
+  // Partial Fisher-Yates over an index vector: O(n) setup, exact uniformity.
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = i;
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = static_cast<size_t>(
+        UniformInt(static_cast<int64_t>(i), static_cast<int64_t>(n) - 1));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace pcqe

@@ -1,0 +1,79 @@
+// Copyright (c) PCQE contributors.
+// Result<T>: value-or-Status, the Arrow `Result` idiom.
+
+#ifndef PCQE_COMMON_RESULT_H_
+#define PCQE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace pcqe {
+
+/// \brief Holds either a value of type `T` or a non-OK `Status`.
+///
+/// Usage:
+/// \code
+///   Result<Table> r = catalog.GetTable("proposal");
+///   if (!r.ok()) return r.status();
+///   Table t = std::move(r).ValueOrDie();
+/// \endcode
+/// or, inside a function returning `Status`/`Result`:
+/// \code
+///   PCQE_ASSIGN_OR_RETURN(Table t, catalog.GetTable("proposal"));
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, mirroring Arrow/Abseil).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Constructs from a non-OK status. Constructing from an OK status is a
+  /// programming error and is normalized to `kInternal`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status without a value");
+    }
+  }
+
+  /// True iff a value is held.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is held, the error otherwise.
+  Status status() const { return ok() ? Status::OK() : status_; }
+
+  /// Returns the held value; must not be called on an error result.
+  const T& ValueOrDie() const& {
+    assert(ok() && "ValueOrDie() on error Result");
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    assert(ok() && "ValueOrDie() on error Result");
+    return *value_;
+  }
+  T ValueOrDie() && {
+    assert(ok() && "ValueOrDie() on error Result");
+    return std::move(*value_);
+  }
+
+  /// Returns the held value or `fallback` when this is an error.
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+  /// Dereference sugar; must hold a value. The rvalue overload moves the
+  /// value out, so `T v = *SomeFactory();` works for move-only `T`.
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  T operator*() && { return std::move(*this).ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace pcqe
+
+#endif  // PCQE_COMMON_RESULT_H_

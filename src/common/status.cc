@@ -1,0 +1,49 @@
+#include "common/status.h"
+
+namespace pcqe {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kAlreadyExists:
+      return "already_exists";
+    case StatusCode::kInfeasible:
+      return "infeasible";
+    case StatusCode::kParseError:
+      return "parse_error";
+    case StatusCode::kBindError:
+      return "bind_error";
+    case StatusCode::kPermissionDenied:
+      return "permission_denied";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kNotImplemented:
+      return "not_implemented";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+Status Status::WithContext(std::string_view context) const {
+  if (ok()) return *this;
+  std::string msg(context);
+  msg += ": ";
+  msg += message_;
+  return Status(code_, std::move(msg));
+}
+
+}  // namespace pcqe

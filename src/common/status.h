@@ -1,0 +1,158 @@
+// Copyright (c) PCQE contributors.
+// Status: RocksDB/Arrow-style error propagation without exceptions.
+
+#ifndef PCQE_COMMON_STATUS_H_
+#define PCQE_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace pcqe {
+
+/// \brief Machine-readable category of a `Status`.
+///
+/// The set is deliberately small: callers branch on a handful of recoverable
+/// conditions (e.g. `kNotFound`, `kInfeasible`) and treat the rest as
+/// programmer or input errors to surface verbatim.
+enum class StatusCode : int {
+  kOk = 0,
+  /// A lookup (table, column, policy, tuple, ...) found nothing.
+  kNotFound = 1,
+  /// Caller-supplied argument violates the API contract.
+  kInvalidArgument = 2,
+  /// An entity being created already exists (e.g. duplicate table name).
+  kAlreadyExists = 3,
+  /// The request is well-formed but cannot be satisfied, e.g. a confidence
+  /// increment problem whose target is unreachable even at confidence 1.
+  kInfeasible = 4,
+  /// SQL text failed to lex/parse.
+  kParseError = 5,
+  /// SQL parsed but does not bind against the catalog (unknown column,
+  /// type mismatch, ...).
+  kBindError = 6,
+  /// The subject is not allowed to perform the operation (RBAC denial, as
+  /// opposed to confidence-policy filtering which is not an error).
+  kPermissionDenied = 7,
+  /// A resource or search budget was exhausted before completion.
+  kResourceExhausted = 8,
+  /// Internal invariant violated; indicates a bug in this library.
+  kInternal = 9,
+  /// Feature is recognized but not implemented.
+  kNotImplemented = 10,
+};
+
+/// \brief Returns the canonical lowercase name of a status code
+/// (e.g. "invalid_argument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Result of a fallible operation: a code plus a human-readable message.
+///
+/// `Status` is cheap to copy in the OK case (no allocation) and carries an
+/// explanatory message otherwise. All fallible public APIs in this library
+/// return `Status` or `Result<T>`; exceptions are not used across API
+/// boundaries.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. A `kOk` code
+  /// ignores the message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(code == StatusCode::kOk ? std::string() : std::move(message)) {}
+
+  /// \name Factory helpers, one per code.
+  /// @{
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  /// @}
+
+  /// True iff the status code is `kOk`.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The status code.
+  StatusCode code() const { return code_; }
+  /// The message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// \name Code predicates mirroring the factories.
+  /// @{
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsInfeasible() const { return code_ == StatusCode::kInfeasible; }
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsBindError() const { return code_ == StatusCode::kBindError; }
+  bool IsPermissionDenied() const { return code_ == StatusCode::kPermissionDenied; }
+  bool IsResourceExhausted() const { return code_ == StatusCode::kResourceExhausted; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsNotImplemented() const { return code_ == StatusCode::kNotImplemented; }
+  /// @}
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  /// Prepends `context` to the message of a non-OK status; identity on OK.
+  Status WithContext(std::string_view context) const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+}  // namespace pcqe
+
+/// Propagates a non-OK `Status` from the current function.
+#define PCQE_RETURN_NOT_OK(expr)                  \
+  do {                                            \
+    ::pcqe::Status _pcqe_status = (expr);         \
+    if (!_pcqe_status.ok()) return _pcqe_status;  \
+  } while (false)
+
+#define PCQE_CONCAT_IMPL(a, b) a##b
+#define PCQE_CONCAT(a, b) PCQE_CONCAT_IMPL(a, b)
+
+/// Evaluates a `Result<T>` expression; on error propagates the status,
+/// otherwise assigns the value to `lhs` (which may be a declaration).
+#define PCQE_ASSIGN_OR_RETURN(lhs, expr)                               \
+  PCQE_ASSIGN_OR_RETURN_IMPL(PCQE_CONCAT(_pcqe_result_, __LINE__), lhs, expr)
+
+#define PCQE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).ValueOrDie()
+
+#endif  // PCQE_COMMON_STATUS_H_

@@ -1,0 +1,183 @@
+#include "engine/pcqe_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/string_util.h"
+#include "strategy/brute_force.h"
+#include "strategy/dnc.h"
+#include "strategy/greedy.h"
+#include "strategy/heuristic.h"
+
+namespace pcqe {
+
+std::string QueryOutcome::ReleasedTable(size_t max_rows) const {
+  QueryResult view;
+  view.schema = intermediate.schema;
+  view.arena = intermediate.arena;
+  view.rows.reserve(released.size());
+  for (size_t i : released) view.rows.push_back(intermediate.rows[i]);
+  return view.ToTable(max_rows);
+}
+
+Result<QueryOutcome> PcqeEngine::Submit(const QueryRequest& request) {
+  PCQE_ASSIGN_OR_RETURN(std::vector<QueryOutcome> outcomes, SubmitBatch({request}));
+  return std::move(outcomes[0]);
+}
+
+Result<std::vector<QueryOutcome>> PcqeEngine::SubmitBatch(
+    const std::vector<QueryRequest>& requests) {
+  if (requests.empty()) return Status::InvalidArgument("empty request batch");
+
+  std::vector<QueryOutcome> outcomes(requests.size());
+  std::vector<std::vector<size_t>> blocked(requests.size());
+  std::vector<size_t> needed(requests.size(), 0);
+
+  for (size_t q = 0; q < requests.size(); ++q) {
+    const QueryRequest& request = requests[q];
+    QueryOutcome& outcome = outcomes[q];
+    if (request.required_fraction < 0.0 || request.required_fraction > 1.0) {
+      return Status::InvalidArgument(
+          StrFormat("required_fraction %g outside [0, 1]", request.required_fraction));
+    }
+
+    // (1)-(4): evaluate the query and compute result confidences.
+    PCQE_ASSIGN_OR_RETURN(outcome.intermediate, RunQuery(*catalog_, request.sql));
+
+    // (5)-(6): resolve and enforce the confidence policy for this user,
+    // purpose and the data (tables) the query touched.
+    PCQE_ASSIGN_OR_RETURN(outcome.policy,
+                          policies_.Resolve(roles_, request.user, request.purpose,
+                                            outcome.intermediate.tables));
+    size_t n = outcome.intermediate.rows.size();
+    for (size_t i = 0; i < n; ++i) {
+      if (outcome.policy.Allows(outcome.intermediate.rows[i].confidence)) {
+        outcome.released.push_back(i);
+      } else {
+        blocked[q].push_back(i);
+      }
+    }
+    outcome.released_fraction =
+        n == 0 ? 1.0
+               : static_cast<double>(outcome.released.size()) / static_cast<double>(n);
+
+    size_t target = static_cast<size_t>(
+        std::ceil(request.required_fraction * static_cast<double>(n)));
+    needed[q] = target > outcome.released.size() ? target - outcome.released.size() : 0;
+  }
+
+  // (7): strategy finding across every request that came up short.
+  std::vector<const QueryOutcome*> short_outcomes;
+  std::vector<std::vector<size_t>> short_blocked;
+  std::vector<size_t> short_needed;
+  double beta = -1.0;
+  size_t first_short = requests.size();
+  for (size_t q = 0; q < requests.size(); ++q) {
+    if (needed[q] == 0) continue;
+    if (first_short == requests.size()) first_short = q;
+    if (beta < 0.0) {
+      beta = outcomes[q].policy.threshold;
+    } else if (!ApproxEqual(beta, outcomes[q].policy.threshold)) {
+      return Status::InvalidArgument(
+          "batched requests that need improvement must share one confidence "
+          "threshold (same role/purpose policy)");
+    }
+    short_outcomes.push_back(&outcomes[q]);
+    short_blocked.push_back(blocked[q]);
+    short_needed.push_back(needed[q]);
+  }
+  if (first_short < requests.size()) {
+    PCQE_ASSIGN_OR_RETURN(
+        StrategyProposal proposal,
+        FindStrategy(short_outcomes, short_blocked, short_needed, beta,
+                     requests[first_short].solver));
+    outcomes[first_short].proposal = std::move(proposal);
+  }
+  return outcomes;
+}
+
+Result<StrategyProposal> PcqeEngine::FindStrategy(
+    const std::vector<const QueryOutcome*>& outcomes,
+    const std::vector<std::vector<size_t>>& blocked, const std::vector<size_t>& needed,
+    double beta, SolverKind solver) {
+  // Pool the blocked rows' lineages into one arena.
+  auto arena = std::make_shared<LineageArena>();
+  std::vector<LineageRef> lineages;
+  std::vector<uint32_t> query_of;
+  std::set<LineageVarId> var_ids;
+  for (size_t q = 0; q < outcomes.size(); ++q) {
+    const QueryResult& qr = outcomes[q]->intermediate;
+    for (size_t row : blocked[q]) {
+      LineageRef copied = arena->CopyFrom(*qr.arena, qr.rows[row].lineage);
+      lineages.push_back(copied);
+      query_of.push_back(static_cast<uint32_t>(q));
+      for (LineageVarId id : arena->Variables(copied)) var_ids.insert(id);
+    }
+  }
+
+  // Base-tuple specs straight from the stored tuples.
+  std::vector<BaseTupleSpec> specs;
+  specs.reserve(var_ids.size());
+  for (LineageVarId id : var_ids) {
+    PCQE_ASSIGN_OR_RETURN(const Tuple* t, catalog_->FindTuple(id));
+    BaseTupleSpec spec;
+    spec.id = id;
+    spec.confidence = t->confidence();
+    spec.max_confidence = t->max_confidence();
+    spec.cost = t->cost_function();
+    specs.push_back(std::move(spec));
+  }
+
+  ProblemOptions options;
+  options.beta = beta;
+  options.delta = improvement_delta;
+  PCQE_ASSIGN_OR_RETURN(
+      IncrementProblem problem,
+      IncrementProblem::Build(arena, lineages, query_of,
+                              std::vector<size_t>(needed.begin(), needed.end()),
+                              std::move(specs), options));
+
+  SolverKind effective = solver;
+  if (effective == SolverKind::kAuto) {
+    effective = (problem.num_base_tuples() <= auto_heuristic_limit && problem.is_monotone())
+                    ? SolverKind::kHeuristic
+                    : SolverKind::kDnc;
+  }
+  Result<IncrementSolution> solved = [&]() -> Result<IncrementSolution> {
+    switch (effective) {
+      case SolverKind::kHeuristic:
+        return SolveHeuristic(problem);
+      case SolverKind::kGreedy:
+        return SolveGreedy(problem);
+      case SolverKind::kDnc:
+        return SolveDnc(problem);
+      case SolverKind::kBruteForce:
+        return SolveBruteForce(problem);
+      case SolverKind::kAuto:
+        break;
+    }
+    return Status::Internal("unresolved solver kind");
+  }();
+  if (!solved.ok()) return solved.status();
+  const IncrementSolution& solution = *solved;
+  PCQE_RETURN_NOT_OK(ValidateSolution(problem, solution));
+
+  StrategyProposal proposal;
+  proposal.needed = true;
+  proposal.feasible = solution.feasible;
+  proposal.total_cost = solution.total_cost;
+  proposal.actions = solution.Actions(problem);
+  proposal.algorithm = solution.algorithm;
+  proposal.solve_seconds = solution.solve_seconds;
+  return proposal;
+}
+
+Status PcqeEngine::AcceptProposal(const StrategyProposal& proposal) {
+  if (!proposal.needed) {
+    return Status::InvalidArgument("proposal carries no improvement actions");
+  }
+  return improver_.Apply(proposal.actions);
+}
+
+}  // namespace pcqe

@@ -1,0 +1,143 @@
+// Copyright (c) PCQE contributors.
+// The PCQE engine: the paper's Figure 1 data flow behind one facade.
+
+#ifndef PCQE_ENGINE_PCQE_ENGINE_H_
+#define PCQE_ENGINE_PCQE_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "improve/improver.h"
+#include "policy/confidence_policy.h"
+#include "policy/rbac.h"
+#include "query/query_engine.h"
+#include "relational/catalog.h"
+#include "strategy/solution.h"
+
+namespace pcqe {
+
+/// \brief Which strategy-finding algorithm the engine runs.
+enum class SolverKind : uint8_t {
+  /// Exact branch-and-bound on small problems (≤ `auto_heuristic_limit`
+  /// base tuples), divide-and-conquer otherwise.
+  kAuto = 0,
+  kHeuristic = 1,
+  kGreedy = 2,
+  kDnc = 3,
+  kBruteForce = 4,  ///< tiny problems only; for verification
+};
+
+/// \brief A user query as the paper defines it: ⟨Q, pu, perc⟩ plus the
+/// issuing user (the subject whose roles select the policy).
+struct QueryRequest {
+  std::string sql;
+  std::string user;
+  std::string purpose;
+  /// perc/θ: fraction of the query's results the user needs released.
+  double required_fraction = 0.5;
+  SolverKind solver = SolverKind::kAuto;
+};
+
+/// \brief The strategy-finding component's report: what it would cost to
+/// release enough results, and which base tuples to improve.
+struct StrategyProposal {
+  /// False when policy filtering already released enough (no strategy run).
+  bool needed = false;
+  /// True when the computed plan reaches the requirement.
+  bool feasible = false;
+  /// Total improvement cost of `actions`.
+  double total_cost = 0.0;
+  /// Base-tuple increments, by catalog-wide tuple id.
+  std::vector<IncrementAction> actions;
+  /// Which algorithm produced the plan, with its diagnostics.
+  std::string algorithm;
+  double solve_seconds = 0.0;
+};
+
+/// \brief Everything the engine hands back for one request.
+struct QueryOutcome {
+  /// All intermediate results (pre-policy), with lineage and confidence.
+  QueryResult intermediate;
+  /// The resolved policy decision (threshold β and matched policies).
+  PolicyDecision policy;
+  /// Indices into `intermediate.rows` the user may see.
+  std::vector<size_t> released;
+  /// Released fraction θ′ = |released| / |rows| (1 when there are no rows).
+  double released_fraction = 1.0;
+  /// Set when `released_fraction` fell short of the requested fraction.
+  StrategyProposal proposal;
+
+  /// Formats the released rows (only) as a text table.
+  std::string ReleasedTable(size_t max_rows = 50) const;
+};
+
+/// \brief Facade wiring query evaluation, confidence computation, policy
+/// enforcement, strategy finding and quality improvement together.
+///
+/// Lifecycle of `Submit` (Figure 1):
+///  1. evaluate the SQL query, computing per-result confidence by lineage;
+///  2. resolve the confidence policy for (user, purpose) and filter;
+///  3. if fewer than `required_fraction` of results clear the threshold,
+///     run strategy finding on the blocked results and attach a costed
+///     proposal (nothing is modified yet — the user must accept);
+///  4. `AcceptProposal` applies the improvement via `QualityImprover`;
+///     re-`Submit` then returns the enlarged result set.
+class PcqeEngine {
+ public:
+  /// The engine borrows the catalog (it must outlive the engine) and owns
+  /// the RBAC and policy configuration.
+  PcqeEngine(Catalog* catalog, RoleGraph roles, PolicyStore policies)
+      : catalog_(catalog),
+        roles_(std::move(roles)),
+        policies_(std::move(policies)),
+        improver_(catalog) {}
+
+  /// Runs steps 1-3 above.
+  Result<QueryOutcome> Submit(const QueryRequest& request);
+
+  /// Runs several requests as one batch (§4's multi-query extension): the
+  /// strategy problem spans all blocked results and must satisfy every
+  /// request's requirement simultaneously. All requests must resolve to the
+  /// same confidence threshold (same role/purpose class); otherwise
+  /// `kInvalidArgument`. Per-request outcomes carry a shared proposal
+  /// (attached to the first outcome whose request needed it).
+  Result<std::vector<QueryOutcome>> SubmitBatch(const std::vector<QueryRequest>& requests);
+
+  /// Applies a proposal's increments to the database. The caller re-submits
+  /// the query afterwards to receive the enlarged result set.
+  Status AcceptProposal(const StrategyProposal& proposal);
+
+  /// \name Component access.
+  /// @{
+  RoleGraph* roles() { return &roles_; }
+  PolicyStore* policies() { return &policies_; }
+  const QualityImprover& improver() const { return improver_; }
+  Catalog* catalog() { return catalog_; }
+  /// @}
+
+  /// Problems at or below this base-tuple count use the exact solver under
+  /// `SolverKind::kAuto`.
+  size_t auto_heuristic_limit = 10;
+
+  /// Confidence-increment granularity δ used when posing strategy problems.
+  double improvement_delta = 0.1;
+
+ private:
+  /// Builds and solves the increment problem for the blocked rows of one or
+  /// more evaluated queries. `blocked[q]` are row indices into
+  /// `outcomes[q]->intermediate.rows`; `needed[q]` is how many must flip.
+  Result<StrategyProposal> FindStrategy(const std::vector<const QueryOutcome*>& outcomes,
+                                        const std::vector<std::vector<size_t>>& blocked,
+                                        const std::vector<size_t>& needed, double beta,
+                                        SolverKind solver);
+
+  Catalog* catalog_;
+  RoleGraph roles_;
+  PolicyStore policies_;
+  QualityImprover improver_;
+};
+
+}  // namespace pcqe
+
+#endif  // PCQE_ENGINE_PCQE_ENGINE_H_

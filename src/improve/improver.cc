@@ -1,0 +1,34 @@
+#include "improve/improver.h"
+
+#include "common/string_util.h"
+
+namespace pcqe {
+
+Status QualityImprover::Apply(const std::vector<IncrementAction>& actions) {
+  // Validation pass: nothing is written unless every action is applicable.
+  for (const IncrementAction& a : actions) {
+    PCQE_ASSIGN_OR_RETURN(const Tuple* t, catalog_->FindTuple(a.base_tuple));
+    if (a.to <= t->confidence() + kEpsilon) {
+      return Status::InvalidArgument(StrFormat(
+          "improvement for tuple %llu targets %g but confidence is already %g",
+          static_cast<unsigned long long>(a.base_tuple), a.to, t->confidence()));
+    }
+    if (a.to > t->max_confidence() + kEpsilon) {
+      return Status::InvalidArgument(StrFormat(
+          "improvement for tuple %llu targets %g above its ceiling %g",
+          static_cast<unsigned long long>(a.base_tuple), a.to, t->max_confidence()));
+    }
+  }
+  // Commit pass.
+  for (const IncrementAction& a : actions) {
+    PCQE_ASSIGN_OR_RETURN(const Tuple* t, catalog_->FindTuple(a.base_tuple));
+    double from = t->confidence();
+    double cost = t->cost_function()->Increment(from, a.to);
+    PCQE_RETURN_NOT_OK(catalog_->SetConfidence(a.base_tuple, a.to));
+    log_.push_back({a.base_tuple, from, a.to, cost});
+    total_cost_ += cost;
+  }
+  return Status::OK();
+}
+
+}  // namespace pcqe

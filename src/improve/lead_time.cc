@@ -1,0 +1,40 @@
+#include "improve/lead_time.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace pcqe {
+
+Result<double> LeadTimeEstimator::EstimateSeconds(
+    const std::vector<IncrementAction>& actions, size_t workers) const {
+  if (workers == 0) {
+    return Status::InvalidArgument("lead-time estimate needs at least one worker");
+  }
+  std::vector<double> durations;
+  durations.reserve(actions.size());
+  for (const IncrementAction& a : actions) durations.push_back(ActionSeconds(a));
+
+  if (workers == 1) {
+    double total = 0.0;
+    for (double d : durations) total += d;
+    return total;
+  }
+
+  // Longest-processing-time-first onto the least-loaded worker.
+  std::sort(durations.begin(), durations.end(), std::greater<>());
+  std::priority_queue<double, std::vector<double>, std::greater<>> loads;
+  for (size_t w = 0; w < workers; ++w) loads.push(0.0);
+  for (double d : durations) {
+    double least = loads.top();
+    loads.pop();
+    loads.push(least + d);
+  }
+  double makespan = 0.0;
+  while (!loads.empty()) {
+    makespan = loads.top();
+    loads.pop();
+  }
+  return makespan;
+}
+
+}  // namespace pcqe

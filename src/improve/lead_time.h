@@ -1,0 +1,78 @@
+// Copyright (c) PCQE contributors.
+// Lead-time estimation for improvement plans — the paper's stated future
+// work: "Since actually improving data quality may take some time, the user
+// can submit the query in advance [...] and statistics can be used to let
+// the user know 'how much time' in advance he needs to issue the query."
+
+#ifndef PCQE_IMPROVE_LEAD_TIME_H_
+#define PCQE_IMPROVE_LEAD_TIME_H_
+
+#include <map>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/tuple.h"
+#include "strategy/solution.h"
+
+namespace pcqe {
+
+/// \brief How long one acquisition action takes: a fixed setup time (order
+/// the report, schedule the audit) plus a duration proportional to how much
+/// confidence is being bought.
+struct AcquisitionTimeModel {
+  double fixed_seconds = 0.0;
+  double seconds_per_unit = 0.0;  ///< per unit of confidence raised
+
+  /// Duration of raising confidence by `delta` (>= 0).
+  double Duration(double delta) const {
+    return delta <= 0.0 ? 0.0 : fixed_seconds + seconds_per_unit * delta;
+  }
+};
+
+/// \brief Estimates how far in advance a query must be issued for a given
+/// improvement plan to complete.
+///
+/// Each base tuple may carry its own time model (e.g. medical-record
+/// abstraction takes weeks, a registry lookup minutes); unmapped tuples use
+/// the default. Acquisitions may run concurrently on a bounded number of
+/// "workers" (auditors, analysts): the estimate schedules actions with the
+/// longest-processing-time-first rule, a standard (4/3 − 1/3m)-approximation
+/// of the optimal makespan.
+class LeadTimeEstimator {
+ public:
+  explicit LeadTimeEstimator(AcquisitionTimeModel default_model = {})
+      : default_model_(default_model) {}
+
+  /// Overrides the time model for one base tuple.
+  void SetModel(BaseTupleId tuple, AcquisitionTimeModel model) {
+    models_[tuple] = model;
+  }
+
+  /// The model in effect for `tuple`.
+  const AcquisitionTimeModel& ModelFor(BaseTupleId tuple) const {
+    auto it = models_.find(tuple);
+    return it == models_.end() ? default_model_ : it->second;
+  }
+
+  /// Duration of one action under its tuple's model.
+  double ActionSeconds(const IncrementAction& action) const {
+    return ModelFor(action.base_tuple).Duration(action.to - action.from);
+  }
+
+  /// \brief Estimated wall-clock completion time of the whole plan with
+  /// `workers` concurrent acquisition channels.
+  ///
+  /// `workers == 1` degenerates to the exact sum of durations; otherwise
+  /// the LPT makespan is returned. Returns `kInvalidArgument` for zero
+  /// workers.
+  Result<double> EstimateSeconds(const std::vector<IncrementAction>& actions,
+                                 size_t workers = 1) const;
+
+ private:
+  AcquisitionTimeModel default_model_;
+  std::map<BaseTupleId, AcquisitionTimeModel> models_;
+};
+
+}  // namespace pcqe
+
+#endif  // PCQE_IMPROVE_LEAD_TIME_H_

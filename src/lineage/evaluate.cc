@@ -1,0 +1,51 @@
+#include "lineage/evaluate.h"
+
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace pcqe {
+
+Result<double> EvaluateExact(const LineageArena& arena, LineageRef ref,
+                             const ConfidenceMap& probs, const ExactEvalOptions& options) {
+  std::vector<LineageVarId> shared = arena.SharedVariables(ref);
+  if (shared.size() > options.max_shared_variables) {
+    return Status::ResourceExhausted(
+        StrFormat("exact evaluation would condition on %zu shared variables "
+                  "(budget %zu)",
+                  shared.size(), options.max_shared_variables));
+  }
+
+  if (shared.empty()) {
+    return EvaluateIndependent(arena, ref, probs);
+  }
+
+  std::unordered_map<LineageVarId, bool> fixed;
+  fixed.reserve(shared.size());
+
+  double total = 0.0;
+  const size_t combos = size_t{1} << shared.size();
+  for (size_t mask = 0; mask < combos; ++mask) {
+    fixed.clear();
+    double weight = 1.0;
+    for (size_t i = 0; i < shared.size(); ++i) {
+      bool value = (mask >> i) & 1;
+      fixed[shared[i]] = value;
+      double p = probs.Get(shared[i]);
+      weight *= value ? p : (1.0 - p);
+    }
+    if (weight == 0.0) continue;
+    // With all shared variables pinned, every remaining variable occurs
+    // once, so the independent evaluation of the conditioned formula is
+    // exact.
+    auto conditioned = [&](LineageVarId id) -> double {
+      auto it = fixed.find(id);
+      if (it != fixed.end()) return it->second ? 1.0 : 0.0;
+      return probs.Get(id);
+    };
+    total += weight * EvaluateIndependent(arena, ref, conditioned);
+  }
+  return total;
+}
+
+}  // namespace pcqe

@@ -1,0 +1,220 @@
+#include "lineage/lineage.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace pcqe {
+
+LineageRef LineageArena::Append(Node node) {
+  PCQE_CHECK(nodes_.size() < kNullLineage) << "lineage arena overflow";
+  nodes_.push_back(std::move(node));
+  return static_cast<LineageRef>(nodes_.size() - 1);
+}
+
+LineageRef LineageArena::False() {
+  if (false_ref_ == kNullLineage) false_ref_ = Append({LineageOp::kFalse, 0, {}});
+  return false_ref_;
+}
+
+LineageRef LineageArena::True() {
+  if (true_ref_ == kNullLineage) true_ref_ = Append({LineageOp::kTrue, 0, {}});
+  return true_ref_;
+}
+
+LineageRef LineageArena::Var(LineageVarId id) {
+  auto it = std::lower_bound(var_index_.begin(), var_index_.end(),
+                             std::make_pair(id, LineageRef{0}),
+                             [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (it != var_index_.end() && it->first == id) return it->second;
+  LineageRef ref = Append({LineageOp::kVar, id, {}});
+  var_index_.insert(it, {id, ref});
+  return ref;
+}
+
+LineageRef LineageArena::Intern(LineageOp op, std::vector<LineageRef> children) {
+  // Canonical key: children sorted, so commutatively equal formulas share a
+  // node; the stored child order (first creation) is preserved for display.
+  std::vector<LineageRef> key = children;
+  std::sort(key.begin(), key.end());
+  auto it = composite_index_.find({op, key});
+  if (it != composite_index_.end()) return it->second;
+  LineageRef ref = Append({op, 0, std::move(children)});
+  composite_index_.emplace(std::make_pair(op, std::move(key)), ref);
+  return ref;
+}
+
+namespace {
+
+/// Stable dedupe preserving first occurrence (children lists are short, so
+/// the quadratic scan beats hashing).
+void DedupeStable(std::vector<LineageRef>* v) {
+  std::vector<LineageRef> out;
+  out.reserve(v->size());
+  for (LineageRef c : *v) {
+    if (std::find(out.begin(), out.end(), c) == out.end()) out.push_back(c);
+  }
+  *v = std::move(out);
+}
+
+}  // namespace
+
+LineageRef LineageArena::And(const std::vector<LineageRef>& children) {
+  std::vector<LineageRef> flat;
+  flat.reserve(children.size());
+  for (LineageRef c : children) {
+    PCQE_DCHECK(c < nodes_.size());
+    switch (nodes_[c].op) {
+      case LineageOp::kTrue:
+        break;  // neutral element
+      case LineageOp::kFalse:
+        return False();  // absorbing element
+      case LineageOp::kAnd:
+        for (LineageRef g : nodes_[c].children) flat.push_back(g);
+        break;
+      default:
+        flat.push_back(c);
+    }
+  }
+  DedupeStable(&flat);
+  if (flat.empty()) return True();
+  if (flat.size() == 1) return flat[0];
+  return Intern(LineageOp::kAnd, std::move(flat));
+}
+
+LineageRef LineageArena::Or(const std::vector<LineageRef>& children) {
+  std::vector<LineageRef> flat;
+  flat.reserve(children.size());
+  for (LineageRef c : children) {
+    PCQE_DCHECK(c < nodes_.size());
+    switch (nodes_[c].op) {
+      case LineageOp::kFalse:
+        break;  // neutral element
+      case LineageOp::kTrue:
+        return True();  // absorbing element
+      case LineageOp::kOr:
+        for (LineageRef g : nodes_[c].children) flat.push_back(g);
+        break;
+      default:
+        flat.push_back(c);
+    }
+  }
+  DedupeStable(&flat);
+  if (flat.empty()) return False();
+  if (flat.size() == 1) return flat[0];
+  return Intern(LineageOp::kOr, std::move(flat));
+}
+
+LineageRef LineageArena::Not(LineageRef child) {
+  PCQE_DCHECK(child < nodes_.size());
+  switch (nodes_[child].op) {
+    case LineageOp::kTrue:
+      return False();
+    case LineageOp::kFalse:
+      return True();
+    case LineageOp::kNot:
+      return nodes_[child].children[0];  // double negation
+    default:
+      return Intern(LineageOp::kNot, {child});
+  }
+}
+
+void LineageArena::CountOccurrences(
+    LineageRef ref, std::vector<uint32_t>* counts_by_node,
+    std::vector<std::pair<LineageVarId, uint32_t>>* var_counts) const {
+  // Children always have smaller arena indices than their parents, so one
+  // high-to-low sweep propagates tree-position multiplicities through DAG
+  // sharing in O(nodes + edges).
+  counts_by_node->assign(nodes_.size(), 0);
+  (*counts_by_node)[ref] = 1;
+  for (size_t i = ref + 1; i-- > 0;) {
+    uint32_t count = (*counts_by_node)[i];
+    if (count == 0) continue;
+    const Node& node = nodes_[i];
+    if (node.op == LineageOp::kVar) {
+      var_counts->emplace_back(node.var, count);
+      continue;
+    }
+    for (LineageRef c : node.children) {
+      // Saturating add: multiplicity beyond 2 is indistinguishable for our
+      // purposes ("shared" vs "read-once").
+      uint32_t& slot = (*counts_by_node)[c];
+      slot = (slot > 0xFFFF) ? slot : slot + count;
+    }
+  }
+}
+
+std::vector<LineageVarId> LineageArena::Variables(LineageRef ref) const {
+  std::vector<uint32_t> counts;
+  std::vector<std::pair<LineageVarId, uint32_t>> var_counts;
+  CountOccurrences(ref, &counts, &var_counts);
+  // var_counts was emitted in descending node order; restore first-creation
+  // (ascending node) order, which matches first-seen order for interned vars.
+  std::reverse(var_counts.begin(), var_counts.end());
+  std::vector<LineageVarId> out;
+  out.reserve(var_counts.size());
+  for (const auto& [id, n] : var_counts) {
+    (void)n;
+    out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<LineageVarId> LineageArena::SharedVariables(LineageRef ref) const {
+  std::vector<uint32_t> counts;
+  std::vector<std::pair<LineageVarId, uint32_t>> var_counts;
+  CountOccurrences(ref, &counts, &var_counts);
+  std::reverse(var_counts.begin(), var_counts.end());
+  std::vector<LineageVarId> out;
+  for (const auto& [id, n] : var_counts) {
+    if (n > 1) out.push_back(id);
+  }
+  return out;
+}
+
+LineageRef LineageArena::CopyFrom(const LineageArena& src,
+                                  LineageRef ref) {  // NOLINT(misc-no-recursion)
+  switch (src.op(ref)) {
+    case LineageOp::kFalse:
+      return False();
+    case LineageOp::kTrue:
+      return True();
+    case LineageOp::kVar:
+      return Var(src.var(ref));
+    case LineageOp::kNot:
+      return Not(CopyFrom(src, src.children(ref)[0]));
+    case LineageOp::kAnd:
+    case LineageOp::kOr: {
+      std::vector<LineageRef> kids;
+      kids.reserve(src.children(ref).size());
+      for (LineageRef c : src.children(ref)) kids.push_back(CopyFrom(src, c));
+      return src.op(ref) == LineageOp::kAnd ? And(kids) : Or(kids);
+    }
+  }
+  return False();
+}
+
+std::string LineageArena::ToString(LineageRef ref) const {
+  const Node& node = nodes_[ref];
+  switch (node.op) {
+    case LineageOp::kFalse:
+      return "false";
+    case LineageOp::kTrue:
+      return "true";
+    case LineageOp::kVar:
+      return StrFormat("t%llu", static_cast<unsigned long long>(node.var));
+    case LineageOp::kNot:
+      return "!" + ToString(node.children[0]);
+    case LineageOp::kAnd:
+    case LineageOp::kOr: {
+      const char* sep = node.op == LineageOp::kAnd ? " & " : " | ";
+      std::vector<std::string> parts;
+      parts.reserve(node.children.size());
+      for (LineageRef c : node.children) parts.push_back(ToString(c));
+      return "(" + JoinStrings(parts, sep) + ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace pcqe

@@ -1,0 +1,149 @@
+// Copyright (c) PCQE contributors.
+// Boolean lineage formulas over base tuples — element (2) of the framework.
+//
+// Every query result carries a lineage formula describing which base tuples
+// it derives from: joins conjoin lineages, duplicate elimination and union
+// disjoin them, and set difference negates the subtrahend's lineage
+// (Trio-style propagation; see Das Sarma/Theobald/Widom 2007 and
+// Dalvi/Suciu 2004, the paper's references [15] and [6]). The paper's running
+// example is the formula `(p02 OR p03) AND p13`.
+
+#ifndef PCQE_LINEAGE_LINEAGE_H_
+#define PCQE_LINEAGE_LINEAGE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace pcqe {
+
+/// Lineage formulas reference base tuples by their catalog-wide id.
+/// (Duplicated from relational/tuple.h to keep this library dependency-free;
+/// the two are the same 64-bit id space.)
+using LineageVarId = uint64_t;
+
+/// Index of a node inside a `LineageArena`.
+using LineageRef = uint32_t;
+
+/// Sentinel for "no lineage".
+inline constexpr LineageRef kNullLineage = ~0U;
+
+/// \brief Node kinds of a lineage formula.
+enum class LineageOp : uint8_t {
+  kFalse = 0,  ///< Constant false (empty disjunction).
+  kTrue = 1,   ///< Constant true (certain derivation, e.g. a literal row).
+  kVar = 2,    ///< A base-tuple variable.
+  kAnd = 3,    ///< Conjunction of >= 2 children.
+  kOr = 4,     ///< Disjunction of >= 2 children.
+  kNot = 5,    ///< Negation of exactly 1 child.
+};
+
+/// \brief Arena that owns lineage DAG nodes.
+///
+/// Nodes are immutable once created and referenced by index, so formulas
+/// share subtrees freely (a DAG, not a tree). Builders perform light
+/// normalization: nested same-op children are flattened, constants are
+/// folded, and single-child AND/OR collapse to the child. The arena is the
+/// unit of lifetime: all refs returned by one arena are valid for as long as
+/// that arena lives.
+class LineageArena {
+ public:
+  LineageArena() = default;
+
+  /// Number of nodes allocated.
+  size_t size() const { return nodes_.size(); }
+
+  /// Constant-false formula.
+  LineageRef False();
+
+  /// Constant-true formula.
+  LineageRef True();
+
+  /// A base-tuple variable. Repeated calls with the same id return the same
+  /// node, so variable identity is preserved across the DAG.
+  LineageRef Var(LineageVarId id);
+
+  /// Conjunction. Flattens nested ANDs, drops `true`, folds to `false` when
+  /// any child is `false`. An empty conjunction is `true`.
+  LineageRef And(const std::vector<LineageRef>& children);
+
+  /// Binary convenience overload.
+  LineageRef And(LineageRef a, LineageRef b) { return And(std::vector<LineageRef>{a, b}); }
+
+  /// Disjunction. Flattens nested ORs, drops `false`, folds to `true` when
+  /// any child is `true`, dedupes identical child refs. An empty
+  /// disjunction is `false`.
+  LineageRef Or(const std::vector<LineageRef>& children);
+
+  /// Binary convenience overload.
+  LineageRef Or(LineageRef a, LineageRef b) { return Or(std::vector<LineageRef>{a, b}); }
+
+  /// Negation, with double-negation and constant folding.
+  LineageRef Not(LineageRef child);
+
+  /// Node kind of `ref`.
+  LineageOp op(LineageRef ref) const { return nodes_[ref].op; }
+
+  /// Variable id; only valid when `op(ref) == kVar`.
+  LineageVarId var(LineageRef ref) const {
+    PCQE_DCHECK(nodes_[ref].op == LineageOp::kVar);
+    return nodes_[ref].var;
+  }
+
+  /// Children span; empty for constants and variables.
+  const std::vector<LineageRef>& children(LineageRef ref) const {
+    return nodes_[ref].children;
+  }
+
+  /// Distinct variable ids appearing under `ref`, in first-seen order.
+  std::vector<LineageVarId> Variables(LineageRef ref) const;
+
+  /// Variable ids that appear in strictly more than one *position* under
+  /// `ref` (counting DAG sharing as multiple occurrences). For these, the
+  /// independence assumption of `EvaluateIndependent` is an approximation.
+  std::vector<LineageVarId> SharedVariables(LineageRef ref) const;
+
+  /// True iff no variable occurs more than once under `ref`; for read-once
+  /// formulas the independent evaluation is exact.
+  bool IsReadOnce(LineageRef ref) const { return SharedVariables(ref).empty(); }
+
+  /// Textual form, e.g. "((t2 | t3) & t13)" with variables as "t<id>".
+  std::string ToString(LineageRef ref) const;
+
+  /// Deep-copies the formula `ref` of `src` into this arena, preserving
+  /// structure and variable ids. Used to pool lineages from several query
+  /// results (each with its own arena) into one combined arena for a
+  /// multi-query increment problem.
+  LineageRef CopyFrom(const LineageArena& src, LineageRef ref);
+
+ private:
+  struct Node {
+    LineageOp op;
+    LineageVarId var = 0;
+    std::vector<LineageRef> children;
+  };
+
+  LineageRef Append(Node node);
+  /// Returns the existing node for (op, children-as-a-set) or creates one.
+  LineageRef Intern(LineageOp op, std::vector<LineageRef> children);
+  void CountOccurrences(LineageRef ref, std::vector<uint32_t>* counts_by_node,
+                        std::vector<std::pair<LineageVarId, uint32_t>>* var_counts) const;
+
+  std::vector<Node> nodes_;
+  // Interning of constants and variables.
+  LineageRef false_ref_ = kNullLineage;
+  LineageRef true_ref_ = kNullLineage;
+  std::vector<std::pair<LineageVarId, LineageRef>> var_index_;  // sorted by id
+  // Interning of composites, keyed by (op, sorted children): commutatively
+  // equal formulas resolve to one node.
+  std::map<std::pair<LineageOp, std::vector<LineageRef>>, LineageRef> composite_index_;
+};
+
+}  // namespace pcqe
+
+#endif  // PCQE_LINEAGE_LINEAGE_H_

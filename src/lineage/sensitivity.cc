@@ -1,0 +1,39 @@
+#include "lineage/sensitivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pcqe {
+
+double Sensitivity(const LineageArena& arena, LineageRef ref, const ConfidenceMap& probs,
+                   LineageVarId var) {
+  auto pinned = [&](double value) {
+    return EvaluateIndependent(arena, ref, [&](LineageVarId id) {
+      return id == var ? value : probs.Get(id);
+    });
+  };
+  return pinned(1.0) - pinned(0.0);
+}
+
+std::vector<InfluenceEntry> RankInfluence(const LineageArena& arena, LineageRef ref,
+                                          const ConfidenceMap& probs, size_t top_k) {
+  std::vector<InfluenceEntry> entries;
+  for (LineageVarId var : arena.Variables(ref)) {
+    InfluenceEntry entry;
+    entry.var = var;
+    entry.sensitivity = Sensitivity(arena, ref, probs, var);
+    entry.headroom = 1.0 - probs.Get(var);
+    entries.push_back(entry);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const InfluenceEntry& a, const InfluenceEntry& b) {
+              double pa = std::fabs(a.potential());
+              double pb = std::fabs(b.potential());
+              if (pa != pb) return pa > pb;
+              return std::fabs(a.sensitivity) > std::fabs(b.sensitivity);
+            });
+  if (top_k > 0 && entries.size() > top_k) entries.resize(top_k);
+  return entries;
+}
+
+}  // namespace pcqe

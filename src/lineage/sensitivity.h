@@ -1,0 +1,44 @@
+// Copyright (c) PCQE contributors.
+// Sensitivity analysis: which base tuples most influence a result's
+// confidence. The human-facing companion of strategy finding — the paper's
+// framework reports *what* to improve; this explains *why* a result is
+// stuck below the policy threshold.
+
+#ifndef PCQE_LINEAGE_SENSITIVITY_H_
+#define PCQE_LINEAGE_SENSITIVITY_H_
+
+#include <vector>
+
+#include "lineage/evaluate.h"
+#include "lineage/lineage.h"
+
+namespace pcqe {
+
+/// \brief Partial influence of one base tuple on a formula's confidence.
+struct InfluenceEntry {
+  LineageVarId var = 0;
+  /// ∂P(f)/∂p_var under the independence semantics: P(f | var=1) −
+  /// P(f | var=0). Exact for read-once lineage (where P is multilinear in
+  /// each variable); an approximation when `var` occurs more than once.
+  /// Negative under negated occurrences (raising the tuple *lowers* the
+  /// result).
+  double sensitivity = 0.0;
+  /// Headroom 1 − p_var: how much the variable could still rise.
+  double headroom = 0.0;
+  /// sensitivity × headroom: the confidence available by driving this
+  /// tuple to certainty, to first order. The ranking key.
+  double potential() const { return sensitivity * headroom; }
+};
+
+/// Sensitivity of `ref` to variable `var` at the current confidences.
+double Sensitivity(const LineageArena& arena, LineageRef ref, const ConfidenceMap& probs,
+                   LineageVarId var);
+
+/// \brief Ranks every variable of `ref` by |potential| (descending), keeping
+/// the top `top_k` (0 = all). Ties break toward higher |sensitivity|.
+std::vector<InfluenceEntry> RankInfluence(const LineageArena& arena, LineageRef ref,
+                                          const ConfidenceMap& probs, size_t top_k = 0);
+
+}  // namespace pcqe
+
+#endif  // PCQE_LINEAGE_SENSITIVITY_H_

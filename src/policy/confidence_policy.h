@@ -1,0 +1,103 @@
+// Copyright (c) PCQE contributors.
+// Confidence policies — element (3), Definition 1 of the paper.
+
+#ifndef PCQE_POLICY_CONFIDENCE_POLICY_H_
+#define PCQE_POLICY_CONFIDENCE_POLICY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "policy/rbac.h"
+
+namespace pcqe {
+
+/// Wildcard accepted in a policy's purpose field: the policy then applies to
+/// every purpose.
+inline constexpr const char* kAnyPurpose = "*";
+
+/// \brief A confidence policy `⟨r, pu, β⟩` (paper Definition 1): a user under
+/// role `r` querying for purpose `pu` may only access results whose
+/// confidence value is higher than `β`.
+///
+/// §3.2 resolves "the confidence policy associated with the role of user U,
+/// his query purpose *and the data U wants to access*": the optional `table`
+/// field scopes a policy to queries touching that base table. An empty
+/// table scopes the policy to every query.
+struct ConfidencePolicy {
+  ConfidencePolicy() = default;
+  ConfidencePolicy(std::string policy_role, std::string policy_purpose,
+                   double policy_threshold, std::string policy_table = "")
+      : role(std::move(policy_role)),
+        purpose(std::move(policy_purpose)),
+        threshold(policy_threshold),
+        table(std::move(policy_table)) {}
+
+  std::string role;
+  std::string purpose;
+  double threshold = 0.0;
+  /// Base table this policy guards; empty = any data.
+  std::string table;
+
+  /// "⟨Manager, investment, 0.06⟩" or "⟨Manager, investment, 0.06 @ proposal⟩".
+  std::string ToString() const;
+};
+
+/// \brief Resolution of the policies applicable to one query.
+struct PolicyDecision {
+  /// The binding threshold: maximum `β` over all matched policies (the most
+  /// restrictive applicable policy wins), or 0 when none matched.
+  double threshold = 0.0;
+  /// Every policy that applied, most restrictive first.
+  std::vector<ConfidencePolicy> matched;
+
+  /// True iff a result with confidence `p` may be released. Per Definition 1
+  /// the confidence must be strictly *higher* than β (the running example
+  /// blocks p38 = 0.058 < 0.06 and accepts 0.064 > 0.06); equality with β is
+  /// resolved against release, modulo kEpsilon rounding slack.
+  bool Allows(double p) const;
+};
+
+/// \brief Store and resolver for confidence policies.
+///
+/// Policies are keyed by (role, purpose). Resolution for a user collects the
+/// policies whose role is one of the user's *active* roles (direct plus
+/// inherited juniors — a senior role carries its juniors' restrictions) and
+/// whose purpose equals the query purpose or is the wildcard.
+class PolicyStore {
+ public:
+  PolicyStore() = default;
+
+  /// Adds a policy. The role must exist in `roles` (checked at `Resolve`
+  /// time too, but failing early aids configuration hygiene); the threshold
+  /// must lie in [0, 1]; duplicate (role, purpose, table) triples are
+  /// rejected — update semantics would hide configuration mistakes.
+  Status AddPolicy(const RoleGraph& roles, ConfidencePolicy policy);
+
+  /// All stored policies in insertion order.
+  const std::vector<ConfidencePolicy>& policies() const { return policies_; }
+
+  /// Resolves the decision for `user` querying with `purpose` over the
+  /// given base tables (case-insensitive): table-scoped policies apply only
+  /// when their table is accessed. A user with no applicable policy gets
+  /// threshold 0 (unrestricted), matching the paper's model where policies
+  /// add restrictions on top of ordinary access control.
+  Result<PolicyDecision> Resolve(const RoleGraph& roles, const std::string& user,
+                                 const std::string& purpose,
+                                 const std::vector<std::string>& tables) const;
+
+  /// Convenience overload for contexts without table information; only
+  /// unscoped policies can match.
+  Result<PolicyDecision> Resolve(const RoleGraph& roles, const std::string& user,
+                                 const std::string& purpose) const {
+    return Resolve(roles, user, purpose, {});
+  }
+
+ private:
+  std::vector<ConfidencePolicy> policies_;
+};
+
+}  // namespace pcqe
+
+#endif  // PCQE_POLICY_CONFIDENCE_POLICY_H_

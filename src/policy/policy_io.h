@@ -1,0 +1,45 @@
+// Copyright (c) PCQE contributors.
+// Persistence for the access configuration: roles, users, role hierarchy,
+// user-role assignments and confidence policies.
+
+#ifndef PCQE_POLICY_POLICY_IO_H_
+#define PCQE_POLICY_POLICY_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "policy/confidence_policy.h"
+#include "policy/rbac.h"
+
+namespace pcqe {
+
+/// \brief Serializes the access configuration into a line-based text form:
+///
+/// \code
+///   role <name>
+///   inherit <senior> <junior>
+///   user <name>
+///   assign <user> <role>
+///   policy <role> <purpose> <beta>
+/// \endcode
+///
+/// Names containing whitespace cannot be represented and are rejected with
+/// `kInvalidArgument`. Lines starting with '#' are comments on parse.
+Result<std::string> SerializeAccessConfig(const RoleGraph& roles,
+                                          const PolicyStore& policies);
+
+/// Parses a configuration produced by `SerializeAccessConfig` into the given
+/// (typically empty) graph/store. Directives are applied in file order, so
+/// hand-written files must declare roles/users before referencing them.
+Status ParseAccessConfig(const std::string& text, RoleGraph* roles,
+                         PolicyStore* policies);
+
+/// File wrappers.
+Status SaveAccessConfig(const RoleGraph& roles, const PolicyStore& policies,
+                        const std::string& path);
+Status LoadAccessConfig(const std::string& path, RoleGraph* roles,
+                        PolicyStore* policies);
+
+}  // namespace pcqe
+
+#endif  // PCQE_POLICY_POLICY_IO_H_

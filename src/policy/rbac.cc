@@ -1,0 +1,117 @@
+#include "policy/rbac.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace pcqe {
+
+Status RoleGraph::AddRole(const std::string& role) {
+  if (role.empty()) return Status::InvalidArgument("role name must be non-empty");
+  if (juniors_.count(role) > 0) {
+    return Status::AlreadyExists(StrFormat("role '%s' already exists", role.c_str()));
+  }
+  juniors_[role] = {};
+  return Status::OK();
+}
+
+Status RoleGraph::AddInheritance(const std::string& senior, const std::string& junior) {
+  if (juniors_.count(senior) == 0) {
+    return Status::NotFound(StrFormat("role '%s' not found", senior.c_str()));
+  }
+  if (juniors_.count(junior) == 0) {
+    return Status::NotFound(StrFormat("role '%s' not found", junior.c_str()));
+  }
+  if (senior == junior || Reaches(junior, senior)) {
+    return Status::InvalidArgument(
+        StrFormat("inheritance %s -> %s would create a cycle", senior.c_str(),
+                  junior.c_str()));
+  }
+  std::vector<std::string>& edges = juniors_[senior];
+  if (std::find(edges.begin(), edges.end(), junior) == edges.end()) {
+    edges.push_back(junior);
+  }
+  return Status::OK();
+}
+
+Status RoleGraph::AddUser(const std::string& user) {
+  if (user.empty()) return Status::InvalidArgument("user name must be non-empty");
+  if (user_roles_.count(user) > 0) {
+    return Status::AlreadyExists(StrFormat("user '%s' already exists", user.c_str()));
+  }
+  user_roles_[user] = {};
+  return Status::OK();
+}
+
+Status RoleGraph::AssignRole(const std::string& user, const std::string& role) {
+  auto it = user_roles_.find(user);
+  if (it == user_roles_.end()) {
+    return Status::NotFound(StrFormat("user '%s' not found", user.c_str()));
+  }
+  if (juniors_.count(role) == 0) {
+    return Status::NotFound(StrFormat("role '%s' not found", role.c_str()));
+  }
+  if (std::find(it->second.begin(), it->second.end(), role) == it->second.end()) {
+    it->second.push_back(role);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> RoleGraph::DirectRoles(const std::string& user) const {
+  auto it = user_roles_.find(user);
+  if (it == user_roles_.end()) {
+    return Status::NotFound(StrFormat("user '%s' not found", user.c_str()));
+  }
+  return it->second;
+}
+
+Result<std::vector<std::string>> RoleGraph::ActiveRoles(const std::string& user) const {
+  PCQE_ASSIGN_OR_RETURN(std::vector<std::string> direct, DirectRoles(user));
+  std::set<std::string> all;
+  for (const std::string& r : direct) CollectJuniors(r, &all);
+  return std::vector<std::string>(all.begin(), all.end());
+}
+
+std::vector<std::string> RoleGraph::Roles() const {
+  std::vector<std::string> out;
+  out.reserve(juniors_.size());
+  for (const auto& [role, edges] : juniors_) {
+    (void)edges;
+    out.push_back(role);
+  }
+  return out;
+}
+
+std::vector<std::string> RoleGraph::Users() const {
+  std::vector<std::string> out;
+  out.reserve(user_roles_.size());
+  for (const auto& [user, roles] : user_roles_) {
+    (void)roles;
+    out.push_back(user);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> RoleGraph::Inheritances() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& [senior, edges] : juniors_) {
+    for (const std::string& junior : edges) out.emplace_back(senior, junior);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void RoleGraph::CollectJuniors(const std::string& role, std::set<std::string>* out) const {
+  if (!out->insert(role).second) return;
+  auto it = juniors_.find(role);
+  if (it == juniors_.end()) return;
+  for (const std::string& j : it->second) CollectJuniors(j, out);
+}
+
+bool RoleGraph::Reaches(const std::string& from, const std::string& to) const {
+  std::set<std::string> seen;
+  CollectJuniors(from, &seen);
+  return seen.count(to) > 0;
+}
+
+}  // namespace pcqe

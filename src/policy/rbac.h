@@ -1,0 +1,85 @@
+// Copyright (c) PCQE contributors.
+// Role-based access control substrate for confidence policies.
+//
+// The paper positions confidence policies as "a natural extension to
+// Role-based Access Control (RBAC)" [Ferraiolo et al. 2001]: a policy's
+// subject specification is a role. This module provides the minimal RBAC
+// machinery the framework needs — users, roles, a role hierarchy and
+// user-role assignment — so policies can be resolved for a concrete user.
+
+#ifndef PCQE_POLICY_RBAC_H_
+#define PCQE_POLICY_RBAC_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace pcqe {
+
+/// \brief Users, roles, a role hierarchy and user-role assignments.
+///
+/// Role names are case-sensitive identifiers ("Manager", "Secretary").
+/// The hierarchy follows standard RBAC semantics: a *senior* role inherits
+/// everything attached to its *junior* roles, so `ActiveRoles(user)` returns
+/// the user's directly assigned roles plus all transitively junior roles.
+/// Because confidence policies are restrictions, policy resolution takes the
+/// **maximum** threshold over active roles (see `PolicyStore`), meaning a
+/// senior role is at least as constrained as the roles it inherits.
+class RoleGraph {
+ public:
+  RoleGraph() = default;
+
+  /// Declares a role. Returns `kAlreadyExists` on duplicates.
+  Status AddRole(const std::string& role);
+
+  /// True iff the role was declared.
+  bool HasRole(const std::string& role) const { return juniors_.count(role) > 0; }
+
+  /// Declares `senior` to inherit from `junior`. Both must exist; cycles
+  /// are rejected with `kInvalidArgument`.
+  Status AddInheritance(const std::string& senior, const std::string& junior);
+
+  /// Declares a user. Returns `kAlreadyExists` on duplicates.
+  Status AddUser(const std::string& user);
+
+  /// True iff the user was declared.
+  bool HasUser(const std::string& user) const { return user_roles_.count(user) > 0; }
+
+  /// Assigns `role` to `user`; both must exist.
+  Status AssignRole(const std::string& user, const std::string& role);
+
+  /// The user's directly assigned roles, in assignment order.
+  Result<std::vector<std::string>> DirectRoles(const std::string& user) const;
+
+  /// The user's effective roles: direct assignments closed under the
+  /// junior-role relation, sorted for determinism.
+  Result<std::vector<std::string>> ActiveRoles(const std::string& user) const;
+
+  /// \name Enumeration (for persistence and administration UIs).
+  /// @{
+  /// All declared roles, sorted.
+  std::vector<std::string> Roles() const;
+  /// All declared users, sorted.
+  std::vector<std::string> Users() const;
+  /// Every (senior, junior) inheritance edge, sorted.
+  std::vector<std::pair<std::string, std::string>> Inheritances() const;
+  /// @}
+
+ private:
+  /// DFS from `role` through junior edges into `out`.
+  void CollectJuniors(const std::string& role, std::set<std::string>* out) const;
+
+  /// True iff `from` can reach `to` through junior edges.
+  bool Reaches(const std::string& from, const std::string& to) const;
+
+  std::map<std::string, std::vector<std::string>> juniors_;     // role -> junior roles
+  std::map<std::string, std::vector<std::string>> user_roles_;  // user -> direct roles
+};
+
+}  // namespace pcqe
+
+#endif  // PCQE_POLICY_RBAC_H_

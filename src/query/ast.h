@@ -1,0 +1,91 @@
+// Copyright (c) PCQE contributors.
+// Abstract syntax tree for the mini-SQL dialect.
+
+#ifndef PCQE_QUERY_AST_H_
+#define PCQE_QUERY_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/expression.h"
+
+namespace pcqe {
+
+struct SelectStatement;
+
+/// \brief One FROM-clause source: either a named base table or a derived
+/// table (parenthesized subquery), with an optional alias.
+struct TableRef {
+  /// Base-table name; empty when `subquery` is set.
+  std::string table_name;
+  /// Derived table; null when `table_name` is set.
+  std::unique_ptr<SelectStatement> subquery;
+  /// Alias; required for subqueries, optional for tables.
+  std::string alias;
+
+  /// Effective name used to qualify columns: the alias when present, else
+  /// the table name.
+  const std::string& EffectiveName() const {
+    return alias.empty() ? table_name : alias;
+  }
+};
+
+/// \brief An explicit `JOIN <ref> ON <condition>` attached to the FROM list.
+struct JoinClause {
+  TableRef table;
+  std::unique_ptr<Expr> condition;
+};
+
+/// \brief One SELECT-list item: an expression with an optional output alias,
+/// or the star.
+struct SelectItem {
+  /// Null for `*`.
+  std::unique_ptr<Expr> expr;
+  std::string alias;
+  bool is_star = false;
+};
+
+/// \brief One ORDER BY key.
+struct OrderByItem {
+  std::unique_ptr<Expr> expr;
+  bool ascending = true;
+};
+
+/// \brief Set operators chaining select cores.
+enum class SetOpKind : uint8_t { kNone, kUnion, kUnionAll, kExcept, kIntersect };
+
+/// \brief A full SELECT statement.
+///
+/// Grammar (see parser.cc):
+/// \code
+///   stmt    := core (set_op core)* [ORDER BY items] [LIMIT n] [';']
+///   core    := SELECT [DISTINCT] items FROM ref ((',' ref) | (JOIN ref ON expr))*
+///              [WHERE expr]
+/// \endcode
+/// Set operations associate left and produce a chain hanging off the first
+/// core: `a UNION b EXCEPT c` is `(a UNION b) EXCEPT c`.
+struct SelectStatement {
+  bool distinct = false;
+  std::vector<SelectItem> select_list;
+  std::vector<TableRef> from;        ///< comma-separated sources (cross join)
+  std::vector<JoinClause> joins;     ///< explicit JOIN ... ON clauses
+  std::unique_ptr<Expr> where;       ///< null when absent
+  std::vector<std::unique_ptr<Expr>> group_by;  ///< empty when absent
+  std::unique_ptr<Expr> having;      ///< null when absent
+
+  /// Set-operation continuation: `set_op` applies between this statement's
+  /// core result and `set_rhs` (which may itself chain further).
+  SetOpKind set_op = SetOpKind::kNone;
+  std::unique_ptr<SelectStatement> set_rhs;
+
+  /// ORDER BY / LIMIT apply to the full chained result; only populated on
+  /// the outermost statement.
+  std::vector<OrderByItem> order_by;
+  /// Negative means "no limit".
+  int64_t limit = -1;
+};
+
+}  // namespace pcqe
+
+#endif  // PCQE_QUERY_AST_H_

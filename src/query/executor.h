@@ -1,0 +1,60 @@
+// Copyright (c) PCQE contributors.
+// Plan interpreter with Trio-style lineage propagation.
+
+#ifndef PCQE_QUERY_EXECUTOR_H_
+#define PCQE_QUERY_EXECUTOR_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "lineage/lineage.h"
+#include "query/plan.h"
+
+namespace pcqe {
+
+/// \brief One in-flight row: values plus the lineage formula describing
+/// which base tuples it derives from.
+struct ExecRow {
+  std::vector<Value> values;
+  LineageRef lineage = kNullLineage;
+};
+
+/// \brief Interprets plan trees.
+///
+/// Lineage propagation per operator:
+/// - Scan emits `Var(tuple_id)` per base tuple;
+/// - Filter / Project / Sort / Limit pass lineage through;
+/// - Join emits `AND(left, right)`;
+/// - Distinct and Union group equal rows and emit `OR` over the group;
+/// - Intersect emits `AND(or_left, or_right)` per common row;
+/// - Except emits `AND(or_left, NOT(or_right))` per left row that also
+///   occurs on the right (the row survives exactly in worlds where no right
+///   derivation holds), and `or_left` for rows absent from the right.
+///
+/// All lineage nodes are allocated into the arena supplied at construction;
+/// returned `LineageRef`s remain valid for that arena's lifetime.
+class Executor {
+ public:
+  /// `arena` must outlive every row returned by `Run`.
+  explicit Executor(LineageArena* arena) : arena_(arena) {}
+
+  /// Executes `plan` and materializes all result rows.
+  Result<std::vector<ExecRow>> Run(const PlanNode& plan);
+
+ private:
+  Result<std::vector<ExecRow>> RunScan(const PlanNode& plan);
+  Result<std::vector<ExecRow>> RunFilter(const PlanNode& plan);
+  Result<std::vector<ExecRow>> RunProject(const PlanNode& plan);
+  Result<std::vector<ExecRow>> RunJoin(const PlanNode& plan);
+  Result<std::vector<ExecRow>> RunDistinct(const PlanNode& plan);
+  Result<std::vector<ExecRow>> RunSetOp(const PlanNode& plan);
+  Result<std::vector<ExecRow>> RunSort(const PlanNode& plan);
+  Result<std::vector<ExecRow>> RunLimit(const PlanNode& plan);
+  Result<std::vector<ExecRow>> RunAggregate(const PlanNode& plan);
+
+  LineageArena* arena_;
+};
+
+}  // namespace pcqe
+
+#endif  // PCQE_QUERY_EXECUTOR_H_

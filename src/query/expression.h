@@ -1,0 +1,148 @@
+// Copyright (c) PCQE contributors.
+// Scalar expressions: the WHERE/ON/SELECT-list language.
+
+#ifndef PCQE_QUERY_EXPRESSION_H_
+#define PCQE_QUERY_EXPRESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace pcqe {
+
+/// \brief Expression node kinds.
+enum class ExprKind : uint8_t { kLiteral, kColumnRef, kUnary, kBinary, kAggregate };
+
+/// \brief Aggregate functions.
+enum class AggFunc : uint8_t { kCount, kSum, kAvg, kMin, kMax };
+
+/// Canonical uppercase name ("COUNT", ...).
+std::string AggFuncToString(AggFunc func);
+
+/// \brief Unary operators.
+enum class UnaryOp : uint8_t { kNot, kNegate, kIsNull, kIsNotNull };
+
+/// \brief Binary operators.
+enum class BinaryOp : uint8_t {
+  kEq, kNe, kLt, kLe, kGt, kGe,      // comparison
+  kAdd, kSub, kMul, kDiv,            // arithmetic
+  kAnd, kOr,                         // logical (Kleene three-valued)
+  kLike,                             // SQL LIKE with % and _
+};
+
+/// Symbolic form ("=", "AND", ...) for diagnostics.
+std::string BinaryOpToString(BinaryOp op);
+
+/// \brief A mutable expression tree.
+///
+/// Lifecycle: build (parser or the factory helpers below) → `Bind` against a
+/// schema (resolves column references to indices and infers `result_type`) →
+/// `Eval` per row. Unbound expressions fail evaluation with `kInternal`.
+///
+/// Evaluation uses SQL three-valued semantics: comparisons and arithmetic
+/// with a NULL operand yield NULL; AND/OR follow Kleene logic; a WHERE
+/// predicate keeps a row only when it evaluates to (non-NULL) true.
+class Expr {
+ public:
+  /// \name Factories.
+  /// @{
+  static std::unique_ptr<Expr> Literal(Value v);
+  static std::unique_ptr<Expr> ColumnRef(std::string name);
+  static std::unique_ptr<Expr> Unary(UnaryOp op, std::unique_ptr<Expr> operand);
+  static std::unique_ptr<Expr> Binary(BinaryOp op, std::unique_ptr<Expr> lhs,
+                                      std::unique_ptr<Expr> rhs);
+  /// Aggregate call; `arg` is null for COUNT(*).
+  static std::unique_ptr<Expr> Aggregate(AggFunc func, std::unique_ptr<Expr> arg);
+  /// @}
+
+  ExprKind kind() const { return kind_; }
+
+  /// Literal payload; only for `kLiteral`.
+  const Value& literal() const { return literal_; }
+
+  /// Column name as written ("c" or "t.c"); only for `kColumnRef`.
+  const std::string& column_name() const { return column_name_; }
+
+  /// Resolved column index; only valid after `Bind` on a `kColumnRef`.
+  size_t column_index() const { return column_index_; }
+
+  UnaryOp unary_op() const { return unary_op_; }
+  BinaryOp binary_op() const { return binary_op_; }
+  const Expr* left() const { return left_.get(); }
+  const Expr* right() const { return right_.get(); }
+
+  /// Aggregate function; only for `kAggregate`.
+  AggFunc agg_func() const { return agg_func_; }
+  /// True for COUNT(*); only for `kAggregate`.
+  bool is_count_star() const { return kind_ == ExprKind::kAggregate && left_ == nullptr; }
+
+  /// True when any node in this tree is an aggregate call.
+  bool ContainsAggregate() const;
+
+  /// \brief Rewrites `expr` so every aggregate subtree is replaced by a
+  /// column reference `__agg<i>` (i = position in `lifted`), moving the
+  /// aggregate nodes into `lifted`.
+  ///
+  /// The aggregation planner lifts aggregates out of SELECT and HAVING
+  /// expressions, evaluates them per group into synthetic `__agg<i>`
+  /// columns, and evaluates the rewritten expressions on top. Nested
+  /// aggregates (an aggregate whose argument contains an aggregate) are a
+  /// bind error.
+  static Result<std::unique_ptr<Expr>> LiftAggregates(
+      std::unique_ptr<Expr> expr, std::vector<std::unique_ptr<Expr>>* lifted);
+
+  /// \brief Replaces every subtree whose textual form equals a key of
+  /// `text_to_column` with a column reference to the mapped name.
+  ///
+  /// Used to resolve SELECT/HAVING expressions against GROUP BY *expression*
+  /// keys (SQL matches them syntactically): `GROUP BY a + b` makes `a + b`
+  /// in the select list refer to the computed key column.
+  static std::unique_ptr<Expr> ReplaceBySyntax(
+      std::unique_ptr<Expr> expr,
+      const std::vector<std::pair<std::string, std::string>>& text_to_column);
+
+  /// Static type after `Bind`; `kNull` for expressions that can only be NULL.
+  DataType result_type() const { return result_type_; }
+
+  /// Resolves column references against `schema` and type-checks the tree.
+  /// Idempotent; re-binding against a different schema is allowed (used when
+  /// one predicate template is evaluated against several inputs).
+  Status Bind(const Schema& schema);
+
+  /// Evaluates against one row laid out per the bound schema.
+  Result<Value> Eval(const std::vector<Value>& row) const;
+
+  /// Deep copy (unbound state is preserved; binding state is copied too).
+  std::unique_ptr<Expr> Clone() const;
+
+  /// Parenthesized text form, e.g. "((t.funding < 1000000) AND (t.x = 3))".
+  std::string ToString() const;
+
+ private:
+  Expr() = default;
+
+  ExprKind kind_ = ExprKind::kLiteral;
+  Value literal_;
+  std::string column_name_;
+  size_t column_index_ = static_cast<size_t>(-1);
+  UnaryOp unary_op_ = UnaryOp::kNot;
+  BinaryOp binary_op_ = BinaryOp::kEq;
+  AggFunc agg_func_ = AggFunc::kCount;
+  std::unique_ptr<Expr> left_;
+  std::unique_ptr<Expr> right_;
+  DataType result_type_ = DataType::kNull;
+  bool bound_ = false;
+};
+
+/// Matches SQL LIKE patterns: '%' any run, '_' any single char. Exposed for
+/// direct testing.
+bool LikeMatch(const std::string& text, const std::string& pattern);
+
+}  // namespace pcqe
+
+#endif  // PCQE_QUERY_EXPRESSION_H_

@@ -1,0 +1,145 @@
+#include "query/lexer.h"
+
+#include <cctype>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace pcqe {
+
+bool Token::IsKeyword(const std::string& kw) const {
+  return type == TokenType::kKeyword && EqualsIgnoreCaseAscii(text, kw);
+}
+
+bool Token::IsOperator(const std::string& op) const {
+  return type == TokenType::kOperator && text == op;
+}
+
+bool IsReservedWord(const std::string& upper) {
+  static const std::set<std::string> kWords = {
+      "SELECT", "DISTINCT", "ALL",    "FROM",  "WHERE", "AS",       "JOIN",
+      "INNER",  "ON",       "AND",    "OR",    "NOT",   "LIKE",     "IS",
+      "NULL",   "TRUE",     "FALSE",  "UNION", "EXCEPT", "INTERSECT",
+      "ORDER",  "BY",       "ASC",    "DESC",  "LIMIT",
+      "GROUP",  "HAVING",   "COUNT",  "SUM",   "AVG",   "MIN",      "MAX",
+      "IN",     "BETWEEN"};
+  return kWords.count(upper) > 0;
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+
+  auto error = [&](const std::string& msg, size_t at) {
+    return Status::ParseError(StrFormat("%s at offset %zu", msg.c_str(), at));
+  };
+
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comments.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    // Identifiers / keywords.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) || sql[i] == '_')) {
+        ++i;
+      }
+      std::string word = sql.substr(start, i - start);
+      std::string upper = ToUpperAscii(word);
+      if (IsReservedWord(upper)) {
+        tokens.push_back({TokenType::kKeyword, upper, start});
+      } else {
+        tokens.push_back({TokenType::kIdentifier, word, start});
+      }
+      continue;
+    }
+    // Numbers: digits, optional fraction, optional exponent.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.') {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        size_t exp_start = i;
+        ++i;
+        if (i < n && (sql[i] == '+' || sql[i] == '-')) ++i;
+        if (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) {
+          is_float = true;
+          while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+        } else {
+          i = exp_start;  // 'e' belongs to a following identifier, not this number
+        }
+      }
+      tokens.push_back({is_float ? TokenType::kFloat : TokenType::kInteger,
+                        sql.substr(start, i - start), start});
+      continue;
+    }
+    // String literals with '' escaping.
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {
+            text += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text += sql[i++];
+      }
+      if (!closed) return error("unterminated string literal", start);
+      tokens.push_back({TokenType::kString, std::move(text), start});
+      continue;
+    }
+    // Two-character operators.
+    if (i + 1 < n) {
+      std::string two = sql.substr(i, 2);
+      if (two == "<>" || two == "!=" || two == "<=" || two == ">=") {
+        tokens.push_back({TokenType::kOperator, two == "!=" ? "<>" : two, start});
+        i += 2;
+        continue;
+      }
+    }
+    // Single-character operators.
+    switch (c) {
+      case '=':
+      case '<':
+      case '>':
+      case '+':
+      case '-':
+      case '*':
+      case '/':
+      case '(':
+      case ')':
+      case ',':
+      case '.':
+      case ';':
+        tokens.push_back({TokenType::kOperator, std::string(1, c), start});
+        ++i;
+        continue;
+      default:
+        return error(StrFormat("unexpected character '%c'", c), start);
+    }
+  }
+  tokens.push_back({TokenType::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace pcqe

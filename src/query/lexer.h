@@ -1,0 +1,49 @@
+// Copyright (c) PCQE contributors.
+// SQL tokenizer for the mini-SQL dialect (see parser.h for the grammar).
+
+#ifndef PCQE_QUERY_LEXER_H_
+#define PCQE_QUERY_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace pcqe {
+
+/// \brief Token categories.
+enum class TokenType : uint8_t {
+  kKeyword,     ///< SELECT, FROM, WHERE, ... (uppercased in `text`)
+  kIdentifier,  ///< table/column names (original case preserved)
+  kInteger,     ///< 42
+  kFloat,       ///< 3.14, 1e6
+  kString,      ///< 'text' (quotes stripped, '' unescaped)
+  kOperator,    ///< = <> != < <= > >= + - * / ( ) , . ;
+  kEnd,         ///< end of input
+};
+
+/// \brief One token with its source offset (for error messages).
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;     ///< normalized text (see TokenType notes)
+  size_t offset = 0;    ///< byte offset in the original SQL
+
+  /// True for a keyword token with this (case-insensitive) name.
+  bool IsKeyword(const std::string& kw) const;
+  /// True for an operator token with exactly this text.
+  bool IsOperator(const std::string& op) const;
+};
+
+/// Words treated as reserved keywords (SELECT, DISTINCT, FROM, JOIN, ...).
+/// An identifier matching one of these lexes as `kKeyword`.
+bool IsReservedWord(const std::string& upper);
+
+/// Tokenizes `sql`. The result always ends with a `kEnd` token. Returns
+/// `kParseError` on malformed input (unterminated string, stray character).
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace pcqe
+
+#endif  // PCQE_QUERY_LEXER_H_

@@ -1,0 +1,38 @@
+// Copyright (c) PCQE contributors.
+// Recursive-descent parser for the mini-SQL dialect.
+//
+// Supported dialect:
+//   SELECT [DISTINCT] <expr [AS alias], ... | *>
+//   FROM <table [AS alias] | (subquery) AS alias> [, <ref>]*
+//        [JOIN <ref> ON <expr>]*
+//   [WHERE <expr>]
+//   [UNION [ALL] | EXCEPT | INTERSECT <select>]*
+//   [ORDER BY <expr> [ASC|DESC], ...] [LIMIT <n>] [;]
+//
+// Expressions: literals (integers, floats, 'strings', TRUE/FALSE/NULL),
+// column refs (`c` or `t.c`), comparisons (= <> != < <= > >=), arithmetic
+// (+ - * /), NOT/AND/OR, LIKE, IS [NOT] NULL, unary minus, parentheses.
+
+#ifndef PCQE_QUERY_PARSER_H_
+#define PCQE_QUERY_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "query/ast.h"
+
+namespace pcqe {
+
+/// Parses one SELECT statement. Trailing tokens after the statement (other
+/// than one optional ';') are a parse error.
+Result<std::unique_ptr<SelectStatement>> ParseSelect(const std::string& sql);
+
+/// Parses a standalone scalar expression against no particular schema
+/// (binding happens later). Useful for building predicates in tests and
+/// examples without hand-assembling `Expr` trees.
+Result<std::unique_ptr<Expr>> ParseExpression(const std::string& text);
+
+}  // namespace pcqe
+
+#endif  // PCQE_QUERY_PARSER_H_

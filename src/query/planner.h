@@ -1,0 +1,35 @@
+// Copyright (c) PCQE contributors.
+// Planner: binds a parsed SELECT against the catalog and emits a plan.
+
+#ifndef PCQE_QUERY_PLANNER_H_
+#define PCQE_QUERY_PLANNER_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "query/ast.h"
+#include "query/plan.h"
+#include "relational/catalog.h"
+
+namespace pcqe {
+
+/// \brief Translates a `SelectStatement` into an executable `PlanNode` tree.
+///
+/// Responsibilities:
+/// - resolve table references (base tables and derived tables) against the
+///   catalog, applying aliases as column qualifiers;
+/// - fold the FROM list into a left-deep join chain (comma sources become
+///   cross joins, explicit JOINs carry their ON condition);
+/// - bind every expression and compute each node's output schema;
+/// - expand `*`, name projected columns (alias > source name > "colN");
+/// - lower set operations left-associatively and attach ORDER BY / LIMIT
+///   at the top.
+///
+/// Errors are `kBindError` (unknown table/column, type mismatch, set-op
+/// arity mismatch) or propagate from expression binding.
+Result<std::unique_ptr<PlanNode>> PlanQuery(const Catalog& catalog,
+                                            const SelectStatement& stmt);
+
+}  // namespace pcqe
+
+#endif  // PCQE_QUERY_PLANNER_H_

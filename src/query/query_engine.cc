@@ -1,0 +1,110 @@
+#include "query/query_engine.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "query/parser.h"
+#include "query/planner.h"
+
+namespace pcqe {
+
+void QueryResult::RecomputeConfidences(const ConfidenceMap& confidences) {
+  for (Row& row : rows) {
+    row.confidence = EvaluateIndependent(*arena, row.lineage, confidences);
+  }
+}
+
+std::string QueryResult::ToTable(size_t max_rows) const {
+  // Header + rows, column-aligned.
+  std::vector<std::vector<std::string>> cells;
+  std::vector<std::string> header;
+  header.reserve(schema.num_columns() + 1);
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    header.push_back(schema.column(c).QualifiedName());
+  }
+  header.push_back("confidence");
+  cells.push_back(std::move(header));
+  size_t shown = std::min(rows.size(), max_rows);
+  for (size_t r = 0; r < shown; ++r) {
+    std::vector<std::string> line;
+    line.reserve(schema.num_columns() + 1);
+    for (const Value& v : rows[r].values) line.push_back(v.ToString());
+    line.push_back(FormatDouble(rows[r].confidence, 6));
+    cells.push_back(std::move(line));
+  }
+  std::vector<size_t> widths(cells[0].size(), 0);
+  for (const auto& line : cells) {
+    for (size_t c = 0; c < line.size(); ++c) widths[c] = std::max(widths[c], line[c].size());
+  }
+  std::string out;
+  for (size_t r = 0; r < cells.size(); ++r) {
+    for (size_t c = 0; c < cells[r].size(); ++c) {
+      out += StrFormat("%-*s", static_cast<int>(widths[c] + 2), cells[r][c].c_str());
+    }
+    out += "\n";
+    if (r == 0) {
+      for (size_t c = 0; c < widths.size(); ++c) {
+        out += std::string(widths[c], '-') + "  ";
+      }
+      out += "\n";
+    }
+  }
+  if (rows.size() > shown) {
+    out += StrFormat("... (%zu more rows)\n", rows.size() - shown);
+  }
+  return out;
+}
+
+Result<ConfidenceMap> SnapshotConfidences(const Catalog& catalog,
+                                          const QueryResult& result) {
+  ConfidenceMap map(0.0);
+  for (const QueryResult::Row& row : result.rows) {
+    for (LineageVarId id : result.arena->Variables(row.lineage)) {
+      PCQE_ASSIGN_OR_RETURN(const Tuple* t, catalog.FindTuple(id));
+      map.Set(id, t->confidence());
+    }
+  }
+  return map;
+}
+
+namespace {
+
+void CollectScannedTables(const PlanNode& plan,
+                          std::vector<std::string>* tables) {  // NOLINT(misc-no-recursion)
+  if (plan.kind == PlanKind::kScan && plan.table != nullptr) {
+    const std::string& name = plan.table->name();
+    for (const std::string& existing : *tables) {
+      if (EqualsIgnoreCaseAscii(existing, name)) return;
+    }
+    tables->push_back(name);
+    return;
+  }
+  if (plan.left) CollectScannedTables(*plan.left, tables);
+  if (plan.right) CollectScannedTables(*plan.right, tables);
+}
+
+}  // namespace
+
+Result<QueryResult> RunQuery(const Catalog& catalog, const std::string& sql) {
+  PCQE_ASSIGN_OR_RETURN(std::unique_ptr<SelectStatement> stmt, ParseSelect(sql));
+  PCQE_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> plan, PlanQuery(catalog, *stmt));
+
+  QueryResult result;
+  result.schema = plan->output_schema;
+  result.arena = std::make_shared<LineageArena>();
+  result.plan_text = plan->ToString();
+  CollectScannedTables(*plan, &result.tables);
+
+  Executor executor(result.arena.get());
+  PCQE_ASSIGN_OR_RETURN(std::vector<ExecRow> rows, executor.Run(*plan));
+  result.rows.reserve(rows.size());
+  for (ExecRow& row : rows) {
+    result.rows.push_back({std::move(row.values), row.lineage, 0.0});
+  }
+
+  PCQE_ASSIGN_OR_RETURN(ConfidenceMap confidences, SnapshotConfidences(catalog, result));
+  result.RecomputeConfidences(confidences);
+  return result;
+}
+
+}  // namespace pcqe

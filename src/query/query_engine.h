@@ -1,0 +1,63 @@
+// Copyright (c) PCQE contributors.
+// High-level entry point: SQL text in, confidence-annotated rows out.
+
+#ifndef PCQE_QUERY_QUERY_ENGINE_H_
+#define PCQE_QUERY_QUERY_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "lineage/evaluate.h"
+#include "lineage/lineage.h"
+#include "query/executor.h"
+#include "relational/catalog.h"
+
+namespace pcqe {
+
+/// \brief A fully evaluated query: schema, rows with lineage and confidence.
+///
+/// This is what the paper calls the set of *intermediate results* — query
+/// answers with computed confidence values, before confidence-policy
+/// filtering. The `arena` owns every row's lineage formula; keep the
+/// `QueryResult` alive as long as lineage refs are dereferenced (the strategy
+/// layer does).
+struct QueryResult {
+  /// One result row.
+  struct Row {
+    std::vector<Value> values;
+    /// Lineage over base-tuple ids, allocated in `arena`.
+    LineageRef lineage = kNullLineage;
+    /// Confidence computed from base-tuple confidences by lineage
+    /// propagation (independence semantics; see lineage/evaluate.h).
+    double confidence = 0.0;
+  };
+
+  Schema schema;
+  std::vector<Row> rows;
+  std::shared_ptr<LineageArena> arena;
+  /// EXPLAIN-style rendering of the executed plan.
+  std::string plan_text;
+  /// Base tables the query scanned (deduplicated, in plan order). Policy
+  /// resolution uses these to apply table-scoped confidence policies.
+  std::vector<std::string> tables;
+
+  /// Re-derives every row's confidence from `confidences` (base-tuple id →
+  /// confidence). Used after data-quality improvement updates base tuples.
+  void RecomputeConfidences(const ConfidenceMap& confidences);
+
+  /// Formats rows as an aligned text table with a confidence column.
+  std::string ToTable(size_t max_rows = 50) const;
+};
+
+/// Builds a `ConfidenceMap` holding the current confidence of every base
+/// tuple referenced by `result`, read from `catalog`.
+Result<ConfidenceMap> SnapshotConfidences(const Catalog& catalog, const QueryResult& result);
+
+/// Parses, plans, executes and confidence-annotates `sql` against `catalog`.
+Result<QueryResult> RunQuery(const Catalog& catalog, const std::string& sql);
+
+}  // namespace pcqe
+
+#endif  // PCQE_QUERY_QUERY_ENGINE_H_

@@ -1,0 +1,75 @@
+#include "relational/catalog.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace pcqe {
+
+std::string Catalog::Key(const std::string& name) { return ToLowerAscii(name); }
+
+Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
+  if (name.empty()) return Status::InvalidArgument("table name must be non-empty");
+  std::string key = Key(name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists(StrFormat("table '%s' already exists", name.c_str()));
+  }
+  auto table = std::make_unique<Table>(name, std::move(schema), next_table_id_++);
+  Table* raw = table.get();
+  tables_.emplace(std::move(key), std::move(table));
+  creation_order_.push_back(name);
+  return raw;
+}
+
+Result<Table*> Catalog::GetTable(const std::string& name) {
+  auto it = tables_.find(Key(name));
+  if (it == tables_.end()) {
+    return Status::NotFound(StrFormat("table '%s' not found", name.c_str()));
+  }
+  return it->second.get();
+}
+
+Result<const Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(Key(name));
+  if (it == tables_.end()) {
+    return Status::NotFound(StrFormat("table '%s' not found", name.c_str()));
+  }
+  return static_cast<const Table*>(it->second.get());
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  auto it = tables_.find(Key(name));
+  if (it == tables_.end()) {
+    return Status::NotFound(StrFormat("table '%s' not found", name.c_str()));
+  }
+  tables_.erase(it);
+  creation_order_.erase(
+      std::remove_if(creation_order_.begin(), creation_order_.end(),
+                     [&](const std::string& n) { return Key(n) == Key(name); }),
+      creation_order_.end());
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const { return creation_order_; }
+
+Result<const Tuple*> Catalog::FindTuple(BaseTupleId id) const {
+  uint32_t table_id = static_cast<uint32_t>(id >> 32);
+  for (const auto& [key, table] : tables_) {
+    (void)key;
+    if (table->table_id() == table_id) return table->FindTuple(id);
+  }
+  return Status::NotFound(StrFormat("no table owns tuple id %llu",
+                                    static_cast<unsigned long long>(id)));
+}
+
+Status Catalog::SetConfidence(BaseTupleId id, double confidence) {
+  uint32_t table_id = static_cast<uint32_t>(id >> 32);
+  for (auto& [key, table] : tables_) {
+    (void)key;
+    if (table->table_id() == table_id) return table->SetConfidence(id, confidence);
+  }
+  return Status::NotFound(StrFormat("no table owns tuple id %llu",
+                                    static_cast<unsigned long long>(id)));
+}
+
+}  // namespace pcqe

@@ -1,0 +1,64 @@
+// Copyright (c) PCQE contributors.
+// Catalog: the database — a namespace of tables with catalog-wide tuple ids.
+
+#ifndef PCQE_RELATIONAL_CATALOG_H_
+#define PCQE_RELATIONAL_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "relational/table.h"
+
+namespace pcqe {
+
+/// \brief Owns all base tables of one confidence-annotated database.
+///
+/// Table names are case-insensitive. The catalog assigns each table a
+/// distinct 32-bit id so `BaseTupleId`s are unique database-wide, which is
+/// what lets lineage formulas, policies and improvement plans refer to base
+/// tuples without naming their table.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  // Tables hold stable pointers handed out to callers; keep the catalog
+  // pinned in place.
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates an empty table. Returns `kAlreadyExists` on a duplicate name.
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+
+  /// Looks up a table by (case-insensitive) name.
+  Result<Table*> GetTable(const std::string& name);
+  Result<const Table*> GetTable(const std::string& name) const;
+
+  /// Removes a table. Its tuple-id prefix is never reused, so stale
+  /// `BaseTupleId`s cannot alias new tuples.
+  Status DropTable(const std::string& name);
+
+  /// Names of all tables in creation order.
+  std::vector<std::string> TableNames() const;
+
+  /// Routes a catalog-wide tuple id to its tuple.
+  Result<const Tuple*> FindTuple(BaseTupleId id) const;
+
+  /// Sets the confidence of the identified tuple (improvement component).
+  Status SetConfidence(BaseTupleId id, double confidence);
+
+ private:
+  /// Lowercased lookup key.
+  static std::string Key(const std::string& name);
+
+  std::map<std::string, std::unique_ptr<Table>> tables_;  // key: lowercased name
+  std::vector<std::string> creation_order_;               // original-cased names
+  uint32_t next_table_id_ = 1;
+};
+
+}  // namespace pcqe
+
+#endif  // PCQE_RELATIONAL_CATALOG_H_

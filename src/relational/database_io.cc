@@ -1,0 +1,174 @@
+#include "relational/database_io.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "relational/csv.h"
+
+namespace pcqe {
+
+namespace {
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound(StrFormat("cannot open '%s'", path.c_str()));
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::InvalidArgument(StrFormat("cannot write '%s'", path.c_str()));
+  out << content;
+  return out.good() ? Status::OK()
+                    : Status::Internal(StrFormat("write to '%s' failed", path.c_str()));
+}
+
+Result<DataType> ParseDataType(const std::string& name) {
+  for (DataType t : {DataType::kNull, DataType::kBool, DataType::kInt64,
+                     DataType::kDouble, DataType::kString}) {
+    if (DataTypeToString(t) == name) return t;
+  }
+  return Status::ParseError(StrFormat("unknown data type '%s'", name.c_str()));
+}
+
+/// Full-precision double for lossless round-trips.
+std::string PreciseDouble(double v) { return StrFormat("%.17g", v); }
+
+Result<Value> ParseTypedValue(const std::string& field, DataType type) {
+  if (field.empty()) return Value::Null();
+  char* end = nullptr;
+  switch (type) {
+    case DataType::kBool:
+      if (EqualsIgnoreCaseAscii(field, "true")) return Value::Bool(true);
+      if (EqualsIgnoreCaseAscii(field, "false")) return Value::Bool(false);
+      return Status::ParseError(StrFormat("'%s' is not a BOOLEAN", field.c_str()));
+    case DataType::kInt64: {
+      errno = 0;
+      long long v = std::strtoll(field.c_str(), &end, 10);
+      if (errno != 0 || end != field.c_str() + field.size()) {
+        return Status::ParseError(StrFormat("'%s' is not a BIGINT", field.c_str()));
+      }
+      return Value::Int(v);
+    }
+    case DataType::kDouble: {
+      errno = 0;
+      double v = std::strtod(field.c_str(), &end);
+      if (errno != 0 || end != field.c_str() + field.size()) {
+        return Status::ParseError(StrFormat("'%s' is not a DOUBLE", field.c_str()));
+      }
+      return Value::Double(v);
+    }
+    case DataType::kString:
+    case DataType::kNull:
+      return Value::String(field);
+  }
+  return Status::Internal("unreachable type");
+}
+
+}  // namespace
+
+Status SaveDatabase(const Catalog& catalog, const std::string& dir) {
+  std::string manifest;
+  for (const std::string& name : catalog.TableNames()) {
+    manifest += name + "\n";
+    PCQE_ASSIGN_OR_RETURN(const Table* table, catalog.GetTable(name));
+
+    // Schema sidecar.
+    std::string schema_text;
+    for (size_t c = 0; c < table->schema().num_columns(); ++c) {
+      const Column& col = table->schema().column(c);
+      schema_text += col.name + "\t" + DataTypeToString(col.type) + "\n";
+    }
+    PCQE_RETURN_NOT_OK(WriteFile(dir + "/" + name + ".schema", schema_text));
+
+    // Rows with the reserved annotation columns.
+    std::string csv;
+    for (size_t c = 0; c < table->schema().num_columns(); ++c) {
+      csv += CsvQuote(table->schema().column(c).name) + ",";
+    }
+    csv += "__confidence,__max_confidence,__cost\n";
+    for (const Tuple& t : table->tuples()) {
+      for (const Value& v : t.values()) {
+        std::string field;
+        if (!v.is_null()) {
+          field = v.type() == DataType::kDouble ? PreciseDouble(*v.AsDouble())
+                                                : v.ToString();
+        }
+        csv += CsvQuote(field) + ",";
+      }
+      csv += PreciseDouble(t.confidence()) + "," + PreciseDouble(t.max_confidence()) +
+             "," + CsvQuote(t.cost_function()->ToString()) + "\n";
+    }
+    PCQE_RETURN_NOT_OK(WriteFile(dir + "/" + name + ".csv", csv));
+  }
+  return WriteFile(dir + "/manifest.pcqe", manifest);
+}
+
+Status LoadDatabase(const std::string& dir, Catalog* catalog) {
+  PCQE_ASSIGN_OR_RETURN(std::string manifest, ReadFile(dir + "/manifest.pcqe"));
+  std::istringstream lines(manifest);
+  std::string name;
+  while (std::getline(lines, name)) {
+    name = std::string(TrimAscii(name));
+    if (name.empty()) continue;
+
+    // Schema sidecar.
+    PCQE_ASSIGN_OR_RETURN(std::string schema_text, ReadFile(dir + "/" + name + ".schema"));
+    Schema schema;
+    std::istringstream schema_lines(schema_text);
+    std::string line;
+    while (std::getline(schema_lines, line)) {
+      if (std::string(TrimAscii(line)).empty()) continue;
+      size_t tab = line.find('\t');
+      if (tab == std::string::npos) {
+        return Status::ParseError(
+            StrFormat("malformed schema line '%s' for table '%s'", line.c_str(),
+                      name.c_str()));
+      }
+      PCQE_ASSIGN_OR_RETURN(DataType type, ParseDataType(line.substr(tab + 1)));
+      schema.AddColumn({line.substr(0, tab), type, ""});
+    }
+
+    PCQE_ASSIGN_OR_RETURN(Table * table, catalog->CreateTable(name, schema));
+
+    // Rows.
+    PCQE_ASSIGN_OR_RETURN(std::string csv, ReadFile(dir + "/" + name + ".csv"));
+    PCQE_ASSIGN_OR_RETURN(auto rows, ParseCsv(csv));
+    const size_t ncols = schema.num_columns();
+    const size_t expected = ncols + 3;  // + confidence, max, cost
+    for (size_t r = 1; r < rows.size(); ++r) {  // rows[0] is the header
+      if (rows[r].size() != expected) {
+        return Status::ParseError(
+            StrFormat("table '%s' row %zu has %zu fields, expected %zu", name.c_str(),
+                      r, rows[r].size(), expected));
+      }
+      std::vector<Value> values;
+      values.reserve(ncols);
+      for (size_t c = 0; c < ncols; ++c) {
+        auto v = ParseTypedValue(rows[r][c], schema.column(c).type);
+        if (!v.ok()) {
+          return v.status().WithContext(
+              StrFormat("table '%s' row %zu column '%s'", name.c_str(), r,
+                        schema.column(c).name.c_str()));
+        }
+        values.push_back(std::move(*v));
+      }
+      double confidence = std::strtod(rows[r][ncols].c_str(), nullptr);
+      double max_confidence = std::strtod(rows[r][ncols + 1].c_str(), nullptr);
+      PCQE_ASSIGN_OR_RETURN(CostFunctionPtr cost, ParseCostFunction(rows[r][ncols + 2]));
+      auto inserted =
+          table->Insert(std::move(values), confidence, std::move(cost), max_confidence);
+      if (!inserted.ok()) {
+        return inserted.status().WithContext(
+            StrFormat("table '%s' row %zu", name.c_str(), r));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace pcqe

@@ -1,0 +1,38 @@
+// Copyright (c) PCQE contributors.
+// Whole-database persistence: schemas, rows, confidences and cost models.
+
+#ifndef PCQE_RELATIONAL_DATABASE_IO_H_
+#define PCQE_RELATIONAL_DATABASE_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "relational/catalog.h"
+
+namespace pcqe {
+
+/// \brief Serializes every table of `catalog` into `dir`.
+///
+/// Layout (plain text, diff-friendly):
+/// - `dir/manifest.pcqe` — one table name per line, in creation order;
+/// - `dir/<table>.schema` — one `name<TAB>TYPE` line per column;
+/// - `dir/<table>.csv` — the rows, plus three reserved columns
+///   `__confidence`, `__max_confidence` and `__cost` (the cost function in
+///   its `ToString` form, e.g. `exponential(a=2, b=3)`).
+///
+/// `dir` must already exist; files are overwritten.
+Status SaveDatabase(const Catalog& catalog, const std::string& dir);
+
+/// \brief Loads a database saved by `SaveDatabase` into `catalog`.
+///
+/// Column types come from the schema sidecars (no inference), so empty
+/// tables and all-NULL columns round-trip exactly. Table creation errors
+/// (e.g. a name collision with an existing table) abort the load.
+///
+/// Note: tuple ids are assigned afresh — `BaseTupleId`s are process-local
+/// handles, not persistent identifiers.
+Status LoadDatabase(const std::string& dir, Catalog* catalog);
+
+}  // namespace pcqe
+
+#endif  // PCQE_RELATIONAL_DATABASE_IO_H_

@@ -1,0 +1,77 @@
+// Copyright (c) PCQE contributors.
+// Relation schemas: named, typed columns with optional table qualifiers.
+
+#ifndef PCQE_RELATIONAL_SCHEMA_H_
+#define PCQE_RELATIONAL_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "relational/value.h"
+
+namespace pcqe {
+
+/// \brief One column: an unqualified name, an optional table qualifier, and
+/// a declared type.
+struct Column {
+  std::string name;
+  DataType type = DataType::kNull;
+  /// The relation (or alias) this column came from; empty for computed
+  /// columns. Used to resolve `t.c` references after joins.
+  std::string qualifier;
+
+  /// "qualifier.name" when qualified, otherwise "name".
+  std::string QualifiedName() const {
+    return qualifier.empty() ? name : qualifier + "." + name;
+  }
+};
+
+/// \brief Ordered list of columns describing a relation.
+///
+/// Lookup is by unqualified or qualified name, case-insensitive (SQL
+/// identifier semantics). An unqualified lookup that matches columns from
+/// two different qualifiers is ambiguous and returns `kBindError`.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  /// Number of columns.
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Column at `i`; `i` must be in range.
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// All columns in order.
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Appends a column (no uniqueness enforcement: joins legitimately
+  /// produce same-named columns under different qualifiers).
+  void AddColumn(Column column) { columns_.push_back(std::move(column)); }
+
+  /// Resolves `name` (either "c" or "t.c") to a column index.
+  /// Returns `kNotFound` when absent, `kBindError` when ambiguous.
+  Result<size_t> IndexOf(const std::string& name) const;
+
+  /// True iff `IndexOf(name)` would succeed.
+  bool Contains(const std::string& name) const { return IndexOf(name).ok(); }
+
+  /// A copy of this schema with every column's qualifier replaced, used for
+  /// `FROM t AS alias`.
+  Schema WithQualifier(const std::string& qualifier) const;
+
+  /// Concatenation `this ++ right`, used by joins and products.
+  Schema Concat(const Schema& right) const;
+
+  /// "(<q.name> <TYPE>, ...)" for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace pcqe
+
+#endif  // PCQE_RELATIONAL_SCHEMA_H_

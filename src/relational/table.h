@@ -1,0 +1,73 @@
+// Copyright (c) PCQE contributors.
+// Tables: named collections of confidence-annotated tuples.
+
+#ifndef PCQE_RELATIONAL_TABLE_H_
+#define PCQE_RELATIONAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "relational/schema.h"
+#include "relational/tuple.h"
+
+namespace pcqe {
+
+/// \brief A base relation: schema plus row storage.
+///
+/// Tuple ids are assigned at insertion as `(table_id << 32) | row_index`, so
+/// they are unique across a catalog (the catalog hands each table a distinct
+/// `table_id`; standalone tables built in tests use table_id 0).
+class Table {
+ public:
+  /// Creates an empty table. `table_id` seeds tuple-id assignment.
+  Table(std::string name, Schema schema, uint32_t table_id = 0)
+      : name_(std::move(name)), schema_(std::move(schema)), table_id_(table_id) {}
+
+  /// Table name as registered in the catalog.
+  const std::string& name() const { return name_; }
+
+  /// The declared schema.
+  const Schema& schema() const { return schema_; }
+
+  /// Number of stored tuples.
+  size_t num_tuples() const { return tuples_.size(); }
+
+  /// All tuples in insertion order.
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  /// Tuple at `row`; `row` must be in range.
+  const Tuple& tuple(size_t row) const { return tuples_[row]; }
+
+  /// \brief Appends a row.
+  ///
+  /// Validates arity and per-column types (NULL is accepted in any column;
+  /// BIGINT widens into DOUBLE columns). Returns the assigned tuple id.
+  Result<BaseTupleId> Insert(std::vector<Value> values, double confidence,
+                             CostFunctionPtr cost = nullptr, double max_confidence = 1.0);
+
+  /// Looks up a tuple by id within this table.
+  Result<const Tuple*> FindTuple(BaseTupleId id) const;
+
+  /// Sets the confidence of tuple `id`. Returns `kNotFound` for foreign ids
+  /// and `kInvalidArgument` when `confidence` exceeds the tuple's ceiling.
+  Status SetConfidence(BaseTupleId id, double confidence);
+
+  /// The id-space prefix of this table, exposed so the catalog can route a
+  /// `BaseTupleId` back to its owning table.
+  uint32_t table_id() const { return table_id_; }
+
+ private:
+  /// Row index encoded in `id`, or an error if `id` belongs elsewhere.
+  Result<size_t> RowOf(BaseTupleId id) const;
+
+  std::string name_;
+  Schema schema_;
+  uint32_t table_id_;
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace pcqe
+
+#endif  // PCQE_RELATIONAL_TABLE_H_

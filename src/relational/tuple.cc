@@ -1,0 +1,15 @@
+#include "relational/tuple.h"
+
+#include "common/string_util.h"
+
+namespace pcqe {
+
+std::string Tuple::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(values_.size());
+  for (const Value& v : values_) parts.push_back(v.ToString());
+  return StrFormat("(%s) @ p=%s", JoinStrings(parts, ", ").c_str(),
+                   FormatDouble(confidence_, 6).c_str());
+}
+
+}  // namespace pcqe

@@ -1,0 +1,138 @@
+#include "relational/value.h"
+
+#include <cmath>
+#include <functional>
+
+#include "common/string_util.h"
+
+namespace pcqe {
+
+std::string DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kBool:
+      return "BOOLEAN";
+    case DataType::kInt64:
+      return "BIGINT";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "VARCHAR";
+  }
+  return "UNKNOWN";
+}
+
+Result<bool> Value::AsBool() const {
+  if (const bool* v = std::get_if<bool>(&data_)) return *v;
+  return Status::InvalidArgument(
+      StrFormat("value of type %s is not BOOLEAN", DataTypeToString(type()).c_str()));
+}
+
+Result<int64_t> Value::AsInt() const {
+  if (const int64_t* v = std::get_if<int64_t>(&data_)) return *v;
+  return Status::InvalidArgument(
+      StrFormat("value of type %s is not BIGINT", DataTypeToString(type()).c_str()));
+}
+
+Result<double> Value::AsDouble() const {
+  if (const double* v = std::get_if<double>(&data_)) return *v;
+  if (const int64_t* v = std::get_if<int64_t>(&data_)) return static_cast<double>(*v);
+  return Status::InvalidArgument(
+      StrFormat("value of type %s is not numeric", DataTypeToString(type()).c_str()));
+}
+
+Result<std::string> Value::AsString() const {
+  if (const std::string* v = std::get_if<std::string>(&data_)) return *v;
+  return Status::InvalidArgument(
+      StrFormat("value of type %s is not VARCHAR", DataTypeToString(type()).c_str()));
+}
+
+namespace {
+
+// Cross-type rank: NULL < BOOL < numeric < STRING.
+int TypeRank(DataType t) {
+  switch (t) {
+    case DataType::kNull:
+      return 0;
+    case DataType::kBool:
+      return 1;
+    case DataType::kInt64:
+    case DataType::kDouble:
+      return 2;
+    case DataType::kString:
+      return 3;
+  }
+  return 4;
+}
+
+int Sign(double d) { return d < 0 ? -1 : (d > 0 ? 1 : 0); }
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  int ra = TypeRank(type());
+  int rb = TypeRank(other.type());
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (type()) {
+    case DataType::kNull:
+      return 0;
+    case DataType::kBool: {
+      bool a = std::get<bool>(data_);
+      bool b = std::get<bool>(other.data_);
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    case DataType::kInt64:
+    case DataType::kDouble: {
+      // Both sides are numeric (rank 2); compare as doubles. Confidence-DB
+      // workloads stay far below the 2^53 range where this would lose
+      // precision for BIGINT.
+      double a = *AsDouble();
+      double b = *other.AsDouble();
+      return Sign(a - b);
+    }
+    case DataType::kString: {
+      const std::string& a = std::get<std::string>(data_);
+      const std::string& b = std::get<std::string>(other.data_);
+      int c = a.compare(b);
+      return c == 0 ? 0 : (c < 0 ? -1 : 1);
+    }
+  }
+  return 0;
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case DataType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case DataType::kBool:
+      return std::get<bool>(data_) ? 0x517cc1b727220a95ULL : 0x2545f4914f6cdd1dULL;
+    case DataType::kInt64:
+    case DataType::kDouble: {
+      double d = *AsDouble();
+      if (d == 0.0) d = 0.0;  // collapse -0.0 and +0.0
+      return std::hash<double>{}(d);
+    }
+    case DataType::kString:
+      return std::hash<std::string>{}(std::get<std::string>(data_));
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kBool:
+      return std::get<bool>(data_) ? "true" : "false";
+    case DataType::kInt64:
+      return StrFormat("%lld", static_cast<long long>(std::get<int64_t>(data_)));
+    case DataType::kDouble:
+      return FormatDouble(std::get<double>(data_));
+    case DataType::kString:
+      return std::get<std::string>(data_);
+  }
+  return "?";
+}
+
+}  // namespace pcqe

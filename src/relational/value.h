@@ -1,0 +1,99 @@
+// Copyright (c) PCQE contributors.
+// Typed values stored in confidence-annotated relations.
+
+#ifndef PCQE_RELATIONAL_VALUE_H_
+#define PCQE_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace pcqe {
+
+/// \brief Column/value data types supported by the engine.
+enum class DataType : int {
+  kNull = 0,
+  kBool = 1,
+  kInt64 = 2,
+  kDouble = 3,
+  kString = 4,
+};
+
+/// Canonical uppercase SQL-ish name ("BIGINT", "DOUBLE", ...).
+std::string DataTypeToString(DataType type);
+
+/// \brief A dynamically typed scalar: NULL, BOOLEAN, BIGINT, DOUBLE or VARCHAR.
+///
+/// Values use SQL-style three-valued comparison semantics only at the
+/// expression layer; `Value` itself provides total ordering (`Compare`) with
+/// NULL sorting first, which the sort and distinct operators rely on.
+class Value {
+ public:
+  /// Constructs a NULL value.
+  Value() : data_(std::monostate{}) {}
+
+  /// \name Typed factories.
+  /// @{
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(Data(v)); }
+  static Value Int(int64_t v) { return Value(Data(v)); }
+  static Value Double(double v) { return Value(Data(v)); }
+  static Value String(std::string v) { return Value(Data(std::move(v))); }
+  /// @}
+
+  /// The runtime type tag.
+  DataType type() const {
+    switch (data_.index()) {
+      case 0:
+        return DataType::kNull;
+      case 1:
+        return DataType::kBool;
+      case 2:
+        return DataType::kInt64;
+      case 3:
+        return DataType::kDouble;
+      default:
+        return DataType::kString;
+    }
+  }
+
+  bool is_null() const { return data_.index() == 0; }
+
+  /// \name Checked accessors; return `kInvalidArgument` on a type mismatch.
+  /// @{
+  Result<bool> AsBool() const;
+  Result<int64_t> AsInt() const;
+  /// Numeric widening: BIGINT values convert implicitly.
+  Result<double> AsDouble() const;
+  Result<std::string> AsString() const;
+  /// @}
+
+  /// Total-order comparison: NULL < BOOL < INT/DOUBLE (numerically merged)
+  /// < STRING across types; natural order within a type. Returns -1/0/+1.
+  int Compare(const Value& other) const;
+
+  /// SQL equality used by joins and DISTINCT: numeric values compare by
+  /// value across INT/DOUBLE; NULL equals NULL here (grouping semantics).
+  bool Equals(const Value& other) const { return Compare(other) == 0; }
+
+  /// Stable hash consistent with `Equals` (INT 3 and DOUBLE 3.0 collide).
+  size_t Hash() const;
+
+  /// Display form: NULL, true/false, digits, or the raw string.
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) { return a.Equals(b); }
+
+ private:
+  using Data = std::variant<std::monostate, bool, int64_t, double, std::string>;
+  explicit Value(Data data) : data_(std::move(data)) {}
+
+  Data data_;
+};
+
+}  // namespace pcqe
+
+#endif  // PCQE_RELATIONAL_VALUE_H_

@@ -1,0 +1,33 @@
+// Copyright (c) PCQE contributors.
+// Exhaustive reference solver (not in the paper; used to verify optimality).
+
+#ifndef PCQE_STRATEGY_BRUTE_FORCE_H_
+#define PCQE_STRATEGY_BRUTE_FORCE_H_
+
+#include "common/result.h"
+#include "strategy/problem.h"
+#include "strategy/solution.h"
+
+namespace pcqe {
+
+/// \brief Options for the brute-force solver.
+struct BruteForceOptions {
+  /// Hard cap on enumerated assignments; exceeding it returns
+  /// `kResourceExhausted`. The grid has Π(steps_i + 1) points, so keep
+  /// problems tiny (≤ ~6 tuples at δ = 0.1).
+  size_t max_assignments = 50'000'000;
+};
+
+/// \brief Enumerates every grid assignment and returns a provably
+/// cost-minimal feasible solution (or the best-satisfaction assignment of
+/// minimum cost when the problem is infeasible).
+///
+/// Exists purely as ground truth for tests and the optimality benches; the
+/// paper's own exact algorithm is `HeuristicSolver`, which must agree with
+/// this on every instance it can solve.
+Result<IncrementSolution> SolveBruteForce(const IncrementProblem& problem,
+                                          const BruteForceOptions& options = {});
+
+}  // namespace pcqe
+
+#endif  // PCQE_STRATEGY_BRUTE_FORCE_H_

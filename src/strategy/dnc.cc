@@ -1,0 +1,267 @@
+#include "strategy/dnc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/stopwatch.h"
+
+namespace pcqe {
+
+namespace {
+
+/// A group posed as a standalone sub-problem plus solver artifacts.
+struct GroupWork {
+  std::vector<uint32_t> sub_bases;          ///< global base index per sub index
+  std::vector<LineageRef> sub_lineages;     ///< still-unsatisfied results
+  std::vector<uint32_t> sub_query_of;       ///< compact query id per result
+  std::vector<uint32_t> sub_queries_orig;   ///< compact -> original query
+  std::vector<size_t> sub_available;       ///< unsat results per compact query
+};
+
+/// Collects the group's still-relevant results and base tuples against the
+/// current global state. Returns an empty sub_lineages when nothing in the
+/// group can still help.
+Result<GroupWork> CollectGroup(const IncrementProblem& problem,
+                               const ConfidenceState& global,
+                               const PartitionGroup& group, bool respect_deficit) {
+  GroupWork work;
+  std::vector<uint32_t> query_remap(problem.num_queries(), UINT32_MAX);
+  for (uint32_t r : group.results) {
+    uint32_t q = problem.query_of_result(r);
+    if (respect_deficit && global.Deficit(q) == 0) continue;
+    if (ClearsThreshold(global.result_confidence(r), problem.beta())) continue;
+    if (query_remap[q] == UINT32_MAX) {
+      query_remap[q] = static_cast<uint32_t>(work.sub_queries_orig.size());
+      work.sub_queries_orig.push_back(q);
+      work.sub_available.push_back(0);
+    }
+    work.sub_lineages.push_back(problem.result_lineage(r));
+    work.sub_query_of.push_back(query_remap[q]);
+    ++work.sub_available[query_remap[q]];
+  }
+  if (work.sub_lineages.empty()) return work;
+
+  for (const LineageRef ref : work.sub_lineages) {
+    for (LineageVarId id : problem.arena()->Variables(ref)) {
+      PCQE_ASSIGN_OR_RETURN(size_t idx, problem.BaseIndexOf(id));
+      work.sub_bases.push_back(static_cast<uint32_t>(idx));
+    }
+  }
+  std::sort(work.sub_bases.begin(), work.sub_bases.end());
+  work.sub_bases.erase(std::unique(work.sub_bases.begin(), work.sub_bases.end()),
+                       work.sub_bases.end());
+  return work;
+}
+
+/// Builds the sub-problem for a collected group, with each base tuple's
+/// floor at its *current* global confidence.
+Result<IncrementProblem> BuildSubProblem(const IncrementProblem& problem,
+                                         const ConfidenceState& global,
+                                         const GroupWork& work,
+                                         std::vector<size_t> sub_required) {
+  std::vector<BaseTupleSpec> sub_specs;
+  sub_specs.reserve(work.sub_bases.size());
+  for (uint32_t b : work.sub_bases) {
+    BaseTupleSpec spec = problem.base(b);
+    spec.confidence = global.prob(b);
+    sub_specs.push_back(std::move(spec));
+  }
+  ProblemOptions sub_options;
+  sub_options.beta = problem.beta();
+  sub_options.delta = problem.delta();
+  return IncrementProblem::Build(problem.arena(), work.sub_lineages, work.sub_query_of,
+                                 std::move(sub_required), std::move(sub_specs),
+                                 sub_options);
+}
+
+/// Single-query path: build a marginal-cost curve per group (greedy
+/// checkpoints toward full in-group satisfaction), then buy satisfactions
+/// from the curves cheapest-rate-first until the deficit is covered. This
+/// is the "combine the result in a greedy way" step with global cost
+/// awareness: expensive results in cheap groups are *not* forced.
+Result<size_t> SolveSingleQuery(const IncrementProblem& problem, ConfidenceState* global,
+                                const std::vector<PartitionGroup>& groups,
+                                const DncOptions& options) {
+  size_t iterations = 0;
+
+  struct GroupCurve {
+    std::vector<uint32_t> sub_bases;
+    std::vector<GreedyCheckpoint> checkpoints;
+  };
+  std::vector<GroupCurve> curves;
+  curves.reserve(groups.size());
+
+  for (const PartitionGroup& group : groups) {
+    PCQE_ASSIGN_OR_RETURN(GroupWork work,
+                          CollectGroup(problem, *global, group,
+                                       /*respect_deficit=*/false));
+    if (work.sub_lineages.empty()) continue;
+    // Target everything in the group; the combiner decides how much to use.
+    std::vector<size_t> all(work.sub_available.begin(), work.sub_available.end());
+    PCQE_ASSIGN_OR_RETURN(IncrementProblem sub,
+                          BuildSubProblem(problem, *global, work, std::move(all)));
+    ConfidenceState sub_state(sub);
+    GroupCurve curve;
+    curve.sub_bases = work.sub_bases;
+    iterations +=
+        GreedyRaise(&sub_state, options.greedy, &curve.checkpoints);
+
+    // Small groups: replace the full-satisfaction tail with the exact
+    // search, seeded by the greedy incumbent (Figure 10's bounded
+    // heuristic refinement).
+    if (options.tau > 0 && sub.num_base_tuples() < options.tau && sub.is_monotone() &&
+        !curve.checkpoints.empty() && sub_state.Feasible()) {
+      HeuristicOptions h;
+      h.initial_upper_bound = sub_state.total_cost();
+      h.max_nodes = options.heuristic_max_nodes;
+      h.max_seconds = options.heuristic_max_seconds;
+      PCQE_ASSIGN_OR_RETURN(IncrementSolution exact, SolveHeuristic(sub, h));
+      iterations += exact.nodes_explored;
+      GreedyCheckpoint& tail = curve.checkpoints.back();
+      if (exact.feasible && exact.total_cost < tail.cost - kEpsilon) {
+        tail.cost = exact.total_cost;
+        tail.raised.clear();
+        for (size_t i = 0; i < exact.new_confidence.size(); ++i) {
+          if (exact.new_confidence[i] > sub.base(i).confidence + kEpsilon) {
+            tail.raised.emplace_back(i, exact.new_confidence[i]);
+          }
+        }
+      }
+    }
+    if (!curve.checkpoints.empty()) curves.push_back(std::move(curve));
+  }
+
+  // Buy checkpoint packages cheapest-rate-first until the deficit closes.
+  struct Package {
+    double rate;  // marginal cost per newly satisfied result
+    size_t curve;
+    size_t index;  // checkpoint index this package advances to
+    bool operator<(const Package& other) const { return rate > other.rate; }
+  };
+  std::priority_queue<Package> queue;
+  auto package_for = [&](size_t c, size_t index) -> Package {
+    const std::vector<GreedyCheckpoint>& cps = curves[c].checkpoints;
+    double prev_cost = index == 0 ? 0.0 : cps[index - 1].cost;
+    size_t prev_sat = index == 0 ? 0 : cps[index - 1].satisfied;
+    size_t gained = cps[index].satisfied - prev_sat;
+    double rate = gained == 0 ? std::numeric_limits<double>::infinity()
+                              : (cps[index].cost - prev_cost) / static_cast<double>(gained);
+    return {rate, c, index};
+  };
+  for (size_t c = 0; c < curves.size(); ++c) queue.push(package_for(c, 0));
+
+  size_t bought = 0;
+  size_t deficit = global->Deficit(0);
+  std::vector<size_t> accepted(curves.size(), 0);  // #checkpoints taken per curve
+  while (bought < deficit && !queue.empty()) {
+    Package p = queue.top();
+    queue.pop();
+    const std::vector<GreedyCheckpoint>& cps = curves[p.curve].checkpoints;
+    size_t prev_sat = p.index == 0 ? 0 : cps[p.index - 1].satisfied;
+    bought += cps[p.index].satisfied - prev_sat;
+    accepted[p.curve] = p.index + 1;
+    if (p.index + 1 < cps.size()) queue.push(package_for(p.curve, p.index + 1));
+  }
+
+  // Apply the accepted prefixes to the global state (max-combine; sub
+  // floors equal the global state, so the new value is the max).
+  for (size_t c = 0; c < curves.size(); ++c) {
+    if (accepted[c] == 0) continue;
+    const GreedyCheckpoint& cp = curves[c].checkpoints[accepted[c] - 1];
+    for (const auto& [sub_idx, value] : cp.raised) {
+      uint32_t global_idx = curves[c].sub_bases[sub_idx];
+      if (value > global->prob(global_idx) + kEpsilon) {
+        global->SetProb(global_idx, value);
+      }
+    }
+  }
+  return iterations;
+}
+
+/// Multi-query path: paper-style sequential fill (each group satisfies as
+/// much of the remaining per-query deficits as it can).
+Result<size_t> SolveMultiQuery(const IncrementProblem& problem, ConfidenceState* global,
+                               const std::vector<PartitionGroup>& groups,
+                               const DncOptions& options) {
+  size_t iterations = 0;
+  for (const PartitionGroup& group : groups) {
+    if (global->Feasible()) break;
+    PCQE_ASSIGN_OR_RETURN(GroupWork work,
+                          CollectGroup(problem, *global, group,
+                                       /*respect_deficit=*/true));
+    if (work.sub_lineages.empty()) continue;
+
+    std::vector<size_t> sub_required(work.sub_queries_orig.size());
+    for (size_t cq = 0; cq < work.sub_queries_orig.size(); ++cq) {
+      sub_required[cq] =
+          std::min(global->Deficit(work.sub_queries_orig[cq]), work.sub_available[cq]);
+    }
+    PCQE_ASSIGN_OR_RETURN(
+        IncrementProblem sub,
+        BuildSubProblem(problem, *global, work, std::move(sub_required)));
+
+    PCQE_ASSIGN_OR_RETURN(IncrementSolution sub_solution,
+                          SolveGreedy(sub, options.greedy));
+    iterations += sub_solution.nodes_explored;
+
+    if (options.tau > 0 && sub.num_base_tuples() < options.tau && sub.is_monotone()) {
+      HeuristicOptions h;
+      h.initial_upper_bound = sub_solution.total_cost;
+      h.initial_assignment = sub_solution.new_confidence;
+      h.max_nodes = options.heuristic_max_nodes;
+      h.max_seconds = options.heuristic_max_seconds;
+      PCQE_ASSIGN_OR_RETURN(IncrementSolution exact, SolveHeuristic(sub, h));
+      iterations += exact.nodes_explored;
+      bool better = (exact.feasible && !sub_solution.feasible) ||
+                    (exact.feasible == sub_solution.feasible &&
+                     exact.total_cost < sub_solution.total_cost - kEpsilon);
+      if (better) sub_solution = std::move(exact);
+    }
+
+    for (size_t sb = 0; sb < work.sub_bases.size(); ++sb) {
+      double v = sub_solution.new_confidence[sb];
+      if (v > global->prob(work.sub_bases[sb]) + kEpsilon) {
+        global->SetProb(work.sub_bases[sb], v);
+      }
+    }
+  }
+  return iterations;
+}
+
+}  // namespace
+
+Result<IncrementSolution> SolveDnc(const IncrementProblem& problem,
+                                   const DncOptions& options) {
+  Stopwatch timer;
+  ConfidenceState global(problem);
+  size_t total_iterations = 0;
+
+  if (!global.Feasible()) {
+    std::vector<PartitionGroup> groups = PartitionResults(problem, options.partition);
+
+    Result<size_t> solved =
+        problem.num_queries() == 1 && problem.is_monotone()
+            ? SolveSingleQuery(problem, &global, groups, options)
+            : SolveMultiQuery(problem, &global, groups, options);
+    if (!solved.ok()) return solved.status();
+    total_iterations += *solved;
+
+    // Top-up: per-group curves can leave a residual deficit (a group's
+    // greedy stalled, or rounding in package sizes); close it globally.
+    if (!global.Feasible()) {
+      total_iterations += GreedyRaise(&global, options.greedy);
+    }
+
+    // Global refinement over the combined assignment (phase-2 style).
+    RefineDown(&global, options.greedy.gain_mode);
+  }
+
+  IncrementSolution out = MakeSolution(global, "dnc");
+  out.nodes_explored = total_iterations;
+  out.solve_seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace pcqe

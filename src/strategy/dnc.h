@@ -1,0 +1,51 @@
+// Copyright (c) PCQE contributors.
+// Divide-and-conquer solver (paper §4.3, Figure 10).
+
+#ifndef PCQE_STRATEGY_DNC_H_
+#define PCQE_STRATEGY_DNC_H_
+
+#include "common/result.h"
+#include "strategy/greedy.h"
+#include "strategy/heuristic.h"
+#include "strategy/partition.h"
+#include "strategy/problem.h"
+#include "strategy/solution.h"
+
+namespace pcqe {
+
+/// \brief Options for the divide-and-conquer solver.
+struct DncOptions {
+  /// Graph-partitioning parameters (γ and the group-size cap).
+  PartitionOptions partition;
+  /// Per-group greedy configuration.
+  GreedyOptions greedy;
+  /// τ: groups with fewer base tuples than this also get an exact
+  /// branch-and-bound pass, seeded with the group's greedy cost as the
+  /// initial upper bound. 0 disables the heuristic pass entirely.
+  size_t tau = 12;
+  /// Budgets for each per-group heuristic pass (Figure 10 notes each
+  /// sub-problem must stay "solvable in reasonable time").
+  size_t heuristic_max_nodes = 2'000'000;
+  double heuristic_max_seconds = 0.5;
+};
+
+/// \brief Partition → per-group solve → combine → refine.
+///
+/// 1. Results are partitioned by shared base tuples (`PartitionResults`).
+/// 2. Groups are processed in descending result count; each group is posed
+///    as a sub-problem over the group's still-unsatisfied results — capped
+///    at the remaining global requirement — and solved with the greedy
+///    algorithm (plus a bounded heuristic search when the group has fewer
+///    than τ base tuples).
+/// 3. Sub-solutions are combined: each shared base tuple takes the maximum
+///    confidence any group assigned it (sub-problems start from the running
+///    global state, so the maximum is simply the latest value).
+/// 4. A global `RefineDown` pass removes increments made redundant by the
+///    combination (paper: "a refinement process similar to the second phase
+///    of the greedy algorithm").
+Result<IncrementSolution> SolveDnc(const IncrementProblem& problem,
+                                   const DncOptions& options = {});
+
+}  // namespace pcqe
+
+#endif  // PCQE_STRATEGY_DNC_H_

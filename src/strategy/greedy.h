@@ -1,0 +1,84 @@
+// Copyright (c) PCQE contributors.
+// The two-phase greedy solver (paper §4.2, Figure 6).
+
+#ifndef PCQE_STRATEGY_GREEDY_H_
+#define PCQE_STRATEGY_GREEDY_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "strategy/problem.h"
+#include "strategy/solution.h"
+
+namespace pcqe {
+
+/// \brief How the numerator of `gain* = Σ ΔF / marginal cost` (paper eq. 2)
+/// counts result-confidence increases.
+enum class GainMode : uint8_t {
+  /// Σ ΔF over affected results that are still below β, with each ΔF capped
+  /// at the gap to β (overshoot buys nothing). The library default: strictly
+  /// better-informed than the literal rule and still O(affected results).
+  kCappedUnsatisfied = 0,
+  /// Σ ΔF over *all* affected results, uncapped — the paper's literal
+  /// equation (2).
+  kRawAll = 1,
+};
+
+/// \brief Options for the greedy solver.
+struct GreedyOptions {
+  /// Run the reducing second phase (Figure 11(b)/(e) compare both settings).
+  bool two_phase = true;
+  GainMode gain_mode = GainMode::kCappedUnsatisfied;
+  /// Safety cap on phase-1 iterations; 0 derives `num_base_tuples · max
+  /// steps per tuple` (the true upper bound on useful increments).
+  size_t max_iterations = 0;
+  /// Maintain gains in a lazily invalidated max-queue (this library's
+  /// improvement: only tuples sharing a result with the last increment are
+  /// recomputed). false recomputes every gain each iteration — the paper's
+  /// literal O(k·l1) procedure, used by the figure benches to reproduce its
+  /// reported scaling.
+  bool lazy_gain_queue = true;
+};
+
+/// \brief Phase 1: repeatedly apply the δ-increment with the highest gain*
+/// until every query meets its requirement. Phase 2: walk the incremented
+/// tuples in ascending final-gain order, stepping each back down while
+/// feasibility holds.
+///
+/// Never fails on feasibility grounds: if no positive-gain increment exists
+/// while a deficit remains, returns the best-effort state with
+/// `feasible = false`. Complexity O(k·(l1 + log k)) with lazy max-gain
+/// maintenance (k base tuples, l1 phase-1 iterations).
+Result<IncrementSolution> SolveGreedy(const IncrementProblem& problem,
+                                      const GreedyOptions& options = {});
+
+/// \brief Snapshot taken whenever greedy phase 1 satisfies additional
+/// results: the satisfaction count reached, the cumulative cost, and the
+/// sparse assignment (every base raised above its problem-initial value).
+/// The divide-and-conquer solver uses these as a per-group marginal-cost
+/// curve when deciding how many results to buy from each group.
+struct GreedyCheckpoint {
+  size_t satisfied = 0;
+  double cost = 0.0;
+  std::vector<std::pair<size_t, double>> raised;  ///< (base index, value)
+};
+
+/// \brief Greedy phase 1 on an arbitrary starting state: repeatedly applies
+/// the best-gain δ-increment until `state` is feasible, progress stalls, or
+/// `options.max_iterations` is hit (0 derives the steps-remaining bound).
+/// Returns the number of increments applied. Exposed for the
+/// divide-and-conquer solver's global top-up pass. When `checkpoints` is
+/// non-null, a `GreedyCheckpoint` is appended every time the
+/// satisfied-result count grows.
+size_t GreedyRaise(ConfidenceState* state, const GreedyOptions& options,
+                   std::vector<GreedyCheckpoint>* checkpoints = nullptr);
+
+/// \brief The phase-2 refinement on an arbitrary feasible state, exposed for
+/// the divide-and-conquer combiner: tuples raised above their initial
+/// confidence are stepped back down (ascending gain* first) while every
+/// query stays satisfied. `state` is modified in place.
+void RefineDown(ConfidenceState* state, GainMode gain_mode);
+
+}  // namespace pcqe
+
+#endif  // PCQE_STRATEGY_GREEDY_H_

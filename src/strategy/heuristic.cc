@@ -1,0 +1,236 @@
+#include "strategy/heuristic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+
+namespace pcqe {
+
+double CostBeta(const IncrementProblem& problem, size_t base_index) {
+  const BaseTupleSpec& b = problem.base(base_index);
+  std::vector<double> probs = problem.InitialProbs();
+  size_t steps = problem.NumSteps(base_index);
+  double f_max = 0.0;
+  for (size_t s = 1; s <= steps; ++s) {
+    double v = problem.ValueAtStep(base_index, s);
+    probs[base_index] = v;
+    for (uint32_t r : problem.results_of_base(base_index)) {
+      double f = problem.EvalResult(r, probs);
+      if (ClearsThreshold(f, problem.beta())) {
+        return b.cost->Increment(b.confidence, v);
+      }
+      f_max = std::max(f_max, f);
+    }
+  }
+  // Raising this tuple alone can never push a result over beta. The paper
+  // adjusts costβ to cost / (Fmax / β), i.e. cost · β / Fmax, inflating the
+  // ranking weight of tuples that get nowhere near the threshold.
+  double full_cost = b.cost->Increment(b.confidence, b.max_confidence);
+  if (f_max <= kEpsilon) {
+    // No progress at all (e.g. tuple already at its ceiling, or every
+    // result pinned at zero by another tuple): rank it last/first by an
+    // effectively infinite costβ.
+    return std::numeric_limits<double>::infinity();
+  }
+  return full_cost * problem.beta() / f_max;
+}
+
+namespace {
+
+class HeuristicSearch {
+ public:
+  HeuristicSearch(const IncrementProblem& problem, const HeuristicOptions& options)
+      : problem_(problem), options_(options), state_(problem), opt_state_(problem) {}
+
+  Result<IncrementSolution> Run() {
+    if (!problem_.is_monotone()) {
+      return Status::InvalidArgument(
+          "heuristic solver requires a monotone problem (no negation in lineage); "
+          "use the greedy solver as a best-effort fallback");
+    }
+
+    // H1 (or natural) variable ordering.
+    order_.resize(problem_.num_base_tuples());
+    for (size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+    if (options_.use_h1_ordering) {
+      std::vector<double> cost_beta(order_.size());
+      for (size_t i = 0; i < order_.size(); ++i) cost_beta[i] = CostBeta(problem_, i);
+      std::stable_sort(order_.begin(), order_.end(), [&](size_t a, size_t b) {
+        return cost_beta[a] > cost_beta[b];
+      });
+    }
+
+    // Cheapest single δ-step per tuple (a valid lower bound on any further
+    // spend), plus suffix minima in search order for H4.
+    min_step_cost_.assign(problem_.num_base_tuples(),
+                          std::numeric_limits<double>::infinity());
+    for (size_t i = 0; i < problem_.num_base_tuples(); ++i) {
+      size_t steps = problem_.NumSteps(i);
+      double prev_level = problem_.CostLevel(i, problem_.ValueAtStep(i, 0));
+      for (size_t s = 1; s <= steps; ++s) {
+        double level = problem_.CostLevel(i, problem_.ValueAtStep(i, s));
+        min_step_cost_[i] = std::min(min_step_cost_[i], level - prev_level);
+        prev_level = level;
+      }
+    }
+    suffix_min_step_.assign(order_.size() + 1, std::numeric_limits<double>::infinity());
+    for (size_t d = order_.size(); d-- > 0;) {
+      suffix_min_step_[d] = std::min(suffix_min_step_[d + 1], min_step_cost_[order_[d]]);
+    }
+
+    // Optimistic state: everything at its ceiling. Doubles as the global
+    // feasibility check.
+    for (size_t i = 0; i < problem_.num_base_tuples(); ++i) {
+      opt_state_.SetProb(i, problem_.base(i).max_confidence);
+    }
+
+    best_cost_ = options_.initial_upper_bound.value_or(
+        std::numeric_limits<double>::infinity());
+
+    IncrementSolution out;
+    if (state_.Feasible()) {
+      // Already satisfied with no spend.
+      out = MakeSolution(state_, "heuristic");
+      out.solve_seconds = timer_.ElapsedSeconds();
+      return out;
+    }
+    if (!opt_state_.Feasible()) {
+      // Infeasible even at every ceiling: report the do-nothing assignment.
+      out = MakeSolution(state_, "heuristic");
+      out.solve_seconds = timer_.ElapsedSeconds();
+      return out;
+    }
+
+    Dfs(0);
+
+    if (have_best_) {
+      // Rebuild the winning state to produce exact bookkeeping.
+      ConfidenceState final_state(problem_);
+      for (size_t i = 0; i < best_assignment_.size(); ++i) {
+        final_state.SetProb(i, best_assignment_[i]);
+      }
+      out = MakeSolution(final_state, "heuristic");
+    } else if (options_.initial_assignment.has_value() &&
+               std::isfinite(best_cost_)) {
+      // The externally supplied incumbent was never beaten; return it.
+      ConfidenceState final_state(problem_);
+      for (size_t i = 0; i < options_.initial_assignment->size(); ++i) {
+        final_state.SetProb(i, (*options_.initial_assignment)[i]);
+      }
+      out = MakeSolution(final_state, "heuristic");
+    } else {
+      out = MakeSolution(state_, "heuristic");  // infeasible best effort
+    }
+    out.nodes_explored = nodes_;
+    out.solve_seconds = timer_.ElapsedSeconds();
+    out.search_complete = !aborted_;
+    return out;
+  }
+
+ private:
+  bool BudgetExceeded() {
+    if (nodes_ > options_.max_nodes) return true;
+    // Amortize the clock read; a node is microseconds.
+    if (options_.max_seconds > 0.0 && (nodes_ & 0x3FF) == 0 &&
+        timer_.ElapsedSeconds() > options_.max_seconds) {
+      return true;
+    }
+    return false;
+  }
+
+  void Dfs(size_t depth) {  // NOLINT(misc-no-recursion)
+    if (depth >= order_.size() || aborted_) return;
+    size_t var = order_[depth];
+    double initial = state_.prob(var);
+    double ceiling = problem_.base(var).max_confidence;
+    size_t steps = problem_.NumSteps(var);
+
+    for (size_t s = 0; s <= steps; ++s) {
+      ++nodes_;
+      if (BudgetExceeded()) {
+        aborted_ = true;
+        break;
+      }
+      double value = problem_.ValueAtStep(var, s);
+      state_.SetProb(var, value);
+      if (options_.use_h3) opt_state_.SetProb(var, value);
+
+      // Incumbent bound: values only grow along the sibling axis, so the
+      // whole remaining value range is pruned together.
+      if (state_.total_cost() >= best_cost_ - kEpsilon) break;
+
+      if (state_.Feasible()) {
+        // Monotone problem: any further increment (deeper or higher
+        // sibling) only adds cost.
+        best_cost_ = state_.total_cost();
+        best_assignment_ = state_.probs();
+        have_best_ = true;
+        break;
+      }
+
+      bool recurse = depth + 1 < order_.size();
+
+      // H3: optimistic completion (remaining tuples at their ceilings)
+      // still infeasible -> nothing below this node can succeed. Higher
+      // values of the current tuple may still help, so continue siblings.
+      if (recurse && options_.use_h3 && !opt_state_.Feasible()) {
+        recurse = false;
+      }
+
+      // H4: the current spend plus the cheapest possible single δ-step on
+      // any *remaining* tuple already busts the incumbent, so no descendant
+      // can win. Siblings are not covered (their extra spend is on the
+      // current tuple, which is not in the suffix), so only recursion is
+      // pruned.
+      if (recurse && options_.use_h4 && std::isfinite(suffix_min_step_[depth + 1]) &&
+          state_.total_cost() + suffix_min_step_[depth + 1] >= best_cost_ - kEpsilon) {
+        recurse = false;
+      }
+
+      if (recurse) Dfs(depth + 1);
+
+      // H2: every result this tuple touches is already above beta; raising
+      // it further cannot help any unsatisfied result.
+      if (options_.use_h2) {
+        bool all_satisfied = true;
+        for (uint32_t r : problem_.results_of_base(var)) {
+          if (!ClearsThreshold(state_.result_confidence(r), problem_.beta())) {
+            all_satisfied = false;
+            break;
+          }
+        }
+        if (all_satisfied) break;
+      }
+    }
+
+    state_.SetProb(var, initial);
+    if (options_.use_h3) opt_state_.SetProb(var, ceiling);
+  }
+
+  const IncrementProblem& problem_;
+  const HeuristicOptions& options_;
+  ConfidenceState state_;
+  ConfidenceState opt_state_;
+  std::vector<size_t> order_;
+  std::vector<double> min_step_cost_;
+  std::vector<double> suffix_min_step_;
+  double best_cost_ = std::numeric_limits<double>::infinity();
+  std::vector<double> best_assignment_;
+  bool have_best_ = false;
+  bool aborted_ = false;
+  size_t nodes_ = 0;
+  Stopwatch timer_;
+};
+
+}  // namespace
+
+Result<IncrementSolution> SolveHeuristic(const IncrementProblem& problem,
+                                         const HeuristicOptions& options) {
+  HeuristicSearch search(problem, options);
+  return search.Run();
+}
+
+}  // namespace pcqe

@@ -1,0 +1,67 @@
+// Copyright (c) PCQE contributors.
+// Exact branch-and-bound solver with the paper's heuristics H1-H4 (§4.1).
+
+#ifndef PCQE_STRATEGY_HEURISTIC_H_
+#define PCQE_STRATEGY_HEURISTIC_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "strategy/problem.h"
+#include "strategy/solution.h"
+
+namespace pcqe {
+
+/// \brief Toggles and budgets for the branch-and-bound search.
+///
+/// With every heuristic disabled the search is the paper's "Naive" variant:
+/// depth-first enumeration pruned only by the incumbent cost. Figures 11(a)
+/// and 11(d) sweep these toggles.
+struct HeuristicOptions {
+  /// H1: order base tuples by descending costβ (the minimum cost at which
+  /// raising the tuple alone pushes one of its results over β; unreachable
+  /// tuples use the paper's `cost · β / Fmax` adjustment).
+  bool use_h1_ordering = true;
+  /// H2: when every result touching the current tuple already clears β,
+  /// prune the higher-value siblings (raising this tuple further only
+  /// benefits already-satisfied results).
+  bool use_h2 = true;
+  /// H3: when even raising all remaining tuples to their ceilings cannot
+  /// reach the required count, prune the subtree below the current node.
+  bool use_h3 = true;
+  /// H4: when the current cost plus the cheapest possible single δ-step on
+  /// any remaining tuple already meets the incumbent, prune.
+  bool use_h4 = true;
+
+  /// Optional externally supplied incumbent (e.g. the greedy solution, the
+  /// paper's Figure 11(d) setup): `bound` primes the cost bound, and
+  /// `assignment`, when set, is returned if the search finds nothing
+  /// cheaper.
+  std::optional<double> initial_upper_bound;
+  std::optional<std::vector<double>> initial_assignment;
+
+  /// Node budget; on exhaustion the best incumbent is returned with
+  /// `search_complete = false`.
+  size_t max_nodes = 500'000'000;
+  /// Wall-clock budget in seconds; 0 disables. Same early-return behavior.
+  double max_seconds = 0.0;
+};
+
+/// \brief Exact cost-minimal solver (complete search; worst case O(d^k)).
+///
+/// Requires a monotone problem (`IncrementProblem::is_monotone()`): the
+/// satisfied-stop rule and H2/H3 rely on result confidences being
+/// non-decreasing in base confidences. Returns `kInvalidArgument` otherwise.
+///
+/// When the problem is infeasible even with every tuple at its ceiling, the
+/// do-nothing assignment is returned with `feasible = false`.
+Result<IncrementSolution> SolveHeuristic(const IncrementProblem& problem,
+                                         const HeuristicOptions& options = {});
+
+/// Computes the H1 ordering's costβ for one base tuple (exposed for tests).
+double CostBeta(const IncrementProblem& problem, size_t base_index);
+
+}  // namespace pcqe
+
+#endif  // PCQE_STRATEGY_HEURISTIC_H_

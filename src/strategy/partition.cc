@@ -1,0 +1,134 @@
+#include "strategy/partition.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace pcqe {
+
+namespace {
+
+std::vector<uint32_t> SortedUnion(const std::vector<uint32_t>& a,
+                                  const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+size_t UnionSize(const std::vector<uint32_t>& a, const std::vector<uint32_t>& b) {
+  size_t i = 0, j = 0, n = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++i;
+      ++j;
+    }
+    ++n;
+  }
+  return n + (a.size() - i) + (b.size() - j);
+}
+
+}  // namespace
+
+std::vector<PartitionGroup> PartitionResults(const IncrementProblem& problem,
+                                             const PartitionOptions& options) {
+  const size_t n = problem.num_results();
+
+  // Singleton groups.
+  std::vector<std::vector<uint32_t>> members(n);
+  std::vector<std::vector<uint32_t>> bases(n);
+  std::vector<bool> alive(n, true);
+  std::vector<uint32_t> version(n, 0);
+  for (size_t r = 0; r < n; ++r) {
+    members[r] = {static_cast<uint32_t>(r)};
+    bases[r] = problem.bases_of_result(r);  // already sorted unique
+  }
+
+  // Pairwise shared-base counts, materialized only for co-occurring pairs.
+  std::vector<std::unordered_map<uint32_t, double>> adj(n);
+  for (size_t b = 0; b < problem.num_base_tuples(); ++b) {
+    const std::vector<uint32_t>& rs = problem.results_of_base(b);
+    for (size_t i = 0; i < rs.size(); ++i) {
+      for (size_t j = i + 1; j < rs.size(); ++j) {
+        adj[rs[i]][rs[j]] += 1.0;
+        adj[rs[j]][rs[i]] += 1.0;
+      }
+    }
+  }
+
+  struct Edge {
+    double weight;
+    uint32_t a, b;
+    uint32_t va, vb;
+    bool operator<(const Edge& other) const { return weight < other.weight; }
+  };
+  std::priority_queue<Edge> heap;
+  for (uint32_t a = 0; a < n; ++a) {
+    for (const auto& [b, w] : adj[a]) {
+      if (a < b) heap.push({w, a, b, 0, 0});
+    }
+  }
+
+  while (!heap.empty()) {
+    Edge e = heap.top();
+    heap.pop();
+    if (!alive[e.a] || !alive[e.b] || version[e.a] != e.va || version[e.b] != e.vb) {
+      continue;  // stale
+    }
+    if (e.weight < options.gamma) break;  // heaviest edge below γ: done
+
+    // Requirement 1: respect the per-group base-tuple cap.
+    if (options.max_group_base_tuples > 0 &&
+        UnionSize(bases[e.a], bases[e.b]) > options.max_group_base_tuples) {
+      // Discard this merge permanently (until either endpoint changes, at
+      // which point a fresh edge will have been pushed).
+      adj[e.a].erase(e.b);
+      adj[e.b].erase(e.a);
+      continue;
+    }
+
+    // Absorb the smaller group into the larger.
+    uint32_t a = e.a, b = e.b;
+    if (members[a].size() < members[b].size()) std::swap(a, b);
+    alive[b] = false;
+    ++version[a];
+    ++version[b];
+    members[a].insert(members[a].end(), members[b].begin(), members[b].end());
+    bases[a] = SortedUnion(bases[a], bases[b]);
+    members[b].clear();
+    bases[b].clear();
+
+    // Fold b's edges into a, summing weights on common neighbors.
+    adj[a].erase(b);
+    adj[b].erase(a);
+    for (const auto& [nbr, w] : adj[b]) {
+      adj[a][nbr] += w;
+      adj[nbr].erase(b);
+      adj[nbr][a] = adj[a][nbr];
+    }
+    adj[b].clear();
+    // All of a's edges carry a's new version.
+    for (const auto& [nbr, w] : adj[a]) {
+      heap.push({w, a, nbr, version[a], version[nbr]});
+    }
+  }
+
+  std::vector<PartitionGroup> groups;
+  for (size_t g = 0; g < n; ++g) {
+    if (!alive[g]) continue;
+    PartitionGroup group;
+    group.results = std::move(members[g]);
+    std::sort(group.results.begin(), group.results.end());
+    group.base_tuples = std::move(bases[g]);
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+}  // namespace pcqe

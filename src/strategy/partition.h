@@ -1,0 +1,50 @@
+// Copyright (c) PCQE contributors.
+// Result-graph partitioning for divide-and-conquer (paper §4.3, Figure 9/10).
+
+#ifndef PCQE_STRATEGY_PARTITION_H_
+#define PCQE_STRATEGY_PARTITION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "strategy/problem.h"
+
+namespace pcqe {
+
+/// \brief One partition group: a set of result tuples and the union of the
+/// base tuples their lineages mention.
+struct PartitionGroup {
+  std::vector<uint32_t> results;      ///< result indices, sorted
+  std::vector<uint32_t> base_tuples;  ///< base indices (union), sorted
+};
+
+/// \brief Options for the agglomerative partitioner.
+struct PartitionOptions {
+  /// Merge threshold γ: merging stops once the heaviest remaining edge
+  /// weight (shared base tuples between two groups, summed over members)
+  /// drops below γ.
+  double gamma = 2.0;
+  /// Paper requirement 1: never grow a group beyond this many base tuples
+  /// (keeps each sub-problem solvable in bounded time). 0 disables the cap.
+  size_t max_group_base_tuples = 0;
+};
+
+/// \brief Partitions the problem's result tuples.
+///
+/// Nodes are result tuples; the weight between two results is the number of
+/// base tuples their lineages share (the pseudocode's `|Gi ∪ Gj|` is read as
+/// `|Gi ∩ Gj|`, matching the paper's worked example). Starting from
+/// singleton groups, the two groups joined by the heaviest edge are merged
+/// repeatedly — edge weights to the merged group are the sums of the edges
+/// to its parts — until the heaviest weight falls below γ or every candidate
+/// merge would violate the base-tuple cap.
+///
+/// Edge weights are only materialized for result pairs that actually share
+/// a base tuple (via the problem's inverted index), so cost is
+/// O(Σ_b |results_of(b)|²) rather than O(n²) in the common sparse case.
+std::vector<PartitionGroup> PartitionResults(const IncrementProblem& problem,
+                                             const PartitionOptions& options = {});
+
+}  // namespace pcqe
+
+#endif  // PCQE_STRATEGY_PARTITION_H_

@@ -1,0 +1,289 @@
+#include "strategy/problem.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace pcqe {
+
+Result<IncrementProblem> IncrementProblem::Build(
+    std::shared_ptr<const LineageArena> arena,
+    const std::vector<LineageRef>& result_lineages, std::vector<uint32_t> result_query,
+    std::vector<size_t> required_per_query, std::vector<BaseTupleSpec> base_tuples,
+    ProblemOptions options) {
+  if (arena == nullptr) return Status::InvalidArgument("lineage arena must not be null");
+  if (options.delta <= 0.0 || options.delta > 1.0) {
+    return Status::InvalidArgument(StrFormat("delta %g outside (0, 1]", options.delta));
+  }
+  if (options.beta < 0.0 || options.beta > 1.0) {
+    return Status::InvalidArgument(StrFormat("beta %g outside [0, 1]", options.beta));
+  }
+  if (required_per_query.empty()) {
+    return Status::InvalidArgument("at least one query is required");
+  }
+  if (result_query.empty()) {
+    result_query.assign(result_lineages.size(), 0);
+  }
+  if (result_query.size() != result_lineages.size()) {
+    return Status::InvalidArgument(
+        StrFormat("result_query size %zu != results %zu", result_query.size(),
+                  result_lineages.size()));
+  }
+
+  IncrementProblem p;
+  p.arena_ = std::move(arena);
+  p.options_ = options;
+  p.result_query_ = std::move(result_query);
+  p.required_ = std::move(required_per_query);
+
+  // Validate queries and per-query capacity.
+  std::vector<size_t> results_per_query(p.required_.size(), 0);
+  for (uint32_t q : p.result_query_) {
+    if (q >= p.required_.size()) {
+      return Status::InvalidArgument(
+          StrFormat("result assigned to query %u but only %zu queries declared", q,
+                    p.required_.size()));
+    }
+    ++results_per_query[q];
+  }
+  for (size_t q = 0; q < p.required_.size(); ++q) {
+    if (p.required_[q] > results_per_query[q]) {
+      return Status::InvalidArgument(
+          StrFormat("query %zu requires %zu results but only has %zu", q, p.required_[q],
+                    results_per_query[q]));
+    }
+  }
+
+  // Register base tuples.
+  std::unordered_map<LineageVarId, uint32_t> index_of;
+  index_of.reserve(base_tuples.size());
+  for (size_t i = 0; i < base_tuples.size(); ++i) {
+    BaseTupleSpec& spec = base_tuples[i];
+    if (!spec.cost) spec.cost = DefaultCostFunction();
+    spec.confidence = ClampProbability(spec.confidence);
+    spec.max_confidence = ClampProbability(spec.max_confidence);
+    if (spec.max_confidence < spec.confidence) {
+      return Status::InvalidArgument(
+          StrFormat("base tuple %llu: max_confidence %g below confidence %g",
+                    static_cast<unsigned long long>(spec.id), spec.max_confidence,
+                    spec.confidence));
+    }
+    if (!index_of.emplace(spec.id, static_cast<uint32_t>(i)).second) {
+      return Status::InvalidArgument(StrFormat(
+          "duplicate base tuple id %llu", static_cast<unsigned long long>(spec.id)));
+    }
+  }
+  p.base_ = std::move(base_tuples);
+  p.results_of_base_.resize(p.base_.size());
+  p.bases_of_result_.resize(result_lineages.size());
+
+  // Compile lineages: one pass per result, memoizing arena nodes so shared
+  // subformulas compile once.
+  std::unordered_map<LineageRef, uint32_t> compiled;
+  // Recursive lambda via explicit stack-free recursion helper.
+  struct Compiler {
+    const LineageArena& arena;
+    const std::unordered_map<LineageVarId, uint32_t>& index_of;
+    std::unordered_map<LineageRef, uint32_t>& memo;
+    IncrementProblem& p;
+
+    Result<uint32_t> Compile(LineageRef ref) {  // NOLINT(misc-no-recursion)
+      auto it = memo.find(ref);
+      if (it != memo.end()) return it->second;
+      CNode node;
+      node.op = arena.op(ref);
+      switch (node.op) {
+        case LineageOp::kVar: {
+          auto idx = index_of.find(arena.var(ref));
+          if (idx == index_of.end()) {
+            return Status::InvalidArgument(
+                StrFormat("lineage mentions base tuple %llu not present in the problem",
+                          static_cast<unsigned long long>(arena.var(ref))));
+          }
+          node.var = idx->second;
+          break;
+        }
+        case LineageOp::kTrue:
+        case LineageOp::kFalse:
+          break;
+        case LineageOp::kNot:
+          p.monotone_ = false;
+          [[fallthrough]];
+        case LineageOp::kAnd:
+        case LineageOp::kOr: {
+          std::vector<uint32_t> kids;
+          kids.reserve(arena.children(ref).size());
+          for (LineageRef c : arena.children(ref)) {
+            PCQE_ASSIGN_OR_RETURN(uint32_t k, Compile(c));
+            kids.push_back(k);
+          }
+          node.child_begin = static_cast<uint32_t>(p.child_pool_.size());
+          node.child_count = static_cast<uint32_t>(kids.size());
+          p.child_pool_.insert(p.child_pool_.end(), kids.begin(), kids.end());
+          break;
+        }
+      }
+      uint32_t id = static_cast<uint32_t>(p.cnodes_.size());
+      p.cnodes_.push_back(node);
+      memo.emplace(ref, id);
+      return id;
+    }
+  } compiler{*p.arena_, index_of, compiled, p};
+
+  p.result_roots_.reserve(result_lineages.size());
+  p.result_lineage_ = result_lineages;
+  for (size_t r = 0; r < result_lineages.size(); ++r) {
+    PCQE_ASSIGN_OR_RETURN(uint32_t root, compiler.Compile(result_lineages[r]));
+    p.result_roots_.push_back(root);
+    // Inverted index from the arena's variable listing.
+    std::vector<LineageVarId> vars = p.arena_->Variables(result_lineages[r]);
+    std::vector<uint32_t>& bases = p.bases_of_result_[r];
+    bases.reserve(vars.size());
+    for (LineageVarId v : vars) bases.push_back(index_of.at(v));
+    std::sort(bases.begin(), bases.end());
+    bases.erase(std::unique(bases.begin(), bases.end()), bases.end());
+    for (uint32_t b : bases) p.results_of_base_[b].push_back(static_cast<uint32_t>(r));
+  }
+  return p;
+}
+
+Result<IncrementProblem> IncrementProblem::BuildSingle(
+    std::shared_ptr<const LineageArena> arena,
+    const std::vector<LineageRef>& result_lineages, std::vector<BaseTupleSpec> base_tuples,
+    size_t required, ProblemOptions options) {
+  return Build(std::move(arena), result_lineages, {}, {required}, std::move(base_tuples),
+               options);
+}
+
+double IncrementProblem::EvalNode(uint32_t node, const std::vector<double>& probs) const {
+  const CNode& n = cnodes_[node];
+  switch (n.op) {
+    case LineageOp::kFalse:
+      return 0.0;
+    case LineageOp::kTrue:
+      return 1.0;
+    case LineageOp::kVar:
+      return probs[n.var];
+    case LineageOp::kNot:
+      return 1.0 - EvalNode(child_pool_[n.child_begin], probs);
+    case LineageOp::kAnd: {
+      double p = 1.0;
+      for (uint32_t c = 0; c < n.child_count; ++c) {
+        p *= EvalNode(child_pool_[n.child_begin + c], probs);
+        if (p == 0.0) break;
+      }
+      return p;
+    }
+    case LineageOp::kOr: {
+      double q = 1.0;
+      for (uint32_t c = 0; c < n.child_count; ++c) {
+        q *= 1.0 - EvalNode(child_pool_[n.child_begin + c], probs);
+        if (q == 0.0) break;
+      }
+      return 1.0 - q;
+    }
+  }
+  return 0.0;
+}
+
+double IncrementProblem::EvalResult(size_t r, const std::vector<double>& probs) const {
+  return EvalNode(result_roots_[r], probs);
+}
+
+size_t IncrementProblem::NumSteps(size_t i) const {
+  const BaseTupleSpec& b = base_[i];
+  double range = b.max_confidence - b.confidence;
+  if (range <= kEpsilon) return 0;
+  size_t full = StepsBetween(b.confidence, b.max_confidence, options_.delta);
+  // A trailing fractional step lands exactly on the ceiling.
+  double reached = b.confidence + static_cast<double>(full) * options_.delta;
+  return reached + kEpsilon < b.max_confidence ? full + 1 : full;
+}
+
+double IncrementProblem::ValueAtStep(size_t i, size_t steps) const {
+  const BaseTupleSpec& b = base_[i];
+  double v = b.confidence + static_cast<double>(steps) * options_.delta;
+  return std::min(v, b.max_confidence);
+}
+
+std::vector<double> IncrementProblem::InitialProbs() const {
+  std::vector<double> probs;
+  probs.reserve(base_.size());
+  for (const BaseTupleSpec& b : base_) probs.push_back(b.confidence);
+  return probs;
+}
+
+Result<size_t> IncrementProblem::BaseIndexOf(LineageVarId id) const {
+  for (size_t i = 0; i < base_.size(); ++i) {
+    if (base_[i].id == id) return i;
+  }
+  return Status::NotFound(
+      StrFormat("base tuple %llu not in problem", static_cast<unsigned long long>(id)));
+}
+
+ConfidenceState::ConfidenceState(const IncrementProblem& problem)
+    : problem_(&problem),
+      probs_(problem.InitialProbs()),
+      result_conf_(problem.num_results(), 0.0),
+      satisfied_(problem.num_queries(), 0) {
+  for (size_t r = 0; r < problem.num_results(); ++r) {
+    result_conf_[r] = problem.EvalResult(r, probs_);
+    if (ClearsThreshold(result_conf_[r], problem.beta())) {
+      ++satisfied_[problem.query_of_result(r)];
+      ++total_satisfied_;
+    }
+  }
+}
+
+bool ConfidenceState::Feasible() const {
+  for (size_t q = 0; q < satisfied_.size(); ++q) {
+    if (satisfied_[q] < problem_->required(q)) return false;
+  }
+  return true;
+}
+
+size_t ConfidenceState::Deficit(size_t q) const {
+  size_t req = problem_->required(q);
+  return satisfied_[q] >= req ? 0 : req - satisfied_[q];
+}
+
+size_t ConfidenceState::TotalDeficit() const {
+  size_t total = 0;
+  for (size_t q = 0; q < satisfied_.size(); ++q) total += Deficit(q);
+  return total;
+}
+
+double ConfidenceState::ProbeResult(size_t r, size_t i, double value) {
+  double saved = probs_[i];
+  probs_[i] = value;
+  double f = problem_->EvalResult(r, probs_);
+  probs_[i] = saved;
+  return f;
+}
+
+void ConfidenceState::SetProb(size_t i, double p) {
+  double old = probs_[i];
+  if (ApproxEqual(old, p)) return;
+  total_cost_ += problem_->CostLevel(i, p) - problem_->CostLevel(i, old);
+  probs_[i] = p;
+  double beta = problem_->beta();
+  for (uint32_t r : problem_->results_of_base(i)) {
+    bool was = ClearsThreshold(result_conf_[r], beta);
+    result_conf_[r] = problem_->EvalResult(r, probs_);
+    bool now = ClearsThreshold(result_conf_[r], beta);
+    if (was != now) {
+      size_t q = problem_->query_of_result(r);
+      if (now) {
+        ++satisfied_[q];
+        ++total_satisfied_;
+      } else {
+        --satisfied_[q];
+        --total_satisfied_;
+      }
+    }
+  }
+}
+
+}  // namespace pcqe

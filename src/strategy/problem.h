@@ -1,0 +1,241 @@
+// Copyright (c) PCQE contributors.
+// The confidence-increment problem (paper §3.2) and shared solver state.
+//
+// Given intermediate query results λ1..λn (each a lineage formula over base
+// tuples), a confidence threshold β and a required count, choose new
+// confidence values p* >= p for the base tuples — on a δ-granularity grid —
+// so that enough results reach confidence above β, minimizing
+//     Σ  c_x(p*_x) − c_x(p_x).
+// The paper notes the general problem (nonlinear constraints) is NP-hard;
+// the solvers in this directory implement its three algorithms plus an
+// exact brute-force reference.
+//
+// The multi-query extension sketched at the end of §4 is supported natively:
+// every result belongs to a query, and feasibility means *every* query meets
+// its own required count. Single-query problems are the one-query special
+// case.
+
+#ifndef PCQE_STRATEGY_PROBLEM_H_
+#define PCQE_STRATEGY_PROBLEM_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/math_util.h"
+#include "common/result.h"
+#include "cost/cost_function.h"
+#include "lineage/lineage.h"
+
+namespace pcqe {
+
+/// Threshold test shared by policy enforcement and the solvers: a result
+/// clears β when its confidence is strictly higher (Definition 1), with
+/// epsilon slack against rounding.
+inline bool ClearsThreshold(double confidence, double beta) {
+  return confidence > beta + kEpsilon;
+}
+
+/// \brief One base tuple as seen by the optimizer.
+struct BaseTupleSpec {
+  /// Catalog-wide tuple id == lineage variable id.
+  LineageVarId id = 0;
+  /// Current confidence (the optimization's lower bound for this tuple).
+  double confidence = 0.0;
+  /// Ceiling achievable by quality improvement.
+  double max_confidence = 1.0;
+  /// Cost model; null falls back to `DefaultCostFunction()`.
+  CostFunctionPtr cost;
+};
+
+/// \brief Grid and threshold configuration (paper Table 4 defaults).
+struct ProblemOptions {
+  /// Confidence threshold β from the applicable confidence policy.
+  double beta = 0.6;
+  /// Confidence increment step δ.
+  double delta = 0.1;
+};
+
+/// \brief Immutable problem instance with compiled lineage.
+///
+/// Base tuples and results are referred to by dense local indices
+/// (0..k-1 / 0..n-1). Lineage formulas are compiled into a flat node pool
+/// whose variables are local base indices, so confidence evaluation is a
+/// cache-friendly walk with no hash lookups — the hot path of every solver.
+class IncrementProblem {
+ public:
+  /// \brief Builds a multi-query problem.
+  ///
+  /// \param arena owns the result lineages; held alive by the problem.
+  /// \param result_lineages lineage of each intermediate result (all below
+  ///        threshold — the caller pre-filters; but this is not enforced).
+  /// \param result_query query index of each result; empty means all 0.
+  /// \param required_per_query how many results each query must get above β;
+  ///        size defines the number of queries.
+  /// \param base_tuples every base tuple the lineages mention (extras are
+  ///        allowed and simply never help). Duplicate ids are rejected.
+  static Result<IncrementProblem> Build(std::shared_ptr<const LineageArena> arena,
+                                        const std::vector<LineageRef>& result_lineages,
+                                        std::vector<uint32_t> result_query,
+                                        std::vector<size_t> required_per_query,
+                                        std::vector<BaseTupleSpec> base_tuples,
+                                        ProblemOptions options);
+
+  /// Single-query convenience wrapper.
+  static Result<IncrementProblem> BuildSingle(std::shared_ptr<const LineageArena> arena,
+                                              const std::vector<LineageRef>& result_lineages,
+                                              std::vector<BaseTupleSpec> base_tuples,
+                                              size_t required, ProblemOptions options);
+
+  /// \name Dimensions.
+  /// @{
+  size_t num_results() const { return result_roots_.size(); }
+  size_t num_base_tuples() const { return base_.size(); }
+  size_t num_queries() const { return required_.size(); }
+  /// @}
+
+  double beta() const { return options_.beta; }
+  double delta() const { return options_.delta; }
+
+  /// Required above-threshold count for query `q`.
+  size_t required(size_t q) const { return required_[q]; }
+
+  /// Query index of result `r`.
+  uint32_t query_of_result(size_t r) const { return result_query_[r]; }
+
+  /// Base tuple metadata by local index.
+  const BaseTupleSpec& base(size_t i) const { return base_[i]; }
+
+  /// Cost level of holding confidence `p` on base tuple `i`.
+  double CostLevel(size_t i, double p) const { return base_[i].cost->Level(p); }
+
+  /// Results whose lineage mentions base `i` (sorted, unique).
+  const std::vector<uint32_t>& results_of_base(size_t i) const {
+    return results_of_base_[i];
+  }
+
+  /// Base tuples mentioned by result `r`'s lineage (sorted, unique).
+  const std::vector<uint32_t>& bases_of_result(size_t r) const {
+    return bases_of_result_[r];
+  }
+
+  /// Confidence of result `r` under per-base confidences `probs`
+  /// (independence semantics, matching the query engine).
+  double EvalResult(size_t r, const std::vector<double>& probs) const;
+
+  /// Number of δ steps available on base `i` from its initial confidence to
+  /// its ceiling (the last step may be fractional, landing exactly on the
+  /// ceiling).
+  size_t NumSteps(size_t i) const;
+
+  /// Grid value of base `i` after `steps` δ-steps, clamped to its ceiling.
+  double ValueAtStep(size_t i, size_t steps) const;
+
+  /// Initial confidences as a dense vector (the solvers' starting state).
+  std::vector<double> InitialProbs() const;
+
+  /// Local index of the base tuple with lineage-variable id `id`.
+  Result<size_t> BaseIndexOf(LineageVarId id) const;
+
+  /// True iff no lineage contains negation, making every result confidence
+  /// monotone non-decreasing in every base confidence. The branch-and-bound
+  /// heuristics (H2/H3 and the satisfied-stop rule) are only sound on
+  /// monotone problems; `HeuristicSolver` rejects non-monotone instances.
+  bool is_monotone() const { return monotone_; }
+
+  /// The arena owning every result lineage (shared with sub-problems built
+  /// by the divide-and-conquer solver).
+  const std::shared_ptr<const LineageArena>& arena() const { return arena_; }
+
+  /// Original lineage of result `r` in `arena()`.
+  LineageRef result_lineage(size_t r) const { return result_lineage_[r]; }
+
+ private:
+  IncrementProblem() = default;
+
+  /// Compiled lineage node (flat pool, children contiguous in child_pool_).
+  struct CNode {
+    LineageOp op;
+    uint32_t var = 0;  ///< local base index when op == kVar
+    uint32_t child_begin = 0;
+    uint32_t child_count = 0;
+  };
+
+  double EvalNode(uint32_t node, const std::vector<double>& probs) const;
+
+  std::shared_ptr<const LineageArena> arena_;
+  ProblemOptions options_;
+  std::vector<BaseTupleSpec> base_;
+  std::vector<uint32_t> result_query_;
+  std::vector<size_t> required_;
+  std::vector<CNode> cnodes_;
+  std::vector<uint32_t> child_pool_;
+  std::vector<uint32_t> result_roots_;  ///< per result: index into cnodes_
+  std::vector<LineageRef> result_lineage_;
+  std::vector<std::vector<uint32_t>> results_of_base_;
+  std::vector<std::vector<uint32_t>> bases_of_result_;
+  bool monotone_ = true;
+};
+
+/// \brief Mutable solver state: per-base confidences plus incrementally
+/// maintained result confidences, per-query satisfaction counts and total
+/// cost.
+///
+/// `SetProb` re-evaluates only the results touching the changed base tuple,
+/// which is what makes greedy iterations and DFS backtracking cheap.
+class ConfidenceState {
+ public:
+  /// Starts at the problem's initial confidences.
+  explicit ConfidenceState(const IncrementProblem& problem);
+
+  /// Current confidence of base `i`.
+  double prob(size_t i) const { return probs_[i]; }
+
+  /// All current confidences (usable with `IncrementProblem::EvalResult`).
+  const std::vector<double>& probs() const { return probs_; }
+
+  /// Current confidence of result `r`.
+  double result_confidence(size_t r) const { return result_conf_[r]; }
+
+  /// Results of query `q` currently above threshold.
+  size_t satisfied(size_t q) const { return satisfied_[q]; }
+
+  /// Results above threshold across all queries.
+  size_t total_satisfied() const { return total_satisfied_; }
+
+  /// True iff every query meets its required count.
+  bool Feasible() const;
+
+  /// Results of query `q` still needed: required - satisfied, floored at 0.
+  size_t Deficit(size_t q) const;
+
+  /// Total deficit across queries.
+  size_t TotalDeficit() const;
+
+  /// Σ cost of moving each base from its initial to its current confidence.
+  double total_cost() const { return total_cost_; }
+
+  /// Sets base `i` to confidence `p` (any direction), updating result
+  /// confidences, satisfaction counts and cost.
+  void SetProb(size_t i, double p);
+
+  /// Evaluates result `r` as if base `i` held `value`, without committing
+  /// the change (the probability slot is patched and restored; no result
+  /// bookkeeping is touched). The what-if probe behind greedy gains.
+  double ProbeResult(size_t r, size_t i, double value);
+
+  /// The problem this state tracks.
+  const IncrementProblem& problem() const { return *problem_; }
+
+ private:
+  const IncrementProblem* problem_;
+  std::vector<double> probs_;
+  std::vector<double> result_conf_;
+  std::vector<size_t> satisfied_;
+  size_t total_satisfied_ = 0;
+  double total_cost_ = 0.0;
+};
+
+}  // namespace pcqe
+
+#endif  // PCQE_STRATEGY_PROBLEM_H_

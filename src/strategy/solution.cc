@@ -1,0 +1,95 @@
+#include "strategy/solution.h"
+
+#include "common/string_util.h"
+
+namespace pcqe {
+
+std::vector<IncrementAction> IncrementSolution::Actions(
+    const IncrementProblem& problem) const {
+  std::vector<IncrementAction> actions;
+  for (size_t i = 0; i < new_confidence.size(); ++i) {
+    double from = problem.base(i).confidence;
+    double to = new_confidence[i];
+    if (to > from + kEpsilon) {
+      actions.push_back(
+          {problem.base(i).id, from, to, problem.base(i).cost->Increment(from, to)});
+    }
+  }
+  return actions;
+}
+
+std::string IncrementSolution::ToString(const IncrementProblem& problem) const {
+  std::string out =
+      StrFormat("%s: cost=%s, satisfied=%zu, feasible=%s (%.3fs, %zu nodes)\n",
+                algorithm.c_str(), FormatDouble(total_cost, 4).c_str(), satisfied_results,
+                feasible ? "yes" : "no", solve_seconds, nodes_explored);
+  for (const IncrementAction& a : Actions(problem)) {
+    out += StrFormat("  tuple %llu: %s -> %s (cost %s)\n",
+                     static_cast<unsigned long long>(a.base_tuple),
+                     FormatDouble(a.from, 4).c_str(), FormatDouble(a.to, 4).c_str(),
+                     FormatDouble(a.cost, 4).c_str());
+  }
+  return out;
+}
+
+Status ValidateSolution(const IncrementProblem& problem,
+                        const IncrementSolution& solution) {
+  if (solution.new_confidence.size() != problem.num_base_tuples()) {
+    return Status::Internal(
+        StrFormat("solution covers %zu base tuples, problem has %zu",
+                  solution.new_confidence.size(), problem.num_base_tuples()));
+  }
+  double cost = 0.0;
+  for (size_t i = 0; i < solution.new_confidence.size(); ++i) {
+    const BaseTupleSpec& b = problem.base(i);
+    double v = solution.new_confidence[i];
+    if (v < b.confidence - kEpsilon) {
+      return Status::Internal(
+          StrFormat("base %zu lowered below initial confidence (%g < %g)", i, v,
+                    b.confidence));
+    }
+    if (v > b.max_confidence + kEpsilon) {
+      return Status::Internal(StrFormat("base %zu raised above its ceiling (%g > %g)", i,
+                                        v, b.max_confidence));
+    }
+    cost += b.cost->Increment(b.confidence, v);
+  }
+  if (!ApproxEqual(cost, solution.total_cost, 1e-6)) {
+    return Status::Internal(StrFormat("reported cost %g != recomputed cost %g",
+                                      solution.total_cost, cost));
+  }
+  size_t satisfied = 0;
+  std::vector<size_t> per_query(problem.num_queries(), 0);
+  for (size_t r = 0; r < problem.num_results(); ++r) {
+    double f = problem.EvalResult(r, solution.new_confidence);
+    if (ClearsThreshold(f, problem.beta())) {
+      ++satisfied;
+      ++per_query[problem.query_of_result(r)];
+    }
+  }
+  if (satisfied != solution.satisfied_results) {
+    return Status::Internal(StrFormat("reported satisfied %zu != recomputed %zu",
+                                      solution.satisfied_results, satisfied));
+  }
+  bool feasible = true;
+  for (size_t q = 0; q < problem.num_queries(); ++q) {
+    if (per_query[q] < problem.required(q)) feasible = false;
+  }
+  if (feasible != solution.feasible) {
+    return Status::Internal(StrFormat("reported feasible=%d != recomputed %d",
+                                      solution.feasible ? 1 : 0, feasible ? 1 : 0));
+  }
+  return Status::OK();
+}
+
+IncrementSolution MakeSolution(const ConfidenceState& state, std::string algorithm) {
+  IncrementSolution s;
+  s.new_confidence = state.probs();
+  s.total_cost = state.total_cost();
+  s.feasible = state.Feasible();
+  s.satisfied_results = state.total_satisfied();
+  s.algorithm = std::move(algorithm);
+  return s;
+}
+
+}  // namespace pcqe

@@ -1,0 +1,71 @@
+// Copyright (c) PCQE contributors.
+// Solver output: a confidence assignment plus bookkeeping.
+
+#ifndef PCQE_STRATEGY_SOLUTION_H_
+#define PCQE_STRATEGY_SOLUTION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "strategy/problem.h"
+
+namespace pcqe {
+
+/// \brief One base-tuple confidence increment in a reported plan.
+struct IncrementAction {
+  LineageVarId base_tuple = 0;
+  double from = 0.0;
+  double to = 0.0;
+  double cost = 0.0;
+};
+
+/// \brief Result of running a strategy-finding algorithm.
+struct IncrementSolution {
+  /// New confidence per base tuple (dense, parallel to the problem's base
+  /// indices; >= initial confidence, on the δ grid).
+  std::vector<double> new_confidence;
+  /// Σ increment cost of `new_confidence` over the initial assignment.
+  double total_cost = 0.0;
+  /// True iff every query reaches its required above-threshold count under
+  /// `new_confidence`. Solvers return their best attempt either way.
+  bool feasible = false;
+  /// Results above threshold under `new_confidence` (all queries).
+  size_t satisfied_results = 0;
+
+  /// \name Diagnostics.
+  /// @{
+  std::string algorithm;       ///< "heuristic", "greedy", "dnc", "brute_force"
+  double solve_seconds = 0.0;  ///< wall-clock solve time
+  size_t nodes_explored = 0;   ///< search-tree nodes (B&B) or iterations (greedy)
+  /// False when a node/time budget stopped an exact search early, in which
+  /// case the solution is the best found so far and optimality is not
+  /// guaranteed.
+  bool search_complete = true;
+  /// @}
+
+  /// The non-trivial increments, for reporting to the user (paper: "the
+  /// increment cost and the data whose confidence needs to be improved will
+  /// be reported").
+  std::vector<IncrementAction> Actions(const IncrementProblem& problem) const;
+
+  /// Human-readable plan summary.
+  std::string ToString(const IncrementProblem& problem) const;
+};
+
+/// \brief Recomputes a solution's cost/satisfaction from scratch and checks
+/// its invariants against `problem`:
+/// - assignment size matches;
+/// - every confidence lies in [initial, max] for its tuple;
+/// - `total_cost` matches the recomputed cost;
+/// - `feasible`/`satisfied_results` match the recomputed satisfaction.
+/// Returns `kInternal` describing the first violation — used by tests and
+/// by the engine as a safety net before applying improvements.
+Status ValidateSolution(const IncrementProblem& problem, const IncrementSolution& solution);
+
+/// Builds the solution record for the state a solver ended in.
+IncrementSolution MakeSolution(const ConfidenceState& state, std::string algorithm);
+
+}  // namespace pcqe
+
+#endif  // PCQE_STRATEGY_SOLUTION_H_

@@ -1,0 +1,176 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "cost/cost_function.h"
+
+namespace pcqe {
+
+namespace {
+
+/// Draws one of the paper's three cost families with random coefficients.
+CostFunctionPtr RandomCostFunction(Rng* rng, double cost_scale) {
+  double a = rng->Uniform(1.0, std::max(1.0 + kEpsilon, cost_scale));
+  switch (rng->UniformInt(0, 2)) {
+    case 0:  // "binomial": polynomial of degree 2 or 3
+      return *MakePolynomialCost(a, static_cast<double>(rng->UniformInt(2, 3)));
+    case 1:
+      return *MakeExponentialCost(a, rng->Uniform(1.0, 3.0));
+    default:
+      return *MakeLogarithmicCost(a, rng->Uniform(5.0, 20.0));
+  }
+}
+
+/// Base-tuple population: ids 0..k-1, confidence "around 0.1", random cost.
+std::vector<BaseTupleSpec> GenerateBases(const WorkloadParams& params, Rng* rng) {
+  const size_t k = params.num_base_tuples;
+  std::vector<BaseTupleSpec> bases;
+  bases.reserve(k);
+  double lo = std::clamp(params.confidence_center - params.confidence_spread, 0.01, 0.99);
+  double hi = std::clamp(params.confidence_center + params.confidence_spread, 0.01, 0.99);
+  for (size_t i = 0; i < k; ++i) {
+    BaseTupleSpec spec;
+    spec.id = static_cast<LineageVarId>(i);
+    spec.confidence = rng->Uniform(lo, hi);
+    spec.max_confidence = 1.0;
+    spec.cost = RandomCostFunction(rng, params.cost_scale);
+    bases.push_back(std::move(spec));
+  }
+  return bases;
+}
+
+/// `n` result lineages (AND over OR-groups) over pools of the k-sized
+/// base-tuple index space.
+std::vector<LineageRef> GenerateResults(const WorkloadParams& params, size_t n,
+                                        LineageArena* arena, Rng* rng) {
+  const size_t k = params.num_base_tuples;
+  const size_t m = std::min(params.bases_per_result, k);
+
+  size_t pool_size = std::max<size_t>(
+      m, static_cast<size_t>(std::llround(static_cast<double>(m) * params.pool_factor)));
+  pool_size = std::min(pool_size, k);
+  size_t num_pools = std::max<size_t>(1, k / pool_size);
+
+  auto sample_bases = [&](size_t pool, size_t span_pools) {
+    size_t begin = (pool % num_pools) * pool_size;
+    size_t span = std::min(pool_size * span_pools, k - begin);
+    if (span < m) {  // tail pool too small: extend backwards
+      begin = k - std::min(k, std::max(span, m));
+      span = k - begin;
+    }
+    std::vector<size_t> offsets = rng->Sample(span, m);
+    std::vector<LineageVarId> ids;
+    ids.reserve(m);
+    for (size_t o : offsets) ids.push_back(static_cast<LineageVarId>(begin + o));
+    return ids;
+  };
+
+  const size_t group_size = std::max<size_t>(1, params.or_group_size);
+  std::vector<LineageRef> results;
+  results.reserve(n);
+  for (size_t r = 0; r < n; ++r) {
+    size_t pool =
+        static_cast<size_t>(rng->UniformInt(0, static_cast<int64_t>(num_pools) - 1));
+    bool bridge = rng->Bernoulli(params.bridge_fraction) && num_pools > 1;
+    std::vector<LineageVarId> vars = sample_bases(pool, bridge ? 2 : 1);
+    rng->Shuffle(&vars);
+
+    std::vector<LineageRef> groups;
+    for (size_t i = 0; i < vars.size(); i += group_size) {
+      std::vector<LineageRef> group;
+      for (size_t j = i; j < std::min(i + group_size, vars.size()); ++j) {
+        group.push_back(arena->Var(vars[j]));
+      }
+      groups.push_back(arena->Or(group));
+    }
+    results.push_back(arena->And(groups));
+  }
+  return results;
+}
+
+size_t DerivedResultCount(const WorkloadParams& params) {
+  if (params.num_results > 0) return params.num_results;
+  size_t m = std::min(params.bases_per_result, params.num_base_tuples);
+  return std::max<size_t>(1, 2 * params.num_base_tuples / std::max<size_t>(1, m));
+}
+
+size_t RequiredFor(double theta, size_t n) {
+  size_t required = static_cast<size_t>(std::ceil(theta * static_cast<double>(n)));
+  return std::min(required, n);
+}
+
+}  // namespace
+
+Result<IncrementProblem> Workload::ToProblem() const {
+  ProblemOptions options;
+  options.beta = beta;
+  options.delta = delta;
+  return IncrementProblem::BuildSingle(arena, results, base_tuples, required, options);
+}
+
+Workload GenerateWorkload(const WorkloadParams& params) {
+  PCQE_CHECK(params.num_base_tuples > 0);
+  PCQE_CHECK(params.bases_per_result > 0);
+  Rng rng(params.seed);
+
+  Workload w;
+  w.arena = std::make_shared<LineageArena>();
+  w.beta = params.beta;
+  w.delta = params.delta;
+  w.base_tuples = GenerateBases(params, &rng);
+  size_t n = DerivedResultCount(params);
+  w.results = GenerateResults(params, n, w.arena.get(), &rng);
+  w.required = RequiredFor(params.theta, n);
+  return w;
+}
+
+Result<IncrementProblem> MultiQueryWorkload::ToProblem() const {
+  ProblemOptions options;
+  options.beta = beta;
+  options.delta = delta;
+  return IncrementProblem::Build(arena, results, query_of, required, base_tuples,
+                                 options);
+}
+
+Result<IncrementProblem> MultiQueryWorkload::ToSingleProblem(size_t q) const {
+  if (q >= required.size()) {
+    return Status::InvalidArgument("query index out of range");
+  }
+  std::vector<LineageRef> own;
+  for (size_t r = 0; r < results.size(); ++r) {
+    if (query_of[r] == q) own.push_back(results[r]);
+  }
+  ProblemOptions options;
+  options.beta = beta;
+  options.delta = delta;
+  return IncrementProblem::BuildSingle(arena, own, base_tuples, required[q], options);
+}
+
+MultiQueryWorkload GenerateMultiQueryWorkload(const WorkloadParams& params,
+                                              size_t num_queries) {
+  PCQE_CHECK(params.num_base_tuples > 0);
+  PCQE_CHECK(params.bases_per_result > 0);
+  PCQE_CHECK(num_queries > 0);
+  Rng rng(params.seed);
+
+  MultiQueryWorkload w;
+  w.arena = std::make_shared<LineageArena>();
+  w.beta = params.beta;
+  w.delta = params.delta;
+  w.base_tuples = GenerateBases(params, &rng);
+  size_t per_query = DerivedResultCount(params);
+  for (size_t q = 0; q < num_queries; ++q) {
+    std::vector<LineageRef> results =
+        GenerateResults(params, per_query, w.arena.get(), &rng);
+    for (LineageRef r : results) {
+      w.results.push_back(r);
+      w.query_of.push_back(static_cast<uint32_t>(q));
+    }
+    w.required.push_back(RequiredFor(params.theta, per_query));
+  }
+  return w;
+}
+
+}  // namespace pcqe

@@ -1,0 +1,106 @@
+// Copyright (c) PCQE contributors.
+// Synthetic workload generation per the paper's experimental setup (§5.1).
+//
+// "We use synthetic datasets in order to cover all general scenarios. First,
+//  we generate a set of base tuples and assign a randomly generated
+//  confidence value around 0.1 and a cost function to each tuple. The types
+//  of cost functions include the binomial, exponential and logarithm
+//  functions. Then we associate a certain number of base tuples with each
+//  result tuple. [...] we use randomly generated DAGs to represent queries."
+
+#ifndef PCQE_WORKLOAD_GENERATOR_H_
+#define PCQE_WORKLOAD_GENERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "lineage/lineage.h"
+#include "strategy/problem.h"
+
+namespace pcqe {
+
+/// \brief Generation parameters; defaults mirror the paper's Table 4
+/// (data size 10K, 5 base tuples per result, δ = 0.1, θ = 50%, β = 0.6).
+struct WorkloadParams {
+  /// "Data size": number of distinct base tuples.
+  size_t num_base_tuples = 10'000;
+  /// Average base tuples per result tuple.
+  size_t bases_per_result = 5;
+  /// Result-tuple count; 0 derives `2 · num_base_tuples / bases_per_result`
+  /// so each base tuple feeds ~2 results (creating the sharing the D&C
+  /// partitioning exploits).
+  size_t num_results = 0;
+  /// Lineage shape: each result is an AND over OR-groups of at most this
+  /// many variables. 1 gives pure conjunctions; >= bases_per_result gives a
+  /// single flat disjunction.
+  size_t or_group_size = 3;
+  /// Base-tuple confidences are uniform in
+  /// [confidence_center - spread, confidence_center + spread], clamped to
+  /// [0.01, 0.99] ("around 0.1").
+  double confidence_center = 0.1;
+  double confidence_spread = 0.05;
+  /// Confidence threshold β and grid step δ.
+  double beta = 0.6;
+  double delta = 0.1;
+  /// Fraction θ of results the user must end up with above β.
+  double theta = 0.5;
+  /// Locality: base tuples are grouped into pools of
+  /// `bases_per_result · pool_factor`; a result samples within one pool
+  /// (or, with `bridge_fraction` probability, across two adjacent pools),
+  /// which yields the natural groups §4.3 partitions on.
+  double pool_factor = 3.0;
+  double bridge_fraction = 0.1;
+  /// Cost scale: every family draws its `a` coefficient from [1, cost_scale].
+  double cost_scale = 50.0;
+  /// RNG seed; equal seeds give byte-identical workloads.
+  uint64_t seed = 42;
+};
+
+/// \brief A generated instance: lineage + base tuples + requirement.
+struct Workload {
+  std::shared_ptr<LineageArena> arena;
+  std::vector<LineageRef> results;
+  std::vector<BaseTupleSpec> base_tuples;
+  /// ceil(theta · num_results).
+  size_t required = 0;
+  double beta = 0.6;
+  double delta = 0.1;
+
+  /// Packages the workload as a single-query `IncrementProblem`.
+  Result<IncrementProblem> ToProblem() const;
+};
+
+/// Generates a workload. Deterministic in `params.seed`.
+Workload GenerateWorkload(const WorkloadParams& params);
+
+/// \brief A multi-query instance (§4's extension): several queries whose
+/// result lineages draw from one shared base-tuple population.
+struct MultiQueryWorkload {
+  std::shared_ptr<LineageArena> arena;
+  std::vector<LineageRef> results;
+  std::vector<uint32_t> query_of;        ///< query index per result
+  std::vector<BaseTupleSpec> base_tuples;
+  std::vector<size_t> required;          ///< per query: ceil(theta · results)
+  double beta = 0.6;
+  double delta = 0.1;
+
+  /// Packages the workload as a multi-query `IncrementProblem`.
+  Result<IncrementProblem> ToProblem() const;
+
+  /// The single-query sub-problem of query `q` (same arena and base
+  /// tuples), for comparing a combined solve against per-query solves.
+  Result<IncrementProblem> ToSingleProblem(size_t q) const;
+};
+
+/// Generates `num_queries` queries over one shared base-tuple population;
+/// `params.num_results` (or its derived default) is the per-query result
+/// count. Sharing across queries comes from the same pool structure that
+/// creates sharing within a query.
+MultiQueryWorkload GenerateMultiQueryWorkload(const WorkloadParams& params,
+                                              size_t num_queries);
+
+}  // namespace pcqe
+
+#endif  // PCQE_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,250 @@
+// Unit tests for src/common: Status/Result, string, math and random utils.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/math_util.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+
+namespace pcqe {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::Infeasible("x").IsInfeasible());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::BindError("x").IsBindError());
+  EXPECT_TRUE(Status::PermissionDenied("x").IsPermissionDenied());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  Status s = Status::NotFound("table 'foo' not found");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "table 'foo' not found");
+  EXPECT_EQ(s.ToString(), "not_found: table 'foo' not found");
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status s = Status::InvalidArgument("bad delta").WithContext("building problem");
+  EXPECT_EQ(s.message(), "building problem: bad delta");
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_TRUE(Status::OK().WithContext("ctx").ok());
+}
+
+TEST(StatusTest, OkCodeIgnoresMessage) {
+  Status s(StatusCode::kOk, "ignored");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status {
+    PCQE_RETURN_NOT_OK(Status::NotFound("inner"));
+    return Status::Internal("unreachable");
+  };
+  EXPECT_TRUE(fails().IsNotFound());
+  auto succeeds = []() -> Status {
+    PCQE_RETURN_NOT_OK(Status::OK());
+    return Status::Internal("reached");
+  };
+  EXPECT_TRUE(succeeds().IsInternal());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(r.ValueOr(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+TEST(ResultTest, OkStatusNormalizedToInternal) {
+  Result<int> r{Status::OK()};
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v, "hello");
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::NotFound("x");
+    return 10;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    PCQE_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v + 1;
+  };
+  EXPECT_EQ(*outer(false), 11);
+  EXPECT_TRUE(outer(true).status().IsNotFound());
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.2345), "1.23");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringUtilTest, JoinStrings) {
+  EXPECT_EQ(JoinStrings({}, ", "), "");
+  EXPECT_EQ(JoinStrings({"a"}, ", "), "a");
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, " | "), "a | b | c");
+}
+
+TEST(StringUtilTest, CaseHelpers) {
+  EXPECT_EQ(ToLowerAscii("SeLeCt"), "select");
+  EXPECT_EQ(ToUpperAscii("SeLeCt"), "SELECT");
+  EXPECT_TRUE(EqualsIgnoreCaseAscii("Manager", "mANAGER"));
+  EXPECT_FALSE(EqualsIgnoreCaseAscii("Manager", "Managers"));
+  EXPECT_FALSE(EqualsIgnoreCaseAscii("abc", "abd"));
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(TrimAscii("  x  "), "x");
+  EXPECT_EQ(TrimAscii("x"), "x");
+  EXPECT_EQ(TrimAscii("   "), "");
+  EXPECT_EQ(TrimAscii(""), "");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("select *", "select"));
+  EXPECT_FALSE(StartsWith("sel", "select"));
+}
+
+TEST(StringUtilTest, FormatDoubleTrimsZeros) {
+  EXPECT_EQ(FormatDouble(0.058), "0.058");
+  EXPECT_EQ(FormatDouble(3.0), "3");
+  EXPECT_EQ(FormatDouble(0.1), "0.1");
+  EXPECT_EQ(FormatDouble(1234.5), "1234.5");
+  EXPECT_EQ(FormatDouble(0.0), "0");
+}
+
+TEST(MathUtilTest, ApproxComparisons) {
+  EXPECT_TRUE(ApproxEqual(0.1 + 0.2, 0.3));
+  EXPECT_FALSE(ApproxEqual(0.1, 0.2));
+  EXPECT_TRUE(ApproxGreaterEqual(0.3, 0.3));
+  EXPECT_TRUE(ApproxGreaterEqual(0.3 - 1e-12, 0.3));
+  EXPECT_FALSE(ApproxGreaterEqual(0.29, 0.3));
+}
+
+TEST(MathUtilTest, ClampProbability) {
+  EXPECT_EQ(ClampProbability(-0.5), 0.0);
+  EXPECT_EQ(ClampProbability(1.5), 1.0);
+  EXPECT_EQ(ClampProbability(0.4), 0.4);
+}
+
+TEST(MathUtilTest, ProbCombinators) {
+  EXPECT_DOUBLE_EQ(ProbAnd(0.3, 0.4), 0.12);
+  EXPECT_NEAR(ProbOr(0.3, 0.4), 0.58, 1e-12);
+  EXPECT_DOUBLE_EQ(ProbOr(1.0, 0.4), 1.0);
+  EXPECT_DOUBLE_EQ(ProbOr(0.0, 0.0), 0.0);
+}
+
+TEST(MathUtilTest, StepsBetween) {
+  EXPECT_EQ(StepsBetween(0.3, 1.0, 0.1), 7u);
+  EXPECT_EQ(StepsBetween(0.0, 1.0, 0.1), 10u);
+  EXPECT_EQ(StepsBetween(0.5, 0.5, 0.1), 0u);
+  EXPECT_EQ(StepsBetween(0.5, 0.4, 0.1), 0u);
+  EXPECT_EQ(StepsBetween(0.0, 1.0, 0.0), 0u);
+}
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1'000'000), b.UniformInt(0, 1'000'000));
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Uniform(0.2, 0.4);
+    EXPECT_GE(v, 0.2);
+    EXPECT_LT(v, 0.4);
+    int64_t n = rng.UniformInt(-3, 3);
+    EXPECT_GE(n, -3);
+    EXPECT_LE(n, 3);
+  }
+}
+
+TEST(RngTest, ClampedGaussianStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.ClampedGaussian(0.1, 0.5, 0.0, 0.2);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 0.2);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacement) {
+  Rng rng(11);
+  std::vector<size_t> s = rng.Sample(10, 4);
+  EXPECT_EQ(s.size(), 4u);
+  std::set<size_t> distinct(s.begin(), s.end());
+  EXPECT_EQ(distinct.size(), 4u);
+  for (size_t x : s) EXPECT_LT(x, 10u);
+  EXPECT_TRUE(rng.Sample(5, 0).empty());
+  EXPECT_EQ(rng.Sample(5, 5).size(), 5u);
+}
+
+TEST(RngTest, SampleCoversAllElements) {
+  // Over many draws of size 1 from 4 elements, every element must appear.
+  Rng rng(13);
+  std::set<size_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.Sample(4, 1)[0]);
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> v = {1, 2, 3, 4, 5};
+  rng.Shuffle(&v);
+  std::multiset<int> ms(v.begin(), v.end());
+  EXPECT_EQ(ms, (std::multiset<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch sw;
+  double t0 = sw.ElapsedSeconds();
+  EXPECT_GE(t0, 0.0);
+  double t1 = sw.ElapsedSeconds();
+  EXPECT_GE(t1, t0);
+  EXPECT_GE(sw.ElapsedMillis(), 0.0);
+  EXPECT_GE(sw.ElapsedMicros(), 0.0);
+  sw.Restart();
+  EXPECT_GE(sw.ElapsedSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace pcqe

@@ -1,0 +1,124 @@
+// Unit tests for the cost-function family.
+
+#include "cost/cost_function.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pcqe {
+namespace {
+
+TEST(CostTest, LinearLevels) {
+  CostFunctionPtr c = *MakeLinearCost(1000.0);
+  EXPECT_DOUBLE_EQ(c->Level(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(c->Level(0.5), 500.0);
+  // The running example: +0.1 on a tuple with a=1000 costs 100.
+  EXPECT_NEAR(c->Increment(0.3, 0.4), 100.0, 1e-9);
+  EXPECT_EQ(c->family(), CostFamily::kLinear);
+}
+
+TEST(CostTest, IncrementIsZeroForNonIncrease) {
+  CostFunctionPtr c = *MakeLinearCost(10.0);
+  EXPECT_DOUBLE_EQ(c->Increment(0.5, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(c->Increment(0.5, 0.3), 0.0);
+}
+
+TEST(CostTest, PolynomialLevels) {
+  CostFunctionPtr c = *MakePolynomialCost(2.0, 2.0);
+  EXPECT_DOUBLE_EQ(c->Level(0.5), 0.5);  // 2 * 0.25
+  EXPECT_DOUBLE_EQ(c->Level(1.0), 2.0);
+  EXPECT_EQ(c->family(), CostFamily::kPolynomial);
+}
+
+TEST(CostTest, ExponentialLevels) {
+  CostFunctionPtr c = *MakeExponentialCost(1.0, 2.0);
+  EXPECT_NEAR(c->Level(0.5), std::exp(1.0), 1e-12);
+  EXPECT_EQ(c->family(), CostFamily::kExponential);
+}
+
+TEST(CostTest, LogarithmicLevels) {
+  CostFunctionPtr c = *MakeLogarithmicCost(3.0, 10.0);
+  EXPECT_NEAR(c->Level(0.2), 3.0 * std::log1p(2.0), 1e-12);
+  EXPECT_EQ(c->family(), CostFamily::kLogarithmic);
+}
+
+TEST(CostTest, StepCountsActions) {
+  CostFunctionPtr c = *MakeStepCost(5.0, 0.1);
+  EXPECT_DOUBLE_EQ(c->Level(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(c->Level(0.1), 5.0);
+  EXPECT_DOUBLE_EQ(c->Level(0.15), 10.0);
+  EXPECT_DOUBLE_EQ(c->Level(1.0), 50.0);
+  EXPECT_EQ(c->family(), CostFamily::kStep);
+}
+
+TEST(CostTest, FactoriesValidateParameters) {
+  EXPECT_TRUE(MakeLinearCost(0.0).status().IsInvalidArgument());
+  EXPECT_TRUE(MakeLinearCost(-1.0).status().IsInvalidArgument());
+  EXPECT_TRUE(MakePolynomialCost(1.0, 0.5).status().IsInvalidArgument());
+  EXPECT_TRUE(MakePolynomialCost(-1.0, 2.0).status().IsInvalidArgument());
+  EXPECT_TRUE(MakeExponentialCost(1.0, 0.0).status().IsInvalidArgument());
+  EXPECT_TRUE(MakeLogarithmicCost(0.0, 1.0).status().IsInvalidArgument());
+  EXPECT_TRUE(MakeStepCost(1.0, 0.0).status().IsInvalidArgument());
+  EXPECT_TRUE(MakeStepCost(1.0, 1.5).status().IsInvalidArgument());
+}
+
+TEST(CostTest, DefaultIsUnitLinear) {
+  CostFunctionPtr c = DefaultCostFunction();
+  EXPECT_NEAR(c->Increment(0.2, 0.7), 0.5, 1e-12);
+  // Shared singleton.
+  EXPECT_EQ(c.get(), DefaultCostFunction().get());
+}
+
+TEST(CostTest, FamilyNames) {
+  EXPECT_EQ(CostFamilyToString(CostFamily::kLinear), "linear");
+  EXPECT_EQ(CostFamilyToString(CostFamily::kPolynomial), "polynomial");
+  EXPECT_EQ(CostFamilyToString(CostFamily::kExponential), "exponential");
+  EXPECT_EQ(CostFamilyToString(CostFamily::kLogarithmic), "logarithmic");
+  EXPECT_EQ(CostFamilyToString(CostFamily::kStep), "step");
+}
+
+TEST(CostTest, ToStringDescribesParameters) {
+  EXPECT_EQ((*MakeLinearCost(2.0))->ToString(), "linear(a=2)");
+  EXPECT_EQ((*MakeExponentialCost(2.0, 3.0))->ToString(), "exponential(a=2, b=3)");
+}
+
+// Property: every family is strictly increasing on [0, 1], so increments
+// are positive for any from < to on a grid sweep.
+class CostMonotoneTest : public ::testing::TestWithParam<CostFunctionPtr> {};
+
+TEST_P(CostMonotoneTest, StrictlyIncreasingOnGrid) {
+  const CostFunctionPtr& c = GetParam();
+  double prev = c->Level(0.0);
+  for (int i = 1; i <= 20; ++i) {
+    double p = i / 20.0;
+    double level = c->Level(p);
+    EXPECT_GT(level, prev) << c->ToString() << " at p=" << p;
+    prev = level;
+  }
+}
+
+TEST_P(CostMonotoneTest, IncrementIsLevelDifference) {
+  const CostFunctionPtr& c = GetParam();
+  EXPECT_NEAR(c->Increment(0.2, 0.8), c->Level(0.8) - c->Level(0.2), 1e-9);
+  EXPECT_NEAR(c->Increment(0.0, 1.0), c->Level(1.0) - c->Level(0.0), 1e-9);
+}
+
+TEST_P(CostMonotoneTest, IncrementsCompose) {
+  const CostFunctionPtr& c = GetParam();
+  double split = c->Increment(0.1, 0.4) + c->Increment(0.4, 0.9);
+  EXPECT_NEAR(split, c->Increment(0.1, 0.9), 1e-9) << c->ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, CostMonotoneTest,
+    ::testing::Values(*MakeLinearCost(3.0), *MakePolynomialCost(2.0, 2.0),
+                      *MakePolynomialCost(1.5, 3.0), *MakeExponentialCost(1.0, 2.5),
+                      *MakeLogarithmicCost(4.0, 12.0), *MakeStepCost(2.0, 0.05)),
+    [](const ::testing::TestParamInfo<CostFunctionPtr>& param_info) {
+      return CostFamilyToString(param_info.param->family()) +
+             std::to_string(param_info.index);
+    });
+
+}  // namespace
+}  // namespace pcqe

@@ -1,0 +1,161 @@
+// Tests for whole-database save/load and cost-function serialization.
+
+#include "relational/database_io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "cost/cost_function.h"
+
+namespace pcqe {
+namespace {
+
+std::string FreshDir(const char* name) {
+  std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+TEST(CostSerializationTest, RoundTripsEveryFamily) {
+  std::vector<CostFunctionPtr> functions = {
+      *MakeLinearCost(2.5),          *MakePolynomialCost(1.5, 3.0),
+      *MakeExponentialCost(2.0, 3.5), *MakeLogarithmicCost(4.0, 12.0),
+      *MakeStepCost(2.0, 0.05),
+  };
+  for (const CostFunctionPtr& f : functions) {
+    auto parsed = ParseCostFunction(f->ToString());
+    ASSERT_TRUE(parsed.ok()) << f->ToString() << ": " << parsed.status().ToString();
+    EXPECT_EQ((*parsed)->family(), f->family());
+    for (double p : {0.0, 0.1, 0.37, 0.9, 1.0}) {
+      EXPECT_NEAR((*parsed)->Level(p), f->Level(p), 1e-9) << f->ToString();
+    }
+  }
+}
+
+TEST(CostSerializationTest, RejectsMalformedInput) {
+  EXPECT_TRUE(ParseCostFunction("").status().IsParseError());
+  EXPECT_TRUE(ParseCostFunction("linear").status().IsParseError());
+  EXPECT_TRUE(ParseCostFunction("linear(a=2").status().IsParseError());
+  EXPECT_TRUE(ParseCostFunction("linear(b=2)").status().IsParseError());
+  EXPECT_TRUE(ParseCostFunction("linear(a=x)").status().IsParseError());
+  EXPECT_TRUE(ParseCostFunction("mystery(a=2)").status().IsParseError());
+  EXPECT_TRUE(ParseCostFunction("exponential(a=2)").status().IsParseError());
+  EXPECT_TRUE(ParseCostFunction("linear(a)").status().IsParseError());
+  // Parameters out of range surface the factory's validation.
+  EXPECT_TRUE(ParseCostFunction("linear(a=-1)").status().IsInvalidArgument());
+}
+
+TEST(DatabaseIoTest, RoundTripsTablesRowsAndAnnotations) {
+  Catalog catalog;
+  Table* t = *catalog.CreateTable(
+      "mixed", Schema({{"name", DataType::kString, ""},
+                       {"n", DataType::kInt64, ""},
+                       {"x", DataType::kDouble, ""},
+                       {"flag", DataType::kBool, ""}}));
+  ASSERT_TRUE(t->Insert({Value::String("quote\" and, comma"), Value::Int(-7),
+                         Value::Double(0.1234567890123456), Value::Bool(true)},
+                        0.37, *MakeExponentialCost(2.0, 3.0), 0.9)
+                  .ok());
+  ASSERT_TRUE(
+      t->Insert({Value::Null(), Value::Null(), Value::Null(), Value::Null()}, 0.5)
+          .ok());
+  ASSERT_TRUE(catalog.CreateTable("empty", Schema({{"a", DataType::kInt64, ""}})).ok());
+
+  std::string dir = FreshDir("dbio_roundtrip");
+  ASSERT_TRUE(SaveDatabase(catalog, dir).ok());
+
+  Catalog loaded;
+  ASSERT_TRUE(LoadDatabase(dir, &loaded).ok());
+  EXPECT_EQ(loaded.TableNames(), catalog.TableNames());
+
+  const Table* lt = *loaded.GetTable("mixed");
+  ASSERT_EQ(lt->num_tuples(), 2u);
+  EXPECT_EQ(lt->tuple(0).value(0), Value::String("quote\" and, comma"));
+  EXPECT_EQ(lt->tuple(0).value(1), Value::Int(-7));
+  EXPECT_DOUBLE_EQ(*lt->tuple(0).value(2).AsDouble(), 0.1234567890123456);
+  EXPECT_EQ(lt->tuple(0).value(3), Value::Bool(true));
+  EXPECT_DOUBLE_EQ(lt->tuple(0).confidence(), 0.37);
+  EXPECT_DOUBLE_EQ(lt->tuple(0).max_confidence(), 0.9);
+  EXPECT_EQ(lt->tuple(0).cost_function()->family(), CostFamily::kExponential);
+  EXPECT_NEAR(lt->tuple(0).cost_function()->Level(0.5),
+              t->tuple(0).cost_function()->Level(0.5), 1e-12);
+  EXPECT_TRUE(lt->tuple(1).value(0).is_null());
+
+  const Table* le = *loaded.GetTable("empty");
+  EXPECT_EQ(le->num_tuples(), 0u);
+  EXPECT_EQ(le->schema().column(0).type, DataType::kInt64);
+}
+
+TEST(DatabaseIoTest, SchemaTypesAreAuthoritative) {
+  // A column whose only value "123" would infer as BIGINT must stay VARCHAR.
+  Catalog catalog;
+  Table* t =
+      *catalog.CreateTable("codes", Schema({{"code", DataType::kString, ""}}));
+  ASSERT_TRUE(t->Insert({Value::String("123")}, 0.5).ok());
+  std::string dir = FreshDir("dbio_types");
+  ASSERT_TRUE(SaveDatabase(catalog, dir).ok());
+  Catalog loaded;
+  ASSERT_TRUE(LoadDatabase(dir, &loaded).ok());
+  EXPECT_EQ((*loaded.GetTable("codes"))->tuple(0).value(0), Value::String("123"));
+}
+
+TEST(DatabaseIoTest, MissingManifestIsNotFound) {
+  Catalog catalog;
+  EXPECT_TRUE(LoadDatabase(FreshDir("dbio_missing"), &catalog).IsNotFound());
+}
+
+TEST(DatabaseIoTest, CorruptRowsReported) {
+  std::string dir = FreshDir("dbio_corrupt");
+  {
+    std::ofstream(dir + "/manifest.pcqe") << "t\n";
+    std::ofstream(dir + "/t.schema") << "n\tBIGINT\n";
+    std::ofstream(dir + "/t.csv") << "n,__confidence,__max_confidence,__cost\n"
+                                  << "oops,0.5,1,linear(a=1)\n";
+  }
+  Catalog catalog;
+  Status s = LoadDatabase(dir, &catalog);
+  EXPECT_TRUE(s.IsParseError());
+  EXPECT_NE(s.message().find("BIGINT"), std::string::npos);
+}
+
+TEST(DatabaseIoTest, WrongArityReported) {
+  std::string dir = FreshDir("dbio_arity");
+  {
+    std::ofstream(dir + "/manifest.pcqe") << "t\n";
+    std::ofstream(dir + "/t.schema") << "n\tBIGINT\n";
+    std::ofstream(dir + "/t.csv") << "n,__confidence\n1,0.5\n";
+  }
+  Catalog catalog;
+  EXPECT_TRUE(LoadDatabase(dir, &catalog).IsParseError());
+}
+
+TEST(DatabaseIoTest, LoadIntoOccupiedCatalogDetectsCollision) {
+  Catalog catalog;
+  Table* t = *catalog.CreateTable("t", Schema({{"a", DataType::kInt64, ""}}));
+  ASSERT_TRUE(t->Insert({Value::Int(1)}, 0.5).ok());
+  std::string dir = FreshDir("dbio_collision");
+  ASSERT_TRUE(SaveDatabase(catalog, dir).ok());
+  EXPECT_TRUE(LoadDatabase(dir, &catalog).IsAlreadyExists());
+}
+
+TEST(DatabaseIoTest, QueriesWorkAfterReload) {
+  Catalog catalog;
+  Table* t = *catalog.CreateTable(
+      "p", Schema({{"company", DataType::kString, ""},
+                   {"funding", DataType::kDouble, ""}}));
+  ASSERT_TRUE(
+      t->Insert({Value::String("BlueSky"), Value::Double(5e5)}, 0.4).ok());
+  std::string dir = FreshDir("dbio_query");
+  ASSERT_TRUE(SaveDatabase(catalog, dir).ok());
+  Catalog loaded;
+  ASSERT_TRUE(LoadDatabase(dir, &loaded).ok());
+  // (Exercised through the query engine in engine_integration_test-style
+  // usage; here we just verify confidences flowed through.)
+  EXPECT_DOUBLE_EQ((*loaded.GetTable("p"))->tuple(0).confidence(), 0.4);
+}
+
+}  // namespace
+}  // namespace pcqe

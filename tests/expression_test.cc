@@ -1,0 +1,220 @@
+// Unit tests for scalar expressions: binding, evaluation, 3VL, LIKE.
+
+#include "query/expression.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "query/parser.h"
+
+namespace pcqe {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"name", DataType::kString, "t"},
+                 {"age", DataType::kInt64, "t"},
+                 {"score", DataType::kDouble, "t"},
+                 {"active", DataType::kBool, "t"}});
+}
+
+std::vector<Value> Row(const char* name, int64_t age, double score, bool active) {
+  return {Value::String(name), Value::Int(age), Value::Double(score),
+          Value::Bool(active)};
+}
+
+// Convenience: parse + bind + eval against one row.
+Result<Value> Eval(const std::string& text, const std::vector<Value>& row) {
+  auto parsed = ParseExpression(text);
+  if (!parsed.ok()) return parsed.status();
+  Status bound = (*parsed)->Bind(TestSchema());
+  if (!bound.ok()) return bound;
+  return (*parsed)->Eval(row);
+}
+
+TEST(ExpressionTest, LiteralsEvaluateToThemselves) {
+  std::vector<Value> row = Row("ann", 30, 1.5, true);
+  EXPECT_EQ(*Eval("42", row), Value::Int(42));
+  EXPECT_EQ(*Eval("4.5", row), Value::Double(4.5));
+  EXPECT_EQ(*Eval("'hi'", row), Value::String("hi"));
+  EXPECT_EQ(*Eval("TRUE", row), Value::Bool(true));
+  EXPECT_TRUE((*Eval("NULL", row)).is_null());
+}
+
+TEST(ExpressionTest, ColumnReferences) {
+  std::vector<Value> row = Row("ann", 30, 1.5, true);
+  EXPECT_EQ(*Eval("name", row), Value::String("ann"));
+  EXPECT_EQ(*Eval("t.age", row), Value::Int(30));
+  EXPECT_TRUE(Eval("ghost", row).status().IsBindError());
+}
+
+TEST(ExpressionTest, Comparisons) {
+  std::vector<Value> row = Row("ann", 30, 1.5, true);
+  EXPECT_EQ(*Eval("age = 30", row), Value::Bool(true));
+  EXPECT_EQ(*Eval("age <> 30", row), Value::Bool(false));
+  EXPECT_EQ(*Eval("age < 31", row), Value::Bool(true));
+  EXPECT_EQ(*Eval("age <= 30", row), Value::Bool(true));
+  EXPECT_EQ(*Eval("age > 30", row), Value::Bool(false));
+  EXPECT_EQ(*Eval("age >= 31", row), Value::Bool(false));
+  EXPECT_EQ(*Eval("name = 'ann'", row), Value::Bool(true));
+  // != lexes as <>.
+  EXPECT_EQ(*Eval("age != 29", row), Value::Bool(true));
+  // Numeric cross-type comparison.
+  EXPECT_EQ(*Eval("age = 30.0", row), Value::Bool(true));
+  EXPECT_EQ(*Eval("score > 1", row), Value::Bool(true));
+}
+
+TEST(ExpressionTest, IncomparableTypesAreBindErrors) {
+  std::vector<Value> row = Row("ann", 30, 1.5, true);
+  EXPECT_TRUE(Eval("age = 'x'", row).status().IsBindError());
+  EXPECT_TRUE(Eval("active < 3", row).status().IsBindError());
+}
+
+TEST(ExpressionTest, Arithmetic) {
+  std::vector<Value> row = Row("ann", 30, 1.5, true);
+  EXPECT_EQ(*Eval("age + 5", row), Value::Int(35));
+  EXPECT_EQ(*Eval("age - 40", row), Value::Int(-10));
+  EXPECT_EQ(*Eval("age * 2", row), Value::Int(60));
+  EXPECT_EQ(*Eval("age / 4", row), Value::Double(7.5));  // division is double
+  EXPECT_EQ(*Eval("score * 2", row), Value::Double(3.0));
+  EXPECT_EQ(*Eval("-age", row), Value::Int(-30));
+  EXPECT_EQ(*Eval("2 + 3 * 4", row), Value::Int(14));     // precedence
+  EXPECT_EQ(*Eval("(2 + 3) * 4", row), Value::Int(20));   // parens
+  EXPECT_TRUE(Eval("age / 0", row).status().IsInvalidArgument());
+  EXPECT_TRUE(Eval("name + 1", row).status().IsBindError());
+}
+
+TEST(ExpressionTest, KleeneLogic) {
+  std::vector<Value> row = Row("ann", 30, 1.5, true);
+  EXPECT_EQ(*Eval("TRUE AND FALSE", row), Value::Bool(false));
+  EXPECT_EQ(*Eval("TRUE OR FALSE", row), Value::Bool(true));
+  EXPECT_EQ(*Eval("NOT active", row), Value::Bool(false));
+  // NULL propagation: unknown AND true = unknown; unknown AND false = false.
+  EXPECT_TRUE((*Eval("NULL AND TRUE", row)).is_null());
+  EXPECT_EQ(*Eval("NULL AND FALSE", row), Value::Bool(false));
+  EXPECT_EQ(*Eval("NULL OR TRUE", row), Value::Bool(true));
+  EXPECT_TRUE((*Eval("NULL OR FALSE", row)).is_null());
+  EXPECT_TRUE((*Eval("NOT NULL", row)).is_null());
+}
+
+TEST(ExpressionTest, NullComparisonsAreNull) {
+  std::vector<Value> row = Row("ann", 30, 1.5, true);
+  EXPECT_TRUE((*Eval("age = NULL", row)).is_null());
+  EXPECT_TRUE((*Eval("NULL < 3", row)).is_null());
+  EXPECT_TRUE((*Eval("age + NULL", row)).is_null());
+}
+
+TEST(ExpressionTest, IsNullPredicates) {
+  std::vector<Value> row = Row("ann", 30, 1.5, true);
+  EXPECT_EQ(*Eval("name IS NULL", row), Value::Bool(false));
+  EXPECT_EQ(*Eval("name IS NOT NULL", row), Value::Bool(true));
+  EXPECT_EQ(*Eval("NULL IS NULL", row), Value::Bool(true));
+}
+
+TEST(ExpressionTest, LikeOperator) {
+  std::vector<Value> row = Row("annette", 30, 1.5, true);
+  EXPECT_EQ(*Eval("name LIKE 'ann%'", row), Value::Bool(true));
+  EXPECT_EQ(*Eval("name LIKE '%ette'", row), Value::Bool(true));
+  EXPECT_EQ(*Eval("name LIKE 'a_nette'", row), Value::Bool(true));
+  EXPECT_EQ(*Eval("name LIKE 'bob%'", row), Value::Bool(false));
+  EXPECT_EQ(*Eval("name NOT LIKE 'bob%'", row), Value::Bool(true));
+  EXPECT_TRUE(Eval("age LIKE 'x'", row).status().IsBindError());
+}
+
+TEST(LikeMatchTest, PatternEdgeCases) {
+  EXPECT_TRUE(LikeMatch("", ""));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_FALSE(LikeMatch("", "_"));
+  EXPECT_TRUE(LikeMatch("abc", "%"));
+  EXPECT_TRUE(LikeMatch("abc", "%%"));
+  EXPECT_TRUE(LikeMatch("abc", "a%c"));
+  EXPECT_FALSE(LikeMatch("abc", "a%d"));
+  EXPECT_TRUE(LikeMatch("aXbXc", "a%b%c"));
+  EXPECT_TRUE(LikeMatch("mississippi", "%ss%pp%"));
+  EXPECT_FALSE(LikeMatch("abc", "abcd"));
+  EXPECT_FALSE(LikeMatch("abcd", "abc"));
+}
+
+namespace like_reference {
+
+// Straightforward exponential recursion: the correctness oracle for the
+// iterative backtracking matcher.
+bool Match(const char* text, const char* pattern) {  // NOLINT(misc-no-recursion)
+  if (*pattern == '\0') return *text == '\0';
+  if (*pattern == '%') {
+    for (const char* t = text;; ++t) {
+      if (Match(t, pattern + 1)) return true;
+      if (*t == '\0') return false;
+    }
+  }
+  if (*text == '\0') return false;
+  if (*pattern == '_' || *pattern == *text) return Match(text + 1, pattern + 1);
+  return false;
+}
+
+}  // namespace like_reference
+
+class LikePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LikePropertyTest, MatchesRecursiveReference) {
+  Rng rng(GetParam());
+  const char kTextAlphabet[] = {'a', 'b', 'c'};
+  const char kPatternAlphabet[] = {'a', 'b', 'c', '%', '_'};
+  for (int round = 0; round < 500; ++round) {
+    std::string text, pattern;
+    int text_len = static_cast<int>(rng.UniformInt(0, 8));
+    int pattern_len = static_cast<int>(rng.UniformInt(0, 8));
+    for (int i = 0; i < text_len; ++i) {
+      text += kTextAlphabet[rng.UniformInt(0, 2)];
+    }
+    for (int i = 0; i < pattern_len; ++i) {
+      pattern += kPatternAlphabet[rng.UniformInt(0, 4)];
+    }
+    EXPECT_EQ(LikeMatch(text, pattern),
+              like_reference::Match(text.c_str(), pattern.c_str()))
+        << "text='" << text << "' pattern='" << pattern << "'";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LikePropertyTest, ::testing::Range<uint64_t>(1, 6));
+
+TEST(ExpressionTest, EvalRequiresBinding) {
+  auto e = Expr::ColumnRef("name");
+  EXPECT_TRUE(e->Eval({Value::String("x")}).status().IsInternal());
+}
+
+TEST(ExpressionTest, CloneIsDeepAndPreservesBinding) {
+  auto parsed = *ParseExpression("age + 1 > score");
+  ASSERT_TRUE(parsed->Bind(TestSchema()).ok());
+  auto clone = parsed->Clone();
+  std::vector<Value> row = Row("ann", 30, 1.5, true);
+  EXPECT_EQ(*clone->Eval(row), Value::Bool(true));
+  EXPECT_EQ(clone->ToString(), parsed->ToString());
+}
+
+TEST(ExpressionTest, RebindAgainstDifferentSchema) {
+  auto e = *ParseExpression("a > 1");
+  Schema s1({{"a", DataType::kInt64, ""}});
+  Schema s2({{"pad", DataType::kString, ""}, {"a", DataType::kInt64, ""}});
+  ASSERT_TRUE(e->Bind(s1).ok());
+  EXPECT_EQ(*e->Eval({Value::Int(5)}), Value::Bool(true));
+  ASSERT_TRUE(e->Bind(s2).ok());
+  EXPECT_EQ(*e->Eval({Value::String("x"), Value::Int(0)}), Value::Bool(false));
+}
+
+TEST(ExpressionTest, ToStringRoundTrips) {
+  auto e = *ParseExpression("NOT (a = 1 AND b LIKE 'x%')");
+  EXPECT_EQ(e->ToString(), "(NOT ((a = 1) AND (b LIKE 'x%')))");
+}
+
+TEST(ExpressionTest, BindErrorsForBadOperands) {
+  Schema s = TestSchema();
+  auto not_on_int = *ParseExpression("NOT age");
+  EXPECT_TRUE(not_on_int->Bind(s).IsBindError());
+  auto neg_on_string = *ParseExpression("-name");
+  EXPECT_TRUE(neg_on_string->Bind(s).IsBindError());
+  auto and_on_int = *ParseExpression("age AND active");
+  EXPECT_TRUE(and_on_int->Bind(s).IsBindError());
+}
+
+}  // namespace
+}  // namespace pcqe

@@ -1,0 +1,146 @@
+// Tests for the result-graph partitioner (paper §4.3, Figures 8 and 9).
+
+#include "strategy/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace pcqe {
+namespace {
+
+/// Builds a problem whose results mention exactly the given base-tuple id
+/// sets (as flat ANDs), with every base tuple at confidence 0.1.
+IncrementProblem ProblemFromSets(const std::vector<std::vector<LineageVarId>>& sets,
+                                 size_t required = 1) {
+  auto arena = std::make_shared<LineageArena>();
+  std::vector<LineageRef> results;
+  std::vector<LineageVarId> all;
+  for (const auto& set : sets) {
+    std::vector<LineageRef> vars;
+    for (LineageVarId id : set) {
+      vars.push_back(arena->Var(id));
+      all.push_back(id);
+    }
+    results.push_back(arena->And(vars));
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  std::vector<BaseTupleSpec> specs;
+  for (LineageVarId id : all) specs.push_back({id, 0.1, 1.0, nullptr});
+  return *IncrementProblem::BuildSingle(arena, results, specs, required, {});
+}
+
+// Extracts groups as sorted result-index sets for comparison.
+std::vector<std::vector<uint32_t>> GroupSets(const std::vector<PartitionGroup>& groups) {
+  std::vector<std::vector<uint32_t>> out;
+  for (const PartitionGroup& g : groups) out.push_back(g.results);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(PartitionTest, DisjointResultsStaySingletons) {
+  IncrementProblem p = ProblemFromSets({{1, 2}, {3, 4}, {5, 6}});
+  std::vector<PartitionGroup> groups = PartitionResults(p);
+  EXPECT_EQ(groups.size(), 3u);
+}
+
+TEST(PartitionTest, SharedBasesMergeBelowGamma) {
+  // Results 0 and 1 share two base tuples (weight 2 >= γ=2); result 2 is
+  // attached by a single shared tuple (weight 1 < γ).
+  IncrementProblem p = ProblemFromSets({{1, 2, 3}, {1, 2, 4}, {4, 5, 6}});
+  PartitionOptions options;
+  options.gamma = 2.0;
+  std::vector<PartitionGroup> groups = PartitionResults(p, options);
+  auto sets = GroupSets(groups);
+  ASSERT_EQ(sets.size(), 2u);
+  EXPECT_EQ(sets[0], (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(sets[1], (std::vector<uint32_t>{2}));
+}
+
+TEST(PartitionTest, GroupBaseTuplesAreTheUnion) {
+  IncrementProblem p = ProblemFromSets({{1, 2, 3}, {1, 2, 4}});
+  PartitionOptions options;
+  options.gamma = 2.0;
+  std::vector<PartitionGroup> groups = PartitionResults(p, options);
+  ASSERT_EQ(groups.size(), 1u);
+  // Local base indices 0..3 cover ids 1,2,3,4.
+  EXPECT_EQ(groups[0].base_tuples.size(), 4u);
+}
+
+TEST(PartitionTest, PaperFigure8Example) {
+  // Figure 8: seven result tuples with edge weights
+  //   λ1-λ2:4(w/ λ5:3) ... encoded via shared base-tuple counts:
+  //   w(1,2)=3? The paper's weights: λ1-λ2=4? We reproduce the *structure*:
+  //   edges λ1-λ5=4, λ1-λ2=3, λ2-λ3=1, λ3-λ4=2, λ4-λ6=5, λ6-λ7=4, λ4-λ7=?,
+  //   and γ=2 must yield {λ1,λ2,λ5} and {λ3,λ4,λ6,λ7} (Figure 9).
+  // Base-tuple sets realizing those shared counts (ids are arbitrary):
+  //   λ1∩λ5 = {10,11,12,13}   λ1∩λ2 = {20,21,22}
+  //   λ2∩λ3 = {30}            λ3∩λ4 = {40,41}
+  //   λ4∩λ6 = {50,51,52,53,54} λ6∩λ7 = {60,61,62,63}
+  IncrementProblem p = ProblemFromSets({
+      /*λ1*/ {10, 11, 12, 13, 20, 21, 22},
+      /*λ2*/ {20, 21, 22, 30},
+      /*λ3*/ {30, 40, 41},
+      /*λ4*/ {40, 41, 50, 51, 52, 53, 54},
+      /*λ5*/ {10, 11, 12, 13},
+      /*λ6*/ {50, 51, 52, 53, 54, 60, 61, 62, 63},
+      /*λ7*/ {60, 61, 62, 63},
+  });
+  PartitionOptions options;
+  options.gamma = 2.0;
+  auto sets = GroupSets(PartitionResults(p, options));
+  ASSERT_EQ(sets.size(), 2u);
+  // {λ1, λ2, λ5} = indices {0, 1, 4}; {λ3, λ4, λ6, λ7} = {2, 3, 5, 6}.
+  EXPECT_EQ(sets[0], (std::vector<uint32_t>{0, 1, 4}));
+  EXPECT_EQ(sets[1], (std::vector<uint32_t>{2, 3, 5, 6}));
+}
+
+TEST(PartitionTest, HighGammaPreventsAllMerges) {
+  IncrementProblem p = ProblemFromSets({{1, 2, 3}, {1, 2, 4}, {1, 2, 5}});
+  PartitionOptions options;
+  options.gamma = 100.0;
+  EXPECT_EQ(PartitionResults(p, options).size(), 3u);
+}
+
+TEST(PartitionTest, GammaOnePullsChainsTogether) {
+  IncrementProblem p = ProblemFromSets({{1, 2}, {2, 3}, {3, 4}});
+  PartitionOptions options;
+  options.gamma = 1.0;
+  EXPECT_EQ(PartitionResults(p, options).size(), 1u);
+}
+
+TEST(PartitionTest, BaseTupleCapBlocksOversizedGroups) {
+  // Merging all three would need 5 base tuples; cap at 4 stops the chain.
+  IncrementProblem p = ProblemFromSets({{1, 2, 3}, {1, 2, 4}, {1, 2, 5}});
+  PartitionOptions options;
+  options.gamma = 1.0;
+  options.max_group_base_tuples = 4;
+  std::vector<PartitionGroup> groups = PartitionResults(p, options);
+  EXPECT_EQ(groups.size(), 2u);
+  for (const PartitionGroup& g : groups) {
+    EXPECT_LE(g.base_tuples.size(), 4u);
+  }
+}
+
+TEST(PartitionTest, EveryResultAppearsExactlyOnce) {
+  IncrementProblem p = ProblemFromSets(
+      {{1, 2}, {2, 3}, {4, 5}, {5, 6}, {7}, {1, 7}, {3, 4}});
+  std::vector<PartitionGroup> groups = PartitionResults(p);
+  std::vector<uint32_t> seen;
+  for (const PartitionGroup& g : groups) {
+    for (uint32_t r : g.results) seen.push_back(r);
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, (std::vector<uint32_t>{0, 1, 2, 3, 4, 5, 6}));
+}
+
+TEST(PartitionTest, EmptyProblemYieldsNoGroups) {
+  auto arena = std::make_shared<LineageArena>();
+  IncrementProblem p = *IncrementProblem::BuildSingle(
+      arena, {}, {{1, 0.1, 1.0, nullptr}}, 0, {});
+  EXPECT_TRUE(PartitionResults(p).empty());
+}
+
+}  // namespace
+}  // namespace pcqe

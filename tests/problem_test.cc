@@ -1,0 +1,216 @@
+// Unit tests for IncrementProblem and ConfidenceState.
+
+#include "strategy/problem.h"
+
+#include <gtest/gtest.h>
+
+namespace pcqe {
+namespace {
+
+// The paper's running instance: one result (t2 | t3) & t13, β = 0.06.
+struct RunningExample {
+  std::shared_ptr<LineageArena> arena = std::make_shared<LineageArena>();
+  LineageRef result;
+  std::vector<BaseTupleSpec> specs;
+
+  RunningExample() {
+    result = arena->And(arena->Or(arena->Var(2), arena->Var(3)), arena->Var(13));
+    specs = {
+        {2, 0.3, 1.0, *MakeLinearCost(1000.0)},   // +0.1 costs 100
+        {3, 0.4, 1.0, *MakeLinearCost(100.0)},    // +0.1 costs 10
+        {13, 0.1, 1.0, *MakeLinearCost(10000.0)}, // +0.1 costs 1000
+    };
+  }
+
+  IncrementProblem Problem(double beta = 0.06, double delta = 0.1) const {
+    ProblemOptions options;
+    options.beta = beta;
+    options.delta = delta;
+    return *IncrementProblem::BuildSingle(arena, {result}, specs, 1, options);
+  }
+};
+
+TEST(ProblemBuildTest, ValidatesOptions) {
+  RunningExample ex;
+  ProblemOptions bad;
+  bad.delta = 0.0;
+  EXPECT_TRUE(IncrementProblem::BuildSingle(ex.arena, {ex.result}, ex.specs, 1, bad)
+                  .status()
+                  .IsInvalidArgument());
+  bad.delta = 0.1;
+  bad.beta = 1.5;
+  EXPECT_TRUE(IncrementProblem::BuildSingle(ex.arena, {ex.result}, ex.specs, 1, bad)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ProblemBuildTest, RejectsNullArena) {
+  RunningExample ex;
+  EXPECT_TRUE(IncrementProblem::BuildSingle(nullptr, {ex.result}, ex.specs, 1, {})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ProblemBuildTest, RejectsMissingBaseTuple) {
+  RunningExample ex;
+  std::vector<BaseTupleSpec> incomplete = {ex.specs[0], ex.specs[1]};  // no t13
+  EXPECT_TRUE(IncrementProblem::BuildSingle(ex.arena, {ex.result}, incomplete, 1, {})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ProblemBuildTest, RejectsDuplicateBaseIds) {
+  RunningExample ex;
+  std::vector<BaseTupleSpec> dup = ex.specs;
+  dup.push_back(ex.specs[0]);
+  EXPECT_TRUE(IncrementProblem::BuildSingle(ex.arena, {ex.result}, dup, 1, {})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ProblemBuildTest, RejectsOverRequirement) {
+  RunningExample ex;
+  EXPECT_TRUE(IncrementProblem::BuildSingle(ex.arena, {ex.result}, ex.specs, 2, {})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ProblemBuildTest, RejectsBadQueryAssignment) {
+  RunningExample ex;
+  auto r = IncrementProblem::Build(ex.arena, {ex.result}, {5}, {1}, ex.specs, {});
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(ProblemBuildTest, RejectsCeilingBelowConfidence) {
+  RunningExample ex;
+  std::vector<BaseTupleSpec> bad = ex.specs;
+  bad[0].max_confidence = 0.2;  // below initial 0.3
+  EXPECT_TRUE(IncrementProblem::BuildSingle(ex.arena, {ex.result}, bad, 1, {})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ProblemTest, DimensionsAndIndices) {
+  RunningExample ex;
+  IncrementProblem p = ex.Problem();
+  EXPECT_EQ(p.num_results(), 1u);
+  EXPECT_EQ(p.num_base_tuples(), 3u);
+  EXPECT_EQ(p.num_queries(), 1u);
+  EXPECT_EQ(p.required(0), 1u);
+  EXPECT_TRUE(p.is_monotone());
+  EXPECT_EQ(p.bases_of_result(0).size(), 3u);
+  EXPECT_EQ(p.results_of_base(0).size(), 1u);
+  EXPECT_EQ(*p.BaseIndexOf(13), 2u);
+  EXPECT_TRUE(p.BaseIndexOf(999).status().IsNotFound());
+}
+
+TEST(ProblemTest, EvalResultMatchesPaper) {
+  RunningExample ex;
+  IncrementProblem p = ex.Problem();
+  EXPECT_NEAR(p.EvalResult(0, p.InitialProbs()), 0.058, 1e-12);
+  std::vector<double> raised = p.InitialProbs();
+  raised[*p.BaseIndexOf(3)] = 0.5;
+  EXPECT_NEAR(p.EvalResult(0, raised), 0.065, 1e-12);
+}
+
+TEST(ProblemTest, GridSteps) {
+  RunningExample ex;
+  IncrementProblem p = ex.Problem();
+  size_t i2 = *p.BaseIndexOf(2);  // 0.3 -> 1.0 in 0.1 steps
+  EXPECT_EQ(p.NumSteps(i2), 7u);
+  EXPECT_NEAR(p.ValueAtStep(i2, 0), 0.3, 1e-12);
+  EXPECT_NEAR(p.ValueAtStep(i2, 7), 1.0, 1e-12);
+  EXPECT_NEAR(p.ValueAtStep(i2, 99), 1.0, 1e-12);  // clamped
+}
+
+TEST(ProblemTest, FractionalFinalStepLandsOnCeiling) {
+  auto arena = std::make_shared<LineageArena>();
+  LineageRef f = arena->Var(1);
+  std::vector<BaseTupleSpec> specs = {{1, 0.3, 0.55, nullptr}};
+  IncrementProblem p = *IncrementProblem::BuildSingle(arena, {f}, specs, 1, {});
+  // 0.3 -> 0.55 at δ=0.1: steps 0.4, 0.5, then fractional to 0.55.
+  EXPECT_EQ(p.NumSteps(0), 3u);
+  EXPECT_NEAR(p.ValueAtStep(0, 2), 0.5, 1e-12);
+  EXPECT_NEAR(p.ValueAtStep(0, 3), 0.55, 1e-12);
+}
+
+TEST(ProblemTest, MonotoneFlagDetectsNegation) {
+  auto arena = std::make_shared<LineageArena>();
+  LineageRef f = arena->And(arena->Var(1), arena->Not(arena->Var(2)));
+  std::vector<BaseTupleSpec> specs = {{1, 0.5, 1.0, nullptr}, {2, 0.5, 1.0, nullptr}};
+  IncrementProblem p = *IncrementProblem::BuildSingle(arena, {f}, specs, 1, {});
+  EXPECT_FALSE(p.is_monotone());
+}
+
+TEST(ProblemTest, ExtraBaseTuplesAreAllowed) {
+  RunningExample ex;
+  std::vector<BaseTupleSpec> extra = ex.specs;
+  extra.push_back({99, 0.5, 1.0, nullptr});
+  IncrementProblem p =
+      *IncrementProblem::BuildSingle(ex.arena, {ex.result}, extra, 1, {});
+  EXPECT_EQ(p.num_base_tuples(), 4u);
+  EXPECT_TRUE(p.results_of_base(*p.BaseIndexOf(99)).empty());
+}
+
+TEST(ConfidenceStateTest, InitialState) {
+  RunningExample ex;
+  IncrementProblem p = ex.Problem();
+  ConfidenceState s(p);
+  EXPECT_NEAR(s.result_confidence(0), 0.058, 1e-12);
+  EXPECT_EQ(s.satisfied(0), 0u);
+  EXPECT_EQ(s.total_satisfied(), 0u);
+  EXPECT_FALSE(s.Feasible());
+  EXPECT_EQ(s.Deficit(0), 1u);
+  EXPECT_EQ(s.TotalDeficit(), 1u);
+  EXPECT_DOUBLE_EQ(s.total_cost(), 0.0);
+}
+
+TEST(ConfidenceStateTest, SetProbUpdatesEverything) {
+  RunningExample ex;
+  IncrementProblem p = ex.Problem();
+  ConfidenceState s(p);
+  size_t i3 = *p.BaseIndexOf(3);
+  s.SetProb(i3, 0.5);
+  EXPECT_NEAR(s.result_confidence(0), 0.065, 1e-12);
+  EXPECT_TRUE(s.Feasible());
+  EXPECT_EQ(s.satisfied(0), 1u);
+  EXPECT_NEAR(s.total_cost(), 10.0, 1e-9);  // linear a=100, Δp=0.1
+  // Reverting restores cost and satisfaction.
+  s.SetProb(i3, 0.4);
+  EXPECT_FALSE(s.Feasible());
+  EXPECT_NEAR(s.total_cost(), 0.0, 1e-9);
+}
+
+TEST(ConfidenceStateTest, ProbeDoesNotCommit) {
+  RunningExample ex;
+  IncrementProblem p = ex.Problem();
+  ConfidenceState s(p);
+  size_t i3 = *p.BaseIndexOf(3);
+  double probed = s.ProbeResult(0, i3, 0.5);
+  EXPECT_NEAR(probed, 0.065, 1e-12);
+  EXPECT_NEAR(s.result_confidence(0), 0.058, 1e-12);
+  EXPECT_NEAR(s.prob(i3), 0.4, 1e-12);
+  EXPECT_DOUBLE_EQ(s.total_cost(), 0.0);
+}
+
+TEST(ConfidenceStateTest, MultiQuerySatisfactionTracking) {
+  auto arena = std::make_shared<LineageArena>();
+  LineageRef r0 = arena->Var(1);
+  LineageRef r1 = arena->Var(2);
+  std::vector<BaseTupleSpec> specs = {{1, 0.2, 1.0, nullptr}, {2, 0.2, 1.0, nullptr}};
+  ProblemOptions options;
+  options.beta = 0.5;
+  IncrementProblem p =
+      *IncrementProblem::Build(arena, {r0, r1}, {0, 1}, {1, 1}, specs, options);
+  ConfidenceState s(p);
+  EXPECT_EQ(s.TotalDeficit(), 2u);
+  s.SetProb(0, 0.6);
+  EXPECT_EQ(s.satisfied(0), 1u);
+  EXPECT_EQ(s.satisfied(1), 0u);
+  EXPECT_FALSE(s.Feasible());  // query 1 still short
+  s.SetProb(1, 0.6);
+  EXPECT_TRUE(s.Feasible());
+}
+
+}  // namespace
+}  // namespace pcqe

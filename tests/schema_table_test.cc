@@ -1,0 +1,168 @@
+// Unit tests for relational schema, tuple, table and catalog.
+
+#include <gtest/gtest.h>
+
+#include "relational/catalog.h"
+#include "relational/schema.h"
+#include "relational/table.h"
+
+namespace pcqe {
+namespace {
+
+Schema ProposalSchema() {
+  return Schema({{"company", DataType::kString, ""},
+                 {"proposal", DataType::kString, ""},
+                 {"funding", DataType::kDouble, ""}});
+}
+
+TEST(SchemaTest, IndexOfUnqualified) {
+  Schema s = ProposalSchema();
+  EXPECT_EQ(*s.IndexOf("company"), 0u);
+  EXPECT_EQ(*s.IndexOf("FUNDING"), 2u);  // case-insensitive
+  EXPECT_TRUE(s.IndexOf("missing").status().IsNotFound());
+}
+
+TEST(SchemaTest, QualifiedLookup) {
+  Schema s = ProposalSchema().WithQualifier("p");
+  EXPECT_EQ(*s.IndexOf("p.company"), 0u);
+  EXPECT_EQ(*s.IndexOf("P.Company"), 0u);
+  EXPECT_TRUE(s.IndexOf("q.company").status().IsNotFound());
+  EXPECT_EQ(s.column(0).QualifiedName(), "p.company");
+}
+
+TEST(SchemaTest, AmbiguousUnqualifiedReferenceIsBindError) {
+  Schema joined = ProposalSchema().WithQualifier("a").Concat(
+      ProposalSchema().WithQualifier("b"));
+  EXPECT_TRUE(joined.IndexOf("company").status().IsBindError());
+  EXPECT_EQ(*joined.IndexOf("a.company"), 0u);
+  EXPECT_EQ(*joined.IndexOf("b.company"), 3u);
+}
+
+TEST(SchemaTest, ConcatPreservesOrder) {
+  Schema s = ProposalSchema().Concat(Schema({{"income", DataType::kDouble, ""}}));
+  EXPECT_EQ(s.num_columns(), 4u);
+  EXPECT_EQ(s.column(3).name, "income");
+}
+
+TEST(SchemaTest, ToStringListsColumns) {
+  Schema s({{"a", DataType::kInt64, "t"}});
+  EXPECT_EQ(s.ToString(), "(t.a BIGINT)");
+}
+
+TEST(TupleTest, ClampsConfidenceToCeiling) {
+  Tuple t(1, {Value::Int(1)}, 0.9, nullptr, 0.8);
+  EXPECT_DOUBLE_EQ(t.confidence(), 0.8);
+  EXPECT_DOUBLE_EQ(t.max_confidence(), 0.8);
+  t.set_confidence(0.95);
+  EXPECT_DOUBLE_EQ(t.confidence(), 0.8);
+  t.set_confidence(0.5);
+  EXPECT_DOUBLE_EQ(t.confidence(), 0.5);
+}
+
+TEST(TupleTest, DefaultsToUnitLinearCost) {
+  Tuple t(1, {Value::Int(1)}, 0.3);
+  ASSERT_NE(t.cost_function(), nullptr);
+  EXPECT_NEAR(t.cost_function()->Increment(0.3, 0.5), 0.2, 1e-12);
+}
+
+TEST(TupleTest, ToStringIncludesConfidence) {
+  Tuple t(1, {Value::String("x"), Value::Int(2)}, 0.3);
+  EXPECT_EQ(t.ToString(), "(x, 2) @ p=0.3");
+}
+
+TEST(TableTest, InsertValidatesArity) {
+  Table t("proposal", ProposalSchema());
+  EXPECT_TRUE(t.Insert({Value::String("a")}, 0.5).status().IsInvalidArgument());
+}
+
+TEST(TableTest, InsertValidatesTypes) {
+  Table t("proposal", ProposalSchema());
+  auto bad = t.Insert({Value::Int(1), Value::String("p"), Value::Double(1.0)}, 0.5);
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+  // NULL accepted anywhere; BIGINT widens into DOUBLE columns.
+  auto ok = t.Insert({Value::Null(), Value::String("p"), Value::Int(100)}, 0.5);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(t.tuple(0).value(2).type(), DataType::kDouble);
+}
+
+TEST(TableTest, InsertValidatesConfidence) {
+  Table t("proposal", ProposalSchema());
+  std::vector<Value> row = {Value::String("a"), Value::String("p"), Value::Double(1.0)};
+  EXPECT_TRUE(t.Insert(row, -0.1).status().IsInvalidArgument());
+  EXPECT_TRUE(t.Insert(row, 1.1).status().IsInvalidArgument());
+  EXPECT_TRUE(t.Insert(row, 0.5, nullptr, 0.4).status().IsInvalidArgument());
+  EXPECT_TRUE(t.Insert(row, 0.5, nullptr, 0.9).ok());
+}
+
+TEST(TableTest, TupleIdsEncodeTableAndRow) {
+  Table t("x", Schema({{"a", DataType::kInt64, ""}}), /*table_id=*/7);
+  BaseTupleId id0 = *t.Insert({Value::Int(1)}, 0.1);
+  BaseTupleId id1 = *t.Insert({Value::Int(2)}, 0.2);
+  EXPECT_EQ(id0 >> 32, 7u);
+  EXPECT_EQ(id1, id0 + 1);
+  EXPECT_EQ((*t.FindTuple(id1))->value(0), Value::Int(2));
+  EXPECT_TRUE(t.FindTuple((8ULL << 32)).status().IsNotFound());
+  EXPECT_TRUE(t.FindTuple(id1 + 1).status().IsNotFound());
+}
+
+TEST(TableTest, SetConfidence) {
+  Table t("x", Schema({{"a", DataType::kInt64, ""}}), 1);
+  BaseTupleId id = *t.Insert({Value::Int(1)}, 0.3, nullptr, 0.9);
+  EXPECT_TRUE(t.SetConfidence(id, 0.7).ok());
+  EXPECT_DOUBLE_EQ((*t.FindTuple(id))->confidence(), 0.7);
+  EXPECT_TRUE(t.SetConfidence(id, 0.95).IsInvalidArgument());
+  EXPECT_TRUE(t.SetConfidence(id + 100, 0.5).IsNotFound());
+}
+
+TEST(CatalogTest, CreateAndGet) {
+  Catalog c;
+  ASSERT_TRUE(c.CreateTable("Proposal", ProposalSchema()).ok());
+  EXPECT_TRUE(c.GetTable("proposal").ok());  // case-insensitive
+  EXPECT_TRUE(c.GetTable("PROPOSAL").ok());
+  EXPECT_TRUE(c.CreateTable("proposal", ProposalSchema()).status().IsAlreadyExists());
+  EXPECT_TRUE(c.GetTable("other").status().IsNotFound());
+  EXPECT_TRUE(c.CreateTable("", ProposalSchema()).status().IsInvalidArgument());
+}
+
+TEST(CatalogTest, TupleIdsUniqueAcrossTables) {
+  Catalog c;
+  Table* a = *c.CreateTable("a", Schema({{"x", DataType::kInt64, ""}}));
+  Table* b = *c.CreateTable("b", Schema({{"x", DataType::kInt64, ""}}));
+  BaseTupleId ia = *a->Insert({Value::Int(1)}, 0.1);
+  BaseTupleId ib = *b->Insert({Value::Int(1)}, 0.2);
+  EXPECT_NE(ia, ib);
+  EXPECT_DOUBLE_EQ((*c.FindTuple(ia))->confidence(), 0.1);
+  EXPECT_DOUBLE_EQ((*c.FindTuple(ib))->confidence(), 0.2);
+}
+
+TEST(CatalogTest, SetConfidenceRoutesToOwningTable) {
+  Catalog c;
+  Table* a = *c.CreateTable("a", Schema({{"x", DataType::kInt64, ""}}));
+  BaseTupleId id = *a->Insert({Value::Int(1)}, 0.1);
+  EXPECT_TRUE(c.SetConfidence(id, 0.4).ok());
+  EXPECT_DOUBLE_EQ((*c.FindTuple(id))->confidence(), 0.4);
+  EXPECT_TRUE(c.SetConfidence((99ULL << 32), 0.4).IsNotFound());
+}
+
+TEST(CatalogTest, DropTableRetiresIdSpace) {
+  Catalog c;
+  Table* a = *c.CreateTable("a", Schema({{"x", DataType::kInt64, ""}}));
+  BaseTupleId stale = *a->Insert({Value::Int(1)}, 0.1);
+  ASSERT_TRUE(c.DropTable("a").ok());
+  EXPECT_TRUE(c.DropTable("a").IsNotFound());
+  // Re-created table gets a fresh id prefix; the stale id resolves nowhere.
+  Table* a2 = *c.CreateTable("a", Schema({{"x", DataType::kInt64, ""}}));
+  BaseTupleId fresh = *a2->Insert({Value::Int(2)}, 0.2);
+  EXPECT_NE(stale >> 32, fresh >> 32);
+  EXPECT_TRUE(c.FindTuple(stale).status().IsNotFound());
+}
+
+TEST(CatalogTest, TableNamesInCreationOrder) {
+  Catalog c;
+  ASSERT_TRUE(c.CreateTable("zeta", ProposalSchema()).ok());
+  ASSERT_TRUE(c.CreateTable("alpha", ProposalSchema()).ok());
+  EXPECT_EQ(c.TableNames(), (std::vector<std::string>{"zeta", "alpha"}));
+}
+
+}  // namespace
+}  // namespace pcqe

@@ -1,0 +1,90 @@
+// Unit tests for relational/value.h.
+
+#include "relational/value.h"
+
+#include <gtest/gtest.h>
+
+namespace pcqe {
+namespace {
+
+TEST(ValueTest, TypeTags) {
+  EXPECT_EQ(Value::Null().type(), DataType::kNull);
+  EXPECT_EQ(Value::Bool(true).type(), DataType::kBool);
+  EXPECT_EQ(Value::Int(3).type(), DataType::kInt64);
+  EXPECT_EQ(Value::Double(3.5).type(), DataType::kDouble);
+  EXPECT_EQ(Value::String("x").type(), DataType::kString);
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_FALSE(Value::Int(0).is_null());
+}
+
+TEST(ValueTest, CheckedAccessors) {
+  EXPECT_EQ(*Value::Bool(true).AsBool(), true);
+  EXPECT_EQ(*Value::Int(42).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(*Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(*Value::String("hi").AsString(), "hi");
+  // Int widens to double.
+  EXPECT_DOUBLE_EQ(*Value::Int(7).AsDouble(), 7.0);
+  // Mismatches are InvalidArgument.
+  EXPECT_TRUE(Value::Int(1).AsBool().status().IsInvalidArgument());
+  EXPECT_TRUE(Value::String("x").AsInt().status().IsInvalidArgument());
+  EXPECT_TRUE(Value::Bool(true).AsDouble().status().IsInvalidArgument());
+  EXPECT_TRUE(Value::Null().AsString().status().IsInvalidArgument());
+}
+
+TEST(ValueTest, CompareWithinTypes) {
+  EXPECT_EQ(Value::Int(1).Compare(Value::Int(2)), -1);
+  EXPECT_EQ(Value::Int(2).Compare(Value::Int(2)), 0);
+  EXPECT_EQ(Value::Int(3).Compare(Value::Int(2)), 1);
+  EXPECT_EQ(Value::String("a").Compare(Value::String("b")), -1);
+  EXPECT_EQ(Value::String("b").Compare(Value::String("b")), 0);
+  EXPECT_EQ(Value::Bool(false).Compare(Value::Bool(true)), -1);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, CompareNumericAcrossTypes) {
+  EXPECT_EQ(Value::Int(2).Compare(Value::Double(2.0)), 0);
+  EXPECT_EQ(Value::Int(2).Compare(Value::Double(2.5)), -1);
+  EXPECT_EQ(Value::Double(3.5).Compare(Value::Int(3)), 1);
+}
+
+TEST(ValueTest, CrossTypeOrderingIsTotal) {
+  // NULL < BOOL < numeric < STRING.
+  EXPECT_LT(Value::Null().Compare(Value::Bool(false)), 0);
+  EXPECT_LT(Value::Bool(true).Compare(Value::Int(0)), 0);
+  EXPECT_LT(Value::Int(999).Compare(Value::String("")), 0);
+}
+
+TEST(ValueTest, EqualsMatchesCompare) {
+  EXPECT_TRUE(Value::Int(2).Equals(Value::Double(2.0)));
+  EXPECT_TRUE(Value::Null().Equals(Value::Null()));  // grouping semantics
+  EXPECT_FALSE(Value::Int(2).Equals(Value::Int(3)));
+  EXPECT_TRUE(Value::String("abc") == Value::String("abc"));
+}
+
+TEST(ValueTest, HashConsistentWithEquals) {
+  EXPECT_EQ(Value::Int(3).Hash(), Value::Double(3.0).Hash());
+  EXPECT_EQ(Value::String("x").Hash(), Value::String("x").Hash());
+  EXPECT_EQ(Value::Null().Hash(), Value::Null().Hash());
+  // Not required by the contract but expected in practice:
+  EXPECT_NE(Value::Int(3).Hash(), Value::Int(4).Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::Int(-5).ToString(), "-5");
+  EXPECT_EQ(Value::Double(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value::String("hi").ToString(), "hi");
+}
+
+TEST(DataTypeTest, Names) {
+  EXPECT_EQ(DataTypeToString(DataType::kNull), "NULL");
+  EXPECT_EQ(DataTypeToString(DataType::kBool), "BOOLEAN");
+  EXPECT_EQ(DataTypeToString(DataType::kInt64), "BIGINT");
+  EXPECT_EQ(DataTypeToString(DataType::kDouble), "DOUBLE");
+  EXPECT_EQ(DataTypeToString(DataType::kString), "VARCHAR");
+}
+
+}  // namespace
+}  // namespace pcqe

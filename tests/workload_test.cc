@@ -1,0 +1,215 @@
+// Tests for the synthetic workload generator (§5.1 setup).
+
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pcqe {
+namespace {
+
+TEST(WorkloadTest, DeterministicForEqualSeeds) {
+  WorkloadParams params;
+  params.num_base_tuples = 100;
+  params.seed = 7;
+  Workload a = GenerateWorkload(params);
+  Workload b = GenerateWorkload(params);
+  ASSERT_EQ(a.base_tuples.size(), b.base_tuples.size());
+  for (size_t i = 0; i < a.base_tuples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.base_tuples[i].confidence, b.base_tuples[i].confidence);
+    EXPECT_EQ(a.base_tuples[i].cost->family(), b.base_tuples[i].cost->family());
+  }
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (size_t r = 0; r < a.results.size(); ++r) {
+    EXPECT_EQ(a.arena->ToString(a.results[r]), b.arena->ToString(b.results[r]));
+  }
+}
+
+TEST(WorkloadTest, DifferentSeedsDiffer) {
+  WorkloadParams params;
+  params.num_base_tuples = 100;
+  params.seed = 1;
+  Workload a = GenerateWorkload(params);
+  params.seed = 2;
+  Workload b = GenerateWorkload(params);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.base_tuples.size() && !any_diff; ++i) {
+    any_diff = a.base_tuples[i].confidence != b.base_tuples[i].confidence;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(WorkloadTest, RespectsTable4Defaults) {
+  WorkloadParams params;
+  Workload w = GenerateWorkload(params);
+  EXPECT_EQ(w.base_tuples.size(), 10'000u);
+  EXPECT_DOUBLE_EQ(w.beta, 0.6);
+  EXPECT_DOUBLE_EQ(w.delta, 0.1);
+  // θ = 50% of the derived result count.
+  EXPECT_EQ(w.required, (w.results.size() + 1) / 2);
+}
+
+TEST(WorkloadTest, ConfidencesAroundCenter) {
+  WorkloadParams params;
+  params.num_base_tuples = 500;
+  Workload w = GenerateWorkload(params);
+  for (const BaseTupleSpec& spec : w.base_tuples) {
+    EXPECT_GE(spec.confidence, 0.05 - 1e-12);
+    EXPECT_LE(spec.confidence, 0.15 + 1e-12);
+    EXPECT_DOUBLE_EQ(spec.max_confidence, 1.0);
+    ASSERT_NE(spec.cost, nullptr);
+  }
+}
+
+TEST(WorkloadTest, CostFamiliesMatchPaperMix) {
+  WorkloadParams params;
+  params.num_base_tuples = 600;
+  Workload w = GenerateWorkload(params);
+  std::set<CostFamily> seen;
+  for (const BaseTupleSpec& spec : w.base_tuples) seen.insert(spec.cost->family());
+  // binomial (polynomial), exponential and logarithm all appear.
+  EXPECT_TRUE(seen.count(CostFamily::kPolynomial));
+  EXPECT_TRUE(seen.count(CostFamily::kExponential));
+  EXPECT_TRUE(seen.count(CostFamily::kLogarithmic));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(WorkloadTest, ResultsUseRequestedBasesPerResult) {
+  WorkloadParams params;
+  params.num_base_tuples = 200;
+  params.bases_per_result = 5;
+  params.num_results = 40;
+  Workload w = GenerateWorkload(params);
+  ASSERT_EQ(w.results.size(), 40u);
+  for (LineageRef r : w.results) {
+    EXPECT_EQ(w.arena->Variables(r).size(), 5u);
+  }
+}
+
+TEST(WorkloadTest, ToProblemBuildsCleanly) {
+  WorkloadParams params;
+  params.num_base_tuples = 50;
+  params.num_results = 20;
+  Workload w = GenerateWorkload(params);
+  auto problem = w.ToProblem();
+  ASSERT_TRUE(problem.ok()) << problem.status().ToString();
+  EXPECT_EQ(problem->num_results(), 20u);
+  EXPECT_EQ(problem->num_base_tuples(), 50u);
+  EXPECT_EQ(problem->required(0), 10u);
+  EXPECT_TRUE(problem->is_monotone());
+}
+
+TEST(WorkloadTest, DerivedResultCountScalesWithData) {
+  WorkloadParams params;
+  params.num_base_tuples = 1000;
+  params.bases_per_result = 5;
+  params.num_results = 0;
+  Workload w = GenerateWorkload(params);
+  EXPECT_EQ(w.results.size(), 400u);  // 2k/m
+}
+
+TEST(WorkloadTest, OrGroupSizeShapesLineage) {
+  WorkloadParams params;
+  params.num_base_tuples = 100;
+  params.num_results = 10;
+  params.bases_per_result = 6;
+  params.or_group_size = 6;  // single flat OR
+  Workload w = GenerateWorkload(params);
+  for (LineageRef r : w.results) {
+    EXPECT_EQ(w.arena->op(r), LineageOp::kOr);
+  }
+  params.or_group_size = 1;  // pure AND
+  Workload w2 = GenerateWorkload(params);
+  for (LineageRef r : w2.results) {
+    EXPECT_EQ(w2.arena->op(r), LineageOp::kAnd);
+  }
+}
+
+TEST(WorkloadTest, PoolLocalityCreatesShuredBases) {
+  // With pools, base tuples should be shared between results, which is what
+  // the D&C partitioner exploits.
+  WorkloadParams params;
+  params.num_base_tuples = 100;
+  params.bases_per_result = 5;
+  params.num_results = 60;
+  Workload w = GenerateWorkload(params);
+  IncrementProblem p = *w.ToProblem();
+  size_t shared_bases = 0;
+  for (size_t b = 0; b < p.num_base_tuples(); ++b) {
+    if (p.results_of_base(b).size() > 1) ++shared_bases;
+  }
+  EXPECT_GT(shared_bases, 10u);
+}
+
+TEST(MultiQueryWorkloadTest, StructureAndDeterminism) {
+  WorkloadParams params;
+  params.num_base_tuples = 100;
+  params.num_results = 20;
+  params.seed = 5;
+  MultiQueryWorkload a = GenerateMultiQueryWorkload(params, 3);
+  EXPECT_EQ(a.results.size(), 60u);
+  EXPECT_EQ(a.required.size(), 3u);
+  for (size_t q = 0; q < 3; ++q) EXPECT_EQ(a.required[q], 10u);
+  EXPECT_EQ(a.query_of.size(), a.results.size());
+
+  MultiQueryWorkload b = GenerateMultiQueryWorkload(params, 3);
+  for (size_t r = 0; r < a.results.size(); ++r) {
+    EXPECT_EQ(a.arena->ToString(a.results[r]), b.arena->ToString(b.results[r]));
+  }
+}
+
+TEST(MultiQueryWorkloadTest, ProblemsBuildAndShareBases) {
+  WorkloadParams params;
+  params.num_base_tuples = 60;
+  params.num_results = 15;
+  params.seed = 6;
+  MultiQueryWorkload w = GenerateMultiQueryWorkload(params, 2);
+  IncrementProblem combined = *w.ToProblem();
+  EXPECT_EQ(combined.num_queries(), 2u);
+  EXPECT_EQ(combined.num_results(), 30u);
+
+  IncrementProblem q0 = *w.ToSingleProblem(0);
+  IncrementProblem q1 = *w.ToSingleProblem(1);
+  EXPECT_EQ(q0.num_queries(), 1u);
+  EXPECT_EQ(q0.num_results() + q1.num_results(), combined.num_results());
+  EXPECT_TRUE(w.ToSingleProblem(5).status().IsInvalidArgument());
+
+  // Queries drawn from the same pools share base tuples.
+  size_t shared = 0;
+  for (size_t b = 0; b < combined.num_base_tuples(); ++b) {
+    bool in0 = false, in1 = false;
+    for (uint32_t r : combined.results_of_base(b)) {
+      (combined.query_of_result(r) == 0 ? in0 : in1) = true;
+    }
+    if (in0 && in1) ++shared;
+  }
+  EXPECT_GT(shared, 0u);
+}
+
+TEST(MultiQueryWorkloadTest, SingleQueryDegenerateMatchesShape) {
+  WorkloadParams params;
+  params.num_base_tuples = 50;
+  params.num_results = 10;
+  params.seed = 7;
+  MultiQueryWorkload w = GenerateMultiQueryWorkload(params, 1);
+  IncrementProblem p = *w.ToProblem();
+  EXPECT_EQ(p.num_queries(), 1u);
+  EXPECT_EQ(p.num_results(), 10u);
+}
+
+TEST(WorkloadTest, TinyWorkloadsAreWellFormed) {
+  WorkloadParams params;
+  params.num_base_tuples = 3;
+  params.bases_per_result = 5;  // clamped to k
+  params.num_results = 2;
+  Workload w = GenerateWorkload(params);
+  ASSERT_EQ(w.results.size(), 2u);
+  for (LineageRef r : w.results) {
+    EXPECT_LE(w.arena->Variables(r).size(), 3u);
+  }
+  EXPECT_TRUE(w.ToProblem().ok());
+}
+
+}  // namespace
+}  // namespace pcqe

@@ -1,0 +1,19 @@
+// Interactive PCQE shell. See tools/shell.h for the command set.
+
+#include <iostream>
+#include <string>
+
+#include "tools/shell.h"
+
+int main() {
+  std::cout << "PCQE shell — .help for commands, .quit to exit\n";
+  pcqe::Shell shell(&std::cout);
+  std::string line;
+  while (true) {
+    std::cout << (shell.in_statement() ? "   ...> " : "pcqe> ") << std::flush;
+    if (!std::getline(std::cin, line)) break;
+    if (!shell.HandleLine(line)) break;
+  }
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,372 @@
+#include "tools/shell.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "lineage/sensitivity.h"
+#include "policy/policy_io.h"
+#include "query/parser.h"
+#include "query/planner.h"
+#include "relational/csv.h"
+#include "relational/database_io.h"
+
+namespace pcqe {
+
+namespace {
+
+std::vector<std::string> SplitWords(const std::string& line) {
+  std::vector<std::string> words;
+  std::istringstream in(line);
+  std::string word;
+  while (in >> word) words.push_back(word);
+  return words;
+}
+
+}  // namespace
+
+Shell::Shell(std::ostream* out) : out_(out) {
+  engine_ = std::make_unique<PcqeEngine>(&catalog_, RoleGraph(), PolicyStore());
+}
+
+bool Shell::HandleLine(const std::string& line) {
+  std::string trimmed(TrimAscii(line));
+  if (trimmed.empty()) return true;
+
+  if (pending_sql_.empty() && trimmed[0] == '.') {
+    if (trimmed == ".quit" || trimmed == ".exit") return false;
+    RunCommand(trimmed);
+    return true;
+  }
+
+  // Accumulate SQL until ';'.
+  if (!pending_sql_.empty()) pending_sql_ += ' ';
+  pending_sql_ += trimmed;
+  if (pending_sql_.back() == ';') {
+    std::string sql;
+    sql.swap(pending_sql_);
+    RunSql(sql);
+  }
+  return true;
+}
+
+void Shell::RunCommand(const std::string& line) {
+  std::vector<std::string> words = SplitWords(line);
+  const std::string& cmd = words[0];
+  std::vector<std::string> args(words.begin() + 1, words.end());
+  if (cmd == ".help") {
+    CmdHelp();
+  } else if (cmd == ".tables") {
+    CmdTables();
+  } else if (cmd == ".schema") {
+    CmdSchema(args);
+  } else if (cmd == ".load") {
+    CmdLoad(args);
+  } else if (cmd == ".save") {
+    CmdSave(args);
+  } else if (cmd == ".role") {
+    CmdRole(args);
+  } else if (cmd == ".user") {
+    CmdUser(args);
+  } else if (cmd == ".purpose") {
+    if (args.size() != 1) {
+      out() << "usage: .purpose <name>\n";
+    } else {
+      purpose_ = args[0];
+      out() << "purpose = " << purpose_ << "\n";
+    }
+  } else if (cmd == ".fraction") {
+    if (args.size() != 1) {
+      out() << "usage: .fraction <0..1>\n";
+    } else {
+      fraction_ = std::strtod(args[0].c_str(), nullptr);
+      out() << "required fraction = " << FormatDouble(fraction_) << "\n";
+    }
+  } else if (cmd == ".policy") {
+    CmdPolicy(args);
+  } else if (cmd == ".proposal") {
+    CmdProposal();
+  } else if (cmd == ".accept") {
+    CmdAccept();
+  } else if (cmd == ".why") {
+    CmdWhy(args);
+  } else if (cmd == ".savedb") {
+    if (args.size() != 1) {
+      out() << "usage: .savedb <directory>\n";
+    } else {
+      Status s = SaveDatabase(catalog_, args[0]);
+      out() << (s.ok() ? "database saved to " + args[0] : s.ToString()) << "\n";
+    }
+  } else if (cmd == ".opendb") {
+    if (args.size() != 1) {
+      out() << "usage: .opendb <directory>\n";
+    } else {
+      Status s = LoadDatabase(args[0], &catalog_);
+      out() << (s.ok() ? "database loaded from " + args[0] : s.ToString()) << "\n";
+    }
+  } else if (cmd == ".saveconfig") {
+    if (args.size() != 1) {
+      out() << "usage: .saveconfig <file>\n";
+    } else {
+      Status s = SaveAccessConfig(*engine_->roles(), *engine_->policies(), args[0]);
+      out() << (s.ok() ? "access config saved to " + args[0] : s.ToString()) << "\n";
+    }
+  } else if (cmd == ".loadconfig") {
+    if (args.size() != 1) {
+      out() << "usage: .loadconfig <file>\n";
+    } else {
+      Status s = LoadAccessConfig(args[0], engine_->roles(), engine_->policies());
+      out() << (s.ok() ? "access config loaded from " + args[0] : s.ToString()) << "\n";
+    }
+  } else if (cmd == ".explain") {
+    // Everything after ".explain" is the SQL (no ';' needed).
+    std::string sql(TrimAscii(line.substr(std::string(".explain").size())));
+    if (!sql.empty() && sql.back() == ';') sql.pop_back();
+    if (sql.empty()) {
+      out() << "usage: .explain <select statement>\n";
+      return;
+    }
+    auto stmt = ParseSelect(sql);
+    if (!stmt.ok()) {
+      out() << stmt.status().ToString() << "\n";
+      return;
+    }
+    auto plan = PlanQuery(catalog_, **stmt);
+    if (!plan.ok()) {
+      out() << plan.status().ToString() << "\n";
+      return;
+    }
+    out() << (*plan)->ToString() << "\n";
+  } else {
+    out() << "unknown command '" << cmd << "' (try .help)\n";
+  }
+}
+
+void Shell::CmdHelp() {
+  out() << "PCQE shell — SQL statements end with ';'. Commands:\n"
+           "  .tables                       list tables\n"
+           "  .schema <table>               show a table's columns\n"
+           "  .load <table> <file.csv> [confidence_column]\n"
+           "  .save <table> <file.csv>      export with a confidence column\n"
+           "  .role add <role>              declare a role\n"
+           "  .role grant <user> <role>     assign a role\n"
+           "  .user add <name>              declare a user\n"
+           "  .user use <name>              query as this user\n"
+           "  .purpose <name>               set the query purpose\n"
+           "  .fraction <0..1>              required released fraction\n"
+           "  .policy add <role> <purpose> <beta>\n"
+           "  .policy list\n"
+           "  .proposal                     show the last improvement proposal\n"
+           "  .accept                       apply it to the database\n"
+           "  .why <row>                    most influential base tuples of a row\n"
+           "  .savedb <dir> | .opendb <dir> persist / restore every table\n"
+           "  .saveconfig <file> | .loadconfig <file>  roles + policies\n"
+           "  .explain <select>             show the query plan\n"
+           "  .quit\n";
+}
+
+void Shell::CmdTables() {
+  for (const std::string& name : catalog_.TableNames()) {
+    const Table* t = *catalog_.GetTable(name);
+    out() << name << " (" << t->num_tuples() << " rows)\n";
+  }
+}
+
+void Shell::CmdSchema(const std::vector<std::string>& args) {
+  if (args.size() != 1) {
+    out() << "usage: .schema <table>\n";
+    return;
+  }
+  auto table = catalog_.GetTable(args[0]);
+  if (!table.ok()) {
+    out() << table.status().ToString() << "\n";
+    return;
+  }
+  out() << (*table)->schema().ToString() << "\n";
+}
+
+void Shell::CmdLoad(const std::vector<std::string>& args) {
+  if (args.size() < 2 || args.size() > 3) {
+    out() << "usage: .load <table> <file.csv> [confidence_column]\n";
+    return;
+  }
+  CsvOptions options;
+  if (args.size() == 3) options.confidence_column = args[2];
+  auto table = ImportCsvFile(&catalog_, args[0], args[1], options);
+  if (!table.ok()) {
+    out() << table.status().ToString() << "\n";
+    return;
+  }
+  out() << "loaded " << (*table)->num_tuples() << " rows into " << args[0] << "\n";
+}
+
+void Shell::CmdSave(const std::vector<std::string>& args) {
+  if (args.size() != 2) {
+    out() << "usage: .save <table> <file.csv>\n";
+    return;
+  }
+  auto table = catalog_.GetTable(args[0]);
+  if (!table.ok()) {
+    out() << table.status().ToString() << "\n";
+    return;
+  }
+  CsvOptions options;
+  options.confidence_column = "confidence";
+  Status s = ExportCsvFile(**table, args[1], options);
+  out() << (s.ok() ? "saved " + args[1] : s.ToString()) << "\n";
+}
+
+void Shell::CmdRole(const std::vector<std::string>& args) {
+  if (args.size() == 2 && args[0] == "add") {
+    Status s = engine_->roles()->AddRole(args[1]);
+    out() << (s.ok() ? "role " + args[1] + " added" : s.ToString()) << "\n";
+    return;
+  }
+  if (args.size() == 3 && args[0] == "grant") {
+    Status s = engine_->roles()->AssignRole(args[1], args[2]);
+    out() << (s.ok() ? args[2] + " granted to " + args[1] : s.ToString()) << "\n";
+    return;
+  }
+  out() << "usage: .role add <role> | .role grant <user> <role>\n";
+}
+
+void Shell::CmdUser(const std::vector<std::string>& args) {
+  if (args.size() == 2 && args[0] == "add") {
+    Status s = engine_->roles()->AddUser(args[1]);
+    out() << (s.ok() ? "user " + args[1] + " added" : s.ToString()) << "\n";
+    return;
+  }
+  if (args.size() == 2 && args[0] == "use") {
+    if (!engine_->roles()->HasUser(args[1])) {
+      out() << "unknown user '" << args[1] << "' (use .user add first)\n";
+      return;
+    }
+    user_ = args[1];
+    out() << "querying as " << user_ << "\n";
+    return;
+  }
+  out() << "usage: .user add <name> | .user use <name>\n";
+}
+
+void Shell::CmdPolicy(const std::vector<std::string>& args) {
+  if (args.size() == 1 && args[0] == "list") {
+    for (const ConfidencePolicy& p : engine_->policies()->policies()) {
+      out() << p.ToString() << "\n";
+    }
+    return;
+  }
+  if (args.size() == 4 && args[0] == "add") {
+    ConfidencePolicy policy{args[1], args[2], std::strtod(args[3].c_str(), nullptr)};
+    Status s = engine_->policies()->AddPolicy(*engine_->roles(), policy);
+    out() << (s.ok() ? "policy " + policy.ToString() + " added" : s.ToString()) << "\n";
+    return;
+  }
+  out() << "usage: .policy add <role> <purpose> <beta> | .policy list\n";
+}
+
+void Shell::CmdWhy(const std::vector<std::string>& args) {
+  if (!last_result_.has_value()) {
+    out() << "no query result yet (run a SELECT first)\n";
+    return;
+  }
+  if (args.size() != 1) {
+    out() << "usage: .why <row number, 1-based>\n";
+    return;
+  }
+  size_t row = static_cast<size_t>(std::strtoull(args[0].c_str(), nullptr, 10));
+  if (row == 0 || row > last_result_->rows.size()) {
+    out() << "row " << args[0] << " out of range (result has "
+          << last_result_->rows.size() << " rows)\n";
+    return;
+  }
+  const QueryResult::Row& result_row = last_result_->rows[row - 1];
+  auto probs = SnapshotConfidences(catalog_, *last_result_);
+  if (!probs.ok()) {
+    out() << probs.status().ToString() << "\n";
+    return;
+  }
+  out() << "row " << row << " confidence " << FormatDouble(result_row.confidence, 6)
+        << "; most influential base tuples:\n";
+  for (const InfluenceEntry& e :
+       RankInfluence(*last_result_->arena, result_row.lineage, *probs, 5)) {
+    std::string label = "tuple " + std::to_string(e.var);
+    if (auto tuple = catalog_.FindTuple(e.var); tuple.ok()) {
+      label = (*tuple)->ToString();
+    }
+    out() << "  " << label << ": sensitivity " << FormatDouble(e.sensitivity, 4)
+          << ", headroom " << FormatDouble(e.headroom, 4) << ", potential "
+          << FormatDouble(e.potential(), 4) << "\n";
+  }
+}
+
+void Shell::CmdProposal() {
+  if (!has_proposal_) {
+    out() << "no pending proposal\n";
+    return;
+  }
+  out() << "algorithm " << last_proposal_.algorithm << ", total cost "
+        << FormatDouble(last_proposal_.total_cost, 4)
+        << (last_proposal_.feasible ? "" : " (infeasible: best effort)") << "\n";
+  for (const IncrementAction& a : last_proposal_.actions) {
+    std::string row = "tuple " + std::to_string(a.base_tuple);
+    if (auto tuple = catalog_.FindTuple(a.base_tuple); tuple.ok()) {
+      row = (*tuple)->ToString();
+    }
+    out() << "  " << row << ": " << FormatDouble(a.from, 4) << " -> "
+          << FormatDouble(a.to, 4) << " (cost " << FormatDouble(a.cost, 4) << ")\n";
+  }
+}
+
+void Shell::CmdAccept() {
+  if (!has_proposal_) {
+    out() << "no pending proposal\n";
+    return;
+  }
+  Status s = engine_->AcceptProposal(last_proposal_);
+  if (!s.ok()) {
+    out() << s.ToString() << "\n";
+    return;
+  }
+  has_proposal_ = false;
+  out() << "applied; re-run your query to see the enlarged result\n";
+}
+
+void Shell::RunSql(const std::string& sql) {
+  if (user_.empty()) {
+    // No session user: run unfiltered, showing raw confidences.
+    auto result = RunQuery(catalog_, sql);
+    if (!result.ok()) {
+      out() << result.status().ToString() << "\n";
+      return;
+    }
+    out() << result->ToTable();
+    out() << result->rows.size() << " row(s), no policy applied (use .user use)\n";
+    last_result_ = std::move(*result);
+    return;
+  }
+
+  QueryRequest request;
+  request.sql = sql;
+  request.user = user_;
+  request.purpose = purpose_;
+  request.required_fraction = fraction_;
+  auto outcome = engine_->Submit(request);
+  if (!outcome.ok()) {
+    out() << outcome.status().ToString() << "\n";
+    return;
+  }
+  out() << outcome->ReleasedTable();
+  out() << outcome->released.size() << " of " << outcome->intermediate.rows.size()
+        << " row(s) released (beta=" << FormatDouble(outcome->policy.threshold)
+        << ")\n";
+  if (outcome->proposal.needed) {
+    last_proposal_ = outcome->proposal;
+    has_proposal_ = true;
+    out() << "improvement available: cost "
+          << FormatDouble(last_proposal_.total_cost, 4) << " via "
+          << last_proposal_.algorithm << " (.proposal to inspect, .accept to apply)\n";
+  }
+  last_result_ = std::move(outcome->intermediate);
+}
+
+}  // namespace pcqe

@@ -1,0 +1,79 @@
+// Copyright (c) PCQE contributors.
+// Interactive PCQE shell: load CSVs, configure roles/policies, run SQL
+// through the policy-compliant engine, inspect and accept improvement
+// proposals. The REPL loop lives in pcqe_shell.cc; this class is the
+// testable command dispatcher.
+
+#ifndef PCQE_TOOLS_SHELL_H_
+#define PCQE_TOOLS_SHELL_H_
+
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "engine/pcqe_engine.h"
+
+namespace pcqe {
+
+/// \brief Stateful command interpreter behind the `pcqe_shell` binary.
+///
+/// Lines are either dot-commands (`.help`, `.load`, `.policy add`, ...) or
+/// SQL accumulated until a terminating ';'. SQL runs through
+/// `PcqeEngine::Submit` under the session's user/purpose/fraction; the last
+/// proposal is retained for `.accept`.
+class Shell {
+ public:
+  /// Output (results, errors, prompts) is written to `out`.
+  explicit Shell(std::ostream* out);
+
+  /// Feeds one input line. Returns false when the session should end
+  /// (`.quit` / `.exit`).
+  bool HandleLine(const std::string& line);
+
+  /// True while a multi-line SQL statement is being accumulated (drives the
+  /// continuation prompt).
+  bool in_statement() const { return !pending_sql_.empty(); }
+
+  /// \name Session state accessors (used by tests).
+  /// @{
+  const std::string& user() const { return user_; }
+  const std::string& purpose() const { return purpose_; }
+  double fraction() const { return fraction_; }
+  Catalog* catalog() { return &catalog_; }
+  PcqeEngine* engine() { return engine_.get(); }
+  /// @}
+
+ private:
+  void RunCommand(const std::string& line);
+  void RunSql(const std::string& sql);
+  void CmdHelp();
+  void CmdTables();
+  void CmdSchema(const std::vector<std::string>& args);
+  void CmdLoad(const std::vector<std::string>& args);
+  void CmdSave(const std::vector<std::string>& args);
+  void CmdRole(const std::vector<std::string>& args);
+  void CmdUser(const std::vector<std::string>& args);
+  void CmdPolicy(const std::vector<std::string>& args);
+  void CmdProposal();
+  void CmdAccept();
+  void CmdWhy(const std::vector<std::string>& args);
+
+  std::ostream& out() { return *out_; }
+
+  std::ostream* out_;
+  Catalog catalog_;
+  std::unique_ptr<PcqeEngine> engine_;
+  std::string user_;
+  std::string purpose_ = "general";
+  double fraction_ = 1.0;
+  std::string pending_sql_;
+  StrategyProposal last_proposal_;
+  bool has_proposal_ = false;
+  /// Intermediate results of the last SQL statement, for `.why <row>`.
+  std::optional<QueryResult> last_result_;
+};
+
+}  // namespace pcqe
+
+#endif  // PCQE_TOOLS_SHELL_H_

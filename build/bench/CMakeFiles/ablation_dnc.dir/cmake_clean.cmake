@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dnc.dir/ablation_dnc.cc.o"
+  "CMakeFiles/ablation_dnc.dir/ablation_dnc.cc.o.d"
+  "ablation_dnc"
+  "ablation_dnc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dnc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_multi_query.dir/extension_multi_query.cc.o"
+  "CMakeFiles/extension_multi_query.dir/extension_multi_query.cc.o.d"
+  "extension_multi_query"
+  "extension_multi_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_multi_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

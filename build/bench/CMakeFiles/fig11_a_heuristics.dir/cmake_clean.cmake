@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_a_heuristics.dir/fig11_a_heuristics.cc.o"
+  "CMakeFiles/fig11_a_heuristics.dir/fig11_a_heuristics.cc.o.d"
+  "fig11_a_heuristics"
+  "fig11_a_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_a_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_d_heuristics_greedy_bound.dir/fig11_d_heuristics_greedy_bound.cc.o"
+  "CMakeFiles/fig11_d_heuristics_greedy_bound.dir/fig11_d_heuristics_greedy_bound.cc.o.d"
+  "fig11_d_heuristics_greedy_bound"
+  "fig11_d_heuristics_greedy_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_d_heuristics_greedy_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_d_heuristics_greedy_bound.
+# This may be replaced when dependencies are built.

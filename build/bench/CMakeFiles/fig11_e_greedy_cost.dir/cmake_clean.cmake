@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_e_greedy_cost.dir/fig11_e_greedy_cost.cc.o"
+  "CMakeFiles/fig11_e_greedy_cost.dir/fig11_e_greedy_cost.cc.o.d"
+  "fig11_e_greedy_cost"
+  "fig11_e_greedy_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_e_greedy_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

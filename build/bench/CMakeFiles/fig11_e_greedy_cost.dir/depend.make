@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_e_greedy_cost.
+# This may be replaced when dependencies are built.

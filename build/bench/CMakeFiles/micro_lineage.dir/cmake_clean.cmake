@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_lineage.dir/micro_lineage.cc.o"
+  "CMakeFiles/micro_lineage.dir/micro_lineage.cc.o.d"
+  "micro_lineage"
+  "micro_lineage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_lineage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_running_example.dir/table_running_example.cc.o"
+  "CMakeFiles/table_running_example.dir/table_running_example.cc.o.d"
+  "table_running_example"
+  "table_running_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_running_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/healthcare.cpp" "examples/CMakeFiles/healthcare.dir/healthcare.cpp.o" "gcc" "examples/CMakeFiles/healthcare.dir/healthcare.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/pcqe_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/pcqe_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/pcqe_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/improve/CMakeFiles/pcqe_improve.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/pcqe_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/strategy/CMakeFiles/pcqe_strategy.dir/DependInfo.cmake"
+  "/root/repo/build/src/lineage/CMakeFiles/pcqe_lineage.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/pcqe_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pcqe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

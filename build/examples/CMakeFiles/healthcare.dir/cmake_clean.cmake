@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/healthcare.dir/healthcare.cpp.o"
+  "CMakeFiles/healthcare.dir/healthcare.cpp.o.d"
+  "healthcare"
+  "healthcare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/healthcare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provenance_trust.dir/provenance_trust.cpp.o"
+  "CMakeFiles/provenance_trust.dir/provenance_trust.cpp.o.d"
+  "provenance_trust"
+  "provenance_trust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provenance_trust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

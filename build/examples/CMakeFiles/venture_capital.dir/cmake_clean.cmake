@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/venture_capital.dir/venture_capital.cpp.o"
+  "CMakeFiles/venture_capital.dir/venture_capital.cpp.o.d"
+  "venture_capital"
+  "venture_capital.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/venture_capital.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for venture_capital.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for venture_capital.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcqe_assign.dir/assigner.cc.o"
+  "CMakeFiles/pcqe_assign.dir/assigner.cc.o.d"
+  "CMakeFiles/pcqe_assign.dir/provenance.cc.o"
+  "CMakeFiles/pcqe_assign.dir/provenance.cc.o.d"
+  "CMakeFiles/pcqe_assign.dir/trust_model.cc.o"
+  "CMakeFiles/pcqe_assign.dir/trust_model.cc.o.d"
+  "libpcqe_assign.a"
+  "libpcqe_assign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcqe_assign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcqe_common.dir/random.cc.o"
+  "CMakeFiles/pcqe_common.dir/random.cc.o.d"
+  "CMakeFiles/pcqe_common.dir/status.cc.o"
+  "CMakeFiles/pcqe_common.dir/status.cc.o.d"
+  "CMakeFiles/pcqe_common.dir/string_util.cc.o"
+  "CMakeFiles/pcqe_common.dir/string_util.cc.o.d"
+  "libpcqe_common.a"
+  "libpcqe_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcqe_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcqe_cost.dir/cost_function.cc.o"
+  "CMakeFiles/pcqe_cost.dir/cost_function.cc.o.d"
+  "libpcqe_cost.a"
+  "libpcqe_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcqe_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcqe_engine.dir/pcqe_engine.cc.o"
+  "CMakeFiles/pcqe_engine.dir/pcqe_engine.cc.o.d"
+  "libpcqe_engine.a"
+  "libpcqe_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcqe_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcqe_improve.dir/improver.cc.o"
+  "CMakeFiles/pcqe_improve.dir/improver.cc.o.d"
+  "CMakeFiles/pcqe_improve.dir/lead_time.cc.o"
+  "CMakeFiles/pcqe_improve.dir/lead_time.cc.o.d"
+  "libpcqe_improve.a"
+  "libpcqe_improve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcqe_improve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lineage/evaluate.cc" "src/lineage/CMakeFiles/pcqe_lineage.dir/evaluate.cc.o" "gcc" "src/lineage/CMakeFiles/pcqe_lineage.dir/evaluate.cc.o.d"
+  "/root/repo/src/lineage/lineage.cc" "src/lineage/CMakeFiles/pcqe_lineage.dir/lineage.cc.o" "gcc" "src/lineage/CMakeFiles/pcqe_lineage.dir/lineage.cc.o.d"
+  "/root/repo/src/lineage/sensitivity.cc" "src/lineage/CMakeFiles/pcqe_lineage.dir/sensitivity.cc.o" "gcc" "src/lineage/CMakeFiles/pcqe_lineage.dir/sensitivity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pcqe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcqe_lineage.dir/evaluate.cc.o"
+  "CMakeFiles/pcqe_lineage.dir/evaluate.cc.o.d"
+  "CMakeFiles/pcqe_lineage.dir/lineage.cc.o"
+  "CMakeFiles/pcqe_lineage.dir/lineage.cc.o.d"
+  "CMakeFiles/pcqe_lineage.dir/sensitivity.cc.o"
+  "CMakeFiles/pcqe_lineage.dir/sensitivity.cc.o.d"
+  "libpcqe_lineage.a"
+  "libpcqe_lineage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcqe_lineage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

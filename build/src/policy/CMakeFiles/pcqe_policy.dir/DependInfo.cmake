@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/confidence_policy.cc" "src/policy/CMakeFiles/pcqe_policy.dir/confidence_policy.cc.o" "gcc" "src/policy/CMakeFiles/pcqe_policy.dir/confidence_policy.cc.o.d"
+  "/root/repo/src/policy/policy_io.cc" "src/policy/CMakeFiles/pcqe_policy.dir/policy_io.cc.o" "gcc" "src/policy/CMakeFiles/pcqe_policy.dir/policy_io.cc.o.d"
+  "/root/repo/src/policy/rbac.cc" "src/policy/CMakeFiles/pcqe_policy.dir/rbac.cc.o" "gcc" "src/policy/CMakeFiles/pcqe_policy.dir/rbac.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pcqe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

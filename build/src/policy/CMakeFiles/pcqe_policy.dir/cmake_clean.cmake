@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcqe_policy.dir/confidence_policy.cc.o"
+  "CMakeFiles/pcqe_policy.dir/confidence_policy.cc.o.d"
+  "CMakeFiles/pcqe_policy.dir/policy_io.cc.o"
+  "CMakeFiles/pcqe_policy.dir/policy_io.cc.o.d"
+  "CMakeFiles/pcqe_policy.dir/rbac.cc.o"
+  "CMakeFiles/pcqe_policy.dir/rbac.cc.o.d"
+  "libpcqe_policy.a"
+  "libpcqe_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcqe_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/executor.cc" "src/query/CMakeFiles/pcqe_query.dir/executor.cc.o" "gcc" "src/query/CMakeFiles/pcqe_query.dir/executor.cc.o.d"
+  "/root/repo/src/query/expression.cc" "src/query/CMakeFiles/pcqe_query.dir/expression.cc.o" "gcc" "src/query/CMakeFiles/pcqe_query.dir/expression.cc.o.d"
+  "/root/repo/src/query/lexer.cc" "src/query/CMakeFiles/pcqe_query.dir/lexer.cc.o" "gcc" "src/query/CMakeFiles/pcqe_query.dir/lexer.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/query/CMakeFiles/pcqe_query.dir/parser.cc.o" "gcc" "src/query/CMakeFiles/pcqe_query.dir/parser.cc.o.d"
+  "/root/repo/src/query/plan.cc" "src/query/CMakeFiles/pcqe_query.dir/plan.cc.o" "gcc" "src/query/CMakeFiles/pcqe_query.dir/plan.cc.o.d"
+  "/root/repo/src/query/planner.cc" "src/query/CMakeFiles/pcqe_query.dir/planner.cc.o" "gcc" "src/query/CMakeFiles/pcqe_query.dir/planner.cc.o.d"
+  "/root/repo/src/query/query_engine.cc" "src/query/CMakeFiles/pcqe_query.dir/query_engine.cc.o" "gcc" "src/query/CMakeFiles/pcqe_query.dir/query_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pcqe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/pcqe_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/lineage/CMakeFiles/pcqe_lineage.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/pcqe_cost.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcqe_query.dir/executor.cc.o"
+  "CMakeFiles/pcqe_query.dir/executor.cc.o.d"
+  "CMakeFiles/pcqe_query.dir/expression.cc.o"
+  "CMakeFiles/pcqe_query.dir/expression.cc.o.d"
+  "CMakeFiles/pcqe_query.dir/lexer.cc.o"
+  "CMakeFiles/pcqe_query.dir/lexer.cc.o.d"
+  "CMakeFiles/pcqe_query.dir/parser.cc.o"
+  "CMakeFiles/pcqe_query.dir/parser.cc.o.d"
+  "CMakeFiles/pcqe_query.dir/plan.cc.o"
+  "CMakeFiles/pcqe_query.dir/plan.cc.o.d"
+  "CMakeFiles/pcqe_query.dir/planner.cc.o"
+  "CMakeFiles/pcqe_query.dir/planner.cc.o.d"
+  "CMakeFiles/pcqe_query.dir/query_engine.cc.o"
+  "CMakeFiles/pcqe_query.dir/query_engine.cc.o.d"
+  "libpcqe_query.a"
+  "libpcqe_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcqe_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

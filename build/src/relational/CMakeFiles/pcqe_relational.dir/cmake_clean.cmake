@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcqe_relational.dir/catalog.cc.o"
+  "CMakeFiles/pcqe_relational.dir/catalog.cc.o.d"
+  "CMakeFiles/pcqe_relational.dir/csv.cc.o"
+  "CMakeFiles/pcqe_relational.dir/csv.cc.o.d"
+  "CMakeFiles/pcqe_relational.dir/database_io.cc.o"
+  "CMakeFiles/pcqe_relational.dir/database_io.cc.o.d"
+  "CMakeFiles/pcqe_relational.dir/schema.cc.o"
+  "CMakeFiles/pcqe_relational.dir/schema.cc.o.d"
+  "CMakeFiles/pcqe_relational.dir/table.cc.o"
+  "CMakeFiles/pcqe_relational.dir/table.cc.o.d"
+  "CMakeFiles/pcqe_relational.dir/tuple.cc.o"
+  "CMakeFiles/pcqe_relational.dir/tuple.cc.o.d"
+  "CMakeFiles/pcqe_relational.dir/value.cc.o"
+  "CMakeFiles/pcqe_relational.dir/value.cc.o.d"
+  "libpcqe_relational.a"
+  "libpcqe_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcqe_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

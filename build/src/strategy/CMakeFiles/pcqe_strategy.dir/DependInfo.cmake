@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/strategy/brute_force.cc" "src/strategy/CMakeFiles/pcqe_strategy.dir/brute_force.cc.o" "gcc" "src/strategy/CMakeFiles/pcqe_strategy.dir/brute_force.cc.o.d"
+  "/root/repo/src/strategy/dnc.cc" "src/strategy/CMakeFiles/pcqe_strategy.dir/dnc.cc.o" "gcc" "src/strategy/CMakeFiles/pcqe_strategy.dir/dnc.cc.o.d"
+  "/root/repo/src/strategy/greedy.cc" "src/strategy/CMakeFiles/pcqe_strategy.dir/greedy.cc.o" "gcc" "src/strategy/CMakeFiles/pcqe_strategy.dir/greedy.cc.o.d"
+  "/root/repo/src/strategy/heuristic.cc" "src/strategy/CMakeFiles/pcqe_strategy.dir/heuristic.cc.o" "gcc" "src/strategy/CMakeFiles/pcqe_strategy.dir/heuristic.cc.o.d"
+  "/root/repo/src/strategy/partition.cc" "src/strategy/CMakeFiles/pcqe_strategy.dir/partition.cc.o" "gcc" "src/strategy/CMakeFiles/pcqe_strategy.dir/partition.cc.o.d"
+  "/root/repo/src/strategy/problem.cc" "src/strategy/CMakeFiles/pcqe_strategy.dir/problem.cc.o" "gcc" "src/strategy/CMakeFiles/pcqe_strategy.dir/problem.cc.o.d"
+  "/root/repo/src/strategy/solution.cc" "src/strategy/CMakeFiles/pcqe_strategy.dir/solution.cc.o" "gcc" "src/strategy/CMakeFiles/pcqe_strategy.dir/solution.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pcqe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lineage/CMakeFiles/pcqe_lineage.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/pcqe_cost.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

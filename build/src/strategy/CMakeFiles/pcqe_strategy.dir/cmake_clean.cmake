@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcqe_strategy.dir/brute_force.cc.o"
+  "CMakeFiles/pcqe_strategy.dir/brute_force.cc.o.d"
+  "CMakeFiles/pcqe_strategy.dir/dnc.cc.o"
+  "CMakeFiles/pcqe_strategy.dir/dnc.cc.o.d"
+  "CMakeFiles/pcqe_strategy.dir/greedy.cc.o"
+  "CMakeFiles/pcqe_strategy.dir/greedy.cc.o.d"
+  "CMakeFiles/pcqe_strategy.dir/heuristic.cc.o"
+  "CMakeFiles/pcqe_strategy.dir/heuristic.cc.o.d"
+  "CMakeFiles/pcqe_strategy.dir/partition.cc.o"
+  "CMakeFiles/pcqe_strategy.dir/partition.cc.o.d"
+  "CMakeFiles/pcqe_strategy.dir/problem.cc.o"
+  "CMakeFiles/pcqe_strategy.dir/problem.cc.o.d"
+  "CMakeFiles/pcqe_strategy.dir/solution.cc.o"
+  "CMakeFiles/pcqe_strategy.dir/solution.cc.o.d"
+  "libpcqe_strategy.a"
+  "libpcqe_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcqe_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpcqe_strategy.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcqe_workload.dir/generator.cc.o"
+  "CMakeFiles/pcqe_workload.dir/generator.cc.o.d"
+  "libpcqe_workload.a"
+  "libpcqe_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcqe_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assign_test.dir/assign_test.cc.o"
+  "CMakeFiles/assign_test.dir/assign_test.cc.o.d"
+  "assign_test"
+  "assign_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assign_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

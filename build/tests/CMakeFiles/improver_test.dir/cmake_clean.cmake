@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/improver_test.dir/improver_test.cc.o"
+  "CMakeFiles/improver_test.dir/improver_test.cc.o.d"
+  "improver_test"
+  "improver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/improver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcqe_shell.dir/pcqe_shell.cc.o"
+  "CMakeFiles/pcqe_shell.dir/pcqe_shell.cc.o.d"
+  "pcqe_shell"
+  "pcqe_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcqe_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcqe_shell_lib.dir/shell.cc.o"
+  "CMakeFiles/pcqe_shell_lib.dir/shell.cc.o.d"
+  "libpcqe_shell_lib.a"
+  "libpcqe_shell_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcqe_shell_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Deep correctness pass, slower than scripts/check.sh:
+#   1. lint (pcqe_lint.py self-test + repo sweep)
+#   2. full test suite under ASan+UBSan (fails on any sanitizer report:
+#      -fno-sanitize-recover=all turns every report into a test failure)
+#   3. a second configure with the GCC static analyzer (-fanalyzer) and
+#      -Werror, so any analyzer diagnostic fails the build
+# Usage: scripts/analyze.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GENERATOR_ARGS=()
+if command -v ninja > /dev/null 2>&1; then GENERATOR_ARGS=(-G Ninja); fi
+
+echo "== [1/3] lint"
+scripts/lint.sh
+
+echo "== [2/3] ASan+UBSan test suite"
+cmake -B build-asan -S . "${GENERATOR_ARGS[@]}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DPCQE_SANITIZE="address;undefined" \
+  -DPCQE_BUILD_BENCHMARKS=OFF -DPCQE_BUILD_EXAMPLES=OFF
+cmake --build build-asan -j"$(nproc)"
+ctest --test-dir build-asan -j"$(nproc)" --output-on-failure
+
+echo "== [3/3] GCC static analyzer (-fanalyzer -Werror)"
+# Analyze the library and tools only: gtest/benchmark headers are not ours
+# and -fanalyzer over them is slow and noisy.
+cmake -B build-analyzer -S . "${GENERATOR_ARGS[@]}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DPCQE_ANALYZER=ON -DPCQE_WERROR=ON \
+  -DPCQE_BUILD_TESTS=OFF -DPCQE_BUILD_BENCHMARKS=OFF -DPCQE_BUILD_EXAMPLES=OFF
+cmake --build build-analyzer -j"$(nproc)"
+
+echo "analyze: lint, sanitizers, and static analyzer all clean"

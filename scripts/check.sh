@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Full local check: configure, build, test, smoke-run examples and benches.
+# Full local check: lint, configure, build, test, smoke-run examples and benches.
 # Usage: scripts/check.sh [--full]   (--full runs benches at paper scale)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -7,8 +7,19 @@ cd "$(dirname "$0")/.."
 SCALE=quick
 if [[ "${1:-}" == "--full" ]]; then SCALE=paper; fi
 
-cmake -B build -G Ninja
-cmake --build build
+scripts/lint.sh
+
+# Share one build tree with the tier-1 path: use Ninja when available, else
+# whatever CMake picks by default (Makefiles).
+GENERATOR_ARGS=()
+if command -v ninja > /dev/null 2>&1; then GENERATOR_ARGS=(-G Ninja); fi
+if [[ -f build/CMakeCache.txt ]]; then
+  # An existing tree keeps its generator; re-specifying a different one errors.
+  GENERATOR_ARGS=()
+fi
+
+cmake -B build "${GENERATOR_ARGS[@]}"
+cmake --build build -j"$(nproc)"
 ctest --test-dir build -j"$(nproc)" --output-on-failure
 
 for example in build/examples/*; do

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Run the repo linter (tools/pcqe_lint.py): repo sweep + fixture self-test.
+# Usage: scripts/lint.sh [extra pcqe_lint.py args]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+python3 tools/pcqe_lint.py --self-test
+python3 tools/pcqe_lint.py "$@"

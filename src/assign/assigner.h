@@ -33,7 +33,7 @@ struct AssignmentReport {
 /// every item id must exist. A tuple's `max_confidence` still caps the
 /// stored value (a tuple that can never exceed 0.8 stays capped even if the
 /// model reports 0.9). Returns the trust report plus the applied mapping.
-Result<AssignmentReport> AssignConfidences(Catalog* catalog, const ProvenanceGraph& graph,
+[[nodiscard]] Result<AssignmentReport> AssignConfidences(Catalog* catalog, const ProvenanceGraph& graph,
                                            const std::vector<TupleProvenance>& mapping,
                                            const TrustModelOptions& options = {});
 

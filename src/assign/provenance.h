@@ -64,11 +64,11 @@ class ProvenanceGraph {
   ProvenanceGraph() = default;
 
   /// Registers an agent; returns its id.
-  Result<AgentId> AddAgent(Agent agent);
+  [[nodiscard]] Result<AgentId> AddAgent(Agent agent);
 
   /// Registers an item. Its agents must exist; the source must be a source
   /// agent and the intermediaries must not be.
-  Result<ItemId> AddItem(ProvenanceItem item);
+  [[nodiscard]] Result<ItemId> AddItem(ProvenanceItem item);
 
   size_t num_agents() const { return agents_.size(); }
   size_t num_items() const { return items_.size(); }

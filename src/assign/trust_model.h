@@ -56,7 +56,7 @@ struct TrustReport {
 };
 
 /// Runs the fixpoint. Returns `kInvalidArgument` for malformed options.
-Result<TrustReport> ComputeTrust(const ProvenanceGraph& graph,
+[[nodiscard]] Result<TrustReport> ComputeTrust(const ProvenanceGraph& graph,
                                  const TrustModelOptions& options = {});
 
 /// The similarity kernel used by the model, exposed for tests:

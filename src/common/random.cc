@@ -1,7 +1,8 @@
 #include "common/random.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/logging.h"
 
 namespace pcqe {
 
@@ -30,7 +31,7 @@ bool Rng::Bernoulli(double p) {
 }
 
 std::vector<size_t> Rng::Sample(size_t n, size_t k) {
-  assert(k <= n);
+  PCQE_CHECK(k <= n) << "Sample(" << n << ", " << k << "): k exceeds population";
   // Partial Fisher-Yates over an index vector: O(n) setup, exact uniformity.
   std::vector<size_t> idx(n);
   for (size_t i = 0; i < n; ++i) idx[i] = i;

@@ -4,10 +4,10 @@
 #ifndef PCQE_COMMON_RESULT_H_
 #define PCQE_COMMON_RESULT_H_
 
-#include <cassert>
 #include <optional>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/status.h"
 
 namespace pcqe {
@@ -25,7 +25,7 @@ namespace pcqe {
 ///   PCQE_ASSIGN_OR_RETURN(Table t, catalog.GetTable("proposal"));
 /// \endcode
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs from a value (implicit, mirroring Arrow/Abseil).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
@@ -39,37 +39,45 @@ class Result {
   }
 
   /// True iff a value is held.
-  bool ok() const { return value_.has_value(); }
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
 
   /// The status: OK when a value is held, the error otherwise.
-  Status status() const { return ok() ? Status::OK() : status_; }
+  [[nodiscard]] Status status() const { return ok() ? Status::OK() : status_; }
 
-  /// Returns the held value; must not be called on an error result.
-  const T& ValueOrDie() const& {
-    assert(ok() && "ValueOrDie() on error Result");
+  /// Returns the held value; calling this on an error result is fatal in all
+  /// build types (the error status is logged before aborting).
+  [[nodiscard]] const T& ValueOrDie() const& {
+    DieIfError();
     return *value_;
   }
-  T& ValueOrDie() & {
-    assert(ok() && "ValueOrDie() on error Result");
+  [[nodiscard]] T& ValueOrDie() & {
+    DieIfError();
     return *value_;
   }
-  T ValueOrDie() && {
-    assert(ok() && "ValueOrDie() on error Result");
+  [[nodiscard]] T ValueOrDie() && {
+    DieIfError();
     return std::move(*value_);
   }
 
   /// Returns the held value or `fallback` when this is an error.
-  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+  [[nodiscard]] T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
 
   /// Dereference sugar; must hold a value. The rvalue overload moves the
   /// value out, so `T v = *SomeFactory();` works for move-only `T`.
-  const T& operator*() const& { return ValueOrDie(); }
-  T& operator*() & { return ValueOrDie(); }
-  T operator*() && { return std::move(*this).ValueOrDie(); }
+  [[nodiscard]] const T& operator*() const& { return ValueOrDie(); }
+  [[nodiscard]] T& operator*() & { return ValueOrDie(); }
+  // Deliberately fatal on error, same contract as ValueOrDie itself.
+  [[nodiscard]] T operator*() && {
+    return std::move(*this).ValueOrDie();  // pcqe-lint: allow(valueordie-unchecked)
+  }
   const T* operator->() const { return &ValueOrDie(); }
   T* operator->() { return &ValueOrDie(); }
 
  private:
+  void DieIfError() const {
+    PCQE_CHECK(ok()) << "ValueOrDie() on error Result: " << status_.ToString();
+  }
+
   std::optional<T> value_;
   Status status_;
 };

@@ -52,7 +52,7 @@ std::string_view StatusCodeToString(StatusCode code);
 /// explanatory message otherwise. All fallible public APIs in this library
 /// return `Status` or `Result<T>`; exceptions are not used across API
 /// boundaries.
-class Status {
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -98,11 +98,11 @@ class Status {
   /// @}
 
   /// True iff the status code is `kOk`.
-  bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
   /// The status code.
-  StatusCode code() const { return code_; }
+  [[nodiscard]] StatusCode code() const { return code_; }
   /// The message; empty for OK statuses.
-  const std::string& message() const { return message_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   /// \name Code predicates mirroring the factories.
   /// @{
@@ -119,10 +119,10 @@ class Status {
   /// @}
 
   /// "OK" or "<code>: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
   /// Prepends `context` to the message of a non-OK status; identity on OK.
-  Status WithContext(std::string_view context) const;
+  [[nodiscard]] Status WithContext(std::string_view context) const;
 
   friend bool operator==(const Status& a, const Status& b) {
     return a.code_ == b.code_ && a.message_ == b.message_;

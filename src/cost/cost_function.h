@@ -77,19 +77,19 @@ using CostFunctionPtr = std::shared_ptr<const CostFunction>;
 /// @{
 
 /// Linear cost `a * p`; requires a > 0.
-Result<CostFunctionPtr> MakeLinearCost(double a);
+[[nodiscard]] Result<CostFunctionPtr> MakeLinearCost(double a);
 
 /// Polynomial ("binomial") cost `a * p^d`; requires a > 0 and d >= 1.
-Result<CostFunctionPtr> MakePolynomialCost(double a, double degree);
+[[nodiscard]] Result<CostFunctionPtr> MakePolynomialCost(double a, double degree);
 
 /// Exponential cost `a * e^(b*p)`; requires a > 0 and b > 0.
-Result<CostFunctionPtr> MakeExponentialCost(double a, double b);
+[[nodiscard]] Result<CostFunctionPtr> MakeExponentialCost(double a, double b);
 
 /// Logarithmic cost `a * ln(1 + b*p)`; requires a > 0 and b > 0.
-Result<CostFunctionPtr> MakeLogarithmicCost(double a, double b);
+[[nodiscard]] Result<CostFunctionPtr> MakeLogarithmicCost(double a, double b);
 
 /// Step cost `a * ceil(p / delta)`; requires a > 0 and delta in (0, 1].
-Result<CostFunctionPtr> MakeStepCost(double a, double delta);
+[[nodiscard]] Result<CostFunctionPtr> MakeStepCost(double a, double delta);
 
 /// @}
 
@@ -101,7 +101,7 @@ CostFunctionPtr DefaultCostFunction();
 /// ("linear(a=2)", "exponential(a=2, b=3)", ...), for persistence.
 /// Returns `kParseError` on malformed input and `kInvalidArgument` for
 /// out-of-range parameters.
-Result<CostFunctionPtr> ParseCostFunction(const std::string& text);
+[[nodiscard]] Result<CostFunctionPtr> ParseCostFunction(const std::string& text);
 
 }  // namespace pcqe
 

@@ -94,7 +94,7 @@ class PcqeEngine {
         improver_(catalog) {}
 
   /// Runs steps 1-3 above.
-  Result<QueryOutcome> Submit(const QueryRequest& request);
+  [[nodiscard]] Result<QueryOutcome> Submit(const QueryRequest& request);
 
   /// Runs several requests as one batch (§4's multi-query extension): the
   /// strategy problem spans all blocked results and must satisfy every
@@ -102,11 +102,11 @@ class PcqeEngine {
   /// same confidence threshold (same role/purpose class); otherwise
   /// `kInvalidArgument`. Per-request outcomes carry a shared proposal
   /// (attached to the first outcome whose request needed it).
-  Result<std::vector<QueryOutcome>> SubmitBatch(const std::vector<QueryRequest>& requests);
+  [[nodiscard]] Result<std::vector<QueryOutcome>> SubmitBatch(const std::vector<QueryRequest>& requests);
 
   /// Applies a proposal's increments to the database. The caller re-submits
   /// the query afterwards to receive the enlarged result set.
-  Status AcceptProposal(const StrategyProposal& proposal);
+  [[nodiscard]] Status AcceptProposal(const StrategyProposal& proposal);
 
   /// \name Component access.
   /// @{
@@ -127,7 +127,7 @@ class PcqeEngine {
   /// Builds and solves the increment problem for the blocked rows of one or
   /// more evaluated queries. `blocked[q]` are row indices into
   /// `outcomes[q]->intermediate.rows`; `needed[q]` is how many must flip.
-  Result<StrategyProposal> FindStrategy(const std::vector<const QueryOutcome*>& outcomes,
+  [[nodiscard]] Result<StrategyProposal> FindStrategy(const std::vector<const QueryOutcome*>& outcomes,
                                         const std::vector<std::vector<size_t>>& blocked,
                                         const std::vector<size_t>& needed, double beta,
                                         SolverKind solver);

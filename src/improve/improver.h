@@ -38,7 +38,7 @@ class QualityImprover {
   /// `kNotFound` without modifying anything when any action is invalid.
   /// Actions targeting a confidence at or below the current value are
   /// rejected (quality improvement never lowers confidence).
-  Status Apply(const std::vector<IncrementAction>& actions);
+  [[nodiscard]] Status Apply(const std::vector<IncrementAction>& actions);
 
   /// Total cost committed through this improver.
   double total_cost_spent() const { return total_cost_; }

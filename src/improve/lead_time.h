@@ -65,7 +65,7 @@ class LeadTimeEstimator {
   /// `workers == 1` degenerates to the exact sum of durations; otherwise
   /// the LPT makespan is returned. Returns `kInvalidArgument` for zero
   /// workers.
-  Result<double> EstimateSeconds(const std::vector<IncrementAction>& actions,
+  [[nodiscard]] Result<double> EstimateSeconds(const std::vector<IncrementAction>& actions,
                                  size_t workers = 1) const;
 
  private:

@@ -96,7 +96,7 @@ struct ExactEvalOptions {
 /// read-once, so `EvaluateIndependent` on it is exact; results are weighted
 /// by the assignment probability. Returns `kResourceExhausted` when `s`
 /// exceeds `options.max_shared_variables`.
-Result<double> EvaluateExact(const LineageArena& arena, LineageRef ref,
+[[nodiscard]] Result<double> EvaluateExact(const LineageArena& arena, LineageRef ref,
                              const ConfidenceMap& probs,
                              const ExactEvalOptions& options = {});
 

@@ -73,7 +73,7 @@ class PolicyStore {
   /// time too, but failing early aids configuration hygiene); the threshold
   /// must lie in [0, 1]; duplicate (role, purpose, table) triples are
   /// rejected — update semantics would hide configuration mistakes.
-  Status AddPolicy(const RoleGraph& roles, ConfidencePolicy policy);
+  [[nodiscard]] Status AddPolicy(const RoleGraph& roles, ConfidencePolicy policy);
 
   /// All stored policies in insertion order.
   const std::vector<ConfidencePolicy>& policies() const { return policies_; }
@@ -83,13 +83,13 @@ class PolicyStore {
   /// when their table is accessed. A user with no applicable policy gets
   /// threshold 0 (unrestricted), matching the paper's model where policies
   /// add restrictions on top of ordinary access control.
-  Result<PolicyDecision> Resolve(const RoleGraph& roles, const std::string& user,
+  [[nodiscard]] Result<PolicyDecision> Resolve(const RoleGraph& roles, const std::string& user,
                                  const std::string& purpose,
                                  const std::vector<std::string>& tables) const;
 
   /// Convenience overload for contexts without table information; only
   /// unscoped policies can match.
-  Result<PolicyDecision> Resolve(const RoleGraph& roles, const std::string& user,
+  [[nodiscard]] Result<PolicyDecision> Resolve(const RoleGraph& roles, const std::string& user,
                                  const std::string& purpose) const {
     return Resolve(roles, user, purpose, {});
   }

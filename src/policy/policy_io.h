@@ -25,19 +25,19 @@ namespace pcqe {
 ///
 /// Names containing whitespace cannot be represented and are rejected with
 /// `kInvalidArgument`. Lines starting with '#' are comments on parse.
-Result<std::string> SerializeAccessConfig(const RoleGraph& roles,
+[[nodiscard]] Result<std::string> SerializeAccessConfig(const RoleGraph& roles,
                                           const PolicyStore& policies);
 
 /// Parses a configuration produced by `SerializeAccessConfig` into the given
 /// (typically empty) graph/store. Directives are applied in file order, so
 /// hand-written files must declare roles/users before referencing them.
-Status ParseAccessConfig(const std::string& text, RoleGraph* roles,
+[[nodiscard]] Status ParseAccessConfig(const std::string& text, RoleGraph* roles,
                          PolicyStore* policies);
 
 /// File wrappers.
-Status SaveAccessConfig(const RoleGraph& roles, const PolicyStore& policies,
+[[nodiscard]] Status SaveAccessConfig(const RoleGraph& roles, const PolicyStore& policies,
                         const std::string& path);
-Status LoadAccessConfig(const std::string& path, RoleGraph* roles,
+[[nodiscard]] Status LoadAccessConfig(const std::string& path, RoleGraph* roles,
                         PolicyStore* policies);
 
 }  // namespace pcqe

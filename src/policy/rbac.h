@@ -34,30 +34,30 @@ class RoleGraph {
   RoleGraph() = default;
 
   /// Declares a role. Returns `kAlreadyExists` on duplicates.
-  Status AddRole(const std::string& role);
+  [[nodiscard]] Status AddRole(const std::string& role);
 
   /// True iff the role was declared.
   bool HasRole(const std::string& role) const { return juniors_.count(role) > 0; }
 
   /// Declares `senior` to inherit from `junior`. Both must exist; cycles
   /// are rejected with `kInvalidArgument`.
-  Status AddInheritance(const std::string& senior, const std::string& junior);
+  [[nodiscard]] Status AddInheritance(const std::string& senior, const std::string& junior);
 
   /// Declares a user. Returns `kAlreadyExists` on duplicates.
-  Status AddUser(const std::string& user);
+  [[nodiscard]] Status AddUser(const std::string& user);
 
   /// True iff the user was declared.
   bool HasUser(const std::string& user) const { return user_roles_.count(user) > 0; }
 
   /// Assigns `role` to `user`; both must exist.
-  Status AssignRole(const std::string& user, const std::string& role);
+  [[nodiscard]] Status AssignRole(const std::string& user, const std::string& role);
 
   /// The user's directly assigned roles, in assignment order.
-  Result<std::vector<std::string>> DirectRoles(const std::string& user) const;
+  [[nodiscard]] Result<std::vector<std::string>> DirectRoles(const std::string& user) const;
 
   /// The user's effective roles: direct assignments closed under the
   /// junior-role relation, sorted for determinism.
-  Result<std::vector<std::string>> ActiveRoles(const std::string& user) const;
+  [[nodiscard]] Result<std::vector<std::string>> ActiveRoles(const std::string& user) const;
 
   /// \name Enumeration (for persistence and administration UIs).
   /// @{

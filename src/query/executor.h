@@ -39,18 +39,18 @@ class Executor {
   explicit Executor(LineageArena* arena) : arena_(arena) {}
 
   /// Executes `plan` and materializes all result rows.
-  Result<std::vector<ExecRow>> Run(const PlanNode& plan);
+  [[nodiscard]] Result<std::vector<ExecRow>> Run(const PlanNode& plan);
 
  private:
-  Result<std::vector<ExecRow>> RunScan(const PlanNode& plan);
-  Result<std::vector<ExecRow>> RunFilter(const PlanNode& plan);
-  Result<std::vector<ExecRow>> RunProject(const PlanNode& plan);
-  Result<std::vector<ExecRow>> RunJoin(const PlanNode& plan);
-  Result<std::vector<ExecRow>> RunDistinct(const PlanNode& plan);
-  Result<std::vector<ExecRow>> RunSetOp(const PlanNode& plan);
-  Result<std::vector<ExecRow>> RunSort(const PlanNode& plan);
-  Result<std::vector<ExecRow>> RunLimit(const PlanNode& plan);
-  Result<std::vector<ExecRow>> RunAggregate(const PlanNode& plan);
+  [[nodiscard]] Result<std::vector<ExecRow>> RunScan(const PlanNode& plan);
+  [[nodiscard]] Result<std::vector<ExecRow>> RunFilter(const PlanNode& plan);
+  [[nodiscard]] Result<std::vector<ExecRow>> RunProject(const PlanNode& plan);
+  [[nodiscard]] Result<std::vector<ExecRow>> RunJoin(const PlanNode& plan);
+  [[nodiscard]] Result<std::vector<ExecRow>> RunDistinct(const PlanNode& plan);
+  [[nodiscard]] Result<std::vector<ExecRow>> RunSetOp(const PlanNode& plan);
+  [[nodiscard]] Result<std::vector<ExecRow>> RunSort(const PlanNode& plan);
+  [[nodiscard]] Result<std::vector<ExecRow>> RunLimit(const PlanNode& plan);
+  [[nodiscard]] Result<std::vector<ExecRow>> RunAggregate(const PlanNode& plan);
 
   LineageArena* arena_;
 };

@@ -93,7 +93,7 @@ class Expr {
   /// columns, and evaluates the rewritten expressions on top. Nested
   /// aggregates (an aggregate whose argument contains an aggregate) are a
   /// bind error.
-  static Result<std::unique_ptr<Expr>> LiftAggregates(
+  [[nodiscard]] static Result<std::unique_ptr<Expr>> LiftAggregates(
       std::unique_ptr<Expr> expr, std::vector<std::unique_ptr<Expr>>* lifted);
 
   /// \brief Replaces every subtree whose textual form equals a key of
@@ -112,10 +112,10 @@ class Expr {
   /// Resolves column references against `schema` and type-checks the tree.
   /// Idempotent; re-binding against a different schema is allowed (used when
   /// one predicate template is evaluated against several inputs).
-  Status Bind(const Schema& schema);
+  [[nodiscard]] Status Bind(const Schema& schema);
 
   /// Evaluates against one row laid out per the bound schema.
-  Result<Value> Eval(const std::vector<Value>& row) const;
+  [[nodiscard]] Result<Value> Eval(const std::vector<Value>& row) const;
 
   /// Deep copy (unbound state is preserved; binding state is copied too).
   std::unique_ptr<Expr> Clone() const;

@@ -42,7 +42,7 @@ bool IsReservedWord(const std::string& upper);
 
 /// Tokenizes `sql`. The result always ends with a `kEnd` token. Returns
 /// `kParseError` on malformed input (unterminated string, stray character).
-Result<std::vector<Token>> Tokenize(const std::string& sql);
+[[nodiscard]] Result<std::vector<Token>> Tokenize(const std::string& sql);
 
 }  // namespace pcqe
 

@@ -26,12 +26,12 @@ namespace pcqe {
 
 /// Parses one SELECT statement. Trailing tokens after the statement (other
 /// than one optional ';') are a parse error.
-Result<std::unique_ptr<SelectStatement>> ParseSelect(const std::string& sql);
+[[nodiscard]] Result<std::unique_ptr<SelectStatement>> ParseSelect(const std::string& sql);
 
 /// Parses a standalone scalar expression against no particular schema
 /// (binding happens later). Useful for building predicates in tests and
 /// examples without hand-assembling `Expr` trees.
-Result<std::unique_ptr<Expr>> ParseExpression(const std::string& text);
+[[nodiscard]] Result<std::unique_ptr<Expr>> ParseExpression(const std::string& text);
 
 }  // namespace pcqe
 

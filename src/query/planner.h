@@ -27,7 +27,7 @@ namespace pcqe {
 ///
 /// Errors are `kBindError` (unknown table/column, type mismatch, set-op
 /// arity mismatch) or propagate from expression binding.
-Result<std::unique_ptr<PlanNode>> PlanQuery(const Catalog& catalog,
+[[nodiscard]] Result<std::unique_ptr<PlanNode>> PlanQuery(const Catalog& catalog,
                                             const SelectStatement& stmt);
 
 }  // namespace pcqe

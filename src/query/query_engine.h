@@ -53,10 +53,10 @@ struct QueryResult {
 
 /// Builds a `ConfidenceMap` holding the current confidence of every base
 /// tuple referenced by `result`, read from `catalog`.
-Result<ConfidenceMap> SnapshotConfidences(const Catalog& catalog, const QueryResult& result);
+[[nodiscard]] Result<ConfidenceMap> SnapshotConfidences(const Catalog& catalog, const QueryResult& result);
 
 /// Parses, plans, executes and confidence-annotates `sql` against `catalog`.
-Result<QueryResult> RunQuery(const Catalog& catalog, const std::string& sql);
+[[nodiscard]] Result<QueryResult> RunQuery(const Catalog& catalog, const std::string& sql);
 
 }  // namespace pcqe
 

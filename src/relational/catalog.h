@@ -31,24 +31,24 @@ class Catalog {
   Catalog& operator=(const Catalog&) = delete;
 
   /// Creates an empty table. Returns `kAlreadyExists` on a duplicate name.
-  Result<Table*> CreateTable(const std::string& name, Schema schema);
+  [[nodiscard]] Result<Table*> CreateTable(const std::string& name, Schema schema);
 
   /// Looks up a table by (case-insensitive) name.
-  Result<Table*> GetTable(const std::string& name);
-  Result<const Table*> GetTable(const std::string& name) const;
+  [[nodiscard]] Result<Table*> GetTable(const std::string& name);
+  [[nodiscard]] Result<const Table*> GetTable(const std::string& name) const;
 
   /// Removes a table. Its tuple-id prefix is never reused, so stale
   /// `BaseTupleId`s cannot alias new tuples.
-  Status DropTable(const std::string& name);
+  [[nodiscard]] Status DropTable(const std::string& name);
 
   /// Names of all tables in creation order.
   std::vector<std::string> TableNames() const;
 
   /// Routes a catalog-wide tuple id to its tuple.
-  Result<const Tuple*> FindTuple(BaseTupleId id) const;
+  [[nodiscard]] Result<const Tuple*> FindTuple(BaseTupleId id) const;
 
   /// Sets the confidence of the identified tuple (improvement component).
-  Status SetConfidence(BaseTupleId id, double confidence);
+  [[nodiscard]] Status SetConfidence(BaseTupleId id, double confidence);
 
  private:
   /// Lowercased lookup key.

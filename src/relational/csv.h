@@ -35,22 +35,22 @@ struct CsvOptions {
 /// non-empty fields all parse as integers is BIGINT, all-numeric is DOUBLE,
 /// all true/false is BOOLEAN, anything else VARCHAR; empty fields import as
 /// NULL. A file with no data rows yields an all-VARCHAR table.
-Result<Table*> ImportCsv(Catalog* catalog, const std::string& table_name,
+[[nodiscard]] Result<Table*> ImportCsv(Catalog* catalog, const std::string& table_name,
                          const std::string& csv_text, const CsvOptions& options = {});
 
 /// Reads `path` and imports it via `ImportCsv`.
-Result<Table*> ImportCsvFile(Catalog* catalog, const std::string& table_name,
+[[nodiscard]] Result<Table*> ImportCsvFile(Catalog* catalog, const std::string& table_name,
                              const std::string& path, const CsvOptions& options = {});
 
 /// \brief Serializes `table` as CSV (quoting fields when needed).
 std::string ExportCsv(const Table& table, const CsvOptions& options = {});
 
 /// Writes `ExportCsv(table)` to `path`.
-Status ExportCsvFile(const Table& table, const std::string& path,
+[[nodiscard]] Status ExportCsvFile(const Table& table, const std::string& path,
                      const CsvOptions& options = {});
 
 /// Splits raw CSV text into rows of fields (exposed for tests).
-Result<std::vector<std::vector<std::string>>> ParseCsv(const std::string& text,
+[[nodiscard]] Result<std::vector<std::vector<std::string>>> ParseCsv(const std::string& text,
                                                        char delimiter = ',');
 
 /// Quotes one field for CSV output when it contains the delimiter, quotes

@@ -21,7 +21,7 @@ namespace pcqe {
 ///   its `ToString` form, e.g. `exponential(a=2, b=3)`).
 ///
 /// `dir` must already exist; files are overwritten.
-Status SaveDatabase(const Catalog& catalog, const std::string& dir);
+[[nodiscard]] Status SaveDatabase(const Catalog& catalog, const std::string& dir);
 
 /// \brief Loads a database saved by `SaveDatabase` into `catalog`.
 ///
@@ -31,7 +31,7 @@ Status SaveDatabase(const Catalog& catalog, const std::string& dir);
 ///
 /// Note: tuple ids are assigned afresh — `BaseTupleId`s are process-local
 /// handles, not persistent identifiers.
-Status LoadDatabase(const std::string& dir, Catalog* catalog);
+[[nodiscard]] Status LoadDatabase(const std::string& dir, Catalog* catalog);
 
 }  // namespace pcqe
 

@@ -53,7 +53,7 @@ class Schema {
 
   /// Resolves `name` (either "c" or "t.c") to a column index.
   /// Returns `kNotFound` when absent, `kBindError` when ambiguous.
-  Result<size_t> IndexOf(const std::string& name) const;
+  [[nodiscard]] Result<size_t> IndexOf(const std::string& name) const;
 
   /// True iff `IndexOf(name)` would succeed.
   bool Contains(const std::string& name) const { return IndexOf(name).ok(); }

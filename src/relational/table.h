@@ -44,15 +44,15 @@ class Table {
   ///
   /// Validates arity and per-column types (NULL is accepted in any column;
   /// BIGINT widens into DOUBLE columns). Returns the assigned tuple id.
-  Result<BaseTupleId> Insert(std::vector<Value> values, double confidence,
+  [[nodiscard]] Result<BaseTupleId> Insert(std::vector<Value> values, double confidence,
                              CostFunctionPtr cost = nullptr, double max_confidence = 1.0);
 
   /// Looks up a tuple by id within this table.
-  Result<const Tuple*> FindTuple(BaseTupleId id) const;
+  [[nodiscard]] Result<const Tuple*> FindTuple(BaseTupleId id) const;
 
   /// Sets the confidence of tuple `id`. Returns `kNotFound` for foreign ids
   /// and `kInvalidArgument` when `confidence` exceeds the tuple's ceiling.
-  Status SetConfidence(BaseTupleId id, double confidence);
+  [[nodiscard]] Status SetConfidence(BaseTupleId id, double confidence);
 
   /// The id-space prefix of this table, exposed so the catalog can route a
   /// `BaseTupleId` back to its owning table.
@@ -60,7 +60,7 @@ class Table {
 
  private:
   /// Row index encoded in `id`, or an error if `id` belongs elsewhere.
-  Result<size_t> RowOf(BaseTupleId id) const;
+  [[nodiscard]] Result<size_t> RowOf(BaseTupleId id) const;
 
   std::string name_;
   Schema schema_;

@@ -64,11 +64,11 @@ class Value {
 
   /// \name Checked accessors; return `kInvalidArgument` on a type mismatch.
   /// @{
-  Result<bool> AsBool() const;
-  Result<int64_t> AsInt() const;
+  [[nodiscard]] Result<bool> AsBool() const;
+  [[nodiscard]] Result<int64_t> AsInt() const;
   /// Numeric widening: BIGINT values convert implicitly.
-  Result<double> AsDouble() const;
-  Result<std::string> AsString() const;
+  [[nodiscard]] Result<double> AsDouble() const;
+  [[nodiscard]] Result<std::string> AsString() const;
   /// @}
 
   /// Total-order comparison: NULL < BOOL < INT/DOUBLE (numerically merged)

@@ -25,7 +25,7 @@ struct BruteForceOptions {
 /// Exists purely as ground truth for tests and the optimality benches; the
 /// paper's own exact algorithm is `HeuristicSolver`, which must agree with
 /// this on every instance it can solve.
-Result<IncrementSolution> SolveBruteForce(const IncrementProblem& problem,
+[[nodiscard]] Result<IncrementSolution> SolveBruteForce(const IncrementProblem& problem,
                                           const BruteForceOptions& options = {});
 
 }  // namespace pcqe

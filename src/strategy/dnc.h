@@ -43,7 +43,7 @@ struct DncOptions {
 /// 4. A global `RefineDown` pass removes increments made redundant by the
 ///    combination (paper: "a refinement process similar to the second phase
 ///    of the greedy algorithm").
-Result<IncrementSolution> SolveDnc(const IncrementProblem& problem,
+[[nodiscard]] Result<IncrementSolution> SolveDnc(const IncrementProblem& problem,
                                    const DncOptions& options = {});
 
 }  // namespace pcqe

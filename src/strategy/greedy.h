@@ -49,7 +49,7 @@ struct GreedyOptions {
 /// while a deficit remains, returns the best-effort state with
 /// `feasible = false`. Complexity O(k·(l1 + log k)) with lazy max-gain
 /// maintenance (k base tuples, l1 phase-1 iterations).
-Result<IncrementSolution> SolveGreedy(const IncrementProblem& problem,
+[[nodiscard]] Result<IncrementSolution> SolveGreedy(const IncrementProblem& problem,
                                       const GreedyOptions& options = {});
 
 /// \brief Snapshot taken whenever greedy phase 1 satisfies additional

@@ -56,7 +56,7 @@ struct HeuristicOptions {
 ///
 /// When the problem is infeasible even with every tuple at its ceiling, the
 /// do-nothing assignment is returned with `feasible = false`.
-Result<IncrementSolution> SolveHeuristic(const IncrementProblem& problem,
+[[nodiscard]] Result<IncrementSolution> SolveHeuristic(const IncrementProblem& problem,
                                          const HeuristicOptions& options = {});
 
 /// Computes the H1 ordering's costβ for one base tuple (exposed for tests).

@@ -74,7 +74,7 @@ class IncrementProblem {
   ///        size defines the number of queries.
   /// \param base_tuples every base tuple the lineages mention (extras are
   ///        allowed and simply never help). Duplicate ids are rejected.
-  static Result<IncrementProblem> Build(std::shared_ptr<const LineageArena> arena,
+  [[nodiscard]] static Result<IncrementProblem> Build(std::shared_ptr<const LineageArena> arena,
                                         const std::vector<LineageRef>& result_lineages,
                                         std::vector<uint32_t> result_query,
                                         std::vector<size_t> required_per_query,
@@ -82,7 +82,7 @@ class IncrementProblem {
                                         ProblemOptions options);
 
   /// Single-query convenience wrapper.
-  static Result<IncrementProblem> BuildSingle(std::shared_ptr<const LineageArena> arena,
+  [[nodiscard]] static Result<IncrementProblem> BuildSingle(std::shared_ptr<const LineageArena> arena,
                                               const std::vector<LineageRef>& result_lineages,
                                               std::vector<BaseTupleSpec> base_tuples,
                                               size_t required, ProblemOptions options);
@@ -135,7 +135,7 @@ class IncrementProblem {
   std::vector<double> InitialProbs() const;
 
   /// Local index of the base tuple with lineage-variable id `id`.
-  Result<size_t> BaseIndexOf(LineageVarId id) const;
+  [[nodiscard]] Result<size_t> BaseIndexOf(LineageVarId id) const;
 
   /// True iff no lineage contains negation, making every result confidence
   /// monotone non-decreasing in every base confidence. The branch-and-bound

@@ -61,7 +61,7 @@ struct IncrementSolution {
 /// - `feasible`/`satisfied_results` match the recomputed satisfaction.
 /// Returns `kInternal` describing the first violation — used by tests and
 /// by the engine as a safety net before applying improvements.
-Status ValidateSolution(const IncrementProblem& problem, const IncrementSolution& solution);
+[[nodiscard]] Status ValidateSolution(const IncrementProblem& problem, const IncrementSolution& solution);
 
 /// Builds the solution record for the state a solver ended in.
 IncrementSolution MakeSolution(const ConfidenceState& state, std::string algorithm);

@@ -69,7 +69,7 @@ struct Workload {
   double delta = 0.1;
 
   /// Packages the workload as a single-query `IncrementProblem`.
-  Result<IncrementProblem> ToProblem() const;
+  [[nodiscard]] Result<IncrementProblem> ToProblem() const;
 };
 
 /// Generates a workload. Deterministic in `params.seed`.
@@ -87,11 +87,11 @@ struct MultiQueryWorkload {
   double delta = 0.1;
 
   /// Packages the workload as a multi-query `IncrementProblem`.
-  Result<IncrementProblem> ToProblem() const;
+  [[nodiscard]] Result<IncrementProblem> ToProblem() const;
 
   /// The single-query sub-problem of query `q` (same arena and base
   /// tuples), for comparing a combined solve against per-query solves.
-  Result<IncrementProblem> ToSingleProblem(size_t q) const;
+  [[nodiscard]] Result<IncrementProblem> ToSingleProblem(size_t q) const;
 };
 
 /// Generates `num_queries` queries over one shared base-tuple population;

@@ -1,0 +1,12 @@
+// pcqe-lint-fixture-path: src/example/bad_assert.cc
+// Fixture: bare assert() vanishes under NDEBUG; must be PCQE_CHECK/PCQE_DCHECK.
+#include <cassert>
+
+namespace pcqe {
+
+int Halve(int n) {
+  assert(n % 2 == 0);
+  return n / 2;
+}
+
+}  // namespace pcqe

@@ -1,0 +1,13 @@
+// pcqe-lint-fixture-path: src/example/bad_discard.cc
+// Fixture: statement-level call to a Status-returning function, result dropped.
+#include "common/status.h"
+
+namespace pcqe {
+
+Status WriteThrough(int n);
+
+void Flush(int n) {
+  WriteThrough(n);
+}
+
+}  // namespace pcqe

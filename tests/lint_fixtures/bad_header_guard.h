@@ -1,0 +1,10 @@
+// pcqe-lint-fixture-path: src/example/bad_guard.h
+// Fixture: guard does not spell the path (expected PCQE_EXAMPLE_BAD_GUARD_H_).
+#ifndef WRONG_GUARD_NAME_H
+#define WRONG_GUARD_NAME_H
+
+namespace pcqe {
+struct GuardExample {};
+}  // namespace pcqe
+
+#endif  // WRONG_GUARD_NAME_H

@@ -1,0 +1,9 @@
+// pcqe-lint-fixture-path: src/example/bad_iostream.cc
+// Fixture: direct std::cout use in library code.
+#include <iostream>
+
+namespace pcqe {
+
+void Report(int n) { std::cout << "n = " << n << "\n"; }
+
+}  // namespace pcqe

@@ -1,0 +1,19 @@
+// pcqe-lint-fixture-path: src/example/bad_valueordie.cc
+// Fixture: ValueOrDie() with no ok() check in the preceding window.
+#include "common/result.h"
+
+namespace pcqe {
+
+Result<int> Forty();
+
+int UseUnchecked() {
+  Result<int> r = Forty();
+  int a = 0;
+  int b = 1;
+  int c = 2;
+  int d = 3;
+  int e = 4;
+  return r.ValueOrDie() + a + b + c + d + e;
+}
+
+}  // namespace pcqe

@@ -1,0 +1,18 @@
+// pcqe-lint-fixture-path: src/example/good_allow.cc
+// Fixture: every rule can be suppressed line-by-line with an allow comment.
+#include <cassert>
+#include <iostream>
+
+#include "common/status.h"
+
+namespace pcqe {
+
+Status WriteThrough(int n);
+
+void Suppressed(int n) {
+  assert(n >= 0);                          // pcqe-lint: allow(bare-assert)
+  std::cout << n << "\n";                  // pcqe-lint: allow(iostream-in-src)
+  WriteThrough(n);                         // pcqe-lint: allow(discarded-status)
+}
+
+}  // namespace pcqe

@@ -1,0 +1,25 @@
+// pcqe-lint-fixture-path: src/example/good_clean.cc
+// Fixture: idiomatic error handling; every rule must stay quiet.
+#include "common/logging.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace pcqe {
+
+Result<int> Forty();
+Status WriteThrough(int n);
+
+Status UseChecked() {
+  Result<int> r = Forty();
+  if (!r.ok()) return r.status();
+  int v = r.ValueOrDie();
+  PCQE_RETURN_NOT_OK(WriteThrough(v));
+  PCQE_LOG(Debug) << "wrote " << v;
+  Status ignored_deliberately = WriteThrough(v + 1);
+  if (!ignored_deliberately.ok()) {
+    PCQE_LOG(Warning) << ignored_deliberately.ToString();
+  }
+  return Status::OK();
+}
+
+}  // namespace pcqe

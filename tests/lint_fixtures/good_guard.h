@@ -1,0 +1,9 @@
+// pcqe-lint-fixture-path: src/example/good_guard.h
+#ifndef PCQE_EXAMPLE_GOOD_GUARD_H_
+#define PCQE_EXAMPLE_GOOD_GUARD_H_
+
+namespace pcqe {
+struct GuardExample {};
+}  // namespace pcqe
+
+#endif  // PCQE_EXAMPLE_GOOD_GUARD_H_

@@ -1,0 +1,101 @@
+// Copyright (c) PCQE contributors.
+// Error-handling idiom tests: ValueOrDie is fatal in every build type, and
+// the propagation macros forward the original code and message unchanged.
+
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace pcqe {
+namespace {
+
+Result<int> FailWith(Status status) { return status; }
+
+Status ReturnNotOkWrapper(const Status& s) {
+  PCQE_RETURN_NOT_OK(s);
+  return Status::OK();
+}
+
+Status AssignOrReturnWrapper(Result<int> r, int* out) {
+  PCQE_ASSIGN_OR_RETURN(*out, std::move(r));
+  return Status::OK();
+}
+
+Result<std::string> AssignOrReturnChain(Result<int> r) {
+  PCQE_ASSIGN_OR_RETURN(int v, std::move(r));
+  return std::to_string(v);
+}
+
+TEST(ResultDeathTest, ValueOrDieOnErrorIsFatalInAllBuildTypes) {
+  // PCQE_CHECK (not assert / PCQE_DCHECK) backs ValueOrDie, so the abort
+  // must fire even when the test binary is compiled with NDEBUG.
+  Result<int> error = FailWith(Status::Internal("lineage arena corrupted"));
+  EXPECT_DEATH({ [[maybe_unused]] int v = error.ValueOrDie(); },
+               "ValueOrDie\\(\\) on error Result.*lineage arena corrupted");
+}
+
+TEST(ResultDeathTest, DereferenceOnErrorIsFatal) {
+  Result<int> error = FailWith(Status::NotFound("no such tuple"));
+  EXPECT_DEATH({ [[maybe_unused]] int v = *error; }, "no such tuple");
+}
+
+TEST(ResultTest, ValueOrDieReturnsValueWhenOk) {
+  Result<int> ok = 41;
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ValueOrDie(), 41);
+  EXPECT_EQ(*ok, 41);
+}
+
+TEST(ResultTest, ValueOrFallsBackOnError) {
+  Result<int> error = FailWith(Status::Infeasible("target unreachable"));
+  EXPECT_EQ(error.ValueOr(7), 7);
+}
+
+TEST(StatusPropagationTest, ReturnNotOkForwardsCodeAndMessageUnchanged) {
+  Status original = Status::PermissionDenied("analyst may not see raw_feed");
+  Status propagated = ReturnNotOkWrapper(original);
+  EXPECT_EQ(propagated.code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(propagated.message(), "analyst may not see raw_feed");
+  EXPECT_EQ(propagated, original);
+}
+
+TEST(StatusPropagationTest, ReturnNotOkPassesThroughOk) {
+  EXPECT_TRUE(ReturnNotOkWrapper(Status::OK()).ok());
+}
+
+TEST(StatusPropagationTest, AssignOrReturnForwardsErrorUnchanged) {
+  int out = -1;
+  Status propagated =
+      AssignOrReturnWrapper(FailWith(Status::BindError("unknown column conf")), &out);
+  EXPECT_EQ(propagated.code(), StatusCode::kBindError);
+  EXPECT_EQ(propagated.message(), "unknown column conf");
+  EXPECT_EQ(out, -1) << "lhs must not be assigned on the error path";
+}
+
+TEST(StatusPropagationTest, AssignOrReturnAssignsOnOk) {
+  int out = -1;
+  ASSERT_TRUE(AssignOrReturnWrapper(Result<int>(42), &out).ok());
+  EXPECT_EQ(out, 42);
+}
+
+TEST(StatusPropagationTest, AssignOrReturnErrorCrossesResultTypes) {
+  // A Result<int> error must surface untouched through a Result<string>
+  // function: same code, same message.
+  Result<std::string> r = AssignOrReturnChain(FailWith(Status::ParseError("bad token ';'")));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_EQ(r.status().message(), "bad token ';'");
+}
+
+TEST(StatusPropagationTest, WithContextPrependsButKeepsCode) {
+  Status s = Status::NotFound("tuple 12").WithContext("loading policy");
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "loading policy: tuple 12");
+}
+
+}  // namespace
+}  // namespace pcqe

@@ -1,0 +1,267 @@
+#!/usr/bin/env python3
+"""pcqe_lint: mechanical enforcement of PCQE repo invariants.
+
+Rules (ids in brackets; suppress a line with `// pcqe-lint: allow(<rule>)`):
+
+  [valueordie-unchecked]  `ValueOrDie()` in src/ or tools/ must be preceded
+      (within a few lines) by an `ok()` check or a PCQE_CHECK/PCQE_DCHECK.
+      Tests and benches may die freely; library code must not.
+  [iostream-in-src]       `std::cout` / `std::cerr` anywhere in src/ outside
+      common/logging.h. Library code logs through PCQE_LOG so callers can
+      control verbosity.
+  [header-guard]          Header guards must spell the path:
+      src/policy/rbac.h -> PCQE_POLICY_RBAC_H_, tools/shell.h ->
+      PCQE_TOOLS_SHELL_H_.
+  [bare-assert]           No `assert(` in src/. Use PCQE_CHECK (fatal in all
+      builds) or PCQE_DCHECK (debug only) so behavior under NDEBUG is a
+      deliberate choice, not UB.
+  [discarded-status]      A call to a Status-returning function must not be a
+      bare statement; handle it, PCQE_RETURN_NOT_OK it, or assign it. This is
+      the rule clang-tidy cannot apply: it knows the repo's own function set.
+
+Usage:
+  pcqe_lint.py [--root DIR] [FILE...]   # lint repo (or explicit files)
+  pcqe_lint.py --self-test [DIR]        # run against fixture files
+Exit status: 0 clean, 1 violations found, 2 usage/internal error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+LINT_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
+# Directories scanned in repo mode, relative to the root.
+SCAN_DIRS = ("src", "tools", "bench", "examples", "tests")
+
+ALLOW_RE = re.compile(r"//\s*pcqe-lint:\s*allow\(([\w-]+)\)")
+FIXTURE_PATH_RE = re.compile(r"//\s*pcqe-lint-fixture-path:\s*(\S+)")
+
+# Collection pass: names of functions declared/defined to return Status.
+STATUS_FN_RE = re.compile(
+    r"^\s*(?:\[\[nodiscard\]\]\s*)?(?:static\s+|virtual\s+)?Status\s+"
+    r"(?:[A-Za-z_]\w*::)*([A-Za-z_]\w*)\s*\("
+)
+# Statement-level call: `obj.Fn(...)`, `ptr->Fn(...)`, `ns::Fn(...)` or
+# `Fn(...)` as the whole statement on one line.
+CALL_STMT_RE = re.compile(
+    r"^(?:[A-Za-z_]\w*(?:\(\))?(?:\.|->|::))*([A-Za-z_]\w*)\s*\(.*\)\s*;\s*(?://.*)?$"
+)
+
+
+class Violation:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def _strip_strings(line):
+    """Blank out string/char literals so their contents can't match rules."""
+    return re.sub(r'"(?:[^"\\]|\\.)*"|\'(?:[^\'\\]|\\.)*\'', '""', line)
+
+
+def _allowed(line, rule):
+    m = ALLOW_RE.search(line)
+    return bool(m) and m.group(1) == rule
+
+
+def expected_guard(relpath):
+    # The src/ prefix is not part of the guard: src/policy/rbac.h ->
+    # PCQE_POLICY_RBAC_H_, but tools/shell.h -> PCQE_TOOLS_SHELL_H_.
+    if relpath.startswith("src/"):
+        relpath = relpath[len("src/"):]
+    stem = re.sub(r"[^A-Za-z0-9]", "_", relpath)
+    return "PCQE_" + re.sub(r"_(h|hpp)$", "", stem, flags=re.IGNORECASE).upper() + "_H_"
+
+
+def collect_status_functions(files):
+    names = set()
+    for _, relpath, lines in files:
+        if not relpath.startswith(("src/", "tools/")):
+            continue
+        for line in lines:
+            m = STATUS_FN_RE.match(line)
+            if m:
+                names.add(m.group(1))
+    return names
+
+
+def lint_file(relpath, lines, status_fns):
+    """Lint one file given its repo-relative path and content lines."""
+    out = []
+    in_src = relpath.startswith("src/")
+    in_tools = relpath.startswith("tools/")
+    basename = os.path.basename(relpath)
+    is_header = relpath.endswith((".h", ".hpp"))
+
+    # -- header-guard ------------------------------------------------------
+    if is_header and relpath.startswith(("src/", "tools/", "bench/", "tests/")):
+        guard = expected_guard(relpath)
+        ifndef = next(
+            (i for i, l in enumerate(lines) if l.lstrip().startswith("#ifndef")), None)
+        if ifndef is None:
+            out.append(Violation(relpath, 1, "header-guard",
+                                 f"missing include guard (expected {guard})"))
+        else:
+            actual = lines[ifndef].split()[1] if len(lines[ifndef].split()) > 1 else ""
+            if actual != guard and not _allowed(lines[ifndef], "header-guard"):
+                out.append(Violation(relpath, ifndef + 1, "header-guard",
+                                     f"guard is {actual}, expected {guard}"))
+            elif ifndef + 1 >= len(lines) or \
+                    lines[ifndef + 1].split()[:2] != ["#define", actual]:
+                out.append(Violation(relpath, ifndef + 1, "header-guard",
+                                     f"#ifndef {actual} not followed by #define {actual}"))
+
+    for i, raw in enumerate(lines, start=1):
+        line = _strip_strings(raw)
+        code = line.split("//")[0]
+
+        # -- iostream-in-src ----------------------------------------------
+        if in_src and basename != "logging.h" and \
+                re.search(r"\bstd::c(out|err)\b", code) and \
+                not _allowed(raw, "iostream-in-src"):
+            out.append(Violation(relpath, i, "iostream-in-src",
+                                 "use PCQE_LOG instead of std::cout/std::cerr in src/"))
+
+        # -- bare-assert ---------------------------------------------------
+        if in_src and re.search(r"(?<!static_)\bassert\s*\(", code) and \
+                "#include" not in code and not _allowed(raw, "bare-assert"):
+            out.append(Violation(relpath, i, "bare-assert",
+                                 "use PCQE_CHECK/PCQE_DCHECK instead of assert()"))
+
+        # -- valueordie-unchecked -----------------------------------------
+        if (in_src or in_tools) and not _allowed(raw, "valueordie-unchecked"):
+            # Only member calls (`x.ValueOrDie()` / `p->ValueOrDie()`) count;
+            # the declarations in result.h are not preceded by . or ->.
+            if re.search(r"(\.|->)\s*ValueOrDie\s*\(", code):
+                window = lines[max(0, i - 6):i]
+                guarded = any(
+                    re.search(r"\.ok\s*\(\)|->ok\s*\(\)|PCQE_D?CHECK", _strip_strings(w))
+                    for w in window)
+                if not guarded:
+                    out.append(Violation(
+                        relpath, i, "valueordie-unchecked",
+                        "ValueOrDie() without a preceding ok() check or PCQE_CHECK; "
+                        "use PCQE_ASSIGN_OR_RETURN or check ok() first"))
+
+        # -- discarded-status ---------------------------------------------
+        if (in_src or in_tools) and not _allowed(raw, "discarded-status"):
+            stmt = code.strip()
+            m = CALL_STMT_RE.match(stmt)
+            if m and m.group(1) in status_fns and \
+                    not re.match(r"^(\[\[nodiscard\]\]|Status|Result<|virtual|static|return)\b",
+                                 stmt):
+                out.append(Violation(
+                    relpath, i, "discarded-status",
+                    f"result of Status-returning call {m.group(1)}() is discarded; "
+                    "handle it or use PCQE_RETURN_NOT_OK"))
+    return out
+
+
+def gather_repo_files(root):
+    files = []
+    for top in SCAN_DIRS:
+        for dirpath, dirnames, names in os.walk(os.path.join(root, top)):
+            # Fixtures are deliberately-bad inputs for --self-test.
+            dirnames[:] = [d for d in dirnames if d != "lint_fixtures"]
+            for name in sorted(names):
+                if name.endswith(LINT_EXTENSIONS):
+                    path = os.path.join(dirpath, name)
+                    relpath = os.path.relpath(path, root).replace(os.sep, "/")
+                    with open(path, encoding="utf-8", errors="replace") as f:
+                        files.append((path, relpath, f.read().splitlines()))
+    return files
+
+
+def run_lint(root, explicit_files):
+    if explicit_files:
+        files = []
+        for path in explicit_files:
+            relpath = os.path.relpath(os.path.abspath(path), root).replace(os.sep, "/")
+            try:
+                with open(path, encoding="utf-8", errors="replace") as f:
+                    lines = f.read().splitlines()
+            except OSError as e:
+                print(f"pcqe_lint: cannot read {path}: {e.strerror}", file=sys.stderr)
+                return 2
+            # Fixture files carry the repo path they pretend to live at.
+            m = FIXTURE_PATH_RE.search(lines[0]) if lines else None
+            if m:
+                relpath = m.group(1)
+            files.append((path, relpath, lines))
+    else:
+        files = gather_repo_files(root)
+    status_fns = collect_status_functions(files)
+    violations = []
+    for _, relpath, lines in files:
+        violations.extend(lint_file(relpath, lines, status_fns))
+    for v in violations:
+        print(v)
+    print(f"pcqe_lint: {len(files)} files, {len(violations)} violation(s)")
+    return 1 if violations else 0
+
+
+def run_self_test(fixture_dir):
+    """Fixture files declare their virtual repo path on line 1 via
+    `// pcqe-lint-fixture-path: src/...`. `bad_<rule>[_\\w]*.(cc|h)` must
+    trigger exactly that rule; `good_*` must be clean."""
+    failures = []
+    names = sorted(n for n in os.listdir(fixture_dir) if n.endswith(LINT_EXTENSIONS))
+    if not names:
+        print(f"pcqe_lint --self-test: no fixtures in {fixture_dir}", file=sys.stderr)
+        return 2
+    for name in names:
+        path = os.path.join(fixture_dir, name)
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+        m = FIXTURE_PATH_RE.search(lines[0]) if lines else None
+        if not m:
+            failures.append(f"{name}: missing pcqe-lint-fixture-path directive")
+            continue
+        relpath = m.group(1)
+        files = [(path, relpath, lines)]
+        status_fns = collect_status_functions(files)
+        got = {v.rule for v in lint_file(relpath, lines, status_fns)}
+        if name.startswith("good_"):
+            if got:
+                failures.append(f"{name}: expected clean, got {sorted(got)}")
+        elif name.startswith("bad_"):
+            # Rule id is everything after bad_ up to the extension, _ -> -.
+            rule = re.match(r"bad_(.+)\.\w+$", name).group(1).replace("_", "-")
+            if rule not in got:
+                failures.append(f"{name}: expected [{rule}], got {sorted(got) or 'clean'}")
+            elif got - {rule}:
+                failures.append(f"{name}: unexpected extra rules {sorted(got - {rule})}")
+        else:
+            failures.append(f"{name}: fixture must be named bad_<rule>.* or good_*")
+    for f in failures:
+        print(f"pcqe_lint --self-test FAIL: {f}", file=sys.stderr)
+    print(f"pcqe_lint --self-test: {len(names)} fixtures, {len(failures)} failure(s)")
+    return 1 if failures else 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of this script's directory)")
+    parser.add_argument("--self-test", nargs="?", const="", metavar="DIR",
+                        help="run fixture self-test (default DIR: <root>/tests/lint_fixtures)")
+    parser.add_argument("files", nargs="*", help="explicit files to lint")
+    args = parser.parse_args(argv)
+
+    root = os.path.abspath(args.root) if args.root else \
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    if args.self_test is not None:
+        fixture_dir = args.self_test or os.path.join(root, "tests", "lint_fixtures")
+        return run_self_test(fixture_dir)
+    return run_lint(root, args.files)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

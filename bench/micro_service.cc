@@ -1,0 +1,188 @@
+// Copyright (c) PCQE contributors.
+// Service-layer throughput bench: the same policy-compliant workload pushed
+// (a) straight through `PcqeEngine::Submit` on one thread, and (b) through
+// `QueryService` with a worker pool and the shared confidence-result cache,
+// cold and warm. The interesting number on any machine — and the only
+// available one on a single-core box — is the warm-cache speedup: a hit
+// skips parse/plan/scan/lineage entirely and re-runs only the per-subject
+// policy filter.
+//
+// Emits one machine-readable line per mode:
+//   BENCH {"bench":"micro_service","mode":...,"workers":...,"cache":...}
+// Unknown argv (e.g. --benchmark_min_time from scripts/check.sh smoke runs)
+// is ignored; this is a plain binary, not a google-benchmark one.
+
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "engine/pcqe_engine.h"
+#include "service/query_service.h"
+
+namespace pcqe {
+namespace bench {
+namespace {
+
+struct Sizes {
+  size_t rows;
+  size_t requests;
+};
+
+Sizes SizesFor(Scale scale) {
+  switch (scale) {
+    case Scale::kQuick:
+      return {2000, 40};
+    case Scale::kPaper:
+      return {10000, 150};
+    case Scale::kFull:
+      return {40000, 400};
+  }
+  return {2000, 40};
+}
+
+/// `readings(site, value)` with random confidences; GROUP BY keeps the
+/// result set (and thus the cost of copying a cache hit) small while every
+/// evaluation still scans and lineage-tracks the whole table.
+std::unique_ptr<Catalog> MakeCatalog(size_t rows) {
+  auto catalog = std::make_unique<Catalog>();
+  Rng rng(42);
+  Table* readings = *catalog->CreateTable(
+      "readings", Schema({{"site", DataType::kInt64, ""},
+                          {"value", DataType::kDouble, ""}}));
+  for (size_t i = 0; i < rows; ++i) {
+    (void)*readings->Insert({Value::Int(rng.UniformInt(0, 15)),
+                             Value::Double(rng.Uniform(0.0, 100.0))},
+                            rng.Uniform(0.2, 0.95));
+  }
+  return catalog;
+}
+
+std::unique_ptr<PcqeEngine> MakeEngine(Catalog* catalog) {
+  RoleGraph roles;
+  PCQE_CHECK(roles.AddRole("Analyst").ok());
+  PCQE_CHECK(roles.AddUser("analyst").ok());
+  PCQE_CHECK(roles.AssignRole("analyst", "Analyst").ok());
+  PolicyStore policies;
+  PCQE_CHECK(policies.AddPolicy(roles, {"Analyst", "reporting", 0.01}).ok());
+  return std::make_unique<PcqeEngine>(catalog, std::move(roles),
+                                      std::move(policies));
+}
+
+constexpr const char* kQuery =
+    "SELECT site, COUNT(*) AS n, AVG(value) AS mean FROM readings "
+    "GROUP BY site ORDER BY site";
+
+/// Distinct-text variant of kQuery for cold-cache runs: the changed constant
+/// defeats normalization on purpose, so every request is a cache miss.
+std::string ColdQuery(size_t i) {
+  return StrFormat(
+      "SELECT site, COUNT(*) AS n, AVG(value) AS mean FROM readings "
+      "WHERE value >= %s GROUP BY site ORDER BY site",
+      FormatDouble(-1.0 - static_cast<double>(i)).c_str());
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void EmitLine(const char* mode, size_t workers, const char* cache,
+              size_t requests, double seconds, double hit_rate,
+              double speedup) {
+  std::string extras;
+  if (hit_rate >= 0.0) {
+    extras += StrFormat(",\"hit_rate\":%.3f", hit_rate);
+  }
+  if (speedup > 0.0) {
+    extras += StrFormat(",\"speedup_vs_single_thread\":%.2f", speedup);
+  }
+  std::printf(
+      "BENCH {\"bench\":\"micro_service\",\"mode\":\"%s\",\"workers\":%zu,"
+      "\"cache\":\"%s\",\"requests\":%zu,\"seconds\":%.4f,\"qps\":%.1f%s}\n",
+      mode, workers, cache, requests, seconds,
+      seconds > 0.0 ? static_cast<double>(requests) / seconds : 0.0,
+      extras.c_str());
+}
+
+/// One thread, no service, no cache: every request pays full evaluation.
+double RunSingleThread(const PcqeEngine& engine, size_t requests) {
+  auto start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < requests; ++i) {
+    auto outcome = engine.Submit({kQuery, "analyst", "reporting", 0.0});
+    PCQE_CHECK(outcome.ok());
+  }
+  double seconds = SecondsSince(start);
+  EmitLine("single_thread", 1, "none", requests, seconds, -1.0, 0.0);
+  return seconds;
+}
+
+/// Worker-pool run; `warm` reuses one query text, cold varies it per request.
+double RunService(PcqeEngine* engine, size_t workers, bool warm,
+                  size_t requests, double single_thread_seconds) {
+  ServiceOptions options;
+  options.num_workers = workers;
+  options.queue_capacity = requests + 8;  // admit the whole batch up-front
+  options.cache_capacity = requests + 8;
+  QueryService service(engine, options);
+  SessionHandle session = *service.OpenSession("analyst", "reporting");
+
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::future<Result<QueryOutcome>>> pending;
+  pending.reserve(requests);
+  for (size_t i = 0; i < requests; ++i) {
+    ServiceRequest request{warm ? std::string(kQuery) : ColdQuery(i),
+                           /*required_fraction=*/0.0};
+    pending.push_back(*service.SubmitAsync(session, std::move(request)));
+  }
+  for (auto& f : pending) {
+    PCQE_CHECK(f.get().ok());
+  }
+  double seconds = SecondsSince(start);
+
+  ServiceStatsSnapshot stats = service.stats();
+  double speedup =
+      seconds > 0.0 && single_thread_seconds > 0.0 && warm
+          ? single_thread_seconds / seconds
+          : 0.0;
+  EmitLine("service", workers, warm ? "warm" : "cold", requests, seconds,
+           stats.cache_hit_rate(), speedup);
+  return seconds;
+}
+
+int Run() {
+  Scale scale = BenchScale();
+  Sizes sizes = SizesFor(scale);
+  std::printf("micro_service (scale=%s): %zu rows, %zu requests per mode\n",
+              ScaleName(scale), sizes.rows, sizes.requests);
+
+  std::unique_ptr<Catalog> catalog = MakeCatalog(sizes.rows);
+  std::unique_ptr<PcqeEngine> engine = MakeEngine(catalog.get());
+
+  double single = RunSingleThread(*engine, sizes.requests);
+  (void)RunService(engine.get(), 8, /*warm=*/false, sizes.requests, single);
+  double warm =
+      RunService(engine.get(), 8, /*warm=*/true, sizes.requests, single);
+
+  std::printf("warm-cache speedup vs single thread: %.2fx\n",
+              warm > 0.0 ? single / warm : 0.0);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pcqe
+
+int main(int argc, char** argv) {
+  // Smoke harnesses pass google-benchmark flags to every micro_* binary;
+  // this one has no use for them.
+  (void)argc;
+  (void)argv;
+  return pcqe::bench::Run();
+}

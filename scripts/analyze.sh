@@ -3,7 +3,10 @@
 #   1. lint (pcqe_lint.py self-test + repo sweep)
 #   2. full test suite under ASan+UBSan (fails on any sanitizer report:
 #      -fno-sanitize-recover=all turns every report into a test failure)
-#   3. a second configure with the GCC static analyzer (-fanalyzer) and
+#   3. the concurrent service tests under TSan — ASan and TSan cannot be
+#      combined in one binary, so the data-race check is its own build tree
+#      scoped to the tests that actually exercise threads
+#   4. a second configure with the GCC static analyzer (-fanalyzer) and
 #      -Werror, so any analyzer diagnostic fails the build
 # Usage: scripts/analyze.sh
 set -euo pipefail
@@ -12,24 +15,40 @@ cd "$(dirname "$0")/.."
 GENERATOR_ARGS=()
 if command -v ninja > /dev/null 2>&1; then GENERATOR_ARGS=(-G Ninja); fi
 
-echo "== [1/3] lint"
+# An existing tree keeps its generator; re-specifying a different one errors
+# (same policy as scripts/check.sh). Echoes e.g. "-G Ninja" for fresh trees;
+# call sites expand unquoted on purpose.
+generator_args_for() {
+  if [[ -f "$1/CMakeCache.txt" ]]; then return; fi
+  printf '%s' "${GENERATOR_ARGS[*]}"
+}
+
+echo "== [1/4] lint"
 scripts/lint.sh
 
-echo "== [2/3] ASan+UBSan test suite"
-cmake -B build-asan -S . "${GENERATOR_ARGS[@]}" \
+echo "== [2/4] ASan+UBSan test suite"
+cmake -B build-asan -S . $(generator_args_for build-asan) \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPCQE_SANITIZE="address;undefined" \
   -DPCQE_BUILD_BENCHMARKS=OFF -DPCQE_BUILD_EXAMPLES=OFF
 cmake --build build-asan -j"$(nproc)"
 ctest --test-dir build-asan -j"$(nproc)" --output-on-failure
 
-echo "== [3/3] GCC static analyzer (-fanalyzer -Werror)"
+echo "== [3/4] TSan service tests"
+cmake -B build-tsan -S . $(generator_args_for build-tsan) \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DPCQE_SANITIZE=thread \
+  -DPCQE_BUILD_BENCHMARKS=OFF -DPCQE_BUILD_EXAMPLES=OFF
+cmake --build build-tsan -j"$(nproc)" --target service_test service_stress_test
+ctest --test-dir build-tsan -R '^service_(stress_)?test$' --output-on-failure
+
+echo "== [4/4] GCC static analyzer (-fanalyzer -Werror)"
 # Analyze the library and tools only: gtest/benchmark headers are not ours
 # and -fanalyzer over them is slow and noisy.
-cmake -B build-analyzer -S . "${GENERATOR_ARGS[@]}" \
+cmake -B build-analyzer -S . $(generator_args_for build-analyzer) \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPCQE_ANALYZER=ON -DPCQE_WERROR=ON \
   -DPCQE_BUILD_TESTS=OFF -DPCQE_BUILD_BENCHMARKS=OFF -DPCQE_BUILD_EXAMPLES=OFF
 cmake --build build-analyzer -j"$(nproc)"
 
-echo "analyze: lint, sanitizers, and static analyzer all clean"
+echo "analyze: lint, sanitizers, data-race check, and static analyzer all clean"

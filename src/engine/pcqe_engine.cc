@@ -21,13 +21,61 @@ std::string QueryOutcome::ReleasedTable(size_t max_rows) const {
   return view.ToTable(max_rows);
 }
 
-Result<QueryOutcome> PcqeEngine::Submit(const QueryRequest& request) {
-  PCQE_ASSIGN_OR_RETURN(std::vector<QueryOutcome> outcomes, SubmitBatch({request}));
-  return std::move(outcomes[0]);
+Result<QueryOutcome> PcqeEngine::Submit(const QueryRequest& request) const {
+  PCQE_ASSIGN_OR_RETURN(QueryResult intermediate, Evaluate(request.sql));
+  return Complete(request, std::move(intermediate));
+}
+
+Result<QueryResult> PcqeEngine::Evaluate(const std::string& sql) const {
+  // (1)-(4): evaluate the query and compute result confidences.
+  return RunQuery(*catalog_, sql);
+}
+
+Result<size_t> PcqeEngine::FilterOne(const QueryRequest& request, QueryOutcome* outcome,
+                                     std::vector<size_t>* blocked) const {
+  if (request.required_fraction < 0.0 || request.required_fraction > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("required_fraction %g outside [0, 1]", request.required_fraction));
+  }
+
+  // (5)-(6): resolve and enforce the confidence policy for this user,
+  // purpose and the data (tables) the query touched.
+  PCQE_ASSIGN_OR_RETURN(outcome->policy,
+                        policies_.Resolve(roles_, request.user, request.purpose,
+                                          outcome->intermediate.tables));
+  size_t n = outcome->intermediate.rows.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (outcome->policy.Allows(outcome->intermediate.rows[i].confidence)) {
+      outcome->released.push_back(i);
+    } else {
+      blocked->push_back(i);
+    }
+  }
+  outcome->released_fraction =
+      n == 0 ? 1.0
+             : static_cast<double>(outcome->released.size()) / static_cast<double>(n);
+
+  size_t target = static_cast<size_t>(
+      std::ceil(request.required_fraction * static_cast<double>(n)));
+  return target > outcome->released.size() ? target - outcome->released.size() : 0;
+}
+
+Result<QueryOutcome> PcqeEngine::Complete(const QueryRequest& request,
+                                          QueryResult intermediate) const {
+  QueryOutcome outcome;
+  outcome.intermediate = std::move(intermediate);
+  std::vector<size_t> blocked;
+  PCQE_ASSIGN_OR_RETURN(size_t needed, FilterOne(request, &outcome, &blocked));
+  if (needed > 0) {
+    PCQE_ASSIGN_OR_RETURN(outcome.proposal,
+                          FindStrategy({&outcome}, {blocked}, {needed},
+                                       outcome.policy.threshold, request.solver));
+  }
+  return outcome;
 }
 
 Result<std::vector<QueryOutcome>> PcqeEngine::SubmitBatch(
-    const std::vector<QueryRequest>& requests) {
+    const std::vector<QueryRequest>& requests) const {
   if (requests.empty()) return Status::InvalidArgument("empty request batch");
 
   std::vector<QueryOutcome> outcomes(requests.size());
@@ -35,36 +83,8 @@ Result<std::vector<QueryOutcome>> PcqeEngine::SubmitBatch(
   std::vector<size_t> needed(requests.size(), 0);
 
   for (size_t q = 0; q < requests.size(); ++q) {
-    const QueryRequest& request = requests[q];
-    QueryOutcome& outcome = outcomes[q];
-    if (request.required_fraction < 0.0 || request.required_fraction > 1.0) {
-      return Status::InvalidArgument(
-          StrFormat("required_fraction %g outside [0, 1]", request.required_fraction));
-    }
-
-    // (1)-(4): evaluate the query and compute result confidences.
-    PCQE_ASSIGN_OR_RETURN(outcome.intermediate, RunQuery(*catalog_, request.sql));
-
-    // (5)-(6): resolve and enforce the confidence policy for this user,
-    // purpose and the data (tables) the query touched.
-    PCQE_ASSIGN_OR_RETURN(outcome.policy,
-                          policies_.Resolve(roles_, request.user, request.purpose,
-                                            outcome.intermediate.tables));
-    size_t n = outcome.intermediate.rows.size();
-    for (size_t i = 0; i < n; ++i) {
-      if (outcome.policy.Allows(outcome.intermediate.rows[i].confidence)) {
-        outcome.released.push_back(i);
-      } else {
-        blocked[q].push_back(i);
-      }
-    }
-    outcome.released_fraction =
-        n == 0 ? 1.0
-               : static_cast<double>(outcome.released.size()) / static_cast<double>(n);
-
-    size_t target = static_cast<size_t>(
-        std::ceil(request.required_fraction * static_cast<double>(n)));
-    needed[q] = target > outcome.released.size() ? target - outcome.released.size() : 0;
+    PCQE_ASSIGN_OR_RETURN(outcomes[q].intermediate, Evaluate(requests[q].sql));
+    PCQE_ASSIGN_OR_RETURN(needed[q], FilterOne(requests[q], &outcomes[q], &blocked[q]));
   }
 
   // (7): strategy finding across every request that came up short.
@@ -100,7 +120,7 @@ Result<std::vector<QueryOutcome>> PcqeEngine::SubmitBatch(
 Result<StrategyProposal> PcqeEngine::FindStrategy(
     const std::vector<const QueryOutcome*>& outcomes,
     const std::vector<std::vector<size_t>>& blocked, const std::vector<size_t>& needed,
-    double beta, SolverKind solver) {
+    double beta, SolverKind solver) const {
   // Pool the blocked rows' lineages into one arena.
   auto arena = std::make_shared<LineageArena>();
   std::vector<LineageRef> lineages;

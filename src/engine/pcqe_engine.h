@@ -83,6 +83,13 @@ struct QueryOutcome {
 ///     proposal (nothing is modified yet — the user must accept);
 ///  4. `AcceptProposal` applies the improvement via `QualityImprover`;
 ///     re-`Submit` then returns the enlarged result set.
+///
+/// Const-correctness doubles as the concurrency contract: the whole read
+/// path (`Submit`, `SubmitBatch`, `Evaluate`, `Complete`) is `const`, and
+/// `AcceptProposal` is the only member that mutates the catalog. A serving
+/// layer may therefore run reads through a `const PcqeEngine&` under a
+/// shared (reader) lock and reserve exclusive locking for `AcceptProposal`
+/// — the compiler proves nothing else writes.
 class PcqeEngine {
  public:
   /// The engine borrows the catalog (it must outlive the engine) and owns
@@ -94,7 +101,7 @@ class PcqeEngine {
         improver_(catalog) {}
 
   /// Runs steps 1-3 above.
-  [[nodiscard]] Result<QueryOutcome> Submit(const QueryRequest& request);
+  [[nodiscard]] Result<QueryOutcome> Submit(const QueryRequest& request) const;
 
   /// Runs several requests as one batch (§4's multi-query extension): the
   /// strategy problem spans all blocked results and must satisfy every
@@ -102,18 +109,36 @@ class PcqeEngine {
   /// same confidence threshold (same role/purpose class); otherwise
   /// `kInvalidArgument`. Per-request outcomes carry a shared proposal
   /// (attached to the first outcome whose request needed it).
-  [[nodiscard]] Result<std::vector<QueryOutcome>> SubmitBatch(const std::vector<QueryRequest>& requests);
+  [[nodiscard]] Result<std::vector<QueryOutcome>> SubmitBatch(
+      const std::vector<QueryRequest>& requests) const;
+
+  /// Step 1 alone: evaluates the SQL and computes result confidences. The
+  /// returned `QueryResult` is user-independent (no policy applied), which
+  /// makes it shareable across subjects — the service layer caches it keyed
+  /// on (normalized SQL, catalog confidence-version).
+  [[nodiscard]] Result<QueryResult> Evaluate(const std::string& sql) const;
+
+  /// Steps 2-3 on an already-evaluated result: resolves the policy for the
+  /// request's subject, filters, and runs strategy finding on a shortfall.
+  /// `intermediate` must come from `Evaluate` (or a cache of it) against the
+  /// catalog's current confidences.
+  [[nodiscard]] Result<QueryOutcome> Complete(const QueryRequest& request,
+                                              QueryResult intermediate) const;
 
   /// Applies a proposal's increments to the database. The caller re-submits
-  /// the query afterwards to receive the enlarged result set.
+  /// the query afterwards to receive the enlarged result set. Sole mutator
+  /// of catalog state; bumps `Catalog::confidence_version()`.
   [[nodiscard]] Status AcceptProposal(const StrategyProposal& proposal);
 
   /// \name Component access.
   /// @{
   RoleGraph* roles() { return &roles_; }
+  const RoleGraph& roles() const { return roles_; }
   PolicyStore* policies() { return &policies_; }
+  const PolicyStore& policies() const { return policies_; }
   const QualityImprover& improver() const { return improver_; }
   Catalog* catalog() { return catalog_; }
+  const Catalog& catalog() const { return *catalog_; }
   /// @}
 
   /// Problems at or below this base-tuple count use the exact solver under
@@ -124,13 +149,19 @@ class PcqeEngine {
   double improvement_delta = 0.1;
 
  private:
+  /// Step 2 for one request: validates the required fraction, resolves the
+  /// policy and splits `outcome->intermediate.rows` into released/blocked.
+  /// Returns how many more rows must clear the threshold (0 = satisfied).
+  [[nodiscard]] Result<size_t> FilterOne(const QueryRequest& request, QueryOutcome* outcome,
+                                         std::vector<size_t>* blocked) const;
+
   /// Builds and solves the increment problem for the blocked rows of one or
   /// more evaluated queries. `blocked[q]` are row indices into
   /// `outcomes[q]->intermediate.rows`; `needed[q]` is how many must flip.
   [[nodiscard]] Result<StrategyProposal> FindStrategy(const std::vector<const QueryOutcome*>& outcomes,
                                         const std::vector<std::vector<size_t>>& blocked,
                                         const std::vector<size_t>& needed, double beta,
-                                        SolverKind solver);
+                                        SolverKind solver) const;
 
   Catalog* catalog_;
   RoleGraph roles_;

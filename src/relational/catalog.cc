@@ -66,7 +66,11 @@ Status Catalog::SetConfidence(BaseTupleId id, double confidence) {
   uint32_t table_id = static_cast<uint32_t>(id >> 32);
   for (auto& [key, table] : tables_) {
     (void)key;
-    if (table->table_id() == table_id) return table->SetConfidence(id, confidence);
+    if (table->table_id() == table_id) {
+      PCQE_RETURN_NOT_OK(table->SetConfidence(id, confidence));
+      confidence_version_.fetch_add(1, std::memory_order_release);
+      return Status::OK();
+    }
   }
   return Status::NotFound(StrFormat("no table owns tuple id %llu",
                                     static_cast<unsigned long long>(id)));

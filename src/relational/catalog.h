@@ -4,6 +4,8 @@
 #ifndef PCQE_RELATIONAL_CATALOG_H_
 #define PCQE_RELATIONAL_CATALOG_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -48,7 +50,16 @@ class Catalog {
   [[nodiscard]] Result<const Tuple*> FindTuple(BaseTupleId id) const;
 
   /// Sets the confidence of the identified tuple (improvement component).
+  /// Every successful write bumps `confidence_version()`.
   [[nodiscard]] Status SetConfidence(BaseTupleId id, double confidence);
+
+  /// Monotone counter of committed confidence writes. Cross-request caches
+  /// key result sets on this value: a bump invalidates every entry computed
+  /// against the older confidences without the catalog knowing about any
+  /// cache. Safe to read concurrently with `SetConfidence`.
+  [[nodiscard]] uint64_t confidence_version() const {
+    return confidence_version_.load(std::memory_order_acquire);
+  }
 
  private:
   /// Lowercased lookup key.
@@ -57,6 +68,7 @@ class Catalog {
   std::map<std::string, std::unique_ptr<Table>> tables_;  // key: lowercased name
   std::vector<std::string> creation_order_;               // original-cased names
   uint32_t next_table_id_ = 1;
+  std::atomic<uint64_t> confidence_version_{0};
 };
 
 }  // namespace pcqe

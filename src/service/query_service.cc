@@ -1,0 +1,211 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace pcqe {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t ElapsedUs(Clock::time_point since) {
+  return static_cast<uint64_t>(std::max<int64_t>(
+      0, std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - since)
+             .count()));
+}
+
+}  // namespace
+
+QueryService::QueryService(PcqeEngine* engine, ServiceOptions options)
+    : engine_(engine), options_(options), cache_(options.cache_capacity) {
+  workers_.reserve(options_.num_workers);
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this](std::stop_token stop) { WorkerLoop(stop); });
+  }
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+Result<SessionHandle> QueryService::OpenSession(const std::string& user,
+                                                const std::string& purpose) {
+  // Shared lock: session opening reads role/policy configuration, which the
+  // exclusive path (Accept) never touches, but holding the read lock keeps
+  // the resolved β consistent with any concurrently completing requests.
+  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+  const PcqeEngine& engine = *engine_;
+  return sessions_.Open(engine.roles(), engine.policies(), user, purpose);
+}
+
+Status QueryService::CloseSession(uint64_t session_id) {
+  return sessions_.Close(session_id);
+}
+
+Result<std::future<Result<QueryOutcome>>> QueryService::SubmitAsync(
+    const SessionHandle& session, ServiceRequest request) {
+  PendingRequest pending;
+  pending.session = session;
+  pending.request = std::move(request);
+  pending.enqueued = Clock::now();
+  int64_t timeout_ms = pending.request.timeout_ms > 0 ? pending.request.timeout_ms
+                                                      : options_.default_timeout_ms;
+  pending.deadline = timeout_ms > 0
+                         ? pending.enqueued + std::chrono::milliseconds(timeout_ms)
+                         : Clock::time_point::max();
+  std::future<Result<QueryOutcome>> future = pending.promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> guard(queue_mu_);
+    if (!accepting_) {
+      stats_.OnRejected();
+      return Status::ResourceExhausted("query service is shut down");
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      stats_.OnRejected();
+      return Status::ResourceExhausted(
+          StrFormat("request queue full (%zu pending); retry later",
+                    queue_.size()));
+    }
+    queue_.push_back(std::move(pending));
+  }
+  stats_.OnSubmitted();
+  queue_cv_.notify_one();
+  return future;
+}
+
+Result<QueryOutcome> QueryService::Submit(const SessionHandle& session,
+                                          ServiceRequest request) {
+  if (workers_.empty()) {
+    // No workers to hand off to: run on the caller's thread.
+    stats_.OnSubmitted();
+    Clock::time_point start = Clock::now();
+    Result<QueryOutcome> outcome = Execute(session, request);
+    stats_.RecordLatencyUs(ElapsedUs(start));
+    return outcome;
+  }
+  PCQE_ASSIGN_OR_RETURN(std::future<Result<QueryOutcome>> future,
+                        SubmitAsync(session, std::move(request)));
+  return future.get();
+}
+
+Result<QueryOutcome> QueryService::Execute(const SessionHandle& session,
+                                           const ServiceRequest& request) {
+  Result<QueryOutcome> outcome = [&]() -> Result<QueryOutcome> {
+    std::shared_lock<std::shared_mutex> lock(catalog_mu_);
+    const PcqeEngine& engine = *engine_;
+
+    // The version is read under the same shared lock as the evaluation, so
+    // a cached entry can never mix confidences from before and after an
+    // interleaved Accept.
+    uint64_t version = engine.catalog().confidence_version();
+    std::string key = NormalizeSql(request.sql);
+    std::shared_ptr<const QueryResult> evaluated = cache_.Lookup(key, version);
+    if (evaluated == nullptr) {
+      PCQE_ASSIGN_OR_RETURN(QueryResult fresh, engine.Evaluate(request.sql));
+      evaluated = cache_.Insert(key, version, std::move(fresh));
+    }
+
+    QueryRequest engine_request;
+    engine_request.sql = request.sql;
+    engine_request.user = session.user;
+    engine_request.purpose = session.purpose;
+    engine_request.required_fraction = request.required_fraction;
+    engine_request.solver = request.solver;
+    // Completion copies the shared evaluation into the outcome: rows are
+    // duplicated, the lineage arena is shared by shared_ptr and read-only.
+    return engine.Complete(engine_request, *evaluated);
+  }();
+
+  if (outcome.ok()) {
+    size_t released = outcome->released.size();
+    stats_.OnServed(released, outcome->intermediate.rows.size() - released,
+                    outcome->proposal.needed);
+  } else {
+    stats_.OnFailed();
+  }
+  return outcome;
+}
+
+void QueryService::Process(PendingRequest pending) {
+  if (Clock::now() > pending.deadline) {
+    stats_.OnExpired();
+    pending.promise.set_value(Status::ResourceExhausted(
+        StrFormat("deadline expired after %llums in queue",
+                  static_cast<unsigned long long>(
+                      ElapsedUs(pending.enqueued) / 1000))));
+    return;
+  }
+  Result<QueryOutcome> outcome = Execute(pending.session, pending.request);
+  stats_.RecordLatencyUs(ElapsedUs(pending.enqueued));
+  pending.promise.set_value(std::move(outcome));
+}
+
+void QueryService::WorkerLoop(std::stop_token stop) {
+  while (true) {
+    PendingRequest pending;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      // Wakes on new work or stop; after a stop request the predicate still
+      // wins while the queue is non-empty, so shutdown drains gracefully.
+      bool has_work = queue_cv_.wait(lock, stop, [this] { return !queue_.empty(); });
+      if (!has_work) return;  // stop requested and queue drained
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Process(std::move(pending));
+  }
+}
+
+Status QueryService::Accept(const StrategyProposal& proposal) {
+  // Exclusive: the single writer. AcceptProposal routes every confidence
+  // write through Catalog::SetConfidence, which bumps the version and thus
+  // retires all cached evaluations keyed on the old one.
+  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+  return engine_->AcceptProposal(proposal);
+}
+
+void QueryService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> guard(queue_mu_);
+    if (!accepting_ && workers_.empty() && queue_.empty()) return;  // already down
+    accepting_ = false;
+  }
+  for (std::jthread& worker : workers_) worker.request_stop();
+  queue_cv_.notify_all();
+  workers_.clear();  // jthread dtor joins; workers drain the queue first
+
+  // With zero workers (test configurations) requests may still be queued:
+  // fail them rather than breaking their promises.
+  std::deque<PendingRequest> leftover;
+  {
+    std::lock_guard<std::mutex> guard(queue_mu_);
+    leftover.swap(queue_);
+  }
+  for (PendingRequest& pending : leftover) {
+    stats_.OnShutdownDropped();
+    pending.promise.set_value(
+        Status::ResourceExhausted("query service shut down before execution"));
+  }
+}
+
+ServiceStatsSnapshot QueryService::stats() const {
+  ServiceStatsSnapshot snapshot;
+  stats_.FillSnapshot(&snapshot);
+  ConfidenceResultCache::Stats cache_stats = cache_.stats();
+  snapshot.cache_hits = cache_stats.hits;
+  snapshot.cache_misses = cache_stats.misses;
+  snapshot.cache_evictions = cache_stats.evictions;
+  snapshot.cache_entries = cache_stats.entries;
+  snapshot.queue_depth = queue_depth();
+  snapshot.active_sessions = sessions_.active_count();
+  return snapshot;
+}
+
+size_t QueryService::queue_depth() const {
+  std::lock_guard<std::mutex> guard(queue_mu_);
+  return queue_.size();
+}
+
+}  // namespace pcqe

@@ -1,0 +1,174 @@
+// Copyright (c) PCQE contributors.
+// QueryService: the PCQE engine as a multi-client server-in-a-library.
+//
+// The paper's framework (Figure 1) is a serving architecture — subjects
+// submit ⟨Q, pu, perc⟩ requests, the system evaluates, policy-filters and
+// proposes increments. This module adds the serving substrate around the
+// single-threaded `PcqeEngine`:
+//
+//   * a fixed-size pool of `std::jthread` workers over a bounded request
+//     queue with admission control (`kResourceExhausted` on overflow) and
+//     per-request deadlines;
+//   * sessions (session.h) that authenticate once and pin β;
+//   * a shared `ConfidenceResultCache` (result_cache.h) so concurrent
+//     sessions reuse one lineage evaluation per distinct query;
+//   * built-in counters (service_stats.h).
+//
+// Concurrency protocol (lock order: catalog_mu_ -> cache-internal mutex;
+// queue_mu_ is never held together with either):
+//
+//   * `catalog_mu_` is a reader–writer lock over all engine/catalog state.
+//     Workers execute the engine's const read path under a shared lock;
+//     `Accept` — the only mutator, wrapping `PcqeEngine::AcceptProposal` —
+//     takes it exclusively and implicitly invalidates the cache by bumping
+//     `Catalog::confidence_version()`.
+//   * Role/policy *configuration* must be complete before requests are
+//     submitted concurrently (the shell's `.serve` mode obeys this: its REPL
+//     is sequential, so config commands never overlap an in-flight request).
+
+#ifndef PCQE_SERVICE_QUERY_SERVICE_H_
+#define PCQE_SERVICE_QUERY_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/pcqe_engine.h"
+#include "service/result_cache.h"
+#include "service/service_stats.h"
+#include "service/session.h"
+
+namespace pcqe {
+
+/// \brief Sizing and policy knobs for a `QueryService`.
+struct ServiceOptions {
+  /// Worker threads. 0 is allowed for tests: requests queue up and are only
+  /// drained (as shutdown drops) by `Shutdown`; `Submit` executes inline.
+  size_t num_workers = 4;
+  /// Admission bound: submissions beyond this many queued requests are
+  /// rejected with `kResourceExhausted`.
+  size_t queue_capacity = 64;
+  /// Applied when a request's own `timeout_ms` is 0. 0 = no deadline.
+  int64_t default_timeout_ms = 0;
+  /// Entry bound of the confidence-result cache; 0 disables caching.
+  size_t cache_capacity = 128;
+};
+
+/// \brief One query submission through a session.
+struct ServiceRequest {
+  std::string sql;
+  /// perc/θ: fraction of the query's results the subject needs released.
+  double required_fraction = 0.5;
+  SolverKind solver = SolverKind::kAuto;
+  /// Deadline measured from submission; a request still queued when it
+  /// expires completes with `kResourceExhausted`. 0 = use the service
+  /// default.
+  int64_t timeout_ms = 0;
+};
+
+/// \brief Concurrent, policy-compliant query service over one engine.
+///
+/// The engine (and its catalog) must outlive the service. All public methods
+/// are thread-safe.
+class QueryService {
+ public:
+  QueryService(PcqeEngine* engine, ServiceOptions options);
+
+  /// Drains and stops the workers (`Shutdown`).
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Authenticates ⟨user, purpose⟩ and opens a session (see SessionManager).
+  [[nodiscard]] Result<SessionHandle> OpenSession(const std::string& user,
+                                                  const std::string& purpose);
+
+  /// Closes a session. Requests already queued under it still complete.
+  [[nodiscard]] Status CloseSession(uint64_t session_id);
+
+  /// Enqueues a request and returns a future for its outcome. Fails
+  /// immediately with `kResourceExhausted` when the queue is full or the
+  /// service is shut down.
+  [[nodiscard]] Result<std::future<Result<QueryOutcome>>> SubmitAsync(
+      const SessionHandle& session, ServiceRequest request);
+
+  /// Convenience blocking submission. With workers this waits on the future;
+  /// with `num_workers == 0` it executes inline on the caller's thread
+  /// (bypassing queue admission, still counted in the stats).
+  [[nodiscard]] Result<QueryOutcome> Submit(const SessionHandle& session,
+                                            ServiceRequest request);
+
+  /// Applies an improvement proposal under the exclusive catalog lock. The
+  /// confidence-version bump makes every cached evaluation stale.
+  [[nodiscard]] Status Accept(const StrategyProposal& proposal);
+
+  /// Stops admission, lets workers drain the queue, joins them, and fails
+  /// any request still queued (0-worker services) with
+  /// `kResourceExhausted`. Idempotent.
+  void Shutdown();
+
+  /// Point-in-time counters (see ServiceStatsSnapshot for the invariant).
+  [[nodiscard]] ServiceStatsSnapshot stats() const;
+
+  /// Requests currently waiting for a worker.
+  [[nodiscard]] size_t queue_depth() const;
+
+  /// Drops every cached evaluation (after out-of-band catalog edits such as
+  /// bulk loads, which do not bump the confidence version).
+  void InvalidateCache() { cache_.Clear(); }
+
+  size_t num_workers() const { return workers_.size(); }
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct PendingRequest {
+    SessionHandle session;
+    ServiceRequest request;
+    std::chrono::steady_clock::time_point enqueued;
+    /// `time_point::max()` when the request has no deadline.
+    std::chrono::steady_clock::time_point deadline;
+    std::promise<Result<QueryOutcome>> promise;
+  };
+
+  void WorkerLoop(std::stop_token stop);
+
+  /// Executes one request under the shared catalog lock: cache lookup,
+  /// evaluation on miss, per-subject completion. Updates serve/fail/row
+  /// counters.
+  Result<QueryOutcome> Execute(const SessionHandle& session,
+                               const ServiceRequest& request);
+
+  /// Runs one dequeued request end to end (deadline check, execution,
+  /// latency recording) and fulfills its promise.
+  void Process(PendingRequest pending);
+
+  PcqeEngine* engine_;
+  ServiceOptions options_;
+
+  /// Reader–writer lock over engine/catalog state (see file comment).
+  std::shared_mutex catalog_mu_;
+
+  SessionManager sessions_;
+  ConfidenceResultCache cache_;
+  ServiceStats stats_;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable_any queue_cv_;
+  std::deque<PendingRequest> queue_;
+  bool accepting_ = true;
+
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace pcqe
+
+#endif  // PCQE_SERVICE_QUERY_SERVICE_H_

@@ -1,0 +1,76 @@
+#include "service/result_cache.h"
+
+#include <cctype>
+
+namespace pcqe {
+
+std::string NormalizeSql(const std::string& sql) {
+  std::string out;
+  out.reserve(sql.size());
+  bool pending_space = false;
+  for (char c : sql) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) {
+      out.push_back(' ');
+      pending_space = false;
+    }
+    out.push_back(c);
+  }
+  while (!out.empty() && (out.back() == ';' || out.back() == ' ')) out.pop_back();
+  return out;
+}
+
+std::shared_ptr<const QueryResult> ConfidenceResultCache::Lookup(
+    const std::string& normalized_sql, uint64_t version) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = index_.find(Key(normalized_sql, version));
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->second;
+}
+
+std::shared_ptr<const QueryResult> ConfidenceResultCache::Insert(
+    const std::string& normalized_sql, uint64_t version, QueryResult result) {
+  auto shared = std::make_shared<const QueryResult>(std::move(result));
+  if (capacity_ == 0) return shared;
+  std::lock_guard<std::mutex> guard(mu_);
+  Key key(normalized_sql, version);
+  if (auto it = index_.find(key); it != index_.end()) {
+    it->second->second = shared;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return shared;
+  }
+  lru_.emplace_front(key, shared);
+  index_.emplace(std::move(key), lru_.begin());
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  return shared;
+}
+
+void ConfidenceResultCache::Clear() {
+  std::lock_guard<std::mutex> guard(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+ConfidenceResultCache::Stats ConfidenceResultCache::stats() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.entries = lru_.size();
+  return s;
+}
+
+}  // namespace pcqe

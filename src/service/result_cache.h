@@ -1,0 +1,91 @@
+// Copyright (c) PCQE contributors.
+// Cross-request cache of policy-independent query evaluations.
+//
+// Lineage-based confidence computation is the expensive step of the PCQE
+// pipeline (exact confidence computation in probabilistic databases is
+// #P-hard in general), while the per-subject part — policy resolution and
+// threshold filtering — is linear in the result size. The cache therefore
+// stores the *pre-policy* `QueryResult`: two sessions with different
+// thresholds β share one lineage evaluation and diverge only at the cheap
+// filter.
+//
+// Invalidation protocol: keys embed the catalog's confidence-version, which
+// `AcceptProposal` bumps on every committed increment. Entries computed
+// against older confidences simply stop matching and age out of the LRU; no
+// component ever has to enumerate or clear them.
+
+#ifndef PCQE_SERVICE_RESULT_CACHE_H_
+#define PCQE_SERVICE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "query/query_engine.h"
+
+namespace pcqe {
+
+/// Canonicalizes SQL text for cache keying: collapses whitespace runs to one
+/// space, trims the ends and drops a trailing ';'. Deliberately conservative
+/// — it never changes case (string literals are case-sensitive), so two
+/// queries differing only in keyword case occupy two entries.
+std::string NormalizeSql(const std::string& sql);
+
+/// \brief Thread-safe LRU cache from (normalized SQL, confidence-version) to
+/// a shared, immutable `QueryResult`.
+///
+/// Entries are handed out as `shared_ptr<const QueryResult>`, so a reader
+/// keeps its result alive even if the entry is evicted mid-request.
+class ConfidenceResultCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+  };
+
+  /// `capacity` is the maximum entry count; 0 disables caching (every
+  /// lookup misses, inserts are dropped).
+  explicit ConfidenceResultCache(size_t capacity) : capacity_(capacity) {}
+
+  ConfidenceResultCache(const ConfidenceResultCache&) = delete;
+  ConfidenceResultCache& operator=(const ConfidenceResultCache&) = delete;
+
+  /// Returns the cached evaluation for (`normalized_sql`, `version`), or
+  /// null on a miss. A hit refreshes the entry's LRU position.
+  std::shared_ptr<const QueryResult> Lookup(const std::string& normalized_sql,
+                                            uint64_t version);
+
+  /// Stores an evaluation and returns the shared handle (also when capacity
+  /// is 0, in which case nothing is retained). Re-inserting an existing key
+  /// replaces the entry.
+  std::shared_ptr<const QueryResult> Insert(const std::string& normalized_sql,
+                                            uint64_t version, QueryResult result);
+
+  /// Drops every entry (e.g. after out-of-band catalog edits the version
+  /// counter does not cover, such as bulk CSV loads).
+  void Clear();
+
+  Stats stats() const;
+
+ private:
+  using Key = std::pair<std::string, uint64_t>;
+  using Entry = std::pair<Key, std::shared_ptr<const QueryResult>>;
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::list<Entry> lru_;                          // front = most recently used
+  std::map<Key, std::list<Entry>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace pcqe
+
+#endif  // PCQE_SERVICE_RESULT_CACHE_H_

@@ -1,0 +1,53 @@
+#include "service/service_stats.h"
+
+#include "common/string_util.h"
+
+namespace pcqe {
+
+std::string ServiceStatsSnapshot::ToString() const {
+  std::string out;
+  out += StrFormat(
+      "requests: %llu submitted, %llu served, %llu failed, %llu rejected, "
+      "%llu expired, %llu dropped at shutdown\n",
+      static_cast<unsigned long long>(submitted),
+      static_cast<unsigned long long>(served),
+      static_cast<unsigned long long>(failed),
+      static_cast<unsigned long long>(rejected),
+      static_cast<unsigned long long>(expired),
+      static_cast<unsigned long long>(shutdown_dropped));
+  out += StrFormat("rows: %llu released, %llu policy-blocked; %llu proposals\n",
+                   static_cast<unsigned long long>(released_rows),
+                   static_cast<unsigned long long>(policy_blocked_rows),
+                   static_cast<unsigned long long>(proposals));
+  out += StrFormat(
+      "cache: %llu hits, %llu misses (%.1f%% hit rate), %llu evictions, "
+      "%zu entries\n",
+      static_cast<unsigned long long>(cache_hits),
+      static_cast<unsigned long long>(cache_misses), cache_hit_rate() * 100.0,
+      static_cast<unsigned long long>(cache_evictions), cache_entries);
+  out += StrFormat("queue depth: %zu; active sessions: %zu\n", queue_depth,
+                   active_sessions);
+  out += "latency (end-to-end):";
+  for (size_t b = 0; b < latency_buckets.size(); ++b) {
+    if (latency_buckets[b] == 0) continue;
+    if (kLatencyBucketBoundsUs[b] == UINT64_MAX) {
+      out += StrFormat(" >%llums=%llu",
+                       static_cast<unsigned long long>(
+                           kLatencyBucketBoundsUs[b - 1] / 1000),
+                       static_cast<unsigned long long>(latency_buckets[b]));
+    } else if (kLatencyBucketBoundsUs[b] >= 1000) {
+      out += StrFormat(
+          " <=%llums=%llu",
+          static_cast<unsigned long long>(kLatencyBucketBoundsUs[b] / 1000),
+          static_cast<unsigned long long>(latency_buckets[b]));
+    } else {
+      out += StrFormat(" <=%lluus=%llu",
+                       static_cast<unsigned long long>(kLatencyBucketBoundsUs[b]),
+                       static_cast<unsigned long long>(latency_buckets[b]));
+    }
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace pcqe

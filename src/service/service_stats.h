@@ -1,0 +1,114 @@
+// Copyright (c) PCQE contributors.
+// Built-in counters for the query service: request accounting, cache
+// effectiveness, queue pressure and a latency histogram.
+
+#ifndef PCQE_SERVICE_SERVICE_STATS_H_
+#define PCQE_SERVICE_SERVICE_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace pcqe {
+
+/// Upper bounds (inclusive) of the end-to-end latency histogram buckets, in
+/// microseconds. The last bucket is unbounded.
+inline constexpr std::array<uint64_t, 8> kLatencyBucketBoundsUs = {
+    100, 1'000, 5'000, 20'000, 100'000, 500'000, 2'000'000, UINT64_MAX};
+
+/// \brief A coherent-enough point-in-time copy of every counter, safe to
+/// read, format and compare after the service has moved on. Counters are
+/// sampled individually (no global pause), so sums may be momentarily off by
+/// in-flight requests; once the service is idle they reconcile exactly:
+/// `submitted == served + failed + rejected + expired + shutdown_dropped`.
+struct ServiceStatsSnapshot {
+  uint64_t submitted = 0;        ///< Requests accepted into the queue.
+  uint64_t served = 0;           ///< Completed with an OK outcome.
+  uint64_t failed = 0;           ///< Completed with a non-OK engine status.
+  uint64_t rejected = 0;         ///< Refused at admission (queue full).
+  uint64_t expired = 0;          ///< Deadline passed while queued.
+  uint64_t shutdown_dropped = 0; ///< Still queued when the service stopped.
+  uint64_t policy_blocked_rows = 0;  ///< Rows withheld by confidence policy.
+  uint64_t released_rows = 0;        ///< Rows released to subjects.
+  uint64_t proposals = 0;        ///< Outcomes that carried a costed proposal.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  size_t cache_entries = 0;
+  size_t queue_depth = 0;        ///< Requests waiting at snapshot time.
+  size_t active_sessions = 0;
+  std::array<uint64_t, kLatencyBucketBoundsUs.size()> latency_buckets{};
+
+  /// Hit fraction over all cache lookups; 0 when none happened yet.
+  double cache_hit_rate() const {
+    uint64_t lookups = cache_hits + cache_misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(cache_hits) / static_cast<double>(lookups);
+  }
+
+  /// Multi-line human-readable rendering (for the shell's `.stats`).
+  std::string ToString() const;
+};
+
+/// \brief Lock-free counter block shared by every worker thread. All
+/// increments are relaxed: counters are monotonic and independent, no other
+/// memory is published through them.
+class ServiceStats {
+ public:
+  void OnSubmitted() { submitted_.fetch_add(1, std::memory_order_relaxed); }
+  void OnRejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+  void OnExpired() { expired_.fetch_add(1, std::memory_order_relaxed); }
+  void OnShutdownDropped() { shutdown_dropped_.fetch_add(1, std::memory_order_relaxed); }
+  void OnFailed() { failed_.fetch_add(1, std::memory_order_relaxed); }
+
+  void OnServed(size_t released, size_t blocked, bool proposal) {
+    served_.fetch_add(1, std::memory_order_relaxed);
+    released_rows_.fetch_add(released, std::memory_order_relaxed);
+    policy_blocked_rows_.fetch_add(blocked, std::memory_order_relaxed);
+    if (proposal) proposals_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void RecordLatencyUs(uint64_t us) {
+    for (size_t b = 0; b < kLatencyBucketBoundsUs.size(); ++b) {
+      if (us <= kLatencyBucketBoundsUs[b]) {
+        latency_buckets_[b].fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+
+  /// Copies the request-side counters into `out` (cache and queue fields are
+  /// filled in by the service, which owns those components).
+  void FillSnapshot(ServiceStatsSnapshot* out) const {
+    out->submitted = submitted_.load(std::memory_order_relaxed);
+    out->served = served_.load(std::memory_order_relaxed);
+    out->failed = failed_.load(std::memory_order_relaxed);
+    out->rejected = rejected_.load(std::memory_order_relaxed);
+    out->expired = expired_.load(std::memory_order_relaxed);
+    out->shutdown_dropped = shutdown_dropped_.load(std::memory_order_relaxed);
+    out->policy_blocked_rows = policy_blocked_rows_.load(std::memory_order_relaxed);
+    out->released_rows = released_rows_.load(std::memory_order_relaxed);
+    out->proposals = proposals_.load(std::memory_order_relaxed);
+    for (size_t b = 0; b < latency_buckets_.size(); ++b) {
+      out->latency_buckets[b] = latency_buckets_[b].load(std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> served_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> expired_{0};
+  std::atomic<uint64_t> shutdown_dropped_{0};
+  std::atomic<uint64_t> policy_blocked_rows_{0};
+  std::atomic<uint64_t> released_rows_{0};
+  std::atomic<uint64_t> proposals_{0};
+  std::array<std::atomic<uint64_t>, kLatencyBucketBoundsUs.size()> latency_buckets_{};
+};
+
+}  // namespace pcqe
+
+#endif  // PCQE_SERVICE_SERVICE_STATS_H_

@@ -1,0 +1,56 @@
+#include "service/session.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace pcqe {
+
+std::string SessionHandle::ToString() const {
+  return StrFormat("session %llu: %s/%s (beta=%s)",
+                   static_cast<unsigned long long>(id), user.c_str(),
+                   purpose.c_str(), FormatDouble(base_decision.threshold).c_str());
+}
+
+Result<SessionHandle> SessionManager::Open(const RoleGraph& roles,
+                                           const PolicyStore& policies,
+                                           const std::string& user,
+                                           const std::string& purpose) {
+  SessionHandle handle;
+  handle.user = user;
+  handle.purpose = purpose;
+  // ActiveRoles authenticates: unknown users come back kNotFound.
+  PCQE_ASSIGN_OR_RETURN(handle.roles, roles.ActiveRoles(user));
+  PCQE_ASSIGN_OR_RETURN(handle.base_decision, policies.Resolve(roles, user, purpose));
+
+  std::lock_guard<std::mutex> guard(mu_);
+  handle.id = next_id_++;
+  sessions_.emplace(handle.id, handle);
+  return handle;
+}
+
+Status SessionManager::Close(uint64_t id) {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (sessions_.erase(id) == 0) {
+    return Status::NotFound(StrFormat("session %llu is not open",
+                                      static_cast<unsigned long long>(id)));
+  }
+  return Status::OK();
+}
+
+Result<SessionHandle> SessionManager::Get(uint64_t id) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::NotFound(StrFormat("session %llu is not open",
+                                      static_cast<unsigned long long>(id)));
+  }
+  return it->second;
+}
+
+size_t SessionManager::active_count() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return sessions_.size();
+}
+
+}  // namespace pcqe

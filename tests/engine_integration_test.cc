@@ -200,6 +200,60 @@ TEST_F(PcqeEngineTest, EmptyBatchRejected) {
   EXPECT_TRUE(engine_->SubmitBatch({}).status().IsInvalidArgument());
 }
 
+TEST_F(PcqeEngineTest, MixedThresholdsRejectedOnlyWhenBothNeedImprovement) {
+  // Same-user pair at one threshold is fine; adding a second user is fine as
+  // long as at most one distinct threshold actually needs improvement. A
+  // satisfied secretary query (fraction 0) rides along a blocked manager
+  // query without tripping the mixed-threshold guard.
+  QueryRequest manager{kCandidateQuery, "mary", "investment", 1.0};
+  QueryRequest secretary{kCandidateQuery, "sam", "analysis", 0.0};
+  auto outcomes = engine_->SubmitBatch({manager, secretary});
+  ASSERT_TRUE(outcomes.ok()) << outcomes.status().ToString();
+  EXPECT_TRUE((*outcomes)[0].proposal.needed);
+  EXPECT_FALSE((*outcomes)[1].proposal.needed);
+
+  // But when both thresholds demand improvement the batch must reject:
+  // one confidence increment cannot target two cutoffs soundly.
+  RoleGraph* roles = engine_->roles();
+  PolicyStore* policies = engine_->policies();
+  ASSERT_TRUE(policies->AddPolicy(*roles, {"Secretary", "audit", 0.9}).ok());
+  QueryRequest audit{kCandidateQuery, "sam", "audit", 1.0};
+  Status mixed = engine_->SubmitBatch({manager, audit}).status();
+  EXPECT_TRUE(mixed.IsInvalidArgument()) << mixed.ToString();
+  EXPECT_NE(mixed.message().find("threshold"), std::string::npos);
+}
+
+TEST_F(PcqeEngineTest, ZeroRowQueryInBatchCountsAsFullyReleased) {
+  // A query with an empty result set is vacuously compliant: its
+  // released_fraction is 1.0 by convention and it contributes nothing to the
+  // shared improvement problem, even when a sibling query is blocked.
+  QueryRequest blocked{kCandidateQuery, "mary", "investment", 1.0};
+  QueryRequest empty{"SELECT * FROM proposal WHERE company = 'Nobody'", "mary",
+                     "investment", 1.0};
+  std::vector<QueryOutcome> outcomes = *engine_->SubmitBatch({blocked, empty});
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_TRUE(outcomes[0].proposal.needed);
+  EXPECT_TRUE(outcomes[1].intermediate.rows.empty());
+  EXPECT_DOUBLE_EQ(outcomes[1].released_fraction, 1.0);
+  EXPECT_FALSE(outcomes[1].proposal.needed);
+}
+
+TEST_F(PcqeEngineTest, SubmitIsCallableThroughConstEngine) {
+  // Submission is read-only by contract: a const engine reference suffices.
+  // This is what lets QueryService run Submit concurrently from many worker
+  // threads while serializing only AcceptProposal.
+  const PcqeEngine& engine = *engine_;
+  QueryOutcome outcome =
+      *engine.Submit({kCandidateQuery, "sam", "analysis", 1.0});
+  EXPECT_DOUBLE_EQ(outcome.released_fraction, 1.0);
+  EXPECT_EQ(engine.catalog().confidence_version(), 0u);
+
+  std::vector<QueryOutcome> batch = *engine.SubmitBatch(
+      {{kCandidateQuery, "sam", "analysis", 1.0},
+       {kCandidateQuery, "mary", "investment", 0.0}});
+  EXPECT_EQ(batch.size(), 2u);
+}
+
 TEST_F(PcqeEngineTest, TableScopedPolicyGatesOnlyMatchingQueries) {
   // A strict policy scoped to CompanyInfo: the Candidate query touches it
   // (via the join), a Proposal-only query does not.

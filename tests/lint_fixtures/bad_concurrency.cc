@@ -1,0 +1,25 @@
+// pcqe-lint-fixture-path: src/example/bad_concurrency.cc
+// Fixture: every banned threading construct — raw std::thread, detach(),
+// and manual lock()/unlock() pairs that leak the lock on early return.
+#include <mutex>
+#include <thread>
+
+namespace pcqe {
+
+std::mutex g_mu;
+int g_counter = 0;
+
+void FireAndForget() {
+  std::thread worker([] { ++g_counter; });
+  worker.detach();
+}
+
+int ReadCounter(bool fast_path) {
+  g_mu.lock();
+  if (fast_path) return g_counter;  // lock leaked!
+  int value = g_counter;
+  g_mu.unlock();
+  return value;
+}
+
+}  // namespace pcqe

@@ -1,0 +1,35 @@
+// pcqe-lint-fixture-path: src/example/good_concurrency.cc
+// Fixture: the approved shapes — jthread, RAII guards, try_lock with an
+// explicit result, and the hardware_concurrency() static query.
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+
+namespace pcqe {
+
+std::mutex g_mu;
+std::shared_mutex g_rw_mu;
+int g_counter = 0;
+
+void JoinOnScopeExit() {
+  std::jthread worker([] {
+    std::scoped_lock guard(g_mu);
+    ++g_counter;
+  });
+}
+
+int ReadCounter() {
+  std::shared_lock guard(g_rw_mu);
+  return g_counter;
+}
+
+bool TryBump() {
+  std::unique_lock guard(g_mu, std::try_to_lock);
+  if (!guard.owns_lock()) return false;
+  ++g_counter;
+  return true;
+}
+
+unsigned WorkerDefault() { return std::thread::hardware_concurrency(); }
+
+}  // namespace pcqe

@@ -1,0 +1,315 @@
+// Tests for the service layer: sessions, the confidence-result cache,
+// admission control, deadlines, shutdown and the stats counters.
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/query_service.h"
+
+namespace pcqe {
+namespace {
+
+constexpr const char* kCandidateQuery =
+    "SELECT ci.company, ci.income "
+    "FROM (SELECT DISTINCT company FROM proposal WHERE funding < 1000000) AS c "
+    "JOIN companyinfo AS ci ON c.company = ci.company";
+
+/// The paper's running example behind a service: data, roles (Secretary,
+/// Manager), policies P1 = <Secretary, analysis, 0.05> and
+/// P2 = <Manager, investment, 0.06>.
+class QueryServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Table* proposal = *catalog_.CreateTable(
+        "Proposal", Schema({{"company", DataType::kString, ""},
+                            {"proposal", DataType::kString, ""},
+                            {"funding", DataType::kDouble, ""}}));
+    ASSERT_TRUE(proposal
+                    ->Insert({Value::String("AlphaTech"), Value::String("expansion"),
+                              Value::Double(2e6)},
+                             0.5)
+                    .ok());
+    ASSERT_TRUE(proposal
+                    ->Insert({Value::String("BlueSky"), Value::String("marketing"),
+                              Value::Double(8e5)},
+                             0.3, *MakeLinearCost(1000.0))
+                    .ok());
+    id03_ = *proposal->Insert(
+        {Value::String("BlueSky"), Value::String("research"), Value::Double(5e5)}, 0.4,
+        *MakeLinearCost(100.0));
+    Table* info = *catalog_.CreateTable(
+        "CompanyInfo",
+        Schema({{"company", DataType::kString, ""}, {"income", DataType::kDouble, ""}}));
+    ASSERT_TRUE(
+        info->Insert({Value::String("AlphaTech"), Value::Double(3e5)}, 0.8).ok());
+    ASSERT_TRUE(info->Insert({Value::String("BlueSky"), Value::Double(1.2e5)}, 0.1,
+                             *MakeLinearCost(10000.0))
+                    .ok());
+
+    RoleGraph roles;
+    ASSERT_TRUE(roles.AddRole("Secretary").ok());
+    ASSERT_TRUE(roles.AddRole("Manager").ok());
+    ASSERT_TRUE(roles.AddUser("sam").ok());
+    ASSERT_TRUE(roles.AddUser("mary").ok());
+    ASSERT_TRUE(roles.AssignRole("sam", "Secretary").ok());
+    ASSERT_TRUE(roles.AssignRole("mary", "Manager").ok());
+    PolicyStore policies;
+    ASSERT_TRUE(policies.AddPolicy(roles, {"Secretary", "analysis", 0.05}).ok());
+    ASSERT_TRUE(policies.AddPolicy(roles, {"Manager", "investment", 0.06}).ok());
+    engine_ = std::make_unique<PcqeEngine>(&catalog_, std::move(roles),
+                                           std::move(policies));
+  }
+
+  std::unique_ptr<QueryService> MakeService(ServiceOptions options) {
+    return std::make_unique<QueryService>(engine_.get(), options);
+  }
+
+  Catalog catalog_;
+  std::unique_ptr<PcqeEngine> engine_;
+  BaseTupleId id03_ = 0;
+};
+
+TEST(NormalizeSqlTest, CanonicalizesWhitespaceAndSemicolon) {
+  EXPECT_EQ(NormalizeSql("  SELECT   x\n\tFROM t ; "), "SELECT x FROM t");
+  EXPECT_EQ(NormalizeSql("SELECT x FROM t"), "SELECT x FROM t");
+  // Case is preserved: string literals are case-sensitive.
+  EXPECT_EQ(NormalizeSql("select 'A'"), "select 'A'");
+  EXPECT_EQ(NormalizeSql(""), "");
+}
+
+TEST_F(QueryServiceTest, OpenSessionPinsRolesAndThreshold) {
+  auto service = MakeService({.num_workers = 1});
+  SessionHandle mary = *service->OpenSession("mary", "investment");
+  EXPECT_EQ(mary.user, "mary");
+  EXPECT_EQ(mary.roles, std::vector<std::string>{"Manager"});
+  EXPECT_DOUBLE_EQ(mary.base_decision.threshold, 0.06);
+  EXPECT_NE(mary.ToString().find("mary/investment"), std::string::npos);
+
+  SessionHandle sam = *service->OpenSession("sam", "analysis");
+  EXPECT_DOUBLE_EQ(sam.base_decision.threshold, 0.05);
+  EXPECT_NE(sam.id, mary.id);
+  EXPECT_EQ(service->stats().active_sessions, 2u);
+
+  ASSERT_TRUE(service->CloseSession(sam.id).ok());
+  EXPECT_EQ(service->stats().active_sessions, 1u);
+  EXPECT_TRUE(service->CloseSession(sam.id).IsNotFound());
+}
+
+TEST_F(QueryServiceTest, UnknownUserCannotOpenSession) {
+  auto service = MakeService({.num_workers = 1});
+  EXPECT_TRUE(service->OpenSession("ghost", "analysis").status().IsNotFound());
+}
+
+TEST_F(QueryServiceTest, ServiceMatchesDirectEngineSubmission) {
+  auto service = MakeService({.num_workers = 2});
+  SessionHandle sam = *service->OpenSession("sam", "analysis");
+  QueryOutcome via_service =
+      *service->Submit(sam, {.sql = kCandidateQuery, .required_fraction = 1.0});
+  QueryOutcome direct =
+      *engine_->Submit({kCandidateQuery, "sam", "analysis", 1.0});
+  EXPECT_EQ(via_service.released.size(), direct.released.size());
+  EXPECT_DOUBLE_EQ(via_service.policy.threshold, direct.policy.threshold);
+  EXPECT_DOUBLE_EQ(via_service.released_fraction, direct.released_fraction);
+}
+
+TEST_F(QueryServiceTest, DistinctSessionsShareOneEvaluation) {
+  auto service = MakeService({.num_workers = 2});
+  SessionHandle sam = *service->OpenSession("sam", "analysis");
+  SessionHandle mary = *service->OpenSession("mary", "investment");
+
+  // Same SQL, different β: sam (0.05) sees the 0.058 row, mary (0.06) does
+  // not — but the second submission reuses the first one's evaluation.
+  QueryOutcome for_sam =
+      *service->Submit(sam, {.sql = kCandidateQuery, .required_fraction = 0.0});
+  QueryOutcome for_mary =
+      *service->Submit(mary, {.sql = kCandidateQuery, .required_fraction = 0.0});
+  EXPECT_EQ(for_sam.released.size(), 1u);
+  EXPECT_TRUE(for_mary.released.empty());
+
+  ServiceStatsSnapshot stats = service->stats();
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_GT(stats.cache_hit_rate(), 0.0);
+  // Whitespace variants hit the same entry.
+  ASSERT_TRUE(
+      service->Submit(sam, {.sql = std::string("  ") + kCandidateQuery + " ;"}).ok());
+  EXPECT_EQ(service->stats().cache_hits, 2u);
+}
+
+TEST_F(QueryServiceTest, AcceptInvalidatesCacheViaConfidenceVersion) {
+  auto service = MakeService({.num_workers = 1});
+  SessionHandle mary = *service->OpenSession("mary", "investment");
+
+  uint64_t version_before = catalog_.confidence_version();
+  QueryOutcome blocked =
+      *service->Submit(mary, {.sql = kCandidateQuery, .required_fraction = 1.0});
+  ASSERT_TRUE(blocked.proposal.needed);
+  EXPECT_TRUE(blocked.released.empty());
+
+  ASSERT_TRUE(service->Accept(blocked.proposal).ok());
+  EXPECT_GT(catalog_.confidence_version(), version_before);
+
+  // The cached evaluation is stale now; the re-submission must re-evaluate
+  // (a miss) and see the improved confidence.
+  QueryOutcome after =
+      *service->Submit(mary, {.sql = kCandidateQuery, .required_fraction = 1.0});
+  EXPECT_EQ(after.released.size(), 1u);
+  EXPECT_FALSE(after.proposal.needed);
+  EXPECT_EQ(service->stats().cache_misses, 2u);
+}
+
+TEST_F(QueryServiceTest, AdmissionControlRejectsOnOverflow) {
+  // Zero workers: nothing drains the queue, so the bound is deterministic.
+  auto service = MakeService({.num_workers = 0, .queue_capacity = 2});
+  SessionHandle sam = *service->OpenSession("sam", "analysis");
+
+  std::vector<std::future<Result<QueryOutcome>>> accepted;
+  for (int i = 0; i < 2; ++i) {
+    auto future = service->SubmitAsync(sam, {.sql = kCandidateQuery});
+    ASSERT_TRUE(future.ok());
+    accepted.push_back(std::move(*future));
+  }
+  EXPECT_EQ(service->queue_depth(), 2u);
+  auto rejected = service->SubmitAsync(sam, {.sql = kCandidateQuery});
+  EXPECT_TRUE(rejected.status().IsResourceExhausted());
+
+  service->Shutdown();
+  for (auto& future : accepted) {
+    EXPECT_TRUE(future.get().status().IsResourceExhausted());  // dropped
+  }
+  ServiceStatsSnapshot stats = service->stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.shutdown_dropped, 2u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+TEST_F(QueryServiceTest, SubmitAfterShutdownIsRejected) {
+  auto service = MakeService({.num_workers = 1});
+  SessionHandle sam = *service->OpenSession("sam", "analysis");
+  service->Shutdown();
+  EXPECT_TRUE(
+      service->SubmitAsync(sam, {.sql = kCandidateQuery}).status().IsResourceExhausted());
+  service->Shutdown();  // idempotent
+}
+
+TEST_F(QueryServiceTest, QueuedDeadlineExpires) {
+  // One worker chewing through a backlog: the last request carries a 1ms
+  // deadline and sits behind enough work that it must expire in queue.
+  auto service = MakeService({.num_workers = 1, .queue_capacity = 64});
+  SessionHandle sam = *service->OpenSession("sam", "analysis");
+
+  std::vector<std::future<Result<QueryOutcome>>> backlog;
+  for (int i = 0; i < 30; ++i) {
+    auto future = service->SubmitAsync(sam, {.sql = kCandidateQuery});
+    if (future.ok()) backlog.push_back(std::move(*future));
+  }
+  auto hurried =
+      service->SubmitAsync(sam, {.sql = kCandidateQuery, .timeout_ms = 1});
+  ASSERT_TRUE(hurried.ok());
+  Result<QueryOutcome> outcome = hurried->get();
+  // Either the queue was slow enough (expired) or the machine raced through
+  // 30 evaluations in under a millisecond (served); both are legal, but the
+  // stats must agree with whichever happened.
+  ServiceStatsSnapshot stats;
+  for (auto& future : backlog) (void)future.get();
+  stats = service->stats();
+  if (!outcome.ok()) {
+    EXPECT_TRUE(outcome.status().IsResourceExhausted());
+    EXPECT_GE(stats.expired, 1u);
+  } else {
+    EXPECT_EQ(stats.expired, 0u);
+  }
+  EXPECT_EQ(stats.submitted, stats.served + stats.expired);
+}
+
+TEST_F(QueryServiceTest, EngineErrorsCountAsFailed) {
+  auto service = MakeService({.num_workers = 1});
+  SessionHandle sam = *service->OpenSession("sam", "analysis");
+  EXPECT_TRUE(service->Submit(sam, {.sql = "SELEC oops"}).status().IsParseError());
+  EXPECT_TRUE(
+      service->Submit(sam, {.sql = kCandidateQuery, .required_fraction = 2.0})
+          .status()
+          .IsInvalidArgument());
+  ServiceStatsSnapshot stats = service->stats();
+  EXPECT_EQ(stats.failed, 2u);
+  EXPECT_EQ(stats.served, 0u);
+}
+
+TEST_F(QueryServiceTest, ZeroRowQueryServesWithFullFraction) {
+  auto service = MakeService({.num_workers = 1});
+  SessionHandle mary = *service->OpenSession("mary", "investment");
+  QueryOutcome outcome = *service->Submit(
+      mary, {.sql = "SELECT * FROM proposal WHERE company = 'Nobody'",
+             .required_fraction = 1.0});
+  EXPECT_TRUE(outcome.intermediate.rows.empty());
+  EXPECT_DOUBLE_EQ(outcome.released_fraction, 1.0);
+  EXPECT_FALSE(outcome.proposal.needed);
+}
+
+TEST_F(QueryServiceTest, LruEvictsLeastRecentlyUsedEntry) {
+  auto service = MakeService({.num_workers = 1, .cache_capacity = 2});
+  SessionHandle sam = *service->OpenSession("sam", "analysis");
+  const std::string q1 = "SELECT company FROM proposal";
+  const std::string q2 = "SELECT funding FROM proposal";
+  const std::string q3 = "SELECT proposal FROM proposal";
+
+  ASSERT_TRUE(service->Submit(sam, {.sql = q1}).ok());  // miss -> {q1}
+  ASSERT_TRUE(service->Submit(sam, {.sql = q2}).ok());  // miss -> {q2,q1}
+  ASSERT_TRUE(service->Submit(sam, {.sql = q1}).ok());  // hit, q1 freshened
+  EXPECT_EQ(service->stats().cache_hits, 1u);
+  ASSERT_TRUE(service->Submit(sam, {.sql = q3}).ok());  // miss, evicts q2
+  ServiceStatsSnapshot stats = service->stats();
+  EXPECT_EQ(stats.cache_evictions, 1u);
+  EXPECT_EQ(stats.cache_entries, 2u);
+
+  ASSERT_TRUE(service->Submit(sam, {.sql = q2}).ok());  // q2 gone: miss again
+  EXPECT_EQ(service->stats().cache_misses, 4u);
+  ASSERT_TRUE(service->Submit(sam, {.sql = q3}).ok());  // q3 survived: hit
+  EXPECT_EQ(service->stats().cache_hits, 2u);
+}
+
+TEST_F(QueryServiceTest, InvalidateCacheForcesReEvaluation) {
+  auto service = MakeService({.num_workers = 1});
+  SessionHandle sam = *service->OpenSession("sam", "analysis");
+  ASSERT_TRUE(service->Submit(sam, {.sql = kCandidateQuery}).ok());
+  service->InvalidateCache();
+  ASSERT_TRUE(service->Submit(sam, {.sql = kCandidateQuery}).ok());
+  EXPECT_EQ(service->stats().cache_misses, 2u);
+  EXPECT_EQ(service->stats().cache_hits, 0u);
+}
+
+TEST_F(QueryServiceTest, StatsSnapshotFormats) {
+  auto service = MakeService({.num_workers = 1});
+  SessionHandle sam = *service->OpenSession("sam", "analysis");
+  ASSERT_TRUE(service->Submit(sam, {.sql = kCandidateQuery}).ok());
+  std::string rendered = service->stats().ToString();
+  EXPECT_NE(rendered.find("1 served"), std::string::npos);
+  EXPECT_NE(rendered.find("hit rate"), std::string::npos);
+  EXPECT_NE(rendered.find("latency"), std::string::npos);
+}
+
+TEST_F(QueryServiceTest, DestructorDrainsOutstandingWork) {
+  std::vector<std::future<Result<QueryOutcome>>> futures;
+  {
+    auto service = MakeService({.num_workers = 2});
+    SessionHandle sam = *service->OpenSession("sam", "analysis");
+    for (int i = 0; i < 10; ++i) {
+      auto future = service->SubmitAsync(sam, {.sql = kCandidateQuery});
+      ASSERT_TRUE(future.ok());
+      futures.push_back(std::move(*future));
+    }
+    // Service destroyed here with requests possibly still queued.
+  }
+  for (auto& future : futures) {
+    Result<QueryOutcome> outcome = future.get();  // never a broken promise
+    EXPECT_TRUE(outcome.ok() || outcome.status().IsResourceExhausted());
+  }
+}
+
+}  // namespace
+}  // namespace pcqe

@@ -193,6 +193,62 @@ TEST_F(ShellTest, AccessConfigRoundTrip) {
   EXPECT_NE(out2.str().find("<Analyst, reporting, 0.5>"), std::string::npos);
 }
 
+TEST_F(ShellTest, ServeSessionWorkflow) {
+  std::string path = ::testing::TempDir() + "/shell_serve.csv";
+  {
+    std::ofstream f(path);
+    f << "site,reading,conf\nnorth,42,0.9\nsouth,17,0.4\n";
+  }
+  Feed(".load sensors " + path + " conf");
+  Feed(".role add Analyst");
+  Feed(".user add alice");
+  Feed(".role grant alice Analyst");
+  Feed(".policy add Analyst reporting 0.5");
+
+  // A session requires a running service.
+  EXPECT_NE(Feed(".session alice reporting").find("no service running"),
+            std::string::npos);
+  EXPECT_NE(Feed(".stats").find("no service running"), std::string::npos);
+
+  std::string serving = Feed(".serve 2");
+  EXPECT_NE(serving.find("serving with 2 worker(s)"), std::string::npos);
+  EXPECT_NE(Feed(".serve").find("already serving"), std::string::npos);
+  EXPECT_TRUE(shell_.service() != nullptr);
+  EXPECT_FALSE(shell_.in_session());
+
+  // Unknown users cannot open sessions; known ones pin role set + threshold.
+  EXPECT_NE(Feed(".session ghost reporting").find("not_found"), std::string::npos);
+  std::string opened = Feed(".session alice reporting");
+  EXPECT_NE(opened.find("alice/reporting"), std::string::npos);
+  EXPECT_NE(opened.find("beta=0.5"), std::string::npos);
+  EXPECT_TRUE(shell_.in_session());
+
+  // SQL is routed through the service and filtered by the session policy.
+  std::string result = Feed("SELECT site, reading FROM sensors;");
+  EXPECT_NE(result.find("1 of 2 row(s) released"), std::string::npos);
+  EXPECT_NE(result.find("via service"), std::string::npos);
+
+  // The same query again is a cache hit; .stats reports the counters.
+  Feed("SELECT site, reading FROM sensors;");
+  std::string stats = Feed(".stats");
+  EXPECT_NE(stats.find("2 served"), std::string::npos);
+  EXPECT_NE(stats.find("cache: 1 hits"), std::string::npos);
+
+  // .accept routes through the service so the catalog write is serialized
+  // against in-flight queries, and the cache is invalidated by version bump.
+  Feed(".fraction 1.0");
+  Feed("SELECT site, reading FROM sensors;");
+  EXPECT_NE(Feed(".accept").find("applied"), std::string::npos);
+  std::string after = Feed("SELECT site, reading FROM sensors;");
+  EXPECT_NE(after.find("2 of 2 row(s) released"), std::string::npos);
+
+  // Dropping the session reverts to direct engine submission.
+  EXPECT_NE(Feed(".session off").find("session closed"), std::string::npos);
+  EXPECT_FALSE(shell_.in_session());
+  std::string direct = Feed("SELECT site, reading FROM sensors;");
+  EXPECT_EQ(direct.find("via service"), std::string::npos);
+}
+
 TEST_F(ShellTest, SaveExportsCsv) {
   std::string in_path = ::testing::TempDir() + "/shell_save_in.csv";
   std::string out_path = ::testing::TempDir() + "/shell_save_out.csv";

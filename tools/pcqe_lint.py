@@ -18,6 +18,12 @@ Rules (ids in brackets; suppress a line with `// pcqe-lint: allow(<rule>)`):
   [discarded-status]      A call to a Status-returning function must not be a
       bare statement; handle it, PCQE_RETURN_NOT_OK it, or assign it. This is
       the rule clang-tidy cannot apply: it knows the repo's own function set.
+  [concurrency]           Threading discipline in src/: no `std::thread`
+      (use `std::jthread`, which joins on destruction and carries a
+      stop_token), no `.detach()` (detached threads outlive their data), and
+      no bare `.lock()` / `.unlock()` calls (use std::scoped_lock /
+      std::unique_lock / std::shared_lock so unlock happens on every exit
+      path). `std::thread::hardware_concurrency()` is fine.
 
 Usage:
   pcqe_lint.py [--root DIR] [FILE...]   # lint repo (or explicit files)
@@ -148,6 +154,26 @@ def lint_file(relpath, lines, status_fns):
                         relpath, i, "valueordie-unchecked",
                         "ValueOrDie() without a preceding ok() check or PCQE_CHECK; "
                         "use PCQE_ASSIGN_OR_RETURN or check ok() first"))
+
+        # -- concurrency ---------------------------------------------------
+        if in_src and not _allowed(raw, "concurrency"):
+            # `std::thread` as a type is banned; the lookahead spares the
+            # legitimate static call std::thread::hardware_concurrency().
+            if re.search(r"\bstd::thread\b(?!\s*::)", code):
+                out.append(Violation(
+                    relpath, i, "concurrency",
+                    "use std::jthread (joins on destruction, stop_token-aware) "
+                    "instead of std::thread"))
+            if re.search(r"(\.|->)\s*detach\s*\(", code):
+                out.append(Violation(
+                    relpath, i, "concurrency",
+                    "detached threads outlive their data; keep the (j)thread "
+                    "joinable and owned"))
+            if re.search(r"(\.|->)\s*(un)?lock\s*\(\s*\)", code):
+                out.append(Violation(
+                    relpath, i, "concurrency",
+                    "bare lock()/unlock(); use a scoped RAII guard "
+                    "(std::scoped_lock, std::unique_lock, std::shared_lock)"))
 
         # -- discarded-status ---------------------------------------------
         if (in_src or in_tools) and not _allowed(raw, "discarded-status"):

@@ -90,6 +90,12 @@ void Shell::RunCommand(const std::string& line) {
     CmdAccept();
   } else if (cmd == ".why") {
     CmdWhy(args);
+  } else if (cmd == ".serve") {
+    CmdServe(args);
+  } else if (cmd == ".session") {
+    CmdSession(args);
+  } else if (cmd == ".stats") {
+    CmdStats();
   } else if (cmd == ".savedb") {
     if (args.size() != 1) {
       out() << "usage: .savedb <directory>\n";
@@ -102,6 +108,7 @@ void Shell::RunCommand(const std::string& line) {
       out() << "usage: .opendb <directory>\n";
     } else {
       Status s = LoadDatabase(args[0], &catalog_);
+      if (s.ok() && service_ != nullptr) service_->InvalidateCache();
       out() << (s.ok() ? "database loaded from " + args[0] : s.ToString()) << "\n";
     }
   } else if (cmd == ".saveconfig") {
@@ -159,6 +166,10 @@ void Shell::CmdHelp() {
            "  .proposal                     show the last improvement proposal\n"
            "  .accept                       apply it to the database\n"
            "  .why <row>                    most influential base tuples of a row\n"
+           "  .serve [workers]              start the concurrent query service\n"
+           "  .session <user> [purpose]     open a service session (SQL runs through it)\n"
+           "  .session off                  drop back to direct engine submission\n"
+           "  .stats                        service counters (cache, queue, latency)\n"
            "  .savedb <dir> | .opendb <dir> persist / restore every table\n"
            "  .saveconfig <file> | .loadconfig <file>  roles + policies\n"
            "  .explain <select>             show the query plan\n"
@@ -197,6 +208,8 @@ void Shell::CmdLoad(const std::vector<std::string>& args) {
     out() << table.status().ToString() << "\n";
     return;
   }
+  // Bulk loads bypass the confidence-version counter; drop stale entries.
+  if (service_ != nullptr) service_->InvalidateCache();
   out() << "loaded " << (*table)->num_tuples() << " rows into " << args[0] << "\n";
 }
 
@@ -299,6 +312,71 @@ void Shell::CmdWhy(const std::vector<std::string>& args) {
   }
 }
 
+void Shell::CmdServe(const std::vector<std::string>& args) {
+  if (args.size() > 1) {
+    out() << "usage: .serve [workers]\n";
+    return;
+  }
+  if (service_ != nullptr) {
+    out() << "already serving with " << service_->num_workers() << " worker(s)\n";
+    return;
+  }
+  ServiceOptions options;
+  if (!args.empty()) {
+    options.num_workers = static_cast<size_t>(std::strtoull(args[0].c_str(), nullptr, 10));
+    if (options.num_workers == 0 || options.num_workers > 64) {
+      out() << "workers must be in 1..64\n";
+      return;
+    }
+  }
+  service_ = std::make_unique<QueryService>(engine_.get(), options);
+  out() << "serving with " << service_->num_workers() << " worker(s), queue capacity "
+        << options.queue_capacity << ", cache capacity " << options.cache_capacity
+        << " (.session <user> [purpose] to begin)\n";
+}
+
+void Shell::CmdSession(const std::vector<std::string>& args) {
+  if (args.size() == 1 && args[0] == "off") {
+    if (session_.has_value() && service_ != nullptr) {
+      Status s = service_->CloseSession(session_->id);
+      if (!s.ok()) out() << s.ToString() << "\n";
+    }
+    session_.reset();
+    out() << "session closed; SQL goes directly to the engine again\n";
+    return;
+  }
+  if (args.empty() || args.size() > 2) {
+    out() << "usage: .session <user> [purpose] | .session off\n";
+    return;
+  }
+  if (service_ == nullptr) {
+    out() << "no service running (use .serve first)\n";
+    return;
+  }
+  std::string purpose = args.size() == 2 ? args[1] : purpose_;
+  auto session = service_->OpenSession(args[0], purpose);
+  if (!session.ok()) {
+    out() << session.status().ToString() << "\n";
+    return;
+  }
+  if (session_.has_value()) {
+    // Best-effort close of the previous session; the new one supersedes it.
+    Status closed = service_->CloseSession(session_->id);
+    if (!closed.ok()) out() << closed.ToString() << "\n";
+  }
+  session_ = *session;
+  purpose_ = purpose;
+  out() << session_->ToString() << " opened; SQL now runs through the service\n";
+}
+
+void Shell::CmdStats() {
+  if (service_ == nullptr) {
+    out() << "no service running (use .serve first)\n";
+    return;
+  }
+  out() << service_->stats().ToString();
+}
+
 void Shell::CmdProposal() {
   if (!has_proposal_) {
     out() << "no pending proposal\n";
@@ -322,7 +400,10 @@ void Shell::CmdAccept() {
     out() << "no pending proposal\n";
     return;
   }
-  Status s = engine_->AcceptProposal(last_proposal_);
+  // With a service running, route through it so the write takes the
+  // exclusive catalog lock against in-flight requests.
+  Status s = service_ != nullptr ? service_->Accept(last_proposal_)
+                                 : engine_->AcceptProposal(last_proposal_);
   if (!s.ok()) {
     out() << s.ToString() << "\n";
     return;
@@ -332,6 +413,31 @@ void Shell::CmdAccept() {
 }
 
 void Shell::RunSql(const std::string& sql) {
+  if (service_ != nullptr && session_.has_value()) {
+    ServiceRequest request;
+    request.sql = sql;
+    request.required_fraction = fraction_;
+    auto outcome = service_->Submit(*session_, std::move(request));
+    if (!outcome.ok()) {
+      out() << outcome.status().ToString() << "\n";
+      return;
+    }
+    out() << outcome->ReleasedTable();
+    out() << outcome->released.size() << " of " << outcome->intermediate.rows.size()
+          << " row(s) released (beta=" << FormatDouble(outcome->policy.threshold)
+          << ", via service)\n";
+    if (outcome->proposal.needed) {
+      last_proposal_ = outcome->proposal;
+      has_proposal_ = true;
+      out() << "improvement available: cost "
+            << FormatDouble(last_proposal_.total_cost, 4) << " via "
+            << last_proposal_.algorithm
+            << " (.proposal to inspect, .accept to apply)\n";
+    }
+    last_result_ = std::move(outcome->intermediate);
+    return;
+  }
+
   if (user_.empty()) {
     // No session user: run unfiltered, showing raw confidences.
     auto result = RunQuery(catalog_, sql);

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "engine/pcqe_engine.h"
+#include "service/query_service.h"
 
 namespace pcqe {
 
@@ -42,6 +43,8 @@ class Shell {
   double fraction() const { return fraction_; }
   Catalog* catalog() { return &catalog_; }
   PcqeEngine* engine() { return engine_.get(); }
+  QueryService* service() { return service_.get(); }
+  bool in_session() const { return session_.has_value(); }
   /// @}
 
  private:
@@ -58,12 +61,19 @@ class Shell {
   void CmdProposal();
   void CmdAccept();
   void CmdWhy(const std::vector<std::string>& args);
+  void CmdServe(const std::vector<std::string>& args);
+  void CmdSession(const std::vector<std::string>& args);
+  void CmdStats();
 
   std::ostream& out() { return *out_; }
 
   std::ostream* out_;
   Catalog catalog_;
   std::unique_ptr<PcqeEngine> engine_;
+  /// `.serve` mode: a QueryService over `engine_`; SQL runs through the
+  /// active session (`session_`) instead of direct `Submit` while set.
+  std::unique_ptr<QueryService> service_;
+  std::optional<SessionHandle> session_;
   std::string user_;
   std::string purpose_ = "general";
   double fraction_ = 1.0;

@@ -25,6 +25,9 @@ struct Variant {
 std::vector<Variant> Variants() {
   std::vector<Variant> variants;
   HeuristicOptions none;
+  // Single lane throughout: the figure reproduces the paper's sequential
+  // search, and node counts are only comparable across variants that way.
+  none.parallelism.threads = 1;
   none.use_h1_ordering = none.use_h2 = none.use_h3 = none.use_h4 = false;
   variants.push_back({"Naive", none});
   for (int h = 0; h < 4; ++h) {
@@ -36,7 +39,9 @@ std::vector<Variant> Variants() {
     static const char* kNames[] = {"H1", "H2", "H3", "H4"};
     variants.push_back({kNames[h], one});
   }
-  variants.push_back({"All", HeuristicOptions{}});
+  HeuristicOptions all;
+  all.parallelism.threads = 1;
+  variants.push_back({"All", all});
   return variants;
 }
 

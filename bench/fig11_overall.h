@@ -86,7 +86,11 @@ inline int RunOverallSweep(std::vector<OverallRow>* rows) {
     }
 
     if (data_size <= heuristic_cap) {
+      // Paper-figure reproduction: all three solvers run single-lane (the
+      // paper's algorithms are sequential). bench/micro_parallel.cc owns the
+      // thread-count story.
       HeuristicOptions options;
+      options.parallelism.threads = 1;
       options.max_seconds = 120.0;
       Stopwatch timer;
       auto s = SolveHeuristic(*problem, options);
@@ -106,6 +110,7 @@ inline int RunOverallSweep(std::vector<OverallRow>* rows) {
 
     {
       DncOptions options;
+      options.parallelism.threads = 1;
       options.greedy.lazy_gain_queue = false;  // same greedy inside groups
       Stopwatch timer;
       auto s = SolveDnc(*problem, options);

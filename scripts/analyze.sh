@@ -3,9 +3,10 @@
 #   1. lint (pcqe_lint.py self-test + repo sweep)
 #   2. full test suite under ASan+UBSan (fails on any sanitizer report:
 #      -fno-sanitize-recover=all turns every report into a test failure)
-#   3. the concurrent service tests under TSan — ASan and TSan cannot be
-#      combined in one binary, so the data-race check is its own build tree
-#      scoped to the tests that actually exercise threads
+#   3. the concurrent tests under TSan — ASan and TSan cannot be combined in
+#      one binary, so the data-race check is its own build tree scoped to the
+#      tests that actually exercise threads: the service layer plus the
+#      parallel-solver suite (thread pool, D&C fan-out, shared B&B incumbent)
 #   4. a second configure with the GCC static analyzer (-fanalyzer) and
 #      -Werror, so any analyzer diagnostic fails the build
 # Usage: scripts/analyze.sh
@@ -34,13 +35,16 @@ cmake -B build-asan -S . $(generator_args_for build-asan) \
 cmake --build build-asan -j"$(nproc)"
 ctest --test-dir build-asan -j"$(nproc)" --output-on-failure
 
-echo "== [3/4] TSan service tests"
+echo "== [3/4] TSan concurrency tests"
 cmake -B build-tsan -S . $(generator_args_for build-tsan) \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPCQE_SANITIZE=thread \
   -DPCQE_BUILD_BENCHMARKS=OFF -DPCQE_BUILD_EXAMPLES=OFF
-cmake --build build-tsan -j"$(nproc)" --target service_test service_stress_test
-ctest --test-dir build-tsan -R '^service_(stress_)?test$' --output-on-failure
+cmake --build build-tsan -j"$(nproc)" \
+  --target service_test service_stress_test parallel_solver_test
+ctest --test-dir build-tsan \
+  -R '^(service_test|service_stress_test|parallel_solver_test)$' \
+  --output-on-failure
 
 echo "== [4/4] GCC static analyzer (-fanalyzer -Werror)"
 # Analyze the library and tools only: gtest/benchmark headers are not ours

@@ -1,0 +1,138 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace pcqe {
+
+size_t SolverParallelism::Resolve() const {
+  if (threads != 0) return threads;
+  size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(size_t num_workers) {
+  if (num_workers == 0) num_workers = 1;
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this](std::stop_token stop) { WorkerLoop(std::move(stop)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  for (std::jthread& worker : workers_) worker.request_stop();
+  cv_.notify_all();
+  // ~jthread joins each worker; WorkerLoop drains the queue first, so every
+  // submitted task has run by the time the pool is gone.
+}
+
+void ThreadPool::WorkerLoop(std::stop_token stop) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!cv_.wait(lock, stop, [this] { return !queue_.empty(); })) {
+        return;  // stop requested and nothing left to drain
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::scoped_lock lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+namespace {
+
+/// Completion state shared between the caller and its helper lanes. Held by
+/// shared_ptr: a helper enqueued behind long tasks may wake after every
+/// index is claimed (it then touches only `next`/`n`), so it must not
+/// dangle once the caller unblocks.
+struct ForState {
+  ForState(size_t n_in, const std::function<void(size_t)>& fn_in)
+      : n(n_in), fn(&fn_in) {}
+
+  const size_t n;
+  const std::function<void(size_t)>* fn;  // outlives all fn calls: the caller
+                                          // blocks until completed == n
+  std::atomic<size_t> next{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t completed = 0;  // guarded by mu
+};
+
+void RunLane(ForState& state) {
+  size_t done = 0;
+  for (;;) {
+    size_t i = state.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= state.n) break;
+    (*state.fn)(i);
+    ++done;
+  }
+  if (done != 0) {
+    std::scoped_lock lock(state.mu);
+    state.completed += done;
+    if (state.completed == state.n) state.cv.notify_all();
+  }
+}
+
+}  // namespace
+
+void ThreadPool::ParallelFor(size_t n, size_t lanes,
+                             const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  lanes = std::min(lanes == 0 ? num_workers() + 1 : lanes, n);
+  if (lanes <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto state = std::make_shared<ForState>(n, fn);
+  for (size_t extra = 1; extra < lanes; ++extra) {
+    Submit([state] { RunLane(*state); });
+  }
+  RunLane(*state);
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->completed == state->n; });
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool([] {
+    size_t hw = std::thread::hardware_concurrency();
+    return std::max<size_t>(hw == 0 ? 1 : hw, 8) - 1;
+  }());
+  return pool;
+}
+
+void ParallelFor(const SolverParallelism& parallelism, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  size_t lanes = parallelism.Resolve();
+  if (lanes <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool::Shared().ParallelFor(n, lanes, fn);
+}
+
+void ParallelForChunks(const SolverParallelism& parallelism, size_t n,
+                       const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (n == 0) return;
+  size_t lanes = std::min(parallelism.Resolve(), n);
+  if (lanes <= 1) {
+    fn(0, 0, n);
+    return;
+  }
+  ThreadPool::Shared().ParallelFor(lanes, lanes, [&](size_t chunk) {
+    fn(chunk, chunk * n / lanes, (chunk + 1) * n / lanes);
+  });
+}
+
+}  // namespace pcqe

@@ -1,0 +1,95 @@
+// Copyright (c) PCQE contributors.
+// Shared fixed-size worker pool for the CPU-bound solver fan-outs.
+//
+// The solvers split work into lanes (D&C groups, branch-and-bound root
+// ranges, gain-precompute chunks); every lane's output goes to a slot owned
+// by that lane alone and is combined by the caller in a fixed order, so
+// results never depend on scheduling. `ParallelFor` blocks until the whole
+// index range is done and the *calling thread claims indices too* — progress
+// is guaranteed even when every pool worker is busy, which also makes nested
+// fan-outs deadlock-free.
+
+#ifndef PCQE_COMMON_THREAD_POOL_H_
+#define PCQE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pcqe {
+
+/// \brief Worker-lane budget for a solver invocation.
+///
+/// Plumbed through `GreedyOptions` / `HeuristicOptions` / `DncOptions` and
+/// `PcqeEngine::solver_parallelism`. The solvers are engineered so the
+/// returned solution is identical at every setting; the knob trades wall
+/// clock only.
+struct SolverParallelism {
+  /// 0 resolves to `std::thread::hardware_concurrency()` (min 1); 1 runs
+  /// fully sequential without touching the pool; N caps fan-out at N lanes.
+  size_t threads = 0;
+
+  /// The effective lane count (always >= 1).
+  size_t Resolve() const;
+};
+
+/// \brief Fixed-size pool of `std::jthread` workers over one task queue.
+///
+/// Tasks must not throw. On destruction the queue is drained (submitted work
+/// always runs) and the workers join via `std::jthread`.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_workers);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_workers() const { return workers_.size(); }
+
+  /// Enqueues a fire-and-forget task.
+  void Submit(std::function<void()> task);
+
+  /// Runs `fn(i)` for every i in [0, n), spread over at most `lanes`
+  /// concurrent lanes (the caller is one of them), and blocks until all n
+  /// calls returned. Indices are claimed dynamically; `fn` must therefore
+  /// tolerate any execution order. `lanes` 0 means workers + 1; `lanes` <= 1
+  /// runs inline, in index order, without touching the queue.
+  void ParallelFor(size_t n, size_t lanes, const std::function<void(size_t)>& fn);
+
+  /// \brief The process-wide pool the solvers share.
+  ///
+  /// Sized `max(hardware_concurrency, 8) - 1` workers so that requesting up
+  /// to 8 lanes fans out for real even on small CI boxes — oversubscribed
+  /// lanes just time-slice, while thread-count sweeps and race detection
+  /// stay meaningful there. Constructed on first use.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop(std::stop_token stop);
+
+  std::mutex mu_;
+  std::condition_variable_any cv_;
+  std::deque<std::function<void()>> queue_;  // guarded by mu_
+  std::vector<std::jthread> workers_;
+};
+
+/// `ThreadPool::Shared().ParallelFor` with the lane budget of `parallelism`;
+/// a budget of 1 (or n <= 1) runs inline without instantiating the pool.
+void ParallelFor(const SolverParallelism& parallelism, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+/// Splits [0, n) into at most `parallelism.Resolve()` contiguous chunks and
+/// runs `fn(chunk_index, begin, end)` for each, blocking until done. Chunk
+/// boundaries depend only on n and the resolved budget — never on
+/// scheduling — so per-chunk scratch state yields reproducible results. A
+/// budget of 1 makes the single call `fn(0, 0, n)` inline.
+void ParallelForChunks(const SolverParallelism& parallelism, size_t n,
+                       const std::function<void(size_t, size_t, size_t)>& fn);
+
+}  // namespace pcqe
+
+#endif  // PCQE_COMMON_THREAD_POOL_H_

@@ -166,12 +166,21 @@ Result<StrategyProposal> PcqeEngine::FindStrategy(
   }
   Result<IncrementSolution> solved = [&]() -> Result<IncrementSolution> {
     switch (effective) {
-      case SolverKind::kHeuristic:
-        return SolveHeuristic(problem);
-      case SolverKind::kGreedy:
-        return SolveGreedy(problem);
-      case SolverKind::kDnc:
-        return SolveDnc(problem);
+      case SolverKind::kHeuristic: {
+        HeuristicOptions heuristic_options;
+        heuristic_options.parallelism = solver_parallelism;
+        return SolveHeuristic(problem, heuristic_options);
+      }
+      case SolverKind::kGreedy: {
+        GreedyOptions greedy_options;
+        greedy_options.parallelism = solver_parallelism;
+        return SolveGreedy(problem, greedy_options);
+      }
+      case SolverKind::kDnc: {
+        DncOptions dnc_options;
+        dnc_options.parallelism = solver_parallelism;
+        return SolveDnc(problem, dnc_options);
+      }
       case SolverKind::kBruteForce:
         return SolveBruteForce(problem);
       case SolverKind::kAuto:

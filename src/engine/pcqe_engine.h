@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "improve/improver.h"
 #include "policy/confidence_policy.h"
 #include "policy/rbac.h"
@@ -147,6 +148,13 @@ class PcqeEngine {
 
   /// Confidence-increment granularity δ used when posing strategy problems.
   double improvement_delta = 0.1;
+
+  /// Worker-lane budget for the strategy solvers (0 = hardware concurrency,
+  /// 1 = fully sequential). The solvers return identical solutions at any
+  /// setting; this only trades solve wall-clock. Threads come from the
+  /// process-wide `ThreadPool::Shared()`, so concurrent `Submit`s contend
+  /// for the same lanes rather than oversubscribing the machine.
+  SolverParallelism solver_parallelism;
 
  private:
   /// Step 2 for one request: validates the required fraction, resolves the

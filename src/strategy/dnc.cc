@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 
 namespace pcqe {
 
@@ -76,61 +77,103 @@ Result<IncrementProblem> BuildSubProblem(const IncrementProblem& problem,
                                  sub_options);
 }
 
+/// Per-group sub-solvers always run sequentially: the group grid is the
+/// parallel axis, and nested fan-out would only add queue churn.
+GreedyOptions SequentialGreedy(const DncOptions& options) {
+  GreedyOptions greedy = options.greedy;
+  greedy.parallelism.threads = 1;
+  return greedy;
+}
+
+struct GroupCurve {
+  std::vector<uint32_t> sub_bases;
+  std::vector<GreedyCheckpoint> checkpoints;
+};
+
+/// Builds one group's marginal-cost curve (greedy checkpoints toward full
+/// in-group satisfaction, with the bounded exact tail replacement for small
+/// groups). Reads `global` only — a pure function of (problem, global,
+/// group) — so curves for many groups can be built concurrently. Returns
+/// the sub-solver iteration count; a curve with no checkpoints means the
+/// group has nothing to contribute.
+Result<size_t> BuildGroupCurve(const IncrementProblem& problem,
+                               const ConfidenceState& global,
+                               const PartitionGroup& group,
+                               const DncOptions& options, GroupCurve* out) {
+  size_t iterations = 0;
+  PCQE_ASSIGN_OR_RETURN(GroupWork work,
+                        CollectGroup(problem, global, group,
+                                     /*respect_deficit=*/false));
+  if (work.sub_lineages.empty()) return iterations;
+  // Target everything in the group; the combiner decides how much to use.
+  std::vector<size_t> all(work.sub_available.begin(), work.sub_available.end());
+  PCQE_ASSIGN_OR_RETURN(IncrementProblem sub,
+                        BuildSubProblem(problem, global, work, std::move(all)));
+  ConfidenceState sub_state(sub);
+  GroupCurve curve;
+  curve.sub_bases = work.sub_bases;
+  iterations += GreedyRaise(&sub_state, SequentialGreedy(options), &curve.checkpoints);
+
+  // Small groups: replace the full-satisfaction tail with the exact
+  // search, seeded by the greedy incumbent (Figure 10's bounded
+  // heuristic refinement).
+  if (options.tau > 0 && sub.num_base_tuples() < options.tau && sub.is_monotone() &&
+      !curve.checkpoints.empty() && sub_state.Feasible()) {
+    HeuristicOptions h;
+    h.initial_upper_bound = sub_state.total_cost();
+    h.max_nodes = options.heuristic_max_nodes;
+    h.max_seconds = options.heuristic_max_seconds;
+    h.parallelism.threads = 1;
+    PCQE_ASSIGN_OR_RETURN(IncrementSolution exact, SolveHeuristic(sub, h));
+    iterations += exact.nodes_explored;
+    GreedyCheckpoint& tail = curve.checkpoints.back();
+    if (exact.feasible && exact.total_cost < tail.cost - kEpsilon) {
+      tail.cost = exact.total_cost;
+      tail.raised.clear();
+      for (size_t i = 0; i < exact.new_confidence.size(); ++i) {
+        if (exact.new_confidence[i] > sub.base(i).confidence + kEpsilon) {
+          tail.raised.emplace_back(i, exact.new_confidence[i]);
+        }
+      }
+    }
+  }
+  if (!curve.checkpoints.empty()) *out = std::move(curve);
+  return iterations;
+}
+
 /// Single-query path: build a marginal-cost curve per group (greedy
 /// checkpoints toward full in-group satisfaction), then buy satisfactions
 /// from the curves cheapest-rate-first until the deficit is covered. This
 /// is the "combine the result in a greedy way" step with global cost
 /// awareness: expensive results in cheap groups are *not* forced.
+///
+/// The global state is read-only until the accepted prefixes are applied,
+/// so the curve builds fan out over groups; each curve lands in its own
+/// slot and is consumed in group order, making the combine — and the final
+/// assignment — identical to the sequential pass.
 Result<size_t> SolveSingleQuery(const IncrementProblem& problem, ConfidenceState* global,
                                 const std::vector<PartitionGroup>& groups,
                                 const DncOptions& options) {
-  size_t iterations = 0;
+  std::vector<GroupCurve> built(groups.size());
+  std::vector<size_t> built_iterations(groups.size(), 0);
+  std::vector<Status> built_status(groups.size());
+  const ConfidenceState& frozen = *global;
+  ParallelFor(options.parallelism, groups.size(), [&](size_t g) {
+    Result<size_t> r = BuildGroupCurve(problem, frozen, groups[g], options, &built[g]);
+    if (r.ok()) {
+      built_iterations[g] = *r;
+    } else {
+      built_status[g] = r.status();
+    }
+  });
 
-  struct GroupCurve {
-    std::vector<uint32_t> sub_bases;
-    std::vector<GreedyCheckpoint> checkpoints;
-  };
+  size_t iterations = 0;
   std::vector<GroupCurve> curves;
   curves.reserve(groups.size());
-
-  for (const PartitionGroup& group : groups) {
-    PCQE_ASSIGN_OR_RETURN(GroupWork work,
-                          CollectGroup(problem, *global, group,
-                                       /*respect_deficit=*/false));
-    if (work.sub_lineages.empty()) continue;
-    // Target everything in the group; the combiner decides how much to use.
-    std::vector<size_t> all(work.sub_available.begin(), work.sub_available.end());
-    PCQE_ASSIGN_OR_RETURN(IncrementProblem sub,
-                          BuildSubProblem(problem, *global, work, std::move(all)));
-    ConfidenceState sub_state(sub);
-    GroupCurve curve;
-    curve.sub_bases = work.sub_bases;
-    iterations +=
-        GreedyRaise(&sub_state, options.greedy, &curve.checkpoints);
-
-    // Small groups: replace the full-satisfaction tail with the exact
-    // search, seeded by the greedy incumbent (Figure 10's bounded
-    // heuristic refinement).
-    if (options.tau > 0 && sub.num_base_tuples() < options.tau && sub.is_monotone() &&
-        !curve.checkpoints.empty() && sub_state.Feasible()) {
-      HeuristicOptions h;
-      h.initial_upper_bound = sub_state.total_cost();
-      h.max_nodes = options.heuristic_max_nodes;
-      h.max_seconds = options.heuristic_max_seconds;
-      PCQE_ASSIGN_OR_RETURN(IncrementSolution exact, SolveHeuristic(sub, h));
-      iterations += exact.nodes_explored;
-      GreedyCheckpoint& tail = curve.checkpoints.back();
-      if (exact.feasible && exact.total_cost < tail.cost - kEpsilon) {
-        tail.cost = exact.total_cost;
-        tail.raised.clear();
-        for (size_t i = 0; i < exact.new_confidence.size(); ++i) {
-          if (exact.new_confidence[i] > sub.base(i).confidence + kEpsilon) {
-            tail.raised.emplace_back(i, exact.new_confidence[i]);
-          }
-        }
-      }
-    }
-    if (!curve.checkpoints.empty()) curves.push_back(std::move(curve));
+  for (size_t g = 0; g < groups.size(); ++g) {
+    if (!built_status[g].ok()) return built_status[g];
+    iterations += built_iterations[g];
+    if (!built[g].checkpoints.empty()) curves.push_back(std::move(built[g]));
   }
 
   // Buy checkpoint packages cheapest-rate-first until the deficit closes.
@@ -180,50 +223,142 @@ Result<size_t> SolveSingleQuery(const IncrementProblem& problem, ConfidenceState
   return iterations;
 }
 
+/// One group's sub-solve against a frozen view of the global state (the
+/// live state in the sequential path, a wave snapshot in the parallel one).
+struct GroupSolve {
+  bool skip = true;  ///< nothing in the group can still help
+  GroupWork work;
+  IncrementSolution solution;
+  size_t iterations = 0;
+};
+
+Result<GroupSolve> SolveOneGroup(const IncrementProblem& problem,
+                                 const ConfidenceState& view,
+                                 const PartitionGroup& group,
+                                 const DncOptions& options) {
+  GroupSolve out;
+  PCQE_ASSIGN_OR_RETURN(GroupWork work,
+                        CollectGroup(problem, view, group,
+                                     /*respect_deficit=*/true));
+  if (work.sub_lineages.empty()) return out;
+
+  std::vector<size_t> sub_required(work.sub_queries_orig.size());
+  for (size_t cq = 0; cq < work.sub_queries_orig.size(); ++cq) {
+    sub_required[cq] =
+        std::min(view.Deficit(work.sub_queries_orig[cq]), work.sub_available[cq]);
+  }
+  PCQE_ASSIGN_OR_RETURN(IncrementProblem sub,
+                        BuildSubProblem(problem, view, work, std::move(sub_required)));
+
+  PCQE_ASSIGN_OR_RETURN(IncrementSolution sub_solution,
+                        SolveGreedy(sub, SequentialGreedy(options)));
+  out.iterations += sub_solution.nodes_explored;
+
+  if (options.tau > 0 && sub.num_base_tuples() < options.tau && sub.is_monotone()) {
+    HeuristicOptions h;
+    h.initial_upper_bound = sub_solution.total_cost;
+    h.initial_assignment = sub_solution.new_confidence;
+    h.max_nodes = options.heuristic_max_nodes;
+    h.max_seconds = options.heuristic_max_seconds;
+    h.parallelism.threads = 1;
+    PCQE_ASSIGN_OR_RETURN(IncrementSolution exact, SolveHeuristic(sub, h));
+    out.iterations += exact.nodes_explored;
+    bool better = (exact.feasible && !sub_solution.feasible) ||
+                  (exact.feasible == sub_solution.feasible &&
+                   exact.total_cost < sub_solution.total_cost - kEpsilon);
+    if (better) sub_solution = std::move(exact);
+  }
+
+  out.skip = false;
+  out.work = std::move(work);
+  out.solution = std::move(sub_solution);
+  return out;
+}
+
+/// Max-combines a sub-solution into the global state (sub floors equal the
+/// view the group was solved against, so the new value is the max).
+void ApplyGroupSolution(ConfidenceState* global, const GroupSolve& solve) {
+  for (size_t sb = 0; sb < solve.work.sub_bases.size(); ++sb) {
+    double v = solve.solution.new_confidence[sb];
+    if (v > global->prob(solve.work.sub_bases[sb]) + kEpsilon) {
+      global->SetProb(solve.work.sub_bases[sb], v);
+    }
+  }
+}
+
+/// Everything a group's sub-solve reads from the global state: the probs of
+/// its base tuples (which also determine its results' confidences) and the
+/// deficits of its results' queries. When none of those moved since
+/// `snapshot`, a solve against the snapshot is byte-identical to one
+/// against the live state — the speculation can be applied as-is.
+bool GroupViewUnchanged(const IncrementProblem& problem, const PartitionGroup& group,
+                        const ConfidenceState& snapshot,
+                        const ConfidenceState& global) {
+  for (uint32_t b : group.base_tuples) {
+    if (global.prob(b) != snapshot.prob(b)) return false;
+  }
+  for (uint32_t r : group.results) {
+    uint32_t q = problem.query_of_result(r);
+    if (global.Deficit(q) != snapshot.Deficit(q)) return false;
+  }
+  return true;
+}
+
 /// Multi-query path: paper-style sequential fill (each group satisfies as
 /// much of the remaining per-query deficits as it can).
+///
+/// Parallel lanes speculate: a wave of groups is solved concurrently
+/// against one snapshot of the global state, then applied in group order.
+/// Groups whose view the earlier applies invalidated (a shared base tuple
+/// on a group boundary, or a deficit another group just covered) are
+/// re-solved inline against the live state, so the applied sequence — and
+/// the iteration count — is exactly the sequential one.
 Result<size_t> SolveMultiQuery(const IncrementProblem& problem, ConfidenceState* global,
                                const std::vector<PartitionGroup>& groups,
                                const DncOptions& options) {
   size_t iterations = 0;
-  for (const PartitionGroup& group : groups) {
+  const size_t lanes = options.parallelism.Resolve();
+  size_t g = 0;
+  while (g < groups.size()) {
     if (global->Feasible()) break;
-    PCQE_ASSIGN_OR_RETURN(GroupWork work,
-                          CollectGroup(problem, *global, group,
-                                       /*respect_deficit=*/true));
-    if (work.sub_lineages.empty()) continue;
 
-    std::vector<size_t> sub_required(work.sub_queries_orig.size());
-    for (size_t cq = 0; cq < work.sub_queries_orig.size(); ++cq) {
-      sub_required[cq] =
-          std::min(global->Deficit(work.sub_queries_orig[cq]), work.sub_available[cq]);
-    }
-    PCQE_ASSIGN_OR_RETURN(
-        IncrementProblem sub,
-        BuildSubProblem(problem, *global, work, std::move(sub_required)));
-
-    PCQE_ASSIGN_OR_RETURN(IncrementSolution sub_solution,
-                          SolveGreedy(sub, options.greedy));
-    iterations += sub_solution.nodes_explored;
-
-    if (options.tau > 0 && sub.num_base_tuples() < options.tau && sub.is_monotone()) {
-      HeuristicOptions h;
-      h.initial_upper_bound = sub_solution.total_cost;
-      h.initial_assignment = sub_solution.new_confidence;
-      h.max_nodes = options.heuristic_max_nodes;
-      h.max_seconds = options.heuristic_max_seconds;
-      PCQE_ASSIGN_OR_RETURN(IncrementSolution exact, SolveHeuristic(sub, h));
-      iterations += exact.nodes_explored;
-      bool better = (exact.feasible && !sub_solution.feasible) ||
-                    (exact.feasible == sub_solution.feasible &&
-                     exact.total_cost < sub_solution.total_cost - kEpsilon);
-      if (better) sub_solution = std::move(exact);
+    if (lanes <= 1) {
+      PCQE_ASSIGN_OR_RETURN(GroupSolve solve,
+                            SolveOneGroup(problem, *global, groups[g], options));
+      iterations += solve.iterations;
+      if (!solve.skip) ApplyGroupSolution(global, solve);
+      ++g;
+      continue;
     }
 
-    for (size_t sb = 0; sb < work.sub_bases.size(); ++sb) {
-      double v = sub_solution.new_confidence[sb];
-      if (v > global->prob(work.sub_bases[sb]) + kEpsilon) {
-        global->SetProb(work.sub_bases[sb], v);
+    const size_t wave_end = std::min(g + lanes, groups.size());
+    const size_t wave_size = wave_end - g;
+    const ConfidenceState snapshot = *global;
+    std::vector<GroupSolve> wave(wave_size);
+    std::vector<Status> wave_status(wave_size);
+    ParallelFor(options.parallelism, wave_size, [&](size_t w) {
+      Result<GroupSolve> r = SolveOneGroup(problem, snapshot, groups[g + w], options);
+      if (r.ok()) {
+        wave[w] = std::move(*r);
+      } else {
+        wave_status[w] = r.status();
+      }
+    });
+
+    for (size_t w = 0; w < wave_size; ++w, ++g) {
+      if (!wave_status[w].ok()) return wave_status[w];
+      if (global->Feasible()) return iterations;
+      if (GroupViewUnchanged(problem, groups[g], snapshot, *global)) {
+        iterations += wave[w].iterations;
+        if (!wave[w].skip) ApplyGroupSolution(global, wave[w]);
+      } else {
+        // Speculation invalidated by an earlier apply in this wave; the
+        // wasted lane is not counted — redo against the live state, which
+        // is what the sequential fill would have computed here.
+        PCQE_ASSIGN_OR_RETURN(GroupSolve redo,
+                              SolveOneGroup(problem, *global, groups[g], options));
+        iterations += redo.iterations;
+        if (!redo.skip) ApplyGroupSolution(global, redo);
       }
     }
   }
@@ -251,7 +386,9 @@ Result<IncrementSolution> SolveDnc(const IncrementProblem& problem,
     // Top-up: per-group curves can leave a residual deficit (a group's
     // greedy stalled, or rounding in package sizes); close it globally.
     if (!global.Feasible()) {
-      total_iterations += GreedyRaise(&global, options.greedy);
+      GreedyOptions top_up = options.greedy;
+      top_up.parallelism = options.parallelism;
+      total_iterations += GreedyRaise(&global, top_up);
     }
 
     // Global refinement over the combined assignment (phase-2 style).

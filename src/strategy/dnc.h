@@ -27,6 +27,15 @@ struct DncOptions {
   /// sub-problem must stay "solvable in reasonable time").
   size_t heuristic_max_nodes = 2'000'000;
   double heuristic_max_seconds = 0.5;
+  /// Lane budget for the group-level fan-out: single-query curve builds run
+  /// fully concurrently (the global state is read-only during that phase);
+  /// multi-query sub-solves run speculatively in waves against a snapshot
+  /// and are applied — after validation, re-solving when an earlier apply
+  /// invalidated the speculation — in group order. Both paths produce
+  /// bit-identical solutions at any setting; per-group sub-solvers always
+  /// run sequentially (the group grid is the parallel axis). The global
+  /// top-up `GreedyRaise` inherits this budget for its gain precompute.
+  SolverParallelism parallelism;
 };
 
 /// \brief Partition → per-group solve → combine → refine.

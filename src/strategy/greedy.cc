@@ -126,13 +126,34 @@ size_t GreedyRaise(ConfidenceState* state_ptr, const GreedyOptions& options,
   size_t max_iterations = options.max_iterations;
 
   size_t recorded_satisfied = state.total_satisfied();
+  // Sparse raised-set bookkeeping: every base ever lifted above its
+  // problem-initial confidence, maintained as increments are applied, so a
+  // checkpoint copies O(|raised|) pairs instead of rescanning all k tuples.
+  std::vector<size_t> raised_bases;
+  std::vector<char> raised_flag;
+  if (checkpoints != nullptr) {
+    raised_flag.assign(problem.num_base_tuples(), 0);
+    for (size_t i = 0; i < problem.num_base_tuples(); ++i) {
+      if (state.prob(i) > problem.base(i).confidence + kEpsilon) {
+        raised_flag[i] = 1;
+        raised_bases.push_back(i);
+      }
+    }
+  }
+  auto note_raise = [&](size_t i) {
+    if (checkpoints == nullptr || raised_flag[i] != 0) return;
+    raised_flag[i] = 1;
+    raised_bases.push_back(i);
+  };
   auto record_checkpoint = [&]() {
     if (checkpoints == nullptr || state.total_satisfied() <= recorded_satisfied) return;
     recorded_satisfied = state.total_satisfied();
     GreedyCheckpoint cp;
     cp.satisfied = state.total_satisfied();
     cp.cost = state.total_cost();
-    for (size_t i = 0; i < problem.num_base_tuples(); ++i) {
+    std::sort(raised_bases.begin(), raised_bases.end());
+    cp.raised.reserve(raised_bases.size());
+    for (size_t i : raised_bases) {
       if (state.prob(i) > problem.base(i).confidence + kEpsilon) {
         cp.raised.emplace_back(i, state.prob(i));
       }
@@ -169,6 +190,7 @@ size_t GreedyRaise(ConfidenceState* state_ptr, const GreedyOptions& options,
       }
       ++iterations;
       state.SetProb(best, StepUp(state, best));
+      note_raise(best);
       record_checkpoint();
     }
     return iterations;
@@ -184,13 +206,35 @@ size_t GreedyRaise(ConfidenceState* state_ptr, const GreedyOptions& options,
   };
   std::priority_queue<Entry> queue;
   std::vector<uint64_t> stamp(problem.num_base_tuples(), 0);
-  for (size_t i = 0; i < problem.num_base_tuples(); ++i) {
-    double g = ComputeGain(&state, i, gain_mode);
-    if (std::isfinite(g)) queue.push({g, static_cast<uint32_t>(i), 0});
+  {
+    // Initial build: every gain is a pure probe of the starting state, so
+    // the k computations fan out in chunks, each against its own state
+    // copy (ProbeResult patches-and-restores, making a shared state racy).
+    // The queue itself is filled in index order either way.
+    const size_t k = problem.num_base_tuples();
+    std::vector<double> initial_gains(k);
+    if (options.parallelism.Resolve() <= 1) {
+      for (size_t i = 0; i < k; ++i) {
+        initial_gains[i] = ComputeGain(&state, i, gain_mode);
+      }
+    } else {
+      ParallelForChunks(options.parallelism, k, [&](size_t, size_t lo, size_t hi) {
+        ConfidenceState local(state);
+        for (size_t i = lo; i < hi; ++i) {
+          initial_gains[i] = ComputeGain(&local, i, gain_mode);
+        }
+      });
+    }
+    for (size_t i = 0; i < k; ++i) {
+      if (std::isfinite(initial_gains[i])) {
+        queue.push({initial_gains[i], static_cast<uint32_t>(i), 0});
+      }
+    }
   }
 
   auto apply = [&](size_t i) {
     state.SetProb(i, StepUp(state, i));
+    note_raise(i);
     // Gains of every co-occurring base tuple are now stale.
     for (uint32_t r : problem.results_of_base(i)) {
       for (uint32_t j : problem.bases_of_result(r)) ++stamp[j];

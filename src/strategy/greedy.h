@@ -7,6 +7,7 @@
 #include <cstddef>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "strategy/problem.h"
 #include "strategy/solution.h"
 
@@ -38,6 +39,12 @@ struct GreedyOptions {
   /// literal O(k·l1) procedure, used by the figure benches to reproduce its
   /// reported scaling.
   bool lazy_gain_queue = true;
+  /// Lane budget for the initial gain-queue build (the only embarrassingly
+  /// parallel part of phase 1): gains of all k tuples against the starting
+  /// state fan out in chunks, each probing its own state copy. Gains are
+  /// pure functions of that state, so the queue — and the solution — is
+  /// identical at any setting. Only the lazy-queue path uses it.
+  SolverParallelism parallelism;
 };
 
 /// \brief Phase 1: repeatedly apply the δ-increment with the highest gain*

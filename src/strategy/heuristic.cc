@@ -1,17 +1,28 @@
 #include "strategy/heuristic.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <mutex>
 
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace pcqe {
 
-double CostBeta(const IncrementProblem& problem, size_t base_index) {
+namespace {
+
+/// costβ against a caller-owned scratch vector holding the problem's current
+/// initial probabilities. Only `scratch[base_index]` is written, and it is
+/// restored before returning, so one scratch serves a whole chunk of tuples
+/// without the per-call `InitialProbs()` copy.
+double CostBetaScratch(const IncrementProblem& problem, size_t base_index,
+                       std::vector<double>* scratch) {
   const BaseTupleSpec& b = problem.base(base_index);
-  std::vector<double> probs = problem.InitialProbs();
+  std::vector<double>& probs = *scratch;
+  const double initial = probs[base_index];
   size_t steps = problem.NumSteps(base_index);
   double f_max = 0.0;
   for (size_t s = 1; s <= steps; ++s) {
@@ -20,11 +31,13 @@ double CostBeta(const IncrementProblem& problem, size_t base_index) {
     for (uint32_t r : problem.results_of_base(base_index)) {
       double f = problem.EvalResult(r, probs);
       if (ClearsThreshold(f, problem.beta())) {
+        probs[base_index] = initial;
         return b.cost->Increment(b.confidence, v);
       }
       f_max = std::max(f_max, f);
     }
   }
+  probs[base_index] = initial;
   // Raising this tuple alone can never push a result over beta. The paper
   // adjusts costβ to cost / (Fmax / β), i.e. cost · β / Fmax, inflating the
   // ranking weight of tuples that get nowhere near the threshold.
@@ -38,172 +51,160 @@ double CostBeta(const IncrementProblem& problem, size_t base_index) {
   return full_cost * problem.beta() / f_max;
 }
 
-namespace {
+/// Cross-worker search state for the multi-root branch and bound. One
+/// instance per `SolveHeuristic` call; with a single lane it degenerates to
+/// uncontended members and the search is step-for-step the sequential DFS.
+struct SearchShared {
+  /// Incumbent cost, read lock-free in the prune checks. Monotone
+  /// non-increasing and kept in sync with the guarded record below.
+  std::atomic<double> best_cost{std::numeric_limits<double>::infinity()};
+  /// Nodes across all workers; doubles as the shared `max_nodes` budget.
+  std::atomic<size_t> nodes{0};
+  std::atomic<bool> aborted{false};
 
-class HeuristicSearch {
+  std::mutex mu;
+  std::vector<double> best_assignment;   // guarded by mu
+  size_t best_root_step = SIZE_MAX;      // guarded by mu
+  bool have_best = false;                // guarded by mu
+
+  /// Offers a feasible assignment found under root step `root_step`.
+  /// Strictly cheaper always wins; an epsilon-tie is won by the smaller
+  /// root step, so the recorded assignment is independent of which worker
+  /// got there first.
+  void Offer(double cost, const std::vector<double>& assignment, size_t root_step) {
+    std::scoped_lock lock(mu);
+    double current = best_cost.load(std::memory_order_relaxed);
+    bool improves = cost < current - kEpsilon;
+    bool wins_tie = have_best && !improves && ApproxEqual(cost, current) &&
+                    root_step < best_root_step;
+    if (!improves && !wins_tie) return;
+    if (cost < current) best_cost.store(cost, std::memory_order_relaxed);
+    best_assignment = assignment;
+    best_root_step = root_step;
+    have_best = true;
+  }
+};
+
+/// One branch-and-bound worker: owns its `ConfidenceState` (and optimistic
+/// H3 state) and explores a contiguous range of the first ordered variable's
+/// δ-steps, pruning against the shared incumbent.
+class SearchWorker {
  public:
-  HeuristicSearch(const IncrementProblem& problem, const HeuristicOptions& options)
-      : problem_(problem), options_(options), state_(problem), opt_state_(problem) {}
-
-  Result<IncrementSolution> Run() {
-    if (!problem_.is_monotone()) {
-      return Status::InvalidArgument(
-          "heuristic solver requires a monotone problem (no negation in lineage); "
-          "use the greedy solver as a best-effort fallback");
-    }
-
-    // H1 (or natural) variable ordering.
-    order_.resize(problem_.num_base_tuples());
-    for (size_t i = 0; i < order_.size(); ++i) order_[i] = i;
-    if (options_.use_h1_ordering) {
-      std::vector<double> cost_beta(order_.size());
-      for (size_t i = 0; i < order_.size(); ++i) cost_beta[i] = CostBeta(problem_, i);
-      std::stable_sort(order_.begin(), order_.end(), [&](size_t a, size_t b) {
-        return cost_beta[a] > cost_beta[b];
-      });
-    }
-
-    // Cheapest single δ-step per tuple (a valid lower bound on any further
-    // spend), plus suffix minima in search order for H4.
-    min_step_cost_.assign(problem_.num_base_tuples(),
-                          std::numeric_limits<double>::infinity());
-    for (size_t i = 0; i < problem_.num_base_tuples(); ++i) {
-      size_t steps = problem_.NumSteps(i);
-      double prev_level = problem_.CostLevel(i, problem_.ValueAtStep(i, 0));
-      for (size_t s = 1; s <= steps; ++s) {
-        double level = problem_.CostLevel(i, problem_.ValueAtStep(i, s));
-        min_step_cost_[i] = std::min(min_step_cost_[i], level - prev_level);
-        prev_level = level;
+  SearchWorker(const IncrementProblem& problem, const HeuristicOptions& options,
+               const std::vector<size_t>& order,
+               const std::vector<double>& suffix_min_step, const Stopwatch& timer,
+               SearchShared* shared)
+      : problem_(problem),
+        options_(options),
+        order_(order),
+        suffix_min_step_(suffix_min_step),
+        timer_(timer),
+        shared_(shared),
+        state_(problem),
+        opt_state_(problem) {
+    if (options_.use_h3) {
+      for (size_t i = 0; i < problem_.num_base_tuples(); ++i) {
+        opt_state_.SetProb(i, problem_.base(i).max_confidence);
       }
     }
-    suffix_min_step_.assign(order_.size() + 1, std::numeric_limits<double>::infinity());
-    for (size_t d = order_.size(); d-- > 0;) {
-      suffix_min_step_[d] = std::min(suffix_min_step_[d + 1], min_step_cost_[order_[d]]);
-    }
+  }
 
-    // Optimistic state: everything at its ceiling. Doubles as the global
-    // feasibility check.
-    for (size_t i = 0; i < problem_.num_base_tuples(); ++i) {
-      opt_state_.SetProb(i, problem_.base(i).max_confidence);
+  /// Explores root steps [lo, hi) of `order[0]`.
+  void RunRoot(size_t lo, size_t hi) {
+    if (order_.empty()) return;
+    size_t var = order_[0];
+    double initial = state_.prob(var);
+    for (size_t s = lo; s < hi; ++s) {
+      if (shared_->aborted.load(std::memory_order_relaxed)) break;
+      root_step_ = s;
+      if (!Visit(0, var, s)) break;
     }
-
-    best_cost_ = options_.initial_upper_bound.value_or(
-        std::numeric_limits<double>::infinity());
-
-    IncrementSolution out;
-    if (state_.Feasible()) {
-      // Already satisfied with no spend.
-      out = MakeSolution(state_, "heuristic");
-      out.solve_seconds = timer_.ElapsedSeconds();
-      return out;
-    }
-    if (!opt_state_.Feasible()) {
-      // Infeasible even at every ceiling: report the do-nothing assignment.
-      out = MakeSolution(state_, "heuristic");
-      out.solve_seconds = timer_.ElapsedSeconds();
-      return out;
-    }
-
-    Dfs(0);
-
-    if (have_best_) {
-      // Rebuild the winning state to produce exact bookkeeping.
-      ConfidenceState final_state(problem_);
-      for (size_t i = 0; i < best_assignment_.size(); ++i) {
-        final_state.SetProb(i, best_assignment_[i]);
-      }
-      out = MakeSolution(final_state, "heuristic");
-    } else if (options_.initial_assignment.has_value() &&
-               std::isfinite(best_cost_)) {
-      // The externally supplied incumbent was never beaten; return it.
-      ConfidenceState final_state(problem_);
-      for (size_t i = 0; i < options_.initial_assignment->size(); ++i) {
-        final_state.SetProb(i, (*options_.initial_assignment)[i]);
-      }
-      out = MakeSolution(final_state, "heuristic");
-    } else {
-      out = MakeSolution(state_, "heuristic");  // infeasible best effort
-    }
-    out.nodes_explored = nodes_;
-    out.solve_seconds = timer_.ElapsedSeconds();
-    out.search_complete = !aborted_;
-    return out;
+    state_.SetProb(var, initial);
   }
 
  private:
-  bool BudgetExceeded() {
-    if (nodes_ > options_.max_nodes) return true;
+  bool BudgetExceeded(size_t total_nodes) {
+    if (total_nodes > options_.max_nodes) return true;
     // Amortize the clock read; a node is microseconds.
-    if (options_.max_seconds > 0.0 && (nodes_ & 0x3FF) == 0 &&
+    if (options_.max_seconds > 0.0 && (total_nodes & 0x3FF) == 0 &&
         timer_.ElapsedSeconds() > options_.max_seconds) {
       return true;
     }
     return false;
   }
 
+  /// One (tuple, value) node: count it, set the value, prune/record/recurse.
+  /// Returns false when the sibling loop at this depth should stop.
+  bool Visit(size_t depth, size_t var, size_t s) {
+    size_t total = shared_->nodes.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (BudgetExceeded(total)) {
+      shared_->aborted.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    double value = problem_.ValueAtStep(var, s);
+    state_.SetProb(var, value);
+    if (options_.use_h3) opt_state_.SetProb(var, value);
+
+    // Incumbent bound: values only grow along the sibling axis, so the
+    // whole remaining value range is pruned together. The bound may have
+    // been lowered by any worker — prunes propagate across lanes.
+    double bound = shared_->best_cost.load(std::memory_order_relaxed);
+    if (state_.total_cost() >= bound - kEpsilon) return false;
+
+    if (state_.Feasible()) {
+      // Monotone problem: any further increment (deeper or higher
+      // sibling) only adds cost.
+      shared_->Offer(state_.total_cost(), state_.probs(), root_step_);
+      return false;
+    }
+
+    bool recurse = depth + 1 < order_.size();
+
+    // H3: optimistic completion (remaining tuples at their ceilings)
+    // still infeasible -> nothing below this node can succeed. Higher
+    // values of the current tuple may still help, so continue siblings.
+    if (recurse && options_.use_h3 && !opt_state_.Feasible()) {
+      recurse = false;
+    }
+
+    // H4: the current spend plus the cheapest possible single δ-step on
+    // any *remaining* tuple already busts the incumbent, so no descendant
+    // can win. Siblings are not covered (their extra spend is on the
+    // current tuple, which is not in the suffix), so only recursion is
+    // pruned.
+    if (recurse && options_.use_h4 && std::isfinite(suffix_min_step_[depth + 1]) &&
+        state_.total_cost() + suffix_min_step_[depth + 1] >= bound - kEpsilon) {
+      recurse = false;
+    }
+
+    if (recurse) Dfs(depth + 1);
+
+    // H2: every result this tuple touches is already above beta; raising
+    // it further cannot help any unsatisfied result.
+    if (options_.use_h2) {
+      bool all_satisfied = true;
+      for (uint32_t r : problem_.results_of_base(var)) {
+        if (!ClearsThreshold(state_.result_confidence(r), problem_.beta())) {
+          all_satisfied = false;
+          break;
+        }
+      }
+      if (all_satisfied) return false;
+    }
+    return true;
+  }
+
   void Dfs(size_t depth) {  // NOLINT(misc-no-recursion)
-    if (depth >= order_.size() || aborted_) return;
+    if (depth >= order_.size() || shared_->aborted.load(std::memory_order_relaxed)) {
+      return;
+    }
     size_t var = order_[depth];
     double initial = state_.prob(var);
     double ceiling = problem_.base(var).max_confidence;
     size_t steps = problem_.NumSteps(var);
 
     for (size_t s = 0; s <= steps; ++s) {
-      ++nodes_;
-      if (BudgetExceeded()) {
-        aborted_ = true;
-        break;
-      }
-      double value = problem_.ValueAtStep(var, s);
-      state_.SetProb(var, value);
-      if (options_.use_h3) opt_state_.SetProb(var, value);
-
-      // Incumbent bound: values only grow along the sibling axis, so the
-      // whole remaining value range is pruned together.
-      if (state_.total_cost() >= best_cost_ - kEpsilon) break;
-
-      if (state_.Feasible()) {
-        // Monotone problem: any further increment (deeper or higher
-        // sibling) only adds cost.
-        best_cost_ = state_.total_cost();
-        best_assignment_ = state_.probs();
-        have_best_ = true;
-        break;
-      }
-
-      bool recurse = depth + 1 < order_.size();
-
-      // H3: optimistic completion (remaining tuples at their ceilings)
-      // still infeasible -> nothing below this node can succeed. Higher
-      // values of the current tuple may still help, so continue siblings.
-      if (recurse && options_.use_h3 && !opt_state_.Feasible()) {
-        recurse = false;
-      }
-
-      // H4: the current spend plus the cheapest possible single δ-step on
-      // any *remaining* tuple already busts the incumbent, so no descendant
-      // can win. Siblings are not covered (their extra spend is on the
-      // current tuple, which is not in the suffix), so only recursion is
-      // pruned.
-      if (recurse && options_.use_h4 && std::isfinite(suffix_min_step_[depth + 1]) &&
-          state_.total_cost() + suffix_min_step_[depth + 1] >= best_cost_ - kEpsilon) {
-        recurse = false;
-      }
-
-      if (recurse) Dfs(depth + 1);
-
-      // H2: every result this tuple touches is already above beta; raising
-      // it further cannot help any unsatisfied result.
-      if (options_.use_h2) {
-        bool all_satisfied = true;
-        for (uint32_t r : problem_.results_of_base(var)) {
-          if (!ClearsThreshold(state_.result_confidence(r), problem_.beta())) {
-            all_satisfied = false;
-            break;
-          }
-        }
-        if (all_satisfied) break;
-      }
+      if (!Visit(depth, var, s)) break;
     }
 
     state_.SetProb(var, initial);
@@ -212,25 +213,133 @@ class HeuristicSearch {
 
   const IncrementProblem& problem_;
   const HeuristicOptions& options_;
+  const std::vector<size_t>& order_;
+  const std::vector<double>& suffix_min_step_;
+  const Stopwatch& timer_;
+  SearchShared* shared_;
   ConfidenceState state_;
   ConfidenceState opt_state_;
-  std::vector<size_t> order_;
-  std::vector<double> min_step_cost_;
-  std::vector<double> suffix_min_step_;
-  double best_cost_ = std::numeric_limits<double>::infinity();
-  std::vector<double> best_assignment_;
-  bool have_best_ = false;
-  bool aborted_ = false;
-  size_t nodes_ = 0;
-  Stopwatch timer_;
+  size_t root_step_ = 0;
 };
 
 }  // namespace
 
+double CostBeta(const IncrementProblem& problem, size_t base_index) {
+  std::vector<double> probs = problem.InitialProbs();
+  return CostBetaScratch(problem, base_index, &probs);
+}
+
 Result<IncrementSolution> SolveHeuristic(const IncrementProblem& problem,
                                          const HeuristicOptions& options) {
-  HeuristicSearch search(problem, options);
-  return search.Run();
+  Stopwatch timer;
+  if (!problem.is_monotone()) {
+    return Status::InvalidArgument(
+        "heuristic solver requires a monotone problem (no negation in lineage); "
+        "use the greedy solver as a best-effort fallback");
+  }
+
+  // H1 (or natural) variable ordering. costβ of each tuple is independent of
+  // every other, so the precompute fans out in chunks, one scratch each.
+  std::vector<size_t> order(problem.num_base_tuples());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (options.use_h1_ordering) {
+    std::vector<double> cost_beta(order.size());
+    ParallelForChunks(options.parallelism, order.size(),
+                      [&](size_t, size_t lo, size_t hi) {
+                        std::vector<double> scratch = problem.InitialProbs();
+                        for (size_t i = lo; i < hi; ++i) {
+                          cost_beta[i] = CostBetaScratch(problem, i, &scratch);
+                        }
+                      });
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return cost_beta[a] > cost_beta[b];
+    });
+  }
+
+  // Cheapest single δ-step per tuple (a valid lower bound on any further
+  // spend), plus suffix minima in search order for H4.
+  std::vector<double> min_step_cost(problem.num_base_tuples(),
+                                    std::numeric_limits<double>::infinity());
+  for (size_t i = 0; i < problem.num_base_tuples(); ++i) {
+    size_t steps = problem.NumSteps(i);
+    double prev_level = problem.CostLevel(i, problem.ValueAtStep(i, 0));
+    for (size_t s = 1; s <= steps; ++s) {
+      double level = problem.CostLevel(i, problem.ValueAtStep(i, s));
+      min_step_cost[i] = std::min(min_step_cost[i], level - prev_level);
+      prev_level = level;
+    }
+  }
+  std::vector<double> suffix_min_step(order.size() + 1,
+                                      std::numeric_limits<double>::infinity());
+  for (size_t d = order.size(); d-- > 0;) {
+    suffix_min_step[d] = std::min(suffix_min_step[d + 1], min_step_cost[order[d]]);
+  }
+
+  ConfidenceState initial_state(problem);
+  if (initial_state.Feasible()) {
+    // Already satisfied with no spend.
+    IncrementSolution out = MakeSolution(initial_state, "heuristic");
+    out.solve_seconds = timer.ElapsedSeconds();
+    return out;
+  }
+  {
+    // Global feasibility check: everything at its ceiling.
+    ConfidenceState ceiling_state(problem);
+    for (size_t i = 0; i < problem.num_base_tuples(); ++i) {
+      ceiling_state.SetProb(i, problem.base(i).max_confidence);
+    }
+    if (!ceiling_state.Feasible()) {
+      // Infeasible even at every ceiling: report the do-nothing assignment.
+      IncrementSolution out = MakeSolution(initial_state, "heuristic");
+      out.solve_seconds = timer.ElapsedSeconds();
+      return out;
+    }
+  }
+
+  SearchShared shared;
+  shared.best_cost.store(options.initial_upper_bound.value_or(
+      std::numeric_limits<double>::infinity()));
+
+  // Multi-root search: split the first ordered variable's δ-range into
+  // contiguous blocks, one worker each. A single lane covers the whole
+  // range and explores exactly the sequential tree.
+  size_t root_values = order.empty() ? 0 : problem.NumSteps(order[0]) + 1;
+  size_t lanes = std::min(options.parallelism.Resolve(), root_values);
+  if (lanes <= 1) {
+    SearchWorker worker(problem, options, order, suffix_min_step, timer, &shared);
+    worker.RunRoot(0, root_values);
+  } else {
+    SolverParallelism root_lanes{lanes};
+    ParallelForChunks(root_lanes, root_values, [&](size_t, size_t lo, size_t hi) {
+      SearchWorker worker(problem, options, order, suffix_min_step, timer, &shared);
+      worker.RunRoot(lo, hi);
+    });
+  }
+
+  // All workers have joined; the shared record needs no lock from here.
+  IncrementSolution out;
+  if (shared.have_best) {
+    // Rebuild the winning state to produce exact bookkeeping.
+    ConfidenceState final_state(problem);
+    for (size_t i = 0; i < shared.best_assignment.size(); ++i) {
+      final_state.SetProb(i, shared.best_assignment[i]);
+    }
+    out = MakeSolution(final_state, "heuristic");
+  } else if (options.initial_assignment.has_value() &&
+             std::isfinite(shared.best_cost.load())) {
+    // The externally supplied incumbent was never beaten; return it.
+    ConfidenceState final_state(problem);
+    for (size_t i = 0; i < options.initial_assignment->size(); ++i) {
+      final_state.SetProb(i, (*options.initial_assignment)[i]);
+    }
+    out = MakeSolution(final_state, "heuristic");
+  } else {
+    out = MakeSolution(initial_state, "heuristic");  // infeasible best effort
+  }
+  out.nodes_explored = shared.nodes.load();
+  out.solve_seconds = timer.ElapsedSeconds();
+  out.search_complete = !shared.aborted.load();
+  return out;
 }
 
 }  // namespace pcqe

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "strategy/problem.h"
 #include "strategy/solution.h"
 
@@ -42,10 +43,18 @@ struct HeuristicOptions {
   std::optional<std::vector<double>> initial_assignment;
 
   /// Node budget; on exhaustion the best incumbent is returned with
-  /// `search_complete = false`.
+  /// `search_complete = false`. Shared across lanes when parallel.
   size_t max_nodes = 500'000'000;
   /// Wall-clock budget in seconds; 0 disables. Same early-return behavior.
   double max_seconds = 0.0;
+
+  /// Multi-root parallel search: the first H1-ordered variable's δ-range is
+  /// split across this many lanes, each with its own `ConfidenceState`,
+  /// sharing one atomic incumbent so prunes propagate between them. The
+  /// search stays complete at any setting, so the returned *cost* is the
+  /// optimum either way; equal-cost ties deterministically go to the
+  /// smallest root step. 1 reproduces the sequential DFS node-for-node.
+  SolverParallelism parallelism;
 };
 
 /// \brief Exact cost-minimal solver (complete search; worst case O(d^k)).

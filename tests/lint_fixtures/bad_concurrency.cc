@@ -1,6 +1,8 @@
 // pcqe-lint-fixture-path: src/example/bad_concurrency.cc
 // Fixture: every banned threading construct — raw std::thread, detach(),
-// and manual lock()/unlock() pairs that leak the lock on early return.
+// manual lock()/unlock() pairs that leak the lock on early return, and
+// std::async (whose future blocks in its destructor).
+#include <future>
 #include <mutex>
 #include <thread>
 
@@ -20,6 +22,13 @@ int ReadCounter(bool fast_path) {
   int value = g_counter;
   g_mu.unlock();
   return value;
+}
+
+int NotActuallyParallel() {
+  // Each temporary future joins before the next call launches.
+  auto a = std::async(std::launch::async, [] { return g_counter; });
+  std::async(std::launch::async, [] { ++g_counter; });
+  return a.get();
 }
 
 }  // namespace pcqe

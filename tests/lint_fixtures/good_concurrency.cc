@@ -1,9 +1,13 @@
 // pcqe-lint-fixture-path: src/example/good_concurrency.cc
 // Fixture: the approved shapes — jthread, RAII guards, try_lock with an
-// explicit result, and the hardware_concurrency() static query.
+// explicit result, the hardware_concurrency() static query, and fan-out
+// through the shared solver pool instead of std::async.
+#include <atomic>
 #include <mutex>
 #include <shared_mutex>
 #include <thread>
+
+#include "common/thread_pool.h"
 
 namespace pcqe {
 
@@ -31,5 +35,12 @@ bool TryBump() {
 }
 
 unsigned WorkerDefault() { return std::thread::hardware_concurrency(); }
+
+int SumViaPool(size_t n) {
+  std::atomic<int> total{0};
+  SolverParallelism par;  // 0 = one lane per hardware thread
+  ParallelFor(par, n, [&](size_t i) { total.fetch_add(static_cast<int>(i)); });
+  return total.load();
+}
 
 }  // namespace pcqe

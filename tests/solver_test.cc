@@ -112,10 +112,15 @@ TEST(HeuristicTest, HeuristicsReduceExploredNodes) {
   Workload w = GenerateWorkload(params);
   IncrementProblem p = *w.ToProblem();
 
+  // One lane: node counts under multi-root search depend on which worker
+  // lowers the incumbent first, so the comparison pins both runs sequential.
   HeuristicOptions naive;
+  naive.parallelism.threads = 1;
   naive.use_h1_ordering = naive.use_h2 = naive.use_h3 = naive.use_h4 = false;
   IncrementSolution s_naive = *SolveHeuristic(p, naive);
-  IncrementSolution s_all = *SolveHeuristic(p);
+  HeuristicOptions all;
+  all.parallelism.threads = 1;
+  IncrementSolution s_all = *SolveHeuristic(p, all);
   ASSERT_TRUE(s_naive.feasible);
   ASSERT_TRUE(s_all.feasible);
   EXPECT_NEAR(s_naive.total_cost, s_all.total_cost, 1e-6);
@@ -136,8 +141,12 @@ TEST(HeuristicTest, GreedyBoundSpeedsSearch) {
   IncrementSolution greedy = *SolveGreedy(p);
   ASSERT_TRUE(greedy.feasible);
 
-  IncrementSolution unbounded = *SolveHeuristic(p);
+  // Sequential lanes: see HeuristicsReduceExploredNodes.
+  HeuristicOptions unbounded_options;
+  unbounded_options.parallelism.threads = 1;
+  IncrementSolution unbounded = *SolveHeuristic(p, unbounded_options);
   HeuristicOptions bounded_options;
+  bounded_options.parallelism.threads = 1;
   bounded_options.initial_upper_bound = greedy.total_cost;
   bounded_options.initial_assignment = greedy.new_confidence;
   IncrementSolution bounded = *SolveHeuristic(p, bounded_options);

@@ -23,7 +23,10 @@ Rules (ids in brackets; suppress a line with `// pcqe-lint: allow(<rule>)`):
       stop_token), no `.detach()` (detached threads outlive their data), and
       no bare `.lock()` / `.unlock()` calls (use std::scoped_lock /
       std::unique_lock / std::shared_lock so unlock happens on every exit
-      path). `std::thread::hardware_concurrency()` is fine.
+      path), and no `std::async` (its blocking future destructor silently
+      serializes "parallel" code; submit to the shared pool in
+      common/thread_pool.h instead). `std::thread::hardware_concurrency()`
+      is fine.
 
 Usage:
   pcqe_lint.py [--root DIR] [FILE...]   # lint repo (or explicit files)
@@ -174,6 +177,12 @@ def lint_file(relpath, lines, status_fns):
                     relpath, i, "concurrency",
                     "bare lock()/unlock(); use a scoped RAII guard "
                     "(std::scoped_lock, std::unique_lock, std::shared_lock)"))
+            if re.search(r"\bstd::async\b", code):
+                out.append(Violation(
+                    relpath, i, "concurrency",
+                    "std::async futures block in their destructor and "
+                    "silently serialize; use ThreadPool/ParallelFor from "
+                    "common/thread_pool.h"))
 
         # -- discarded-status ---------------------------------------------
         if (in_src or in_tools) and not _allowed(raw, "discarded-status"):

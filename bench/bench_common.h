@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "strategy/solution.h"
+
 namespace pcqe {
 namespace bench {
 
@@ -104,6 +106,25 @@ inline std::string FormatCost(double c) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.1f", c);
   return buf;
+}
+
+/// One machine-readable search-effort line per bench variant, from the
+/// solver's deterministic `SolverEffort` counters (lane-count independent,
+/// so lines are comparable across machines and parallelism settings).
+/// Zero-valued counters are skipped to keep the lines readable.
+inline void EmitEffortLine(const char* bench, const char* variant,
+                           const SolverEffort& effort) {
+  std::string fields;
+  for (const auto& [name, value] : effort.Items()) {
+    if (value == 0) continue;
+    if (!fields.empty()) fields += ',';
+    fields += '"';
+    fields += name;
+    fields += "\":";
+    fields += std::to_string(value);
+  }
+  std::printf("BENCH_EFFORT {\"bench\":\"%s\",\"variant\":\"%s\",%s}\n", bench,
+              variant, fields.c_str());
 }
 
 inline void PrintHeader(const char* figure, const char* description) {

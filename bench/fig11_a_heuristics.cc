@@ -71,6 +71,7 @@ int Run() {
     double total_time = 0.0;
     double total_cost = 0.0;
     size_t total_nodes = 0;
+    SolverEffort effort;
     for (uint64_t seed = 1; seed <= num_seeds; ++seed) {
       Workload w = GenerateWorkload(InstanceParams(seed));
       auto problem = w.ToProblem();
@@ -89,6 +90,7 @@ int Run() {
       total_time += timer.ElapsedSeconds();
       total_cost += solution->total_cost;
       total_nodes += solution->nodes_explored;
+      effort.MergeFrom(solution->effort);
       if (!solution->feasible) std::fprintf(stderr, "warning: infeasible seed %llu\n",
                                             static_cast<unsigned long long>(seed));
     }
@@ -99,6 +101,7 @@ int Run() {
     table.AddRow({variant.name, FormatSeconds(avg_time),
                   FormatCount(total_nodes / num_seeds),
                   FormatCost(total_cost / static_cast<double>(num_seeds)), speedup});
+    EmitEffortLine("fig11_a", variant.name, effort);
   }
   table.Print();
   std::printf("\nExpected shape (paper): every heuristic beats Naive; All is fastest\n");

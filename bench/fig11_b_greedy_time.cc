@@ -65,6 +65,8 @@ int Run() {
     std::snprintf(overhead, sizeof(overhead), "%+.1f%%",
                   (t2 / std::max(t1, 1e-9) - 1.0) * 100.0);
     table.AddRow({FormatCount(k), FormatSeconds(t1), FormatSeconds(t2), overhead});
+    EmitEffortLine("fig11_b", ("two_phase_k" + std::to_string(k)).c_str(),
+                   s2->effort);
     std::fflush(stdout);
   }
   table.Print();

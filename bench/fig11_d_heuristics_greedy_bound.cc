@@ -71,6 +71,7 @@ int Run() {
     double unbounded_time = 0.0;
     double total_cost = 0.0;
     size_t bounded_nodes = 0;
+    SolverEffort effort;
     for (uint64_t seed = 1; seed <= num_seeds; ++seed) {
       Workload w = GenerateWorkload(InstanceParams(seed));
       auto problem = w.ToProblem();
@@ -95,6 +96,7 @@ int Run() {
       bounded_time += timer.ElapsedSeconds();
       total_cost += bounded->total_cost;
       bounded_nodes += bounded->nodes_explored;
+      effort.MergeFrom(bounded->effort);
     }
     char ratio[32];
     std::snprintf(ratio, sizeof(ratio), "%.2fx",
@@ -103,6 +105,7 @@ int Run() {
                   FormatSeconds(bounded_time / static_cast<double>(num_seeds)),
                   FormatCount(bounded_nodes / num_seeds),
                   FormatCost(total_cost / static_cast<double>(num_seeds)), ratio});
+    EmitEffortLine("fig11_d", variant.name, effort);
   }
   table.Print();
   std::printf("\nExpected shape (paper): every variant at or below its Figure 11(a)\n");

@@ -97,6 +97,9 @@ inline int RunOverallSweep(std::vector<OverallRow>* rows) {
       if (!s.ok()) return 1;
       row.heuristic = OverallCell{timer.ElapsedSeconds(), s->total_cost,
                                   s->search_complete};
+      EmitEffortLine("fig11_overall",
+                     ("heuristic_n" + std::to_string(data_size)).c_str(),
+                     s->effort);
     }
 
     if (data_size <= greedy_cap) {
@@ -106,6 +109,8 @@ inline int RunOverallSweep(std::vector<OverallRow>* rows) {
       auto s = SolveGreedy(*problem, paper_greedy);
       if (!s.ok()) return 1;
       row.greedy = OverallCell{timer.ElapsedSeconds(), s->total_cost, true};
+      EmitEffortLine("fig11_overall",
+                     ("greedy_n" + std::to_string(data_size)).c_str(), s->effort);
     }
 
     {
@@ -116,6 +121,8 @@ inline int RunOverallSweep(std::vector<OverallRow>* rows) {
       auto s = SolveDnc(*problem, options);
       if (!s.ok()) return 1;
       row.dnc = OverallCell{timer.ElapsedSeconds(), s->total_cost, true};
+      EmitEffortLine("fig11_overall",
+                     ("dnc_n" + std::to_string(data_size)).c_str(), s->effort);
     }
     rows->push_back(row);
     std::fprintf(stderr, "  [done %zu]\n", data_size);

@@ -124,12 +124,15 @@ double RunSingleThread(const PcqeEngine& engine, size_t requests) {
 }
 
 /// Worker-pool run; `warm` reuses one query text, cold varies it per request.
-double RunService(PcqeEngine* engine, size_t workers, bool warm,
-                  size_t requests, double single_thread_seconds) {
+double RunService(PcqeEngine* engine, TelemetryRegistry* registry, Tracer* tracer,
+                  size_t workers, bool warm, size_t requests,
+                  double single_thread_seconds) {
   ServiceOptions options;
   options.num_workers = workers;
   options.queue_capacity = requests + 8;  // admit the whole batch up-front
   options.cache_capacity = requests + 8;
+  options.registry = registry;  // one registry across all modes for the dump
+  options.tracer = tracer;
   QueryService service(engine, options);
   SessionHandle session = *service.OpenSession("analyst", "reporting");
 
@@ -164,14 +167,21 @@ int Run() {
 
   std::unique_ptr<Catalog> catalog = MakeCatalog(sizes.rows);
   std::unique_ptr<PcqeEngine> engine = MakeEngine(catalog.get());
+  TelemetryRegistry registry;
+  Tracer tracer(16);
+  engine->AttachTelemetry(&registry, &tracer);
 
   double single = RunSingleThread(*engine, sizes.requests);
-  (void)RunService(engine.get(), 8, /*warm=*/false, sizes.requests, single);
-  double warm =
-      RunService(engine.get(), 8, /*warm=*/true, sizes.requests, single);
+  (void)RunService(engine.get(), &registry, &tracer, 8, /*warm=*/false,
+                   sizes.requests, single);
+  double warm = RunService(engine.get(), &registry, &tracer, 8, /*warm=*/true,
+                           sizes.requests, single);
 
   std::printf("warm-cache speedup vs single thread: %.2fx\n",
               warm > 0.0 ? single / warm : 0.0);
+  // The full registry (engine + solver + service + cache counters) as one
+  // machine-readable line, a post-mortem companion to the BENCH lines.
+  std::printf("BENCH_METRICS %s\n", registry.RenderJson().c_str());
   return 0;
 }
 

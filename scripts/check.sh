@@ -28,6 +28,13 @@ for example in build/examples/*; do
   "$example" > /dev/null
 done
 
+# Telemetry smoke: the shell must expose a parseable metrics page and record
+# a trace for a served query.
+echo "== shell: .metrics smoke"
+METRICS_OUT=$(printf '.metrics\n.quit\n' | build/tools/pcqe_shell)
+echo "$METRICS_OUT" | grep -q "pcqe_engine_queries_total" \
+  || { echo ".metrics smoke failed: no pcqe_engine_queries_total in output"; exit 1; }
+
 for bench in build/bench/*; do
   [[ -f "$bench" && -x "$bench" ]] || continue
   echo "== bench: $bench"

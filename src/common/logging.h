@@ -4,40 +4,142 @@
 #ifndef PCQE_COMMON_LOGGING_H_
 #define PCQE_COMMON_LOGGING_H_
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace pcqe {
 
 /// \brief Severity levels for the library logger.
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
 
+/// Short uppercase name of a level ("WARN", "ERROR", ...).
+inline const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+/// \brief Destination for emitted log lines.
+///
+/// Implementations must be thread-safe: `Write` is called concurrently from
+/// any thread that logs. `file` is the source basename, `message` the
+/// already-formatted body (no trailing newline).
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void Write(LogLevel level, const char* file, int line,
+                     const std::string& message) = 0;
+};
+
+/// The default sink: one `[LEVEL file:line] message` line to stderr.
+class StderrLogSink : public LogSink {
+ public:
+  void Write(LogLevel level, const char* file, int line,
+             const std::string& message) override {
+    std::ostringstream out;
+    out << "[" << LogLevelName(level) << " " << file << ":" << line << "] " << message;
+    std::cerr << out.str() << std::endl;
+  }
+};
+
+/// \brief Test helper: records every emitted line under a lock.
+class CapturingLogSink : public LogSink {
+ public:
+  struct Record {
+    LogLevel level;
+    std::string file;
+    int line;
+    std::string message;
+  };
+
+  void Write(LogLevel level, const char* file, int line,
+             const std::string& message) override {
+    std::scoped_lock lock(mu_);
+    records_.push_back({level, file, line, message});
+  }
+
+  std::vector<Record> records() const {
+    std::scoped_lock lock(mu_);
+    return records_;
+  }
+
+  /// Whether any captured message contains `needle`.
+  bool Contains(const std::string& needle) const {
+    std::scoped_lock lock(mu_);
+    for (const Record& r : records_) {
+      if (r.message.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Record> records_;
+};
+
 /// \brief Process-wide log configuration.
 ///
 /// The library is quiet by default (`kWarning`); benches and examples raise
-/// verbosity explicitly.
+/// verbosity explicitly. The sink is pluggable: `set_sink` installs a
+/// caller-owned sink (which must outlive its installation) and returns the
+/// previous one (nullptr meaning the built-in stderr sink), so tests can
+/// capture warnings and restore the default afterwards.
 class LogConfig {
  public:
-  static LogLevel threshold() { return threshold_; }
-  static void set_threshold(LogLevel level) { threshold_ = level; }
+  static LogLevel threshold() { return threshold_.load(std::memory_order_relaxed); }
+  static void set_threshold(LogLevel level) {
+    threshold_.store(level, std::memory_order_relaxed);
+  }
+
+  /// Installs `sink` (nullptr restores the stderr default) and returns the
+  /// previously installed sink (nullptr if it was the default).
+  static LogSink* set_sink(LogSink* sink) {
+    return sink_.exchange(sink, std::memory_order_acq_rel);
+  }
+
+  /// The active sink; never null.
+  static LogSink& sink() {
+    LogSink* s = sink_.load(std::memory_order_acquire);
+    return s != nullptr ? *s : DefaultSink();
+  }
 
  private:
-  static inline LogLevel threshold_ = LogLevel::kWarning;
+  static StderrLogSink& DefaultSink() {
+    static StderrLogSink default_sink;
+    return default_sink;
+  }
+
+  static inline std::atomic<LogLevel> threshold_{LogLevel::kWarning};
+  static inline std::atomic<LogSink*> sink_{nullptr};
 };
 
 namespace internal {
 
-/// Accumulates one log line and emits it (to stderr) on destruction.
+/// Accumulates one log line and hands it to the active sink on destruction.
 class LogMessage {
  public:
-  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
-    stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line << "] ";
-  }
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(Basename(file)), line_(line) {}
 
   ~LogMessage() {
     if (level_ >= LogConfig::threshold()) {
-      std::cerr << stream_.str() << std::endl;
+      LogConfig::sink().Write(level_, file_, line_, stream_.str());
     }
     if (level_ == LogLevel::kFatal) std::abort();
   }
@@ -45,22 +147,6 @@ class LogMessage {
   std::ostream& stream() { return stream_; }
 
  private:
-  static const char* LevelName(LogLevel level) {
-    switch (level) {
-      case LogLevel::kDebug:
-        return "DEBUG";
-      case LogLevel::kInfo:
-        return "INFO";
-      case LogLevel::kWarning:
-        return "WARN";
-      case LogLevel::kError:
-        return "ERROR";
-      case LogLevel::kFatal:
-        return "FATAL";
-    }
-    return "?";
-  }
-
   static const char* Basename(const char* path) {
     const char* base = path;
     for (const char* p = path; *p; ++p) {
@@ -70,6 +156,8 @@ class LogMessage {
   }
 
   LogLevel level_;
+  const char* file_;
+  int line_;
   std::ostringstream stream_;
 };
 

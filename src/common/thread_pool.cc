@@ -39,8 +39,15 @@ void ThreadPool::WorkerLoop(std::stop_token stop) {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    busy_.fetch_add(1, std::memory_order_relaxed);
     task();
+    busy_.fetch_sub(1, std::memory_order_relaxed);
   }
+}
+
+size_t ThreadPool::queue_depth() const {
+  std::scoped_lock lock(mu_);
+  return queue_.size();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {

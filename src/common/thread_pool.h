@@ -12,6 +12,7 @@
 #ifndef PCQE_COMMON_THREAD_POOL_H_
 #define PCQE_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -50,6 +51,16 @@ class ThreadPool {
 
   size_t num_workers() const { return workers_.size(); }
 
+  /// Tasks currently waiting in the queue (not yet claimed by a worker).
+  /// A point-in-time observation for telemetry gauges — stale by the time
+  /// the caller reads it.
+  size_t queue_depth() const;
+
+  /// Workers currently executing a task. Same point-in-time caveat; the
+  /// caller lane of a `ParallelFor` is not counted (it is not a pool
+  /// worker).
+  size_t busy_workers() const { return busy_.load(std::memory_order_relaxed); }
+
   /// Enqueues a fire-and-forget task.
   void Submit(std::function<void()> task);
 
@@ -71,9 +82,10 @@ class ThreadPool {
  private:
   void WorkerLoop(std::stop_token stop);
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable_any cv_;
   std::deque<std::function<void()>> queue_;  // guarded by mu_
+  std::atomic<size_t> busy_{0};              // workers inside a task
   std::vector<std::jthread> workers_;
 };
 

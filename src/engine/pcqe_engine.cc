@@ -21,14 +21,53 @@ std::string QueryOutcome::ReleasedTable(size_t max_rows) const {
   return view.ToTable(max_rows);
 }
 
-Result<QueryOutcome> PcqeEngine::Submit(const QueryRequest& request) const {
-  PCQE_ASSIGN_OR_RETURN(QueryResult intermediate, Evaluate(request.sql));
-  return Complete(request, std::move(intermediate));
+void PcqeEngine::AttachTelemetry(TelemetryRegistry* registry, Tracer* tracer) {
+  registry_ = registry;
+  tracer_ = tracer;
+  if (registry_ == nullptr) {
+    metrics_ = EngineMetrics{};
+    return;
+  }
+  metrics_.queries = registry_->GetCounter("pcqe_engine_queries_total",
+                                           "Queries evaluated by the engine");
+  metrics_.rows_released = registry_->GetCounter(
+      "pcqe_engine_rows_released_total", "Result rows released by policy filtering");
+  metrics_.rows_blocked = registry_->GetCounter(
+      "pcqe_engine_rows_blocked_total", "Result rows blocked by policy filtering");
+  metrics_.proposals = registry_->GetCounter(
+      "pcqe_engine_proposals_total", "Strategy proposals computed for shortfalls");
+  metrics_.solve_seconds = registry_->GetHistogram(
+      "pcqe_engine_solve_seconds", {0.0001, 0.001, 0.01, 0.1, 1.0, 10.0},
+      "Strategy solve wall-clock seconds");
+  metrics_.solver_effort.clear();
+  for (const auto& [name, value] : SolverEffort{}.Items()) {
+    (void)value;
+    metrics_.solver_effort.push_back(registry_->GetCounter(
+        StrFormat("pcqe_solver_%s_total", name), "Solver search effort; see SolverEffort"));
+  }
 }
 
-Result<QueryResult> PcqeEngine::Evaluate(const std::string& sql) const {
+Result<QueryOutcome> PcqeEngine::Submit(const QueryRequest& request) const {
+  if (tracer_ == nullptr || !tracer_->enabled()) {
+    PCQE_ASSIGN_OR_RETURN(QueryResult intermediate, Evaluate(request.sql));
+    return Complete(request, std::move(intermediate));
+  }
+  TraceBuilder trace("submit");
+  Result<QueryOutcome> outcome = [&]() -> Result<QueryOutcome> {
+    PCQE_ASSIGN_OR_RETURN(QueryResult intermediate, Evaluate(request.sql, &trace));
+    return Complete(request, std::move(intermediate), &trace);
+  }();
+  uint64_t id = tracer_->Record(trace.Finish());
+  if (outcome.ok()) outcome->trace_id = id;
+  return outcome;
+}
+
+Result<QueryResult> PcqeEngine::Evaluate(const std::string& sql,
+                                         TraceBuilder* trace) const {
   // (1)-(4): evaluate the query and compute result confidences.
-  return RunQuery(*catalog_, sql);
+  ScopedSpan span(trace, "evaluate");
+  if (metrics_.queries != nullptr) metrics_.queries->Increment();
+  return RunQuery(*catalog_, sql, trace);
 }
 
 Result<size_t> PcqeEngine::FilterOne(const QueryRequest& request, QueryOutcome* outcome,
@@ -61,15 +100,32 @@ Result<size_t> PcqeEngine::FilterOne(const QueryRequest& request, QueryOutcome* 
 }
 
 Result<QueryOutcome> PcqeEngine::Complete(const QueryRequest& request,
-                                          QueryResult intermediate) const {
+                                          QueryResult intermediate,
+                                          TraceBuilder* trace) const {
+  ScopedSpan span(trace, "complete");
   QueryOutcome outcome;
   outcome.intermediate = std::move(intermediate);
   std::vector<size_t> blocked;
-  PCQE_ASSIGN_OR_RETURN(size_t needed, FilterOne(request, &outcome, &blocked));
+  size_t needed = 0;
+  {
+    // The audit trail: which β applied and how many rows it released/
+    // dropped for this subject.
+    ScopedSpan filter_span(trace, "policy-filter");
+    PCQE_ASSIGN_OR_RETURN(needed, FilterOne(request, &outcome, &blocked));
+    filter_span.Annotate("beta", FormatDouble(outcome.policy.threshold, 4));
+    filter_span.Annotate("released", std::to_string(outcome.released.size()));
+    filter_span.Annotate("blocked", std::to_string(blocked.size()));
+  }
+  if (metrics_.rows_released != nullptr) {
+    metrics_.rows_released->Increment(outcome.released.size());
+    metrics_.rows_blocked->Increment(blocked.size());
+  }
   if (needed > 0) {
-    PCQE_ASSIGN_OR_RETURN(outcome.proposal,
-                          FindStrategy({&outcome}, {blocked}, {needed},
-                                       outcome.policy.threshold, request.solver));
+    PCQE_ASSIGN_OR_RETURN(
+        outcome.proposal,
+        FindStrategy({&outcome}, {blocked}, {needed}, outcome.policy.threshold,
+                     request.solver,
+                     request.solver_lanes.value_or(solver_parallelism), trace));
   }
   return outcome;
 }
@@ -111,7 +167,8 @@ Result<std::vector<QueryOutcome>> PcqeEngine::SubmitBatch(
     PCQE_ASSIGN_OR_RETURN(
         StrategyProposal proposal,
         FindStrategy(short_outcomes, short_blocked, short_needed, beta,
-                     requests[first_short].solver));
+                     requests[first_short].solver,
+                     requests[first_short].solver_lanes.value_or(solver_parallelism)));
     outcomes[first_short].proposal = std::move(proposal);
   }
   return outcomes;
@@ -120,7 +177,9 @@ Result<std::vector<QueryOutcome>> PcqeEngine::SubmitBatch(
 Result<StrategyProposal> PcqeEngine::FindStrategy(
     const std::vector<const QueryOutcome*>& outcomes,
     const std::vector<std::vector<size_t>>& blocked, const std::vector<size_t>& needed,
-    double beta, SolverKind solver) const {
+    double beta, SolverKind solver, SolverParallelism lanes,
+    TraceBuilder* trace) const {
+  ScopedSpan span(trace, "solve");
   // Pool the blocked rows' lineages into one arena.
   auto arena = std::make_shared<LineageArena>();
   std::vector<LineageRef> lineages;
@@ -168,17 +227,17 @@ Result<StrategyProposal> PcqeEngine::FindStrategy(
     switch (effective) {
       case SolverKind::kHeuristic: {
         HeuristicOptions heuristic_options;
-        heuristic_options.parallelism = solver_parallelism;
+        heuristic_options.parallelism = lanes;
         return SolveHeuristic(problem, heuristic_options);
       }
       case SolverKind::kGreedy: {
         GreedyOptions greedy_options;
-        greedy_options.parallelism = solver_parallelism;
+        greedy_options.parallelism = lanes;
         return SolveGreedy(problem, greedy_options);
       }
       case SolverKind::kDnc: {
         DncOptions dnc_options;
-        dnc_options.parallelism = solver_parallelism;
+        dnc_options.parallelism = lanes;
         return SolveDnc(problem, dnc_options);
       }
       case SolverKind::kBruteForce:
@@ -192,6 +251,19 @@ Result<StrategyProposal> PcqeEngine::FindStrategy(
   const IncrementSolution& solution = *solved;
   PCQE_RETURN_NOT_OK(ValidateSolution(problem, solution));
 
+  if (metrics_.proposals != nullptr) {
+    metrics_.proposals->Increment();
+    metrics_.solve_seconds->Observe(solution.solve_seconds);
+    const auto items = solution.effort.Items();
+    for (size_t i = 0; i < items.size() && i < metrics_.solver_effort.size(); ++i) {
+      metrics_.solver_effort[i]->Increment(items[i].second);
+    }
+  }
+  span.Annotate("algorithm", solution.algorithm);
+  span.Annotate("cost", FormatDouble(solution.total_cost, 4));
+  span.Annotate("feasible", solution.feasible ? "yes" : "no");
+  span.Annotate("nodes", std::to_string(solution.nodes_explored));
+
   StrategyProposal proposal;
   proposal.needed = true;
   proposal.feasible = solution.feasible;
@@ -199,6 +271,7 @@ Result<StrategyProposal> PcqeEngine::FindStrategy(
   proposal.actions = solution.Actions(problem);
   proposal.algorithm = solution.algorithm;
   proposal.solve_seconds = solution.solve_seconds;
+  proposal.effort = solution.effort;
   return proposal;
 }
 

@@ -4,6 +4,8 @@
 #ifndef PCQE_ENGINE_PCQE_ENGINE_H_
 #define PCQE_ENGINE_PCQE_ENGINE_H_
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -15,6 +17,8 @@
 #include "query/query_engine.h"
 #include "relational/catalog.h"
 #include "strategy/solution.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace pcqe {
 
@@ -38,6 +42,11 @@ struct QueryRequest {
   /// perc/θ: fraction of the query's results the user needs released.
   double required_fraction = 0.5;
   SolverKind solver = SolverKind::kAuto;
+  /// Per-request solver lane budget; unset inherits the engine-wide
+  /// `solver_parallelism`. The service layer sets this adaptively
+  /// (hardware threads / active requests) so concurrent requests share the
+  /// pool instead of each fanning out to every core.
+  std::optional<SolverParallelism> solver_lanes = std::nullopt;
 };
 
 /// \brief The strategy-finding component's report: what it would cost to
@@ -54,6 +63,9 @@ struct StrategyProposal {
   /// Which algorithm produced the plan, with its diagnostics.
   std::string algorithm;
   double solve_seconds = 0.0;
+  /// Search-effort counters of the solve that produced `actions`
+  /// (deterministic at any lane count; see `SolverEffort`).
+  SolverEffort effort;
 };
 
 /// \brief Everything the engine hands back for one request.
@@ -68,6 +80,9 @@ struct QueryOutcome {
   double released_fraction = 1.0;
   /// Set when `released_fraction` fell short of the requested fraction.
   StrategyProposal proposal;
+  /// Id of the recorded pipeline trace (0 when tracing was off); retrieve
+  /// it with `Tracer::Get`.
+  uint64_t trace_id = 0;
 
   /// Formats the released rows (only) as a text table.
   std::string ReleasedTable(size_t max_rows = 50) const;
@@ -101,7 +116,18 @@ class PcqeEngine {
         policies_(std::move(policies)),
         improver_(catalog) {}
 
-  /// Runs steps 1-3 above.
+  /// Points the engine at a metrics registry and trace ring (both borrowed;
+  /// they must outlive the engine). Registers the engine's counters on the
+  /// registry and caches the instrument pointers. Call before serving —
+  /// attachment is not synchronized against concurrent `Submit`s.
+  void AttachTelemetry(TelemetryRegistry* registry, Tracer* tracer);
+
+  TelemetryRegistry* telemetry() const { return registry_; }
+  Tracer* tracer() const { return tracer_; }
+
+  /// Runs steps 1-3 above. When a `Tracer` is attached and enabled, records
+  /// one trace per call ("submit" root with evaluate / policy-filter / solve
+  /// child spans) and sets `QueryOutcome::trace_id`.
   [[nodiscard]] Result<QueryOutcome> Submit(const QueryRequest& request) const;
 
   /// Runs several requests as one batch (§4's multi-query extension): the
@@ -116,15 +142,21 @@ class PcqeEngine {
   /// Step 1 alone: evaluates the SQL and computes result confidences. The
   /// returned `QueryResult` is user-independent (no policy applied), which
   /// makes it shareable across subjects — the service layer caches it keyed
-  /// on (normalized SQL, catalog confidence-version).
-  [[nodiscard]] Result<QueryResult> Evaluate(const std::string& sql) const;
+  /// on (normalized SQL, catalog confidence-version). When `trace` is
+  /// non-null an "evaluate" span (with parse/plan/execute/lineage children)
+  /// is added.
+  [[nodiscard]] Result<QueryResult> Evaluate(const std::string& sql,
+                                             TraceBuilder* trace = nullptr) const;
 
   /// Steps 2-3 on an already-evaluated result: resolves the policy for the
   /// request's subject, filters, and runs strategy finding on a shortfall.
   /// `intermediate` must come from `Evaluate` (or a cache of it) against the
-  /// catalog's current confidences.
+  /// catalog's current confidences. When `trace` is non-null a "complete"
+  /// span with "policy-filter" (β and per-β release/drop counts — the audit
+  /// trail) and "solve" children is added.
   [[nodiscard]] Result<QueryOutcome> Complete(const QueryRequest& request,
-                                              QueryResult intermediate) const;
+                                              QueryResult intermediate,
+                                              TraceBuilder* trace = nullptr) const;
 
   /// Applies a proposal's increments to the database. The caller re-submits
   /// the query afterwards to receive the enlarged result set. Sole mutator
@@ -166,15 +198,32 @@ class PcqeEngine {
   /// Builds and solves the increment problem for the blocked rows of one or
   /// more evaluated queries. `blocked[q]` are row indices into
   /// `outcomes[q]->intermediate.rows`; `needed[q]` is how many must flip.
+  /// `lanes` is the resolved per-request lane budget; `trace`, when
+  /// non-null, receives a "solve" span.
   [[nodiscard]] Result<StrategyProposal> FindStrategy(const std::vector<const QueryOutcome*>& outcomes,
                                         const std::vector<std::vector<size_t>>& blocked,
                                         const std::vector<size_t>& needed, double beta,
-                                        SolverKind solver) const;
+                                        SolverKind solver, SolverParallelism lanes,
+                                        TraceBuilder* trace = nullptr) const;
+
+  /// Cached instrument pointers, registered by `AttachTelemetry`.
+  struct EngineMetrics {
+    Counter* queries = nullptr;
+    Counter* rows_released = nullptr;
+    Counter* rows_blocked = nullptr;
+    Counter* proposals = nullptr;
+    Histogram* solve_seconds = nullptr;
+    /// `pcqe_solver_<field>_total`, in `SolverEffort::Items()` order.
+    std::vector<Counter*> solver_effort;
+  };
 
   Catalog* catalog_;
   RoleGraph roles_;
   PolicyStore policies_;
   QualityImprover improver_;
+  TelemetryRegistry* registry_ = nullptr;  // borrowed; may be null
+  Tracer* tracer_ = nullptr;               // borrowed; may be null
+  EngineMetrics metrics_;
 };
 
 }  // namespace pcqe

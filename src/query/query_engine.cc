@@ -85,9 +85,18 @@ void CollectScannedTables(const PlanNode& plan,
 
 }  // namespace
 
-Result<QueryResult> RunQuery(const Catalog& catalog, const std::string& sql) {
-  PCQE_ASSIGN_OR_RETURN(std::unique_ptr<SelectStatement> stmt, ParseSelect(sql));
-  PCQE_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> plan, PlanQuery(catalog, *stmt));
+Result<QueryResult> RunQuery(const Catalog& catalog, const std::string& sql,
+                             TraceBuilder* trace) {
+  std::unique_ptr<SelectStatement> stmt;
+  {
+    ScopedSpan span(trace, "parse");
+    PCQE_ASSIGN_OR_RETURN(stmt, ParseSelect(sql));
+  }
+  std::unique_ptr<PlanNode> plan;
+  {
+    ScopedSpan span(trace, "plan");
+    PCQE_ASSIGN_OR_RETURN(plan, PlanQuery(catalog, *stmt));
+  }
 
   QueryResult result;
   result.schema = plan->output_schema;
@@ -95,15 +104,23 @@ Result<QueryResult> RunQuery(const Catalog& catalog, const std::string& sql) {
   result.plan_text = plan->ToString();
   CollectScannedTables(*plan, &result.tables);
 
-  Executor executor(result.arena.get());
-  PCQE_ASSIGN_OR_RETURN(std::vector<ExecRow> rows, executor.Run(*plan));
-  result.rows.reserve(rows.size());
-  for (ExecRow& row : rows) {
-    result.rows.push_back({std::move(row.values), row.lineage, 0.0});
+  {
+    ScopedSpan span(trace, "execute");
+    Executor executor(result.arena.get());
+    PCQE_ASSIGN_OR_RETURN(std::vector<ExecRow> rows, executor.Run(*plan));
+    result.rows.reserve(rows.size());
+    for (ExecRow& row : rows) {
+      result.rows.push_back({std::move(row.values), row.lineage, 0.0});
+    }
+    span.Annotate("rows", std::to_string(result.rows.size()));
   }
 
-  PCQE_ASSIGN_OR_RETURN(ConfidenceMap confidences, SnapshotConfidences(catalog, result));
-  result.RecomputeConfidences(confidences);
+  {
+    ScopedSpan span(trace, "lineage");
+    PCQE_ASSIGN_OR_RETURN(ConfidenceMap confidences,
+                          SnapshotConfidences(catalog, result));
+    result.RecomputeConfidences(confidences);
+  }
   return result;
 }
 

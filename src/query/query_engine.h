@@ -13,6 +13,7 @@
 #include "lineage/lineage.h"
 #include "query/executor.h"
 #include "relational/catalog.h"
+#include "telemetry/trace.h"
 
 namespace pcqe {
 
@@ -56,7 +57,10 @@ struct QueryResult {
 [[nodiscard]] Result<ConfidenceMap> SnapshotConfidences(const Catalog& catalog, const QueryResult& result);
 
 /// Parses, plans, executes and confidence-annotates `sql` against `catalog`.
-[[nodiscard]] Result<QueryResult> RunQuery(const Catalog& catalog, const std::string& sql);
+/// When `trace` is non-null, one child span per pipeline stage ("parse",
+/// "plan", "execute", "lineage") is added under the currently open span.
+[[nodiscard]] Result<QueryResult> RunQuery(const Catalog& catalog, const std::string& sql,
+                                           TraceBuilder* trace = nullptr);
 
 }  // namespace pcqe
 

@@ -68,7 +68,8 @@ class Catalog {
   std::map<std::string, std::unique_ptr<Table>> tables_;  // key: lowercased name
   std::vector<std::string> creation_order_;               // original-cased names
   uint32_t next_table_id_ = 1;
-  std::atomic<uint64_t> confidence_version_{0};
+  // A version, not a stat counter:
+  std::atomic<uint64_t> confidence_version_{0};  // pcqe-lint: allow(telemetry)
 };
 
 }  // namespace pcqe

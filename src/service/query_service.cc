@@ -1,9 +1,12 @@
 #include "service/query_service.h"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace pcqe {
 
@@ -20,7 +23,35 @@ uint64_t ElapsedUs(Clock::time_point since) {
 }  // namespace
 
 QueryService::QueryService(PcqeEngine* engine, ServiceOptions options)
-    : engine_(engine), options_(options), cache_(options.cache_capacity) {
+    : engine_(engine),
+      options_(options),
+      owned_registry_(options.registry == nullptr ? std::make_unique<TelemetryRegistry>()
+                                                  : nullptr),
+      owned_tracer_(options.tracer == nullptr
+                        ? std::make_unique<Tracer>(options.trace_capacity)
+                        : nullptr),
+      registry_(options.registry != nullptr ? options.registry : owned_registry_.get()),
+      tracer_(options.tracer != nullptr ? options.tracer : owned_tracer_.get()),
+      cache_(options.cache_capacity),
+      stats_(registry_) {
+  cache_.AttachTelemetry(registry_);
+  if (engine_->telemetry() == nullptr) {
+    engine_->AttachTelemetry(registry_, tracer_);
+  }
+  queue_depth_gauge_ =
+      registry_->GetGauge("pcqe_service_queue_depth", "Requests waiting for a worker");
+  active_sessions_gauge_ =
+      registry_->GetGauge("pcqe_service_active_sessions", "Open sessions");
+  active_requests_gauge_ = registry_->GetGauge("pcqe_service_active_requests",
+                                               "Requests currently executing");
+  cache_entries_gauge_ =
+      registry_->GetGauge("pcqe_cache_entries", "Confidence-result cache entries");
+  solver_lanes_gauge_ = registry_->GetGauge(
+      "pcqe_service_solver_lanes", "Solver lane budget of the most recent request");
+  pool_queue_depth_gauge_ = registry_->GetGauge("pcqe_threadpool_queue_depth",
+                                                "Shared pool tasks awaiting a worker");
+  pool_busy_workers_gauge_ = registry_->GetGauge(
+      "pcqe_threadpool_busy_workers", "Shared pool workers executing a task");
   workers_.reserve(options_.num_workers);
   for (size_t i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this](std::stop_token stop) { WorkerLoop(stop); });
@@ -64,6 +95,8 @@ Result<std::future<Result<QueryOutcome>>> QueryService::SubmitAsync(
     }
     if (queue_.size() >= options_.queue_capacity) {
       stats_.OnRejected();
+      PCQE_LOG(Warning) << "rejecting request: queue full (" << queue_.size()
+                        << " pending)";
       return Status::ResourceExhausted(
           StrFormat("request queue full (%zu pending); retry later",
                     queue_.size()));
@@ -81,7 +114,7 @@ Result<QueryOutcome> QueryService::Submit(const SessionHandle& session,
     // No workers to hand off to: run on the caller's thread.
     stats_.OnSubmitted();
     Clock::time_point start = Clock::now();
-    Result<QueryOutcome> outcome = Execute(session, request);
+    Result<QueryOutcome> outcome = Execute(session, request, start);
     stats_.RecordLatencyUs(ElapsedUs(start));
     return outcome;
   }
@@ -91,8 +124,24 @@ Result<QueryOutcome> QueryService::Submit(const SessionHandle& session,
 }
 
 Result<QueryOutcome> QueryService::Execute(const SessionHandle& session,
-                                           const ServiceRequest& request) {
+                                           const ServiceRequest& request,
+                                           Clock::time_point enqueued) {
+  size_t active = active_requests_.fetch_add(1, std::memory_order_relaxed) + 1;
+  // One trace per request; the origin is submission time, so the root span
+  // includes queue wait. Null when tracing is off — every span below is
+  // tolerant of that.
+  std::optional<TraceBuilder> trace;
+  if (tracer_->enabled()) trace.emplace("request", enqueued);
+  TraceBuilder* tb = trace.has_value() ? &*trace : nullptr;
+
   Result<QueryOutcome> outcome = [&]() -> Result<QueryOutcome> {
+    ScopedSpan request_span(tb, "request");
+    {
+      ScopedSpan wait_span(tb, "queue-wait");
+      wait_span.Annotate("wait_us", StrFormat("%llu", static_cast<unsigned long long>(
+                                                          ElapsedUs(enqueued))));
+    }
+
     std::shared_lock<std::shared_mutex> lock(catalog_mu_);
     const PcqeEngine& engine = *engine_;
 
@@ -101,9 +150,14 @@ Result<QueryOutcome> QueryService::Execute(const SessionHandle& session,
     // interleaved Accept.
     uint64_t version = engine.catalog().confidence_version();
     std::string key = NormalizeSql(request.sql);
-    std::shared_ptr<const QueryResult> evaluated = cache_.Lookup(key, version);
+    std::shared_ptr<const QueryResult> evaluated;
+    {
+      ScopedSpan lookup_span(tb, "cache-lookup");
+      evaluated = cache_.Lookup(key, version);
+      lookup_span.Annotate("hit", evaluated != nullptr ? "true" : "false");
+    }
     if (evaluated == nullptr) {
-      PCQE_ASSIGN_OR_RETURN(QueryResult fresh, engine.Evaluate(request.sql));
+      PCQE_ASSIGN_OR_RETURN(QueryResult fresh, engine.Evaluate(request.sql, tb));
       evaluated = cache_.Insert(key, version, std::move(fresh));
     }
 
@@ -113,9 +167,21 @@ Result<QueryOutcome> QueryService::Execute(const SessionHandle& session,
     engine_request.purpose = session.purpose;
     engine_request.required_fraction = request.required_fraction;
     engine_request.solver = request.solver;
+    if (options_.adaptive_solver_lanes) {
+      // Share the hardware between in-flight requests: a lone request fans
+      // the solver out to the engine's full budget, a saturated service
+      // degrades toward one lane each. Counters and solutions are
+      // lane-count independent, so this only trades wall clock.
+      size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
+      size_t budget = engine.solver_parallelism.Resolve();
+      size_t lanes = std::max<size_t>(
+          1, std::min(budget, hw / std::max<size_t>(1, active)));
+      engine_request.solver_lanes = SolverParallelism{lanes};
+      solver_lanes_gauge_->Set(static_cast<int64_t>(lanes));
+    }
     // Completion copies the shared evaluation into the outcome: rows are
     // duplicated, the lineage arena is shared by shared_ptr and read-only.
-    return engine.Complete(engine_request, *evaluated);
+    return engine.Complete(engine_request, *evaluated, tb);
   }();
 
   if (outcome.ok()) {
@@ -125,19 +191,27 @@ Result<QueryOutcome> QueryService::Execute(const SessionHandle& session,
   } else {
     stats_.OnFailed();
   }
+  if (trace.has_value()) {
+    uint64_t trace_id = tracer_->Record(trace->Finish());
+    if (outcome.ok()) outcome->trace_id = trace_id;
+  }
+  active_requests_.fetch_sub(1, std::memory_order_relaxed);
   return outcome;
 }
 
 void QueryService::Process(PendingRequest pending) {
   if (Clock::now() > pending.deadline) {
     stats_.OnExpired();
+    PCQE_LOG(Warning) << "request expired after "
+                      << ElapsedUs(pending.enqueued) / 1000 << "ms in queue";
     pending.promise.set_value(Status::ResourceExhausted(
         StrFormat("deadline expired after %llums in queue",
                   static_cast<unsigned long long>(
                       ElapsedUs(pending.enqueued) / 1000))));
     return;
   }
-  Result<QueryOutcome> outcome = Execute(pending.session, pending.request);
+  Result<QueryOutcome> outcome =
+      Execute(pending.session, pending.request, pending.enqueued);
   stats_.RecordLatencyUs(ElapsedUs(pending.enqueued));
   pending.promise.set_value(std::move(outcome));
 }
@@ -206,6 +280,27 @@ ServiceStatsSnapshot QueryService::stats() const {
 size_t QueryService::queue_depth() const {
   std::lock_guard<std::mutex> guard(queue_mu_);
   return queue_.size();
+}
+
+void QueryService::RefreshGauges() {
+  queue_depth_gauge_->Set(static_cast<int64_t>(queue_depth()));
+  active_sessions_gauge_->Set(static_cast<int64_t>(sessions_.active_count()));
+  active_requests_gauge_->Set(
+      static_cast<int64_t>(active_requests_.load(std::memory_order_relaxed)));
+  cache_entries_gauge_->Set(static_cast<int64_t>(cache_.stats().entries));
+  ThreadPool& pool = ThreadPool::Shared();
+  pool_queue_depth_gauge_->Set(static_cast<int64_t>(pool.queue_depth()));
+  pool_busy_workers_gauge_->Set(static_cast<int64_t>(pool.busy_workers()));
+}
+
+std::string QueryService::RenderMetricsText() {
+  RefreshGauges();
+  return registry_->RenderText();
+}
+
+std::string QueryService::MetricsJson() {
+  RefreshGauges();
+  return registry_->RenderJson();
 }
 
 }  // namespace pcqe

@@ -29,6 +29,7 @@
 #ifndef PCQE_SERVICE_QUERY_SERVICE_H_
 #define PCQE_SERVICE_QUERY_SERVICE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -45,6 +46,8 @@
 #include "service/result_cache.h"
 #include "service/service_stats.h"
 #include "service/session.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace pcqe {
 
@@ -60,6 +63,23 @@ struct ServiceOptions {
   int64_t default_timeout_ms = 0;
   /// Entry bound of the confidence-result cache; 0 disables caching.
   size_t cache_capacity = 128;
+  /// Metrics registry and trace ring the service publishes to. Borrowed
+  /// (must outlive the service); null means the service owns private ones,
+  /// reachable via `telemetry()` / `tracer()`. The engine, if it has no
+  /// telemetry attached yet, is attached to the service's.
+  TelemetryRegistry* registry = nullptr;
+  Tracer* tracer = nullptr;
+  /// Capacity of the service-owned trace ring (only used when `tracer` is
+  /// null).
+  size_t trace_capacity = 64;
+  /// Choose each request's solver lane budget as
+  /// `max(1, hardware_threads / active_requests)` (capped at the engine's
+  /// own budget), so a lone request fans out wide while a full worker pool
+  /// degrades to one lane per request instead of oversubscribing.
+  /// Solutions and effort counters are lane-count independent, so this
+  /// only trades wall clock. The last decision is exported as the
+  /// `pcqe_service_solver_lanes` gauge.
+  bool adaptive_solver_lanes = true;
 };
 
 /// \brief One query submission through a session.
@@ -129,6 +149,19 @@ class QueryService {
   size_t num_workers() const { return workers_.size(); }
   const ServiceOptions& options() const { return options_; }
 
+  /// The registry / trace ring this service publishes to (service-owned
+  /// unless supplied via `ServiceOptions`).
+  TelemetryRegistry* telemetry() const { return registry_; }
+  Tracer* tracer() const { return tracer_; }
+
+  /// Prometheus-style text exposition of the registry, with the service's
+  /// point-in-time gauges (queue depth, sessions, in-flight requests,
+  /// cache entries, solver lanes, thread-pool pressure) refreshed first.
+  [[nodiscard]] std::string RenderMetricsText();
+
+  /// Same refresh, JSON dump (bench conventions).
+  [[nodiscard]] std::string MetricsJson();
+
  private:
   struct PendingRequest {
     SessionHandle session;
@@ -143,16 +176,28 @@ class QueryService {
 
   /// Executes one request under the shared catalog lock: cache lookup,
   /// evaluation on miss, per-subject completion. Updates serve/fail/row
-  /// counters.
+  /// counters. `enqueued` is the trace origin (submission time), so the
+  /// recorded trace duration covers queue wait too.
   Result<QueryOutcome> Execute(const SessionHandle& session,
-                               const ServiceRequest& request);
+                               const ServiceRequest& request,
+                               std::chrono::steady_clock::time_point enqueued);
 
   /// Runs one dequeued request end to end (deadline check, execution,
   /// latency recording) and fulfills its promise.
   void Process(PendingRequest pending);
 
+  /// Updates the point-in-time gauges from live component state.
+  void RefreshGauges();
+
   PcqeEngine* engine_;
   ServiceOptions options_;
+
+  /// Owned fallbacks when `ServiceOptions` supplies no registry/tracer.
+  /// Declared before every member that caches instrument pointers.
+  std::unique_ptr<TelemetryRegistry> owned_registry_;
+  std::unique_ptr<Tracer> owned_tracer_;
+  TelemetryRegistry* registry_;  // never null after construction
+  Tracer* tracer_;               // never null after construction
 
   /// Reader–writer lock over engine/catalog state (see file comment).
   std::shared_mutex catalog_mu_;
@@ -160,6 +205,18 @@ class QueryService {
   SessionManager sessions_;
   ConfidenceResultCache cache_;
   ServiceStats stats_;
+
+  /// Requests currently inside `Execute` (drives the adaptive lane policy).
+  std::atomic<size_t> active_requests_{0};
+
+  /// Point-in-time gauges, refreshed by `RefreshGauges`.
+  Gauge* queue_depth_gauge_;
+  Gauge* active_sessions_gauge_;
+  Gauge* active_requests_gauge_;
+  Gauge* cache_entries_gauge_;
+  Gauge* solver_lanes_gauge_;
+  Gauge* pool_queue_depth_gauge_;
+  Gauge* pool_busy_workers_gauge_;
 
   mutable std::mutex queue_mu_;
   std::condition_variable_any queue_cv_;

@@ -23,15 +23,29 @@ std::string NormalizeSql(const std::string& sql) {
   return out;
 }
 
+void ConfidenceResultCache::AttachTelemetry(TelemetryRegistry* registry) {
+  std::lock_guard<std::mutex> guard(mu_);
+  hits_counter_ = registry->GetCounter("pcqe_cache_hits_total",
+                                       "Confidence-result cache lookup hits");
+  misses_counter_ = registry->GetCounter("pcqe_cache_misses_total",
+                                         "Confidence-result cache lookup misses");
+  evictions_counter_ = registry->GetCounter(
+      "pcqe_cache_evictions_total", "Entries evicted by the LRU capacity bound");
+  invalidations_counter_ = registry->GetCounter(
+      "pcqe_cache_invalidations_total", "Entries dropped by explicit Clear()");
+}
+
 std::shared_ptr<const QueryResult> ConfidenceResultCache::Lookup(
     const std::string& normalized_sql, uint64_t version) {
   std::lock_guard<std::mutex> guard(mu_);
   auto it = index_.find(Key(normalized_sql, version));
   if (it == index_.end()) {
     ++misses_;
+    if (misses_counter_ != nullptr) misses_counter_->Increment();
     return nullptr;
   }
   ++hits_;
+  if (hits_counter_ != nullptr) hits_counter_->Increment();
   lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
   return it->second->second;
 }
@@ -53,12 +67,16 @@ std::shared_ptr<const QueryResult> ConfidenceResultCache::Insert(
     index_.erase(lru_.back().first);
     lru_.pop_back();
     ++evictions_;
+    if (evictions_counter_ != nullptr) evictions_counter_->Increment();
   }
   return shared;
 }
 
 void ConfidenceResultCache::Clear() {
   std::lock_guard<std::mutex> guard(mu_);
+  if (invalidations_counter_ != nullptr) {
+    invalidations_counter_->Increment(lru_.size());
+  }
   lru_.clear();
   index_.clear();
 }

@@ -26,6 +26,7 @@
 #include <utility>
 
 #include "query/query_engine.h"
+#include "telemetry/metrics.h"
 
 namespace pcqe {
 
@@ -56,6 +57,13 @@ class ConfidenceResultCache {
   ConfidenceResultCache(const ConfidenceResultCache&) = delete;
   ConfidenceResultCache& operator=(const ConfidenceResultCache&) = delete;
 
+  /// Mirrors hit/miss/eviction/invalidation counts onto `pcqe_cache_*`
+  /// registry counters (the internal `Stats` keep working either way).
+  /// Explicit `Clear()` drops count as invalidations; version-stale entries
+  /// that merely age out of the LRU are indistinguishable from capacity
+  /// evictions and count as such. The registry must outlive the cache.
+  void AttachTelemetry(TelemetryRegistry* registry);
+
   /// Returns the cached evaluation for (`normalized_sql`, `version`), or
   /// null on a miss. A hit refreshes the entry's LRU position.
   std::shared_ptr<const QueryResult> Lookup(const std::string& normalized_sql,
@@ -84,6 +92,10 @@ class ConfidenceResultCache {
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
+  Counter* hits_counter_ = nullptr;           // registry mirrors; null until
+  Counter* misses_counter_ = nullptr;         // AttachTelemetry
+  Counter* evictions_counter_ = nullptr;
+  Counter* invalidations_counter_ = nullptr;
 };
 
 }  // namespace pcqe

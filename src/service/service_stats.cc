@@ -1,8 +1,66 @@
 #include "service/service_stats.h"
 
+#include <vector>
+
+#include "common/logging.h"
 #include "common/string_util.h"
 
 namespace pcqe {
+
+namespace {
+
+/// The histogram's explicit bounds: every latency bucket bound except the
+/// trailing UINT64_MAX sentinel (the histogram's implicit +Inf bucket).
+std::vector<double> LatencyBounds() {
+  std::vector<double> bounds;
+  for (uint64_t b : kLatencyBucketBoundsUs) {
+    if (b != UINT64_MAX) bounds.push_back(static_cast<double>(b));
+  }
+  return bounds;
+}
+
+}  // namespace
+
+ServiceStats::ServiceStats(TelemetryRegistry* registry) {
+  PCQE_CHECK(registry != nullptr);
+  submitted_ = registry->GetCounter("pcqe_service_requests_submitted_total",
+                                    "Requests accepted into the queue");
+  served_ = registry->GetCounter("pcqe_service_requests_served_total",
+                                 "Requests completed with an OK outcome");
+  failed_ = registry->GetCounter("pcqe_service_requests_failed_total",
+                                 "Requests completed with a non-OK engine status");
+  rejected_ = registry->GetCounter("pcqe_service_requests_rejected_total",
+                                   "Requests refused at admission (queue full)");
+  expired_ = registry->GetCounter("pcqe_service_requests_expired_total",
+                                  "Requests whose deadline passed while queued");
+  shutdown_dropped_ =
+      registry->GetCounter("pcqe_service_requests_shutdown_dropped_total",
+                           "Requests still queued when the service stopped");
+  policy_blocked_rows_ = registry->GetCounter(
+      "pcqe_service_rows_blocked_total", "Rows withheld by confidence policy");
+  released_rows_ = registry->GetCounter("pcqe_service_rows_released_total",
+                                        "Rows released to subjects");
+  proposals_ = registry->GetCounter("pcqe_service_proposals_total",
+                                    "Outcomes that carried a costed proposal");
+  latency_us_ = registry->GetHistogram("pcqe_service_latency_us", LatencyBounds(),
+                                       "End-to-end request latency (microseconds)");
+}
+
+void ServiceStats::FillSnapshot(ServiceStatsSnapshot* out) const {
+  out->submitted = submitted_->value();
+  out->served = served_->value();
+  out->failed = failed_->value();
+  out->rejected = rejected_->value();
+  out->expired = expired_->value();
+  out->shutdown_dropped = shutdown_dropped_->value();
+  out->policy_blocked_rows = policy_blocked_rows_->value();
+  out->released_rows = released_rows_->value();
+  out->proposals = proposals_->value();
+  Histogram::Snapshot latency = latency_us_->snapshot();
+  for (size_t b = 0; b < out->latency_buckets.size() && b < latency.counts.size(); ++b) {
+    out->latency_buckets[b] = latency.counts[b];
+  }
+}
 
 std::string ServiceStatsSnapshot::ToString() const {
   std::string out;

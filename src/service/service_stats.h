@@ -1,15 +1,19 @@
 // Copyright (c) PCQE contributors.
 // Built-in counters for the query service: request accounting, cache
-// effectiveness, queue pressure and a latency histogram.
+// effectiveness, queue pressure and a latency histogram. Since the
+// telemetry subsystem landed these are registry-backed instruments
+// (`pcqe_service_*`), so the same numbers appear in the snapshot API below
+// and in `TelemetryRegistry::RenderText()`.
 
 #ifndef PCQE_SERVICE_SERVICE_STATS_H_
 #define PCQE_SERVICE_SERVICE_STATS_H_
 
 #include <array>
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
+
+#include "telemetry/metrics.h"
 
 namespace pcqe {
 
@@ -52,61 +56,44 @@ struct ServiceStatsSnapshot {
   std::string ToString() const;
 };
 
-/// \brief Lock-free counter block shared by every worker thread. All
-/// increments are relaxed: counters are monotonic and independent, no other
-/// memory is published through them.
+/// \brief The service's request counters as cached registry instruments
+/// (`pcqe_service_*`). All increments are relaxed atomics on the instrument
+/// — the hot path takes no lock and publishes no other memory. The registry
+/// must outlive this object.
 class ServiceStats {
  public:
-  void OnSubmitted() { submitted_.fetch_add(1, std::memory_order_relaxed); }
-  void OnRejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
-  void OnExpired() { expired_.fetch_add(1, std::memory_order_relaxed); }
-  void OnShutdownDropped() { shutdown_dropped_.fetch_add(1, std::memory_order_relaxed); }
-  void OnFailed() { failed_.fetch_add(1, std::memory_order_relaxed); }
+  explicit ServiceStats(TelemetryRegistry* registry);
+
+  void OnSubmitted() { submitted_->Increment(); }
+  void OnRejected() { rejected_->Increment(); }
+  void OnExpired() { expired_->Increment(); }
+  void OnShutdownDropped() { shutdown_dropped_->Increment(); }
+  void OnFailed() { failed_->Increment(); }
 
   void OnServed(size_t released, size_t blocked, bool proposal) {
-    served_.fetch_add(1, std::memory_order_relaxed);
-    released_rows_.fetch_add(released, std::memory_order_relaxed);
-    policy_blocked_rows_.fetch_add(blocked, std::memory_order_relaxed);
-    if (proposal) proposals_.fetch_add(1, std::memory_order_relaxed);
+    served_->Increment();
+    released_rows_->Increment(released);
+    policy_blocked_rows_->Increment(blocked);
+    if (proposal) proposals_->Increment();
   }
 
-  void RecordLatencyUs(uint64_t us) {
-    for (size_t b = 0; b < kLatencyBucketBoundsUs.size(); ++b) {
-      if (us <= kLatencyBucketBoundsUs[b]) {
-        latency_buckets_[b].fetch_add(1, std::memory_order_relaxed);
-        return;
-      }
-    }
-  }
+  void RecordLatencyUs(uint64_t us) { latency_us_->Observe(static_cast<double>(us)); }
 
   /// Copies the request-side counters into `out` (cache and queue fields are
   /// filled in by the service, which owns those components).
-  void FillSnapshot(ServiceStatsSnapshot* out) const {
-    out->submitted = submitted_.load(std::memory_order_relaxed);
-    out->served = served_.load(std::memory_order_relaxed);
-    out->failed = failed_.load(std::memory_order_relaxed);
-    out->rejected = rejected_.load(std::memory_order_relaxed);
-    out->expired = expired_.load(std::memory_order_relaxed);
-    out->shutdown_dropped = shutdown_dropped_.load(std::memory_order_relaxed);
-    out->policy_blocked_rows = policy_blocked_rows_.load(std::memory_order_relaxed);
-    out->released_rows = released_rows_.load(std::memory_order_relaxed);
-    out->proposals = proposals_.load(std::memory_order_relaxed);
-    for (size_t b = 0; b < latency_buckets_.size(); ++b) {
-      out->latency_buckets[b] = latency_buckets_[b].load(std::memory_order_relaxed);
-    }
-  }
+  void FillSnapshot(ServiceStatsSnapshot* out) const;
 
  private:
-  std::atomic<uint64_t> submitted_{0};
-  std::atomic<uint64_t> served_{0};
-  std::atomic<uint64_t> failed_{0};
-  std::atomic<uint64_t> rejected_{0};
-  std::atomic<uint64_t> expired_{0};
-  std::atomic<uint64_t> shutdown_dropped_{0};
-  std::atomic<uint64_t> policy_blocked_rows_{0};
-  std::atomic<uint64_t> released_rows_{0};
-  std::atomic<uint64_t> proposals_{0};
-  std::array<std::atomic<uint64_t>, kLatencyBucketBoundsUs.size()> latency_buckets_{};
+  Counter* submitted_;
+  Counter* served_;
+  Counter* failed_;
+  Counter* rejected_;
+  Counter* expired_;
+  Counter* shutdown_dropped_;
+  Counter* policy_blocked_rows_;
+  Counter* released_rows_;
+  Counter* proposals_;
+  Histogram* latency_us_;
 };
 
 }  // namespace pcqe

@@ -94,12 +94,14 @@ struct GroupCurve {
 /// in-group satisfaction, with the bounded exact tail replacement for small
 /// groups). Reads `global` only — a pure function of (problem, global,
 /// group) — so curves for many groups can be built concurrently. Returns
-/// the sub-solver iteration count; a curve with no checkpoints means the
-/// group has nothing to contribute.
+/// the sub-solver iteration count and accumulates the sub-solver effort
+/// into `effort`; a curve with no checkpoints means the group has nothing
+/// to contribute.
 Result<size_t> BuildGroupCurve(const IncrementProblem& problem,
                                const ConfidenceState& global,
                                const PartitionGroup& group,
-                               const DncOptions& options, GroupCurve* out) {
+                               const DncOptions& options, GroupCurve* out,
+                               SolverEffort* effort) {
   size_t iterations = 0;
   PCQE_ASSIGN_OR_RETURN(GroupWork work,
                         CollectGroup(problem, global, group,
@@ -112,7 +114,8 @@ Result<size_t> BuildGroupCurve(const IncrementProblem& problem,
   ConfidenceState sub_state(sub);
   GroupCurve curve;
   curve.sub_bases = work.sub_bases;
-  iterations += GreedyRaise(&sub_state, SequentialGreedy(options), &curve.checkpoints);
+  iterations +=
+      GreedyRaise(&sub_state, SequentialGreedy(options), &curve.checkpoints, effort);
 
   // Small groups: replace the full-satisfaction tail with the exact
   // search, seeded by the greedy incumbent (Figure 10's bounded
@@ -126,6 +129,7 @@ Result<size_t> BuildGroupCurve(const IncrementProblem& problem,
     h.parallelism.threads = 1;
     PCQE_ASSIGN_OR_RETURN(IncrementSolution exact, SolveHeuristic(sub, h));
     iterations += exact.nodes_explored;
+    effort->MergeFrom(exact.effort);
     GreedyCheckpoint& tail = curve.checkpoints.back();
     if (exact.feasible && exact.total_cost < tail.cost - kEpsilon) {
       tail.cost = exact.total_cost;
@@ -149,17 +153,20 @@ Result<size_t> BuildGroupCurve(const IncrementProblem& problem,
 ///
 /// The global state is read-only until the accepted prefixes are applied,
 /// so the curve builds fan out over groups; each curve lands in its own
-/// slot and is consumed in group order, making the combine — and the final
-/// assignment — identical to the sequential pass.
+/// slot — effort counters included — and is consumed in group order, making
+/// the combine, the final assignment, and the counters identical to the
+/// sequential pass.
 Result<size_t> SolveSingleQuery(const IncrementProblem& problem, ConfidenceState* global,
                                 const std::vector<PartitionGroup>& groups,
-                                const DncOptions& options) {
+                                const DncOptions& options, SolverEffort* effort) {
   std::vector<GroupCurve> built(groups.size());
   std::vector<size_t> built_iterations(groups.size(), 0);
+  std::vector<SolverEffort> built_effort(groups.size());
   std::vector<Status> built_status(groups.size());
   const ConfidenceState& frozen = *global;
   ParallelFor(options.parallelism, groups.size(), [&](size_t g) {
-    Result<size_t> r = BuildGroupCurve(problem, frozen, groups[g], options, &built[g]);
+    Result<size_t> r = BuildGroupCurve(problem, frozen, groups[g], options, &built[g],
+                                       &built_effort[g]);
     if (r.ok()) {
       built_iterations[g] = *r;
     } else {
@@ -173,6 +180,7 @@ Result<size_t> SolveSingleQuery(const IncrementProblem& problem, ConfidenceState
   for (size_t g = 0; g < groups.size(); ++g) {
     if (!built_status[g].ok()) return built_status[g];
     iterations += built_iterations[g];
+    effort->MergeFrom(built_effort[g]);
     if (!built[g].checkpoints.empty()) curves.push_back(std::move(built[g]));
   }
 
@@ -212,6 +220,7 @@ Result<size_t> SolveSingleQuery(const IncrementProblem& problem, ConfidenceState
   // floors equal the global state, so the new value is the max).
   for (size_t c = 0; c < curves.size(); ++c) {
     if (accepted[c] == 0) continue;
+    ++effort->dnc_groups_solved;
     const GreedyCheckpoint& cp = curves[c].checkpoints[accepted[c] - 1];
     for (const auto& [sub_idx, value] : cp.raised) {
       uint32_t global_idx = curves[c].sub_bases[sub_idx];
@@ -230,6 +239,7 @@ struct GroupSolve {
   GroupWork work;
   IncrementSolution solution;
   size_t iterations = 0;
+  SolverEffort effort;  ///< sub-solver effort (greedy + bounded exact tail)
 };
 
 Result<GroupSolve> SolveOneGroup(const IncrementProblem& problem,
@@ -253,6 +263,7 @@ Result<GroupSolve> SolveOneGroup(const IncrementProblem& problem,
   PCQE_ASSIGN_OR_RETURN(IncrementSolution sub_solution,
                         SolveGreedy(sub, SequentialGreedy(options)));
   out.iterations += sub_solution.nodes_explored;
+  out.effort.MergeFrom(sub_solution.effort);
 
   if (options.tau > 0 && sub.num_base_tuples() < options.tau && sub.is_monotone()) {
     HeuristicOptions h;
@@ -263,6 +274,7 @@ Result<GroupSolve> SolveOneGroup(const IncrementProblem& problem,
     h.parallelism.threads = 1;
     PCQE_ASSIGN_OR_RETURN(IncrementSolution exact, SolveHeuristic(sub, h));
     out.iterations += exact.nodes_explored;
+    out.effort.MergeFrom(exact.effort);
     bool better = (exact.feasible && !sub_solution.feasible) ||
                   (exact.feasible == sub_solution.feasible &&
                    exact.total_cost < sub_solution.total_cost - kEpsilon);
@@ -305,35 +317,52 @@ bool GroupViewUnchanged(const IncrementProblem& problem, const PartitionGroup& g
 }
 
 /// Multi-query path: paper-style sequential fill (each group satisfies as
-/// much of the remaining per-query deficits as it can).
+/// much of the remaining per-query deficits as it can), processed in
+/// fixed-width waves of `kDncWaveWidth` groups.
 ///
 /// Parallel lanes speculate: a wave of groups is solved concurrently
 /// against one snapshot of the global state, then applied in group order.
 /// Groups whose view the earlier applies invalidated (a shared base tuple
 /// on a group boundary, or a deficit another group just covered) are
 /// re-solved inline against the live state, so the applied sequence — and
-/// the iteration count — is exactly the sequential one.
+/// the iteration count — is exactly the sequential one. A single lane
+/// solves each group against the live state directly, but still takes the
+/// wave-start snapshot and counts the same invalidations (a live solve of
+/// an unchanged-view group is byte-identical to the speculative one, and an
+/// invalidated group's live solve is exactly the parallel path's redo), so
+/// every `SolverEffort` counter matches at any lane count.
 Result<size_t> SolveMultiQuery(const IncrementProblem& problem, ConfidenceState* global,
                                const std::vector<PartitionGroup>& groups,
-                               const DncOptions& options) {
+                               const DncOptions& options, SolverEffort* effort) {
   size_t iterations = 0;
   const size_t lanes = options.parallelism.Resolve();
   size_t g = 0;
   while (g < groups.size()) {
     if (global->Feasible()) break;
 
+    const size_t wave_end = std::min(g + kDncWaveWidth, groups.size());
+    const size_t wave_size = wave_end - g;
+    ++effort->dnc_waves;
+    const ConfidenceState snapshot = *global;
+
     if (lanes <= 1) {
-      PCQE_ASSIGN_OR_RETURN(GroupSolve solve,
-                            SolveOneGroup(problem, *global, groups[g], options));
-      iterations += solve.iterations;
-      if (!solve.skip) ApplyGroupSolution(global, solve);
-      ++g;
+      for (size_t w = 0; w < wave_size; ++w, ++g) {
+        if (global->Feasible()) return iterations;
+        if (!GroupViewUnchanged(problem, groups[g], snapshot, *global)) {
+          ++effort->dnc_invalidations;
+        }
+        PCQE_ASSIGN_OR_RETURN(GroupSolve solve,
+                              SolveOneGroup(problem, *global, groups[g], options));
+        iterations += solve.iterations;
+        effort->MergeFrom(solve.effort);
+        if (!solve.skip) {
+          ++effort->dnc_groups_solved;
+          ApplyGroupSolution(global, solve);
+        }
+      }
       continue;
     }
 
-    const size_t wave_end = std::min(g + lanes, groups.size());
-    const size_t wave_size = wave_end - g;
-    const ConfidenceState snapshot = *global;
     std::vector<GroupSolve> wave(wave_size);
     std::vector<Status> wave_status(wave_size);
     ParallelFor(options.parallelism, wave_size, [&](size_t w) {
@@ -346,19 +375,28 @@ Result<size_t> SolveMultiQuery(const IncrementProblem& problem, ConfidenceState*
     });
 
     for (size_t w = 0; w < wave_size; ++w, ++g) {
-      if (!wave_status[w].ok()) return wave_status[w];
       if (global->Feasible()) return iterations;
+      if (!wave_status[w].ok()) return wave_status[w];
       if (GroupViewUnchanged(problem, groups[g], snapshot, *global)) {
         iterations += wave[w].iterations;
-        if (!wave[w].skip) ApplyGroupSolution(global, wave[w]);
+        effort->MergeFrom(wave[w].effort);
+        if (!wave[w].skip) {
+          ++effort->dnc_groups_solved;
+          ApplyGroupSolution(global, wave[w]);
+        }
       } else {
         // Speculation invalidated by an earlier apply in this wave; the
         // wasted lane is not counted — redo against the live state, which
         // is what the sequential fill would have computed here.
+        ++effort->dnc_invalidations;
         PCQE_ASSIGN_OR_RETURN(GroupSolve redo,
                               SolveOneGroup(problem, *global, groups[g], options));
         iterations += redo.iterations;
-        if (!redo.skip) ApplyGroupSolution(global, redo);
+        effort->MergeFrom(redo.effort);
+        if (!redo.skip) {
+          ++effort->dnc_groups_solved;
+          ApplyGroupSolution(global, redo);
+        }
       }
     }
   }
@@ -372,14 +410,15 @@ Result<IncrementSolution> SolveDnc(const IncrementProblem& problem,
   Stopwatch timer;
   ConfidenceState global(problem);
   size_t total_iterations = 0;
+  SolverEffort effort;
 
   if (!global.Feasible()) {
     std::vector<PartitionGroup> groups = PartitionResults(problem, options.partition);
 
     Result<size_t> solved =
         problem.num_queries() == 1 && problem.is_monotone()
-            ? SolveSingleQuery(problem, &global, groups, options)
-            : SolveMultiQuery(problem, &global, groups, options);
+            ? SolveSingleQuery(problem, &global, groups, options, &effort)
+            : SolveMultiQuery(problem, &global, groups, options, &effort);
     if (!solved.ok()) return solved.status();
     total_iterations += *solved;
 
@@ -388,15 +427,18 @@ Result<IncrementSolution> SolveDnc(const IncrementProblem& problem,
     if (!global.Feasible()) {
       GreedyOptions top_up = options.greedy;
       top_up.parallelism = options.parallelism;
-      total_iterations += GreedyRaise(&global, top_up);
+      size_t top_up_iterations = GreedyRaise(&global, top_up);
+      total_iterations += top_up_iterations;
+      effort.dnc_topup_iterations += top_up_iterations;
     }
 
     // Global refinement over the combined assignment (phase-2 style).
-    RefineDown(&global, options.greedy.gain_mode);
+    effort.greedy_phase2_steps += RefineDown(&global, options.greedy.gain_mode);
   }
 
   IncrementSolution out = MakeSolution(global, "dnc");
   out.nodes_explored = total_iterations;
+  out.effort = effort;
   out.solve_seconds = timer.ElapsedSeconds();
   return out;
 }

@@ -13,6 +13,13 @@
 
 namespace pcqe {
 
+/// Groups per speculation wave of the multi-query fill. A
+/// lane-count-independent constant: wave boundaries (where the global-state
+/// snapshot is taken and invalidations are counted) must not move with
+/// `SolverParallelism`, or `SolverEffort` counters would differ between
+/// lane counts.
+inline constexpr size_t kDncWaveWidth = 8;
+
 /// \brief Options for the divide-and-conquer solver.
 struct DncOptions {
   /// Graph-partitioning parameters (γ and the group-size cap).
@@ -29,12 +36,16 @@ struct DncOptions {
   double heuristic_max_seconds = 0.5;
   /// Lane budget for the group-level fan-out: single-query curve builds run
   /// fully concurrently (the global state is read-only during that phase);
-  /// multi-query sub-solves run speculatively in waves against a snapshot
-  /// and are applied — after validation, re-solving when an earlier apply
-  /// invalidated the speculation — in group order. Both paths produce
-  /// bit-identical solutions at any setting; per-group sub-solvers always
-  /// run sequentially (the group grid is the parallel axis). The global
-  /// top-up `GreedyRaise` inherits this budget for its gain precompute.
+  /// multi-query sub-solves run speculatively in fixed-width waves of
+  /// `kDncWaveWidth` groups against a snapshot and are applied — after
+  /// validation, re-solving when an earlier apply invalidated the
+  /// speculation — in group order. Both paths produce bit-identical
+  /// solutions *and `SolverEffort` counters* at any setting (a wasted
+  /// speculative lane is not counted; the sequential path counts the same
+  /// invalidations against its wave-start snapshot); per-group sub-solvers
+  /// always run sequentially (the group grid is the parallel axis). The
+  /// global top-up `GreedyRaise` inherits this budget for its gain
+  /// precompute.
   SolverParallelism parallelism;
 };
 

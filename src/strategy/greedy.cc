@@ -85,9 +85,10 @@ size_t PickFallback(ConfidenceState* state) {
 
 }  // namespace
 
-void RefineDown(ConfidenceState* state, GainMode gain_mode) {
+size_t RefineDown(ConfidenceState* state, GainMode gain_mode) {
   const IncrementProblem& p = state->problem();
-  if (!state->Feasible()) return;
+  size_t steps_down = 0;
+  if (!state->Feasible()) return steps_down;
 
   // Tuples above their initial confidence, ascending by current gain*:
   // the worst confidence-per-cost increments are walked back first.
@@ -114,16 +115,26 @@ void RefineDown(ConfidenceState* state, GainMode gain_mode) {
         state->SetProb(i, saved);
         break;
       }
+      ++steps_down;
     }
   }
+  return steps_down;
 }
 
 size_t GreedyRaise(ConfidenceState* state_ptr, const GreedyOptions& options,
-                   std::vector<GreedyCheckpoint>* checkpoints) {
+                   std::vector<GreedyCheckpoint>* checkpoints, SolverEffort* effort) {
   ConfidenceState& state = *state_ptr;
   const IncrementProblem& problem = state.problem();
   const GainMode gain_mode = options.gain_mode;
   size_t max_iterations = options.max_iterations;
+  size_t fallback_picks = 0;
+  size_t stale_recomputes = 0;
+  auto account = [&](size_t iterations) {
+    if (effort == nullptr) return;
+    effort->greedy_phase1_iterations += iterations;
+    effort->greedy_fallback_picks += fallback_picks;
+    effort->greedy_stale_recomputes += stale_recomputes;
+  };
 
   size_t recorded_satisfied = state.total_satisfied();
   // Sparse raised-set bookkeeping: every base ever lifted above its
@@ -187,12 +198,14 @@ size_t GreedyRaise(ConfidenceState* state_ptr, const GreedyOptions& options,
       if (best == problem.num_base_tuples()) {
         best = PickFallback(&state);
         if (best == problem.num_base_tuples()) break;  // genuinely stuck
+        ++fallback_picks;
       }
       ++iterations;
       state.SetProb(best, StepUp(state, best));
       note_raise(best);
       record_checkpoint();
     }
+    account(iterations);
     return iterations;
   }
 
@@ -250,6 +263,7 @@ size_t GreedyRaise(ConfidenceState* state_ptr, const GreedyOptions& options,
     if (queue.empty()) {
       size_t pick = PickFallback(&state);
       if (pick == problem.num_base_tuples()) break;  // genuinely stuck
+      ++fallback_picks;
       ++iterations;
       apply(pick);
       continue;
@@ -257,6 +271,7 @@ size_t GreedyRaise(ConfidenceState* state_ptr, const GreedyOptions& options,
     Entry top = queue.top();
     queue.pop();
     if (top.stamp != stamp[top.base]) {
+      ++stale_recomputes;
       double g = ComputeGain(&state, top.base, gain_mode);
       if (std::isfinite(g)) queue.push({g, top.base, stamp[top.base]});
       continue;
@@ -266,6 +281,7 @@ size_t GreedyRaise(ConfidenceState* state_ptr, const GreedyOptions& options,
       // Fall back to a raw-gain/cheapest pick to keep making progress.
       size_t pick = PickFallback(&state);
       if (pick == problem.num_base_tuples()) break;
+      ++fallback_picks;
       ++iterations;
       apply(pick);
       continue;
@@ -273,6 +289,7 @@ size_t GreedyRaise(ConfidenceState* state_ptr, const GreedyOptions& options,
     ++iterations;
     apply(top.base);
   }
+  account(iterations);
   return iterations;
 }
 
@@ -280,17 +297,19 @@ Result<IncrementSolution> SolveGreedy(const IncrementProblem& problem,
                                       const GreedyOptions& options) {
   Stopwatch timer;
   ConfidenceState state(problem);
+  SolverEffort effort;
 
   // ---- Phase 1: aggressive increase. ----
-  size_t iterations = GreedyRaise(&state, options);
+  size_t iterations = GreedyRaise(&state, options, nullptr, &effort);
 
   // ---- Phase 2: walk unnecessary increments back down. ----
   if (options.two_phase) {
-    RefineDown(&state, options.gain_mode);
+    effort.greedy_phase2_steps += RefineDown(&state, options.gain_mode);
   }
 
   IncrementSolution out = MakeSolution(state, options.two_phase ? "greedy" : "greedy_1p");
   out.nodes_explored = iterations;
+  out.effort = effort;
   out.solve_seconds = timer.ElapsedSeconds();
   return out;
 }

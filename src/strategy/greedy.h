@@ -76,15 +76,20 @@ struct GreedyCheckpoint {
 /// Returns the number of increments applied. Exposed for the
 /// divide-and-conquer solver's global top-up pass. When `checkpoints` is
 /// non-null, a `GreedyCheckpoint` is appended every time the
-/// satisfied-result count grows.
+/// satisfied-result count grows. When `effort` is non-null, phase-1
+/// iteration / fallback-pick / stale-recompute counters are accumulated
+/// into it (deterministic at any lane count — phase 1 is a sequential loop;
+/// only the initial gain build fans out, and it is pure).
 size_t GreedyRaise(ConfidenceState* state, const GreedyOptions& options,
-                   std::vector<GreedyCheckpoint>* checkpoints = nullptr);
+                   std::vector<GreedyCheckpoint>* checkpoints = nullptr,
+                   SolverEffort* effort = nullptr);
 
 /// \brief The phase-2 refinement on an arbitrary feasible state, exposed for
 /// the divide-and-conquer combiner: tuples raised above their initial
 /// confidence are stepped back down (ascending gain* first) while every
-/// query stays satisfied. `state` is modified in place.
-void RefineDown(ConfidenceState* state, GainMode gain_mode);
+/// query stays satisfied. `state` is modified in place. Returns the number
+/// of δ-steps walked back (the phase-2 effort counter).
+size_t RefineDown(ConfidenceState* state, GainMode gain_mode);
 
 }  // namespace pcqe
 

@@ -4,10 +4,10 @@
 #include <atomic>
 #include <cmath>
 #include <limits>
-#include <mutex>
+#include <utility>
+#include <vector>
 
 #include "common/stopwatch.h"
-#include "common/string_util.h"
 #include "common/thread_pool.h"
 
 namespace pcqe {
@@ -51,55 +51,43 @@ double CostBetaScratch(const IncrementProblem& problem, size_t base_index,
   return full_cost * problem.beta() / f_max;
 }
 
-/// Cross-worker search state for the multi-root branch and bound. One
-/// instance per `SolveHeuristic` call; with a single lane it degenerates to
-/// uncontended members and the search is step-for-step the sequential DFS.
-struct SearchShared {
-  /// Incumbent cost, read lock-free in the prune checks. Monotone
-  /// non-increasing and kept in sync with the guarded record below.
-  std::atomic<double> best_cost{std::numeric_limits<double>::infinity()};
-  /// Nodes across all workers; doubles as the shared `max_nodes` budget.
+/// The only cross-lane state of the wave search: the node budget and the
+/// abort latch. Everything that affects the *result* (bounds, incumbents,
+/// counters) is unit-local and combined at wave barriers in root-step
+/// order, so the search is deterministic at any lane count.
+struct SearchBudget {
   std::atomic<size_t> nodes{0};
   std::atomic<bool> aborted{false};
-
-  std::mutex mu;
-  std::vector<double> best_assignment;   // guarded by mu
-  size_t best_root_step = SIZE_MAX;      // guarded by mu
-  bool have_best = false;                // guarded by mu
-
-  /// Offers a feasible assignment found under root step `root_step`.
-  /// Strictly cheaper always wins; an epsilon-tie is won by the smaller
-  /// root step, so the recorded assignment is independent of which worker
-  /// got there first.
-  void Offer(double cost, const std::vector<double>& assignment, size_t root_step) {
-    std::scoped_lock lock(mu);
-    double current = best_cost.load(std::memory_order_relaxed);
-    bool improves = cost < current - kEpsilon;
-    bool wins_tie = have_best && !improves && ApproxEqual(cost, current) &&
-                    root_step < best_root_step;
-    if (!improves && !wins_tie) return;
-    if (cost < current) best_cost.store(cost, std::memory_order_relaxed);
-    best_assignment = assignment;
-    best_root_step = root_step;
-    have_best = true;
-  }
 };
 
-/// One branch-and-bound worker: owns its `ConfidenceState` (and optimistic
-/// H3 state) and explores a contiguous range of the first ordered variable's
-/// δ-steps, pruning against the shared incumbent.
+/// Outcome of exploring one root step (one wave unit).
+struct UnitResult {
+  std::vector<double> best_assignment;
+  double best_cost = std::numeric_limits<double>::infinity();
+  bool have_best = false;
+  /// The root-level sibling loop asked to stop (bound prune, feasible leaf,
+  /// or H2): higher root steps would not have been explored sequentially.
+  bool stop_after = false;
+  SolverEffort effort;
+};
+
+/// One branch-and-bound unit: owns its `ConfidenceState` (and optimistic H3
+/// state) and explores a single root step of the first ordered variable
+/// against a bound fixed at the wave start, recording a local incumbent and
+/// plain-integer effort counters.
 class SearchWorker {
  public:
   SearchWorker(const IncrementProblem& problem, const HeuristicOptions& options,
                const std::vector<size_t>& order,
                const std::vector<double>& suffix_min_step, const Stopwatch& timer,
-               SearchShared* shared)
+               SearchBudget* budget, double wave_bound)
       : problem_(problem),
         options_(options),
         order_(order),
         suffix_min_step_(suffix_min_step),
         timer_(timer),
-        shared_(shared),
+        budget_(budget),
+        bound_(wave_bound),
         state_(problem),
         opt_state_(problem) {
     if (options_.use_h3) {
@@ -109,17 +97,15 @@ class SearchWorker {
     }
   }
 
-  /// Explores root steps [lo, hi) of `order[0]`.
-  void RunRoot(size_t lo, size_t hi) {
-    if (order_.empty()) return;
-    size_t var = order_[0];
-    double initial = state_.prob(var);
-    for (size_t s = lo; s < hi; ++s) {
-      if (shared_->aborted.load(std::memory_order_relaxed)) break;
-      root_step_ = s;
-      if (!Visit(0, var, s)) break;
+  /// Explores root step `s` of `order[0]` and returns the unit outcome.
+  UnitResult RunRootStep(size_t s) {
+    if (!order_.empty()) {
+      size_t var = order_[0];
+      double initial = state_.prob(var);
+      result_.stop_after = !Visit(0, var, s);
+      state_.SetProb(var, initial);
     }
-    state_.SetProb(var, initial);
+    return std::move(result_);
   }
 
  private:
@@ -136,9 +122,10 @@ class SearchWorker {
   /// One (tuple, value) node: count it, set the value, prune/record/recurse.
   /// Returns false when the sibling loop at this depth should stop.
   bool Visit(size_t depth, size_t var, size_t s) {
-    size_t total = shared_->nodes.fetch_add(1, std::memory_order_relaxed) + 1;
+    ++result_.effort.nodes_expanded;
+    size_t total = budget_->nodes.fetch_add(1, std::memory_order_relaxed) + 1;
     if (BudgetExceeded(total)) {
-      shared_->aborted.store(true, std::memory_order_relaxed);
+      budget_->aborted.store(true, std::memory_order_relaxed);
       return false;
     }
     double value = problem_.ValueAtStep(var, s);
@@ -146,15 +133,23 @@ class SearchWorker {
     if (options_.use_h3) opt_state_.SetProb(var, value);
 
     // Incumbent bound: values only grow along the sibling axis, so the
-    // whole remaining value range is pruned together. The bound may have
-    // been lowered by any worker — prunes propagate across lanes.
-    double bound = shared_->best_cost.load(std::memory_order_relaxed);
-    if (state_.total_cost() >= bound - kEpsilon) return false;
+    // whole remaining value range is pruned together. `bound_` is the wave
+    // bound lowered by this unit's own incumbents — never another lane's,
+    // which is what keeps the explored tree lane-count-independent.
+    if (state_.total_cost() >= bound_ - kEpsilon) {
+      ++result_.effort.incumbent_prunes;
+      return false;
+    }
 
     if (state_.Feasible()) {
       // Monotone problem: any further increment (deeper or higher
-      // sibling) only adds cost.
-      shared_->Offer(state_.total_cost(), state_.probs(), root_step_);
+      // sibling) only adds cost. The check above proved it beats the
+      // current local bound.
+      ++result_.effort.incumbent_updates;
+      result_.best_cost = state_.total_cost();
+      result_.best_assignment = state_.probs();
+      result_.have_best = true;
+      bound_ = result_.best_cost;
       return false;
     }
 
@@ -164,6 +159,7 @@ class SearchWorker {
     // still infeasible -> nothing below this node can succeed. Higher
     // values of the current tuple may still help, so continue siblings.
     if (recurse && options_.use_h3 && !opt_state_.Feasible()) {
+      ++result_.effort.h3_prunes;
       recurse = false;
     }
 
@@ -173,7 +169,8 @@ class SearchWorker {
     // current tuple, which is not in the suffix), so only recursion is
     // pruned.
     if (recurse && options_.use_h4 && std::isfinite(suffix_min_step_[depth + 1]) &&
-        state_.total_cost() + suffix_min_step_[depth + 1] >= bound - kEpsilon) {
+        state_.total_cost() + suffix_min_step_[depth + 1] >= bound_ - kEpsilon) {
+      ++result_.effort.h4_prunes;
       recurse = false;
     }
 
@@ -189,13 +186,16 @@ class SearchWorker {
           break;
         }
       }
-      if (all_satisfied) return false;
+      if (all_satisfied) {
+        ++result_.effort.h2_prunes;
+        return false;
+      }
     }
     return true;
   }
 
   void Dfs(size_t depth) {  // NOLINT(misc-no-recursion)
-    if (depth >= order_.size() || shared_->aborted.load(std::memory_order_relaxed)) {
+    if (depth >= order_.size() || budget_->aborted.load(std::memory_order_relaxed)) {
       return;
     }
     size_t var = order_[depth];
@@ -216,10 +216,11 @@ class SearchWorker {
   const std::vector<size_t>& order_;
   const std::vector<double>& suffix_min_step_;
   const Stopwatch& timer_;
-  SearchShared* shared_;
+  SearchBudget* budget_;
+  double bound_;  ///< unit-local incumbent bound (starts at the wave bound)
   ConfidenceState state_;
   ConfidenceState opt_state_;
-  size_t root_step_ = 0;
+  UnitResult result_;
 };
 
 }  // namespace
@@ -296,37 +297,62 @@ Result<IncrementSolution> SolveHeuristic(const IncrementProblem& problem,
     }
   }
 
-  SearchShared shared;
-  shared.best_cost.store(options.initial_upper_bound.value_or(
-      std::numeric_limits<double>::infinity()));
+  SearchBudget budget;
+  SolverEffort effort;
+  if (options.use_h1_ordering) effort.costbeta_evals = order.size();
 
-  // Multi-root search: split the first ordered variable's δ-range into
-  // contiguous blocks, one worker each. A single lane covers the whole
-  // range and explores exactly the sequential tree.
+  double best_cost =
+      options.initial_upper_bound.value_or(std::numeric_limits<double>::infinity());
+  std::vector<double> best_assignment;
+  bool have_best = false;
+
+  // Wave search over the first ordered variable's δ-steps: each wave runs
+  // `kHeuristicRootWaveWidth` independent units seeded with the incumbent
+  // bound as of the wave start, then combines them in root-step order.
+  // Lanes only decide how many of a wave's units run concurrently, so the
+  // combined result and counters are identical at any lane count. An
+  // equal-cost unit never displaces an earlier one (`improves` is strict),
+  // which is the tie-break to the smallest root step.
   size_t root_values = order.empty() ? 0 : problem.NumSteps(order[0]) + 1;
-  size_t lanes = std::min(options.parallelism.Resolve(), root_values);
-  if (lanes <= 1) {
-    SearchWorker worker(problem, options, order, suffix_min_step, timer, &shared);
-    worker.RunRoot(0, root_values);
-  } else {
-    SolverParallelism root_lanes{lanes};
-    ParallelForChunks(root_lanes, root_values, [&](size_t, size_t lo, size_t hi) {
-      SearchWorker worker(problem, options, order, suffix_min_step, timer, &shared);
-      worker.RunRoot(lo, hi);
+  bool stopped = false;
+  for (size_t wave_start = 0; wave_start < root_values && !stopped;
+       wave_start += kHeuristicRootWaveWidth) {
+    size_t wave_size = std::min(kHeuristicRootWaveWidth, root_values - wave_start);
+    std::vector<UnitResult> units(wave_size);
+    double wave_bound = best_cost;
+    ParallelFor(options.parallelism, wave_size, [&](size_t u) {
+      SearchWorker worker(problem, options, order, suffix_min_step, timer, &budget,
+                          wave_bound);
+      units[u] = worker.RunRootStep(wave_start + u);
     });
+    for (size_t u = 0; u < wave_size; ++u) {
+      UnitResult& unit = units[u];
+      effort.MergeFrom(unit.effort);
+      if (unit.have_best && unit.best_cost < best_cost - kEpsilon) {
+        best_cost = unit.best_cost;
+        best_assignment = std::move(unit.best_assignment);
+        have_best = true;
+      }
+      if (unit.stop_after) {
+        // The sequential sibling loop would have stopped here: later units
+        // of this wave are speculation whose effort is not counted, and no
+        // further waves launch.
+        stopped = true;
+        break;
+      }
+    }
+    if (budget.aborted.load(std::memory_order_relaxed)) stopped = true;
   }
 
-  // All workers have joined; the shared record needs no lock from here.
   IncrementSolution out;
-  if (shared.have_best) {
+  if (have_best) {
     // Rebuild the winning state to produce exact bookkeeping.
     ConfidenceState final_state(problem);
-    for (size_t i = 0; i < shared.best_assignment.size(); ++i) {
-      final_state.SetProb(i, shared.best_assignment[i]);
+    for (size_t i = 0; i < best_assignment.size(); ++i) {
+      final_state.SetProb(i, best_assignment[i]);
     }
     out = MakeSolution(final_state, "heuristic");
-  } else if (options.initial_assignment.has_value() &&
-             std::isfinite(shared.best_cost.load())) {
+  } else if (options.initial_assignment.has_value() && std::isfinite(best_cost)) {
     // The externally supplied incumbent was never beaten; return it.
     ConfidenceState final_state(problem);
     for (size_t i = 0; i < options.initial_assignment->size(); ++i) {
@@ -336,9 +362,10 @@ Result<IncrementSolution> SolveHeuristic(const IncrementProblem& problem,
   } else {
     out = MakeSolution(initial_state, "heuristic");  // infeasible best effort
   }
-  out.nodes_explored = shared.nodes.load();
+  out.nodes_explored = effort.nodes_expanded;
+  out.effort = effort;
   out.solve_seconds = timer.ElapsedSeconds();
-  out.search_complete = !shared.aborted.load();
+  out.search_complete = !budget.aborted.load();
   return out;
 }
 

@@ -14,6 +14,12 @@
 
 namespace pcqe {
 
+/// Root steps per wave of the multi-root branch-and-bound search. A
+/// lane-count-independent constant: wave boundaries (where incumbent bounds
+/// synchronize) must not move with `SolverParallelism`, or node and prune
+/// counts would differ between lane counts.
+inline constexpr size_t kHeuristicRootWaveWidth = 8;
+
 /// \brief Toggles and budgets for the branch-and-bound search.
 ///
 /// With every heuristic disabled the search is the paper's "Naive" variant:
@@ -48,12 +54,18 @@ struct HeuristicOptions {
   /// Wall-clock budget in seconds; 0 disables. Same early-return behavior.
   double max_seconds = 0.0;
 
-  /// Multi-root parallel search: the first H1-ordered variable's δ-range is
-  /// split across this many lanes, each with its own `ConfidenceState`,
-  /// sharing one atomic incumbent so prunes propagate between them. The
-  /// search stays complete at any setting, so the returned *cost* is the
-  /// optimum either way; equal-cost ties deterministically go to the
-  /// smallest root step. 1 reproduces the sequential DFS node-for-node.
+  /// Multi-root parallel search over fixed-width waves: the first
+  /// H1-ordered variable's δ-steps are processed in waves of
+  /// `kHeuristicRootWaveWidth` independent units, each seeded with the
+  /// incumbent bound as of the wave start and explored with its own local
+  /// bound; unit results (best assignment and `SolverEffort` counters) are
+  /// combined in root-step order at the wave barrier. Because the wave
+  /// width is a constant — not the lane count — the explored tree, the
+  /// returned solution *and every effort counter* are bit-identical at any
+  /// setting (equal-cost ties go to the smallest root step); lanes only
+  /// decide how many units of a wave run concurrently. The one exception
+  /// is a `max_nodes`/`max_seconds` abort (`search_complete = false`),
+  /// where the budget trips at a scheduling-dependent point.
   SolverParallelism parallelism;
 };
 

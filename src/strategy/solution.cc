@@ -4,6 +4,42 @@
 
 namespace pcqe {
 
+void SolverEffort::MergeFrom(const SolverEffort& other) {
+  nodes_expanded += other.nodes_expanded;
+  incumbent_prunes += other.incumbent_prunes;
+  h2_prunes += other.h2_prunes;
+  h3_prunes += other.h3_prunes;
+  h4_prunes += other.h4_prunes;
+  incumbent_updates += other.incumbent_updates;
+  costbeta_evals += other.costbeta_evals;
+  greedy_phase1_iterations += other.greedy_phase1_iterations;
+  greedy_phase2_steps += other.greedy_phase2_steps;
+  greedy_fallback_picks += other.greedy_fallback_picks;
+  greedy_stale_recomputes += other.greedy_stale_recomputes;
+  dnc_groups_solved += other.dnc_groups_solved;
+  dnc_waves += other.dnc_waves;
+  dnc_invalidations += other.dnc_invalidations;
+  dnc_topup_iterations += other.dnc_topup_iterations;
+}
+
+std::vector<std::pair<const char*, uint64_t>> SolverEffort::Items() const {
+  return {{"nodes_expanded", nodes_expanded},
+          {"incumbent_prunes", incumbent_prunes},
+          {"h2_prunes", h2_prunes},
+          {"h3_prunes", h3_prunes},
+          {"h4_prunes", h4_prunes},
+          {"incumbent_updates", incumbent_updates},
+          {"costbeta_evals", costbeta_evals},
+          {"greedy_phase1_iterations", greedy_phase1_iterations},
+          {"greedy_phase2_steps", greedy_phase2_steps},
+          {"greedy_fallback_picks", greedy_fallback_picks},
+          {"greedy_stale_recomputes", greedy_stale_recomputes},
+          {"dnc_groups_solved", dnc_groups_solved},
+          {"dnc_waves", dnc_waves},
+          {"dnc_invalidations", dnc_invalidations},
+          {"dnc_topup_iterations", dnc_topup_iterations}};
+}
+
 std::vector<IncrementAction> IncrementSolution::Actions(
     const IncrementProblem& problem) const {
   std::vector<IncrementAction> actions;

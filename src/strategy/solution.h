@@ -4,13 +4,61 @@
 #ifndef PCQE_STRATEGY_SOLUTION_H_
 #define PCQE_STRATEGY_SOLUTION_H_
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
 #include "strategy/problem.h"
 
 namespace pcqe {
+
+/// \brief Search-effort counters every solver fills in alongside its
+/// solution — the telemetry layer's audit trail of *where the work went*.
+///
+/// Determinism contract (same as cost/iterations since the parallel-solving
+/// PR): every field is bit-identical at any `SolverParallelism` lane count,
+/// provided the search ran to completion (`search_complete`). A node or
+/// wall-clock budget abort is the one exception — where the budget lands
+/// depends on scheduling. Counters are plain integers summed in a fixed
+/// order by the owning solver, never shared atomics.
+struct SolverEffort {
+  /// \name Branch-and-bound (heuristic solver, also the D&C exact tails).
+  /// @{
+  uint64_t nodes_expanded = 0;     ///< (tuple, value) nodes visited
+  uint64_t incumbent_prunes = 0;   ///< sibling ranges cut by the cost bound
+  uint64_t h2_prunes = 0;          ///< all-results-satisfied sibling stops
+  uint64_t h3_prunes = 0;          ///< optimistic-completion subtree cuts
+  uint64_t h4_prunes = 0;          ///< cheapest-remaining-step subtree cuts
+  uint64_t incumbent_updates = 0;  ///< feasible offers that improved a bound
+  uint64_t costbeta_evals = 0;     ///< H1 ordering costβ computations
+  /// @}
+
+  /// \name Two-phase greedy.
+  /// @{
+  uint64_t greedy_phase1_iterations = 0;  ///< δ-increments applied
+  uint64_t greedy_phase2_steps = 0;       ///< δ-steps walked back down
+  uint64_t greedy_fallback_picks = 0;     ///< raw-gain fallback selections
+  uint64_t greedy_stale_recomputes = 0;   ///< lazy-queue stale pops recomputed
+  /// @}
+
+  /// \name Divide and conquer.
+  /// @{
+  uint64_t dnc_groups_solved = 0;   ///< group sub-solves in the applied sequence
+  uint64_t dnc_waves = 0;           ///< speculative waves started (fixed width)
+  uint64_t dnc_invalidations = 0;   ///< group views invalidated within a wave
+  uint64_t dnc_topup_iterations = 0;  ///< global top-up greedy increments
+  /// @}
+
+  void MergeFrom(const SolverEffort& other);
+
+  /// (name, value) pairs in declaration order — one reflection point for the
+  /// registry export, trace annotations and tests.
+  std::vector<std::pair<const char*, uint64_t>> Items() const;
+
+  bool operator==(const SolverEffort&) const = default;
+};
 
 /// \brief One base-tuple confidence increment in a reported plan.
 struct IncrementAction {
@@ -38,6 +86,9 @@ struct IncrementSolution {
   std::string algorithm;       ///< "heuristic", "greedy", "dnc", "brute_force"
   double solve_seconds = 0.0;  ///< wall-clock solve time
   size_t nodes_explored = 0;   ///< search-tree nodes (B&B) or iterations (greedy)
+  /// Detailed search-effort counters (see SolverEffort for the determinism
+  /// contract). `nodes_explored` remains the headline aggregate.
+  SolverEffort effort;
   /// False when a node/time budget stopped an exact search early, in which
   /// case the solution is the best found so far and optimality is not
   /// guaranteed.

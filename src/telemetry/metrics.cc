@@ -1,0 +1,221 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace pcqe {
+
+namespace {
+
+/// Instrument names double as exposition-format identifiers; reject anything
+/// that would not round-trip through the text parser.
+bool ValidMetricName(std::string_view name) {
+  if (name.empty()) return false;
+  if (name[0] >= '0' && name[0] <= '9') return false;
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// Shortest round-trip-ish rendering for sample values; integers print
+/// without a decimal point so counters stay exact in the text format.
+std::string FormatSample(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    return StrFormat("%lld", static_cast<long long>(v));
+  }
+  return StrFormat("%.10g", v);
+}
+
+std::string FormatBound(double bound) {
+  if (std::isinf(bound)) return "+Inf";
+  return FormatSample(bound);
+}
+
+}  // namespace
+
+bool TelemetryEnabled() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("PCQE_TELEMETRY");
+    if (v == nullptr) return true;
+    std::string s = ToLowerAscii(v);
+    return !(s == "0" || s == "off" || s == "false");
+  }();
+  return enabled;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    PCQE_CHECK(bounds_[i - 1] < bounds_[i]) << "histogram bounds must ascend";
+  }
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double v) {
+  size_t b = 0;
+  while (b < bounds_.size() && v > bounds_[b]) ++b;
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double current = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(current, current + v, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot out;
+  out.counts.resize(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    out.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  out.count = count_.load(std::memory_order_relaxed);
+  out.sum = sum_.load(std::memory_order_relaxed);
+  return out;
+}
+
+Counter* TelemetryRegistry::GetCounter(std::string_view name, std::string_view help) {
+  PCQE_CHECK(ValidMetricName(name)) << "bad metric name '" << std::string(name) << "'";
+  std::scoped_lock lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    PCQE_CHECK(it->second.kind == Kind::kCounter)
+        << "'" << std::string(name) << "' already registered with another kind";
+    return &counters_[it->second.index];
+  }
+  counters_.emplace_back();
+  entries_.emplace(std::string(name),
+                   Entry{Kind::kCounter, counters_.size() - 1, std::string(help)});
+  return &counters_.back();
+}
+
+Gauge* TelemetryRegistry::GetGauge(std::string_view name, std::string_view help) {
+  PCQE_CHECK(ValidMetricName(name)) << "bad metric name '" << std::string(name) << "'";
+  std::scoped_lock lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    PCQE_CHECK(it->second.kind == Kind::kGauge)
+        << "'" << std::string(name) << "' already registered with another kind";
+    return &gauges_[it->second.index];
+  }
+  gauges_.emplace_back();
+  entries_.emplace(std::string(name),
+                   Entry{Kind::kGauge, gauges_.size() - 1, std::string(help)});
+  return &gauges_.back();
+}
+
+Histogram* TelemetryRegistry::GetHistogram(std::string_view name,
+                                           std::vector<double> bounds,
+                                           std::string_view help) {
+  PCQE_CHECK(ValidMetricName(name)) << "bad metric name '" << std::string(name) << "'";
+  std::scoped_lock lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    PCQE_CHECK(it->second.kind == Kind::kHistogram)
+        << "'" << std::string(name) << "' already registered with another kind";
+    Histogram* h = &histograms_[it->second.index];
+    PCQE_CHECK(h->bounds() == bounds)
+        << "'" << std::string(name) << "' re-registered with different bounds";
+    return h;
+  }
+  histograms_.emplace_back(std::move(bounds));
+  entries_.emplace(std::string(name),
+                   Entry{Kind::kHistogram, histograms_.size() - 1, std::string(help)});
+  return &histograms_.back();
+}
+
+std::string TelemetryRegistry::RenderText() const {
+  std::scoped_lock lock(mu_);
+  std::string out;
+  for (const auto& [name, entry] : entries_) {
+    if (!entry.help.empty()) {
+      out += StrFormat("# HELP %s %s\n", name.c_str(), entry.help.c_str());
+    }
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out += StrFormat("# TYPE %s counter\n", name.c_str());
+        out += StrFormat("%s %llu\n", name.c_str(),
+                         static_cast<unsigned long long>(
+                             counters_[entry.index].value()));
+        break;
+      case Kind::kGauge:
+        out += StrFormat("# TYPE %s gauge\n", name.c_str());
+        out += StrFormat("%s %lld\n", name.c_str(),
+                         static_cast<long long>(gauges_[entry.index].value()));
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = histograms_[entry.index];
+        Histogram::Snapshot snap = h.snapshot();
+        out += StrFormat("# TYPE %s histogram\n", name.c_str());
+        uint64_t cumulative = 0;
+        for (size_t b = 0; b < snap.counts.size(); ++b) {
+          cumulative += snap.counts[b];
+          double bound = b < h.bounds().size()
+                             ? h.bounds()[b]
+                             : std::numeric_limits<double>::infinity();
+          out += StrFormat("%s_bucket{le=\"%s\"} %llu\n", name.c_str(),
+                           FormatBound(bound).c_str(),
+                           static_cast<unsigned long long>(cumulative));
+        }
+        out += StrFormat("%s_sum %s\n", name.c_str(), FormatSample(snap.sum).c_str());
+        out += StrFormat("%s_count %llu\n", name.c_str(),
+                         static_cast<unsigned long long>(snap.count));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string TelemetryRegistry::RenderJson() const {
+  std::scoped_lock lock(mu_);
+  std::string counters;
+  std::string gauges;
+  std::string histograms;
+  for (const auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        if (!counters.empty()) counters += ",";
+        counters += StrFormat("\"%s\":%llu", name.c_str(),
+                              static_cast<unsigned long long>(
+                                  counters_[entry.index].value()));
+        break;
+      case Kind::kGauge:
+        if (!gauges.empty()) gauges += ",";
+        gauges += StrFormat("\"%s\":%lld", name.c_str(),
+                            static_cast<long long>(gauges_[entry.index].value()));
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = histograms_[entry.index];
+        Histogram::Snapshot snap = h.snapshot();
+        std::string bounds;
+        for (double b : h.bounds()) {
+          if (!bounds.empty()) bounds += ",";
+          bounds += FormatSample(b);
+        }
+        std::string counts;
+        for (uint64_t c : snap.counts) {
+          if (!counts.empty()) counts += ",";
+          counts += StrFormat("%llu", static_cast<unsigned long long>(c));
+        }
+        if (!histograms.empty()) histograms += ",";
+        histograms += StrFormat(
+            "\"%s\":{\"bounds\":[%s],\"counts\":[%s],\"sum\":%s,\"count\":%llu}",
+            name.c_str(), bounds.c_str(), counts.c_str(),
+            FormatSample(snap.sum).c_str(),
+            static_cast<unsigned long long>(snap.count));
+        break;
+      }
+    }
+  }
+  return StrFormat("{\"counters\":{%s},\"gauges\":{%s},\"histograms\":{%s}}",
+                   counters.c_str(), gauges.c_str(), histograms.c_str());
+}
+
+}  // namespace pcqe

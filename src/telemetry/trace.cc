@@ -1,0 +1,104 @@
+#include "telemetry/trace.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "telemetry/metrics.h"
+
+namespace pcqe {
+
+namespace {
+
+void AppendSpanTree(const Trace& trace, int32_t parent, int indent,
+                    std::string* out) {  // NOLINT(misc-no-recursion)
+  for (size_t i = 0; i < trace.spans.size(); ++i) {
+    const Span& s = trace.spans[i];
+    if (s.parent != parent) continue;
+    double ms = static_cast<double>(s.end_ns - s.start_ns) / 1e6;
+    *out += StrFormat("%*s%s %.3fms", indent * 2, "", s.name.c_str(), ms);
+    for (const auto& [key, value] : s.annotations) {
+      *out += StrFormat(" %s=%s", key.c_str(), value.c_str());
+    }
+    *out += "\n";
+    AppendSpanTree(trace, static_cast<int32_t>(i), indent + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string Trace::ToString() const {
+  std::string out = StrFormat("trace %llu [%s] %.3fms, %zu span(s)\n",
+                              static_cast<unsigned long long>(id), label.c_str(),
+                              static_cast<double>(duration_ns) / 1e6, spans.size());
+  AppendSpanTree(*this, -1, 1, &out);
+  return out;
+}
+
+TraceBuilder::TraceBuilder(std::string label, Clock::time_point origin)
+    : origin_(origin) {
+  trace_.label = std::move(label);
+}
+
+uint64_t TraceBuilder::ElapsedNs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - origin_)
+          .count());
+}
+
+size_t TraceBuilder::BeginSpan(std::string name) {
+  Span span;
+  span.name = std::move(name);
+  span.start_ns = ElapsedNs();
+  span.parent = open_.empty() ? -1 : static_cast<int32_t>(open_.back());
+  trace_.spans.push_back(std::move(span));
+  open_.push_back(trace_.spans.size() - 1);
+  return trace_.spans.size() - 1;
+}
+
+void TraceBuilder::EndSpan(size_t index) {
+  PCQE_CHECK(!open_.empty() && open_.back() == index)
+      << "spans must close innermost-first";
+  trace_.spans[index].end_ns = ElapsedNs();
+  open_.pop_back();
+}
+
+void TraceBuilder::Annotate(size_t index, std::string key, std::string value) {
+  PCQE_CHECK(index < trace_.spans.size());
+  trace_.spans[index].annotations.emplace_back(std::move(key), std::move(value));
+}
+
+Trace TraceBuilder::Finish() {
+  while (!open_.empty()) EndSpan(open_.back());
+  trace_.duration_ns = ElapsedNs();
+  return std::move(trace_);
+}
+
+bool Tracer::TracingEnabledEnv() { return TelemetryEnabled(); }
+
+uint64_t Tracer::Record(Trace trace) {
+  std::scoped_lock lock(mu_);
+  trace.id = next_id_++;
+  uint64_t id = trace.id;
+  ring_.push_back(std::move(trace));
+  while (ring_.size() > capacity_) ring_.pop_front();
+  return id;
+}
+
+std::vector<Trace> Tracer::Snapshot() const {
+  std::scoped_lock lock(mu_);
+  return {ring_.rbegin(), ring_.rend()};
+}
+
+std::optional<Trace> Tracer::Get(uint64_t id) const {
+  std::scoped_lock lock(mu_);
+  for (const Trace& t : ring_) {
+    if (t.id == id) return t;
+  }
+  return std::nullopt;
+}
+
+uint64_t Tracer::total_recorded() const {
+  std::scoped_lock lock(mu_);
+  return next_id_ - 1;
+}
+
+}  // namespace pcqe

@@ -1,0 +1,133 @@
+// Copyright (c) PCQE contributors.
+// Span-based tracing for the PCQE pipeline (Figure 1 stages as spans).
+//
+// Lifecycle: a request path constructs one `TraceBuilder` on its own stack,
+// opens/closes named spans as the stages run (spans nest via a parent
+// stack; `ScopedSpan` closes on scope exit and tolerates a null builder so
+// untraced paths pay one branch), then hands the finished `Trace` to a
+// `Tracer`, which assigns an id and keeps it in a bounded ring. Timestamps
+// are monotonic (`steady_clock`) offsets from the trace origin in
+// nanoseconds — never wall-clock, so spans order correctly across clock
+// adjustments.
+
+#ifndef PCQE_TELEMETRY_TRACE_H_
+#define PCQE_TELEMETRY_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pcqe {
+
+/// \brief One named stage of a traced request.
+struct Span {
+  std::string name;
+  uint64_t start_ns = 0;  ///< offset from the trace origin
+  uint64_t end_ns = 0;    ///< 0 while open; >= start_ns once closed
+  int32_t parent = -1;    ///< index of the enclosing span, -1 for roots
+  /// Ordered key/value audit annotations (β, drop counts, solver effort).
+  std::vector<std::pair<std::string, std::string>> annotations;
+};
+
+/// \brief A finished trace: label, total duration and the span tree.
+struct Trace {
+  uint64_t id = 0;  ///< assigned by the Tracer on Record (1-based)
+  std::string label;
+  uint64_t duration_ns = 0;
+  std::vector<Span> spans;
+
+  /// Indented span tree with millisecond durations and annotations, for the
+  /// shell's `.trace <id>`.
+  std::string ToString() const;
+};
+
+/// \brief Single-threaded builder used by one request path at a time.
+class TraceBuilder {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Origin defaults to now; pass an earlier `origin` to account time spent
+  /// before the builder existed (e.g. queue wait measured from enqueue).
+  explicit TraceBuilder(std::string label, Clock::time_point origin = Clock::now());
+
+  /// Opens a span as a child of the innermost open span and returns its
+  /// index. Spans close in LIFO order (`EndSpan` checks).
+  size_t BeginSpan(std::string name);
+  void EndSpan(size_t index);
+
+  /// Appends an audit annotation to an open or closed span.
+  void Annotate(size_t index, std::string key, std::string value);
+
+  /// Closes any spans left open and returns the trace (builder is spent).
+  Trace Finish();
+
+  uint64_t ElapsedNs() const;
+
+ private:
+  Clock::time_point origin_;
+  Trace trace_;
+  std::vector<size_t> open_;  // parent stack
+};
+
+/// \brief RAII span that tolerates a null builder (untraced path).
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceBuilder* builder, const char* name)
+      : builder_(builder),
+        index_(builder == nullptr ? 0 : builder->BeginSpan(name)) {}
+  ~ScopedSpan() {
+    if (builder_ != nullptr) builder_->EndSpan(index_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void Annotate(std::string key, std::string value) {
+    if (builder_ != nullptr) builder_->Annotate(index_, std::move(key), std::move(value));
+  }
+
+ private:
+  TraceBuilder* builder_;
+  size_t index_;
+};
+
+/// \brief Bounded in-memory ring of finished traces. Thread-safe; `Record`
+/// takes one short mutex hold per finished request.
+class Tracer {
+ public:
+  explicit Tracer(size_t capacity = 64) : capacity_(capacity) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// False when tracing is off (`PCQE_TELEMETRY` opt-out or capacity 0);
+  /// request paths skip building traces entirely then.
+  bool enabled() const { return capacity_ > 0 && TracingEnabledEnv(); }
+
+  /// Assigns the next id, stores the trace (evicting the oldest beyond
+  /// capacity) and returns the id.
+  uint64_t Record(Trace trace);
+
+  /// Newest-first copies of the retained traces.
+  std::vector<Trace> Snapshot() const;
+
+  /// The trace with `id`, if still in the ring.
+  std::optional<Trace> Get(uint64_t id) const;
+
+  uint64_t total_recorded() const;
+
+ private:
+  static bool TracingEnabledEnv();
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  uint64_t next_id_ = 1;       // guarded by mu_
+  std::deque<Trace> ring_;     // guarded by mu_; front = oldest
+};
+
+}  // namespace pcqe
+
+#endif  // PCQE_TELEMETRY_TRACE_H_

@@ -1,0 +1,16 @@
+// pcqe-lint-fixture-path: src/example/bad_telemetry.cc
+// Fixture: ad-hoc atomic stat counter; must go through the TelemetryRegistry.
+#include <atomic>
+#include <cstdint>
+
+namespace pcqe {
+
+class Frobnicator {
+ public:
+  void Frob() { frobs_.fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> frobs_{0};
+};
+
+}  // namespace pcqe

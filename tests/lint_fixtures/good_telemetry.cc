@@ -1,0 +1,17 @@
+// pcqe-lint-fixture-path: src/telemetry/good_telemetry.cc
+// Fixture: src/telemetry/ itself implements the instruments, so atomic
+// counters are its business; elsewhere a version counter may be suppressed.
+#include <atomic>
+#include <cstdint>
+
+namespace pcqe {
+
+class Counter2 {
+ public:
+  void Increment() { value_.fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+}  // namespace pcqe

@@ -85,9 +85,26 @@ WorkloadParams SolverParams(uint64_t seed) {
   return params;
 }
 
+/// The telemetry contract: search-effort counters are part of the solver's
+/// deterministic output, so every one of them must be bit-identical across
+/// lane counts — a drift in any counter means the searches explored
+/// different trees and the "same solution" guarantee is luck.
+void ExpectSameEffort(const SolverEffort& seq, const SolverEffort& par,
+                      uint64_t seed) {
+  std::vector<std::pair<const char*, uint64_t>> seq_items = seq.Items();
+  std::vector<std::pair<const char*, uint64_t>> par_items = par.Items();
+  ASSERT_EQ(seq_items.size(), par_items.size());
+  for (size_t i = 0; i < seq_items.size(); ++i) {
+    EXPECT_EQ(seq_items[i].second, par_items[i].second)
+        << "seed " << seed << " counter " << seq_items[i].first;
+  }
+  EXPECT_EQ(seq, par) << "seed " << seed;  // catches fields Items() misses
+}
+
 void ExpectSameSolution(const IncrementSolution& seq, const IncrementSolution& par,
                         bool bit_identical, uint64_t seed) {
   EXPECT_EQ(seq.feasible, par.feasible) << "seed " << seed;
+  ExpectSameEffort(seq.effort, par.effort, seed);
   if (bit_identical) {
     // The parallel path replays the sequential arithmetic on the same
     // values in the same combine order: not just close — equal.
@@ -166,6 +183,9 @@ TEST(ParallelDeterminismTest, HeuristicCostIdenticalAt1And8) {
     ASSERT_TRUE(s.search_complete);
     ASSERT_TRUE(l.search_complete);
     ExpectSameSolution(s, l, /*bit_identical=*/false, seed);
+    // The legacy nodes_explored field is fed by the effort counter.
+    EXPECT_EQ(s.nodes_explored, s.effort.nodes_expanded) << "seed " << seed;
+    EXPECT_GT(s.effort.nodes_expanded, 0u) << "seed " << seed;
     Status valid = ValidateSolution(p, l);
     EXPECT_TRUE(valid.ok()) << valid.ToString();
   }

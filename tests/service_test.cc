@@ -3,11 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <future>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
 #include "service/query_service.h"
 
 namespace pcqe {
@@ -309,6 +311,145 @@ TEST_F(QueryServiceTest, DestructorDrainsOutstandingWork) {
     Result<QueryOutcome> outcome = future.get();  // never a broken promise
     EXPECT_TRUE(outcome.ok() || outcome.status().IsResourceExhausted());
   }
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry integration.
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> SpanNames(const Trace& trace) {
+  std::vector<std::string> names;
+  for (const Span& span : trace.spans) names.push_back(span.name);
+  return names;
+}
+
+bool HasSpan(const Trace& trace, const std::string& name) {
+  std::vector<std::string> names = SpanNames(trace);
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+TEST_F(QueryServiceTest, EveryRequestYieldsARetrievableTrace) {
+  auto service = MakeService({.num_workers = 1});
+  ASSERT_TRUE(service->tracer()->enabled());
+  SessionHandle mary = *service->OpenSession("mary", "investment");
+  QueryOutcome cold =
+      *service->Submit(mary, {.sql = kCandidateQuery, .required_fraction = 1.0});
+
+  ASSERT_NE(cold.trace_id, 0u);
+  std::optional<Trace> trace = service->tracer()->Get(cold.trace_id);
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_GE(trace->spans.size(), 5u) << "got: " << trace->ToString();
+  for (const char* name : {"request", "queue-wait", "cache-lookup", "evaluate",
+                           "complete", "policy-filter", "solve"}) {
+    EXPECT_TRUE(HasSpan(*trace, name)) << name << " missing:\n" << trace->ToString();
+  }
+
+  // Warm path: the evaluation comes from the cache, but the trace still has
+  // the five named spans the audit trail promises.
+  QueryOutcome warm =
+      *service->Submit(mary, {.sql = kCandidateQuery, .required_fraction = 1.0});
+  ASSERT_NE(warm.trace_id, cold.trace_id);
+  std::optional<Trace> warm_trace = service->tracer()->Get(warm.trace_id);
+  ASSERT_TRUE(warm_trace.has_value());
+  EXPECT_GE(warm_trace->spans.size(), 5u) << warm_trace->ToString();
+  EXPECT_FALSE(HasSpan(*warm_trace, "evaluate")) << warm_trace->ToString();
+  EXPECT_TRUE(HasSpan(*warm_trace, "policy-filter"));
+}
+
+TEST_F(QueryServiceTest, PolicyFilterSpanCarriesAuditAnnotations) {
+  auto service = MakeService({.num_workers = 0});
+  SessionHandle mary = *service->OpenSession("mary", "investment");
+  QueryOutcome outcome =
+      *service->Submit(mary, {.sql = kCandidateQuery, .required_fraction = 1.0});
+  std::optional<Trace> trace = service->tracer()->Get(outcome.trace_id);
+  ASSERT_TRUE(trace.has_value());
+  for (const Span& span : trace->spans) {
+    if (span.name != "policy-filter") continue;
+    std::vector<std::string> keys;
+    for (const auto& [k, v] : span.annotations) keys.push_back(k);
+    EXPECT_NE(std::find(keys.begin(), keys.end(), "beta"), keys.end());
+    EXPECT_NE(std::find(keys.begin(), keys.end(), "released"), keys.end());
+    EXPECT_NE(std::find(keys.begin(), keys.end(), "blocked"), keys.end());
+    return;
+  }
+  FAIL() << "no policy-filter span in:\n" << trace->ToString();
+}
+
+TEST_F(QueryServiceTest, RegistryCountersMatchSnapshot) {
+  auto service = MakeService({.num_workers = 1});
+  SessionHandle sam = *service->OpenSession("sam", "analysis");
+  ASSERT_TRUE(service->Submit(sam, {.sql = kCandidateQuery}).ok());
+  ASSERT_TRUE(service->Submit(sam, {.sql = kCandidateQuery}).ok());
+
+  // The legacy snapshot API reads the same registry instruments.
+  ServiceStatsSnapshot snapshot = service->stats();
+  TelemetryRegistry* registry = service->telemetry();
+  EXPECT_EQ(registry->GetCounter("pcqe_service_requests_submitted_total")->value(),
+            snapshot.submitted);
+  EXPECT_EQ(registry->GetCounter("pcqe_service_requests_served_total")->value(),
+            snapshot.served);
+  EXPECT_EQ(registry->GetCounter("pcqe_cache_hits_total")->value(),
+            snapshot.cache_hits);
+  EXPECT_EQ(snapshot.served, 2u);
+  EXPECT_EQ(snapshot.cache_hits, 1u);
+
+  std::string text = service->RenderMetricsText();
+  EXPECT_NE(text.find("pcqe_service_requests_served_total 2"), std::string::npos);
+  EXPECT_NE(text.find("pcqe_engine_queries_total"), std::string::npos);
+  EXPECT_NE(text.find("pcqe_solver_nodes_expanded_total"), std::string::npos);
+  EXPECT_NE(text.find("pcqe_service_latency_us_bucket"), std::string::npos);
+
+  std::string json = service->MetricsJson();
+  EXPECT_NE(json.find("\"pcqe_service_requests_served_total\":2"),
+            std::string::npos);
+}
+
+TEST_F(QueryServiceTest, AdaptiveSolverLanesExportedAsGauge) {
+  auto service = MakeService({.num_workers = 1});
+  SessionHandle mary = *service->OpenSession("mary", "investment");
+  // required_fraction 1.0 forces a shortfall and thus a solver run.
+  ASSERT_TRUE(
+      service->Submit(mary, {.sql = kCandidateQuery, .required_fraction = 1.0}).ok());
+  Gauge* lanes = service->telemetry()->GetGauge("pcqe_service_solver_lanes");
+  EXPECT_GE(lanes->value(), 1);
+  // A lone in-flight request gets the full hardware budget (capped by the
+  // engine's own setting).
+  size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
+  EXPECT_LE(lanes->value(), static_cast<int64_t>(hw));
+}
+
+TEST_F(QueryServiceTest, SharedRegistryAcrossEngineAndService) {
+  TelemetryRegistry registry;
+  Tracer tracer(8);
+  engine_->AttachTelemetry(&registry, &tracer);
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.registry = &registry;
+  options.tracer = &tracer;
+  auto service = MakeService(options);
+  EXPECT_EQ(service->telemetry(), &registry);
+  EXPECT_EQ(service->tracer(), &tracer);
+  SessionHandle sam = *service->OpenSession("sam", "analysis");
+  ASSERT_TRUE(service->Submit(sam, {.sql = kCandidateQuery}).ok());
+  EXPECT_EQ(registry.GetCounter("pcqe_engine_queries_total")->value(), 1u);
+  EXPECT_EQ(tracer.total_recorded(), 1u);
+}
+
+TEST_F(QueryServiceTest, QueueOverflowLogsAWarning) {
+  CapturingLogSink capture;
+  LogSink* previous = LogConfig::set_sink(&capture);
+  {
+    // Zero workers: queued requests never drain, so the second submission
+    // overflows a capacity-1 queue.
+    auto service = MakeService({.num_workers = 0, .queue_capacity = 1});
+    SessionHandle sam = *service->OpenSession("sam", "analysis");
+    auto first = service->SubmitAsync(sam, {.sql = kCandidateQuery});
+    ASSERT_TRUE(first.ok());
+    auto second = service->SubmitAsync(sam, {.sql = kCandidateQuery});
+    EXPECT_TRUE(second.status().IsResourceExhausted());
+  }
+  LogConfig::set_sink(previous);
+  EXPECT_TRUE(capture.Contains("queue full"));
 }
 
 }  // namespace

@@ -1,0 +1,274 @@
+// Tests for the telemetry subsystem: instruments and registry identity,
+// text/JSON exposition (including a small exposition-format parser), the
+// trace builder/ring, and the pluggable log sink.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace pcqe {
+namespace {
+
+TEST(CounterTest, IncrementsAndReads) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(7);
+  g.Add(-10);
+  EXPECT_EQ(g.value(), -3);
+}
+
+TEST(HistogramTest, BucketsObservations) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Observe(0.5);
+  h.Observe(1.0);  // inclusive upper bound
+  h.Observe(50.0);
+  h.Observe(1e9);  // +Inf bucket
+  Histogram::Snapshot snap = h.snapshot();
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 2u);
+  EXPECT_EQ(snap.counts[1], 0u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.5 + 1.0 + 50.0 + 1e9);
+}
+
+TEST(TelemetryRegistryTest, RegistrationIsIdempotentByName) {
+  TelemetryRegistry registry;
+  Counter* a = registry.GetCounter("pcqe_test_events_total", "help");
+  Counter* b = registry.GetCounter("pcqe_test_events_total");
+  EXPECT_EQ(a, b);
+  Gauge* g1 = registry.GetGauge("pcqe_test_depth");
+  Gauge* g2 = registry.GetGauge("pcqe_test_depth");
+  EXPECT_EQ(g1, g2);
+  Histogram* h1 = registry.GetHistogram("pcqe_test_latency", {1.0, 2.0});
+  Histogram* h2 = registry.GetHistogram("pcqe_test_latency", {1.0, 2.0});
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(TelemetryRegistryTest, PointersSurviveManyRegistrations) {
+  TelemetryRegistry registry;
+  Counter* first = registry.GetCounter("pcqe_test_c0_total");
+  first->Increment();
+  for (int i = 1; i < 200; ++i) {
+    registry.GetCounter("pcqe_test_c" + std::to_string(i) + "_total")->Increment();
+  }
+  // Deque storage: the earliest pointer is still valid and holds its count.
+  EXPECT_EQ(first->value(), 1u);
+  EXPECT_EQ(registry.GetCounter("pcqe_test_c0_total"), first);
+}
+
+// EXPECT-and-bail for value-returning helpers (gtest's ASSERT_* only works
+// in void functions).
+#define ASSERT2_OR_RETURN(cond, ret) \
+  do {                               \
+    EXPECT_TRUE(cond);               \
+    if (!(cond)) return ret;         \
+  } while (0)
+
+/// Minimal parser for the Prometheus text exposition subset RenderText
+/// emits: `# HELP <name> <text>`, `# TYPE <name> <kind>`, and sample lines
+/// `<name>[{le="<bound>"}] <number>`. Returns samples by full line key and
+/// fails the test on any malformed line.
+std::map<std::string, double> ParseExposition(const std::string& text) {
+  std::map<std::string, double> samples;
+  std::string type_for;  // name announced by the last # TYPE line
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    ASSERT2_OR_RETURN(end != std::string::npos, samples);  // must end in \n
+    std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.rfind("# HELP ", 0) == 0) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::string rest = line.substr(7);
+      size_t sp = rest.find(' ');
+      EXPECT_NE(sp, std::string::npos) << line;
+      type_for = rest.substr(0, sp);
+      std::string kind = rest.substr(sp + 1);
+      EXPECT_TRUE(kind == "counter" || kind == "gauge" || kind == "histogram")
+          << line;
+      continue;
+    }
+    size_t sp = line.rfind(' ');
+    EXPECT_NE(sp, std::string::npos) << line;
+    std::string key = line.substr(0, sp);
+    std::string value = line.substr(sp + 1);
+    char* parse_end = nullptr;
+    double v = std::strtod(value.c_str(), &parse_end);
+    EXPECT_EQ(*parse_end, '\0') << "unparseable value in: " << line;
+    // Sample names must extend the instrument announced by # TYPE.
+    EXPECT_EQ(key.rfind(type_for, 0), 0u) << "sample " << key
+                                          << " outside # TYPE " << type_for;
+    EXPECT_EQ(samples.count(key), 0u) << "duplicate sample " << key;
+    samples[key] = v;
+  }
+  return samples;
+}
+
+TEST(TelemetryRegistryTest, RenderTextParses) {
+  TelemetryRegistry registry;
+  registry.GetCounter("pcqe_test_events_total", "events")->Increment(3);
+  registry.GetGauge("pcqe_test_depth", "queue depth")->Set(-2);
+  Histogram* h = registry.GetHistogram("pcqe_test_latency", {1.0, 10.0}, "lat");
+  h->Observe(0.5);
+  h->Observe(5.0);
+  h->Observe(50.0);
+
+  std::map<std::string, double> samples = ParseExposition(registry.RenderText());
+  EXPECT_EQ(samples.at("pcqe_test_events_total"), 3.0);
+  EXPECT_EQ(samples.at("pcqe_test_depth"), -2.0);
+  // Histogram buckets are cumulative, +Inf equals _count.
+  EXPECT_EQ(samples.at("pcqe_test_latency_bucket{le=\"1\"}"), 1.0);
+  EXPECT_EQ(samples.at("pcqe_test_latency_bucket{le=\"10\"}"), 2.0);
+  EXPECT_EQ(samples.at("pcqe_test_latency_bucket{le=\"+Inf\"}"), 3.0);
+  EXPECT_EQ(samples.at("pcqe_test_latency_count"), 3.0);
+  EXPECT_EQ(samples.at("pcqe_test_latency_sum"), 55.5);
+}
+
+TEST(TelemetryRegistryTest, RenderJsonContainsInstruments) {
+  TelemetryRegistry registry;
+  registry.GetCounter("pcqe_test_events_total")->Increment(7);
+  registry.GetGauge("pcqe_test_depth")->Set(4);
+  registry.GetHistogram("pcqe_test_latency", {1.0})->Observe(0.5);
+  std::string json = registry.RenderJson();
+  EXPECT_NE(json.find("\"pcqe_test_events_total\":7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"pcqe_test_depth\":4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  // Balanced braces/brackets (cheap structural sanity; no string values
+  // contain braces by construction).
+  int depth = 0;
+  for (char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(TraceBuilderTest, NestsSpansWithParentLinks) {
+  TraceBuilder builder("unit");
+  size_t outer = builder.BeginSpan("outer");
+  size_t inner = builder.BeginSpan("inner");
+  builder.Annotate(inner, "k", "v");
+  builder.EndSpan(inner);
+  size_t sibling = builder.BeginSpan("sibling");
+  builder.EndSpan(sibling);
+  builder.EndSpan(outer);
+  Trace trace = builder.Finish();
+
+  ASSERT_EQ(trace.spans.size(), 3u);
+  EXPECT_EQ(trace.spans[0].name, "outer");
+  EXPECT_EQ(trace.spans[0].parent, -1);
+  EXPECT_EQ(trace.spans[1].name, "inner");
+  EXPECT_EQ(trace.spans[1].parent, static_cast<int32_t>(outer));
+  EXPECT_EQ(trace.spans[2].name, "sibling");
+  EXPECT_EQ(trace.spans[2].parent, static_cast<int32_t>(outer));
+  ASSERT_EQ(trace.spans[1].annotations.size(), 1u);
+  EXPECT_EQ(trace.spans[1].annotations[0].first, "k");
+  EXPECT_EQ(trace.spans[1].annotations[0].second, "v");
+  for (const Span& span : trace.spans) {
+    EXPECT_GE(span.end_ns, span.start_ns) << span.name;
+    EXPECT_LE(span.end_ns, trace.duration_ns) << span.name;
+  }
+}
+
+TEST(TraceBuilderTest, FinishClosesOpenSpans) {
+  TraceBuilder builder("unit");
+  builder.BeginSpan("left-open");
+  Trace trace = builder.Finish();
+  ASSERT_EQ(trace.spans.size(), 1u);
+  EXPECT_GE(trace.spans[0].end_ns, trace.spans[0].start_ns);
+}
+
+TEST(ScopedSpanTest, ToleratesNullBuilder) {
+  ScopedSpan span(nullptr, "nothing");
+  span.Annotate("k", "v");  // must be a no-op, not a crash
+}
+
+TEST(ScopedSpanTest, ClosesOnScopeExit) {
+  TraceBuilder builder("unit");
+  {
+    ScopedSpan span(&builder, "scoped");
+    span.Annotate("key", "value");
+  }
+  Trace trace = builder.Finish();
+  ASSERT_EQ(trace.spans.size(), 1u);
+  EXPECT_EQ(trace.spans[0].name, "scoped");
+  EXPECT_GE(trace.spans[0].end_ns, trace.spans[0].start_ns);
+}
+
+TEST(TracerTest, RingEvictsOldestBeyondCapacity) {
+  Tracer tracer(3);
+  for (int i = 0; i < 5; ++i) {
+    TraceBuilder builder("t" + std::to_string(i));
+    uint64_t id = tracer.Record(builder.Finish());
+    EXPECT_EQ(id, static_cast<uint64_t>(i + 1));  // ids are 1-based, stable
+  }
+  EXPECT_EQ(tracer.total_recorded(), 5u);
+  std::vector<Trace> traces = tracer.Snapshot();
+  ASSERT_EQ(traces.size(), 3u);
+  EXPECT_EQ(traces[0].id, 5u);  // newest first
+  EXPECT_EQ(traces[2].id, 3u);
+  EXPECT_FALSE(tracer.Get(1).has_value());  // evicted
+  ASSERT_TRUE(tracer.Get(4).has_value());
+  EXPECT_EQ(tracer.Get(4)->label, "t3");
+}
+
+TEST(CapturingLogSinkTest, CapturesAndRestores) {
+  CapturingLogSink capture;
+  LogSink* previous = LogConfig::set_sink(&capture);
+  PCQE_LOG(Warning) << "telemetry test warning " << 42;
+  LogConfig::set_sink(previous);
+  PCQE_LOG(Warning) << "goes to the restored sink";
+
+  std::vector<CapturingLogSink::Record> records = capture.records();
+  ASSERT_EQ(records.size(), 1u);
+  const CapturingLogSink::Record& record = records[0];
+  EXPECT_EQ(record.level, LogLevel::kWarning);
+  EXPECT_EQ(record.message, "telemetry test warning 42");
+  EXPECT_TRUE(capture.Contains("test warning"));
+  EXPECT_FALSE(capture.Contains("restored sink"));
+}
+
+TEST(CapturingLogSinkTest, ThresholdStillApplies) {
+  CapturingLogSink capture;
+  LogSink* previous = LogConfig::set_sink(&capture);
+  PCQE_LOG(Debug) << "below the default threshold";
+  LogConfig::set_sink(previous);
+  EXPECT_TRUE(capture.records().empty());
+}
+
+TEST(TelemetryRegistryTest, ConcurrentRegistrationAndIncrement) {
+  TelemetryRegistry registry;
+  std::vector<std::jthread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < 1000; ++i) {
+        registry.GetCounter("pcqe_test_shared_total")->Increment();
+      }
+    });
+  }
+  threads.clear();  // join
+  EXPECT_EQ(registry.GetCounter("pcqe_test_shared_total")->value(), 4000u);
+}
+
+}  // namespace
+}  // namespace pcqe

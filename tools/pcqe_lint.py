@@ -27,6 +27,11 @@ Rules (ids in brackets; suppress a line with `// pcqe-lint: allow(<rule>)`):
       serializes "parallel" code; submit to the shared pool in
       common/thread_pool.h instead). `std::thread::hardware_concurrency()`
       is fine.
+  [telemetry]             No ad-hoc `std::atomic<uint64_t>` stat counters in
+      src/ outside src/telemetry/. Register a Counter/Gauge on the
+      TelemetryRegistry instead, so every stat shows up in `.metrics` /
+      RenderText with a name and help string. Non-counter atomics (flags,
+      versions) may suppress with `// pcqe-lint: allow(telemetry)`.
 
 Usage:
   pcqe_lint.py [--root DIR] [FILE...]   # lint repo (or explicit files)
@@ -183,6 +188,15 @@ def lint_file(relpath, lines, status_fns):
                     "std::async futures block in their destructor and "
                     "silently serialize; use ThreadPool/ParallelFor from "
                     "common/thread_pool.h"))
+
+        # -- telemetry -----------------------------------------------------
+        if in_src and not relpath.startswith("src/telemetry/") and \
+                re.search(r"\bstd::atomic<\s*(std::)?uint64_t\s*>", code) and \
+                not _allowed(raw, "telemetry"):
+            out.append(Violation(
+                relpath, i, "telemetry",
+                "ad-hoc std::atomic<uint64_t> stat counter; register a "
+                "telemetry Counter/Gauge so it is exported by .metrics"))
 
         # -- discarded-status ---------------------------------------------
         if (in_src or in_tools) and not _allowed(raw, "discarded-status"):

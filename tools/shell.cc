@@ -27,6 +27,7 @@ std::vector<std::string> SplitWords(const std::string& line) {
 
 Shell::Shell(std::ostream* out) : out_(out) {
   engine_ = std::make_unique<PcqeEngine>(&catalog_, RoleGraph(), PolicyStore());
+  engine_->AttachTelemetry(&registry_, &tracer_);
 }
 
 bool Shell::HandleLine(const std::string& line) {
@@ -96,6 +97,10 @@ void Shell::RunCommand(const std::string& line) {
     CmdSession(args);
   } else if (cmd == ".stats") {
     CmdStats();
+  } else if (cmd == ".metrics") {
+    CmdMetrics(args);
+  } else if (cmd == ".trace") {
+    CmdTrace(args);
   } else if (cmd == ".savedb") {
     if (args.size() != 1) {
       out() << "usage: .savedb <directory>\n";
@@ -170,6 +175,8 @@ void Shell::CmdHelp() {
            "  .session <user> [purpose]     open a service session (SQL runs through it)\n"
            "  .session off                  drop back to direct engine submission\n"
            "  .stats                        service counters (cache, queue, latency)\n"
+           "  .metrics [json]               telemetry registry (Prometheus text / JSON)\n"
+           "  .trace [<id>]                 recorded query traces (latest, or by id)\n"
            "  .savedb <dir> | .opendb <dir> persist / restore every table\n"
            "  .saveconfig <file> | .loadconfig <file>  roles + policies\n"
            "  .explain <select>             show the query plan\n"
@@ -322,6 +329,10 @@ void Shell::CmdServe(const std::vector<std::string>& args) {
     return;
   }
   ServiceOptions options;
+  // The service publishes to the shell's registry/ring, so `.metrics` and
+  // `.trace` show one continuous view across direct and served queries.
+  options.registry = &registry_;
+  options.tracer = &tracer_;
   if (!args.empty()) {
     options.num_workers = static_cast<size_t>(std::strtoull(args[0].c_str(), nullptr, 10));
     if (options.num_workers == 0 || options.num_workers > 64) {
@@ -375,6 +386,54 @@ void Shell::CmdStats() {
     return;
   }
   out() << service_->stats().ToString();
+}
+
+void Shell::CmdMetrics(const std::vector<std::string>& args) {
+  if (args.size() > 1 || (args.size() == 1 && args[0] != "json")) {
+    out() << "usage: .metrics [json]\n";
+    return;
+  }
+  bool json = !args.empty();
+  // With a service running, let it refresh its point-in-time gauges first.
+  if (service_ != nullptr) {
+    out() << (json ? service_->MetricsJson() : service_->RenderMetricsText());
+  } else {
+    out() << (json ? registry_.RenderJson() : registry_.RenderText());
+  }
+  if (json) out() << "\n";
+}
+
+void Shell::CmdTrace(const std::vector<std::string>& args) {
+  if (args.size() > 1) {
+    out() << "usage: .trace [<id>]\n";
+    return;
+  }
+  if (!tracer_.enabled()) {
+    out() << "tracing is disabled (PCQE_TELEMETRY=off)\n";
+    return;
+  }
+  if (args.empty()) {
+    std::vector<Trace> traces = tracer_.Snapshot();
+    if (traces.empty()) {
+      out() << "no traces recorded yet (run a query)\n";
+      return;
+    }
+    out() << traces.front().ToString();
+    if (traces.size() > 1) {
+      out() << "-- " << traces.size() << " trace(s) retained; .trace <id> for older:";
+      for (const Trace& t : traces) out() << " " << t.id;
+      out() << "\n";
+    }
+    return;
+  }
+  uint64_t id = std::strtoull(args[0].c_str(), nullptr, 10);
+  std::optional<Trace> trace = tracer_.Get(id);
+  if (!trace.has_value()) {
+    out() << "no trace with id " << args[0] << " (ring keeps the last "
+          << tracer_.Snapshot().size() << ")\n";
+    return;
+  }
+  out() << trace->ToString();
 }
 
 void Shell::CmdProposal() {

@@ -14,6 +14,8 @@
 
 #include "engine/pcqe_engine.h"
 #include "service/query_service.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace pcqe {
 
@@ -45,6 +47,8 @@ class Shell {
   PcqeEngine* engine() { return engine_.get(); }
   QueryService* service() { return service_.get(); }
   bool in_session() const { return session_.has_value(); }
+  TelemetryRegistry* telemetry() { return &registry_; }
+  Tracer* tracer() { return &tracer_; }
   /// @}
 
  private:
@@ -64,11 +68,18 @@ class Shell {
   void CmdServe(const std::vector<std::string>& args);
   void CmdSession(const std::vector<std::string>& args);
   void CmdStats();
+  void CmdMetrics(const std::vector<std::string>& args);
+  void CmdTrace(const std::vector<std::string>& args);
 
   std::ostream& out() { return *out_; }
 
   std::ostream* out_;
   Catalog catalog_;
+  /// Shell-owned telemetry, attached to the engine at construction and
+  /// handed to the service in `.serve`: one registry and one trace ring per
+  /// shell, whether SQL runs direct or through the service.
+  TelemetryRegistry registry_;
+  Tracer tracer_;
   std::unique_ptr<PcqeEngine> engine_;
   /// `.serve` mode: a QueryService over `engine_`; SQL runs through the
   /// active session (`session_`) instead of direct `Submit` while set.

@@ -7,6 +7,7 @@
 #      one binary, so the data-race check is its own build tree scoped to the
 #      tests that actually exercise threads: the service layer plus the
 #      parallel-solver suite (thread pool, D&C fan-out, shared B&B incumbent)
+#      and the fault-injection suite (error/deadline paths under workers)
 #   4. a second configure with the GCC static analyzer (-fanalyzer) and
 #      -Werror, so any analyzer diagnostic fails the build
 # Usage: scripts/analyze.sh
@@ -41,9 +42,10 @@ cmake -B build-tsan -S . $(generator_args_for build-tsan) \
   -DPCQE_SANITIZE=thread \
   -DPCQE_BUILD_BENCHMARKS=OFF -DPCQE_BUILD_EXAMPLES=OFF
 cmake --build build-tsan -j"$(nproc)" \
-  --target service_test service_stress_test parallel_solver_test
+  --target service_test service_stress_test parallel_solver_test \
+           fault_injection_test
 ctest --test-dir build-tsan \
-  -R '^(service_test|service_stress_test|parallel_solver_test)$' \
+  -R '^(service_test|service_stress_test|parallel_solver_test|fault_injection_test)$' \
   --output-on-failure
 
 echo "== [4/4] GCC static analyzer (-fanalyzer -Werror)"

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 
+#include "common/fault_injection.h"
 #include "common/string_util.h"
 #include "strategy/brute_force.h"
 #include "strategy/dnc.h"
@@ -36,6 +37,13 @@ void PcqeEngine::AttachTelemetry(TelemetryRegistry* registry, Tracer* tracer) {
       "pcqe_engine_rows_blocked_total", "Result rows blocked by policy filtering");
   metrics_.proposals = registry_->GetCounter(
       "pcqe_engine_proposals_total", "Strategy proposals computed for shortfalls");
+  metrics_.deadline_exceeded = registry_->GetCounter(
+      "pcqe_engine_deadline_exceeded_total",
+      "Strategy solves stopped by the request deadline");
+  metrics_.partial = registry_->GetCounter(
+      "pcqe_engine_partial_total",
+      "Proposals carrying an anytime (partial) plan: deadline, cancellation "
+      "or node-budget stop");
   metrics_.solve_seconds = registry_->GetHistogram(
       "pcqe_engine_solve_seconds", {0.0001, 0.001, 0.01, 0.1, 1.0, 10.0},
       "Strategy solve wall-clock seconds");
@@ -66,6 +74,7 @@ Result<QueryResult> PcqeEngine::Evaluate(const std::string& sql,
                                          TraceBuilder* trace) const {
   // (1)-(4): evaluate the query and compute result confidences.
   ScopedSpan span(trace, "evaluate");
+  PCQE_INJECT_FAULT(fault_sites::kEngineEvaluate);
   if (metrics_.queries != nullptr) metrics_.queries->Increment();
   return RunQuery(*catalog_, sql, trace);
 }
@@ -125,7 +134,8 @@ Result<QueryOutcome> PcqeEngine::Complete(const QueryRequest& request,
         outcome.proposal,
         FindStrategy({&outcome}, {blocked}, {needed}, outcome.policy.threshold,
                      request.solver,
-                     request.solver_lanes.value_or(solver_parallelism), trace));
+                     request.solver_lanes.value_or(solver_parallelism),
+                     request.deadline, request.cancel, trace));
   }
   return outcome;
 }
@@ -168,7 +178,8 @@ Result<std::vector<QueryOutcome>> PcqeEngine::SubmitBatch(
         StrategyProposal proposal,
         FindStrategy(short_outcomes, short_blocked, short_needed, beta,
                      requests[first_short].solver,
-                     requests[first_short].solver_lanes.value_or(solver_parallelism)));
+                     requests[first_short].solver_lanes.value_or(solver_parallelism),
+                     requests[first_short].deadline, requests[first_short].cancel));
     outcomes[first_short].proposal = std::move(proposal);
   }
   return outcomes;
@@ -177,8 +188,8 @@ Result<std::vector<QueryOutcome>> PcqeEngine::SubmitBatch(
 Result<StrategyProposal> PcqeEngine::FindStrategy(
     const std::vector<const QueryOutcome*>& outcomes,
     const std::vector<std::vector<size_t>>& blocked, const std::vector<size_t>& needed,
-    double beta, SolverKind solver, SolverParallelism lanes,
-    TraceBuilder* trace) const {
+    double beta, SolverKind solver, SolverParallelism lanes, Deadline deadline,
+    const CancelToken* cancel, TraceBuilder* trace) const {
   ScopedSpan span(trace, "solve");
   // Pool the blocked rows' lineages into one arena.
   auto arena = std::make_shared<LineageArena>();
@@ -228,19 +239,54 @@ Result<StrategyProposal> PcqeEngine::FindStrategy(
       case SolverKind::kHeuristic: {
         HeuristicOptions heuristic_options;
         heuristic_options.parallelism = lanes;
+        heuristic_options.deadline = deadline;
+        heuristic_options.cancel = cancel;
+        if (greedy_fallback_under_pressure && !deadline.infinite() &&
+            problem.is_monotone()) {
+          // Prime the exact search with a fast greedy incumbent: B&B then
+          // only explores subtrees that can beat it, and if the deadline
+          // lands mid-search the incumbent is already a feasible anytime
+          // answer. When the greedy pass alone ate the budget, skip the
+          // exact pass and hand back the greedy plan tagged partial (it is
+          // feasible but not proven optimal).
+          GreedyOptions primer;
+          primer.parallelism = lanes;
+          primer.deadline = deadline;
+          primer.cancel = cancel;
+          Result<IncrementSolution> primed = SolveGreedy(problem, primer);
+          if (primed.ok() && primed->feasible) {
+            if (deadline.RemainingSeconds() < pressure_fallback_seconds) {
+              IncrementSolution fallback = std::move(*primed);
+              if (!fallback.partial) {
+                fallback.partial = true;
+                fallback.stop = SolveStop::kDeadline;
+                fallback.search_complete = false;
+              }
+              return fallback;
+            }
+            heuristic_options.initial_upper_bound = primed->total_cost;
+            heuristic_options.initial_assignment = primed->new_confidence;
+          }
+        }
         return SolveHeuristic(problem, heuristic_options);
       }
       case SolverKind::kGreedy: {
         GreedyOptions greedy_options;
         greedy_options.parallelism = lanes;
+        greedy_options.deadline = deadline;
+        greedy_options.cancel = cancel;
         return SolveGreedy(problem, greedy_options);
       }
       case SolverKind::kDnc: {
         DncOptions dnc_options;
         dnc_options.parallelism = lanes;
+        dnc_options.deadline = deadline;
+        dnc_options.cancel = cancel;
         return SolveDnc(problem, dnc_options);
       }
       case SolverKind::kBruteForce:
+        // The reference solver stays un-deadlined: it is the ground truth
+        // the differential harness compares against, never a serving path.
         return SolveBruteForce(problem);
       case SolverKind::kAuto:
         break;
@@ -254,6 +300,8 @@ Result<StrategyProposal> PcqeEngine::FindStrategy(
   if (metrics_.proposals != nullptr) {
     metrics_.proposals->Increment();
     metrics_.solve_seconds->Observe(solution.solve_seconds);
+    if (solution.partial) metrics_.partial->Increment();
+    if (solution.stop == SolveStop::kDeadline) metrics_.deadline_exceeded->Increment();
     const auto items = solution.effort.Items();
     for (size_t i = 0; i < items.size() && i < metrics_.solver_effort.size(); ++i) {
       metrics_.solver_effort[i]->Increment(items[i].second);
@@ -263,6 +311,10 @@ Result<StrategyProposal> PcqeEngine::FindStrategy(
   span.Annotate("cost", FormatDouble(solution.total_cost, 4));
   span.Annotate("feasible", solution.feasible ? "yes" : "no");
   span.Annotate("nodes", std::to_string(solution.nodes_explored));
+  if (solution.partial) {
+    span.Annotate("partial", "yes");
+    span.Annotate("stop", std::string(SolveStopToString(solution.stop)));
+  }
 
   StrategyProposal proposal;
   proposal.needed = true;
@@ -272,6 +324,8 @@ Result<StrategyProposal> PcqeEngine::FindStrategy(
   proposal.algorithm = solution.algorithm;
   proposal.solve_seconds = solution.solve_seconds;
   proposal.effort = solution.effort;
+  proposal.partial = solution.partial;
+  proposal.stop = solution.stop;
   return proposal;
 }
 
@@ -279,6 +333,7 @@ Status PcqeEngine::AcceptProposal(const StrategyProposal& proposal) {
   if (!proposal.needed) {
     return Status::InvalidArgument("proposal carries no improvement actions");
   }
+  PCQE_INJECT_FAULT(fault_sites::kCatalogAccept);
   return improver_.Apply(proposal.actions);
 }
 

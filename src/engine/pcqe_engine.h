@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "improve/improver.h"
@@ -47,6 +48,13 @@ struct QueryRequest {
   /// (hardware threads / active requests) so concurrent requests share the
   /// pool instead of each fanning out to every core.
   std::optional<SolverParallelism> solver_lanes = std::nullopt;
+  /// Absolute budget for the strategy solve (the β filter itself always
+  /// runs in full — a deadline can cost plan optimality, never policy
+  /// compliance). On expiry the proposal carries the solver's anytime
+  /// result tagged `partial`. Infinite by default.
+  Deadline deadline = Deadline::Infinite();
+  /// Optional caller-owned cancellation flag, forwarded to the solvers.
+  const CancelToken* cancel = nullptr;
 };
 
 /// \brief The strategy-finding component's report: what it would cost to
@@ -66,6 +74,10 @@ struct StrategyProposal {
   /// Search-effort counters of the solve that produced `actions`
   /// (deterministic at any lane count; see `SolverEffort`).
   SolverEffort effort;
+  /// True when the solve was stopped early (deadline / cancellation / node
+  /// budget) and `actions` is its best anytime plan; `stop` says why.
+  bool partial = false;
+  SolveStop stop = SolveStop::kComplete;
 };
 
 /// \brief Everything the engine hands back for one request.
@@ -181,6 +193,15 @@ class PcqeEngine {
   /// Confidence-increment granularity δ used when posing strategy problems.
   double improvement_delta = 0.1;
 
+  /// Under a finite request deadline, `kAuto` (and an explicit `kHeuristic`)
+  /// first runs a deadline-bounded greedy pass whose result both primes the
+  /// exact search (initial upper bound + feasible incumbent) and serves as
+  /// the anytime fallback; when the remaining budget is already below
+  /// `pressure_fallback_seconds` the exact pass is skipped entirely and the
+  /// greedy plan is returned tagged `partial` (feasible, not proven optimal).
+  bool greedy_fallback_under_pressure = true;
+  double pressure_fallback_seconds = 0.010;
+
   /// Worker-lane budget for the strategy solvers (0 = hardware concurrency,
   /// 1 = fully sequential). The solvers return identical solutions at any
   /// setting; this only trades solve wall-clock. Threads come from the
@@ -198,12 +219,14 @@ class PcqeEngine {
   /// Builds and solves the increment problem for the blocked rows of one or
   /// more evaluated queries. `blocked[q]` are row indices into
   /// `outcomes[q]->intermediate.rows`; `needed[q]` is how many must flip.
-  /// `lanes` is the resolved per-request lane budget; `trace`, when
-  /// non-null, receives a "solve" span.
+  /// `lanes` is the resolved per-request lane budget; `deadline`/`cancel`
+  /// bound the solve (see `QueryRequest`); `trace`, when non-null, receives
+  /// a "solve" span.
   [[nodiscard]] Result<StrategyProposal> FindStrategy(const std::vector<const QueryOutcome*>& outcomes,
                                         const std::vector<std::vector<size_t>>& blocked,
                                         const std::vector<size_t>& needed, double beta,
                                         SolverKind solver, SolverParallelism lanes,
+                                        Deadline deadline, const CancelToken* cancel,
                                         TraceBuilder* trace = nullptr) const;
 
   /// Cached instrument pointers, registered by `AttachTelemetry`.
@@ -212,6 +235,8 @@ class PcqeEngine {
     Counter* rows_released = nullptr;
     Counter* rows_blocked = nullptr;
     Counter* proposals = nullptr;
+    Counter* deadline_exceeded = nullptr;
+    Counter* partial = nullptr;
     Histogram* solve_seconds = nullptr;
     /// `pcqe_solver_<field>_total`, in `SolverEffort::Items()` order.
     std::vector<Counter*> solver_effort;

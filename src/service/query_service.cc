@@ -4,6 +4,7 @@
 #include <optional>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
@@ -82,9 +83,10 @@ Result<std::future<Result<QueryOutcome>>> QueryService::SubmitAsync(
   pending.enqueued = Clock::now();
   int64_t timeout_ms = pending.request.timeout_ms > 0 ? pending.request.timeout_ms
                                                       : options_.default_timeout_ms;
-  pending.deadline = timeout_ms > 0
-                         ? pending.enqueued + std::chrono::milliseconds(timeout_ms)
-                         : Clock::time_point::max();
+  pending.deadline =
+      timeout_ms > 0
+          ? Deadline::At(pending.enqueued + std::chrono::milliseconds(timeout_ms))
+          : Deadline::Infinite();
   std::future<Result<QueryOutcome>> future = pending.promise.get_future();
 
   {
@@ -92,6 +94,14 @@ Result<std::future<Result<QueryOutcome>>> QueryService::SubmitAsync(
     if (!accepting_) {
       stats_.OnRejected();
       return Status::ResourceExhausted("query service is shut down");
+    }
+    PCQE_INJECT_FAULT(fault_sites::kAdmission);
+    if (options_.shed_watermark > 0 && queue_.size() >= options_.shed_watermark) {
+      stats_.OnShed();
+      return Status::ResourceExhausted(
+          StrFormat("service overloaded (%zu queued, shed watermark %zu); "
+                    "retry later",
+                    queue_.size(), options_.shed_watermark));
     }
     if (queue_.size() >= options_.queue_capacity) {
       stats_.OnRejected();
@@ -110,22 +120,50 @@ Result<std::future<Result<QueryOutcome>>> QueryService::SubmitAsync(
 
 Result<QueryOutcome> QueryService::Submit(const SessionHandle& session,
                                           ServiceRequest request) {
+  int64_t timeout_ms =
+      request.timeout_ms > 0 ? request.timeout_ms : options_.default_timeout_ms;
+  Deadline deadline =
+      timeout_ms > 0 ? Deadline::AfterMillis(timeout_ms) : Deadline::Infinite();
   if (workers_.empty()) {
     // No workers to hand off to: run on the caller's thread.
     stats_.OnSubmitted();
     Clock::time_point start = Clock::now();
-    Result<QueryOutcome> outcome = Execute(session, request, start);
+    Result<QueryOutcome> outcome = Execute(session, request, start, deadline);
     stats_.RecordLatencyUs(ElapsedUs(start));
     return outcome;
   }
-  PCQE_ASSIGN_OR_RETURN(std::future<Result<QueryOutcome>> future,
-                        SubmitAsync(session, std::move(request)));
-  return future.get();
+  // Bounded retry with exponential backoff on retryable admission
+  // rejections (queue full or shed — a shut-down service never comes
+  // back, so that rejection is final). The backoff never outlives the
+  // request's own deadline: sleeping past it would only convert a crisp
+  // rejection into a guaranteed in-queue expiry.
+  for (size_t attempt = 0;; ++attempt) {
+    Result<std::future<Result<QueryOutcome>>> future = SubmitAsync(session, request);
+    if (future.ok()) return future->get();
+    if (!future.status().IsResourceExhausted() ||
+        attempt >= options_.admission_retries) {
+      return future.status();
+    }
+    {
+      std::lock_guard<std::mutex> guard(queue_mu_);
+      if (!accepting_) return future.status();
+    }
+    int64_t backoff_ms = std::min<int64_t>(
+        std::max<int64_t>(1, options_.retry_backoff_ms)
+            << std::min<size_t>(attempt, 8),
+        250);
+    if (deadline.RemainingSeconds() * 1000.0 <= static_cast<double>(backoff_ms)) {
+      return future.status();
+    }
+    stats_.OnRetried();
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+  }
 }
 
 Result<QueryOutcome> QueryService::Execute(const SessionHandle& session,
                                            const ServiceRequest& request,
-                                           Clock::time_point enqueued) {
+                                           Clock::time_point enqueued,
+                                           Deadline deadline) {
   size_t active = active_requests_.fetch_add(1, std::memory_order_relaxed) + 1;
   // One trace per request; the origin is submission time, so the root span
   // includes queue wait. Null when tracing is off — every span below is
@@ -153,6 +191,7 @@ Result<QueryOutcome> QueryService::Execute(const SessionHandle& session,
     std::shared_ptr<const QueryResult> evaluated;
     {
       ScopedSpan lookup_span(tb, "cache-lookup");
+      PCQE_INJECT_FAULT(fault_sites::kCacheLookup);
       evaluated = cache_.Lookup(key, version);
       lookup_span.Annotate("hit", evaluated != nullptr ? "true" : "false");
     }
@@ -167,6 +206,8 @@ Result<QueryOutcome> QueryService::Execute(const SessionHandle& session,
     engine_request.purpose = session.purpose;
     engine_request.required_fraction = request.required_fraction;
     engine_request.solver = request.solver;
+    engine_request.deadline = deadline;
+    engine_request.cancel = request.cancel;
     if (options_.adaptive_solver_lanes) {
       // Share the hardware between in-flight requests: a lone request fans
       // the solver out to the engine's full budget, a saturated service
@@ -188,6 +229,12 @@ Result<QueryOutcome> QueryService::Execute(const SessionHandle& session,
     size_t released = outcome->released.size();
     stats_.OnServed(released, outcome->intermediate.rows.size() - released,
                     outcome->proposal.needed);
+    if (outcome->proposal.partial) {
+      stats_.OnPartialResult();
+      if (outcome->proposal.stop == SolveStop::kDeadline) {
+        stats_.OnSolveDeadlineExceeded();
+      }
+    }
   } else {
     stats_.OnFailed();
   }
@@ -200,7 +247,15 @@ Result<QueryOutcome> QueryService::Execute(const SessionHandle& session,
 }
 
 void QueryService::Process(PendingRequest pending) {
-  if (Clock::now() > pending.deadline) {
+  if (FaultInjector::Global().enabled()) {
+    Status injected = FaultInjector::Global().Probe(fault_sites::kWorkerProcess);
+    if (!injected.ok()) {
+      stats_.OnFailed();
+      pending.promise.set_value(std::move(injected));
+      return;
+    }
+  }
+  if (pending.deadline.Expired()) {
     stats_.OnExpired();
     PCQE_LOG(Warning) << "request expired after "
                       << ElapsedUs(pending.enqueued) / 1000 << "ms in queue";
@@ -211,7 +266,7 @@ void QueryService::Process(PendingRequest pending) {
     return;
   }
   Result<QueryOutcome> outcome =
-      Execute(pending.session, pending.request, pending.enqueued);
+      Execute(pending.session, pending.request, pending.enqueued, pending.deadline);
   stats_.RecordLatencyUs(ElapsedUs(pending.enqueued));
   pending.promise.set_value(std::move(outcome));
 }

@@ -7,8 +7,11 @@
 // single-threaded `PcqeEngine`:
 //
 //   * a fixed-size pool of `std::jthread` workers over a bounded request
-//     queue with admission control (`kResourceExhausted` on overflow) and
-//     per-request deadlines;
+//     queue with admission control (`kResourceExhausted` on overflow),
+//     optional overload shedding that trips before the queue overflows, a
+//     bounded retry-with-backoff loop in the blocking `Submit`, and
+//     per-request deadlines that propagate into the engine's solvers
+//     (anytime partial results; see `QueryRequest::deadline`);
 //   * sessions (session.h) that authenticate once and pin β;
 //   * a shared `ConfidenceResultCache` (result_cache.h) so concurrent
 //     sessions reuse one lineage evaluation per distinct query;
@@ -42,6 +45,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/deadline.h"
 #include "engine/pcqe_engine.h"
 #include "service/result_cache.h"
 #include "service/service_stats.h"
@@ -61,6 +65,18 @@ struct ServiceOptions {
   size_t queue_capacity = 64;
   /// Applied when a request's own `timeout_ms` is 0. 0 = no deadline.
   int64_t default_timeout_ms = 0;
+  /// Blocking `Submit` re-attempts after a retryable `kResourceExhausted`
+  /// admission rejection (queue full or shed — never after shutdown), with
+  /// exponential backoff starting at `retry_backoff_ms` and bounded by the
+  /// request's own deadline. 0 (default) keeps the historical fail-fast
+  /// behavior; `SubmitAsync` never retries.
+  size_t admission_retries = 0;
+  int64_t retry_backoff_ms = 1;
+  /// Overload shedding: reject (`kResourceExhausted`, counted as shed) once
+  /// this many requests are queued, tripping *before* the hard
+  /// `queue_capacity` bound so latecomers fail fast while the queue can
+  /// still absorb retries. 0 (default) disables shedding.
+  size_t shed_watermark = 0;
   /// Entry bound of the confidence-result cache; 0 disables caching.
   size_t cache_capacity = 128;
   /// Metrics registry and trace ring the service publishes to. Borrowed
@@ -89,9 +105,14 @@ struct ServiceRequest {
   double required_fraction = 0.5;
   SolverKind solver = SolverKind::kAuto;
   /// Deadline measured from submission; a request still queued when it
-  /// expires completes with `kResourceExhausted`. 0 = use the service
-  /// default.
+  /// expires completes with `kResourceExhausted`, and a request that reaches
+  /// the engine carries the remaining budget into the strategy solve (on
+  /// expiry mid-solve the outcome's proposal is the solver's best anytime
+  /// plan, tagged `partial`). 0 = use the service default.
   int64_t timeout_ms = 0;
+  /// Optional caller-owned cancellation flag, forwarded into the engine's
+  /// solvers; must outlive the request's future.
+  const CancelToken* cancel = nullptr;
 };
 
 /// \brief Concurrent, policy-compliant query service over one engine.
@@ -167,8 +188,8 @@ class QueryService {
     SessionHandle session;
     ServiceRequest request;
     std::chrono::steady_clock::time_point enqueued;
-    /// `time_point::max()` when the request has no deadline.
-    std::chrono::steady_clock::time_point deadline;
+    /// Infinite when the request has no timeout; also the solve budget.
+    Deadline deadline;
     std::promise<Result<QueryOutcome>> promise;
   };
 
@@ -177,10 +198,12 @@ class QueryService {
   /// Executes one request under the shared catalog lock: cache lookup,
   /// evaluation on miss, per-subject completion. Updates serve/fail/row
   /// counters. `enqueued` is the trace origin (submission time), so the
-  /// recorded trace duration covers queue wait too.
+  /// recorded trace duration covers queue wait too; `deadline` is the
+  /// remaining budget handed to the engine's strategy solve.
   Result<QueryOutcome> Execute(const SessionHandle& session,
                                const ServiceRequest& request,
-                               std::chrono::steady_clock::time_point enqueued);
+                               std::chrono::steady_clock::time_point enqueued,
+                               Deadline deadline);
 
   /// Runs one dequeued request end to end (deadline check, execution,
   /// latency recording) and fulfills its promise.

@@ -30,7 +30,13 @@ ServiceStats::ServiceStats(TelemetryRegistry* registry) {
   failed_ = registry->GetCounter("pcqe_service_requests_failed_total",
                                  "Requests completed with a non-OK engine status");
   rejected_ = registry->GetCounter("pcqe_service_requests_rejected_total",
-                                   "Requests refused at admission (queue full)");
+                                   "Requests refused at admission (queue full or shed)");
+  shed_ = registry->GetCounter(
+      "pcqe_service_requests_shed_total",
+      "Admission rejections at the overload watermark (subset of rejected)");
+  retried_ = registry->GetCounter(
+      "pcqe_service_admission_retries_total",
+      "Blocking-Submit re-attempts after a retryable admission rejection");
   expired_ = registry->GetCounter("pcqe_service_requests_expired_total",
                                   "Requests whose deadline passed while queued");
   shutdown_dropped_ =
@@ -42,6 +48,12 @@ ServiceStats::ServiceStats(TelemetryRegistry* registry) {
                                         "Rows released to subjects");
   proposals_ = registry->GetCounter("pcqe_service_proposals_total",
                                     "Outcomes that carried a costed proposal");
+  partial_results_ = registry->GetCounter(
+      "pcqe_service_partial_results_total",
+      "Served outcomes whose proposal was an anytime (partial) plan");
+  solve_deadline_exceeded_ = registry->GetCounter(
+      "pcqe_service_solve_deadline_exceeded_total",
+      "Served outcomes whose strategy solve was stopped by the deadline");
   latency_us_ = registry->GetHistogram("pcqe_service_latency_us", LatencyBounds(),
                                        "End-to-end request latency (microseconds)");
 }
@@ -51,8 +63,12 @@ void ServiceStats::FillSnapshot(ServiceStatsSnapshot* out) const {
   out->served = served_->value();
   out->failed = failed_->value();
   out->rejected = rejected_->value();
+  out->shed = shed_->value();
+  out->retried = retried_->value();
   out->expired = expired_->value();
   out->shutdown_dropped = shutdown_dropped_->value();
+  out->partial_results = partial_results_->value();
+  out->solve_deadline_exceeded = solve_deadline_exceeded_->value();
   out->policy_blocked_rows = policy_blocked_rows_->value();
   out->released_rows = released_rows_->value();
   out->proposals = proposals_->value();
@@ -73,6 +89,15 @@ std::string ServiceStatsSnapshot::ToString() const {
       static_cast<unsigned long long>(rejected),
       static_cast<unsigned long long>(expired),
       static_cast<unsigned long long>(shutdown_dropped));
+  if (shed + retried + partial_results + solve_deadline_exceeded > 0) {
+    out += StrFormat(
+        "overload: %llu shed, %llu admission retries; %llu partial results "
+        "(%llu by solve deadline)\n",
+        static_cast<unsigned long long>(shed),
+        static_cast<unsigned long long>(retried),
+        static_cast<unsigned long long>(partial_results),
+        static_cast<unsigned long long>(solve_deadline_exceeded));
+  }
   out += StrFormat("rows: %llu released, %llu policy-blocked; %llu proposals\n",
                    static_cast<unsigned long long>(released_rows),
                    static_cast<unsigned long long>(policy_blocked_rows),

@@ -31,9 +31,19 @@ struct ServiceStatsSnapshot {
   uint64_t submitted = 0;        ///< Requests accepted into the queue.
   uint64_t served = 0;           ///< Completed with an OK outcome.
   uint64_t failed = 0;           ///< Completed with a non-OK engine status.
-  uint64_t rejected = 0;         ///< Refused at admission (queue full).
+  uint64_t rejected = 0;         ///< Refused at admission (queue full or shed).
   uint64_t expired = 0;          ///< Deadline passed while queued.
   uint64_t shutdown_dropped = 0; ///< Still queued when the service stopped.
+  /// Breakdown and side counters outside the `submitted` identity: `shed` is
+  /// the subset of `rejected` refused at the overload watermark (before the
+  /// queue was full); `retried` counts blocking-`Submit` re-attempts after a
+  /// retryable rejection (attempts, not requests); `partial_results` counts
+  /// served outcomes whose proposal carried an anytime (partial) plan;
+  /// `solve_deadline_exceeded` the subset stopped by the request deadline.
+  uint64_t shed = 0;
+  uint64_t retried = 0;
+  uint64_t partial_results = 0;
+  uint64_t solve_deadline_exceeded = 0;
   uint64_t policy_blocked_rows = 0;  ///< Rows withheld by confidence policy.
   uint64_t released_rows = 0;        ///< Rows released to subjects.
   uint64_t proposals = 0;        ///< Outcomes that carried a costed proposal.
@@ -66,9 +76,18 @@ class ServiceStats {
 
   void OnSubmitted() { submitted_->Increment(); }
   void OnRejected() { rejected_->Increment(); }
+  /// Overload shed: a kind of admission rejection (both counters move, so
+  /// the snapshot identity keeps holding and `shed` stays a breakdown).
+  void OnShed() {
+    rejected_->Increment();
+    shed_->Increment();
+  }
+  void OnRetried() { retried_->Increment(); }
   void OnExpired() { expired_->Increment(); }
   void OnShutdownDropped() { shutdown_dropped_->Increment(); }
   void OnFailed() { failed_->Increment(); }
+  void OnPartialResult() { partial_results_->Increment(); }
+  void OnSolveDeadlineExceeded() { solve_deadline_exceeded_->Increment(); }
 
   void OnServed(size_t released, size_t blocked, bool proposal) {
     served_->Increment();
@@ -88,8 +107,12 @@ class ServiceStats {
   Counter* served_;
   Counter* failed_;
   Counter* rejected_;
+  Counter* shed_;
+  Counter* retried_;
   Counter* expired_;
   Counter* shutdown_dropped_;
+  Counter* partial_results_;
+  Counter* solve_deadline_exceeded_;
   Counter* policy_blocked_rows_;
   Counter* released_rows_;
   Counter* proposals_;

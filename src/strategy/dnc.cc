@@ -5,12 +5,19 @@
 #include <limits>
 #include <queue>
 
+#include "common/deadline.h"
+#include "common/fault_injection.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 
 namespace pcqe {
 
 namespace {
+
+SolveStop DncStopFrom(StopCause cause) {
+  return cause == StopCause::kCancelled ? SolveStop::kCancelled
+                                        : SolveStop::kDeadline;
+}
 
 /// A group posed as a standalone sub-problem plus solver artifacts.
 struct GroupWork {
@@ -77,10 +84,18 @@ Result<IncrementProblem> BuildSubProblem(const IncrementProblem& problem,
                                  sub_options);
 }
 
+/// Folds the D&C-level budget into a greedy sub-configuration so every
+/// sub-solve observes the same absolute deadline and cancel flag.
+GreedyOptions WithDncBudget(GreedyOptions greedy, const DncOptions& options) {
+  greedy.deadline = Deadline::Sooner(greedy.deadline, options.deadline);
+  if (greedy.cancel == nullptr) greedy.cancel = options.cancel;
+  return greedy;
+}
+
 /// Per-group sub-solvers always run sequentially: the group grid is the
 /// parallel axis, and nested fan-out would only add queue churn.
 GreedyOptions SequentialGreedy(const DncOptions& options) {
-  GreedyOptions greedy = options.greedy;
+  GreedyOptions greedy = WithDncBudget(options.greedy, options);
   greedy.parallelism.threads = 1;
   return greedy;
 }
@@ -103,6 +118,7 @@ Result<size_t> BuildGroupCurve(const IncrementProblem& problem,
                                const DncOptions& options, GroupCurve* out,
                                SolverEffort* effort) {
   size_t iterations = 0;
+  PCQE_INJECT_FAULT(fault_sites::kDncGroup);
   PCQE_ASSIGN_OR_RETURN(GroupWork work,
                         CollectGroup(problem, global, group,
                                      /*respect_deficit=*/false));
@@ -126,6 +142,8 @@ Result<size_t> BuildGroupCurve(const IncrementProblem& problem,
     h.initial_upper_bound = sub_state.total_cost();
     h.max_nodes = options.heuristic_max_nodes;
     h.max_seconds = options.heuristic_max_seconds;
+    h.deadline = options.deadline;
+    h.cancel = options.cancel;
     h.parallelism.threads = 1;
     PCQE_ASSIGN_OR_RETURN(IncrementSolution exact, SolveHeuristic(sub, h));
     iterations += exact.nodes_explored;
@@ -158,7 +176,11 @@ Result<size_t> BuildGroupCurve(const IncrementProblem& problem,
 /// sequential pass.
 Result<size_t> SolveSingleQuery(const IncrementProblem& problem, ConfidenceState* global,
                                 const std::vector<PartitionGroup>& groups,
-                                const DncOptions& options, SolverEffort* effort) {
+                                const DncOptions& options, SolverEffort* effort,
+                                SolveControl* control) {
+  // Phase-boundary poll; the per-group curve builds observe the budget
+  // internally via their greedy/heuristic options.
+  if (control->StopNow()) return static_cast<size_t>(0);
   std::vector<GroupCurve> built(groups.size());
   std::vector<size_t> built_iterations(groups.size(), 0);
   std::vector<SolverEffort> built_effort(groups.size());
@@ -247,6 +269,7 @@ Result<GroupSolve> SolveOneGroup(const IncrementProblem& problem,
                                  const PartitionGroup& group,
                                  const DncOptions& options) {
   GroupSolve out;
+  PCQE_INJECT_FAULT(fault_sites::kDncGroup);
   PCQE_ASSIGN_OR_RETURN(GroupWork work,
                         CollectGroup(problem, view, group,
                                      /*respect_deficit=*/true));
@@ -271,6 +294,8 @@ Result<GroupSolve> SolveOneGroup(const IncrementProblem& problem,
     h.initial_assignment = sub_solution.new_confidence;
     h.max_nodes = options.heuristic_max_nodes;
     h.max_seconds = options.heuristic_max_seconds;
+    h.deadline = options.deadline;
+    h.cancel = options.cancel;
     h.parallelism.threads = 1;
     PCQE_ASSIGN_OR_RETURN(IncrementSolution exact, SolveHeuristic(sub, h));
     out.iterations += exact.nodes_explored;
@@ -333,12 +358,15 @@ bool GroupViewUnchanged(const IncrementProblem& problem, const PartitionGroup& g
 /// every `SolverEffort` counter matches at any lane count.
 Result<size_t> SolveMultiQuery(const IncrementProblem& problem, ConfidenceState* global,
                                const std::vector<PartitionGroup>& groups,
-                               const DncOptions& options, SolverEffort* effort) {
+                               const DncOptions& options, SolverEffort* effort,
+                               SolveControl* control) {
   size_t iterations = 0;
   const size_t lanes = options.parallelism.Resolve();
   size_t g = 0;
   while (g < groups.size()) {
     if (global->Feasible()) break;
+    // Wave-boundary poll: the merged state so far is the anytime result.
+    if (control->StopNow()) break;
 
     const size_t wave_end = std::min(g + kDncWaveWidth, groups.size());
     const size_t wave_size = wave_end - g;
@@ -408,6 +436,8 @@ Result<size_t> SolveMultiQuery(const IncrementProblem& problem, ConfidenceState*
 Result<IncrementSolution> SolveDnc(const IncrementProblem& problem,
                                    const DncOptions& options) {
   Stopwatch timer;
+  SolveControl control(options.deadline, options.cancel,
+                       fault_sites::kDncDeadline);
   ConfidenceState global(problem);
   size_t total_iterations = 0;
   SolverEffort effort;
@@ -417,15 +447,15 @@ Result<IncrementSolution> SolveDnc(const IncrementProblem& problem,
 
     Result<size_t> solved =
         problem.num_queries() == 1 && problem.is_monotone()
-            ? SolveSingleQuery(problem, &global, groups, options, &effort)
-            : SolveMultiQuery(problem, &global, groups, options, &effort);
+            ? SolveSingleQuery(problem, &global, groups, options, &effort, &control)
+            : SolveMultiQuery(problem, &global, groups, options, &effort, &control);
     if (!solved.ok()) return solved.status();
     total_iterations += *solved;
 
     // Top-up: per-group curves can leave a residual deficit (a group's
     // greedy stalled, or rounding in package sizes); close it globally.
-    if (!global.Feasible()) {
-      GreedyOptions top_up = options.greedy;
+    if (!global.Feasible() && !control.StopNow()) {
+      GreedyOptions top_up = WithDncBudget(options.greedy, options);
       top_up.parallelism = options.parallelism;
       size_t top_up_iterations = GreedyRaise(&global, top_up);
       total_iterations += top_up_iterations;
@@ -433,13 +463,25 @@ Result<IncrementSolution> SolveDnc(const IncrementProblem& problem,
     }
 
     // Global refinement over the combined assignment (phase-2 style).
-    effort.greedy_phase2_steps += RefineDown(&global, options.greedy.gain_mode);
+    if (!control.stopped()) {
+      effort.greedy_phase2_steps +=
+          RefineDown(&global, options.greedy.gain_mode, &control);
+    }
   }
 
   IncrementSolution out = MakeSolution(global, "dnc");
   out.nodes_explored = total_iterations;
   out.effort = effort;
   out.solve_seconds = timer.ElapsedSeconds();
+  // Final poll: a budget that expired anywhere — including inside a group's
+  // greedy/exact sub-solve, which shares the same absolute deadline — tags
+  // the merged result partial. This is deliberately the last probe of the
+  // solve, so tests can position an injected expiry at the very end.
+  if (control.StopNow()) {
+    out.stop = DncStopFrom(control.cause());
+    out.partial = true;
+    out.search_complete = false;
+  }
   return out;
 }
 

@@ -47,6 +47,15 @@ struct DncOptions {
   /// global top-up `GreedyRaise` inherits this budget for its gain
   /// precompute.
   SolverParallelism parallelism;
+  /// Absolute budget, folded into every sub-solver (group greedy, bounded
+  /// exact tails, top-up, refinement) and polled at wave/phase boundaries.
+  /// On expiry the merged partial — whatever the applied group solves have
+  /// contributed so far — is returned tagged `partial`. Deadline-stopped
+  /// runs are exempt from the lane-count determinism contract (where the
+  /// budget lands depends on scheduling), exactly like node-budget aborts.
+  Deadline deadline;
+  /// Optional caller-owned cancellation flag, same poll points.
+  const CancelToken* cancel = nullptr;
 };
 
 /// \brief Partition → per-group solve → combine → refine.

@@ -5,11 +5,23 @@
 #include <limits>
 #include <queue>
 
+#include "common/deadline.h"
+#include "common/fault_injection.h"
 #include "common/stopwatch.h"
 
 namespace pcqe {
 
 namespace {
+
+/// Clock poll stride for the sequential phase-1 loop: the cancel flag is
+/// checked every iteration, the clock (and any armed injector) every
+/// `kGreedyDeadlineStride` iterations.
+constexpr uint32_t kGreedyDeadlineStride = 16;
+
+SolveStop GreedyStopFrom(StopCause cause) {
+  return cause == StopCause::kCancelled ? SolveStop::kCancelled
+                                        : SolveStop::kDeadline;
+}
 
 /// Whether base `i` can still be raised by a step.
 bool CanIncrement(const ConfidenceState& state, size_t i) {
@@ -85,7 +97,8 @@ size_t PickFallback(ConfidenceState* state) {
 
 }  // namespace
 
-size_t RefineDown(ConfidenceState* state, GainMode gain_mode) {
+size_t RefineDown(ConfidenceState* state, GainMode gain_mode,
+                  SolveControl* control) {
   const IncrementProblem& p = state->problem();
   size_t steps_down = 0;
   if (!state->Feasible()) return steps_down;
@@ -102,6 +115,9 @@ size_t RefineDown(ConfidenceState* state, GainMode gain_mode) {
 
   for (const auto& [gain, i] : raised) {
     (void)gain;
+    // Per-tuple budget poll: stopping here leaves the rest of the phase-1
+    // spend in place, which can only keep the state feasible.
+    if (control != nullptr && control->StopNow()) break;
     double initial = p.base(i).confidence;
     while (state->prob(i) > initial + kEpsilon) {
       // Step down along the δ-grid anchored at the initial confidence: a
@@ -122,10 +138,18 @@ size_t RefineDown(ConfidenceState* state, GainMode gain_mode) {
 }
 
 size_t GreedyRaise(ConfidenceState* state_ptr, const GreedyOptions& options,
-                   std::vector<GreedyCheckpoint>* checkpoints, SolverEffort* effort) {
+                   std::vector<GreedyCheckpoint>* checkpoints, SolverEffort* effort,
+                   SolveStop* stop) {
   ConfidenceState& state = *state_ptr;
   const IncrementProblem& problem = state.problem();
   const GainMode gain_mode = options.gain_mode;
+  SolveControl control(options.deadline, options.cancel,
+                       fault_sites::kGreedyDeadline);
+  auto note_stop = [&]() {
+    if (stop != nullptr && control.stopped()) {
+      *stop = GreedyStopFrom(control.cause());
+    }
+  };
   size_t max_iterations = options.max_iterations;
   size_t fallback_picks = 0;
   size_t stale_recomputes = 0;
@@ -186,6 +210,7 @@ size_t GreedyRaise(ConfidenceState* state_ptr, const GreedyOptions& options,
     // the maximum (Figure 6 lines 2-11, O(k) per increment).
     size_t iterations = 0;
     while (!state.Feasible() && iterations < max_iterations) {
+      if (control.CheckEvery(kGreedyDeadlineStride)) break;
       size_t best = problem.num_base_tuples();
       double best_gain = 0.0;
       for (size_t i = 0; i < problem.num_base_tuples(); ++i) {
@@ -206,6 +231,7 @@ size_t GreedyRaise(ConfidenceState* state_ptr, const GreedyOptions& options,
       record_checkpoint();
     }
     account(iterations);
+    note_stop();
     return iterations;
   }
 
@@ -260,6 +286,7 @@ size_t GreedyRaise(ConfidenceState* state_ptr, const GreedyOptions& options,
 
   size_t iterations = 0;
   while (!state.Feasible() && iterations < max_iterations) {
+    if (control.CheckEvery(kGreedyDeadlineStride)) break;
     if (queue.empty()) {
       size_t pick = PickFallback(&state);
       if (pick == problem.num_base_tuples()) break;  // genuinely stuck
@@ -290,27 +317,41 @@ size_t GreedyRaise(ConfidenceState* state_ptr, const GreedyOptions& options,
     apply(top.base);
   }
   account(iterations);
+  note_stop();
   return iterations;
 }
 
 Result<IncrementSolution> SolveGreedy(const IncrementProblem& problem,
                                       const GreedyOptions& options) {
   Stopwatch timer;
+  PCQE_INJECT_FAULT(fault_sites::kGreedySolve);
   ConfidenceState state(problem);
   SolverEffort effort;
 
   // ---- Phase 1: aggressive increase. ----
-  size_t iterations = GreedyRaise(&state, options, nullptr, &effort);
+  SolveStop stop = SolveStop::kComplete;
+  size_t iterations = GreedyRaise(&state, options, nullptr, &effort, &stop);
 
   // ---- Phase 2: walk unnecessary increments back down. ----
-  if (options.two_phase) {
-    effort.greedy_phase2_steps += RefineDown(&state, options.gain_mode);
+  SolveControl control(options.deadline, options.cancel,
+                       fault_sites::kGreedyDeadline);
+  if (options.two_phase && stop == SolveStop::kComplete) {
+    effort.greedy_phase2_steps += RefineDown(&state, options.gain_mode, &control);
+  }
+  // Final poll so a budget that expired during (or right after) phase 2
+  // still tags the result partial: feasibility holds, but the refinement
+  // makes no minimality claim.
+  if (stop == SolveStop::kComplete && control.StopNow()) {
+    stop = GreedyStopFrom(control.cause());
   }
 
   IncrementSolution out = MakeSolution(state, options.two_phase ? "greedy" : "greedy_1p");
   out.nodes_explored = iterations;
   out.effort = effort;
   out.solve_seconds = timer.ElapsedSeconds();
+  out.stop = stop;
+  out.partial = stop != SolveStop::kComplete;
+  out.search_complete = !out.partial;
   return out;
 }
 

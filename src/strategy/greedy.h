@@ -6,6 +6,7 @@
 
 #include <cstddef>
 
+#include "common/deadline.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "strategy/problem.h"
@@ -45,6 +46,14 @@ struct GreedyOptions {
   /// pure functions of that state, so the queue — and the solution — is
   /// identical at any setting. Only the lazy-queue path uses it.
   SolverParallelism parallelism;
+  /// Absolute budget: checked every iteration of phase 1 (cancel flag) with
+  /// the clock polled every 16 iterations, and per raised tuple in phase 2.
+  /// On expiry the current state is returned tagged `partial` — phase 1
+  /// stops where it stands (the anytime contract's "phase-1 state") and
+  /// phase 2 is skipped or cut short.
+  Deadline deadline;
+  /// Optional caller-owned cancellation flag, same cadence.
+  const CancelToken* cancel = nullptr;
 };
 
 /// \brief Phase 1: repeatedly apply the δ-increment with the highest gain*
@@ -80,16 +89,24 @@ struct GreedyCheckpoint {
 /// iteration / fallback-pick / stale-recompute counters are accumulated
 /// into it (deterministic at any lane count — phase 1 is a sequential loop;
 /// only the initial gain build fans out, and it is pure).
+/// When `stop` is non-null it receives why the loop ended early
+/// (`SolveStop::kDeadline` / `kCancelled`, per `options.deadline` /
+/// `options.cancel`); a natural end — feasible, stuck or the iteration cap
+/// — leaves it untouched.
 size_t GreedyRaise(ConfidenceState* state, const GreedyOptions& options,
                    std::vector<GreedyCheckpoint>* checkpoints = nullptr,
-                   SolverEffort* effort = nullptr);
+                   SolverEffort* effort = nullptr, SolveStop* stop = nullptr);
 
 /// \brief The phase-2 refinement on an arbitrary feasible state, exposed for
 /// the divide-and-conquer combiner: tuples raised above their initial
 /// confidence are stepped back down (ascending gain* first) while every
 /// query stays satisfied. `state` is modified in place. Returns the number
-/// of δ-steps walked back (the phase-2 effort counter).
-size_t RefineDown(ConfidenceState* state, GainMode gain_mode);
+/// of δ-steps walked back (the phase-2 effort counter). A non-null
+/// `control` is polled per raised tuple; on stop the remaining tuples keep
+/// their phase-1 values (the state stays feasible — refinement only ever
+/// removes provably unnecessary spend).
+size_t RefineDown(ConfidenceState* state, GainMode gain_mode,
+                  SolveControl* control = nullptr);
 
 }  // namespace pcqe
 

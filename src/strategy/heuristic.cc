@@ -7,6 +7,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/deadline.h"
+#include "common/fault_injection.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 
@@ -52,13 +54,26 @@ double CostBetaScratch(const IncrementProblem& problem, size_t base_index,
 }
 
 /// The only cross-lane state of the wave search: the node budget and the
-/// abort latch. Everything that affects the *result* (bounds, incumbents,
+/// stop latch. Everything that affects the *result* (bounds, incumbents,
 /// counters) is unit-local and combined at wave barriers in root-step
 /// order, so the search is deterministic at any lane count.
 struct SearchBudget {
   std::atomic<size_t> nodes{0};
-  std::atomic<bool> aborted{false};
+  /// First stop cause wins (a `SolveStop` value; 0 = still running).
+  std::atomic<uint8_t> stop{0};
+
+  void RecordStop(SolveStop cause) {
+    uint8_t expected = 0;
+    stop.compare_exchange_strong(expected, static_cast<uint8_t>(cause),
+                                 std::memory_order_relaxed);
+  }
+  bool stopped() const { return stop.load(std::memory_order_relaxed) != 0; }
 };
+
+SolveStop FromStopCause(StopCause cause) {
+  return cause == StopCause::kCancelled ? SolveStop::kCancelled
+                                        : SolveStop::kDeadline;
+}
 
 /// Outcome of exploring one root step (one wave unit).
 struct UnitResult {
@@ -79,13 +94,13 @@ class SearchWorker {
  public:
   SearchWorker(const IncrementProblem& problem, const HeuristicOptions& options,
                const std::vector<size_t>& order,
-               const std::vector<double>& suffix_min_step, const Stopwatch& timer,
+               const std::vector<double>& suffix_min_step, SolveControl* control,
                SearchBudget* budget, double wave_bound)
       : problem_(problem),
         options_(options),
         order_(order),
         suffix_min_step_(suffix_min_step),
-        timer_(timer),
+        control_(control),
         budget_(budget),
         bound_(wave_bound),
         state_(problem),
@@ -109,14 +124,16 @@ class SearchWorker {
   }
 
  private:
-  bool BudgetExceeded(size_t total_nodes) {
-    if (total_nodes > options_.max_nodes) return true;
-    // Amortize the clock read; a node is microseconds.
-    if (options_.max_seconds > 0.0 && (total_nodes & 0x3FF) == 0 &&
-        timer_.ElapsedSeconds() > options_.max_seconds) {
-      return true;
+  /// kComplete when the search may continue; the stop cause otherwise.
+  SolveStop BudgetCheck(size_t total_nodes) {
+    if (total_nodes > options_.max_nodes) return SolveStop::kNodeBudget;
+    // Amortize the deadline/cancel poll; a node is microseconds, so the
+    // budget is observed within ~1024 shared node expansions at any lane
+    // count (plus the wave-boundary check in SolveHeuristic).
+    if ((total_nodes & 0x3FF) == 0 && control_->StopNow()) {
+      return FromStopCause(control_->cause());
     }
-    return false;
+    return SolveStop::kComplete;
   }
 
   /// One (tuple, value) node: count it, set the value, prune/record/recurse.
@@ -124,8 +141,8 @@ class SearchWorker {
   bool Visit(size_t depth, size_t var, size_t s) {
     ++result_.effort.nodes_expanded;
     size_t total = budget_->nodes.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (BudgetExceeded(total)) {
-      budget_->aborted.store(true, std::memory_order_relaxed);
+    if (SolveStop stop = BudgetCheck(total); stop != SolveStop::kComplete) {
+      budget_->RecordStop(stop);
       return false;
     }
     double value = problem_.ValueAtStep(var, s);
@@ -195,7 +212,7 @@ class SearchWorker {
   }
 
   void Dfs(size_t depth) {  // NOLINT(misc-no-recursion)
-    if (depth >= order_.size() || budget_->aborted.load(std::memory_order_relaxed)) {
+    if (depth >= order_.size() || budget_->stopped()) {
       return;
     }
     size_t var = order_[depth];
@@ -215,7 +232,7 @@ class SearchWorker {
   const HeuristicOptions& options_;
   const std::vector<size_t>& order_;
   const std::vector<double>& suffix_min_step_;
-  const Stopwatch& timer_;
+  SolveControl* control_;
   SearchBudget* budget_;
   double bound_;  ///< unit-local incumbent bound (starts at the wave bound)
   ConfidenceState state_;
@@ -233,6 +250,15 @@ double CostBeta(const IncrementProblem& problem, size_t base_index) {
 Result<IncrementSolution> SolveHeuristic(const IncrementProblem& problem,
                                          const HeuristicOptions& options) {
   Stopwatch timer;
+  // Fold the legacy relative budget into the absolute deadline so both run
+  // through the same poll points.
+  Deadline budget_deadline = options.deadline;
+  if (options.max_seconds > 0.0) {
+    budget_deadline = Deadline::Sooner(budget_deadline,
+                                       Deadline::AfterSeconds(options.max_seconds));
+  }
+  SolveControl control(budget_deadline, options.cancel,
+                       fault_sites::kHeuristicDeadline);
   if (!problem.is_monotone()) {
     return Status::InvalidArgument(
         "heuristic solver requires a monotone problem (no negation in lineage); "
@@ -317,12 +343,20 @@ Result<IncrementSolution> SolveHeuristic(const IncrementProblem& problem,
   bool stopped = false;
   for (size_t wave_start = 0; wave_start < root_values && !stopped;
        wave_start += kHeuristicRootWaveWidth) {
+    // Wave-boundary poll: small instances may never reach the amortized
+    // per-1024-node check, and an already-expired deadline must stop the
+    // search before the first expansion.
+    if (control.StopNow()) {
+      budget.RecordStop(FromStopCause(control.cause()));
+      break;
+    }
+    PCQE_INJECT_FAULT(fault_sites::kHeuristicWave);
     size_t wave_size = std::min(kHeuristicRootWaveWidth, root_values - wave_start);
     std::vector<UnitResult> units(wave_size);
     double wave_bound = best_cost;
     ParallelFor(options.parallelism, wave_size, [&](size_t u) {
-      SearchWorker worker(problem, options, order, suffix_min_step, timer, &budget,
-                          wave_bound);
+      SearchWorker worker(problem, options, order, suffix_min_step, &control,
+                          &budget, wave_bound);
       units[u] = worker.RunRootStep(wave_start + u);
     });
     for (size_t u = 0; u < wave_size; ++u) {
@@ -341,7 +375,7 @@ Result<IncrementSolution> SolveHeuristic(const IncrementProblem& problem,
         break;
       }
     }
-    if (budget.aborted.load(std::memory_order_relaxed)) stopped = true;
+    if (budget.stopped()) stopped = true;
   }
 
   IncrementSolution out;
@@ -365,7 +399,9 @@ Result<IncrementSolution> SolveHeuristic(const IncrementProblem& problem,
   out.nodes_explored = effort.nodes_expanded;
   out.effort = effort;
   out.solve_seconds = timer.ElapsedSeconds();
-  out.search_complete = !budget.aborted.load();
+  out.stop = static_cast<SolveStop>(budget.stop.load());
+  out.partial = out.stop != SolveStop::kComplete;
+  out.search_complete = !out.partial;
   return out;
 }
 

@@ -7,6 +7,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "strategy/problem.h"
@@ -49,10 +50,18 @@ struct HeuristicOptions {
   std::optional<std::vector<double>> initial_assignment;
 
   /// Node budget; on exhaustion the best incumbent is returned with
-  /// `search_complete = false`. Shared across lanes when parallel.
+  /// `search_complete = false` / `partial = true`. Shared across lanes.
   size_t max_nodes = 500'000'000;
   /// Wall-clock budget in seconds; 0 disables. Same early-return behavior.
   double max_seconds = 0.0;
+  /// Absolute budget, folded with `max_seconds` via `Deadline::Sooner`. On
+  /// expiry the search stops within a bounded number of node expansions
+  /// (checked every 1024 shared nodes and at every wave boundary) and the
+  /// best feasible incumbent — or `initial_assignment`, when supplied and
+  /// never beaten — is returned tagged `partial` / `SolveStop::kDeadline`.
+  Deadline deadline;
+  /// Optional caller-owned cancellation flag, checked on the same cadence.
+  const CancelToken* cancel = nullptr;
 
   /// Multi-root parallel search over fixed-width waves: the first
   /// H1-ordered variable's δ-steps are processed in waves of

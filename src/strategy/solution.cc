@@ -4,6 +4,16 @@
 
 namespace pcqe {
 
+std::string_view SolveStopToString(SolveStop stop) {
+  switch (stop) {
+    case SolveStop::kComplete: return "complete";
+    case SolveStop::kNodeBudget: return "node_budget";
+    case SolveStop::kDeadline: return "deadline";
+    case SolveStop::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
 void SolverEffort::MergeFrom(const SolverEffort& other) {
   nodes_expanded += other.nodes_expanded;
   incumbent_prunes += other.incumbent_prunes;
@@ -55,10 +65,17 @@ std::vector<IncrementAction> IncrementSolution::Actions(
 }
 
 std::string IncrementSolution::ToString(const IncrementProblem& problem) const {
+  std::string partial_note;
+  if (partial) {
+    partial_note = StrFormat(", partial (%.*s)",
+                             static_cast<int>(SolveStopToString(stop).size()),
+                             SolveStopToString(stop).data());
+  }
   std::string out =
-      StrFormat("%s: cost=%s, satisfied=%zu, feasible=%s (%.3fs, %zu nodes)\n",
+      StrFormat("%s: cost=%s, satisfied=%zu, feasible=%s%s (%.3fs, %zu nodes)\n",
                 algorithm.c_str(), FormatDouble(total_cost, 4).c_str(), satisfied_results,
-                feasible ? "yes" : "no", solve_seconds, nodes_explored);
+                feasible ? "yes" : "no", partial_note.c_str(),
+                solve_seconds, nodes_explored);
   for (const IncrementAction& a : Actions(problem)) {
     out += StrFormat("  tuple %llu: %s -> %s (cost %s)\n",
                      static_cast<unsigned long long>(a.base_tuple),

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -60,6 +61,24 @@ struct SolverEffort {
   bool operator==(const SolverEffort&) const = default;
 };
 
+/// \brief Why a solver returned when it did.
+///
+/// Anything other than `kComplete` marks the solution `partial`: the
+/// algorithm was stopped before its natural end and returned its best
+/// anytime state (B&B's incumbent, greedy's phase-1 state, D&C's merged
+/// partial). Partial solutions still satisfy every `ValidateSolution`
+/// invariant — the β filter is never relaxed — they just drop the
+/// optimality / full-coverage claim.
+enum class SolveStop : uint8_t {
+  kComplete = 0,    ///< natural end: the algorithm's full answer
+  kNodeBudget = 1,  ///< `max_nodes` exhausted (exact searches)
+  kDeadline = 2,    ///< `Deadline` / `max_seconds` budget expired
+  kCancelled = 3,   ///< the caller's `CancelToken` fired
+};
+
+/// Canonical lowercase name ("complete", "deadline", ...).
+std::string_view SolveStopToString(SolveStop stop);
+
 /// \brief One base-tuple confidence increment in a reported plan.
 struct IncrementAction {
   LineageVarId base_tuple = 0;
@@ -91,8 +110,15 @@ struct IncrementSolution {
   SolverEffort effort;
   /// False when a node/time budget stopped an exact search early, in which
   /// case the solution is the best found so far and optimality is not
-  /// guaranteed.
+  /// guaranteed. Kept in sync with `partial` (`search_complete == !partial`)
+  /// for callers predating the anytime contract.
   bool search_complete = true;
+  /// Why the solve returned; anything but `kComplete` implies `partial`.
+  SolveStop stop = SolveStop::kComplete;
+  /// True when a deadline, cancellation or search budget stopped the solver
+  /// early and this is its best anytime state. Always β-compliant
+  /// (`ValidateSolution` holds), never optimal-claiming.
+  bool partial = false;
   /// @}
 
   /// The non-trivial increments, for reporting to the user (paper: "the

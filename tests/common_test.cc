@@ -1,9 +1,15 @@
-// Unit tests for src/common: Status/Result, string, math and random utils.
+// Unit tests for src/common: Status/Result, deadlines and cooperative
+// cancellation, fault injection, string, math and random utils.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
 #include <set>
+#include <vector>
 
+#include "common/deadline.h"
+#include "common/fault_injection.h"
 #include "common/math_util.h"
 #include "common/random.h"
 #include "common/result.h"
@@ -232,6 +238,170 @@ TEST(RngTest, ShufflePreservesElements) {
   rng.Shuffle(&v);
   std::multiset<int> ms(v.begin(), v.end());
   EXPECT_EQ(ms, (std::multiset<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  Deadline d;
+  EXPECT_TRUE(d.infinite());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_EQ(d.RemainingSeconds(), std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(Deadline::Infinite().infinite());
+}
+
+TEST(DeadlineTest, ExpiryAndRemainingTrackTheClock) {
+  Deadline past = Deadline::AfterMillis(-10);
+  EXPECT_FALSE(past.infinite());
+  EXPECT_TRUE(past.Expired());
+  EXPECT_LT(past.RemainingSeconds(), 0.0);
+
+  Deadline future = Deadline::AfterSeconds(60.0);
+  EXPECT_FALSE(future.Expired());
+  EXPECT_GT(future.RemainingSeconds(), 50.0);
+  EXPECT_LE(future.RemainingSeconds(), 60.0);
+}
+
+TEST(DeadlineTest, SoonerPicksTheEarlierAndTreatsInfiniteAsLatest) {
+  Deadline soon = Deadline::AfterMillis(10);
+  Deadline late = Deadline::AfterSeconds(60.0);
+  EXPECT_EQ(Deadline::Sooner(soon, late).time_point(), soon.time_point());
+  EXPECT_EQ(Deadline::Sooner(late, soon).time_point(), soon.time_point());
+  EXPECT_EQ(Deadline::Sooner(soon, Deadline::Infinite()).time_point(),
+            soon.time_point());
+  EXPECT_TRUE(
+      Deadline::Sooner(Deadline::Infinite(), Deadline::Infinite()).infinite());
+}
+
+TEST(CancelTokenTest, RequestObserveReset) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.RequestCancel();
+  EXPECT_TRUE(token.cancelled());
+  token.Reset();
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(SolveControlTest, InertControlNeverStops) {
+  SolveControl control;
+  EXPECT_FALSE(control.active());
+  EXPECT_FALSE(control.StopNow());
+  EXPECT_FALSE(control.CheckEvery(1));
+  EXPECT_EQ(control.cause(), StopCause::kNone);
+}
+
+TEST(SolveControlTest, LatchesFirstCauseAndStaysStopped) {
+  CancelToken token;
+  SolveControl control(Deadline::AfterMillis(-1), &token);
+  ASSERT_TRUE(control.active());
+  // Cancellation is checked before the (already expired) deadline.
+  token.RequestCancel();
+  EXPECT_TRUE(control.StopNow());
+  EXPECT_EQ(control.cause(), StopCause::kCancelled);
+  token.Reset();
+  // The cause is latched: resetting the token does not un-stop the control.
+  EXPECT_TRUE(control.StopNow());
+  EXPECT_TRUE(control.stopped());
+  EXPECT_EQ(control.cause(), StopCause::kCancelled);
+}
+
+TEST(SolveControlTest, ExpiredDeadlineStopsWithDeadlineCause) {
+  SolveControl control(Deadline::AfterMillis(-1), nullptr);
+  EXPECT_TRUE(control.StopNow());
+  EXPECT_EQ(control.cause(), StopCause::kDeadline);
+}
+
+TEST(SolveControlTest, CheckEveryPollsCancelEveryCallAndClockOnStride) {
+  CancelToken token;
+  SolveControl control(Deadline::AfterSeconds(60.0), &token);
+  // Far-future deadline: stride ticks alone never stop the control.
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(control.CheckEvery(16));
+  // The cancel flag is observed on the very next call, mid-stride.
+  token.RequestCancel();
+  EXPECT_TRUE(control.CheckEvery(16));
+  EXPECT_EQ(control.cause(), StopCause::kCancelled);
+}
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Global().DisarmAll(); }
+};
+
+TEST_F(FaultInjectorTest, DisarmedProbesAreFreeAndClean) {
+  FaultInjector& injector = FaultInjector::Global();
+  EXPECT_FALSE(injector.enabled());
+  EXPECT_TRUE(injector.Probe(fault_sites::kEngineEvaluate).ok());
+  EXPECT_FALSE(injector.DeadlineFires(fault_sites::kGreedyDeadline));
+  EXPECT_EQ(injector.hits(fault_sites::kEngineEvaluate), 0u);
+}
+
+TEST_F(FaultInjectorTest, FireWindowIsDeterministic) {
+  FaultInjector& injector = FaultInjector::Global();
+  FaultInjector::SiteConfig config;
+  config.fire_after = 2;
+  config.fire_count = 2;
+  config.message = "boom";
+  injector.Arm(fault_sites::kEngineEvaluate, config);
+  EXPECT_TRUE(injector.enabled());
+
+  // Probes 0,1 pass; 2,3 fire; 4+ pass again — and the pattern replays
+  // identically after re-arming (re-arming resets the probe counter).
+  for (int round = 0; round < 2; ++round) {
+    injector.Arm(fault_sites::kEngineEvaluate, config);
+    std::vector<bool> fired;
+    for (int i = 0; i < 6; ++i) {
+      Status s = injector.Probe(fault_sites::kEngineEvaluate);
+      fired.push_back(!s.ok());
+      if (!s.ok()) {
+        EXPECT_EQ(s.code(), StatusCode::kInternal);
+        EXPECT_NE(s.message().find("boom"), std::string::npos);
+      }
+    }
+    EXPECT_EQ(fired, (std::vector<bool>{false, false, true, true, false, false}));
+    EXPECT_EQ(injector.hits(fault_sites::kEngineEvaluate), 6u);
+  }
+}
+
+TEST_F(FaultInjectorTest, ProbabilityIsSeedDeterministic) {
+  FaultInjector& injector = FaultInjector::Global();
+  FaultInjector::SiteConfig config;
+  config.probability = 0.5;
+  config.seed = 42;
+  auto run = [&] {
+    injector.Arm(fault_sites::kCacheLookup, config);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(!injector.Probe(fault_sites::kCacheLookup).ok());
+    }
+    return fired;
+  };
+  std::vector<bool> first = run();
+  EXPECT_EQ(first, run());  // same seed, same coin flips
+  size_t fires = static_cast<size_t>(std::count(first.begin(), first.end(), true));
+  EXPECT_GT(fires, 0u);
+  EXPECT_LT(fires, 64u);
+}
+
+TEST_F(FaultInjectorTest, DeadlineSitesAreStickyWithUnlimitedFireCount) {
+  FaultInjector& injector = FaultInjector::Global();
+  FaultInjector::SiteConfig config;  // fire_after = 0, unlimited
+  injector.Arm(fault_sites::kGreedyDeadline, config);
+  EXPECT_TRUE(injector.DeadlineFires(fault_sites::kGreedyDeadline));
+  EXPECT_TRUE(injector.DeadlineFires(fault_sites::kGreedyDeadline));
+  // Unarmed sites never fire even while another site is armed.
+  EXPECT_FALSE(injector.DeadlineFires(fault_sites::kDncDeadline));
+  injector.DisarmAll();
+  EXPECT_FALSE(injector.enabled());
+  EXPECT_FALSE(injector.DeadlineFires(fault_sites::kGreedyDeadline));
+}
+
+TEST_F(FaultInjectorTest, ArmedSiteActivatesSolveControl) {
+  FaultInjector::SiteConfig config;
+  config.fire_after = 1;  // first poll passes, second fires
+  FaultInjector::Global().Arm(fault_sites::kDncDeadline, config);
+  SolveControl control(Deadline::Infinite(), nullptr, fault_sites::kDncDeadline);
+  ASSERT_TRUE(control.active());
+  EXPECT_FALSE(control.StopNow());
+  EXPECT_TRUE(control.StopNow());
+  EXPECT_EQ(control.cause(), StopCause::kDeadline);
 }
 
 TEST(StopwatchTest, MeasuresElapsedTime) {

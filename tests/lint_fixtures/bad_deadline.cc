@@ -1,0 +1,14 @@
+// pcqe-lint-fixture-path: src/service/deadline_check.cc
+// Fixture: hand-rolled deadline comparison against steady_clock::now();
+// must go through the Deadline helper (common/deadline.h).
+#include <chrono>
+
+namespace pcqe {
+
+using Clock = std::chrono::steady_clock;
+
+bool Expired(Clock::time_point deadline) {
+  return std::chrono::steady_clock::now() > deadline;
+}
+
+}  // namespace pcqe

@@ -1,0 +1,18 @@
+// pcqe-lint-fixture-path: src/service/good_deadline_helper.cc
+// Fixture: budget checks through the Deadline helper are fine, as is
+// elapsed-time arithmetic on now() (no comparison operator adjacent).
+#include <chrono>
+
+#include "common/deadline.h"
+
+namespace pcqe {
+
+using Clock = std::chrono::steady_clock;
+
+bool BudgetLeft(const Deadline& deadline) { return !deadline.Expired(); }
+
+double ElapsedSeconds(Clock::time_point since) {
+  return std::chrono::duration<double>(Clock::now() - since).count();
+}
+
+}  // namespace pcqe

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <future>
 #include <memory>
 #include <string>
@@ -55,13 +56,19 @@ class QueryServiceTest : public ::testing::Test {
     RoleGraph roles;
     ASSERT_TRUE(roles.AddRole("Secretary").ok());
     ASSERT_TRUE(roles.AddRole("Manager").ok());
+    ASSERT_TRUE(roles.AddRole("Auditor").ok());
     ASSERT_TRUE(roles.AddUser("sam").ok());
     ASSERT_TRUE(roles.AddUser("mary").ok());
+    ASSERT_TRUE(roles.AddUser("amy").ok());
     ASSERT_TRUE(roles.AssignRole("sam", "Secretary").ok());
     ASSERT_TRUE(roles.AssignRole("mary", "Manager").ok());
+    ASSERT_TRUE(roles.AssignRole("amy", "Auditor").ok());
     PolicyStore policies;
     ASSERT_TRUE(policies.AddPolicy(roles, {"Secretary", "analysis", 0.05}).ok());
     ASSERT_TRUE(policies.AddPolicy(roles, {"Manager", "investment", 0.06}).ok());
+    // A demanding threshold for the deadline tests: audits release only
+    // high-confidence rows, so large instances genuinely need the solver.
+    ASSERT_TRUE(policies.AddPolicy(roles, {"Auditor", "audit", 0.9}).ok());
     engine_ = std::make_unique<PcqeEngine>(&catalog_, std::move(roles),
                                            std::move(policies));
   }
@@ -433,6 +440,77 @@ TEST_F(QueryServiceTest, SharedRegistryAcrossEngineAndService) {
   ASSERT_TRUE(service->Submit(sam, {.sql = kCandidateQuery}).ok());
   EXPECT_EQ(registry.GetCounter("pcqe_engine_queries_total")->value(), 1u);
   EXPECT_EQ(tracer.total_recorded(), 1u);
+}
+
+TEST_F(QueryServiceTest, ShedWatermarkTripsBeforeQueueOverflow) {
+  // Zero workers: the queue never drains, so admission arithmetic is exact.
+  // Capacity 8 would admit four requests; the watermark sheds at two queued.
+  auto service =
+      MakeService({.num_workers = 0, .queue_capacity = 8, .shed_watermark = 2});
+  SessionHandle sam = *service->OpenSession("sam", "analysis");
+  ASSERT_TRUE(service->SubmitAsync(sam, {.sql = kCandidateQuery}).ok());
+  ASSERT_TRUE(service->SubmitAsync(sam, {.sql = kCandidateQuery}).ok());
+
+  auto shed = service->SubmitAsync(sam, {.sql = kCandidateQuery});
+  ASSERT_FALSE(shed.ok());
+  EXPECT_TRUE(shed.status().IsResourceExhausted());
+  EXPECT_NE(shed.status().message().find("overloaded"), std::string::npos);
+
+  ServiceStatsSnapshot stats = service->stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.rejected, 1u);  // shed requests count as rejected too
+  EXPECT_EQ(stats.submitted, 2u);
+}
+
+TEST_F(QueryServiceTest, DeadlinedSubmitReturnsFeasiblePartialInTime) {
+  // The headline anytime contract: a 50ms deadline on a branch-and-bound
+  // instance far too large to finish must come back promptly with a
+  // feasible plan tagged partial — the primed greedy incumbent at worst.
+  //
+  // 30 base tuples at confidence 0.1 behind six DISTINCT groups, β = 0.9,
+  // δ = 0.02: the exact search space is astronomically larger than 50ms,
+  // while one greedy pass is microseconds.
+  Table* metrics = *catalog_.CreateTable(
+      "Metrics", Schema({{"company", DataType::kString, ""},
+                         {"score", DataType::kDouble, ""}}));
+  for (int group = 0; group < 6; ++group) {
+    for (int row = 0; row < 5; ++row) {
+      ASSERT_TRUE(metrics
+                      ->Insert({Value::String("corp" + std::to_string(group)),
+                                Value::Double(group * 10.0 + row)},
+                               0.1, *MakeLinearCost(100.0))
+                      .ok());
+    }
+  }
+  engine_->improvement_delta = 0.02;
+
+  auto service = MakeService({.num_workers = 1});
+  SessionHandle amy = *service->OpenSession("amy", "audit");
+  ServiceRequest request;
+  request.sql = "SELECT DISTINCT company FROM metrics";
+  request.required_fraction = 1.0;
+  request.solver = SolverKind::kHeuristic;
+  request.timeout_ms = 50;
+
+  auto started = std::chrono::steady_clock::now();
+  Result<QueryOutcome> outcome = service->Submit(amy, request);
+  double elapsed_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - started)
+                          .count();
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+
+  ASSERT_TRUE(outcome->proposal.needed);
+  EXPECT_TRUE(outcome->proposal.feasible);
+  EXPECT_TRUE(outcome->proposal.partial);
+  EXPECT_EQ(outcome->proposal.stop, SolveStop::kDeadline);
+  // ~2x the deadline, plus generous scheduler/sanitizer headroom: the
+  // solver polls the clock every 1024 node expansions, so even slowed-down
+  // builds stop well inside this bound.
+  EXPECT_LE(elapsed_ms, 300.0);
+
+  ServiceStatsSnapshot stats = service->stats();
+  EXPECT_GE(stats.partial_results, 1u);
+  EXPECT_GE(stats.solve_deadline_exceeded, 1u);
 }
 
 TEST_F(QueryServiceTest, QueueOverflowLogsAWarning) {

@@ -371,6 +371,112 @@ TEST(MultiQueryTest, AllSolversSatisfyEveryQuery) {
   EXPECT_GE(dnc.total_cost, brute.total_cost - 1e-9);
 }
 
+TEST(AnytimeTest, PreExpiredDeadlineReturnsValidatedPartial) {
+  // A deadline that has already passed: every deadline-aware solver must
+  // return a clean, grid-valid anytime result tagged partial — never an
+  // error, never a fabricated completion claim.
+  WorkloadParams params;
+  params.num_base_tuples = 20;
+  params.num_results = 10;
+  params.bases_per_result = 3;
+  params.or_group_size = 2;
+  params.seed = 5;
+  Workload w = GenerateWorkload(params);
+  IncrementProblem p = *w.ToProblem();
+  Deadline expired = Deadline::AfterMillis(-1);
+
+  GreedyOptions greedy_options;
+  greedy_options.deadline = expired;
+  IncrementSolution greedy = *SolveGreedy(p, greedy_options);
+  ExpectValid(p, greedy);
+  EXPECT_TRUE(greedy.partial);
+  EXPECT_EQ(greedy.stop, SolveStop::kDeadline);
+  EXPECT_FALSE(greedy.search_complete);
+
+  DncOptions dnc_options;
+  dnc_options.deadline = expired;
+  IncrementSolution dnc = *SolveDnc(p, dnc_options);
+  ExpectValid(p, dnc);
+  EXPECT_TRUE(dnc.partial);
+  EXPECT_EQ(dnc.stop, SolveStop::kDeadline);
+
+  HeuristicOptions heuristic_options;
+  heuristic_options.deadline = expired;
+  IncrementSolution heuristic = *SolveHeuristic(p, heuristic_options);
+  ExpectValid(p, heuristic);
+  EXPECT_TRUE(heuristic.partial);
+  EXPECT_EQ(heuristic.stop, SolveStop::kDeadline);
+}
+
+TEST(AnytimeTest, CancelTokenStopsEverySolver) {
+  WorkloadParams params;
+  params.num_base_tuples = 20;
+  params.num_results = 10;
+  params.bases_per_result = 3;
+  params.or_group_size = 2;
+  params.seed = 5;
+  Workload w = GenerateWorkload(params);
+  IncrementProblem p = *w.ToProblem();
+  CancelToken token;
+  token.RequestCancel();  // pre-cancelled: observed at the first poll
+
+  GreedyOptions greedy_options;
+  greedy_options.cancel = &token;
+  IncrementSolution greedy = *SolveGreedy(p, greedy_options);
+  ExpectValid(p, greedy);
+  EXPECT_TRUE(greedy.partial);
+  EXPECT_EQ(greedy.stop, SolveStop::kCancelled);
+
+  DncOptions dnc_options;
+  dnc_options.cancel = &token;
+  IncrementSolution dnc = *SolveDnc(p, dnc_options);
+  ExpectValid(p, dnc);
+  EXPECT_TRUE(dnc.partial);
+  EXPECT_EQ(dnc.stop, SolveStop::kCancelled);
+
+  HeuristicOptions heuristic_options;
+  heuristic_options.cancel = &token;
+  IncrementSolution heuristic = *SolveHeuristic(p, heuristic_options);
+  ExpectValid(p, heuristic);
+  EXPECT_TRUE(heuristic.partial);
+  EXPECT_EQ(heuristic.stop, SolveStop::kCancelled);
+}
+
+TEST(AnytimeTest, HeuristicDeadlineKeepsBestIncumbentFound) {
+  // Seed the search with a feasible incumbent, then expire immediately: the
+  // anytime result is exactly that incumbent — feasible, partial, validated.
+  RunningExample ex;
+  IncrementProblem p = ex.Problem();
+  IncrementSolution greedy = *SolveGreedy(p);
+  ASSERT_TRUE(greedy.feasible);
+
+  HeuristicOptions options;
+  options.deadline = Deadline::AfterMillis(-1);
+  options.initial_upper_bound = greedy.total_cost;
+  options.initial_assignment = greedy.new_confidence;
+  IncrementSolution s = *SolveHeuristic(p, options);
+  ExpectValid(p, s);
+  EXPECT_TRUE(s.feasible);
+  EXPECT_TRUE(s.partial);
+  EXPECT_NEAR(s.total_cost, greedy.total_cost, 1e-9);
+}
+
+TEST(AnytimeTest, GenerousDeadlineDoesNotChangeTheSolve) {
+  // A deadline nowhere near expiry must not perturb the result: same cost,
+  // same completion claim as the un-deadlined solve.
+  RunningExample ex;
+  IncrementProblem p = ex.Problem();
+  IncrementSolution plain = *SolveGreedy(p);
+
+  GreedyOptions options;
+  options.deadline = Deadline::AfterSeconds(300.0);
+  IncrementSolution timed = *SolveGreedy(p, options);
+  EXPECT_FALSE(timed.partial);
+  EXPECT_EQ(timed.stop, SolveStop::kComplete);
+  EXPECT_DOUBLE_EQ(timed.total_cost, plain.total_cost);
+  EXPECT_EQ(timed.new_confidence, plain.new_confidence);
+}
+
 TEST(SolutionTest, ActionsListOnlyRealIncrements) {
   RunningExample ex;
   IncrementProblem p = ex.Problem();

@@ -32,6 +32,13 @@ Rules (ids in brackets; suppress a line with `// pcqe-lint: allow(<rule>)`):
       TelemetryRegistry instead, so every stat shows up in `.metrics` /
       RenderText with a name and help string. Non-counter atomics (flags,
       versions) may suppress with `// pcqe-lint: allow(telemetry)`.
+  [deadline]              No raw `steady_clock::now()` deadline comparisons
+      in src/strategy/ or src/service/. Budget checks must go through the
+      `Deadline` helper (common/deadline.h: `Expired()`, `RemainingSeconds()`,
+      `SolveControl`), which owns the infinite-deadline convention and the
+      stop-cause latch; hand-rolled `now() < deadline` comparisons silently
+      diverge on those. Arithmetic on `now()` (elapsed-time measurement) is
+      fine — only comparisons are flagged.
 
 Usage:
   pcqe_lint.py [--root DIR] [FILE...]   # lint repo (or explicit files)
@@ -60,6 +67,14 @@ STATUS_FN_RE = re.compile(
 # `Fn(...)` as the whole statement on one line.
 CALL_STMT_RE = re.compile(
     r"^(?:[A-Za-z_]\w*(?:\(\))?(?:\.|->|::))*([A-Za-z_]\w*)\s*\(.*\)\s*;\s*(?://.*)?$"
+)
+# A steady_clock::now() (or the conventional `Clock` alias for it) adjacent
+# to a comparison operator — a hand-rolled deadline check. Template closers
+# like `duration_cast<...>(now())` do not match: a `(` intervenes between
+# the `>` and the call.
+DEADLINE_CMP_RE = re.compile(
+    r"(?:steady_clock|\bClock)::now\s*\(\)\s*[<>]=?"
+    r"|[<>]=?\s*(?:std::chrono::)?(?:steady_clock|\bClock)::now\s*\(\)"
 )
 
 
@@ -197,6 +212,15 @@ def lint_file(relpath, lines, status_fns):
                 relpath, i, "telemetry",
                 "ad-hoc std::atomic<uint64_t> stat counter; register a "
                 "telemetry Counter/Gauge so it is exported by .metrics"))
+
+        # -- deadline ------------------------------------------------------
+        if relpath.startswith(("src/strategy/", "src/service/")) and \
+                DEADLINE_CMP_RE.search(code) and not _allowed(raw, "deadline"):
+            out.append(Violation(
+                relpath, i, "deadline",
+                "raw steady_clock::now() deadline comparison; use the "
+                "Deadline helper (Expired()/RemainingSeconds()/SolveControl "
+                "from common/deadline.h)"))
 
         # -- discarded-status ---------------------------------------------
         if (in_src or in_tools) and not _allowed(raw, "discarded-status"):

@@ -83,6 +83,19 @@ void Shell::RunCommand(const std::string& line) {
       fraction_ = std::strtod(args[0].c_str(), nullptr);
       out() << "required fraction = " << FormatDouble(fraction_) << "\n";
     }
+  } else if (cmd == ".timeout") {
+    if (args.size() != 1) {
+      out() << "usage: .timeout <ms>  (0 = unlimited)\n";
+    } else {
+      timeout_ms_ = std::strtoll(args[0].c_str(), nullptr, 10);
+      if (timeout_ms_ < 0) timeout_ms_ = 0;
+      if (timeout_ms_ == 0) {
+        out() << "query timeout off\n";
+      } else {
+        out() << "query timeout = " << timeout_ms_
+              << "ms (expired solves return a partial proposal)\n";
+      }
+    }
   } else if (cmd == ".policy") {
     CmdPolicy(args);
   } else if (cmd == ".proposal") {
@@ -166,6 +179,8 @@ void Shell::CmdHelp() {
            "  .user use <name>              query as this user\n"
            "  .purpose <name>               set the query purpose\n"
            "  .fraction <0..1>              required released fraction\n"
+           "  .timeout <ms>                 solve budget per query (0 = unlimited);\n"
+           "                                expired solves return a partial proposal\n"
            "  .policy add <role> <purpose> <beta>\n"
            "  .policy list\n"
            "  .proposal                     show the last improvement proposal\n"
@@ -443,7 +458,12 @@ void Shell::CmdProposal() {
   }
   out() << "algorithm " << last_proposal_.algorithm << ", total cost "
         << FormatDouble(last_proposal_.total_cost, 4)
-        << (last_proposal_.feasible ? "" : " (infeasible: best effort)") << "\n";
+        << (last_proposal_.feasible ? "" : " (infeasible: best effort)");
+  if (last_proposal_.partial) {
+    out() << " [partial: " << SolveStopToString(last_proposal_.stop)
+          << " — anytime plan, not proven optimal]";
+  }
+  out() << "\n";
   for (const IncrementAction& a : last_proposal_.actions) {
     std::string row = "tuple " + std::to_string(a.base_tuple);
     if (auto tuple = catalog_.FindTuple(a.base_tuple); tuple.ok()) {
@@ -476,6 +496,7 @@ void Shell::RunSql(const std::string& sql) {
     ServiceRequest request;
     request.sql = sql;
     request.required_fraction = fraction_;
+    request.timeout_ms = timeout_ms_;
     auto outcome = service_->Submit(*session_, std::move(request));
     if (!outcome.ok()) {
       out() << outcome.status().ToString() << "\n";
@@ -491,6 +512,7 @@ void Shell::RunSql(const std::string& sql) {
       out() << "improvement available: cost "
             << FormatDouble(last_proposal_.total_cost, 4) << " via "
             << last_proposal_.algorithm
+            << (last_proposal_.partial ? " [partial]" : "")
             << " (.proposal to inspect, .accept to apply)\n";
     }
     last_result_ = std::move(outcome->intermediate);
@@ -515,6 +537,7 @@ void Shell::RunSql(const std::string& sql) {
   request.user = user_;
   request.purpose = purpose_;
   request.required_fraction = fraction_;
+  if (timeout_ms_ > 0) request.deadline = Deadline::AfterMillis(timeout_ms_);
   auto outcome = engine_->Submit(request);
   if (!outcome.ok()) {
     out() << outcome.status().ToString() << "\n";
@@ -529,7 +552,9 @@ void Shell::RunSql(const std::string& sql) {
     has_proposal_ = true;
     out() << "improvement available: cost "
           << FormatDouble(last_proposal_.total_cost, 4) << " via "
-          << last_proposal_.algorithm << " (.proposal to inspect, .accept to apply)\n";
+          << last_proposal_.algorithm
+          << (last_proposal_.partial ? " [partial]" : "")
+          << " (.proposal to inspect, .accept to apply)\n";
   }
   last_result_ = std::move(outcome->intermediate);
 }

@@ -43,6 +43,7 @@ class Shell {
   const std::string& user() const { return user_; }
   const std::string& purpose() const { return purpose_; }
   double fraction() const { return fraction_; }
+  int64_t timeout_ms() const { return timeout_ms_; }
   Catalog* catalog() { return &catalog_; }
   PcqeEngine* engine() { return engine_.get(); }
   QueryService* service() { return service_.get(); }
@@ -88,6 +89,8 @@ class Shell {
   std::string user_;
   std::string purpose_ = "general";
   double fraction_ = 1.0;
+  /// `.timeout`: per-query solve budget in milliseconds; 0 = unlimited.
+  int64_t timeout_ms_ = 0;
   std::string pending_sql_;
   StrategyProposal last_proposal_;
   bool has_proposal_ = false;

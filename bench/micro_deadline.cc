@@ -7,9 +7,12 @@
 //
 // The heuristic rows mirror the engine's pressure path: the search is primed
 // with a greedy incumbent (upper bound + assignment), so an expiring deadline
-// falls back to a feasible plan instead of an empty one. The D&C rows run the
-// raw solver: at the tightest budgets its merged partial may be infeasible,
-// which the `feasible` column records honestly.
+// falls back to a feasible plan instead of an empty one. The D&C rows get
+// the same guarantee from SolveDnc itself: under a finite deadline it runs
+// a deadline-bounded greedy primer and falls back to that incumbent when
+// the budget kills the fill mid-raise, so the `feasible` column should stay
+// true down to the tightest budgets (it records the actual verdict either
+// way; a primer that itself ran out of time leaves an infeasible partial).
 //
 // Emits one machine-readable line per (solver, deadline) cell:
 //   BENCH {"bench":"micro_deadline","solver":...,"deadline_ms":...,

@@ -10,6 +10,12 @@
 #      and the fault-injection suite (error/deadline paths under workers)
 #   4. a second configure with the GCC static analyzer (-fanalyzer) and
 #      -Werror, so any analyzer diagnostic fails the build
+#   5. clang Thread Safety Analysis (-Wthread-safety -Werror) over the
+#      library and tools — the compile-time lock-discipline gate — plus the
+#      negative-compile fixture check. Skipped with a notice when clang is
+#      not installed; TSan (leg 3) still covers the dynamic side.
+#   6. clang-tidy (bugprone/concurrency/performance checks from the repo
+#      .clang-tidy) over src/ and tools/. Skipped when absent.
 # Usage: scripts/analyze.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -25,10 +31,23 @@ generator_args_for() {
   printf '%s' "${GENERATOR_ARGS[*]}"
 }
 
-echo "== [1/4] lint"
+# First clang/clang++ pair on PATH, trying bare names then versioned ones.
+find_clang() {
+  local cxx
+  for cxx in clang++ clang++-19 clang++-18 clang++-17 clang++-16 clang++-15 \
+      clang++-14; do
+    if command -v "$cxx" > /dev/null 2>&1; then
+      printf '%s' "$cxx"
+      return 0
+    fi
+  done
+  return 1
+}
+
+echo "== [1/6] lint"
 scripts/lint.sh
 
-echo "== [2/4] ASan+UBSan test suite"
+echo "== [2/6] ASan+UBSan test suite"
 cmake -B build-asan -S . $(generator_args_for build-asan) \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPCQE_SANITIZE="address;undefined" \
@@ -36,7 +55,7 @@ cmake -B build-asan -S . $(generator_args_for build-asan) \
 cmake --build build-asan -j"$(nproc)"
 ctest --test-dir build-asan -j"$(nproc)" --output-on-failure
 
-echo "== [3/4] TSan concurrency tests"
+echo "== [3/6] TSan concurrency tests"
 cmake -B build-tsan -S . $(generator_args_for build-tsan) \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DPCQE_SANITIZE=thread \
@@ -48,7 +67,7 @@ ctest --test-dir build-tsan \
   -R '^(service_test|service_stress_test|parallel_solver_test|fault_injection_test)$' \
   --output-on-failure
 
-echo "== [4/4] GCC static analyzer (-fanalyzer -Werror)"
+echo "== [4/6] GCC static analyzer (-fanalyzer -Werror)"
 # Analyze the library and tools only: gtest/benchmark headers are not ours
 # and -fanalyzer over them is slow and noisy.
 cmake -B build-analyzer -S . $(generator_args_for build-analyzer) \
@@ -57,4 +76,42 @@ cmake -B build-analyzer -S . $(generator_args_for build-analyzer) \
   -DPCQE_BUILD_TESTS=OFF -DPCQE_BUILD_BENCHMARKS=OFF -DPCQE_BUILD_EXAMPLES=OFF
 cmake --build build-analyzer -j"$(nproc)"
 
-echo "analyze: lint, sanitizers, data-race check, and static analyzer all clean"
+echo "== [5/6] clang thread-safety analysis (-Wthread-safety -Werror)"
+if CLANG_CXX=$(find_clang); then
+  # Library and tools only, mirroring the -fanalyzer leg: the annotations
+  # live in src/ and tools/; tests and benches are single-threaded callers
+  # outside the analyzed locking discipline.
+  cmake -B build-tsa -S . $(generator_args_for build-tsa) \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_COMPILER="$CLANG_CXX" \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    -DPCQE_THREAD_SAFETY=ON -DPCQE_WERROR=ON \
+    -DPCQE_BUILD_TESTS=OFF -DPCQE_BUILD_BENCHMARKS=OFF -DPCQE_BUILD_EXAMPLES=OFF
+  cmake --build build-tsa -j"$(nproc)"
+  # Fixture gate: each bad_*.cc must be rejected, each good_*.cc accepted.
+  tests/thread_safety_compile_test.sh src tests/thread_safety "$CLANG_CXX"
+else
+  echo "SKIP: clang not installed; thread-safety analysis not run" \
+       "(the annotations are no-ops under GCC — install clang to verify the" \
+       "lock discipline at compile time)"
+fi
+
+echo "== [6/6] clang-tidy"
+if command -v clang-tidy > /dev/null 2>&1; then
+  # clang-tidy needs a compilation database; reuse the TSA tree if clang was
+  # found above, else generate one with the default compiler.
+  TIDY_BUILD=build-tsa
+  if [[ ! -f "$TIDY_BUILD/compile_commands.json" ]]; then
+    TIDY_BUILD=build-tidy
+    cmake -B "$TIDY_BUILD" -S . $(generator_args_for "$TIDY_BUILD") \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+      -DPCQE_BUILD_TESTS=OFF -DPCQE_BUILD_BENCHMARKS=OFF -DPCQE_BUILD_EXAMPLES=OFF
+  fi
+  find src tools -name '*.cc' -print0 |
+    xargs -0 clang-tidy -p "$TIDY_BUILD" --warnings-as-errors='*' --quiet
+else
+  echo "SKIP: clang-tidy not installed"
+fi
+
+echo "analyze: lint, sanitizers, data-race check, and static analyzers all clean"

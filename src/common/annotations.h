@@ -1,0 +1,145 @@
+// Capability-annotated locking primitives for Clang Thread Safety Analysis.
+//
+// All locking in src/ goes through the wrappers below (enforced by the
+// `raw-mutex` lint rule): `pcqe::Mutex`, `pcqe::SharedMutex`, and the RAII
+// guards `MutexLock`, `ReaderLock`, `WriterLock`. Fields protected by a lock
+// are annotated `PCQE_GUARDED_BY(mu_)`; helpers that assume a lock is already
+// held are annotated `PCQE_REQUIRES(mu_)` / `PCQE_REQUIRES_SHARED(mu_)`.
+// Under clang the annotations compile to thread-safety attributes and the
+// `-Wthread-safety -Wthread-safety-beta -Werror` leg in scripts/analyze.sh
+// turns lock-discipline violations into build errors; under GCC/MSVC every
+// macro expands to nothing and the wrappers are zero-cost veneers over the
+// standard mutexes, so runtime behavior is identical on every toolchain.
+//
+// What the analysis proves (and what it does not) is documented in
+// DESIGN.md §11 "Static analysis architecture".
+
+#ifndef PCQE_COMMON_ANNOTATIONS_H_
+#define PCQE_COMMON_ANNOTATIONS_H_
+
+#include <mutex>
+#include <shared_mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define PCQE_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef PCQE_THREAD_ANNOTATION
+#define PCQE_THREAD_ANNOTATION(x)  // no-op on GCC/MSVC
+#endif
+
+#define PCQE_CAPABILITY(x) PCQE_THREAD_ANNOTATION(capability(x))
+#define PCQE_SCOPED_CAPABILITY PCQE_THREAD_ANNOTATION(scoped_lockable)
+#define PCQE_GUARDED_BY(x) PCQE_THREAD_ANNOTATION(guarded_by(x))
+#define PCQE_PT_GUARDED_BY(x) PCQE_THREAD_ANNOTATION(pt_guarded_by(x))
+#define PCQE_REQUIRES(...) \
+  PCQE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define PCQE_REQUIRES_SHARED(...) \
+  PCQE_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define PCQE_ACQUIRE(...) \
+  PCQE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define PCQE_ACQUIRE_SHARED(...) \
+  PCQE_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define PCQE_RELEASE(...) \
+  PCQE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define PCQE_RELEASE_SHARED(...) \
+  PCQE_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define PCQE_RELEASE_GENERIC(...) \
+  PCQE_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+#define PCQE_TRY_ACQUIRE(...) \
+  PCQE_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define PCQE_EXCLUDES(...) PCQE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define PCQE_RETURN_CAPABILITY(x) PCQE_THREAD_ANNOTATION(lock_returned(x))
+#define PCQE_NO_THREAD_SAFETY_ANALYSIS \
+  PCQE_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace pcqe {
+
+// Exclusive mutex carrying the `capability` attribute so the analyzer can
+// track which code paths hold it. Use through `MutexLock` (or
+// `std::condition_variable_any::wait` on an existing `MutexLock`).
+class PCQE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() PCQE_ACQUIRE() { mu_.lock(); }      // pcqe-lint: allow(concurrency)
+  void Unlock() PCQE_RELEASE() { mu_.unlock(); }  // pcqe-lint: allow(concurrency)
+  bool TryLock() PCQE_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+// Reader–writer mutex; writers use `WriterLock`, readers `ReaderLock`.
+class PCQE_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() PCQE_ACQUIRE() { mu_.lock(); }      // pcqe-lint: allow(concurrency)
+  void Unlock() PCQE_RELEASE() { mu_.unlock(); }  // pcqe-lint: allow(concurrency)
+  void LockShared() PCQE_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() PCQE_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+// RAII exclusive guard over `Mutex`. Also satisfies BasicLockable
+// (`lock()`/`unlock()`) so it can be handed to
+// `std::condition_variable_any::wait`, which releases and re-acquires the
+// lock internally — those transitions are invisible to the analysis, hence
+// the PCQE_NO_THREAD_SAFETY_ANALYSIS on the lowercase methods.
+class PCQE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PCQE_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() PCQE_RELEASE() { mu_.Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  // BasicLockable surface for std::condition_variable_any only; do not call
+  // directly — wait() leaves the lock held on return, matching the scope.
+  void lock() PCQE_NO_THREAD_SAFETY_ANALYSIS { mu_.Lock(); }
+  void unlock() PCQE_NO_THREAD_SAFETY_ANALYSIS { mu_.Unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+
+// RAII shared (reader) guard over `SharedMutex`.
+class PCQE_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) PCQE_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  // Scoped guards release whichever mode they hold; the analyzer models the
+  // destructor as a generic release so shared acquisition type-checks.
+  ~ReaderLock() PCQE_RELEASE_GENERIC() { mu_.UnlockShared(); }
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+// RAII exclusive (writer) guard over `SharedMutex`.
+class PCQE_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) PCQE_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterLock() PCQE_RELEASE() { mu_.Unlock(); }
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+}  // namespace pcqe
+
+#endif  // PCQE_COMMON_ANNOTATIONS_H_

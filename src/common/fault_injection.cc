@@ -45,25 +45,25 @@ const std::vector<const char*>& FaultInjector::KnownSites() {
 }
 
 void FaultInjector::Arm(const std::string& site, SiteConfig config) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   sites_[site] = SiteState{std::move(config), 0};
   enabled_.store(true, std::memory_order_relaxed);
 }
 
 void FaultInjector::Disarm(const std::string& site) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   sites_.erase(site);
   if (sites_.empty()) enabled_.store(false, std::memory_order_relaxed);
 }
 
 void FaultInjector::DisarmAll() {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   sites_.clear();
   enabled_.store(false, std::memory_order_relaxed);
 }
 
 bool FaultInjector::FireDecision(const char* site) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   auto it = sites_.find(site);
   if (it == sites_.end()) return false;
   SiteState& state = it->second;
@@ -85,7 +85,7 @@ bool FaultInjector::FireDecision(const char* site) {
 Status FaultInjector::Probe(const char* site) {
   if (!enabled()) return Status::OK();
   if (!FireDecision(site)) return Status::OK();
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   auto it = sites_.find(site);
   if (it == sites_.end()) return Status::OK();
   const SiteConfig& config = it->second.config;
@@ -101,7 +101,7 @@ bool FaultInjector::DeadlineFires(const char* site) {
 }
 
 uint64_t FaultInjector::hits(const std::string& site) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   auto it = sites_.find(site);
   return it == sites_.end() ? 0 : it->second.probes;
 }

@@ -9,11 +9,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/status.h"
 
 namespace pcqe {
@@ -107,10 +107,10 @@ class FaultInjector {
   };
 
   FaultInjector() = default;
-  bool FireDecision(const char* site);
+  bool FireDecision(const char* site) PCQE_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, SiteState> sites_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, SiteState> sites_ PCQE_GUARDED_BY(mu_);
   std::atomic<bool> enabled_{false};
 };
 

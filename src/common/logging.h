@@ -7,11 +7,12 @@
 #include <atomic>
 #include <cstdlib>
 #include <iostream>
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/annotations.h"
 
 namespace pcqe {
 
@@ -53,8 +54,9 @@ class StderrLogSink : public LogSink {
   void Write(LogLevel level, const char* file, int line,
              const std::string& message) override {
     std::ostringstream out;
-    out << "[" << LogLevelName(level) << " " << file << ":" << line << "] " << message;
-    std::cerr << out.str() << std::endl;
+    out << "[" << LogLevelName(level) << " " << file << ":" << line << "] " << message
+        << '\n';
+    std::cerr << out.str();
   }
 };
 
@@ -70,18 +72,18 @@ class CapturingLogSink : public LogSink {
 
   void Write(LogLevel level, const char* file, int line,
              const std::string& message) override {
-    std::scoped_lock lock(mu_);
+    MutexLock lock(mu_);
     records_.push_back({level, file, line, message});
   }
 
   std::vector<Record> records() const {
-    std::scoped_lock lock(mu_);
+    MutexLock lock(mu_);
     return records_;
   }
 
   /// Whether any captured message contains `needle`.
   bool Contains(const std::string& needle) const {
-    std::scoped_lock lock(mu_);
+    MutexLock lock(mu_);
     for (const Record& r : records_) {
       if (r.message.find(needle) != std::string::npos) return true;
     }
@@ -89,8 +91,8 @@ class CapturingLogSink : public LogSink {
   }
 
  private:
-  mutable std::mutex mu_;
-  std::vector<Record> records_;
+  mutable Mutex mu_;
+  std::vector<Record> records_ PCQE_GUARDED_BY(mu_);
 };
 
 /// \brief Process-wide log configuration.

@@ -32,8 +32,8 @@ void ThreadPool::WorkerLoop(std::stop_token stop) {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (!cv_.wait(lock, stop, [this] { return !queue_.empty(); })) {
+      MutexLock lock(mu_);
+      if (!cv_.wait(lock, stop, [this] { return HasQueuedTask(); })) {
         return;  // stop requested and nothing left to drain
       }
       task = std::move(queue_.front());
@@ -46,13 +46,13 @@ void ThreadPool::WorkerLoop(std::stop_token stop) {
 }
 
 size_t ThreadPool::queue_depth() const {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::scoped_lock lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
   cv_.notify_one();
@@ -68,13 +68,18 @@ struct ForState {
   ForState(size_t n_in, const std::function<void(size_t)>& fn_in)
       : n(n_in), fn(&fn_in) {}
 
+  // Wait predicate for ParallelFor: invoked by `cv.wait` with `mu` held, so
+  // the guarded read is opted out of the analysis (see ThreadPool::
+  // HasQueuedTask for the rationale).
+  bool AllDone() const PCQE_NO_THREAD_SAFETY_ANALYSIS { return completed == n; }
+
   const size_t n;
   const std::function<void(size_t)>* fn;  // outlives all fn calls: the caller
                                           // blocks until completed == n
   std::atomic<size_t> next{0};
-  std::mutex mu;
-  std::condition_variable cv;
-  size_t completed = 0;  // guarded by mu
+  Mutex mu;
+  std::condition_variable_any cv;
+  size_t completed PCQE_GUARDED_BY(mu) = 0;
 };
 
 void RunLane(ForState& state) {
@@ -86,7 +91,7 @@ void RunLane(ForState& state) {
     ++done;
   }
   if (done != 0) {
-    std::scoped_lock lock(state.mu);
+    MutexLock lock(state.mu);
     state.completed += done;
     if (state.completed == state.n) state.cv.notify_all();
   }
@@ -107,8 +112,8 @@ void ThreadPool::ParallelFor(size_t n, size_t lanes,
     Submit([state] { RunLane(*state); });
   }
   RunLane(*state);
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock, [&] { return state->completed == state->n; });
+  MutexLock lock(state->mu);
+  state->cv.wait(lock, [&] { return state->AllDone(); });
 }
 
 ThreadPool& ThreadPool::Shared() {

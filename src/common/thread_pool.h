@@ -17,9 +17,10 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.h"
 
 namespace pcqe {
 
@@ -82,10 +83,17 @@ class ThreadPool {
  private:
   void WorkerLoop(std::stop_token stop);
 
-  mutable std::mutex mu_;
+  // Wait predicate for WorkerLoop: invoked by `cv_.wait` with `mu_` held,
+  // through a release/re-acquire cycle the analysis cannot model, so the
+  // check is opted out instead of annotated PCQE_REQUIRES(mu_).
+  bool HasQueuedTask() const PCQE_NO_THREAD_SAFETY_ANALYSIS {
+    return !queue_.empty();
+  }
+
+  mutable Mutex mu_;
   std::condition_variable_any cv_;
-  std::deque<std::function<void()>> queue_;  // guarded by mu_
-  std::atomic<size_t> busy_{0};              // workers inside a task
+  std::deque<std::function<void()>> queue_ PCQE_GUARDED_BY(mu_);
+  std::atomic<size_t> busy_{0};  // workers inside a task
   std::vector<std::jthread> workers_;
 };
 

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/deadline.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
@@ -114,10 +115,15 @@ struct QueryOutcome {
 ///
 /// Const-correctness doubles as the concurrency contract: the whole read
 /// path (`Submit`, `SubmitBatch`, `Evaluate`, `Complete`) is `const`, and
-/// `AcceptProposal` is the only member that mutates the catalog. A serving
-/// layer may therefore run reads through a `const PcqeEngine&` under a
-/// shared (reader) lock and reserve exclusive locking for `AcceptProposal`
-/// — the compiler proves nothing else writes.
+/// `AcceptProposal` is the only member that mutates the catalog. The engine
+/// owns the reader–writer lock (`catalog_mu()`) that makes the contract
+/// operational but never takes it itself: concurrent callers hold a
+/// `ReaderLock` across the read path and a `WriterLock` around
+/// `AcceptProposal`, and under clang the `PCQE_REQUIRES*` annotations turn
+/// a missing lock into a compile error. Strictly single-threaded callers
+/// outside the analyzed tree (unit tests, benches) may call lock-free —
+/// with one thread there is nothing to race — but everything the analyzer
+/// sees (the library and the shell) takes the lock.
 class PcqeEngine {
  public:
   /// The engine borrows the catalog (it must outlive the engine) and owns
@@ -137,10 +143,21 @@ class PcqeEngine {
   TelemetryRegistry* telemetry() const { return registry_; }
   Tracer* tracer() const { return tracer_; }
 
+  /// The reader–writer lock over engine/catalog state. Concurrent callers
+  /// hold it shared across the read path (`Submit`, `SubmitBatch`,
+  /// `Evaluate`, `Complete`) and exclusive around `AcceptProposal`; the
+  /// engine itself never locks, so callers control the critical-section
+  /// extent (e.g. the service pairs a cache lookup with the evaluation
+  /// under one shared hold).
+  SharedMutex& catalog_mu() const PCQE_RETURN_CAPABILITY(catalog_mu_) {
+    return catalog_mu_;
+  }
+
   /// Runs steps 1-3 above. When a `Tracer` is attached and enabled, records
   /// one trace per call ("submit" root with evaluate / policy-filter / solve
   /// child spans) and sets `QueryOutcome::trace_id`.
-  [[nodiscard]] Result<QueryOutcome> Submit(const QueryRequest& request) const;
+  [[nodiscard]] Result<QueryOutcome> Submit(const QueryRequest& request) const
+      PCQE_REQUIRES_SHARED(catalog_mu_);
 
   /// Runs several requests as one batch (§4's multi-query extension): the
   /// strategy problem spans all blocked results and must satisfy every
@@ -149,7 +166,8 @@ class PcqeEngine {
   /// `kInvalidArgument`. Per-request outcomes carry a shared proposal
   /// (attached to the first outcome whose request needed it).
   [[nodiscard]] Result<std::vector<QueryOutcome>> SubmitBatch(
-      const std::vector<QueryRequest>& requests) const;
+      const std::vector<QueryRequest>& requests) const
+      PCQE_REQUIRES_SHARED(catalog_mu_);
 
   /// Step 1 alone: evaluates the SQL and computes result confidences. The
   /// returned `QueryResult` is user-independent (no policy applied), which
@@ -158,7 +176,8 @@ class PcqeEngine {
   /// non-null an "evaluate" span (with parse/plan/execute/lineage children)
   /// is added.
   [[nodiscard]] Result<QueryResult> Evaluate(const std::string& sql,
-                                             TraceBuilder* trace = nullptr) const;
+                                             TraceBuilder* trace = nullptr) const
+      PCQE_REQUIRES_SHARED(catalog_mu_);
 
   /// Steps 2-3 on an already-evaluated result: resolves the policy for the
   /// request's subject, filters, and runs strategy finding on a shortfall.
@@ -168,12 +187,14 @@ class PcqeEngine {
   /// trail) and "solve" children is added.
   [[nodiscard]] Result<QueryOutcome> Complete(const QueryRequest& request,
                                               QueryResult intermediate,
-                                              TraceBuilder* trace = nullptr) const;
+                                              TraceBuilder* trace = nullptr) const
+      PCQE_REQUIRES_SHARED(catalog_mu_);
 
   /// Applies a proposal's increments to the database. The caller re-submits
   /// the query afterwards to receive the enlarged result set. Sole mutator
   /// of catalog state; bumps `Catalog::confidence_version()`.
-  [[nodiscard]] Status AcceptProposal(const StrategyProposal& proposal);
+  [[nodiscard]] Status AcceptProposal(const StrategyProposal& proposal)
+      PCQE_REQUIRES(catalog_mu_);
 
   /// \name Component access.
   /// @{
@@ -214,7 +235,8 @@ class PcqeEngine {
   /// policy and splits `outcome->intermediate.rows` into released/blocked.
   /// Returns how many more rows must clear the threshold (0 = satisfied).
   [[nodiscard]] Result<size_t> FilterOne(const QueryRequest& request, QueryOutcome* outcome,
-                                         std::vector<size_t>* blocked) const;
+                                         std::vector<size_t>* blocked) const
+      PCQE_REQUIRES_SHARED(catalog_mu_);
 
   /// Builds and solves the increment problem for the blocked rows of one or
   /// more evaluated queries. `blocked[q]` are row indices into
@@ -227,7 +249,8 @@ class PcqeEngine {
                                         const std::vector<size_t>& needed, double beta,
                                         SolverKind solver, SolverParallelism lanes,
                                         Deadline deadline, const CancelToken* cancel,
-                                        TraceBuilder* trace = nullptr) const;
+                                        TraceBuilder* trace = nullptr) const
+      PCQE_REQUIRES_SHARED(catalog_mu_);
 
   /// Cached instrument pointers, registered by `AttachTelemetry`.
   struct EngineMetrics {
@@ -241,6 +264,10 @@ class PcqeEngine {
     /// `pcqe_solver_<field>_total`, in `SolverEffort::Items()` order.
     std::vector<Counter*> solver_effort;
   };
+
+  /// See `catalog_mu()`. Mutable: the lock is taken (by callers) around
+  /// const reads too.
+  mutable SharedMutex catalog_mu_;
 
   Catalog* catalog_;
   RoleGraph roles_;

@@ -66,9 +66,8 @@ Result<SessionHandle> QueryService::OpenSession(const std::string& user,
   // Shared lock: session opening reads role/policy configuration, which the
   // exclusive path (Accept) never touches, but holding the read lock keeps
   // the resolved β consistent with any concurrently completing requests.
-  std::shared_lock<std::shared_mutex> lock(catalog_mu_);
-  const PcqeEngine& engine = *engine_;
-  return sessions_.Open(engine.roles(), engine.policies(), user, purpose);
+  ReaderLock lock(engine_->catalog_mu());
+  return sessions_.Open(*engine_->roles(), *engine_->policies(), user, purpose);
 }
 
 Status QueryService::CloseSession(uint64_t session_id) {
@@ -90,7 +89,7 @@ Result<std::future<Result<QueryOutcome>>> QueryService::SubmitAsync(
   std::future<Result<QueryOutcome>> future = pending.promise.get_future();
 
   {
-    std::lock_guard<std::mutex> guard(queue_mu_);
+    MutexLock guard(queue_mu_);
     if (!accepting_) {
       stats_.OnRejected();
       return Status::ResourceExhausted("query service is shut down");
@@ -145,7 +144,7 @@ Result<QueryOutcome> QueryService::Submit(const SessionHandle& session,
       return future.status();
     }
     {
-      std::lock_guard<std::mutex> guard(queue_mu_);
+      MutexLock guard(queue_mu_);
       if (!accepting_) return future.status();
     }
     int64_t backoff_ms = std::min<int64_t>(
@@ -180,13 +179,15 @@ Result<QueryOutcome> QueryService::Execute(const SessionHandle& session,
                                                           ElapsedUs(enqueued))));
     }
 
-    std::shared_lock<std::shared_mutex> lock(catalog_mu_);
-    const PcqeEngine& engine = *engine_;
+    // No `const PcqeEngine&` alias here: the thread-safety analysis matches
+    // capability expressions syntactically, so the locked object and the
+    // call targets must both spell `engine_->`.
+    ReaderLock lock(engine_->catalog_mu());
 
     // The version is read under the same shared lock as the evaluation, so
     // a cached entry can never mix confidences from before and after an
     // interleaved Accept.
-    uint64_t version = engine.catalog().confidence_version();
+    uint64_t version = engine_->catalog()->confidence_version();
     std::string key = NormalizeSql(request.sql);
     std::shared_ptr<const QueryResult> evaluated;
     {
@@ -196,7 +197,7 @@ Result<QueryOutcome> QueryService::Execute(const SessionHandle& session,
       lookup_span.Annotate("hit", evaluated != nullptr ? "true" : "false");
     }
     if (evaluated == nullptr) {
-      PCQE_ASSIGN_OR_RETURN(QueryResult fresh, engine.Evaluate(request.sql, tb));
+      PCQE_ASSIGN_OR_RETURN(QueryResult fresh, engine_->Evaluate(request.sql, tb));
       evaluated = cache_.Insert(key, version, std::move(fresh));
     }
 
@@ -214,7 +215,7 @@ Result<QueryOutcome> QueryService::Execute(const SessionHandle& session,
       // degrades toward one lane each. Counters and solutions are
       // lane-count independent, so this only trades wall clock.
       size_t hw = std::max<size_t>(1, std::thread::hardware_concurrency());
-      size_t budget = engine.solver_parallelism.Resolve();
+      size_t budget = engine_->solver_parallelism.Resolve();
       size_t lanes = std::max<size_t>(
           1, std::min(budget, hw / std::max<size_t>(1, active)));
       engine_request.solver_lanes = SolverParallelism{lanes};
@@ -222,7 +223,7 @@ Result<QueryOutcome> QueryService::Execute(const SessionHandle& session,
     }
     // Completion copies the shared evaluation into the outcome: rows are
     // duplicated, the lineage arena is shared by shared_ptr and read-only.
-    return engine.Complete(engine_request, *evaluated, tb);
+    return engine_->Complete(engine_request, *evaluated, tb);
   }();
 
   if (outcome.ok()) {
@@ -275,10 +276,10 @@ void QueryService::WorkerLoop(std::stop_token stop) {
   while (true) {
     PendingRequest pending;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
+      MutexLock lock(queue_mu_);
       // Wakes on new work or stop; after a stop request the predicate still
       // wins while the queue is non-empty, so shutdown drains gracefully.
-      bool has_work = queue_cv_.wait(lock, stop, [this] { return !queue_.empty(); });
+      bool has_work = queue_cv_.wait(lock, stop, [this] { return HasPendingRequest(); });
       if (!has_work) return;  // stop requested and queue drained
       pending = std::move(queue_.front());
       queue_.pop_front();
@@ -291,13 +292,13 @@ Status QueryService::Accept(const StrategyProposal& proposal) {
   // Exclusive: the single writer. AcceptProposal routes every confidence
   // write through Catalog::SetConfidence, which bumps the version and thus
   // retires all cached evaluations keyed on the old one.
-  std::unique_lock<std::shared_mutex> lock(catalog_mu_);
+  WriterLock lock(engine_->catalog_mu());
   return engine_->AcceptProposal(proposal);
 }
 
 void QueryService::Shutdown() {
   {
-    std::lock_guard<std::mutex> guard(queue_mu_);
+    MutexLock guard(queue_mu_);
     if (!accepting_ && workers_.empty() && queue_.empty()) return;  // already down
     accepting_ = false;
   }
@@ -309,7 +310,7 @@ void QueryService::Shutdown() {
   // fail them rather than breaking their promises.
   std::deque<PendingRequest> leftover;
   {
-    std::lock_guard<std::mutex> guard(queue_mu_);
+    MutexLock guard(queue_mu_);
     leftover.swap(queue_);
   }
   for (PendingRequest& pending : leftover) {
@@ -333,7 +334,7 @@ ServiceStatsSnapshot QueryService::stats() const {
 }
 
 size_t QueryService::queue_depth() const {
-  std::lock_guard<std::mutex> guard(queue_mu_);
+  MutexLock guard(queue_mu_);
   return queue_.size();
 }
 

@@ -17,14 +17,16 @@
 //     sessions reuse one lineage evaluation per distinct query;
 //   * built-in counters (service_stats.h).
 //
-// Concurrency protocol (lock order: catalog_mu_ -> cache-internal mutex;
-// queue_mu_ is never held together with either):
+// Concurrency protocol (lock order: engine catalog_mu -> cache-internal
+// mutex; queue_mu_ is never held together with either):
 //
-//   * `catalog_mu_` is a reader–writer lock over all engine/catalog state.
-//     Workers execute the engine's const read path under a shared lock;
-//     `Accept` — the only mutator, wrapping `PcqeEngine::AcceptProposal` —
-//     takes it exclusively and implicitly invalidates the cache by bumping
-//     `Catalog::confidence_version()`.
+//   * The engine's `catalog_mu()` is a reader–writer lock over all
+//     engine/catalog state. Workers execute the engine's const read path
+//     under a shared lock; `Accept` — the only mutator, wrapping
+//     `PcqeEngine::AcceptProposal` — takes it exclusively and implicitly
+//     invalidates the cache by bumping `Catalog::confidence_version()`.
+//     Under clang the engine's `PCQE_REQUIRES*` annotations make this
+//     discipline compile-checked (see common/annotations.h).
 //   * Role/policy *configuration* must be complete before requests are
 //     submitted concurrently (the shell's `.serve` mode obeys this: its REPL
 //     is sequential, so config commands never overlap an in-flight request).
@@ -39,12 +41,11 @@
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/deadline.h"
 #include "engine/pcqe_engine.h"
 #include "service/result_cache.h"
@@ -148,8 +149,8 @@ class QueryService {
   [[nodiscard]] Result<QueryOutcome> Submit(const SessionHandle& session,
                                             ServiceRequest request);
 
-  /// Applies an improvement proposal under the exclusive catalog lock. The
-  /// confidence-version bump makes every cached evaluation stale.
+  /// Applies an improvement proposal under the engine's exclusive catalog
+  /// lock. The confidence-version bump makes every cached evaluation stale.
   [[nodiscard]] Status Accept(const StrategyProposal& proposal);
 
   /// Stops admission, lets workers drain the queue, joins them, and fails
@@ -195,6 +196,14 @@ class QueryService {
 
   void WorkerLoop(std::stop_token stop);
 
+  /// Wait predicate for WorkerLoop: invoked by `queue_cv_.wait` with
+  /// `queue_mu_` held, through a release/re-acquire cycle the analysis
+  /// cannot model, so the check is opted out instead of annotated
+  /// PCQE_REQUIRES(queue_mu_).
+  bool HasPendingRequest() const PCQE_NO_THREAD_SAFETY_ANALYSIS {
+    return !queue_.empty();
+  }
+
   /// Executes one request under the shared catalog lock: cache lookup,
   /// evaluation on miss, per-subject completion. Updates serve/fail/row
   /// counters. `enqueued` is the trace origin (submission time), so the
@@ -222,9 +231,6 @@ class QueryService {
   TelemetryRegistry* registry_;  // never null after construction
   Tracer* tracer_;               // never null after construction
 
-  /// Reader–writer lock over engine/catalog state (see file comment).
-  std::shared_mutex catalog_mu_;
-
   SessionManager sessions_;
   ConfidenceResultCache cache_;
   ServiceStats stats_;
@@ -241,10 +247,10 @@ class QueryService {
   Gauge* pool_queue_depth_gauge_;
   Gauge* pool_busy_workers_gauge_;
 
-  mutable std::mutex queue_mu_;
+  mutable Mutex queue_mu_;
   std::condition_variable_any queue_cv_;
-  std::deque<PendingRequest> queue_;
-  bool accepting_ = true;
+  std::deque<PendingRequest> queue_ PCQE_GUARDED_BY(queue_mu_);
+  bool accepting_ PCQE_GUARDED_BY(queue_mu_) = true;
 
   std::vector<std::jthread> workers_;
 };

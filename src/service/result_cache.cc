@@ -24,7 +24,7 @@ std::string NormalizeSql(const std::string& sql) {
 }
 
 void ConfidenceResultCache::AttachTelemetry(TelemetryRegistry* registry) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   hits_counter_ = registry->GetCounter("pcqe_cache_hits_total",
                                        "Confidence-result cache lookup hits");
   misses_counter_ = registry->GetCounter("pcqe_cache_misses_total",
@@ -37,7 +37,7 @@ void ConfidenceResultCache::AttachTelemetry(TelemetryRegistry* registry) {
 
 std::shared_ptr<const QueryResult> ConfidenceResultCache::Lookup(
     const std::string& normalized_sql, uint64_t version) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   auto it = index_.find(Key(normalized_sql, version));
   if (it == index_.end()) {
     ++misses_;
@@ -54,7 +54,7 @@ std::shared_ptr<const QueryResult> ConfidenceResultCache::Insert(
     const std::string& normalized_sql, uint64_t version, QueryResult result) {
   auto shared = std::make_shared<const QueryResult>(std::move(result));
   if (capacity_ == 0) return shared;
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   Key key(normalized_sql, version);
   if (auto it = index_.find(key); it != index_.end()) {
     it->second->second = shared;
@@ -73,7 +73,7 @@ std::shared_ptr<const QueryResult> ConfidenceResultCache::Insert(
 }
 
 void ConfidenceResultCache::Clear() {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   if (invalidations_counter_ != nullptr) {
     invalidations_counter_->Increment(lru_.size());
   }
@@ -82,7 +82,7 @@ void ConfidenceResultCache::Clear() {
 }
 
 ConfidenceResultCache::Stats ConfidenceResultCache::stats() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   Stats s;
   s.hits = hits_;
   s.misses = misses_;

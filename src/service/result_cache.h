@@ -21,10 +21,10 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 
+#include "common/annotations.h"
 #include "query/query_engine.h"
 #include "telemetry/metrics.h"
 
@@ -85,17 +85,19 @@ class ConfidenceResultCache {
   using Key = std::pair<std::string, uint64_t>;
   using Entry = std::pair<Key, std::shared_ptr<const QueryResult>>;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   size_t capacity_;
-  std::list<Entry> lru_;                          // front = most recently used
-  std::map<Key, std::list<Entry>::iterator> index_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
-  Counter* hits_counter_ = nullptr;           // registry mirrors; null until
-  Counter* misses_counter_ = nullptr;         // AttachTelemetry
-  Counter* evictions_counter_ = nullptr;
-  Counter* invalidations_counter_ = nullptr;
+  // front = most recently used
+  std::list<Entry> lru_ PCQE_GUARDED_BY(mu_);
+  std::map<Key, std::list<Entry>::iterator> index_ PCQE_GUARDED_BY(mu_);
+  uint64_t hits_ PCQE_GUARDED_BY(mu_) = 0;
+  uint64_t misses_ PCQE_GUARDED_BY(mu_) = 0;
+  uint64_t evictions_ PCQE_GUARDED_BY(mu_) = 0;
+  // Registry mirrors; null until AttachTelemetry.
+  Counter* hits_counter_ PCQE_GUARDED_BY(mu_) = nullptr;
+  Counter* misses_counter_ PCQE_GUARDED_BY(mu_) = nullptr;
+  Counter* evictions_counter_ PCQE_GUARDED_BY(mu_) = nullptr;
+  Counter* invalidations_counter_ PCQE_GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace pcqe

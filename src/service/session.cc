@@ -23,14 +23,14 @@ Result<SessionHandle> SessionManager::Open(const RoleGraph& roles,
   PCQE_ASSIGN_OR_RETURN(handle.roles, roles.ActiveRoles(user));
   PCQE_ASSIGN_OR_RETURN(handle.base_decision, policies.Resolve(roles, user, purpose));
 
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   handle.id = next_id_++;
   sessions_.emplace(handle.id, handle);
   return handle;
 }
 
 Status SessionManager::Close(uint64_t id) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   if (sessions_.erase(id) == 0) {
     return Status::NotFound(StrFormat("session %llu is not open",
                                       static_cast<unsigned long long>(id)));
@@ -39,7 +39,7 @@ Status SessionManager::Close(uint64_t id) {
 }
 
 Result<SessionHandle> SessionManager::Get(uint64_t id) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   auto it = sessions_.find(id);
   if (it == sessions_.end()) {
     return Status::NotFound(StrFormat("session %llu is not open",
@@ -49,7 +49,7 @@ Result<SessionHandle> SessionManager::Get(uint64_t id) const {
 }
 
 size_t SessionManager::active_count() const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexLock guard(mu_);
   return sessions_.size();
 }
 

@@ -12,10 +12,10 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "policy/confidence_policy.h"
@@ -71,9 +71,9 @@ class SessionManager {
   size_t active_count() const;
 
  private:
-  mutable std::mutex mu_;
-  uint64_t next_id_ = 1;
-  std::map<uint64_t, SessionHandle> sessions_;
+  mutable Mutex mu_;
+  uint64_t next_id_ PCQE_GUARDED_BY(mu_) = 1;
+  std::map<uint64_t, SessionHandle> sessions_ PCQE_GUARDED_BY(mu_);
 };
 
 }  // namespace pcqe

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <queue>
+#include <utility>
 
 #include "common/deadline.h"
 #include "common/fault_injection.h"
@@ -442,6 +444,25 @@ Result<IncrementSolution> SolveDnc(const IncrementProblem& problem,
   size_t total_iterations = 0;
   SolverEffort effort;
 
+  // Deadline-bounded greedy priming (the engine's pressure path, pulled into
+  // the solver so a *bare* kDnc request gets it too): under a finite budget
+  // the fill can be cut off mid-raise, and the merged partial may then be
+  // infeasible even though a feasible plan was within easy reach. Run the
+  // whole-problem greedy pass first — it observes the same absolute deadline
+  // — and keep a feasible result as the incumbent to fall back on. Gated on
+  // a finite deadline so un-deadlined solves (including the recorded
+  // micro_parallel cost/effort baselines and injected-expiry replays, which
+  // run without a real deadline) stay byte-identical.
+  std::optional<IncrementSolution> incumbent;
+  if (!options.deadline.infinite() && !global.Feasible()) {
+    GreedyOptions primer = WithDncBudget(options.greedy, options);
+    primer.parallelism = options.parallelism;
+    PCQE_ASSIGN_OR_RETURN(IncrementSolution primed, SolveGreedy(problem, primer));
+    total_iterations += primed.nodes_explored;
+    effort.MergeFrom(primed.effort);
+    if (primed.feasible) incumbent = std::move(primed);
+  }
+
   if (!global.Feasible()) {
     std::vector<PartitionGroup> groups = PartitionResults(problem, options.partition);
 
@@ -481,6 +502,20 @@ Result<IncrementSolution> SolveDnc(const IncrementProblem& problem,
     out.stop = DncStopFrom(control.cause());
     out.partial = true;
     out.search_complete = false;
+    // A stopped fill that never reached feasibility loses to the greedy
+    // incumbent: return the feasible plan (still tagged partial — it makes
+    // no optimality claim) instead of the infeasible merged state.
+    if (!out.feasible && incumbent.has_value()) {
+      IncrementSolution fallback = std::move(*incumbent);
+      fallback.algorithm = out.algorithm;
+      fallback.nodes_explored = total_iterations;
+      fallback.effort = effort;
+      fallback.solve_seconds = timer.ElapsedSeconds();
+      fallback.stop = out.stop;
+      fallback.partial = true;
+      fallback.search_complete = false;
+      return fallback;
+    }
   }
   return out;
 }

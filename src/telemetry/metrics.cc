@@ -82,7 +82,7 @@ Histogram::Snapshot Histogram::snapshot() const {
 
 Counter* TelemetryRegistry::GetCounter(std::string_view name, std::string_view help) {
   PCQE_CHECK(ValidMetricName(name)) << "bad metric name '" << std::string(name) << "'";
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(name);
   if (it != entries_.end()) {
     PCQE_CHECK(it->second.kind == Kind::kCounter)
@@ -97,7 +97,7 @@ Counter* TelemetryRegistry::GetCounter(std::string_view name, std::string_view h
 
 Gauge* TelemetryRegistry::GetGauge(std::string_view name, std::string_view help) {
   PCQE_CHECK(ValidMetricName(name)) << "bad metric name '" << std::string(name) << "'";
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(name);
   if (it != entries_.end()) {
     PCQE_CHECK(it->second.kind == Kind::kGauge)
@@ -114,7 +114,7 @@ Histogram* TelemetryRegistry::GetHistogram(std::string_view name,
                                            std::vector<double> bounds,
                                            std::string_view help) {
   PCQE_CHECK(ValidMetricName(name)) << "bad metric name '" << std::string(name) << "'";
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(name);
   if (it != entries_.end()) {
     PCQE_CHECK(it->second.kind == Kind::kHistogram)
@@ -131,7 +131,7 @@ Histogram* TelemetryRegistry::GetHistogram(std::string_view name,
 }
 
 std::string TelemetryRegistry::RenderText() const {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   for (const auto& [name, entry] : entries_) {
     if (!entry.help.empty()) {
@@ -174,7 +174,7 @@ std::string TelemetryRegistry::RenderText() const {
 }
 
 std::string TelemetryRegistry::RenderJson() const {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   std::string counters;
   std::string gauges;
   std::string histograms;

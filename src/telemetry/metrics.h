@@ -21,10 +21,11 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/annotations.h"
 
 namespace pcqe {
 
@@ -118,11 +119,11 @@ class TelemetryRegistry {
     std::string help;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry, std::less<>> entries_;
-  std::deque<Counter> counters_;
-  std::deque<Gauge> gauges_;
-  std::deque<Histogram> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, Entry, std::less<>> entries_ PCQE_GUARDED_BY(mu_);
+  std::deque<Counter> counters_ PCQE_GUARDED_BY(mu_);
+  std::deque<Gauge> gauges_ PCQE_GUARDED_BY(mu_);
+  std::deque<Histogram> histograms_ PCQE_GUARDED_BY(mu_);
 };
 
 }  // namespace pcqe

@@ -75,7 +75,7 @@ Trace TraceBuilder::Finish() {
 bool Tracer::TracingEnabledEnv() { return TelemetryEnabled(); }
 
 uint64_t Tracer::Record(Trace trace) {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   trace.id = next_id_++;
   uint64_t id = trace.id;
   ring_.push_back(std::move(trace));
@@ -84,12 +84,12 @@ uint64_t Tracer::Record(Trace trace) {
 }
 
 std::vector<Trace> Tracer::Snapshot() const {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   return {ring_.rbegin(), ring_.rend()};
 }
 
 std::optional<Trace> Tracer::Get(uint64_t id) const {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   for (const Trace& t : ring_) {
     if (t.id == id) return t;
   }
@@ -97,7 +97,7 @@ std::optional<Trace> Tracer::Get(uint64_t id) const {
 }
 
 uint64_t Tracer::total_recorded() const {
-  std::scoped_lock lock(mu_);
+  MutexLock lock(mu_);
   return next_id_ - 1;
 }
 

@@ -16,11 +16,12 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/annotations.h"
 
 namespace pcqe {
 
@@ -122,10 +123,10 @@ class Tracer {
  private:
   static bool TracingEnabledEnv();
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   size_t capacity_;
-  uint64_t next_id_ = 1;       // guarded by mu_
-  std::deque<Trace> ring_;     // guarded by mu_; front = oldest
+  uint64_t next_id_ PCQE_GUARDED_BY(mu_) = 1;
+  std::deque<Trace> ring_ PCQE_GUARDED_BY(mu_);  // front = oldest
 };
 
 }  // namespace pcqe

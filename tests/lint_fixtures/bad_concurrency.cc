@@ -8,7 +8,7 @@
 
 namespace pcqe {
 
-std::mutex g_mu;
+std::mutex g_mu;  // pcqe-lint: allow(raw-mutex)
 int g_counter = 0;
 
 void FireAndForget() {

@@ -1,0 +1,33 @@
+// pcqe-lint-fixture-path: src/example/bad_raw_mutex.cc
+// Fixture: raw standard-library mutexes and ad-hoc guards. Each is
+// functionally correct, which is exactly the problem — they compile and
+// run race-free today, but Clang Thread Safety Analysis cannot see them,
+// so the next refactor that touches the guarded data without the lock
+// sails through the -Wthread-safety gate unnoticed.
+#include <mutex>
+#include <shared_mutex>
+
+namespace pcqe {
+
+std::mutex g_mu;
+std::shared_mutex g_rw_mu;
+int g_counter = 0;
+
+void Bump() {
+  std::lock_guard<std::mutex> guard(g_mu);
+  ++g_counter;
+}
+
+int ReadCounter() {
+  std::shared_lock guard(g_rw_mu);
+  return g_counter;
+}
+
+bool TryBump() {
+  std::unique_lock guard(g_mu, std::try_to_lock);
+  if (!guard.owns_lock()) return false;
+  ++g_counter;
+  return true;
+}
+
+}  // namespace pcqe

@@ -1,37 +1,36 @@
 // pcqe-lint-fixture-path: src/example/good_concurrency.cc
-// Fixture: the approved shapes — jthread, RAII guards, try_lock with an
-// explicit result, the hardware_concurrency() static query, and fan-out
-// through the shared solver pool instead of std::async.
+// Fixture: the approved shapes — jthread, the capability-annotated
+// pcqe::Mutex / pcqe::SharedMutex with RAII guards (so Clang Thread Safety
+// Analysis sees every acquisition), the hardware_concurrency() static
+// query, and fan-out through the shared solver pool instead of std::async.
 #include <atomic>
-#include <mutex>
-#include <shared_mutex>
 #include <thread>
 
+#include "common/annotations.h"
 #include "common/thread_pool.h"
 
 namespace pcqe {
 
-std::mutex g_mu;
-std::shared_mutex g_rw_mu;
-int g_counter = 0;
+Mutex g_mu;
+SharedMutex g_rw_mu;
+int g_counter PCQE_GUARDED_BY(g_mu) = 0;
+int g_snapshot PCQE_GUARDED_BY(g_rw_mu) = 0;
 
 void JoinOnScopeExit() {
   std::jthread worker([] {
-    std::scoped_lock guard(g_mu);
+    MutexLock guard(g_mu);
     ++g_counter;
   });
 }
 
-int ReadCounter() {
-  std::shared_lock guard(g_rw_mu);
-  return g_counter;
+int ReadSnapshot() {
+  ReaderLock guard(g_rw_mu);
+  return g_snapshot;
 }
 
-bool TryBump() {
-  std::unique_lock guard(g_mu, std::try_to_lock);
-  if (!guard.owns_lock()) return false;
-  ++g_counter;
-  return true;
+void PublishSnapshot(int value) {
+  WriterLock guard(g_rw_mu);
+  g_snapshot = value;
 }
 
 unsigned WorkerDefault() { return std::thread::hardware_concurrency(); }

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fault_injection.h"
 #include "strategy/brute_force.h"
 #include "strategy/dnc.h"
 #include "strategy/greedy.h"
@@ -406,6 +407,42 @@ TEST(AnytimeTest, PreExpiredDeadlineReturnsValidatedPartial) {
   ExpectValid(p, heuristic);
   EXPECT_TRUE(heuristic.partial);
   EXPECT_EQ(heuristic.stop, SolveStop::kDeadline);
+}
+
+TEST(AnytimeTest, DncTightDeadlineFallsBackToFeasibleGreedyPlan) {
+  // The old ROADMAP bug: a bare kDnc under a very tight deadline stopped
+  // mid-raise and returned an *infeasible* merged partial even though a
+  // feasible plan was one greedy pass away. SolveDnc now primes with the
+  // deadline-bounded greedy pass (as the engine pressure path does for
+  // kHeuristic) and falls back to that incumbent when the fill is cut off
+  // before feasibility. The injected expiry makes "cut off from the first
+  // wave" deterministic regardless of machine speed, while the real 5 ms
+  // budget — orders of magnitude more than greedy needs at this scale —
+  // lets the primer finish.
+  WorkloadParams params;
+  params.num_base_tuples = 20;
+  params.num_results = 10;
+  params.bases_per_result = 3;
+  params.or_group_size = 2;
+  params.seed = 5;
+  Workload w = GenerateWorkload(params);
+  IncrementProblem p = *w.ToProblem();
+  ASSERT_TRUE(SolveGreedy(p)->feasible);  // the incumbent the fallback keeps
+
+  FaultInjector::Global().Arm(fault_sites::kDncDeadline,
+                              FaultInjector::SiteConfig{});
+  DncOptions options;
+  options.deadline = Deadline::AfterMillis(5);
+  Result<IncrementSolution> dnc = SolveDnc(p, options);
+  FaultInjector::Global().DisarmAll();
+
+  ASSERT_TRUE(dnc.ok()) << dnc.status().ToString();
+  ExpectValid(p, *dnc);
+  EXPECT_TRUE(dnc->feasible);
+  EXPECT_TRUE(dnc->partial);
+  EXPECT_EQ(dnc->stop, SolveStop::kDeadline);
+  EXPECT_FALSE(dnc->search_complete);
+  EXPECT_EQ(dnc->algorithm, "dnc");
 }
 
 TEST(AnytimeTest, CancelTokenStopsEverySolver) {

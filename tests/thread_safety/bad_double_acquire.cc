@@ -1,0 +1,13 @@
+// Negative fixture: acquiring the same mutex twice through two scoped
+// guards — a guaranteed self-deadlock with pcqe::Mutex (std::mutex
+// underneath, not recursive). Expected clang diagnostic (fatal under
+// -Werror):
+//   acquiring mutex 'mu' that is already held [-Wthread-safety-analysis]
+#include "common/annotations.h"
+
+int main() {
+  pcqe::Mutex mu;
+  pcqe::MutexLock outer(mu);
+  pcqe::MutexLock inner(mu);  // BAD: mu is already held by this thread
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Negative fixture: a PCQE_GUARDED_BY field touched without holding its
+// mutex. Expected clang diagnostic (fatal under -Werror):
+//   writing variable 'balance_' requires holding mutex 'mu_'
+//   [-Wthread-safety-analysis]
+#include "common/annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    balance_ += amount;  // BAD: mu_ not held
+  }
+
+ private:
+  pcqe::Mutex mu_;
+  int balance_ PCQE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return 0;
+}

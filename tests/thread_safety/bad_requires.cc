@@ -1,0 +1,26 @@
+// Negative fixture: calling a PCQE_REQUIRES method without holding the
+// lock — the mistake the engine's catalog_mu() contract exists to catch.
+// Expected clang diagnostic (fatal under -Werror):
+//   calling function 'Bump' requires holding mutex 'catalog.mu_'
+//   exclusively [-Wthread-safety-analysis]
+#include "common/annotations.h"
+
+namespace {
+
+class Catalog {
+ public:
+  pcqe::Mutex& mu() PCQE_RETURN_CAPABILITY(mu_) { return mu_; }
+  void Bump() PCQE_REQUIRES(mu_) { ++version_; }
+
+ private:
+  pcqe::Mutex mu_;
+  int version_ PCQE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Catalog catalog;
+  catalog.Bump();  // BAD: caller never acquired catalog.mu()
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Positive fixture for the thread-safety compile gate: the annotation
+// vocabulary used correctly, mirroring the production patterns — a
+// class-internal Mutex with guarded fields, and the engine's shape of an
+// externally visible SharedMutex exposed through a PCQE_RETURN_CAPABILITY
+// accessor with PCQE_REQUIRES(_SHARED) methods. Must compile clean under
+// clang -Wthread-safety -Wthread-safety-beta -Werror.
+#include "common/annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    pcqe::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+  int Balance() const {
+    pcqe::MutexLock lock(mu_);
+    return balance_;
+  }
+
+ private:
+  mutable pcqe::Mutex mu_;
+  int balance_ PCQE_GUARDED_BY(mu_) = 0;
+};
+
+class Catalog {
+ public:
+  pcqe::SharedMutex& mu() const PCQE_RETURN_CAPABILITY(mu_) { return mu_; }
+  int Version() const PCQE_REQUIRES_SHARED(mu_) { return version_; }
+  void Bump() PCQE_REQUIRES(mu_) { ++version_; }
+
+ private:
+  mutable pcqe::SharedMutex mu_;
+  int version_ PCQE_GUARDED_BY(mu_) = 0;
+};
+
+int ReadCatalog(const Catalog& catalog) {
+  pcqe::ReaderLock lock(catalog.mu());
+  return catalog.Version();
+}
+
+void EditCatalog(Catalog& catalog) {
+  pcqe::WriterLock lock(catalog.mu());
+  catalog.Bump();
+}
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  Catalog catalog;
+  EditCatalog(catalog);
+  return account.Balance() + ReadCatalog(catalog);
+}

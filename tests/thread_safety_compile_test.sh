@@ -1,0 +1,70 @@
+#!/bin/sh
+# Negative-compile gate for the Clang Thread Safety annotations in
+# src/common/annotations.h.
+#
+# Each tests/thread_safety/good_*.cc must compile clean under
+#   clang++ -Wthread-safety -Wthread-safety-beta -Werror
+# and each bad_*.cc must be REJECTED, with the rejection attributable to
+# the thread-safety analysis (an unrelated compile error would let the
+# fixtures bit-rot while the gate stays green).
+#
+# The analysis is clang-only — on other compilers the annotation macros
+# expand to nothing — so the test skips (exit 77, ctest SKIP_RETURN_CODE)
+# when no clang++ is on PATH.
+#
+# Usage: thread_safety_compile_test.sh <src-dir> <fixture-dir> [clang++]
+# Exit: 0 every fixture behaves, 1 a fixture misbehaves, 77 skipped.
+set -u
+
+SRC_DIR=${1:?usage: $0 <src-dir> <fixture-dir> [clang++]}
+FIXTURE_DIR=${2:?usage: $0 <src-dir> <fixture-dir> [clang++]}
+CXX=${3:-}
+
+if [ -z "$CXX" ]; then
+  for candidate in clang++ clang++-19 clang++-18 clang++-17 clang++-16 \
+      clang++-15 clang++-14; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      CXX=$candidate
+      break
+    fi
+  done
+fi
+if [ -z "$CXX" ] || ! command -v "$CXX" >/dev/null 2>&1; then
+  echo "SKIP: no clang++ on PATH; thread-safety analysis is clang-only" >&2
+  exit 77
+fi
+if ! "$CXX" --version 2>/dev/null | grep -qi clang; then
+  echo "SKIP: $CXX is not clang; the annotations expand to nothing" >&2
+  exit 77
+fi
+
+FLAGS="-std=c++20 -fsyntax-only -I$SRC_DIR -Wthread-safety -Wthread-safety-beta -Werror"
+
+fail=0
+
+for f in "$FIXTURE_DIR"/good_*.cc; do
+  [ -e "$f" ] || continue
+  if out=$("$CXX" $FLAGS "$f" 2>&1); then
+    echo "PASS: $(basename "$f") compiles clean"
+  else
+    echo "FAIL: $(basename "$f") must compile under -Wthread-safety -Werror:" >&2
+    echo "$out" >&2
+    fail=1
+  fi
+done
+
+for f in "$FIXTURE_DIR"/bad_*.cc; do
+  [ -e "$f" ] || continue
+  if out=$("$CXX" $FLAGS "$f" 2>&1); then
+    echo "FAIL: $(basename "$f") compiled but must be rejected" >&2
+    fail=1
+  elif printf '%s\n' "$out" | grep -q 'thread-safety'; then
+    echo "PASS: $(basename "$f") rejected by the analysis"
+  else
+    echo "FAIL: $(basename "$f") failed for a reason other than thread-safety:" >&2
+    echo "$out" >&2
+    fail=1
+  fi
+done
+
+exit $fail

@@ -21,12 +21,20 @@ Rules (ids in brackets; suppress a line with `// pcqe-lint: allow(<rule>)`):
   [concurrency]           Threading discipline in src/: no `std::thread`
       (use `std::jthread`, which joins on destruction and carries a
       stop_token), no `.detach()` (detached threads outlive their data), and
-      no bare `.lock()` / `.unlock()` calls (use std::scoped_lock /
-      std::unique_lock / std::shared_lock so unlock happens on every exit
-      path), and no `std::async` (its blocking future destructor silently
-      serializes "parallel" code; submit to the shared pool in
-      common/thread_pool.h instead). `std::thread::hardware_concurrency()`
-      is fine.
+      no bare `.lock()` / `.unlock()` calls (use a RAII guard — MutexLock /
+      ReaderLock / WriterLock from common/annotations.h — so unlock happens
+      on every exit path), and no `std::async` (its blocking future
+      destructor silently serializes "parallel" code; submit to the shared
+      pool in common/thread_pool.h instead).
+      `std::thread::hardware_concurrency()` is fine.
+  [raw-mutex]             No raw standard-library mutexes (`std::mutex`,
+      `std::shared_mutex`, `std::recursive_mutex`, ...) or ad-hoc guards
+      (`std::scoped_lock`, `std::lock_guard`, `std::unique_lock`,
+      `std::shared_lock`) in src/ outside common/annotations.h. Use
+      pcqe::Mutex / pcqe::SharedMutex with MutexLock / ReaderLock /
+      WriterLock so every acquisition carries Clang Thread Safety Analysis
+      attributes; a raw std:: mutex is invisible to the analyzer and
+      silently re-opens the data-race hole the annotations closed.
   [telemetry]             No ad-hoc `std::atomic<uint64_t>` stat counters in
       src/ outside src/telemetry/. Register a Counter/Gauge on the
       TelemetryRegistry instead, so every stat shows up in `.metrics` /
@@ -196,13 +204,30 @@ def lint_file(relpath, lines, status_fns):
                 out.append(Violation(
                     relpath, i, "concurrency",
                     "bare lock()/unlock(); use a scoped RAII guard "
-                    "(std::scoped_lock, std::unique_lock, std::shared_lock)"))
+                    "(MutexLock, ReaderLock, WriterLock from "
+                    "common/annotations.h)"))
             if re.search(r"\bstd::async\b", code):
                 out.append(Violation(
                     relpath, i, "concurrency",
                     "std::async futures block in their destructor and "
                     "silently serialize; use ThreadPool/ParallelFor from "
                     "common/thread_pool.h"))
+
+        # -- raw-mutex -----------------------------------------------------
+        # annotations.h is the one place allowed to touch the std:: types:
+        # it wraps them in the capability-annotated Mutex/SharedMutex.
+        if in_src and relpath != "src/common/annotations.h" and \
+                not _allowed(raw, "raw-mutex"):
+            m = re.search(
+                r"\bstd::(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+                r"recursive_timed_mutex|shared_timed_mutex|scoped_lock|"
+                r"lock_guard|unique_lock|shared_lock)\b", code)
+            if m:
+                out.append(Violation(
+                    relpath, i, "raw-mutex",
+                    f"std::{m.group(1)} is invisible to thread-safety "
+                    "analysis; use pcqe::Mutex/SharedMutex with MutexLock/"
+                    "ReaderLock/WriterLock (common/annotations.h)"))
 
         # -- telemetry -----------------------------------------------------
         if in_src and not relpath.startswith("src/telemetry/") and \

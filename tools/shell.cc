@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "common/annotations.h"
 #include "common/string_util.h"
 #include "lineage/sensitivity.h"
 #include "policy/policy_io.h"
@@ -481,8 +482,15 @@ void Shell::CmdAccept() {
   }
   // With a service running, route through it so the write takes the
   // exclusive catalog lock against in-flight requests.
-  Status s = service_ != nullptr ? service_->Accept(last_proposal_)
-                                 : engine_->AcceptProposal(last_proposal_);
+  Status s;
+  if (service_ != nullptr) {
+    s = service_->Accept(last_proposal_);
+  } else {
+    // Direct mode is single-threaded, but the engine's lock contract is
+    // unconditional: AcceptProposal requires the exclusive catalog lock.
+    WriterLock lock(engine_->catalog_mu());
+    s = engine_->AcceptProposal(last_proposal_);
+  }
   if (!s.ok()) {
     out() << s.ToString() << "\n";
     return;
@@ -538,7 +546,13 @@ void Shell::RunSql(const std::string& sql) {
   request.purpose = purpose_;
   request.required_fraction = fraction_;
   if (timeout_ms_ > 0) request.deadline = Deadline::AfterMillis(timeout_ms_);
-  auto outcome = engine_->Submit(request);
+  auto outcome = [&] {
+    // Direct submission bypasses the service, so it takes the engine's
+    // shared catalog lock itself (the REPL is sequential; this is for the
+    // lock contract, not contention).
+    ReaderLock lock(engine_->catalog_mu());
+    return engine_->Submit(request);
+  }();
   if (!outcome.ok()) {
     out() << outcome.status().ToString() << "\n";
     return;

@@ -1,0 +1,163 @@
+// Copyright (c) PCQE contributors.
+// Durability bench: accept-transaction throughput through the WAL with
+// per-commit fsync on and off, and cold-start recovery time (checkpoint
+// load + replay) as the segment grows. The interesting numbers: the price
+// of the paper-grade guarantee (sync on: every acknowledged accept survives
+// any crash) versus buffered logging, and how recovery scales with the
+// record count — replay must stay linear.
+//
+// Emits one machine-readable line per mode:
+//   BENCH {"bench":"micro_wal","mode":"accept"|"recover",...}
+// Unknown argv (e.g. --benchmark_min_time from scripts/check.sh smoke runs)
+// is ignored; this is a plain binary, not a google-benchmark one.
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "relational/catalog.h"
+#include "storage/storage_manager.h"
+
+namespace pcqe {
+namespace bench {
+namespace {
+
+constexpr size_t kRows = 1000;  // checkpoint size, fixed across modes
+
+std::vector<size_t> CommitCounts(Scale scale) {
+  switch (scale) {
+    case Scale::kQuick:
+      return {1000, 5000};
+    case Scale::kPaper:
+      return {10000, 100000};
+    case Scale::kFull:
+      return {100000, 500000};
+  }
+  return {1000, 5000};
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::vector<BaseTupleId> Populate(Catalog* catalog) {
+  Table* table =
+      *catalog->CreateTable("t", Schema({{"x", DataType::kDouble, ""}}));
+  std::vector<BaseTupleId> ids;
+  ids.reserve(kRows);
+  for (size_t i = 0; i < kRows; ++i) {
+    ids.push_back(
+        *table->Insert({Value::Double(static_cast<double>(i))}, 0.05));
+  }
+  return ids;
+}
+
+/// Logs `commits` single-action accept transactions (append [+ sync] then
+/// apply), leaving the segment on disk for the recovery mode.
+double RunAccepts(const std::string& dir, bool sync_each_commit,
+                  size_t commits) {
+  std::filesystem::remove_all(dir);
+  Catalog catalog;
+  std::vector<BaseTupleId> ids = Populate(&catalog);
+  StorageManager storage;
+  PCQE_CHECK(
+      storage.Open({.dir = dir, .sync_each_commit = sync_each_commit}, &catalog)
+          .ok());
+
+  auto start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < commits; ++i) {
+    BaseTupleId id = ids[i % ids.size()];
+    // Deterministic walk over (0, 1): replay-friendly and never at the
+    // ceiling, so every write is a legal confidence.
+    double to = 0.1 + 0.8 * static_cast<double>((i * 37) % 100) / 100.0;
+    PCQE_CHECK(storage.LogAccept(catalog.confidence_version(),
+                                 {{id, 0.0, to, 0.0}})
+                   .ok());
+    PCQE_CHECK(catalog.SetConfidence(id, to).ok());
+  }
+  double seconds = SecondsSince(start);
+
+  StorageSnapshot snap = storage.snapshot();
+  std::printf(
+      "BENCH {\"bench\":\"micro_wal\",\"mode\":\"accept\",\"sync\":\"%s\","
+      "\"commits\":%zu,\"seconds\":%.4f,\"accepts_per_sec\":%.1f,"
+      "\"wal_bytes\":%llu}\n",
+      sync_each_commit ? "on" : "off", commits, seconds,
+      seconds > 0.0 ? static_cast<double>(commits) / seconds : 0.0,
+      static_cast<unsigned long long>(snap.wal_bytes));
+  return seconds;
+  // ~StorageManager flushes the buffered tail (sync off), so the recovery
+  // mode below replays every commit.
+}
+
+/// Cold start over the directory `RunAccepts` left behind: checkpoint load
+/// plus full replay into a fresh catalog.
+double RunRecovery(const std::string& dir, size_t commits) {
+  Catalog catalog;
+  StorageManager storage;
+  auto start = std::chrono::steady_clock::now();
+  PCQE_CHECK(storage.Open({.dir = dir}, &catalog).ok());
+  double seconds = SecondsSince(start);
+
+  StorageSnapshot snap = storage.snapshot();
+  PCQE_CHECK(snap.recovered_records == commits + 1);  // + opening record
+  std::printf(
+      "BENCH {\"bench\":\"micro_wal\",\"mode\":\"recover\",\"records\":%llu,"
+      "\"seconds\":%.4f,\"records_per_sec\":%.1f,\"recovered_version\":%llu}\n",
+      static_cast<unsigned long long>(snap.recovered_records), seconds,
+      seconds > 0.0 ? static_cast<double>(snap.recovered_records) / seconds
+                    : 0.0,
+      static_cast<unsigned long long>(snap.recovered_version));
+  return seconds;
+}
+
+int Run() {
+  Scale scale = BenchScale();
+  std::vector<size_t> counts = CommitCounts(scale);
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "pcqe_micro_wal").string();
+  std::printf("micro_wal scale=%s rows=%zu dir=%s\n", ScaleName(scale), kRows,
+              dir.c_str());
+
+  TablePrinter table({"mode", "sync", "commits", "seconds", "per_sec"});
+  auto add = [&table](const char* mode, const char* sync, size_t commits,
+                      double seconds) {
+    table.AddRow({mode, sync, StrFormat("%zu", commits),
+                  StrFormat("%.4f", seconds),
+                  StrFormat("%.1f", seconds > 0.0
+                                        ? static_cast<double>(commits) / seconds
+                                        : 0.0)});
+  };
+
+  // The paper-grade configuration first, at the smaller count (an fsync per
+  // accept dominates; the point is the per-transaction floor, not volume).
+  double s = RunAccepts(dir, /*sync_each_commit=*/true, counts[0]);
+  add("accept", "on", counts[0], s);
+  s = RunRecovery(dir, counts[0]);
+  add("recover", "-", counts[0] + 1, s);
+
+  // Buffered logging at both counts, each followed by its recovery.
+  for (size_t commits : counts) {
+    s = RunAccepts(dir, /*sync_each_commit=*/false, commits);
+    add("accept", "off", commits, s);
+    s = RunRecovery(dir, commits);
+    add("recover", "-", commits + 1, s);
+  }
+
+  table.Print();
+  std::filesystem::remove_all(dir);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pcqe
+
+int main(int, char**) { return pcqe::bench::Run(); }

@@ -26,7 +26,11 @@ Result<AssignmentReport> AssignConfidences(Catalog* catalog,
     PCQE_ASSIGN_OR_RETURN(const Tuple* t, catalog->FindTuple(m.tuple));
     double confidence =
         std::min(report.trust.item_trust[m.item], t->max_confidence());
-    PCQE_RETURN_NOT_OK(catalog->SetConfidence(m.tuple, confidence));
+    // Bulk out-of-band assignment rewrites the whole confidence baseline;
+    // durable deployments must checkpoint right after (the WAL only logs
+    // accepts).
+    PCQE_RETURN_NOT_OK(catalog->SetConfidence(  // pcqe-lint: allow(durability)
+        m.tuple, confidence));
     report.applied.push_back(m);
   }
   return report;

@@ -37,6 +37,18 @@ inline constexpr const char* kCatalogAccept = "engine.catalog.accept";
 inline constexpr const char* kCacheLookup = "service.cache.lookup";
 inline constexpr const char* kAdmission = "service.admission";
 inline constexpr const char* kWorkerProcess = "service.worker.process";
+/// Durability crash points (src/storage/): each one is probed at the exact
+/// boundary a real crash would hit, so the recovery tests can arm a site,
+/// "crash" (drop the in-memory state) and assert replay reconstructs the
+/// committed state bit-for-bit. kWalAppend fires before the commit record
+/// is buffered; kWalSync before it reaches disk — both roll the accept
+/// back. kCheckpoint / kManifest interrupt checkpointing before the new
+/// manifest is published; kRecoveryReplay interrupts startup replay.
+inline constexpr const char* kWalAppend = "storage.wal_append";
+inline constexpr const char* kWalSync = "storage.wal_sync";
+inline constexpr const char* kCheckpoint = "storage.checkpoint";
+inline constexpr const char* kManifest = "storage.manifest";
+inline constexpr const char* kRecoveryReplay = "storage.recovery.replay";
 }  // namespace fault_sites
 
 /// \brief Process-wide, deterministic fault injector.

@@ -6,6 +6,7 @@
 
 #include "common/fault_injection.h"
 #include "common/string_util.h"
+#include "storage/storage_manager.h"
 #include "strategy/brute_force.h"
 #include "strategy/dnc.h"
 #include "strategy/greedy.h"
@@ -334,6 +335,22 @@ Status PcqeEngine::AcceptProposal(const StrategyProposal& proposal) {
     return Status::InvalidArgument("proposal carries no improvement actions");
   }
   PCQE_INJECT_FAULT(fault_sites::kCatalogAccept);
+  // Write-ahead discipline: validate first (a doomed accept must not reach
+  // the log), then append + sync the transaction, and only then mutate the
+  // catalog. A logging failure leaves the catalog untouched — version
+  // included — so callers and caches never observe an unlogged accept.
+  PCQE_RETURN_NOT_OK(improver_.Validate(proposal.actions));
+  if (storage_ != nullptr) {
+    std::vector<WalAction> logged;
+    logged.reserve(proposal.actions.size());
+    for (const IncrementAction& a : proposal.actions) {
+      PCQE_ASSIGN_OR_RETURN(const Tuple* t, catalog_->FindTuple(a.base_tuple));
+      logged.push_back({a.base_tuple, t->confidence(), a.to,
+                        t->cost_function()->Increment(t->confidence(), a.to)});
+    }
+    PCQE_RETURN_NOT_OK(storage_->LogAccept(catalog_->confidence_version(),
+                                           logged));
+  }
   return improver_.Apply(proposal.actions);
 }
 

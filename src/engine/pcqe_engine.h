@@ -24,6 +24,8 @@
 
 namespace pcqe {
 
+class StorageManager;
+
 /// \brief Which strategy-finding algorithm the engine runs.
 enum class SolverKind : uint8_t {
   /// Exact branch-and-bound on small problems (≤ `auto_heuristic_limit`
@@ -143,6 +145,15 @@ class PcqeEngine {
   TelemetryRegistry* telemetry() const { return registry_; }
   Tracer* tracer() const { return tracer_; }
 
+  /// Attaches a durable-storage manager (borrowed; must outlive the
+  /// engine; null detaches). Once attached, `AcceptProposal` becomes a
+  /// logged transaction: the increments are appended + synced to the WAL
+  /// *before* any confidence changes, and a logging failure rolls the
+  /// whole accept back — no catalog mutation, no version bump. Call before
+  /// serving; attachment is not synchronized against concurrent accepts.
+  void AttachStorage(StorageManager* storage) { storage_ = storage; }
+  StorageManager* storage() const { return storage_; }
+
   /// The reader–writer lock over engine/catalog state. Concurrent callers
   /// hold it shared across the read path (`Submit`, `SubmitBatch`,
   /// `Evaluate`, `Complete`) and exclusive around `AcceptProposal`; the
@@ -192,7 +203,9 @@ class PcqeEngine {
 
   /// Applies a proposal's increments to the database. The caller re-submits
   /// the query afterwards to receive the enlarged result set. Sole mutator
-  /// of catalog state; bumps `Catalog::confidence_version()`.
+  /// of catalog state; bumps `Catalog::confidence_version()`. With a
+  /// storage manager attached (see `AttachStorage`) the accept is durable:
+  /// validate, WAL-log + sync, then apply — all or nothing.
   [[nodiscard]] Status AcceptProposal(const StrategyProposal& proposal)
       PCQE_REQUIRES(catalog_mu_);
 
@@ -275,6 +288,7 @@ class PcqeEngine {
   QualityImprover improver_;
   TelemetryRegistry* registry_ = nullptr;  // borrowed; may be null
   Tracer* tracer_ = nullptr;               // borrowed; may be null
+  StorageManager* storage_ = nullptr;      // borrowed; may be null
   EngineMetrics metrics_;
 };
 

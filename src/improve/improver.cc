@@ -4,8 +4,8 @@
 
 namespace pcqe {
 
-Status QualityImprover::Apply(const std::vector<IncrementAction>& actions) {
-  // Validation pass: nothing is written unless every action is applicable.
+Status QualityImprover::Validate(const std::vector<IncrementAction>& actions) const {
+  // Nothing is written unless every action is applicable.
   for (const IncrementAction& a : actions) {
     PCQE_ASSIGN_OR_RETURN(const Tuple* t, catalog_->FindTuple(a.base_tuple));
     if (a.to <= t->confidence() + kEpsilon) {
@@ -19,6 +19,11 @@ Status QualityImprover::Apply(const std::vector<IncrementAction>& actions) {
           static_cast<unsigned long long>(a.base_tuple), a.to, t->max_confidence()));
     }
   }
+  return Status::OK();
+}
+
+Status QualityImprover::Apply(const std::vector<IncrementAction>& actions) {
+  PCQE_RETURN_NOT_OK(Validate(actions));
   // Commit pass.
   for (const IncrementAction& a : actions) {
     PCQE_ASSIGN_OR_RETURN(const Tuple* t, catalog_->FindTuple(a.base_tuple));

@@ -40,6 +40,11 @@ class QualityImprover {
   /// rejected (quality improvement never lowers confidence).
   [[nodiscard]] Status Apply(const std::vector<IncrementAction>& actions);
 
+  /// The validation pass of `Apply` alone, mutating nothing. The engine's
+  /// durable accept path runs this *before* logging the transaction, so a
+  /// doomed accept is rejected without ever touching the WAL.
+  [[nodiscard]] Status Validate(const std::vector<IncrementAction>& actions) const;
+
   /// Total cost committed through this improver.
   double total_cost_spent() const { return total_cost_; }
 

@@ -35,6 +35,15 @@ class Catalog {
   /// Creates an empty table. Returns `kAlreadyExists` on a duplicate name.
   [[nodiscard]] Result<Table*> CreateTable(const std::string& name, Schema schema);
 
+  /// Creates an empty table under an explicit (nonzero) table id, for
+  /// snapshot restore: `BaseTupleId`s embed the table id, so a reload must
+  /// reproduce the original id assignment or every persisted WAL action and
+  /// lineage reference would silently point at the wrong tuples. Fresh ids
+  /// handed out afterwards continue past the largest restored id. Returns
+  /// `kAlreadyExists` on a duplicate name or id.
+  [[nodiscard]] Result<Table*> CreateTableWithId(const std::string& name, Schema schema,
+                                                 uint32_t table_id);
+
   /// Looks up a table by (case-insensitive) name.
   [[nodiscard]] Result<Table*> GetTable(const std::string& name);
   [[nodiscard]] Result<const Table*> GetTable(const std::string& name) const;
@@ -60,6 +69,18 @@ class Catalog {
   [[nodiscard]] uint64_t confidence_version() const {
     return confidence_version_.load(std::memory_order_acquire);
   }
+
+  /// Raises `confidence_version()` to at least `version` (snapshot restore).
+  /// Monotone — the version never moves backward, so version-keyed caches
+  /// stay sound when a snapshot is loaded into a non-empty catalog. After
+  /// `Clear()` the counter is 0 and the restore is exact, which is what
+  /// recovery relies on to reproduce the pre-crash version bit-for-bit.
+  void RestoreConfidenceVersion(uint64_t version);
+
+  /// Drops every table and resets id assignment and `confidence_version()`
+  /// to the initial state, so a recovery can rebuild this catalog in place
+  /// from a checkpoint + WAL replay.
+  void Clear();
 
  private:
   /// Lowercased lookup key.

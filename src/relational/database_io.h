@@ -14,7 +14,9 @@ namespace pcqe {
 /// \brief Serializes every table of `catalog` into `dir`.
 ///
 /// Layout (plain text, diff-friendly):
-/// - `dir/manifest.pcqe` — one table name per line, in creation order;
+/// - `dir/manifest.pcqe` — a format-2 header (`PCQE_DB 2`, then
+///   `confidence_version <v>`), followed by one `table <id> <name>` line per
+///   table in creation order;
 /// - `dir/<table>.schema` — one `name<TAB>TYPE` line per column;
 /// - `dir/<table>.csv` — the rows, plus three reserved columns
 ///   `__confidence`, `__max_confidence` and `__cost` (the cost function in
@@ -29,8 +31,15 @@ namespace pcqe {
 /// tables and all-NULL columns round-trip exactly. Table creation errors
 /// (e.g. a name collision with an existing table) abort the load.
 ///
-/// Note: tuple ids are assigned afresh — `BaseTupleId`s are process-local
-/// handles, not persistent identifiers.
+/// Format-2 snapshots restore each table under its persisted table id —
+/// `BaseTupleId`s embed the table id, so a reload reproduces the exact
+/// tuple-id assignment (the durability WAL depends on this) — and raise
+/// `Catalog::confidence_version()` to the persisted value (monotone; exact
+/// after `Catalog::Clear()`). A malformed or truncated header, a non-numeric
+/// confidence cell, or a confidence outside [0, 1] fails the load with a
+/// clean `kInvalidArgument`/`kParseError` instead of loading garbage.
+/// Legacy headerless manifests (bare table names) still load, with fresh
+/// table ids and no version restore.
 [[nodiscard]] Status LoadDatabase(const std::string& dir, Catalog* catalog);
 
 }  // namespace pcqe

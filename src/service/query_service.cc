@@ -53,13 +53,43 @@ QueryService::QueryService(PcqeEngine* engine, ServiceOptions options)
                                                 "Shared pool tasks awaiting a worker");
   pool_busy_workers_gauge_ = registry_->GetGauge(
       "pcqe_threadpool_busy_workers", "Shared pool workers executing a task");
+  if (options_.durability.enabled() && engine_->storage() == nullptr) {
+    owned_storage_ = std::make_unique<StorageManager>();
+    Status opened;
+    {
+      // Exclusive: opening an existing directory recovers, which rewrites
+      // the catalog wholesale.
+      WriterLock lock(engine_->catalog_mu());
+      opened = owned_storage_->Open(options_.durability, engine_->catalog());
+    }
+    if (opened.ok()) {
+      storage_ = owned_storage_.get();
+      storage_->AttachTelemetry(registry_);
+      engine_->AttachStorage(storage_);
+      cache_.Clear();  // anything cached predates the recovered state
+    } else {
+      durability_status_ = opened.WithContext("durable storage failed to open");
+      owned_storage_.reset();
+      PCQE_LOG(Error) << durability_status_.ToString()
+                      << "; accepts are disabled, reads still serve";
+    }
+  } else if (engine_->storage() != nullptr) {
+    storage_ = engine_->storage();
+  }
   workers_.reserve(options_.num_workers);
   for (size_t i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this](std::stop_token stop) { WorkerLoop(stop); });
   }
 }
 
-QueryService::~QueryService() { Shutdown(); }
+QueryService::~QueryService() {
+  Shutdown();
+  // The engine may outlive this service; never leave it pointing at the
+  // storage manager that dies with us.
+  if (owned_storage_ != nullptr && engine_->storage() == owned_storage_.get()) {
+    engine_->AttachStorage(nullptr);
+  }
+}
 
 Result<SessionHandle> QueryService::OpenSession(const std::string& user,
                                                 const std::string& purpose) {
@@ -289,11 +319,41 @@ void QueryService::WorkerLoop(std::stop_token stop) {
 }
 
 Status QueryService::Accept(const StrategyProposal& proposal) {
+  // Fail-safe: with durability configured but broken, refusing the accept
+  // beats committing confidence changes that would vanish on restart.
+  if (!durability_status_.ok()) return durability_status_;
   // Exclusive: the single writer. AcceptProposal routes every confidence
   // write through Catalog::SetConfidence, which bumps the version and thus
   // retires all cached evaluations keyed on the old one.
   WriterLock lock(engine_->catalog_mu());
   return engine_->AcceptProposal(proposal);
+}
+
+Status QueryService::Checkpoint() {
+  if (!durability_status_.ok()) return durability_status_;
+  if (storage_ == nullptr) {
+    return Status::InvalidArgument("durability is not configured");
+  }
+  // Shared hold: a checkpoint is a consistent read of the catalog; accepts
+  // wait, concurrent queries proceed.
+  ReaderLock lock(engine_->catalog_mu());
+  return storage_->Checkpoint(*engine_->catalog());
+}
+
+Status QueryService::Recover() {
+  if (!durability_status_.ok()) return durability_status_;
+  if (storage_ == nullptr) {
+    return Status::InvalidArgument("durability is not configured");
+  }
+  Status recovered;
+  {
+    WriterLock lock(engine_->catalog_mu());
+    recovered = storage_->Recover();
+  }
+  // Even a failed recovery may have partially rewritten the catalog;
+  // entries keyed on pre-recovery versions must not be served either way.
+  cache_.Clear();
+  return recovered;
 }
 
 void QueryService::Shutdown() {

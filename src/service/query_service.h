@@ -51,6 +51,7 @@
 #include "service/result_cache.h"
 #include "service/service_stats.h"
 #include "service/session.h"
+#include "storage/storage_manager.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
@@ -97,6 +98,13 @@ struct ServiceOptions {
   /// only trades wall clock. The last decision is exported as the
   /// `pcqe_service_solver_lanes` gauge.
   bool adaptive_solver_lanes = true;
+  /// Durable catalog (src/storage/). With a non-empty `durability.dir` the
+  /// service opens (and, when a manifest exists, *recovers*) the directory
+  /// on construction and every `Accept` becomes a WAL-logged transaction.
+  /// An open/recovery failure is fail-safe: the service still serves
+  /// reads, but `Accept` returns the stored failure instead of mutating a
+  /// catalog it could not make durable (see `durability_status()`).
+  DurabilityOptions durability = {};
 };
 
 /// \brief One query submission through a session.
@@ -151,7 +159,25 @@ class QueryService {
 
   /// Applies an improvement proposal under the engine's exclusive catalog
   /// lock. The confidence-version bump makes every cached evaluation stale.
+  /// With durability configured the accept is WAL-logged (and synced)
+  /// before any confidence changes; a durability failure rejects it whole.
   [[nodiscard]] Status Accept(const StrategyProposal& proposal);
+
+  /// Durability entry points; `kInvalidArgument` when `ServiceOptions`
+  /// configured no storage. `Checkpoint` snapshots the catalog and rotates
+  /// the WAL under a shared catalog hold; `Recover` rebuilds the catalog
+  /// from disk under an exclusive hold (discarding non-durable state) and
+  /// drops every cached evaluation — entries keyed on the pre-recovery
+  /// version must never be served against replayed confidences.
+  [[nodiscard]] Status Checkpoint();
+  [[nodiscard]] Status Recover();
+
+  /// OK while durable storage (if configured) is healthy; otherwise the
+  /// open/recovery failure that `Accept` now returns.
+  [[nodiscard]] Status durability_status() const { return durability_status_; }
+
+  /// The storage manager behind this service (null when not configured).
+  StorageManager* storage() const { return storage_; }
 
   /// Stops admission, lets workers drain the queue, joins them, and fails
   /// any request still queued (0-worker services) with
@@ -230,6 +256,14 @@ class QueryService {
   std::unique_ptr<Tracer> owned_tracer_;
   TelemetryRegistry* registry_;  // never null after construction
   Tracer* tracer_;               // never null after construction
+
+  /// Service-owned storage when `ServiceOptions::durability` asked for it
+  /// and the engine had none attached; `storage_` also covers the case of
+  /// a manager attached to the engine before construction. Both set only
+  /// in the constructor, immutable afterwards — hence readable lock-free.
+  std::unique_ptr<StorageManager> owned_storage_;
+  StorageManager* storage_ = nullptr;
+  Status durability_status_ = Status::OK();
 
   SessionManager sessions_;
   ConfidenceResultCache cache_;

@@ -1,0 +1,56 @@
+// Copyright (c) PCQE contributors.
+// Durability manifest: the single pointer that makes a checkpoint live.
+//
+// A storage directory holds checkpoints (full `database_io` snapshots),
+// WAL segments, and one `MANIFEST` file naming the authoritative pair.
+// Recovery reads only what the manifest points at, so publishing a new
+// manifest (written to a temp file, then renamed — atomic on POSIX) is the
+// commit point of a checkpoint: a crash anywhere before the rename leaves
+// the previous checkpoint + segment fully intact.
+
+#ifndef PCQE_STORAGE_MANIFEST_H_
+#define PCQE_STORAGE_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace pcqe {
+
+inline constexpr const char* kManifestFile = "MANIFEST";
+
+/// \brief What the `MANIFEST` file records. Text format:
+///
+///   PCQE_MANIFEST 1
+///   checkpoint checkpoint-000001
+///   wal wal-000001.log
+///   truncate_lsn 1
+struct DurabilityManifest {
+  /// Checkpoint directory name, relative to the storage dir.
+  std::string checkpoint;
+  /// WAL segment file name, relative to the storage dir.
+  std::string wal;
+  /// LSN consumed by the checkpoint; the segment's opening version-set
+  /// record carries exactly this LSN, and every record before it is
+  /// subsumed by the checkpoint.
+  uint64_t truncate_lsn = 0;
+};
+
+/// True when `dir` contains a `MANIFEST` (i.e. a recoverable state).
+bool ManifestExists(const std::string& dir);
+
+/// Strict parse; malformed or truncated manifests fail with
+/// `kInvalidArgument` rather than recovering from the wrong state.
+[[nodiscard]] Result<DurabilityManifest> LoadManifest(const std::string& dir);
+
+/// Durably publishes `manifest`: temp file + fsync + rename + directory
+/// fsync. Probes the `storage.manifest` fault site *before* touching disk,
+/// so an armed test models a crash just before the commit point.
+[[nodiscard]] Status SaveManifest(const std::string& dir,
+                                  const DurabilityManifest& manifest);
+
+}  // namespace pcqe
+
+#endif  // PCQE_STORAGE_MANIFEST_H_

@@ -1,0 +1,95 @@
+#include "storage/recovery.h"
+
+#include "common/fault_injection.h"
+#include "common/string_util.h"
+#include "relational/catalog.h"
+#include "relational/database_io.h"
+#include "storage/wal.h"
+
+namespace pcqe {
+
+Result<RecoveryReport> RecoveryManager::Recover(Catalog* catalog) const {
+  RecoveryReport report;
+  PCQE_ASSIGN_OR_RETURN(report.manifest, LoadManifest(dir_));
+
+  catalog->Clear();
+  PCQE_RETURN_NOT_OK(
+      LoadDatabase(dir_ + "/" + report.manifest.checkpoint, catalog)
+          .WithContext(StrFormat("loading checkpoint '%s'",
+                                 report.manifest.checkpoint.c_str())));
+  report.checkpoint_version = catalog->confidence_version();
+
+  PCQE_ASSIGN_OR_RETURN(WalReadResult wal,
+                        ReadWal(dir_ + "/" + report.manifest.wal));
+  report.wal_valid_bytes = wal.valid_bytes;
+  report.wal_torn_bytes = wal.torn_bytes;
+
+  if (wal.records.empty()) {
+    return Status::Internal(StrFormat(
+        "segment '%s' is missing its opening version record",
+        report.manifest.wal.c_str()));
+  }
+
+  uint64_t last_lsn = 0;
+  for (size_t i = 0; i < wal.records.size(); ++i) {
+    const WalRecord& record = wal.records[i];
+    PCQE_INJECT_FAULT(fault_sites::kRecoveryReplay);
+    if (i == 0) {
+      if (record.type != WalRecordType::kVersionSet) {
+        return Status::Internal(
+            StrFormat("segment '%s' does not open with a version record",
+                      report.manifest.wal.c_str()));
+      }
+      if (record.lsn != report.manifest.truncate_lsn) {
+        return Status::Internal(StrFormat(
+            "segment opens at LSN %llu but the manifest truncates at %llu",
+            static_cast<unsigned long long>(record.lsn),
+            static_cast<unsigned long long>(report.manifest.truncate_lsn)));
+      }
+      if (record.version != report.checkpoint_version) {
+        return Status::Internal(StrFormat(
+            "segment asserts checkpoint version %llu but the checkpoint "
+            "loaded at %llu",
+            static_cast<unsigned long long>(record.version),
+            static_cast<unsigned long long>(report.checkpoint_version)));
+      }
+    } else {
+      if (record.lsn <= last_lsn) {
+        return Status::Internal(
+            StrFormat("LSN %llu out of order after %llu",
+                      static_cast<unsigned long long>(record.lsn),
+                      static_cast<unsigned long long>(last_lsn)));
+      }
+      if (record.type != WalRecordType::kCommit) {
+        return Status::Internal(StrFormat(
+            "unexpected non-commit record mid-segment at LSN %llu",
+            static_cast<unsigned long long>(record.lsn)));
+      }
+      for (const WalAction& action : record.actions) {
+        PCQE_RETURN_NOT_OK(
+            catalog->SetConfidence(action.tuple, action.to)
+                .WithContext(StrFormat(
+                    "replaying LSN %llu",
+                    static_cast<unsigned long long>(record.lsn))));
+      }
+      if (catalog->confidence_version() != record.version) {
+        return Status::Internal(StrFormat(
+            "replay of LSN %llu left confidence_version %llu, record logged "
+            "%llu",
+            static_cast<unsigned long long>(record.lsn),
+            static_cast<unsigned long long>(catalog->confidence_version()),
+            static_cast<unsigned long long>(record.version)));
+      }
+      ++report.replayed_commits;
+      report.replayed_actions += record.actions.size();
+    }
+    last_lsn = record.lsn;
+    ++report.replayed_records;
+  }
+
+  report.recovered_version = catalog->confidence_version();
+  report.next_lsn = last_lsn + 1;
+  return report;
+}
+
+}  // namespace pcqe

@@ -1,0 +1,262 @@
+#include "storage/storage_manager.h"
+
+#include <filesystem>
+#include <utility>
+
+#include "common/fault_injection.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "relational/catalog.h"
+#include "relational/database_io.h"
+
+namespace pcqe {
+
+namespace {
+
+std::string CheckpointName(uint64_t lsn) {
+  return StrFormat("checkpoint-%06llu", static_cast<unsigned long long>(lsn));
+}
+
+std::string WalName(uint64_t lsn) {
+  return StrFormat("wal-%06llu.log", static_cast<unsigned long long>(lsn));
+}
+
+}  // namespace
+
+StorageManager::~StorageManager() {
+  MutexLock lock(mu_);
+  if (writer_ != nullptr && writer_->buffered() > 0) {
+    // Best-effort flush of commits accepted with sync_each_commit off;
+    // losing them on a clean shutdown would be gratuitous.
+    Status synced = writer_->Sync();
+    if (!synced.ok()) {
+      PCQE_LOG(Warning) << "final WAL sync failed: " << synced.ToString();
+    }
+  }
+}
+
+Status StorageManager::Open(const DurabilityOptions& options, Catalog* catalog) {
+  if (!options.enabled()) {
+    return Status::InvalidArgument("durability options carry no directory");
+  }
+  if (catalog == nullptr) {
+    return Status::InvalidArgument("durable storage needs a catalog");
+  }
+  MutexLock lock(mu_);
+  return OpenLocked(options, catalog);
+}
+
+Status StorageManager::OpenLocked(const DurabilityOptions& options,
+                                  Catalog* catalog) {
+  std::error_code ec;
+  std::filesystem::create_directories(options.dir, ec);
+  if (ec) {
+    return Status::Internal(StrFormat("cannot create storage dir '%s': %s",
+                                      options.dir.c_str(), ec.message().c_str()));
+  }
+  options_ = options;
+  catalog_ = catalog;
+  writer_.reset();
+  if (ManifestExists(options_.dir)) {
+    return RecoverLocked();
+  }
+  // Fresh directory: the initial checkpoint snapshots whatever the catalog
+  // holds right now (possibly empty) and starts the first segment.
+  return CheckpointLocked(*catalog_);
+}
+
+Status StorageManager::LogAccept(uint64_t catalog_version,
+                                 const std::vector<WalAction>& actions) {
+  MutexLock lock(mu_);
+  if (writer_ == nullptr) {
+    return Status::Internal("durable storage is not open");
+  }
+  WalRecord record;
+  record.lsn = next_lsn_;
+  record.type = WalRecordType::kCommit;
+  record.version = catalog_version + actions.size();
+  record.actions = actions;
+
+  const size_t buffer_mark = writer_->buffered();
+  const uint64_t file_mark = writer_->file_size();
+  Status logged = writer_->Append(record);
+  if (logged.ok() && options_.sync_each_commit) {
+    logged = writer_->Sync();
+  }
+  if (!logged.ok()) {
+    writer_->Rollback(buffer_mark, file_mark);
+    return logged.WithContext("accept transaction rolled back");
+  }
+  ++next_lsn_;
+  uint64_t bytes =
+      writer_->buffered() + (writer_->file_size() - file_mark) - buffer_mark;
+  wal_appends_ += 1;
+  wal_bytes_ += bytes;
+  if (metrics_.wal_appends != nullptr) metrics_.wal_appends->Increment();
+  if (metrics_.wal_bytes != nullptr) metrics_.wal_bytes->Increment(bytes);
+  if (options_.sync_each_commit) {
+    syncs_ += 1;
+    if (metrics_.syncs != nullptr) metrics_.syncs->Increment();
+  }
+  return Status::OK();
+}
+
+Status StorageManager::Checkpoint(const Catalog& catalog) {
+  MutexLock lock(mu_);
+  if (catalog_ == nullptr) {
+    return Status::Internal("durable storage is not open");
+  }
+  return CheckpointLocked(catalog);
+}
+
+Status StorageManager::CheckpointLocked(const Catalog& catalog) {
+  PCQE_INJECT_FAULT(fault_sites::kCheckpoint);
+  const uint64_t lsn = next_lsn_;
+  const std::string checkpoint = CheckpointName(lsn);
+  const std::string wal = WalName(lsn);
+
+  // 1. Snapshot into a temp directory, then rename into place. A crash
+  //    mid-snapshot leaves only an orphan temp dir; the old manifest still
+  //    points at intact state.
+  std::string tmp = options_.dir + "/" + checkpoint + ".tmp";
+  std::error_code ec;
+  std::filesystem::remove_all(tmp, ec);
+  std::filesystem::create_directories(tmp, ec);
+  if (ec) {
+    return Status::Internal(StrFormat("cannot create checkpoint dir '%s': %s",
+                                      tmp.c_str(), ec.message().c_str()));
+  }
+  PCQE_RETURN_NOT_OK(SaveDatabase(catalog, tmp).WithContext("checkpoint snapshot"));
+  std::string final_dir = options_.dir + "/" + checkpoint;
+  std::filesystem::remove_all(final_dir, ec);
+  std::filesystem::rename(tmp, final_dir, ec);
+  if (ec) {
+    return Status::Internal(StrFormat("cannot publish checkpoint '%s': %s",
+                                      final_dir.c_str(), ec.message().c_str()));
+  }
+
+  // 2. Start the new segment with its synced opening version record. The
+  //    manager's lock is held for the whole checkpoint, so no commit can
+  //    interleave between the snapshot and the rotation.
+  PCQE_ASSIGN_OR_RETURN(std::unique_ptr<WalWriter> fresh,
+                        WalWriter::Create(options_.dir + "/" + wal));
+  WalRecord opening;
+  opening.lsn = lsn;
+  opening.type = WalRecordType::kVersionSet;
+  opening.version = catalog.confidence_version();
+  PCQE_RETURN_NOT_OK(fresh->Append(opening));
+  PCQE_RETURN_NOT_OK(fresh->Sync());
+
+  // 3. Publish. This rename is the commit point: before it, recovery uses
+  //    the previous pair; after it, the new one.
+  DurabilityManifest manifest{checkpoint, wal, lsn};
+  PCQE_RETURN_NOT_OK(SaveManifest(options_.dir, manifest));
+
+  // 4. Swap in memory and retire the superseded files (best-effort; stale
+  //    files are unreferenced and harmless).
+  std::string old_checkpoint = manifest_.checkpoint;
+  std::string old_wal = manifest_.wal;
+  writer_ = std::move(fresh);
+  manifest_ = manifest;
+  next_lsn_ = lsn + 1;
+  checkpoints_ += 1;
+  if (metrics_.checkpoints != nullptr) metrics_.checkpoints->Increment();
+  if (!old_checkpoint.empty() && old_checkpoint != checkpoint) {
+    std::filesystem::remove_all(options_.dir + "/" + old_checkpoint, ec);
+  }
+  if (!old_wal.empty() && old_wal != wal) {
+    std::filesystem::remove(options_.dir + "/" + old_wal, ec);
+  }
+  return Status::OK();
+}
+
+Status StorageManager::Recover() {
+  MutexLock lock(mu_);
+  if (catalog_ == nullptr) {
+    return Status::Internal("durable storage is not open");
+  }
+  return RecoverLocked();
+}
+
+Status StorageManager::RecoverLocked() {
+  writer_.reset();  // drop all non-durable buffered state — the "crash"
+  RecoveryManager recovery(options_.dir);
+  PCQE_ASSIGN_OR_RETURN(RecoveryReport report, recovery.Recover(catalog_));
+  PCQE_ASSIGN_OR_RETURN(
+      std::unique_ptr<WalWriter> resumed,
+      WalWriter::Resume(options_.dir + "/" + report.manifest.wal,
+                        report.wal_valid_bytes));
+  writer_ = std::move(resumed);
+  manifest_ = report.manifest;
+  next_lsn_ = report.next_lsn;
+  recovered_records_ += report.replayed_records;
+  recovered_version_ = report.recovered_version;
+  if (metrics_.recovered_records != nullptr) {
+    metrics_.recovered_records->Increment(report.replayed_records);
+  }
+  PCQE_LOG(Info) << "recovered catalog from " << options_.dir << ": checkpoint "
+                 << report.manifest.checkpoint << " + " << report.replayed_commits
+                 << " commits (" << report.replayed_actions << " actions), version "
+                 << report.recovered_version
+                 << (report.wal_torn_bytes > 0
+                         ? StrFormat(", %llu torn bytes skipped",
+                                     static_cast<unsigned long long>(
+                                         report.wal_torn_bytes))
+                         : "");
+  return Status::OK();
+}
+
+void StorageManager::AttachTelemetry(TelemetryRegistry* registry) {
+  MutexLock lock(mu_);
+  if (registry == nullptr) {
+    metrics_ = StorageMetrics{};
+    return;
+  }
+  metrics_.wal_appends = registry->GetCounter(
+      "pcqe_storage_wal_appends_total", "Accept transactions appended to the WAL");
+  metrics_.wal_bytes = registry->GetCounter("pcqe_storage_wal_bytes_total",
+                                            "Bytes appended to the WAL");
+  metrics_.syncs =
+      registry->GetCounter("pcqe_storage_syncs_total", "WAL fsync batches");
+  metrics_.checkpoints = registry->GetCounter("pcqe_storage_checkpoints_total",
+                                              "Checkpoints published");
+  metrics_.recovered_records = registry->GetCounter(
+      "pcqe_storage_recovered_records_total", "WAL records replayed by recovery");
+  // Seed with tallies accumulated before attachment (e.g. the recovery that
+  // ran inside Open).
+  auto seed = [](Counter* counter, uint64_t tally) {
+    uint64_t published = counter->value();
+    if (tally > published) counter->Increment(tally - published);
+  };
+  seed(metrics_.wal_appends, wal_appends_);
+  seed(metrics_.wal_bytes, wal_bytes_);
+  seed(metrics_.syncs, syncs_);
+  seed(metrics_.checkpoints, checkpoints_);
+  seed(metrics_.recovered_records, recovered_records_);
+}
+
+bool StorageManager::open() const {
+  MutexLock lock(mu_);
+  return writer_ != nullptr;
+}
+
+StorageSnapshot StorageManager::snapshot() const {
+  MutexLock lock(mu_);
+  StorageSnapshot snap;
+  snap.dir = options_.dir;
+  snap.checkpoint = manifest_.checkpoint;
+  snap.wal = manifest_.wal;
+  snap.truncate_lsn = manifest_.truncate_lsn;
+  snap.next_lsn = next_lsn_;
+  snap.wal_buffered_bytes = writer_ != nullptr ? writer_->buffered() : 0;
+  snap.wal_file_bytes = writer_ != nullptr ? writer_->file_size() : 0;
+  snap.wal_appends = wal_appends_;
+  snap.wal_bytes = wal_bytes_;
+  snap.syncs = syncs_;
+  snap.checkpoints = checkpoints_;
+  snap.recovered_records = recovered_records_;
+  snap.recovered_version = recovered_version_;
+  return snap;
+}
+
+}  // namespace pcqe

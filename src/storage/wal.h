@@ -1,0 +1,139 @@
+// Copyright (c) PCQE contributors.
+// Append-only binary write-ahead log for catalog confidence mutations.
+//
+// File layout: an 8-byte magic ("PCQEWAL1") followed by framed records:
+//
+//   [u32 payload_len][u32 crc32(payload)][payload]
+//
+// payload (little-endian):
+//   [u64 lsn][u8 type][u64 version]
+//   type kCommit additionally: [u32 count] count x { [u64 tuple]
+//   [f64 from][f64 to][f64 cost] }
+//
+// `version` is the catalog `confidence_version()` *after* the record is
+// applied, so replay can verify it reproduced the exact version history.
+// A reader stops cleanly at a torn tail (short header, short payload or
+// CRC mismatch at the end of the file): everything before the tear is
+// intact — the invariant the whole recovery design rests on. A CRC-valid
+// record whose payload does not decode is real corruption and fails hard.
+
+#ifndef PCQE_STORAGE_WAL_H_
+#define PCQE_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace pcqe {
+
+/// \brief What a WAL record describes.
+enum class WalRecordType : uint8_t {
+  /// Opening record of a segment: asserts the catalog version at the
+  /// checkpoint the segment extends. Carries no actions.
+  kVersionSet = 1,
+  /// One committed `AcceptProposal`: the full action list, applied
+  /// atomically on replay.
+  kCommit = 2,
+};
+
+/// \brief One confidence increment inside a commit record. Mirrors
+/// `IncrementAction` (strategy/solution.h) but is defined here so the
+/// storage layer does not depend on the solver libraries.
+struct WalAction {
+  uint64_t tuple = 0;  ///< catalog-wide BaseTupleId
+  double from = 0.0;   ///< confidence before the increment (audit)
+  double to = 0.0;     ///< confidence after the increment (replayed)
+  double cost = 0.0;   ///< committed improvement cost (audit)
+};
+
+/// \brief One decoded WAL record.
+struct WalRecord {
+  uint64_t lsn = 0;
+  WalRecordType type = WalRecordType::kCommit;
+  /// Catalog `confidence_version()` after applying this record.
+  uint64_t version = 0;
+  /// `kCommit` only.
+  std::vector<WalAction> actions;
+};
+
+/// \brief Buffered appender over one WAL segment file.
+///
+/// `Append` only serializes into an in-memory buffer; `Sync` writes the
+/// buffer and fsyncs, so a commit is durable exactly when `Sync` returns
+/// OK. Not thread-safe — `StorageManager` serializes all access under its
+/// own mutex. Probes the `storage.wal_append` / `storage.wal_sync` fault
+/// sites so tests can crash a transaction at either boundary.
+class WalWriter {
+ public:
+  /// Starts a fresh segment at `path` (truncating any existing file) and
+  /// durably writes the magic.
+  [[nodiscard]] static Result<std::unique_ptr<WalWriter>> Create(
+      const std::string& path);
+
+  /// Reopens an existing segment for appending. `valid_bytes` is the intact
+  /// prefix reported by `ReadWal`; any torn tail past it is truncated away
+  /// before the first new append.
+  [[nodiscard]] static Result<std::unique_ptr<WalWriter>> Resume(
+      const std::string& path, uint64_t valid_bytes);
+
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Serializes `record` into the buffer (probes `storage.wal_append`).
+  [[nodiscard]] Status Append(const WalRecord& record);
+
+  /// Writes the buffer to the file and fsyncs (probes `storage.wal_sync`).
+  /// On success the buffer is empty and `file_size()` has advanced.
+  [[nodiscard]] Status Sync();
+
+  /// Undoes a failed transaction: drops buffered bytes past `buffer_mark`
+  /// and truncates the file back to `file_mark`, covering the gray zone
+  /// where a failed `Sync` wrote some bytes before erroring. Best-effort
+  /// on the file side (a truncate failure leaves a torn tail the reader
+  /// already skips).
+  void Rollback(size_t buffer_mark, uint64_t file_mark);
+
+  /// Bytes serialized but not yet durably written.
+  size_t buffered() const { return buffer_.size(); }
+  /// Durable size of the segment file (magic + synced records).
+  uint64_t file_size() const { return file_size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  WalWriter(std::string path, int fd, uint64_t file_size)
+      : path_(std::move(path)), fd_(fd), file_size_(file_size) {}
+
+  std::string path_;
+  int fd_;
+  std::string buffer_;
+  uint64_t file_size_;
+};
+
+/// \brief Everything `ReadWal` learned about one segment.
+struct WalReadResult {
+  std::vector<WalRecord> records;
+  /// Offset one past the last intact record (>= 8, the magic).
+  uint64_t valid_bytes = 0;
+  /// Trailing bytes discarded as a torn tail (0 on a clean segment).
+  uint64_t torn_bytes = 0;
+};
+
+/// \brief Reads every intact record of the segment at `path`.
+///
+/// `kNotFound` when the file is missing, `kInternal` on a bad magic or a
+/// CRC-valid record that does not decode; a torn tail is *not* an error.
+[[nodiscard]] Result<WalReadResult> ReadWal(const std::string& path);
+
+/// CRC32 (IEEE, reflected, poly 0xEDB88320) over `data`. Exposed for
+/// tests that hand-corrupt frames.
+uint32_t WalCrc32(const char* data, size_t size);
+
+}  // namespace pcqe
+
+#endif  // PCQE_STORAGE_WAL_H_

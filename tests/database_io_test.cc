@@ -157,5 +157,120 @@ TEST(DatabaseIoTest, QueriesWorkAfterReload) {
   EXPECT_DOUBLE_EQ((*loaded.GetTable("p"))->tuple(0).confidence(), 0.4);
 }
 
+TEST(DatabaseIoTest, RejectsNonNumericConfidenceCells) {
+  // Regression: these cells used to go through an unchecked strtod, so a
+  // garbage confidence silently loaded as 0.0 and every row read as fully
+  // blocked. They must be rejected loudly instead.
+  std::string dir = FreshDir("dbio_bad_conf");
+  {
+    std::ofstream(dir + "/manifest.pcqe") << "t\n";
+    std::ofstream(dir + "/t.schema") << "n\tBIGINT\n";
+    std::ofstream(dir + "/t.csv") << "n,__confidence,__max_confidence,__cost\n"
+                                  << "1,0.5x,1,linear(a=1)\n";
+  }
+  Catalog catalog;
+  Status s = LoadDatabase(dir, &catalog);
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_NE(s.message().find("__confidence"), std::string::npos) << s.ToString();
+
+  std::ofstream(dir + "/t.csv") << "n,__confidence,__max_confidence,__cost\n"
+                                << "1,0.5,,linear(a=1)\n";
+  Catalog catalog2;
+  Status empty_cell = LoadDatabase(dir, &catalog2);
+  EXPECT_TRUE(empty_cell.IsInvalidArgument()) << empty_cell.ToString();
+  EXPECT_NE(empty_cell.message().find("__max_confidence"), std::string::npos);
+}
+
+TEST(DatabaseIoTest, RejectsConfidenceOutsideUnitInterval) {
+  std::string dir = FreshDir("dbio_conf_range");
+  {
+    std::ofstream(dir + "/manifest.pcqe") << "t\n";
+    std::ofstream(dir + "/t.schema") << "n\tBIGINT\n";
+    std::ofstream(dir + "/t.csv") << "n,__confidence,__max_confidence,__cost\n"
+                                  << "1,1.5,1,linear(a=1)\n";
+  }
+  Catalog catalog;
+  EXPECT_TRUE(LoadDatabase(dir, &catalog).IsInvalidArgument());
+
+  std::ofstream(dir + "/t.csv") << "n,__confidence,__max_confidence,__cost\n"
+                                << "1,0.5,-0.25,linear(a=1)\n";
+  Catalog catalog2;
+  EXPECT_TRUE(LoadDatabase(dir, &catalog2).IsInvalidArgument());
+}
+
+TEST(DatabaseIoTest, HeaderRoundTripsConfidenceVersionAndTableIds) {
+  Catalog catalog;
+  Table* a = *catalog.CreateTable("a", Schema({{"x", DataType::kInt64, ""}}));
+  Table* b = *catalog.CreateTable("b", Schema({{"y", DataType::kInt64, ""}}));
+  BaseTupleId id_a = *a->Insert({Value::Int(1)}, 0.3);
+  BaseTupleId id_b = *b->Insert({Value::Int(2)}, 0.4);
+  ASSERT_TRUE(catalog.SetConfidence(id_a, 0.5).ok());
+  ASSERT_TRUE(catalog.SetConfidence(id_b, 0.6).ok());
+  ASSERT_TRUE(catalog.SetConfidence(id_a, 0.7).ok());
+  ASSERT_EQ(catalog.confidence_version(), 3u);
+
+  std::string dir = FreshDir("dbio_header");
+  ASSERT_TRUE(SaveDatabase(catalog, dir).ok());
+  Catalog loaded;
+  ASSERT_TRUE(LoadDatabase(dir, &loaded).ok());
+  // The version counter survives, so version-keyed caches stay sound.
+  EXPECT_EQ(loaded.confidence_version(), 3u);
+  // Tuple ids are reproduced exactly: persisted BaseTupleIds (WAL actions,
+  // lineage references) keep resolving to the same tuples.
+  EXPECT_DOUBLE_EQ((*loaded.FindTuple(id_a))->confidence(), 0.7);
+  EXPECT_DOUBLE_EQ((*loaded.FindTuple(id_b))->confidence(), 0.6);
+  EXPECT_EQ((*loaded.GetTable("a"))->table_id(), a->table_id());
+  EXPECT_EQ((*loaded.GetTable("b"))->table_id(), b->table_id());
+  // Fresh table ids continue past the restored ones (no aliasing).
+  Table* c = *loaded.CreateTable("c", Schema({{"z", DataType::kInt64, ""}}));
+  EXPECT_GT(c->table_id(), b->table_id());
+}
+
+TEST(DatabaseIoTest, RejectsMalformedHeaders) {
+  std::string dir = FreshDir("dbio_bad_header");
+  std::ofstream(dir + "/t.schema") << "n\tBIGINT\n";
+  std::ofstream(dir + "/t.csv") << "n,__confidence,__max_confidence,__cost\n";
+  struct Case {
+    const char* manifest;
+    bool invalid_argument;  // else: parse error
+  };
+  const Case cases[] = {
+      {"PCQE_DB 3\nconfidence_version 0\ntable 1 t\n", true},
+      {"PCQE_DB x\nconfidence_version 0\ntable 1 t\n", true},
+      {"PCQE_DB 2\n", true},
+      {"PCQE_DB 2\nconfidence_version x\ntable 1 t\n", true},
+      {"PCQE_DB 2\nconfidence_version 0\nt\n", false},
+      {"PCQE_DB 2\nconfidence_version 0\ntable 0 t\n", true},
+      {"PCQE_DB 2\nconfidence_version 0\ntable 1\n", false},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.manifest);
+    std::ofstream(dir + "/manifest.pcqe") << c.manifest;
+    Catalog catalog;
+    Status s = LoadDatabase(dir, &catalog);
+    if (c.invalid_argument) {
+      EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+    } else {
+      EXPECT_TRUE(s.IsParseError()) << s.ToString();
+    }
+  }
+}
+
+TEST(DatabaseIoTest, LegacyHeaderlessManifestStillLoads) {
+  std::string dir = FreshDir("dbio_legacy");
+  {
+    std::ofstream(dir + "/manifest.pcqe") << "t\n";
+    std::ofstream(dir + "/t.schema") << "n\tBIGINT\n";
+    std::ofstream(dir + "/t.csv") << "n,__confidence,__max_confidence,__cost\n"
+                                  << "1,0.5,1,linear(a=1)\n";
+  }
+  Catalog catalog;
+  ASSERT_TRUE(LoadDatabase(dir, &catalog).ok());
+  const Table* t = *catalog.GetTable("t");
+  EXPECT_EQ(t->num_tuples(), 1u);
+  EXPECT_GT(t->table_id(), 0u);       // fresh id assigned
+  EXPECT_EQ(catalog.confidence_version(), 0u);  // no version to restore
+}
+
 }  // namespace
 }  // namespace pcqe

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <filesystem>
 #include <memory>
 #include <set>
 #include <string>
@@ -19,6 +20,7 @@
 
 #include "common/fault_injection.h"
 #include "service/query_service.h"
+#include "storage/storage_manager.h"
 #include "strategy/dnc.h"
 #include "strategy/greedy.h"
 #include "strategy/heuristic.h"
@@ -134,7 +136,7 @@ FaultInjector::SiteConfig SyntheticOutage() {
 
 TEST_F(FaultInjectionTest, KnownSitesEnumeratesEveryProbePoint) {
   const std::vector<const char*>& sites = FaultInjector::KnownSites();
-  EXPECT_EQ(sites.size(), 11u);
+  EXPECT_EQ(sites.size(), 16u);
   std::set<std::string> unique(sites.begin(), sites.end());
   EXPECT_EQ(unique.size(), sites.size());
 }
@@ -154,6 +156,15 @@ TEST_F(FaultInjectionTest, EveryRegisteredSiteIsReachable) {
   IncrementProblem small_problem = *small.ToProblem();
   ASSERT_TRUE(SolveHeuristic(small_problem).ok());
 
+  // Storage sites: opening a fresh directory checkpoints (checkpoint +
+  // manifest probes), the durable accept below logs (append + sync), and
+  // the final recovery replays.
+  std::string dir = ::testing::TempDir() + "/fault_site_sweep";
+  std::filesystem::remove_all(dir);
+  StorageManager storage;
+  ASSERT_TRUE(storage.Open({.dir = dir}, &catalog_).ok());
+  engine_->AttachStorage(&storage);
+
   // Engine + service sites, through a full request + accept cycle.
   QueryService service(engine_.get(), {.num_workers = 1});
   SessionHandle mary = *service.OpenSession("mary", "investment");
@@ -165,6 +176,8 @@ TEST_F(FaultInjectionTest, EveryRegisteredSiteIsReachable) {
   ASSERT_TRUE(outcome->proposal.needed);
   ASSERT_TRUE(service.Accept(outcome->proposal).ok());
   service.Shutdown();
+  ASSERT_TRUE(storage.Recover().ok());
+  engine_->AttachStorage(nullptr);
 
   for (const char* site : FaultInjector::KnownSites()) {
     EXPECT_GT(injector.hits(site), 0u) << "site never probed: " << site;

@@ -1,0 +1,14 @@
+// pcqe-lint-fixture-path: src/example/bad_durability.cc
+// Fixture: a confidence write outside the logged improve/storage path.
+// With durability on this mutation never reaches the WAL, so a crash
+// silently loses it and replay's version check desynchronizes.
+
+namespace pcqe {
+
+class Catalog;
+
+Status Nudge(Catalog* catalog, unsigned long long tuple) {
+  return catalog->SetConfidence(tuple, 0.9);
+}
+
+}  // namespace pcqe

@@ -1,0 +1,14 @@
+// pcqe-lint-fixture-path: src/storage/example_replay.cc
+// Fixture: src/storage/ (like src/relational/ and src/improve/) is the
+// sanctioned home of confidence writes — replay reconstructs the catalog
+// from logged records, so the durability rule must not fire here.
+
+namespace pcqe {
+
+class Catalog;
+
+Status Replay(Catalog* catalog, unsigned long long tuple, double to) {
+  return catalog->SetConfidence(tuple, to);
+}
+
+}  // namespace pcqe

@@ -5,6 +5,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <future>
 #include <memory>
 #include <string>
@@ -528,6 +530,165 @@ TEST_F(QueryServiceTest, QueueOverflowLogsAWarning) {
   }
   LogConfig::set_sink(previous);
   EXPECT_TRUE(capture.Contains("queue full"));
+}
+
+std::string FreshServiceDir(const char* name) {
+  std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST_F(QueryServiceTest, DurableAcceptSurvivesServiceRestart) {
+  std::string dir = FreshServiceDir("svc_durable_restart");
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.durability.dir = dir;
+
+  uint64_t version = 0;
+  double improved = 0.0;
+  {
+    auto service = MakeService(options);
+    ASSERT_TRUE(service->durability_status().ok())
+        << service->durability_status().ToString();
+    SessionHandle mary = *service->OpenSession("mary", "investment");
+    QueryOutcome blocked =
+        *service->Submit(mary, {.sql = kCandidateQuery, .required_fraction = 1.0});
+    ASSERT_TRUE(blocked.proposal.needed);
+    ASSERT_TRUE(service->Accept(blocked.proposal).ok());
+    QueryOutcome after =
+        *service->Submit(mary, {.sql = kCandidateQuery, .required_fraction = 1.0});
+    EXPECT_EQ(after.released.size(), 1u);
+    version = catalog_.confidence_version();
+    improved = (*catalog_.FindTuple(id03_))->confidence();
+  }  // service shuts down; the "machine" below restarts from disk alone
+
+  // A fresh catalog + engine + service over the same directory recovers the
+  // accepted state during construction and serves the released row on the
+  // very first request.
+  Catalog revived_catalog;
+  RoleGraph roles;
+  ASSERT_TRUE(roles.AddRole("Manager").ok());
+  ASSERT_TRUE(roles.AddUser("mary").ok());
+  ASSERT_TRUE(roles.AssignRole("mary", "Manager").ok());
+  PolicyStore policies;
+  ASSERT_TRUE(policies.AddPolicy(roles, {"Manager", "investment", 0.06}).ok());
+  PcqeEngine revived_engine(&revived_catalog, std::move(roles), std::move(policies));
+  QueryService revived(&revived_engine, options);
+  ASSERT_TRUE(revived.durability_status().ok())
+      << revived.durability_status().ToString();
+  EXPECT_EQ(revived_catalog.confidence_version(), version);
+  EXPECT_EQ((*revived_catalog.FindTuple(id03_))->confidence(), improved);
+  SessionHandle mary = *revived.OpenSession("mary", "investment");
+  QueryOutcome served =
+      *revived.Submit(mary, {.sql = kCandidateQuery, .required_fraction = 1.0});
+  EXPECT_EQ(served.released.size(), 1u);
+  EXPECT_FALSE(served.proposal.needed);
+}
+
+TEST_F(QueryServiceTest, CheckpointAndRecoverRoundTripThroughService) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.durability.dir = FreshServiceDir("svc_checkpoint");
+  auto service = MakeService(options);
+  ASSERT_TRUE(service->durability_status().ok());
+  SessionHandle mary = *service->OpenSession("mary", "investment");
+  QueryOutcome blocked =
+      *service->Submit(mary, {.sql = kCandidateQuery, .required_fraction = 1.0});
+  ASSERT_TRUE(service->Accept(blocked.proposal).ok());
+  uint64_t version = catalog_.confidence_version();
+
+  ASSERT_TRUE(service->Checkpoint().ok());
+  ASSERT_TRUE(service->Recover().ok());
+  EXPECT_EQ(catalog_.confidence_version(), version);
+  QueryOutcome served =
+      *service->Submit(mary, {.sql = kCandidateQuery, .required_fraction = 1.0});
+  EXPECT_EQ(served.released.size(), 1u);
+}
+
+TEST_F(QueryServiceTest, RecoverClearsStaleVersionKeyedCacheEntries) {
+  // The cache keys evaluations on (SQL, confidence_version). Recovery can
+  // rewind the version and a later write can re-reach the *same* number
+  // with different confidences — a pre-recovery entry served then would be
+  // silently wrong. Recover() must drop the whole cache.
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.durability.dir = FreshServiceDir("svc_cache_recovery");
+  auto service = MakeService(options);
+  ASSERT_TRUE(service->durability_status().ok());
+  SessionHandle mary = *service->OpenSession("mary", "investment");
+
+  // A durable baseline: one logged accept.
+  QueryOutcome blocked =
+      *service->Submit(mary, {.sql = kCandidateQuery, .required_fraction = 1.0});
+  ASSERT_TRUE(blocked.proposal.needed);
+  ASSERT_TRUE(service->Accept(blocked.proposal).ok());
+  uint64_t logged_version = catalog_.confidence_version();
+
+  // An out-of-band, *unlogged* confidence write (version N = logged + 1),
+  // then a submission that caches its evaluation keyed at N.
+  ASSERT_TRUE(catalog_.SetConfidence(id03_, 0.9).ok());
+  QueryOutcome poisoned =
+      *service->Submit(mary, {.sql = kCandidateQuery, .required_fraction = 0.0});
+  uint64_t poisoned_version = catalog_.confidence_version();
+  ASSERT_EQ(poisoned_version, logged_version + 1);
+
+  // Recovery rewinds to the logged history (the unlogged write is exactly
+  // the kind of state a crash loses)...
+  ASSERT_TRUE(service->Recover().ok());
+  ASSERT_EQ(catalog_.confidence_version(), logged_version);
+
+  // ...and a different unlogged write re-reaches version N with a
+  // *different* confidence.
+  ASSERT_TRUE(catalog_.SetConfidence(id03_, 0.2).ok());
+  ASSERT_EQ(catalog_.confidence_version(), poisoned_version);
+
+  size_t misses_before = service->stats().cache_misses;
+  QueryOutcome fresh =
+      *service->Submit(mary, {.sql = kCandidateQuery, .required_fraction = 0.0});
+  // Must be a miss — the stale entry cached at the same version number is
+  // gone — and the evaluation must reflect 0.2, not the cached 0.9.
+  EXPECT_EQ(service->stats().cache_misses, misses_before + 1);
+  ASSERT_EQ(fresh.intermediate.rows.size(), poisoned.intermediate.rows.size());
+  bool differs = false;
+  for (size_t i = 0; i < fresh.intermediate.rows.size(); ++i) {
+    differs |= fresh.intermediate.rows[i].confidence !=
+               poisoned.intermediate.rows[i].confidence;
+  }
+  EXPECT_TRUE(differs);
+
+  // The warm path stays correct after recovery: an immediate re-submission
+  // hits the fresh entry and serves the same confidences.
+  size_t hits_before = service->stats().cache_hits;
+  QueryOutcome warm =
+      *service->Submit(mary, {.sql = kCandidateQuery, .required_fraction = 0.0});
+  EXPECT_EQ(service->stats().cache_hits, hits_before + 1);
+  ASSERT_EQ(warm.intermediate.rows.size(), fresh.intermediate.rows.size());
+  for (size_t i = 0; i < warm.intermediate.rows.size(); ++i) {
+    EXPECT_EQ(warm.intermediate.rows[i].confidence,
+              fresh.intermediate.rows[i].confidence);
+  }
+}
+
+TEST_F(QueryServiceTest, FailedDurabilityOpenDisablesAcceptsNotReads) {
+  // Point the storage directory at a regular file: Open must fail.
+  std::string dir = FreshServiceDir("svc_durable_broken");
+  { std::ofstream(dir) << "not a directory"; }
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.durability.dir = dir + "/sub";
+  auto service = MakeService(options);
+  EXPECT_FALSE(service->durability_status().ok());
+
+  // Reads still serve; accepts are refused with the open error.
+  SessionHandle mary = *service->OpenSession("mary", "investment");
+  QueryOutcome blocked =
+      *service->Submit(mary, {.sql = kCandidateQuery, .required_fraction = 1.0});
+  ASSERT_TRUE(blocked.proposal.needed);
+  Status refused = service->Accept(blocked.proposal);
+  EXPECT_FALSE(refused.ok());
+  EXPECT_EQ(catalog_.confidence_version(), 0u);
+  EXPECT_TRUE(service->Checkpoint().ok() == false);
+  EXPECT_TRUE(service->Recover().ok() == false);
 }
 
 }  // namespace

@@ -1,0 +1,444 @@
+// Unit tests for the durable-catalog storage layer: WAL framing and
+// torn-tail semantics, manifest round-trip, checkpoint rotation, and the
+// LogAccept rollback contract. Crash-point recovery scenarios (arming the
+// storage.* fault sites end-to-end through the engine) live in
+// recovery_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "relational/catalog.h"
+#include "storage/manifest.h"
+#include "storage/storage_manager.h"
+#include "storage/wal.h"
+
+namespace pcqe {
+namespace {
+
+std::string FreshDir(const char* name) {
+  std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+uint64_t FileSize(const std::string& path) {
+  return static_cast<uint64_t>(std::filesystem::file_size(path));
+}
+
+/// Reads the raw bytes of `path`.
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void Spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+WalRecord VersionRecord(uint64_t lsn, uint64_t version) {
+  WalRecord record;
+  record.lsn = lsn;
+  record.type = WalRecordType::kVersionSet;
+  record.version = version;
+  return record;
+}
+
+WalRecord CommitRecord(uint64_t lsn, uint64_t version,
+                       std::vector<WalAction> actions) {
+  WalRecord record;
+  record.lsn = lsn;
+  record.type = WalRecordType::kCommit;
+  record.version = version;
+  record.actions = std::move(actions);
+  return record;
+}
+
+class StorageTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Global().DisarmAll(); }
+};
+
+TEST_F(StorageTest, WalRoundTripsRecordsExactly) {
+  std::string path = FreshDir("wal_round_trip") + "/wal.log";
+  auto writer = WalWriter::Create(path);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  ASSERT_TRUE((*writer)->Append(VersionRecord(1, 0)).ok());
+  ASSERT_TRUE((*writer)
+                  ->Append(CommitRecord(2, 2,
+                                        {{0x100000001ull, 0.25, 0.5, 3.75},
+                                         {0x100000002ull, 0.5, 0.9, 12.5}}))
+                  .ok());
+  ASSERT_TRUE((*writer)->Append(CommitRecord(3, 3, {{42, 0.0, 1.0, 0.125}})).ok());
+  ASSERT_TRUE((*writer)->Sync().ok());
+  EXPECT_EQ((*writer)->buffered(), 0u);
+  EXPECT_EQ((*writer)->file_size(), FileSize(path));
+
+  auto read = ReadWal(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read->torn_bytes, 0u);
+  EXPECT_EQ(read->valid_bytes, FileSize(path));
+  ASSERT_EQ(read->records.size(), 3u);
+  EXPECT_EQ(read->records[0].lsn, 1u);
+  EXPECT_EQ(read->records[0].type, WalRecordType::kVersionSet);
+  EXPECT_EQ(read->records[0].version, 0u);
+  EXPECT_TRUE(read->records[0].actions.empty());
+  const WalRecord& commit = read->records[1];
+  EXPECT_EQ(commit.lsn, 2u);
+  EXPECT_EQ(commit.type, WalRecordType::kCommit);
+  EXPECT_EQ(commit.version, 2u);
+  ASSERT_EQ(commit.actions.size(), 2u);
+  EXPECT_EQ(commit.actions[0].tuple, 0x100000001ull);
+  EXPECT_EQ(commit.actions[0].from, 0.25);  // bit-exact round trip
+  EXPECT_EQ(commit.actions[0].to, 0.5);
+  EXPECT_EQ(commit.actions[0].cost, 3.75);
+  EXPECT_EQ(commit.actions[1].tuple, 0x100000002ull);
+  EXPECT_EQ(read->records[2].actions.size(), 1u);
+}
+
+TEST_F(StorageTest, WalAppendIsNotDurableUntilSync) {
+  std::string path = FreshDir("wal_buffered") + "/wal.log";
+  auto writer = WalWriter::Create(path);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append(VersionRecord(1, 0)).ok());
+  EXPECT_GT((*writer)->buffered(), 0u);
+  EXPECT_EQ(FileSize(path), 8u);  // magic only
+
+  auto read = ReadWal(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->records.empty());
+
+  ASSERT_TRUE((*writer)->Sync().ok());
+  read = ReadWal(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->records.size(), 1u);
+}
+
+TEST_F(StorageTest, TornTailIsSkippedWithoutLosingEarlierRecords) {
+  std::string path = FreshDir("wal_torn") + "/wal.log";
+  auto writer = WalWriter::Create(path);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append(VersionRecord(1, 0)).ok());
+  ASSERT_TRUE((*writer)->Append(CommitRecord(2, 1, {{7, 0.1, 0.2, 1.0}})).ok());
+  ASSERT_TRUE((*writer)->Sync().ok());
+  uint64_t intact = (*writer)->file_size();
+  writer->reset();  // close before hand-corrupting
+
+  // Case 1: a short frame header (crash mid-header write).
+  std::string bytes = Slurp(path);
+  Spit(path, bytes + std::string(3, '\x07'));
+  auto read = ReadWal(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read->records.size(), 2u);
+  EXPECT_EQ(read->valid_bytes, intact);
+  EXPECT_EQ(read->torn_bytes, 3u);
+
+  // Case 2: a full header whose payload never made it.
+  Spit(path, bytes + std::string("\x40\x00\x00\x00\xde\xad\xbe\xef", 8));
+  read = ReadWal(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->records.size(), 2u);
+  EXPECT_EQ(read->torn_bytes, 8u);
+
+  // Case 3: garbage length field (not even a plausible frame).
+  Spit(path, bytes + std::string(12, '\xff'));
+  read = ReadWal(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->records.size(), 2u);
+  EXPECT_EQ(read->valid_bytes, intact);
+}
+
+TEST_F(StorageTest, CorruptedCrcDropsTailRecordOnly) {
+  std::string path = FreshDir("wal_crc") + "/wal.log";
+  auto writer = WalWriter::Create(path);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append(VersionRecord(1, 0)).ok());
+  ASSERT_TRUE((*writer)->Append(CommitRecord(2, 1, {{7, 0.1, 0.2, 1.0}})).ok());
+  ASSERT_TRUE((*writer)->Sync().ok());
+  writer->reset();
+
+  // Flip the last payload byte: the final record's CRC no longer matches,
+  // so it reads as a torn tail; the first record survives.
+  std::string bytes = Slurp(path);
+  bytes.back() = static_cast<char>(bytes.back() ^ 0x01);
+  Spit(path, bytes);
+  auto read = ReadWal(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  ASSERT_EQ(read->records.size(), 1u);
+  EXPECT_EQ(read->records[0].lsn, 1u);
+  EXPECT_GT(read->torn_bytes, 0u);
+}
+
+TEST_F(StorageTest, BadMagicIsHardCorruption) {
+  std::string dir = FreshDir("wal_magic");
+  Spit(dir + "/wal.log", "NOTAWAL1ignored");
+  EXPECT_TRUE(ReadWal(dir + "/wal.log").status().IsInternal());
+  Spit(dir + "/short.log", "PCQ");
+  EXPECT_TRUE(ReadWal(dir + "/short.log").status().IsInternal());
+  EXPECT_TRUE(ReadWal(dir + "/absent.log").status().IsNotFound());
+}
+
+TEST_F(StorageTest, WalCrc32MatchesKnownVectors) {
+  // IEEE CRC32 check value for "123456789".
+  EXPECT_EQ(WalCrc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(WalCrc32("", 0), 0u);
+}
+
+TEST_F(StorageTest, ResumeTruncatesTornTailAndContinues) {
+  std::string path = FreshDir("wal_resume") + "/wal.log";
+  auto writer = WalWriter::Create(path);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append(VersionRecord(1, 0)).ok());
+  ASSERT_TRUE((*writer)->Sync().ok());
+  writer->reset();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "torn!";
+  }
+
+  auto read = ReadWal(path);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->torn_bytes, 5u);
+  auto resumed = WalWriter::Resume(path, read->valid_bytes);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(FileSize(path), read->valid_bytes);  // tail truncated away
+  ASSERT_TRUE((*resumed)->Append(CommitRecord(2, 1, {{7, 0.1, 0.2, 1.0}})).ok());
+  ASSERT_TRUE((*resumed)->Sync().ok());
+  resumed->reset();
+
+  read = ReadWal(path);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->records.size(), 2u);
+  EXPECT_EQ(read->records[1].lsn, 2u);
+  EXPECT_EQ(read->torn_bytes, 0u);
+}
+
+TEST_F(StorageTest, ManifestRoundTripsAndRejectsMalformed) {
+  std::string dir = FreshDir("manifest");
+  EXPECT_FALSE(ManifestExists(dir));
+  DurabilityManifest manifest;
+  manifest.checkpoint = "checkpoint-000007";
+  manifest.wal = "wal-000007.log";
+  manifest.truncate_lsn = 41;
+  ASSERT_TRUE(SaveManifest(dir, manifest).ok());
+  EXPECT_TRUE(ManifestExists(dir));
+  auto loaded = LoadManifest(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->checkpoint, "checkpoint-000007");
+  EXPECT_EQ(loaded->wal, "wal-000007.log");
+  EXPECT_EQ(loaded->truncate_lsn, 41u);
+
+  const char* bad[] = {
+      "",
+      "PCQE_MANIFEST 2\ncheckpoint a\nwal b\ntruncate_lsn 1\n",
+      "PCQE_MANIFEST 1\ncheckpoint a\nwal b\n",
+      "PCQE_MANIFEST 1\ncheckpoint a\nwal b\ntruncate_lsn x\n",
+      "PCQE_MANIFEST 1\nwal b\ncheckpoint a\ntruncate_lsn 1\n",
+  };
+  for (const char* text : bad) {
+    SCOPED_TRACE(text);
+    Spit(dir + "/" + kManifestFile, text);
+    EXPECT_TRUE(LoadManifest(dir).status().IsInvalidArgument());
+  }
+  EXPECT_TRUE(LoadManifest(FreshDir("manifest_absent")).status().IsNotFound());
+}
+
+/// Fills `catalog` with one table (headroom for improvements) through the
+/// catalog so tuple ids carry a real table id; returns the tuple ids.
+std::vector<BaseTupleId> Populate(Catalog* catalog) {
+  Table* table =
+      *catalog->CreateTable("t", Schema({{"x", DataType::kDouble, ""}}));
+  std::vector<BaseTupleId> ids;
+  ids.push_back(*table->Insert({Value::Double(1.0)}, 0.2));
+  ids.push_back(*table->Insert({Value::Double(2.0)}, 0.4));
+  return ids;
+}
+
+TEST_F(StorageTest, OpenCreatesCheckpointAndLogAcceptAppends) {
+  std::string dir = FreshDir("storage_open");
+  Catalog catalog;
+  std::vector<BaseTupleId> ids = Populate(&catalog);
+  StorageManager storage;
+  ASSERT_TRUE(storage.Open({.dir = dir}, &catalog).ok());
+  ASSERT_TRUE(storage.open());
+
+  StorageSnapshot snap = storage.snapshot();
+  EXPECT_EQ(snap.checkpoints, 1u);
+  EXPECT_EQ(snap.truncate_lsn, 1u);
+  EXPECT_EQ(snap.next_lsn, 2u);
+  EXPECT_TRUE(ManifestExists(dir));
+
+  ASSERT_TRUE(storage
+                  .LogAccept(catalog.confidence_version(),
+                             {{ids[0], 0.2, 0.6, 4.0}})
+                  .ok());
+  snap = storage.snapshot();
+  EXPECT_EQ(snap.wal_appends, 1u);
+  EXPECT_EQ(snap.syncs, 1u);
+  EXPECT_EQ(snap.next_lsn, 3u);
+  EXPECT_GT(snap.wal_bytes, 0u);
+  EXPECT_EQ(snap.wal_buffered_bytes, 0u);
+
+  auto read = ReadWal(dir + "/" + snap.wal);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->records.size(), 2u);
+  EXPECT_EQ(read->records[0].type, WalRecordType::kVersionSet);
+  EXPECT_EQ(read->records[1].type, WalRecordType::kCommit);
+  EXPECT_EQ(read->records[1].version, catalog.confidence_version() + 1);
+}
+
+TEST_F(StorageTest, SyncOffBuffersUntilCheckpoint) {
+  std::string dir = FreshDir("storage_nosync");
+  Catalog catalog;
+  std::vector<BaseTupleId> ids = Populate(&catalog);
+  StorageManager storage;
+  ASSERT_TRUE(
+      storage.Open({.dir = dir, .sync_each_commit = false}, &catalog).ok());
+  ASSERT_TRUE(
+      storage.LogAccept(catalog.confidence_version(), {{ids[0], 0.2, 0.6, 4.0}})
+          .ok());
+  StorageSnapshot snap = storage.snapshot();
+  EXPECT_EQ(snap.syncs, 0u);
+  EXPECT_GT(snap.wal_buffered_bytes, 0u);
+  // Not on disk yet: the durable file holds only the opening version record.
+  auto read = ReadWal(dir + "/" + snap.wal);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->records.size(), 1u);
+
+  // A checkpoint rotates to a fresh segment; the buffered commit is
+  // superseded by the snapshot itself.
+  ASSERT_TRUE(catalog.SetConfidence(ids[0], 0.6).ok());
+  ASSERT_TRUE(storage.Checkpoint(catalog).ok());
+  snap = storage.snapshot();
+  EXPECT_EQ(snap.wal_buffered_bytes, 0u);
+  EXPECT_EQ(snap.checkpoints, 2u);
+}
+
+TEST_F(StorageTest, CheckpointRotatesSegmentsAndCleansOldFiles) {
+  std::string dir = FreshDir("storage_rotate");
+  Catalog catalog;
+  std::vector<BaseTupleId> ids = Populate(&catalog);
+  StorageManager storage;
+  ASSERT_TRUE(storage.Open({.dir = dir}, &catalog).ok());
+  StorageSnapshot before = storage.snapshot();
+
+  ASSERT_TRUE(
+      storage.LogAccept(catalog.confidence_version(), {{ids[0], 0.2, 0.6, 4.0}})
+          .ok());
+  ASSERT_TRUE(catalog.SetConfidence(ids[0], 0.6).ok());
+  ASSERT_TRUE(storage.Checkpoint(catalog).ok());
+
+  StorageSnapshot after = storage.snapshot();
+  EXPECT_NE(after.checkpoint, before.checkpoint);
+  EXPECT_NE(after.wal, before.wal);
+  EXPECT_EQ(after.truncate_lsn, 3u);  // version record after the commit
+  // The superseded checkpoint and segment are gone.
+  EXPECT_FALSE(std::filesystem::exists(dir + "/" + before.checkpoint));
+  EXPECT_FALSE(std::filesystem::exists(dir + "/" + before.wal));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/" + after.checkpoint));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/" + after.wal));
+}
+
+TEST_F(StorageTest, LogAcceptRollsBackOnAppendFault) {
+  std::string dir = FreshDir("storage_append_fault");
+  Catalog catalog;
+  std::vector<BaseTupleId> ids = Populate(&catalog);
+  StorageManager storage;
+  ASSERT_TRUE(storage.Open({.dir = dir}, &catalog).ok());
+  StorageSnapshot before = storage.snapshot();
+
+  FaultInjector::Global().Arm(fault_sites::kWalAppend, {});
+  Status failed =
+      storage.LogAccept(catalog.confidence_version(), {{ids[0], 0.2, 0.6, 4.0}});
+  ASSERT_FALSE(failed.ok());
+  FaultInjector::Global().Disarm(fault_sites::kWalAppend);
+
+  StorageSnapshot after = storage.snapshot();
+  EXPECT_EQ(after.next_lsn, before.next_lsn);
+  EXPECT_EQ(after.wal_appends, before.wal_appends);
+  EXPECT_EQ(after.wal_buffered_bytes, 0u);
+  EXPECT_EQ(after.wal_file_bytes, before.wal_file_bytes);
+
+  // The writer is fully usable after the rollback.
+  ASSERT_TRUE(
+      storage.LogAccept(catalog.confidence_version(), {{ids[0], 0.2, 0.6, 4.0}})
+          .ok());
+  auto read = ReadWal(dir + "/" + after.wal);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->records.size(), 2u);
+  EXPECT_EQ(read->torn_bytes, 0u);
+}
+
+TEST_F(StorageTest, LogAcceptRollsBackOnSyncFault) {
+  std::string dir = FreshDir("storage_sync_fault");
+  Catalog catalog;
+  std::vector<BaseTupleId> ids = Populate(&catalog);
+  StorageManager storage;
+  ASSERT_TRUE(storage.Open({.dir = dir}, &catalog).ok());
+  StorageSnapshot before = storage.snapshot();
+
+  FaultInjector::Global().Arm(fault_sites::kWalSync, {});
+  ASSERT_FALSE(
+      storage.LogAccept(catalog.confidence_version(), {{ids[0], 0.2, 0.6, 4.0}})
+          .ok());
+  FaultInjector::Global().Disarm(fault_sites::kWalSync);
+
+  StorageSnapshot after = storage.snapshot();
+  EXPECT_EQ(after.next_lsn, before.next_lsn);
+  EXPECT_EQ(after.wal_buffered_bytes, 0u);
+  // Nothing leaked to disk: the segment still reads back with only the
+  // opening version record.
+  auto read = ReadWal(dir + "/" + after.wal);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->records.size(), 1u);
+}
+
+TEST_F(StorageTest, LogAcceptRequiresOpenStorage) {
+  StorageManager storage;
+  EXPECT_TRUE(storage.LogAccept(0, {{1, 0.0, 0.5, 1.0}}).IsInternal());
+  EXPECT_FALSE(storage.open());
+  Catalog catalog;
+  Populate(&catalog);
+  EXPECT_TRUE(storage.Open({.dir = ""}, &catalog).IsInvalidArgument());
+  EXPECT_TRUE(
+      storage.Open({.dir = FreshDir("null_catalog")}, nullptr).IsInvalidArgument());
+}
+
+TEST_F(StorageTest, TelemetryCountersMirrorSnapshots) {
+  std::string dir = FreshDir("storage_telemetry");
+  Catalog catalog;
+  std::vector<BaseTupleId> ids = Populate(&catalog);
+  StorageManager storage;
+  ASSERT_TRUE(storage.Open({.dir = dir}, &catalog).ok());
+  ASSERT_TRUE(
+      storage.LogAccept(catalog.confidence_version(), {{ids[0], 0.2, 0.6, 4.0}})
+          .ok());
+
+  // Attach after the fact: the counters are seeded with prior tallies.
+  TelemetryRegistry registry;
+  storage.AttachTelemetry(&registry);
+  StorageSnapshot snap = storage.snapshot();
+  EXPECT_EQ(registry.GetCounter("pcqe_storage_wal_appends_total", "")->value(),
+            snap.wal_appends);
+  EXPECT_EQ(registry.GetCounter("pcqe_storage_syncs_total", "")->value(),
+            snap.syncs);
+  EXPECT_EQ(registry.GetCounter("pcqe_storage_checkpoints_total", "")->value(),
+            snap.checkpoints);
+
+  ASSERT_TRUE(
+      storage.LogAccept(catalog.confidence_version(), {{ids[1], 0.4, 0.7, 2.0}})
+          .ok());
+  EXPECT_EQ(registry.GetCounter("pcqe_storage_wal_appends_total", "")->value(),
+            snap.wal_appends + 1);
+}
+
+}  // namespace
+}  // namespace pcqe

@@ -40,6 +40,15 @@ Rules (ids in brackets; suppress a line with `// pcqe-lint: allow(<rule>)`):
       TelemetryRegistry instead, so every stat shows up in `.metrics` /
       RenderText with a name and help string. Non-counter atomics (flags,
       versions) may suppress with `// pcqe-lint: allow(telemetry)`.
+  [durability]            No direct `SetConfidence(` calls in src/ outside
+      src/relational/ (the implementation), src/improve/ (the validated
+      improver commit path) and src/storage/ (WAL replay). With durability
+      on, every confidence write must flow through the logged
+      improve/storage path — an unlogged write is exactly the state a crash
+      loses, and it desynchronizes the WAL's self-verifying version check.
+      Deliberate out-of-band writers (bulk assignment, tests' seams) may
+      suppress with `// pcqe-lint: allow(durability)` and must be followed
+      by a fresh checkpoint before the next crash matters.
   [deadline]              No raw `steady_clock::now()` deadline comparisons
       in src/strategy/ or src/service/. Budget checks must go through the
       `Deadline` helper (common/deadline.h: `Expired()`, `RemainingSeconds()`,
@@ -237,6 +246,17 @@ def lint_file(relpath, lines, status_fns):
                 relpath, i, "telemetry",
                 "ad-hoc std::atomic<uint64_t> stat counter; register a "
                 "telemetry Counter/Gauge so it is exported by .metrics"))
+
+        # -- durability ----------------------------------------------------
+        if in_src and not relpath.startswith(
+                ("src/relational/", "src/improve/", "src/storage/")) and \
+                re.search(r"(\.|->)\s*SetConfidence\s*\(", code) and \
+                not _allowed(raw, "durability"):
+            out.append(Violation(
+                relpath, i, "durability",
+                "direct catalog confidence mutation bypasses the WAL; route "
+                "through the logged improve/storage accept path (or suppress "
+                "deliberately and checkpoint afterwards)"))
 
         # -- deadline ------------------------------------------------------
         if relpath.startswith(("src/strategy/", "src/service/")) and \

@@ -115,6 +115,14 @@ void Shell::RunCommand(const std::string& line) {
     CmdMetrics(args);
   } else if (cmd == ".trace") {
     CmdTrace(args);
+  } else if (cmd == ".durable") {
+    CmdDurable(args);
+  } else if (cmd == ".checkpoint") {
+    CmdCheckpoint();
+  } else if (cmd == ".recover") {
+    CmdRecover();
+  } else if (cmd == ".wal") {
+    CmdWal();
   } else if (cmd == ".savedb") {
     if (args.size() != 1) {
       out() << "usage: .savedb <directory>\n";
@@ -193,6 +201,11 @@ void Shell::CmdHelp() {
            "  .stats                        service counters (cache, queue, latency)\n"
            "  .metrics [json]               telemetry registry (Prometheus text / JSON)\n"
            "  .trace [<id>]                 recorded query traces (latest, or by id)\n"
+           "  .durable <dir>                open a durable catalog: recover from <dir>\n"
+           "                                if it holds one, then WAL-log every .accept\n"
+           "  .checkpoint                   snapshot the catalog and rotate the WAL\n"
+           "  .recover                      drop in-memory state, replay checkpoint+WAL\n"
+           "  .wal                          durable-storage status (segment, LSNs, counters)\n"
            "  .savedb <dir> | .opendb <dir> persist / restore every table\n"
            "  .saveconfig <file> | .loadconfig <file>  roles + policies\n"
            "  .explain <select>             show the query plan\n"
@@ -450,6 +463,102 @@ void Shell::CmdTrace(const std::vector<std::string>& args) {
     return;
   }
   out() << trace->ToString();
+}
+
+void Shell::CmdDurable(const std::vector<std::string>& args) {
+  if (args.size() != 1) {
+    out() << "usage: .durable <directory>\n";
+    return;
+  }
+  if (storage_ != nullptr) {
+    out() << "durable storage already open at " << storage_->snapshot().dir
+          << " (one directory per shell)\n";
+    return;
+  }
+  auto storage = std::make_unique<StorageManager>();
+  DurabilityOptions options;
+  options.dir = args[0];
+  Status opened;
+  {
+    // Exclusive: opening an existing directory recovers, rewriting the
+    // catalog wholesale.
+    WriterLock lock(engine_->catalog_mu());
+    opened = storage->Open(options, &catalog_);
+  }
+  if (!opened.ok()) {
+    out() << opened.ToString() << "\n";
+    return;
+  }
+  storage_ = std::move(storage);
+  storage_->AttachTelemetry(&registry_);
+  engine_->AttachStorage(storage_.get());
+  if (service_ != nullptr) service_->InvalidateCache();
+  StorageSnapshot snap = storage_->snapshot();
+  out() << "durable catalog at " << snap.dir << ": checkpoint " << snap.checkpoint
+        << ", segment " << snap.wal << ", " << snap.recovered_records
+        << " record(s) recovered, next lsn " << snap.next_lsn
+        << " (.accept is now WAL-logged)\n";
+}
+
+void Shell::CmdCheckpoint() {
+  if (storage_ == nullptr) {
+    out() << "no durable storage (.durable <dir> first)\n";
+    return;
+  }
+  Status s;
+  {
+    ReaderLock lock(engine_->catalog_mu());
+    s = storage_->Checkpoint(catalog_);
+  }
+  if (!s.ok()) {
+    out() << s.ToString() << "\n";
+    return;
+  }
+  StorageSnapshot snap = storage_->snapshot();
+  out() << "checkpoint " << snap.checkpoint << " published (segment " << snap.wal
+        << ", truncate lsn " << snap.truncate_lsn << ")\n";
+}
+
+void Shell::CmdRecover() {
+  if (storage_ == nullptr) {
+    out() << "no durable storage (.durable <dir> first)\n";
+    return;
+  }
+  Status s;
+  {
+    WriterLock lock(engine_->catalog_mu());
+    s = storage_->Recover();
+  }
+  // Pre-recovery evaluations must not be served against replayed state.
+  if (service_ != nullptr) service_->InvalidateCache();
+  if (!s.ok()) {
+    out() << s.ToString() << "\n";
+    return;
+  }
+  StorageSnapshot snap = storage_->snapshot();
+  out() << "recovered from " << snap.dir << ": checkpoint " << snap.checkpoint
+        << " + WAL replay to version " << snap.recovered_version << " (next lsn "
+        << snap.next_lsn << ")\n";
+}
+
+void Shell::CmdWal() {
+  if (storage_ == nullptr) {
+    out() << "no durable storage (.durable <dir> first)\n";
+    return;
+  }
+  StorageSnapshot snap = storage_->snapshot();
+  out() << "dir            " << snap.dir << "\n"
+        << "checkpoint     " << snap.checkpoint << "\n"
+        << "segment        " << snap.wal << " (" << snap.wal_file_bytes
+        << " bytes durable, " << snap.wal_buffered_bytes << " buffered)\n"
+        << "truncate lsn   " << snap.truncate_lsn << "\n"
+        << "next lsn       " << snap.next_lsn << "\n"
+        << "appends        " << snap.wal_appends << " (" << snap.wal_bytes
+        << " bytes)\n"
+        << "syncs          " << snap.syncs << "\n"
+        << "checkpoints    " << snap.checkpoints << "\n"
+        << "recovered      " << snap.recovered_records << " record(s), version "
+        << snap.recovered_version << "\n";
 }
 
 void Shell::CmdProposal() {

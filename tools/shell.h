@@ -71,6 +71,10 @@ class Shell {
   void CmdStats();
   void CmdMetrics(const std::vector<std::string>& args);
   void CmdTrace(const std::vector<std::string>& args);
+  void CmdDurable(const std::vector<std::string>& args);
+  void CmdCheckpoint();
+  void CmdRecover();
+  void CmdWal();
 
   std::ostream& out() { return *out_; }
 
@@ -82,6 +86,11 @@ class Shell {
   TelemetryRegistry registry_;
   Tracer tracer_;
   std::unique_ptr<PcqeEngine> engine_;
+  /// `.durable` mode: a StorageManager attached to the engine, making
+  /// every `.accept` a WAL-logged transaction (`.checkpoint` / `.recover` /
+  /// `.wal` operate on it). Declared before `service_` so a service built
+  /// later can observe it via the engine.
+  std::unique_ptr<StorageManager> storage_;
   /// `.serve` mode: a QueryService over `engine_`; SQL runs through the
   /// active session (`session_`) instead of direct `Submit` while set.
   std::unique_ptr<QueryService> service_;

@@ -3,6 +3,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.h"
 #include "common/random.h"
 #include "lineage/evaluate.h"
 #include "lineage/lineage.h"
@@ -97,7 +101,81 @@ void BM_Variables(benchmark::State& state) {
 }
 BENCHMARK(BM_Variables);
 
+// ---------------------------------------------------------------------------
+// 1M-row lineage sweep: the arena work a vectorized scan+join+distinct over
+// 1M base tuples generates, timed end-to-end and emitted as BENCH JSON:
+//   BENCH {"bench":"micro_lineage","op":...,"rows":...,"seconds":...,
+//          "krows_per_sec":...}
+// Scale via PCQE_BENCH_SCALE: quick=100K rows, paper (default)=1M, full=4M.
+
+void EmitLineageLine(const char* op, size_t rows, double seconds) {
+  std::printf(
+      "BENCH {\"bench\":\"micro_lineage\",\"op\":\"%s\",\"rows\":%zu,"
+      "\"seconds\":%.6f,\"krows_per_sec\":%.1f}\n",
+      op, rows, seconds, static_cast<double>(rows) / seconds / 1e3);
+}
+
+void RunLineageSweep() {
+  bench::Scale scale = bench::BenchScale();
+  size_t n = scale == bench::Scale::kQuick  ? 100'000
+             : scale == bench::Scale::kFull ? 4'000'000
+                                            : 1'000'000;
+  std::printf("\n== 1M-row lineage sweep (rows=%zu, scale=%s) ==\n", n,
+              bench::ScaleName(scale));
+  auto now = [] { return std::chrono::steady_clock::now(); };
+  auto seconds = [](auto t0, auto t1) {
+    return std::chrono::duration<double>(t1 - t0).count();
+  };
+
+  LineageArena arena;
+  arena.Reserve(2 * n + n / 10);
+
+  // Scan shape: one interned Var per base row.
+  std::vector<LineageRef> vars;
+  vars.reserve(n);
+  auto t0 = now();
+  for (size_t i = 0; i < n; ++i) vars.push_back(arena.Var(static_cast<uint64_t>(i)));
+  EmitLineageLine("var_intern", n, seconds(t0, now()));
+
+  // Join shape: an And pair per output row (factorized group member).
+  t0 = now();
+  std::vector<LineageRef> pairs;
+  pairs.reserve(n);
+  for (size_t i = 0; i + 1 < n; i += 2) {
+    pairs.push_back(arena.And(vars[i], vars[i + 1]));
+  }
+  EmitLineageLine("and_pairs", n, seconds(t0, now()));
+
+  // Distinct shape: Or over each group of 10 duplicate derivations.
+  t0 = now();
+  std::vector<LineageRef> groups;
+  groups.reserve(n / 10 + 1);
+  std::vector<LineageRef> members;
+  for (size_t g = 0; g * 10 < n; ++g) {
+    members.clear();
+    for (size_t k = g * 10; k < std::min(n, (g + 1) * 10); ++k) members.push_back(vars[k]);
+    groups.push_back(arena.Or(members));
+  }
+  EmitLineageLine("or_groups", n, seconds(t0, now()));
+
+  // Confidence fold over every derived formula (independence semantics).
+  ConfidenceMap probs(0.3);
+  t0 = now();
+  double acc = 0.0;
+  for (LineageRef p : pairs) acc += EvaluateIndependent(arena, p, probs);
+  for (LineageRef g : groups) acc += EvaluateIndependent(arena, g, probs);
+  benchmark::DoNotOptimize(acc);
+  EmitLineageLine("evaluate", n, seconds(t0, now()));
+}
+
 }  // namespace
 }  // namespace pcqe
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  pcqe::RunLineageSweep();
+  return 0;
+}

@@ -1,8 +1,22 @@
 // Micro-benchmarks (google-benchmark) for the query engine: parsing,
-// planning, operator throughput with lineage propagation.
+// planning, operator throughput with lineage propagation — each operator in
+// both execution modes (row reference vs. vectorized column chunks).
+//
+// After the google-benchmark fixtures, a 1M-row scan+join+lineage sweep runs
+// both engines head-to-head and emits machine-readable lines:
+//   BENCH {"bench":"micro_query","op":...,"mode":"row"|"vec","rows":...,
+//          "seconds":...,"krows_per_sec":...}
+//   BENCH {"bench":"micro_query","op":...,"rows":...,"speedup_vec_over_row":...}
+// Scale via PCQE_BENCH_SCALE: quick=100K rows, paper (default)=1M, full=4M.
+// Recorded baselines live in bench/baselines/ (see its README.md).
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.h"
 #include "common/random.h"
 #include "common/string_util.h"
 #include "query/parser.h"
@@ -41,6 +55,14 @@ std::unique_ptr<Catalog> MakeCatalog(size_t n) {
   return catalog;
 }
 
+ExecutionMode ModeArg(const benchmark::State& state) {
+  return state.range(1) == 0 ? ExecutionMode::kRow : ExecutionMode::kVectorized;
+}
+
+void SetModeLabel(benchmark::State& state) {
+  state.SetLabel(ExecutionModeToString(ModeArg(state)));
+}
+
 void BM_ParseSelect(benchmark::State& state) {
   const std::string sql =
       "SELECT ci.company, ci.income FROM (SELECT DISTINCT company FROM proposal "
@@ -54,56 +76,170 @@ BENCHMARK(BM_ParseSelect);
 
 void BM_ScanWithConfidence(benchmark::State& state) {
   auto catalog = MakeCatalog(static_cast<size_t>(state.range(0)));
+  SetModeLabel(state);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(RunQuery(*catalog, "SELECT * FROM orders"));
+    benchmark::DoNotOptimize(
+        RunQuery(*catalog, "SELECT * FROM orders", nullptr, ModeArg(state)));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_ScanWithConfidence)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ScanWithConfidence)
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_FilterSelective(benchmark::State& state) {
   auto catalog = MakeCatalog(static_cast<size_t>(state.range(0)));
+  SetModeLabel(state);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        RunQuery(*catalog, "SELECT id FROM orders WHERE amount < 100"));
+    benchmark::DoNotOptimize(RunQuery(*catalog, "SELECT id FROM orders WHERE amount < 100",
+                                      nullptr, ModeArg(state)));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_FilterSelective)->Arg(10000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FilterSelective)
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_HashJoin(benchmark::State& state) {
   auto catalog = MakeCatalog(static_cast<size_t>(state.range(0)));
+  SetModeLabel(state);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(RunQuery(
-        *catalog,
-        "SELECT o.id, c.region FROM orders AS o JOIN customers AS c "
-        "ON o.customer = c.customer"));
+    benchmark::DoNotOptimize(
+        RunQuery(*catalog,
+                 "SELECT o.id, c.region FROM orders AS o JOIN customers AS c "
+                 "ON o.customer = c.customer",
+                 nullptr, ModeArg(state)));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_HashJoin)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HashJoin)
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_DistinctWithOrLineage(benchmark::State& state) {
   auto catalog = MakeCatalog(static_cast<size_t>(state.range(0)));
+  SetModeLabel(state);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        RunQuery(*catalog, "SELECT DISTINCT customer FROM orders"));
+    benchmark::DoNotOptimize(RunQuery(*catalog, "SELECT DISTINCT customer FROM orders",
+                                      nullptr, ModeArg(state)));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_DistinctWithOrLineage)->Arg(10000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DistinctWithOrLineage)
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SortLimit(benchmark::State& state) {
   auto catalog = MakeCatalog(static_cast<size_t>(state.range(0)));
+  SetModeLabel(state);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(RunQuery(
-        *catalog, "SELECT id, amount FROM orders ORDER BY amount DESC LIMIT 10"));
+    benchmark::DoNotOptimize(
+        RunQuery(*catalog, "SELECT id, amount FROM orders ORDER BY amount DESC LIMIT 10",
+                 nullptr, ModeArg(state)));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_SortLimit)->Arg(10000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SortLimit)
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// The 1M-row sweep: one timed head-to-head per operator, both modes, with the
+// full pipeline (execute + lineage + confidence) inside the timed region.
+
+double TimeQuery(const Catalog& catalog, const std::string& sql, ExecutionMode mode,
+                 bool materialize_values, size_t* out_rows) {
+  double best = 1e99;
+  for (int rep = 0; rep < 2; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    Result<QueryResult> result = RunQuery(catalog, sql, nullptr, mode, materialize_values);
+    auto t1 = std::chrono::steady_clock::now();
+    if (!result.ok()) {
+      std::fprintf(stderr, "sweep query failed: %s\n", result.status().ToString().c_str());
+      std::exit(1);
+    }
+    *out_rows = result->rows.size();
+    double s = std::chrono::duration<double>(t1 - t0).count();
+    if (s < best) best = s;
+  }
+  return best;
+}
+
+void RunSweep() {
+  using bench::FormatCount;
+  using bench::FormatSeconds;
+  bench::Scale scale = bench::BenchScale();
+  size_t n = scale == bench::Scale::kQuick  ? 100'000
+             : scale == bench::Scale::kFull ? 4'000'000
+                                            : 1'000'000;
+  std::printf("\n== 1M-row scan+join+lineage sweep (rows=%s, scale=%s) ==\n",
+              FormatCount(n).c_str(), bench::ScaleName(scale));
+  auto catalog = MakeCatalog(n);
+
+  struct Op {
+    const char* name;
+    std::string sql;
+  };
+  const Op ops[] = {
+      {"scan", "SELECT * FROM orders"},
+      {"filter", "SELECT id FROM orders WHERE amount < 100"},
+      {"join",
+       "SELECT o.id, c.region FROM orders AS o JOIN customers AS c "
+       "ON o.customer = c.customer"},
+      {"distinct", "SELECT DISTINCT customer FROM orders"},
+  };
+
+  // "vec" is the engine's serving configuration (PcqeEngine::Evaluate):
+  // confidences computed nodelessly from the factorized result; value boxing
+  // and lineage interning deferred until something needs them (display, the
+  // shortfall solver). "vec_boxed" materializes everything eagerly for
+  // RunQuery API parity — that per-row boxing floor is identical work in
+  // both engines, so the architectural difference shows in row-vs-vec.
+  bench::TablePrinter table(
+      {"op", "rows", "row_engine", "vectorized", "vec_boxed", "speedup"});
+  for (const Op& op : ops) {
+    size_t out_rows = 0;
+    double row_s =
+        TimeQuery(*catalog, op.sql, ExecutionMode::kRow, /*materialize=*/true, &out_rows);
+    double vec_s = TimeQuery(*catalog, op.sql, ExecutionMode::kVectorized,
+                             /*materialize=*/false, &out_rows);
+    double boxed_s = TimeQuery(*catalog, op.sql, ExecutionMode::kVectorized,
+                               /*materialize=*/true, &out_rows);
+    double speedup = row_s / vec_s;
+    for (auto [mode, seconds] : {std::pair<const char*, double>{"row", row_s},
+                                 std::pair<const char*, double>{"vec", vec_s},
+                                 std::pair<const char*, double>{"vec_boxed", boxed_s}}) {
+      std::printf(
+          "BENCH {\"bench\":\"micro_query\",\"op\":\"%s\",\"mode\":\"%s\","
+          "\"rows\":%zu,\"out_rows\":%zu,\"seconds\":%.6f,\"krows_per_sec\":%.1f}\n",
+          op.name, mode, n, out_rows, seconds,
+          static_cast<double>(n) / seconds / 1e3);
+    }
+    std::printf(
+        "BENCH {\"bench\":\"micro_query\",\"op\":\"%s\",\"rows\":%zu,"
+        "\"speedup_vec_over_row\":%.2f}\n",
+        op.name, n, speedup);
+    char ratio[32];
+    std::snprintf(ratio, sizeof(ratio), "%.2fx", speedup);
+    table.AddRow({op.name, FormatCount(n), FormatSeconds(row_s), FormatSeconds(vec_s),
+                  FormatSeconds(boxed_s), ratio});
+  }
+  table.Print();
+}
 
 }  // namespace
 }  // namespace pcqe
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  pcqe::RunSweep();
+  return 0;
+}

@@ -35,6 +35,32 @@ METRICS_OUT=$(printf '.metrics\n.quit\n' | build/tools/pcqe_shell)
 echo "$METRICS_OUT" | grep -q "pcqe_engine_queries_total" \
   || { echo ".metrics smoke failed: no pcqe_engine_queries_total in output"; exit 1; }
 
+# Vectorized smoke: the same SQL through .exec row and .exec vec must print
+# byte-identical tables (the row engine is the differential reference).
+echo "== shell: vectorized differential smoke"
+SMOKE_CSV=$(mktemp)
+cat > "$SMOKE_CSV" <<'EOF'
+id,amount,conf
+1,50.5,0.9
+2,120.0,0.4
+3,75.25,0.7
+4,300.0,0.85
+5,120.0,0.4
+EOF
+SMOKE_SQL='SELECT id, amount FROM t WHERE amount < 200.0 ORDER BY amount DESC, id;'
+run_shell_mode() {
+  printf '.load t %s conf\n.exec %s\n%s\n.quit\n' "$SMOKE_CSV" "$1" "$SMOKE_SQL" \
+    | build/tools/pcqe_shell | grep -v "execution mode"
+}
+ROW_OUT=$(run_shell_mode row)
+VEC_OUT=$(run_shell_mode vec)
+rm -f "$SMOKE_CSV"
+echo "$ROW_OUT" | grep -q "4 row(s)" \
+  || { echo "vectorized smoke failed: query returned no rows"; echo "$ROW_OUT"; exit 1; }
+[[ "$ROW_OUT" == "$VEC_OUT" ]] \
+  || { echo "vectorized smoke failed: row/vec outputs differ"; \
+       diff <(echo "$ROW_OUT") <(echo "$VEC_OUT") || true; exit 1; }
+
 for bench in build/bench/*; do
   [[ -f "$bench" && -x "$bench" ]] || continue
   echo "== bench: $bench"

@@ -19,7 +19,15 @@ std::string QueryOutcome::ReleasedTable(size_t max_rows) const {
   view.schema = intermediate.schema;
   view.arena = intermediate.arena;
   view.rows.reserve(released.size());
-  for (size_t i : released) view.rows.push_back(intermediate.rows[i]);
+  for (size_t i : released) {
+    QueryResult::Row row = intermediate.rows[i];
+    // Deferred vectorized results box values on demand; only the rows the
+    // table will actually show pay for boxing.
+    if (row.values.empty() && view.rows.size() < max_rows) {
+      row.values = intermediate.ValuesOfRow(i);
+    }
+    view.rows.push_back(std::move(row));
+  }
   return view.ToTable(max_rows);
 }
 
@@ -45,6 +53,18 @@ void PcqeEngine::AttachTelemetry(TelemetryRegistry* registry, Tracer* tracer) {
       "pcqe_engine_partial_total",
       "Proposals carrying an anytime (partial) plan: deadline, cancellation "
       "or node-budget stop");
+  metrics_.vec_chunks = registry_->GetCounter(
+      "pcqe_engine_vec_chunks_total",
+      "Column chunks scanned by the vectorized interpreter");
+  metrics_.vec_rows = registry_->GetCounter(
+      "pcqe_engine_vec_rows_total",
+      "Base rows scanned by the vectorized interpreter");
+  metrics_.vec_join_groups = registry_->GetCounter(
+      "pcqe_engine_vec_join_groups_total",
+      "Factorized join match groups built by the vectorized interpreter");
+  metrics_.vec_fallback_rows = registry_->GetCounter(
+      "pcqe_engine_vec_fallback_rows_total",
+      "Rows the vectorized interpreter evaluated row-at-a-time (no kernel)");
   metrics_.solve_seconds = registry_->GetHistogram(
       "pcqe_engine_solve_seconds", {0.0001, 0.001, 0.01, 0.1, 1.0, 10.0},
       "Strategy solve wall-clock seconds");
@@ -77,7 +97,20 @@ Result<QueryResult> PcqeEngine::Evaluate(const std::string& sql,
   ScopedSpan span(trace, "evaluate");
   PCQE_INJECT_FAULT(fault_sites::kEngineEvaluate);
   if (metrics_.queries != nullptr) metrics_.queries->Increment();
-  return RunQuery(*catalog_, sql, trace);
+  // The policy filter and the solvers consume confidences and lineage only;
+  // value boxing is deferred until something displays rows (ReleasedTable /
+  // ToTable / MaterializeValues) — the factorized engine's late
+  // materialization.
+  Result<QueryResult> result =
+      RunQuery(*catalog_, sql, trace, execution_mode, /*materialize_values=*/false);
+  if (result.ok() && metrics_.vec_chunks != nullptr) {
+    const VecExecStats& s = result->vec_stats;
+    metrics_.vec_chunks->Increment(s.chunks_scanned);
+    metrics_.vec_rows->Increment(s.rows_scanned);
+    metrics_.vec_join_groups->Increment(s.join_groups);
+    metrics_.vec_fallback_rows->Increment(s.fallback_rows);
+  }
+  return result;
 }
 
 Result<size_t> PcqeEngine::FilterOne(const QueryRequest& request, QueryOutcome* outcome,
@@ -131,6 +164,13 @@ Result<QueryOutcome> PcqeEngine::Complete(const QueryRequest& request,
     metrics_.rows_blocked->Increment(blocked.size());
   }
   if (needed > 0) {
+    // The solvers pool per-row formulas; a deferred result interns them
+    // only now — compliant queries (no shortfall) never build a single
+    // per-row lineage node.
+    if (outcome.intermediate.lineage_deferred()) {
+      ScopedSpan box_span(trace, "lineage-box");
+      outcome.intermediate.MaterializeLineage();
+    }
     PCQE_ASSIGN_OR_RETURN(
         outcome.proposal,
         FindStrategy({&outcome}, {blocked}, {needed}, outcome.policy.threshold,
@@ -162,6 +202,9 @@ Result<std::vector<QueryOutcome>> PcqeEngine::SubmitBatch(
   size_t first_short = requests.size();
   for (size_t q = 0; q < requests.size(); ++q) {
     if (needed[q] == 0) continue;
+    if (outcomes[q].intermediate.lineage_deferred()) {
+      outcomes[q].intermediate.MaterializeLineage();
+    }
     if (first_short == requests.size()) first_short = q;
     if (beta < 0.0) {
       beta = outcomes[q].policy.threshold;

@@ -236,6 +236,12 @@ class PcqeEngine {
   bool greedy_fallback_under_pressure = true;
   double pressure_fallback_seconds = 0.010;
 
+  /// Which query interpreter `Evaluate` runs. Both produce bit-identical
+  /// results (rows, confidences, lineage — see tests/vectorized_test.cc);
+  /// the row engine is kept as the differential reference, the vectorized
+  /// column-chunk engine is the default.
+  ExecutionMode execution_mode = ExecutionMode::kVectorized;
+
   /// Worker-lane budget for the strategy solvers (0 = hardware concurrency,
   /// 1 = fully sequential). The solvers return identical solutions at any
   /// setting; this only trades solve wall-clock. Threads come from the
@@ -274,6 +280,11 @@ class PcqeEngine {
     Counter* deadline_exceeded = nullptr;
     Counter* partial = nullptr;
     Histogram* solve_seconds = nullptr;
+    /// Vectorized-interpreter throughput counters (zero under `kRow`).
+    Counter* vec_chunks = nullptr;
+    Counter* vec_rows = nullptr;
+    Counter* vec_join_groups = nullptr;
+    Counter* vec_fallback_rows = nullptr;
     /// `pcqe_solver_<field>_total`, in `SolverEffort::Items()` order.
     std::vector<Counter*> solver_effort;
   };

@@ -12,6 +12,13 @@ LineageRef LineageArena::Append(Node node) {
   return static_cast<LineageRef>(nodes_.size() - 1);
 }
 
+void LineageArena::Reserve(size_t nodes) {
+  nodes_.reserve(nodes_.size() + nodes);
+  composite_index_.reserve(composite_index_.size() + nodes);
+  binary_and_index_.reserve(binary_and_index_.size() + nodes);
+  var_index_.reserve(var_index_.size() + nodes);
+}
+
 LineageRef LineageArena::False() {
   if (false_ref_ == kNullLineage) false_ref_ = Append({LineageOp::kFalse, 0, {}});
   return false_ref_;
@@ -23,44 +30,61 @@ LineageRef LineageArena::True() {
 }
 
 LineageRef LineageArena::Var(LineageVarId id) {
-  auto it = std::lower_bound(var_index_.begin(), var_index_.end(),
-                             std::make_pair(id, LineageRef{0}),
-                             [](const auto& a, const auto& b) { return a.first < b.first; });
-  if (it != var_index_.end() && it->first == id) return it->second;
-  LineageRef ref = Append({LineageOp::kVar, id, {}});
-  var_index_.insert(it, {id, ref});
-  return ref;
+  auto [it, inserted] = var_index_.try_emplace(id, kNullLineage);
+  if (inserted) it->second = Append({LineageOp::kVar, id, {}});
+  return it->second;
 }
 
-LineageRef LineageArena::Intern(LineageOp op, std::vector<LineageRef> children) {
+LineageRef LineageArena::Intern(LineageOp op, const std::vector<LineageRef>& children) {
+  if (children.size() == 2 && op != LineageOp::kNot) {
+    // Binary AND/OR fast path: the canonical sorted key packs into one word.
+    const uint64_t lo = std::min(children[0], children[1]);
+    const uint64_t hi = std::max(children[0], children[1]);
+    auto& index = op == LineageOp::kAnd ? binary_and_index_ : binary_or_index_;
+    auto [it, inserted] = index.try_emplace((lo << 32) | hi, kNullLineage);
+    if (inserted) it->second = Append({op, 0, children});
+    return it->second;
+  }
   // Canonical key: children sorted, so commutatively equal formulas share a
   // node; the stored child order (first creation) is preserved for display.
-  std::vector<LineageRef> key = children;
-  std::sort(key.begin(), key.end());
-  auto it = composite_index_.find({op, key});
+  // The key is built in a reused scratch pair so an interning *hit* — the
+  // common case once a workload's formulas repeat — allocates nothing.
+  composite_key_scratch_.first = op;
+  composite_key_scratch_.second.assign(children.begin(), children.end());
+  std::sort(composite_key_scratch_.second.begin(), composite_key_scratch_.second.end());
+  auto it = composite_index_.find(composite_key_scratch_);
   if (it != composite_index_.end()) return it->second;
-  LineageRef ref = Append({op, 0, std::move(children)});
-  composite_index_.emplace(std::make_pair(op, std::move(key)), ref);
+  LineageRef ref = Append({op, 0, children});
+  composite_index_.emplace(composite_key_scratch_, ref);
   return ref;
 }
 
 namespace {
 
-/// Stable dedupe preserving first occurrence (children lists are short, so
-/// the quadratic scan beats hashing).
+/// Stable in-place dedupe preserving first occurrence (children lists are
+/// short, so the quadratic scan beats hashing, and compacting in place keeps
+/// the caller's scratch buffer allocation-free).
 void DedupeStable(std::vector<LineageRef>* v) {
-  std::vector<LineageRef> out;
-  out.reserve(v->size());
-  for (LineageRef c : *v) {
-    if (std::find(out.begin(), out.end(), c) == out.end()) out.push_back(c);
+  size_t kept = 0;
+  for (size_t i = 0; i < v->size(); ++i) {
+    LineageRef c = (*v)[i];
+    bool seen = false;
+    for (size_t j = 0; j < kept; ++j) {
+      if ((*v)[j] == c) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) (*v)[kept++] = c;
   }
-  *v = std::move(out);
+  v->resize(kept);
 }
 
 }  // namespace
 
 LineageRef LineageArena::And(const std::vector<LineageRef>& children) {
-  std::vector<LineageRef> flat;
+  std::vector<LineageRef>& flat = flat_scratch_;
+  flat.clear();
   flat.reserve(children.size());
   for (LineageRef c : children) {
     PCQE_DCHECK(c < nodes_.size());
@@ -79,11 +103,12 @@ LineageRef LineageArena::And(const std::vector<LineageRef>& children) {
   DedupeStable(&flat);
   if (flat.empty()) return True();
   if (flat.size() == 1) return flat[0];
-  return Intern(LineageOp::kAnd, std::move(flat));
+  return Intern(LineageOp::kAnd, flat);
 }
 
 LineageRef LineageArena::Or(const std::vector<LineageRef>& children) {
-  std::vector<LineageRef> flat;
+  std::vector<LineageRef>& flat = flat_scratch_;
+  flat.clear();
   flat.reserve(children.size());
   for (LineageRef c : children) {
     PCQE_DCHECK(c < nodes_.size());
@@ -102,7 +127,21 @@ LineageRef LineageArena::Or(const std::vector<LineageRef>& children) {
   DedupeStable(&flat);
   if (flat.empty()) return False();
   if (flat.size() == 1) return flat[0];
-  return Intern(LineageOp::kOr, std::move(flat));
+  return Intern(LineageOp::kOr, flat);
+}
+
+LineageRef LineageArena::And(LineageRef a, LineageRef b) {
+  binary_scratch_.clear();
+  binary_scratch_.push_back(a);
+  binary_scratch_.push_back(b);
+  return And(binary_scratch_);
+}
+
+LineageRef LineageArena::Or(LineageRef a, LineageRef b) {
+  binary_scratch_.clear();
+  binary_scratch_.push_back(a);
+  binary_scratch_.push_back(b);
+  return Or(binary_scratch_);
 }
 
 LineageRef LineageArena::Not(LineageRef child) {

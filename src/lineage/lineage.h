@@ -12,8 +12,8 @@
 #define PCQE_LINEAGE_LINEAGE_H_
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/logging.h"
@@ -58,6 +58,11 @@ class LineageArena {
   /// Number of nodes allocated.
   size_t size() const { return nodes_.size(); }
 
+  /// Pre-sizes internal tables for about `nodes` nodes. Batch producers (the
+  /// vectorized executor, workload generators) call this once instead of
+  /// paying incremental rehashes per row.
+  void Reserve(size_t nodes);
+
   /// Constant-false formula.
   LineageRef False();
 
@@ -72,16 +77,16 @@ class LineageArena {
   /// any child is `false`. An empty conjunction is `true`.
   LineageRef And(const std::vector<LineageRef>& children);
 
-  /// Binary convenience overload.
-  LineageRef And(LineageRef a, LineageRef b) { return And(std::vector<LineageRef>{a, b}); }
+  /// Binary convenience overload (allocation-free: uses a reused scratch).
+  LineageRef And(LineageRef a, LineageRef b);
 
   /// Disjunction. Flattens nested ORs, drops `false`, folds to `true` when
   /// any child is `true`, dedupes identical child refs. An empty
   /// disjunction is `false`.
   LineageRef Or(const std::vector<LineageRef>& children);
 
-  /// Binary convenience overload.
-  LineageRef Or(LineageRef a, LineageRef b) { return Or(std::vector<LineageRef>{a, b}); }
+  /// Binary convenience overload (allocation-free: uses a reused scratch).
+  LineageRef Or(LineageRef a, LineageRef b);
 
   /// Negation, with double-negation and constant folding.
   LineageRef Not(LineageRef child);
@@ -102,6 +107,13 @@ class LineageArena {
 
   /// Distinct variable ids appearing under `ref`, in first-seen order.
   std::vector<LineageVarId> Variables(LineageRef ref) const;
+
+  /// All interned variables as (id, ref) pairs (unordered). Confidence
+  /// snapshots iterate this once instead of re-walking every row's formula
+  /// (which is O(rows × arena) on large results).
+  const std::unordered_map<LineageVarId, LineageRef>& variable_index() const {
+    return var_index_;
+  }
 
   /// Variable ids that appear in strictly more than one *position* under
   /// `ref` (counting DAG sharing as multiple occurrences). For these, the
@@ -130,18 +142,52 @@ class LineageArena {
 
   LineageRef Append(Node node);
   /// Returns the existing node for (op, children-as-a-set) or creates one.
-  LineageRef Intern(LineageOp op, std::vector<LineageRef> children);
+  LineageRef Intern(LineageOp op, const std::vector<LineageRef>& children);
   void CountOccurrences(LineageRef ref, std::vector<uint32_t>* counts_by_node,
                         std::vector<std::pair<LineageVarId, uint32_t>>* var_counts) const;
+
+  /// Hash of a composite key (op, sorted children) — FNV-1a over the child
+  /// refs, seeded with the op, so the unordered interning index never
+  /// compares more than one bucket chain per insert (the old ordered map
+  /// paid O(log n) vector comparisons per node, the hot cost of per-row
+  /// `And` construction at million-row scale).
+  struct CompositeKeyHash {
+    size_t operator()(const std::pair<LineageOp, std::vector<LineageRef>>& key) const {
+      uint64_t h = 0xcbf29ce484222325ULL ^ static_cast<uint64_t>(key.first);
+      for (LineageRef c : key.second) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+      }
+      return static_cast<size_t>(h ^ (h >> 32));
+    }
+  };
 
   std::vector<Node> nodes_;
   // Interning of constants and variables.
   LineageRef false_ref_ = kNullLineage;
   LineageRef true_ref_ = kNullLineage;
-  std::vector<std::pair<LineageVarId, LineageRef>> var_index_;  // sorted by id
+  // Hashed, not sorted: a sorted vector pays an O(n) middle insert whenever
+  // var ids from different tables intern interleaved (exactly what lazy
+  // factorized join lineage does), which is quadratic at scale.
+  std::unordered_map<LineageVarId, LineageRef> var_index_;
+  // Binary AND/OR composites — by far the hottest interning shape (one per
+  // join output row) — key as a packed `(min << 32) | max` word instead of a
+  // heap-allocated child vector: the miss path (every distinct join pair is
+  // a miss) then pays one integer-map insert, no key allocation, no sort, no
+  // byte-wise hash. Disjoint from `composite_index_`, which keeps every
+  // composite with != 2 children.
+  std::unordered_map<uint64_t, LineageRef> binary_and_index_;
+  std::unordered_map<uint64_t, LineageRef> binary_or_index_;
   // Interning of composites, keyed by (op, sorted children): commutatively
   // equal formulas resolve to one node.
-  std::map<std::pair<LineageOp, std::vector<LineageRef>>, LineageRef> composite_index_;
+  std::unordered_map<std::pair<LineageOp, std::vector<LineageRef>>, LineageRef,
+                     CompositeKeyHash>
+      composite_index_;
+  // Scratch buffers reused across calls so per-row formula construction does
+  // not allocate for the flatten pass or for interning hits.
+  std::vector<LineageRef> flat_scratch_;
+  std::vector<LineageRef> binary_scratch_;
+  std::pair<LineageOp, std::vector<LineageRef>> composite_key_scratch_;
 };
 
 }  // namespace pcqe

@@ -1,0 +1,107 @@
+// Copyright (c) PCQE contributors.
+// Internals shared by the row and vectorized plan interpreters.
+//
+// The grouping operators (DISTINCT, set ops, GROUP BY) are implemented once,
+// over materialized `ExecRow`s, and called from both engines: the bit-identity
+// contract between the two engines (same values, same row order, same lineage
+// structure, hence same confidences) then holds for these operators by
+// construction rather than by parallel maintenance.
+
+#ifndef PCQE_QUERY_EXEC_COMMON_H_
+#define PCQE_QUERY_EXEC_COMMON_H_
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "query/executor.h"
+#include "query/plan.h"
+
+namespace pcqe {
+namespace exec_internal {
+
+/// Hash over a row of values, consistent with `ValueVecEq`.
+struct ValueVecHash {
+  size_t operator()(const std::vector<Value>& v) const {
+    size_t h = 0x9e3779b97f4a7c15ULL;
+    for (const Value& x : v) {
+      h ^= x.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+/// SQL grouping equality (NULL equals NULL) over rows of values.
+struct ValueVecEq {
+  bool operator()(const std::vector<Value>& a, const std::vector<Value>& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!a[i].Equals(b[i])) return false;
+    }
+    return true;
+  }
+};
+
+/// Grouping of rows by value-equality, preserving first-seen order.
+class RowGroups {
+ public:
+  /// Adds a row's lineage to its value group. Values are copied on first
+  /// sight only.
+  void Add(const std::vector<Value>& values, LineageRef lineage) {
+    auto [it, inserted] = index_.try_emplace(values, groups_.size());
+    if (inserted) {
+      groups_.push_back({values, {lineage}});
+    } else {
+      groups_[it->second].lineages.push_back(lineage);
+    }
+  }
+
+  /// Lineages of the group matching `values`, or nullptr.
+  const std::vector<LineageRef>* Find(const std::vector<Value>& values) const {
+    auto it = index_.find(values);
+    return it == index_.end() ? nullptr : &groups_[it->second].lineages;
+  }
+
+  struct Group {
+    std::vector<Value> values;
+    std::vector<LineageRef> lineages;
+  };
+  const std::vector<Group>& groups() const { return groups_; }
+
+ private:
+  std::vector<Group> groups_;
+  std::unordered_map<std::vector<Value>, size_t, ValueVecHash, ValueVecEq> index_;
+};
+
+/// Splits `predicate` into equi-join pairs usable for hashing (column =
+/// column with the two sides split by `left_width`) and residual conjuncts.
+void SplitJoinPredicate(const Expr* predicate, size_t left_width,
+                        std::vector<std::pair<size_t, size_t>>* equi_pairs,
+                        std::vector<const Expr*>* residual);
+
+/// Evaluates a bound BOOLEAN expression against `row`, mapping NULL to
+/// false (SQL WHERE semantics).
+[[nodiscard]] Result<bool> EvalPredicate(const Expr& predicate, const std::vector<Value>& row);
+
+/// DISTINCT over materialized rows: groups equal rows in first-seen order and
+/// emits `OR` over each group's lineages.
+[[nodiscard]] Result<std::vector<ExecRow>> DistinctRows(std::vector<ExecRow> input,
+                                                        LineageArena* arena);
+
+/// UNION [ALL] / EXCEPT / INTERSECT over materialized rows, with the lineage
+/// semantics documented on `Executor`.
+[[nodiscard]] Result<std::vector<ExecRow>> SetOpRows(PlanKind kind, std::vector<ExecRow> left,
+                                                     std::vector<ExecRow> right,
+                                                     LineageArena* arena);
+
+/// GROUP BY + aggregate evaluation over materialized rows; `plan` supplies
+/// `group_keys` and `aggregates`.
+[[nodiscard]] Result<std::vector<ExecRow>> AggregateRows(const PlanNode& plan,
+                                                         std::vector<ExecRow> input,
+                                                         LineageArena* arena);
+
+}  // namespace exec_internal
+}  // namespace pcqe
+
+#endif  // PCQE_QUERY_EXEC_COMMON_H_

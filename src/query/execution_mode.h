@@ -1,0 +1,69 @@
+// Copyright (c) PCQE contributors.
+// The execution-engine knob: row-at-a-time reference vs. vectorized core.
+
+#ifndef PCQE_QUERY_EXECUTION_MODE_H_
+#define PCQE_QUERY_EXECUTION_MODE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace pcqe {
+
+/// \brief Which plan interpreter executes a query.
+///
+/// Both engines produce bit-identical results (values, row order, released
+/// sets, confidences, solver costs) — `kRow` is kept as the differential
+/// reference the vectorized core is continuously checked against (see
+/// tests/vectorized_test.cc), and as a debugging fallback.
+enum class ExecutionMode : uint8_t {
+  kRow = 0,         ///< tuple-at-a-time interpreter (query/executor.h)
+  kVectorized = 1,  ///< column-chunk interpreter (query/vec_executor.h)
+};
+
+/// Canonical lowercase name ("row" / "vectorized").
+inline std::string ExecutionModeToString(ExecutionMode mode) {
+  return mode == ExecutionMode::kRow ? "row" : "vectorized";
+}
+
+/// Parses "row", "vec" or "vectorized" (exact, lowercase).
+[[nodiscard]] inline Result<ExecutionMode> ParseExecutionMode(const std::string& text) {
+  if (text == "row") return ExecutionMode::kRow;
+  if (text == "vec" || text == "vectorized") return ExecutionMode::kVectorized;
+  return Status::InvalidArgument("unknown execution mode '" + text +
+                                 "' (want row|vec|vectorized)");
+}
+
+/// \brief Counters the vectorized interpreter reports per query.
+///
+/// Exposed on `QueryResult` and aggregated into engine telemetry so
+/// operators can observe chunk/batch behavior without tracing.
+struct VecExecStats {
+  /// Column chunks touched by scans.
+  uint64_t chunks_scanned = 0;
+  /// Base rows produced by scans.
+  uint64_t rows_scanned = 0;
+  /// Factorized join groups (probe keys with at least one match): lineage
+  /// composition work scales with groups, not with group × member rows.
+  uint64_t join_groups = 0;
+  /// Largest single join group (rows sharing one key), i.e. the widest batch
+  /// the factorized representation avoided materializing eagerly.
+  uint64_t max_group_rows = 0;
+  /// Rows that fell back to tuple-at-a-time expression evaluation inside a
+  /// vectorized operator (non-kernelizable predicates/projections).
+  uint64_t fallback_rows = 0;
+
+  void Merge(const VecExecStats& o) {
+    chunks_scanned += o.chunks_scanned;
+    rows_scanned += o.rows_scanned;
+    join_groups += o.join_groups;
+    if (o.max_group_rows > max_group_rows) max_group_rows = o.max_group_rows;
+    fallback_rows += o.fallback_rows;
+  }
+};
+
+}  // namespace pcqe
+
+#endif  // PCQE_QUERY_EXECUTION_MODE_H_

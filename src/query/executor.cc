@@ -5,101 +5,14 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "query/exec_common.h"
 
 namespace pcqe {
 
-namespace {
-
-struct ValueVecHash {
-  size_t operator()(const std::vector<Value>& v) const {
-    size_t h = 0x9e3779b97f4a7c15ULL;
-    for (const Value& x : v) {
-      h ^= x.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-    }
-    return h;
-  }
-};
-
-struct ValueVecEq {
-  bool operator()(const std::vector<Value>& a, const std::vector<Value>& b) const {
-    if (a.size() != b.size()) return false;
-    for (size_t i = 0; i < a.size(); ++i) {
-      if (!a[i].Equals(b[i])) return false;
-    }
-    return true;
-  }
-};
-
-/// Grouping of rows by value-equality, preserving first-seen order.
-class RowGroups {
- public:
-  /// Adds a row's lineage to its value group. Values are copied on first
-  /// sight only.
-  void Add(const std::vector<Value>& values, LineageRef lineage) {
-    auto [it, inserted] = index_.try_emplace(values, groups_.size());
-    if (inserted) {
-      groups_.push_back({values, {lineage}});
-    } else {
-      groups_[it->second].lineages.push_back(lineage);
-    }
-  }
-
-  /// Lineages of the group matching `values`, or nullptr.
-  const std::vector<LineageRef>* Find(const std::vector<Value>& values) const {
-    auto it = index_.find(values);
-    return it == index_.end() ? nullptr : &groups_[it->second].lineages;
-  }
-
-  struct Group {
-    std::vector<Value> values;
-    std::vector<LineageRef> lineages;
-  };
-  const std::vector<Group>& groups() const { return groups_; }
-
- private:
-  std::vector<Group> groups_;
-  std::unordered_map<std::vector<Value>, size_t, ValueVecHash, ValueVecEq> index_;
-};
-
-/// Splits `predicate` into equi-join pairs usable for hashing (column =
-/// column with the two sides split by `left_width`) and residual conjuncts.
-void SplitJoinPredicate(const Expr* predicate, size_t left_width,
-                        std::vector<std::pair<size_t, size_t>>* equi_pairs,
-                        std::vector<const Expr*>* residual) {
-  if (predicate == nullptr) return;
-  if (predicate->kind() == ExprKind::kBinary &&
-      predicate->binary_op() == BinaryOp::kAnd) {
-    SplitJoinPredicate(predicate->left(), left_width, equi_pairs, residual);
-    SplitJoinPredicate(predicate->right(), left_width, equi_pairs, residual);
-    return;
-  }
-  if (predicate->kind() == ExprKind::kBinary &&
-      predicate->binary_op() == BinaryOp::kEq &&
-      predicate->left()->kind() == ExprKind::kColumnRef &&
-      predicate->right()->kind() == ExprKind::kColumnRef) {
-    size_t a = predicate->left()->column_index();
-    size_t b = predicate->right()->column_index();
-    if (a < left_width && b >= left_width) {
-      equi_pairs->emplace_back(a, b - left_width);
-      return;
-    }
-    if (b < left_width && a >= left_width) {
-      equi_pairs->emplace_back(b, a - left_width);
-      return;
-    }
-  }
-  residual->push_back(predicate);
-}
-
-/// Evaluates a bound BOOLEAN expression against `row`, mapping NULL to
-/// false (SQL WHERE semantics).
-Result<bool> EvalPredicate(const Expr& predicate, const std::vector<Value>& row) {
-  PCQE_ASSIGN_OR_RETURN(Value v, predicate.Eval(row));
-  if (v.is_null()) return false;
-  return v.AsBool();
-}
-
-}  // namespace
+using exec_internal::EvalPredicate;
+using exec_internal::SplitJoinPredicate;
+using exec_internal::ValueVecEq;
+using exec_internal::ValueVecHash;
 
 Result<std::vector<ExecRow>> Executor::Run(const PlanNode& plan) {
   switch (plan.kind) {
@@ -132,6 +45,7 @@ Result<std::vector<ExecRow>> Executor::RunScan(const PlanNode& plan) {
   PCQE_CHECK(plan.table != nullptr);
   std::vector<ExecRow> out;
   out.reserve(plan.table->num_tuples());
+  arena_->Reserve(plan.table->num_tuples());
   for (const Tuple& t : plan.table->tuples()) {
     out.push_back({t.values(), arena_->Var(t.id())});
   }
@@ -141,6 +55,7 @@ Result<std::vector<ExecRow>> Executor::RunScan(const PlanNode& plan) {
 Result<std::vector<ExecRow>> Executor::RunFilter(const PlanNode& plan) {
   PCQE_ASSIGN_OR_RETURN(std::vector<ExecRow> input, Run(*plan.left));
   std::vector<ExecRow> out;
+  out.reserve(input.size());
   for (ExecRow& row : input) {
     PCQE_ASSIGN_OR_RETURN(bool keep, EvalPredicate(*plan.predicate, row.values));
     if (keep) out.push_back(std::move(row));
@@ -176,7 +91,9 @@ Result<std::vector<ExecRow>> Executor::RunJoin(const PlanNode& plan) {
 
   std::vector<ExecRow> out;
   auto emit = [&](const ExecRow& l, const ExecRow& r) -> Status {
-    std::vector<Value> combined = l.values;
+    std::vector<Value> combined;
+    combined.reserve(l.values.size() + r.values.size());
+    combined.insert(combined.end(), l.values.begin(), l.values.end());
     combined.insert(combined.end(), r.values.begin(), r.values.end());
     for (const Expr* res : residual) {
       PCQE_ASSIGN_OR_RETURN(bool keep, EvalPredicate(*res, combined));
@@ -190,6 +107,7 @@ Result<std::vector<ExecRow>> Executor::RunJoin(const PlanNode& plan) {
     // Hash join on the equi columns; SQL equality never matches NULL keys.
     std::unordered_map<std::vector<Value>, std::vector<size_t>, ValueVecHash, ValueVecEq>
         build;
+    build.reserve(right.size());
     for (size_t i = 0; i < right.size(); ++i) {
       std::vector<Value> key;
       key.reserve(equi_pairs.size());
@@ -202,8 +120,12 @@ Result<std::vector<ExecRow>> Executor::RunJoin(const PlanNode& plan) {
       }
       if (!has_null) build[std::move(key)].push_back(i);
     }
+    // A foreign-key-style probe emits about one row per left row; reserving
+    // that floor avoids most growth reallocations of the output vector.
+    out.reserve(left.size());
+    std::vector<Value> key;
     for (const ExecRow& l : left) {
-      std::vector<Value> key;
+      key.clear();
       key.reserve(equi_pairs.size());
       bool has_null = false;
       for (const auto& [l_idx, r_idx] : equi_pairs) {
@@ -233,178 +155,18 @@ Result<std::vector<ExecRow>> Executor::RunJoin(const PlanNode& plan) {
 
 Result<std::vector<ExecRow>> Executor::RunDistinct(const PlanNode& plan) {
   PCQE_ASSIGN_OR_RETURN(std::vector<ExecRow> input, Run(*plan.left));
-  RowGroups groups;
-  for (const ExecRow& row : input) groups.Add(row.values, row.lineage);
-  std::vector<ExecRow> out;
-  out.reserve(groups.groups().size());
-  for (const RowGroups::Group& g : groups.groups()) {
-    out.push_back({g.values, arena_->Or(g.lineages)});
-  }
-  return out;
+  return exec_internal::DistinctRows(std::move(input), arena_);
 }
 
 Result<std::vector<ExecRow>> Executor::RunSetOp(const PlanNode& plan) {
   PCQE_ASSIGN_OR_RETURN(std::vector<ExecRow> left, Run(*plan.left));
   PCQE_ASSIGN_OR_RETURN(std::vector<ExecRow> right, Run(*plan.right));
-
-  if (plan.kind == PlanKind::kUnionAll) {
-    for (ExecRow& r : right) left.push_back(std::move(r));
-    return left;
-  }
-
-  if (plan.kind == PlanKind::kUnion) {
-    RowGroups groups;
-    for (const ExecRow& row : left) groups.Add(row.values, row.lineage);
-    for (const ExecRow& row : right) groups.Add(row.values, row.lineage);
-    std::vector<ExecRow> out;
-    out.reserve(groups.groups().size());
-    for (const RowGroups::Group& g : groups.groups()) {
-      out.push_back({g.values, arena_->Or(g.lineages)});
-    }
-    return out;
-  }
-
-  // EXCEPT / INTERSECT work on deduplicated sides.
-  RowGroups left_groups;
-  for (const ExecRow& row : left) left_groups.Add(row.values, row.lineage);
-  RowGroups right_groups;
-  for (const ExecRow& row : right) right_groups.Add(row.values, row.lineage);
-
-  std::vector<ExecRow> out;
-  for (const RowGroups::Group& g : left_groups.groups()) {
-    const std::vector<LineageRef>* rhs = right_groups.Find(g.values);
-    LineageRef left_or = arena_->Or(g.lineages);
-    if (plan.kind == PlanKind::kIntersect) {
-      if (rhs == nullptr) continue;
-      out.push_back({g.values, arena_->And(left_or, arena_->Or(*rhs))});
-    } else {  // kExcept
-      LineageRef lineage = left_or;
-      if (rhs != nullptr) {
-        lineage = arena_->And(left_or, arena_->Not(arena_->Or(*rhs)));
-        // A certain right-side derivation folds the lineage to constant
-        // false: the row can never appear, so drop it like classic EXCEPT.
-        if (arena_->op(lineage) == LineageOp::kFalse) continue;
-      }
-      out.push_back({g.values, lineage});
-    }
-  }
-  return out;
+  return exec_internal::SetOpRows(plan.kind, std::move(left), std::move(right), arena_);
 }
 
 Result<std::vector<ExecRow>> Executor::RunAggregate(const PlanNode& plan) {
   PCQE_ASSIGN_OR_RETURN(std::vector<ExecRow> input, Run(*plan.left));
-
-  // Partition the input by key values, preserving first-seen group order.
-  std::vector<std::vector<size_t>> groups;  // member row indices
-  std::vector<std::vector<Value>> group_keys;
-  {
-    std::unordered_map<std::vector<Value>, size_t, ValueVecHash, ValueVecEq> index;
-    for (size_t r = 0; r < input.size(); ++r) {
-      std::vector<Value> key;
-      key.reserve(plan.group_keys.size());
-      for (const auto& k : plan.group_keys) {
-        PCQE_ASSIGN_OR_RETURN(Value v, k->Eval(input[r].values));
-        key.push_back(std::move(v));
-      }
-      auto [it, inserted] = index.try_emplace(key, groups.size());
-      if (inserted) {
-        groups.emplace_back();
-        group_keys.push_back(std::move(key));
-      }
-      groups[it->second].push_back(r);
-    }
-  }
-  // A global aggregation (no keys) over empty input still produces one row
-  // (COUNT(*) = 0, other aggregates NULL). Its lineage is `true`: there are
-  // no base tuples whose presence could change the answer.
-  if (groups.empty() && plan.group_keys.empty()) {
-    groups.emplace_back();
-    group_keys.emplace_back();
-  }
-
-  std::vector<ExecRow> out;
-  out.reserve(groups.size());
-  for (size_t g = 0; g < groups.size(); ++g) {
-    ExecRow row;
-    row.values = group_keys[g];
-
-    for (const PlanNode::AggregateSpec& spec : plan.aggregates) {
-      // Collect the aggregate input (non-NULL argument values, or the raw
-      // member count for COUNT(*)).
-      std::vector<Value> args;
-      for (size_t r : groups[g]) {
-        if (!spec.arg) continue;
-        PCQE_ASSIGN_OR_RETURN(Value v, spec.arg->Eval(input[r].values));
-        if (!v.is_null()) args.push_back(std::move(v));
-      }
-      switch (spec.func) {
-        case AggFunc::kCount:
-          row.values.push_back(Value::Int(static_cast<int64_t>(
-              spec.arg ? args.size() : groups[g].size())));
-          break;
-        case AggFunc::kSum: {
-          if (args.empty()) {
-            row.values.push_back(Value::Null());
-            break;
-          }
-          bool all_int = true;
-          double sum = 0.0;
-          int64_t isum = 0;
-          for (const Value& v : args) {
-            if (v.type() == DataType::kInt64) {
-              isum += *v.AsInt();
-            } else {
-              all_int = false;
-            }
-            PCQE_ASSIGN_OR_RETURN(double d, v.AsDouble());
-            sum += d;
-          }
-          row.values.push_back(all_int ? Value::Int(isum) : Value::Double(sum));
-          break;
-        }
-        case AggFunc::kAvg: {
-          if (args.empty()) {
-            row.values.push_back(Value::Null());
-            break;
-          }
-          double sum = 0.0;
-          for (const Value& v : args) {
-            PCQE_ASSIGN_OR_RETURN(double d, v.AsDouble());
-            sum += d;
-          }
-          row.values.push_back(Value::Double(sum / static_cast<double>(args.size())));
-          break;
-        }
-        case AggFunc::kMin:
-        case AggFunc::kMax: {
-          if (args.empty()) {
-            row.values.push_back(Value::Null());
-            break;
-          }
-          Value best = args[0];
-          for (const Value& v : args) {
-            int c = v.Compare(best);
-            if ((spec.func == AggFunc::kMin && c < 0) ||
-                (spec.func == AggFunc::kMax && c > 0)) {
-              best = v;
-            }
-          }
-          row.values.push_back(std::move(best));
-          break;
-        }
-      }
-    }
-
-    // Conservative lineage: the aggregate value is exactly right iff every
-    // contributing row's derivation holds, i.e. the conjunction of member
-    // lineages. An empty (global) group is certain.
-    std::vector<LineageRef> members;
-    members.reserve(groups[g].size());
-    for (size_t r : groups[g]) members.push_back(input[r].lineage);
-    row.lineage = members.empty() ? arena_->True() : arena_->And(members);
-    out.push_back(std::move(row));
-  }
-  return out;
+  return exec_internal::AggregateRows(plan, std::move(input), arena_);
 }
 
 Result<std::vector<ExecRow>> Executor::RunSort(const PlanNode& plan) {

@@ -11,11 +11,14 @@
 #include "common/result.h"
 #include "lineage/evaluate.h"
 #include "lineage/lineage.h"
+#include "query/execution_mode.h"
 #include "query/executor.h"
 #include "relational/catalog.h"
 #include "telemetry/trace.h"
 
 namespace pcqe {
+
+struct VecResult;
 
 /// \brief A fully evaluated query: schema, rows with lineage and confidence.
 ///
@@ -43,24 +46,79 @@ struct QueryResult {
   /// Base tables the query scanned (deduplicated, in plan order). Policy
   /// resolution uses these to apply table-scoped confidence policies.
   std::vector<std::string> tables;
+  /// Which interpreter produced this result.
+  ExecutionMode mode = ExecutionMode::kRow;
+  /// Vectorized-interpreter counters; all-zero when `mode == kRow`.
+  VecExecStats vec_stats;
+  /// Set when the vectorized engine deferred materialization (the engine's
+  /// serving configuration): the factorized payload boxes values
+  /// (`ValuesOfRow` / `MaterializeValues`) and — for pure
+  /// scan/filter/join/sort/limit pipelines — lineage formulas
+  /// (`MaterializeLineage`) on demand. The payload borrows the scanned
+  /// tables' column chunks — materialize before dropping or reloading the
+  /// catalog. Null when everything is materialized eagerly (the `RunQuery`
+  /// default) or `mode == kRow`.
+  std::shared_ptr<const VecResult> columnar;
+  /// True while `rows[i].values` is empty and boxes via `columnar`.
+  bool defer_values = false;
+  /// True while `rows[i].lineage` is `kNullLineage` (confidences are always
+  /// computed — nodelessly, from the factorization — so policy filtering
+  /// never needs the formulas; see `VecResult::ScanRowConfidence`).
+  bool defer_lineage = false;
+
+  /// True when `rows[i].values` must be boxed via `columnar` first.
+  bool values_deferred() const { return defer_values; }
+
+  /// True when `rows[i].lineage` has not been interned yet.
+  bool lineage_deferred() const { return defer_lineage; }
+
+  /// Boxed values of row `i`, whether deferred or materialized.
+  std::vector<Value> ValuesOfRow(size_t i) const;
+
+  /// Boxes every deferred row's values in place (idempotent, no-op when
+  /// eager). Not synchronized: never call on a result shared across threads
+  /// (the service's cache hands each request its own copy).
+  void MaterializeValues();
+
+  /// Interns every deferred row's lineage formula into `arena` (idempotent,
+  /// no-op when eager), with the exact structure the eager paths build.
+  /// Mutates the *shared* arena — copies of one result share it by
+  /// `shared_ptr` — so this must never run concurrently with any other use
+  /// of the same arena (the service materializes lineage before a result
+  /// enters its shared cache for exactly this reason).
+  void MaterializeLineage();
 
   /// Re-derives every row's confidence from `confidences` (base-tuple id →
   /// confidence). Used after data-quality improvement updates base tuples.
+  /// Materializes deferred lineage first.
   void RecomputeConfidences(const ConfidenceMap& confidences);
 
-  /// Formats rows as an aligned text table with a confidence column.
+  /// Formats rows as an aligned text table with a confidence column; deferred
+  /// rows box transiently (display only shows `max_rows` rows).
   std::string ToTable(size_t max_rows = 50) const;
 };
 
 /// Builds a `ConfidenceMap` holding the current confidence of every base
-/// tuple referenced by `result`, read from `catalog`.
+/// tuple referenced by `result`, read from `catalog`. Walks the arena's
+/// variable index, so a lineage-deferred result must `MaterializeLineage()`
+/// first (its arena holds no variables yet).
 [[nodiscard]] Result<ConfidenceMap> SnapshotConfidences(const Catalog& catalog, const QueryResult& result);
 
 /// Parses, plans, executes and confidence-annotates `sql` against `catalog`.
 /// When `trace` is non-null, one child span per pipeline stage ("parse",
 /// "plan", "execute", "lineage") is added under the currently open span.
+/// `mode` selects the interpreter; both produce bit-identical results (the
+/// row engine is kept as the differential reference — see
+/// tests/vectorized_test.cc). With `materialize_values` false the vectorized
+/// engine skips per-row value boxing and — when the result is purely
+/// factorized over scans — per-row lineage interning, returning a deferred
+/// result (see `QueryResult::columnar`); confidences are always computed,
+/// bit-identically. The row engine ignores the flag (its operators are
+/// inherently materialized).
 [[nodiscard]] Result<QueryResult> RunQuery(const Catalog& catalog, const std::string& sql,
-                                           TraceBuilder* trace = nullptr);
+                                           TraceBuilder* trace = nullptr,
+                                           ExecutionMode mode = ExecutionMode::kVectorized,
+                                           bool materialize_values = true);
 
 }  // namespace pcqe
 

@@ -1,0 +1,762 @@
+#include "query/vec_executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "query/exec_common.h"
+#include "relational/column_chunk.h"
+
+namespace pcqe {
+
+using exec_internal::EvalPredicate;
+using exec_internal::SplitJoinPredicate;
+using exec_internal::ValueVecEq;
+using exec_internal::ValueVecHash;
+
+namespace {
+
+/// Splits an AND tree into conjuncts, left to right (same order the row
+/// engine's join-predicate splitter walks).
+void FlattenConjuncts(const Expr* e, std::vector<const Expr*>* out) {  // NOLINT(misc-no-recursion)
+  if (e == nullptr) return;
+  if (e->kind() == ExprKind::kBinary && e->binary_op() == BinaryOp::kAnd) {
+    FlattenConjuncts(e->left(), out);
+    FlattenConjuncts(e->right(), out);
+    return;
+  }
+  out->push_back(e);
+}
+
+/// Shape of a kernelizable comparison conjunct.
+struct KernelShape {
+  BinaryOp op = BinaryOp::kEq;
+  size_t col_a = 0;
+  /// Second column for column-column compares, else -1 (literal compare).
+  int col_b = -1;
+  const Value* literal = nullptr;
+  /// True when the expression was `literal op column` — the comparison sign
+  /// flips relative to `column op literal`.
+  bool flipped = false;
+};
+
+bool IsCompareOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Matches `col op literal`, `literal op col` or `col op col`; these cannot
+/// error during evaluation, so applying them conjunct-by-conjunct preserves
+/// the row engine's error behavior exactly.
+std::optional<KernelShape> MatchFilterKernel(const Expr& e) {
+  if (e.kind() != ExprKind::kBinary || !IsCompareOp(e.binary_op())) return std::nullopt;
+  const Expr* l = e.left();
+  const Expr* r = e.right();
+  KernelShape shape;
+  shape.op = e.binary_op();
+  if (l->kind() == ExprKind::kColumnRef && r->kind() == ExprKind::kColumnRef) {
+    shape.col_a = l->column_index();
+    shape.col_b = static_cast<int>(r->column_index());
+    return shape;
+  }
+  if (l->kind() == ExprKind::kColumnRef && r->kind() == ExprKind::kLiteral) {
+    shape.col_a = l->column_index();
+    shape.literal = &r->literal();
+    return shape;
+  }
+  if (l->kind() == ExprKind::kLiteral && r->kind() == ExprKind::kColumnRef) {
+    shape.col_a = r->column_index();
+    shape.literal = &l->literal();
+    shape.flipped = true;
+    return shape;
+  }
+  return std::nullopt;
+}
+
+/// Mirror of `Value::Compare`'s numeric branch: both sides as doubles,
+/// sign of the difference. Kernels must match its rounding exactly.
+inline int NumericCompare(double a, double b) {
+  double d = a - b;
+  return d < 0 ? -1 : (d > 0 ? 1 : 0);
+}
+
+/// Applies comparison `op` to a three-way result, honoring operand flip.
+inline bool CompareKeeps(BinaryOp op, int c, bool flipped) {
+  if (flipped) c = -c;
+  switch (op) {
+    case BinaryOp::kEq:
+      return c == 0;
+    case BinaryOp::kNe:
+      return c != 0;
+    case BinaryOp::kLt:
+      return c < 0;
+    case BinaryOp::kLe:
+      return c <= 0;
+    case BinaryOp::kGt:
+      return c > 0;
+    case BinaryOp::kGe:
+      return c >= 0;
+    default:
+      return false;
+  }
+}
+
+/// Resolved fast access to a borrowed typed column.
+struct BorrowedColumn {
+  const TableColumnData* data = nullptr;
+  const std::vector<uint32_t>* sel = nullptr;
+  size_t base_col = 0;
+  DataType type = DataType::kNull;
+};
+
+std::optional<BorrowedColumn> ResolveBorrowed(const VecResult& r, size_t col) {
+  const VecColumn& c = r.columns[col];
+  if (c.borrowed_factor < 0) return std::nullopt;
+  const VecFactor& f = r.factors[static_cast<size_t>(c.borrowed_factor)];
+  BorrowedColumn b;
+  b.data = &f.table->column_data();
+  b.sel = &f.sel;
+  b.base_col = c.base_col;
+  b.type = f.table->schema().column(c.base_col).type;
+  return b;
+}
+
+}  // namespace
+
+Result<VecResult> VectorExecutor::Run(const PlanNode& plan) {  // NOLINT(misc-no-recursion)
+  switch (plan.kind) {
+    case PlanKind::kScan:
+      return RunScan(plan);
+    case PlanKind::kFilter:
+      return RunFilter(plan);
+    case PlanKind::kProject:
+      return RunProject(plan);
+    case PlanKind::kJoin:
+      return RunJoin(plan);
+    case PlanKind::kSort:
+      return RunSort(plan);
+    case PlanKind::kLimit:
+      return RunLimit(plan);
+    case PlanKind::kDistinct:
+    case PlanKind::kUnionAll:
+    case PlanKind::kUnion:
+    case PlanKind::kExcept:
+    case PlanKind::kIntersect:
+    case PlanKind::kAggregate:
+      return RunGrouping(plan);
+  }
+  return Status::Internal("unknown plan kind");
+}
+
+Result<VecResult> VectorExecutor::RunScan(const PlanNode& plan) {
+  PCQE_CHECK(plan.table != nullptr);
+  const TableColumnData& data = plan.table->column_data();
+  tables_by_id_[plan.table->table_id()] = plan.table;
+
+  VecResult out;
+  out.num_rows = data.num_rows();
+  VecFactor factor;
+  factor.table = plan.table;
+  factor.sel.resize(out.num_rows);
+  for (uint32_t i = 0; i < out.num_rows; ++i) factor.sel[i] = i;
+  out.factors.push_back(std::move(factor));
+  out.columns.resize(data.num_columns());
+  for (size_t c = 0; c < data.num_columns(); ++c) {
+    out.columns[c].borrowed_factor = 0;
+    out.columns[c].base_col = c;
+  }
+  stats_.chunks_scanned += data.num_chunks();
+  stats_.rows_scanned += data.num_rows();
+  return out;
+}
+
+bool VectorExecutor::TryFilterKernel(const VecResult& r, const Expr& conjunct,
+                                     std::vector<uint32_t>* candidates) {
+  std::optional<KernelShape> shape = MatchFilterKernel(conjunct);
+  if (!shape.has_value()) return false;
+
+  std::vector<uint32_t> keep;
+  keep.reserve(candidates->size());
+
+  if (shape->col_b >= 0) {
+    // Column-column compare: boxed path (either column layout), identical
+    // semantics to Eval (NULL operand drops the row, else Value::Compare).
+    size_t col_b = static_cast<size_t>(shape->col_b);
+    for (uint32_t i : *candidates) {
+      Value a = ColumnValue(r, shape->col_a, i);
+      Value b = ColumnValue(r, col_b, i);
+      if (a.is_null() || b.is_null()) continue;
+      if (CompareKeeps(shape->op, a.Compare(b), false)) keep.push_back(i);
+    }
+    *candidates = std::move(keep);
+    return true;
+  }
+
+  const Value& lit = *shape->literal;
+  std::optional<BorrowedColumn> borrowed = ResolveBorrowed(r, shape->col_a);
+
+  if (borrowed.has_value() && borrowed->type == DataType::kInt64 &&
+      lit.type() == DataType::kInt64) {
+    double lv = static_cast<double>(*lit.AsInt());
+    for (uint32_t i : *candidates) {
+      uint32_t base = (*borrowed->sel)[i];
+      const ColumnChunk& ch =
+          borrowed->data->chunk(borrowed->base_col, TableColumnData::ChunkOf(base));
+      size_t off = TableColumnData::OffsetOf(base);
+      if (ch.IsNull(off)) continue;
+      int c = NumericCompare(static_cast<double>(ch.IntAt(off)), lv);
+      if (CompareKeeps(shape->op, c, shape->flipped)) keep.push_back(i);
+    }
+  } else if (borrowed.has_value() && borrowed->type == DataType::kDouble &&
+             (lit.type() == DataType::kDouble || lit.type() == DataType::kInt64)) {
+    double lv = *lit.AsDouble();
+    for (uint32_t i : *candidates) {
+      uint32_t base = (*borrowed->sel)[i];
+      const ColumnChunk& ch =
+          borrowed->data->chunk(borrowed->base_col, TableColumnData::ChunkOf(base));
+      size_t off = TableColumnData::OffsetOf(base);
+      if (ch.IsNull(off)) continue;
+      int c = NumericCompare(ch.DoubleAt(off), lv);
+      if (CompareKeeps(shape->op, c, shape->flipped)) keep.push_back(i);
+    }
+  } else {
+    // Boxed fallback kernel: any column layout / type pairing.
+    for (uint32_t i : *candidates) {
+      Value v = ColumnValue(r, shape->col_a, i);
+      if (v.is_null() || lit.is_null()) continue;
+      if (CompareKeeps(shape->op, v.Compare(lit), shape->flipped)) keep.push_back(i);
+    }
+  }
+  *candidates = std::move(keep);
+  return true;
+}
+
+Result<VecResult> VectorExecutor::RunFilter(const PlanNode& plan) {
+  PCQE_ASSIGN_OR_RETURN(VecResult in, Run(*plan.left));
+
+  std::vector<uint32_t> candidates(in.num_rows);
+  for (uint32_t i = 0; i < in.num_rows; ++i) candidates[i] = i;
+
+  std::vector<const Expr*> conjuncts;
+  FlattenConjuncts(plan.predicate.get(), &conjuncts);
+  bool all_kernels = !conjuncts.empty();
+  for (const Expr* c : conjuncts) {
+    if (!MatchFilterKernel(*c).has_value()) {
+      all_kernels = false;
+      break;
+    }
+  }
+
+  if (all_kernels) {
+    for (const Expr* c : conjuncts) {
+      if (candidates.empty()) break;
+      PCQE_CHECK(TryFilterKernel(in, *c, &candidates));
+    }
+  } else {
+    // Whole-predicate fallback: gather each row and evaluate exactly as the
+    // row engine does, so Kleene logic and evaluation errors match.
+    std::vector<uint32_t> keep;
+    keep.reserve(candidates.size());
+    for (uint32_t i : candidates) {
+      GatherRow(in, i, &row_scratch_);
+      PCQE_ASSIGN_OR_RETURN(bool ok, EvalPredicate(*plan.predicate, row_scratch_));
+      if (ok) keep.push_back(i);
+    }
+    stats_.fallback_rows += candidates.size();
+    candidates = std::move(keep);
+  }
+
+  ApplySelection(&in, candidates);
+  return in;
+}
+
+Result<VecResult> VectorExecutor::RunProject(const PlanNode& plan) {
+  PCQE_ASSIGN_OR_RETURN(VecResult in, Run(*plan.left));
+
+  std::vector<VecColumn> cols;
+  cols.reserve(plan.projections.size());
+  for (const auto& expr : plan.projections) {
+    if (expr->kind() == ExprKind::kColumnRef) {
+      // Pure column passthrough: keep borrowing (or copy the owned vector —
+      // the same input column may be projected more than once).
+      cols.push_back(in.columns[expr->column_index()]);
+      continue;
+    }
+    VecColumn col;
+    col.owned.reserve(in.num_rows);
+    for (size_t i = 0; i < in.num_rows; ++i) {
+      GatherRow(in, i, &row_scratch_);
+      PCQE_ASSIGN_OR_RETURN(Value v, expr->Eval(row_scratch_));
+      col.owned.push_back(std::move(v));
+    }
+    stats_.fallback_rows += in.num_rows;
+    cols.push_back(std::move(col));
+  }
+
+  VecResult out;
+  out.num_rows = in.num_rows;
+  out.factors = std::move(in.factors);
+  out.columns = std::move(cols);
+  return out;
+}
+
+Result<VecResult> VectorExecutor::RunJoin(const PlanNode& plan) {
+  PCQE_ASSIGN_OR_RETURN(VecResult left, Run(*plan.left));
+  PCQE_ASSIGN_OR_RETURN(VecResult right, Run(*plan.right));
+  size_t left_width = plan.left->output_schema.num_columns();
+  PCQE_DCHECK(left.columns.size() == left_width);
+
+  std::vector<std::pair<size_t, size_t>> equi_pairs;
+  std::vector<const Expr*> residual;
+  SplitJoinPredicate(plan.predicate.get(), left_width, &equi_pairs, &residual);
+
+  // Matched (left row, right row) pairs in the row engine's emission order:
+  // probe rows in order, each key's matches in right-side insertion order.
+  std::vector<uint32_t> lidx;
+  std::vector<uint32_t> ridx;
+
+  auto passes_residual = [&](uint32_t li, uint32_t ri) -> Result<bool> {
+    if (residual.empty()) return true;
+    row_scratch_.clear();
+    row_scratch_.reserve(left.columns.size() + right.columns.size());
+    for (size_t c = 0; c < left.columns.size(); ++c) {
+      row_scratch_.push_back(ColumnValue(left, c, li));
+    }
+    for (size_t c = 0; c < right.columns.size(); ++c) {
+      row_scratch_.push_back(ColumnValue(right, c, ri));
+    }
+    ++stats_.fallback_rows;
+    for (const Expr* res : residual) {
+      PCQE_ASSIGN_OR_RETURN(bool keep, EvalPredicate(*res, row_scratch_));
+      if (!keep) return false;
+    }
+    return true;
+  };
+
+  auto note_group = [&](size_t group_rows) {
+    ++stats_.join_groups;
+    if (group_rows > stats_.max_group_rows) stats_.max_group_rows = group_rows;
+  };
+
+  if (!equi_pairs.empty()) {
+    std::optional<BorrowedColumn> lcol;
+    std::optional<BorrowedColumn> rcol;
+    if (equi_pairs.size() == 1) {
+      lcol = ResolveBorrowed(left, equi_pairs[0].first);
+      rcol = ResolveBorrowed(right, equi_pairs[0].second);
+    }
+    bool int64_fast = lcol.has_value() && rcol.has_value() &&
+                      lcol->type == DataType::kInt64 && rcol->type == DataType::kInt64;
+
+    lidx.reserve(left.num_rows);
+    ridx.reserve(left.num_rows);
+
+    if (int64_fast) {
+      // Typed single-key hash join: build over the right side, probe the
+      // left in order. SQL equality never matches NULL keys.
+      std::unordered_map<int64_t, std::vector<uint32_t>> build;
+      build.reserve(right.num_rows);
+      for (uint32_t i = 0; i < right.num_rows; ++i) {
+        uint32_t base = (*rcol->sel)[i];
+        const ColumnChunk& ch =
+            rcol->data->chunk(rcol->base_col, TableColumnData::ChunkOf(base));
+        size_t off = TableColumnData::OffsetOf(base);
+        if (ch.IsNull(off)) continue;
+        build[ch.IntAt(off)].push_back(i);
+      }
+      for (uint32_t i = 0; i < left.num_rows; ++i) {
+        uint32_t base = (*lcol->sel)[i];
+        const ColumnChunk& ch =
+            lcol->data->chunk(lcol->base_col, TableColumnData::ChunkOf(base));
+        size_t off = TableColumnData::OffsetOf(base);
+        if (ch.IsNull(off)) continue;
+        auto it = build.find(ch.IntAt(off));
+        if (it == build.end()) continue;
+        note_group(it->second.size());
+        for (uint32_t ri : it->second) {
+          PCQE_ASSIGN_OR_RETURN(bool ok, passes_residual(i, ri));
+          if (!ok) continue;
+          lidx.push_back(i);
+          ridx.push_back(ri);
+        }
+      }
+    } else {
+      // Generic multi-key / boxed hash join.
+      std::unordered_map<std::vector<Value>, std::vector<uint32_t>, ValueVecHash,
+                         ValueVecEq>
+          build;
+      build.reserve(right.num_rows);
+      std::vector<Value> key;
+      for (uint32_t i = 0; i < right.num_rows; ++i) {
+        key.clear();
+        bool has_null = false;
+        for (const auto& [l_idx, r_idx] : equi_pairs) {
+          (void)l_idx;
+          Value v = ColumnValue(right, r_idx, i);
+          if (v.is_null()) has_null = true;
+          key.push_back(std::move(v));
+        }
+        if (!has_null) build[key].push_back(i);
+      }
+      for (uint32_t i = 0; i < left.num_rows; ++i) {
+        key.clear();
+        bool has_null = false;
+        for (const auto& [l_idx, r_idx] : equi_pairs) {
+          (void)r_idx;
+          Value v = ColumnValue(left, l_idx, i);
+          if (v.is_null()) has_null = true;
+          key.push_back(std::move(v));
+        }
+        if (has_null) continue;
+        auto it = build.find(key);
+        if (it == build.end()) continue;
+        note_group(it->second.size());
+        for (uint32_t ri : it->second) {
+          PCQE_ASSIGN_OR_RETURN(bool ok, passes_residual(i, ri));
+          if (!ok) continue;
+          lidx.push_back(i);
+          ridx.push_back(ri);
+        }
+      }
+    }
+  } else {
+    // Nested loop for theta joins and cross products.
+    for (uint32_t i = 0; i < left.num_rows; ++i) {
+      for (uint32_t ri = 0; ri < right.num_rows; ++ri) {
+        PCQE_ASSIGN_OR_RETURN(bool ok, passes_residual(i, ri));
+        if (!ok) continue;
+        lidx.push_back(i);
+        ridx.push_back(ri);
+      }
+    }
+    if (right.num_rows > 0) {
+      note_group(right.num_rows);
+    }
+  }
+
+  // Compose the factorized output: factors keep their domains, only the
+  // selection vectors are rewritten (no value is copied for borrowed
+  // columns — this is where the cross product stays unmaterialized).
+  size_t n = lidx.size();
+  VecResult out;
+  out.num_rows = n;
+  out.factors.reserve(left.factors.size() + right.factors.size());
+  for (VecFactor& f : left.factors) {
+    VecFactor nf;
+    nf.table = f.table;
+    nf.lineages = std::move(f.lineages);
+    nf.sel.resize(n);
+    for (size_t j = 0; j < n; ++j) nf.sel[j] = f.sel[lidx[j]];
+    out.factors.push_back(std::move(nf));
+  }
+  size_t left_factor_count = left.factors.size();
+  for (VecFactor& f : right.factors) {
+    VecFactor nf;
+    nf.table = f.table;
+    nf.lineages = std::move(f.lineages);
+    nf.sel.resize(n);
+    for (size_t j = 0; j < n; ++j) nf.sel[j] = f.sel[ridx[j]];
+    out.factors.push_back(std::move(nf));
+  }
+
+  out.columns.reserve(left.columns.size() + right.columns.size());
+  for (const VecColumn& c : left.columns) {
+    VecColumn nc;
+    if (c.borrowed_factor >= 0) {
+      nc.borrowed_factor = c.borrowed_factor;
+      nc.base_col = c.base_col;
+    } else {
+      nc.owned.reserve(n);
+      for (size_t j = 0; j < n; ++j) nc.owned.push_back(c.owned[lidx[j]]);
+    }
+    out.columns.push_back(std::move(nc));
+  }
+  for (const VecColumn& c : right.columns) {
+    VecColumn nc;
+    if (c.borrowed_factor >= 0) {
+      nc.borrowed_factor = c.borrowed_factor + static_cast<int>(left_factor_count);
+      nc.base_col = c.base_col;
+    } else {
+      nc.owned.reserve(n);
+      for (size_t j = 0; j < n; ++j) nc.owned.push_back(c.owned[ridx[j]]);
+    }
+    out.columns.push_back(std::move(nc));
+  }
+  return out;
+}
+
+Result<VecResult> VectorExecutor::RunSort(const PlanNode& plan) {
+  PCQE_ASSIGN_OR_RETURN(VecResult in, Run(*plan.left));
+
+  std::vector<std::vector<Value>> keys(in.num_rows);
+  for (size_t i = 0; i < in.num_rows; ++i) {
+    GatherRow(in, i, &row_scratch_);
+    keys[i].reserve(plan.sort_keys.size());
+    for (const PlanNode::SortKey& k : plan.sort_keys) {
+      PCQE_ASSIGN_OR_RETURN(Value v, k.expr->Eval(row_scratch_));
+      keys[i].push_back(std::move(v));
+    }
+  }
+  std::vector<uint32_t> order(in.num_rows);
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    for (size_t k = 0; k < plan.sort_keys.size(); ++k) {
+      int c = keys[a][k].Compare(keys[b][k]);
+      if (c != 0) return plan.sort_keys[k].ascending ? c < 0 : c > 0;
+    }
+    return false;
+  });
+  ApplySelection(&in, order);
+  return in;
+}
+
+Result<VecResult> VectorExecutor::RunLimit(const PlanNode& plan) {
+  PCQE_ASSIGN_OR_RETURN(VecResult in, Run(*plan.left));
+  size_t cap = static_cast<size_t>(plan.limit);
+  if (in.num_rows <= cap) return in;
+  for (VecFactor& f : in.factors) f.sel.resize(cap);
+  for (VecColumn& c : in.columns) {
+    if (c.borrowed_factor < 0) c.owned.resize(cap);
+  }
+  in.num_rows = cap;
+  return in;
+}
+
+Result<VecResult> VectorExecutor::RunGrouping(const PlanNode& plan) {
+  size_t width = plan.output_schema.num_columns();
+  if (plan.kind == PlanKind::kDistinct) {
+    PCQE_ASSIGN_OR_RETURN(VecResult in, Run(*plan.left));
+    PCQE_ASSIGN_OR_RETURN(std::vector<ExecRow> rows, Materialize(in));
+    PCQE_ASSIGN_OR_RETURN(rows, exec_internal::DistinctRows(std::move(rows), arena_));
+    return WrapRows(std::move(rows), width);
+  }
+  if (plan.kind == PlanKind::kAggregate) {
+    PCQE_ASSIGN_OR_RETURN(VecResult in, Run(*plan.left));
+    PCQE_ASSIGN_OR_RETURN(std::vector<ExecRow> rows, Materialize(in));
+    PCQE_ASSIGN_OR_RETURN(rows, exec_internal::AggregateRows(plan, std::move(rows), arena_));
+    return WrapRows(std::move(rows), width);
+  }
+  // Set operations: materialize both sides in plan order.
+  PCQE_ASSIGN_OR_RETURN(VecResult left, Run(*plan.left));
+  PCQE_ASSIGN_OR_RETURN(VecResult right, Run(*plan.right));
+  PCQE_ASSIGN_OR_RETURN(std::vector<ExecRow> lrows, Materialize(left));
+  PCQE_ASSIGN_OR_RETURN(std::vector<ExecRow> rrows, Materialize(right));
+  PCQE_ASSIGN_OR_RETURN(
+      std::vector<ExecRow> rows,
+      exec_internal::SetOpRows(plan.kind, std::move(lrows), std::move(rrows), arena_));
+  return WrapRows(std::move(rows), width);
+}
+
+Value VecResult::BoxedValue(size_t col, size_t row) const {
+  const VecColumn& c = columns[col];
+  if (c.borrowed_factor >= 0) {
+    const VecFactor& f = factors[static_cast<size_t>(c.borrowed_factor)];
+    return f.table->column_data().value(c.base_col, f.sel[row]);
+  }
+  return c.owned[row];
+}
+
+bool VecResult::AllScanFactors() const {
+  if (factors.empty()) return false;
+  for (const VecFactor& f : factors) {
+    if (f.table == nullptr) return false;
+  }
+  return true;
+}
+
+double VecResult::ScanRowConfidence(size_t row) const {
+  // One leaf per factor; a repeated (table, row) leaf — a self-join row
+  // matching itself — contributes once, exactly as the `And` builder's
+  // first-seen dedupe makes it. Factor counts are tiny (one per scanned
+  // table), so a fixed-size scratch plus a quadratic dedupe scan suffices.
+  constexpr size_t kMaxFactors = 8;
+  PCQE_DCHECK(factors.size() <= kMaxFactors);
+  uint64_t seen[kMaxFactors];
+  size_t kept = 0;
+  double p = 1.0;
+  for (const VecFactor& f : factors) {
+    const uint32_t r = f.sel[row];
+    const uint64_t id =
+        (static_cast<uint64_t>(f.table->table_id()) << 32) | static_cast<uint64_t>(r);
+    bool duplicate = false;
+    for (size_t j = 0; j < kept; ++j) {
+      if (seen[j] == id) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    seen[kept++] = id;
+    p *= f.table->column_data().confidence(r);
+    if (p == 0.0) break;
+  }
+  return p;
+}
+
+LineageRef VecResult::BoxRowLineage(LineageArena* arena, size_t row,
+                                    std::vector<LineageRef>* scratch) const {
+  PCQE_DCHECK(!factors.empty());
+  auto leaf = [&](const VecFactor& f) {
+    const uint32_t r = f.sel[row];
+    if (f.table == nullptr) return f.lineages[r];
+    return arena->Var((static_cast<LineageVarId>(f.table->table_id()) << 32) |
+                      static_cast<LineageVarId>(r));
+  };
+  if (factors.size() == 1) return leaf(factors[0]);
+  scratch->clear();
+  for (const VecFactor& f : factors) scratch->push_back(leaf(f));
+  return arena->And(*scratch);
+}
+
+Value VectorExecutor::ColumnValue(const VecResult& r, size_t col, size_t row) const {
+  return r.BoxedValue(col, row);
+}
+
+void VectorExecutor::GatherRow(const VecResult& r, size_t row,
+                               std::vector<Value>* out) const {
+  out->clear();
+  out->reserve(r.columns.size());
+  for (size_t c = 0; c < r.columns.size(); ++c) {
+    out->push_back(ColumnValue(r, c, row));
+  }
+}
+
+LineageRef VectorExecutor::FactorRef(const VecFactor& f, uint32_t row) {
+  if (f.table == nullptr) return f.lineages[row];
+  std::vector<LineageRef>& cache = var_cache_[f.table->table_id()];
+  if (cache.size() <= row) {
+    cache.resize(f.table->column_data().num_rows(), kNullLineage);
+  }
+  LineageRef& slot = cache[row];
+  if (slot == kNullLineage) {
+    slot = arena_->Var((static_cast<LineageVarId>(f.table->table_id()) << 32) |
+                       static_cast<LineageVarId>(row));
+  }
+  return slot;
+}
+
+LineageRef VectorExecutor::RowLineage(const VecResult& r, size_t row) {
+  PCQE_DCHECK(!r.factors.empty());
+  if (r.factors.size() == 1) {
+    return FactorRef(r.factors[0], r.factors[0].sel[row]);
+  }
+  lineage_scratch_.clear();
+  for (const VecFactor& f : r.factors) {
+    lineage_scratch_.push_back(FactorRef(f, f.sel[row]));
+  }
+  return arena_->And(lineage_scratch_);
+}
+
+double VectorExecutor::VarConfidence(LineageVarId id) const {
+  auto it = tables_by_id_.find(static_cast<uint32_t>(id >> 32));
+  PCQE_CHECK(it != tables_by_id_.end()) << "lineage variable from unscanned table";
+  return it->second->column_data().confidence(static_cast<size_t>(id & 0xFFFFFFFFULL));
+}
+
+double VectorExecutor::ConfidenceOf(LineageRef ref) {  // NOLINT(misc-no-recursion)
+  if (conf_cache_.size() < arena_->size()) {
+    conf_cache_.resize(arena_->size(), std::numeric_limits<double>::quiet_NaN());
+  }
+  double cached = conf_cache_[ref];
+  if (!std::isnan(cached)) return cached;
+  double p = 0.0;
+  switch (arena_->op(ref)) {
+    case LineageOp::kFalse:
+      p = 0.0;
+      break;
+    case LineageOp::kTrue:
+      p = 1.0;
+      break;
+    case LineageOp::kVar:
+      p = VarConfidence(arena_->var(ref));
+      break;
+    case LineageOp::kNot:
+      p = 1.0 - ConfidenceOf(arena_->children(ref)[0]);
+      break;
+    case LineageOp::kAnd: {
+      p = 1.0;
+      for (LineageRef c : arena_->children(ref)) {
+        p *= ConfidenceOf(c);
+        if (p == 0.0) break;
+      }
+      break;
+    }
+    case LineageOp::kOr: {
+      double q = 1.0;
+      for (LineageRef c : arena_->children(ref)) {
+        q *= 1.0 - ConfidenceOf(c);
+        if (q == 0.0) break;
+      }
+      p = 1.0 - q;
+      break;
+    }
+  }
+  conf_cache_[ref] = p;
+  return p;
+}
+
+Result<std::vector<ExecRow>> VectorExecutor::Materialize(const VecResult& r) {
+  std::vector<ExecRow> rows;
+  rows.reserve(r.num_rows);
+  arena_->Reserve(r.num_rows);
+  for (size_t i = 0; i < r.num_rows; ++i) {
+    ExecRow row;
+    row.values.reserve(r.columns.size());
+    for (size_t c = 0; c < r.columns.size(); ++c) {
+      row.values.push_back(ColumnValue(r, c, i));
+    }
+    row.lineage = RowLineage(r, i);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+VecResult VectorExecutor::WrapRows(std::vector<ExecRow> rows, size_t num_columns) {
+  VecResult out;
+  out.num_rows = rows.size();
+  VecFactor factor;
+  factor.lineages.resize(rows.size());
+  factor.sel.resize(rows.size());
+  out.columns.resize(num_columns);
+  for (VecColumn& c : out.columns) c.owned.reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    PCQE_DCHECK(rows[i].values.size() == num_columns);
+    factor.lineages[i] = rows[i].lineage;
+    factor.sel[i] = static_cast<uint32_t>(i);
+    for (size_t c = 0; c < num_columns; ++c) {
+      out.columns[c].owned.push_back(std::move(rows[i].values[c]));
+    }
+  }
+  out.factors.push_back(std::move(factor));
+  return out;
+}
+
+void VectorExecutor::ApplySelection(VecResult* r, const std::vector<uint32_t>& keep) {
+  for (VecFactor& f : r->factors) {
+    std::vector<uint32_t> nsel(keep.size());
+    for (size_t j = 0; j < keep.size(); ++j) nsel[j] = f.sel[keep[j]];
+    f.sel = std::move(nsel);
+  }
+  for (VecColumn& c : r->columns) {
+    if (c.borrowed_factor >= 0) continue;
+    std::vector<Value> nv;
+    nv.reserve(keep.size());
+    for (uint32_t j : keep) nv.push_back(c.owned[j]);
+    c.owned = std::move(nv);
+  }
+  r->num_rows = keep.size();
+}
+
+}  // namespace pcqe

@@ -51,6 +51,9 @@ Result<BaseTupleId> Table::Insert(std::vector<Value> values, double confidence,
   BaseTupleId id =
       (static_cast<BaseTupleId>(table_id_) << 32) | static_cast<BaseTupleId>(tuples_.size());
   tuples_.emplace_back(id, std::move(values), confidence, std::move(cost), max_confidence);
+  // Mirror into the columnar chunks with the *clamped* confidence, so chunk
+  // confidences and Tuple::confidence() stay bit-identical.
+  columns_.AppendRow(tuples_.back().values(), tuples_.back().confidence());
   return id;
 }
 
@@ -82,6 +85,7 @@ Status Table::SetConfidence(BaseTupleId id, double confidence) {
                   t.max_confidence(), static_cast<unsigned long long>(id)));
   }
   t.set_confidence(confidence);
+  columns_.StoreConfidence(row, t.confidence());
   return Status::OK();
 }
 

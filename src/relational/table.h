@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "relational/column_chunk.h"
 #include "relational/schema.h"
 #include "relational/tuple.h"
 
@@ -23,7 +24,9 @@ class Table {
  public:
   /// Creates an empty table. `table_id` seeds tuple-id assignment.
   Table(std::string name, Schema schema, uint32_t table_id = 0)
-      : name_(std::move(name)), schema_(std::move(schema)), table_id_(table_id) {}
+      : name_(std::move(name)), schema_(std::move(schema)), table_id_(table_id) {
+    columns_.Reset(schema_);
+  }
 
   /// Table name as registered in the catalog.
   const std::string& name() const { return name_; }
@@ -58,6 +61,10 @@ class Table {
   /// `BaseTupleId` back to its owning table.
   uint32_t table_id() const { return table_id_; }
 
+  /// The columnar mirror of this table, maintained row-for-row by `Insert`
+  /// and `SetConfidence`. Vectorized scans borrow its chunks zero-copy.
+  const TableColumnData& column_data() const { return columns_; }
+
  private:
   /// Row index encoded in `id`, or an error if `id` belongs elsewhere.
   [[nodiscard]] Result<size_t> RowOf(BaseTupleId id) const;
@@ -66,6 +73,7 @@ class Table {
   Schema schema_;
   uint32_t table_id_;
   std::vector<Tuple> tuples_;
+  TableColumnData columns_;
 };
 
 }  // namespace pcqe

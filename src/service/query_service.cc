@@ -36,6 +36,9 @@ QueryService::QueryService(PcqeEngine* engine, ServiceOptions options)
       cache_(options.cache_capacity),
       stats_(registry_) {
   cache_.AttachTelemetry(registry_);
+  if (options_.execution_mode.has_value()) {
+    engine_->execution_mode = *options_.execution_mode;
+  }
   if (engine_->telemetry() == nullptr) {
     engine_->AttachTelemetry(registry_, tracer_);
   }
@@ -228,6 +231,10 @@ Result<QueryOutcome> QueryService::Execute(const SessionHandle& session,
     }
     if (evaluated == nullptr) {
       PCQE_ASSIGN_OR_RETURN(QueryResult fresh, engine_->Evaluate(request.sql, tb));
+      // The cache shares one entry (and its lineage arena) across concurrent
+      // completions read-only; interning deferred lineage on demand would be
+      // a write. Box it here, while this thread still owns the result.
+      fresh.MaterializeLineage();
       evaluated = cache_.Insert(key, version, std::move(fresh));
     }
 

@@ -41,6 +41,7 @@
 #include <deque>
 #include <future>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -98,6 +99,10 @@ struct ServiceOptions {
   /// only trades wall clock. The last decision is exported as the
   /// `pcqe_service_solver_lanes` gauge.
   bool adaptive_solver_lanes = true;
+  /// When set, overrides the engine's `execution_mode` at construction
+  /// (row vs. vectorized query interpreter). Unset leaves the engine's own
+  /// setting — vectorized by default — untouched.
+  std::optional<ExecutionMode> execution_mode = std::nullopt;
   /// Durable catalog (src/storage/). With a non-empty `durability.dir` the
   /// service opens (and, when a manifest exists, *recovers*) the directory
   /// on construction and every `Accept` becomes a WAL-logged transaction.

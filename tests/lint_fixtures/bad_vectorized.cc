@@ -1,0 +1,14 @@
+// pcqe-lint-fixture-path: src/query/vec_executor.cc
+// Per-row boxing inside a vectorized operator file: both the Tuple type and
+// tuples() row-vector access must be flagged.
+
+namespace pcqe {
+
+void VecFilterChunk(const Table& table, std::vector<uint32_t>* sel) {
+  for (uint32_t row : *sel) {
+    Tuple boxed = table.tuples()[row];  // boxes every selected row
+    (void)boxed;
+  }
+}
+
+}  // namespace pcqe

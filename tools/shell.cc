@@ -97,6 +97,24 @@ void Shell::RunCommand(const std::string& line) {
               << "ms (expired solves return a partial proposal)\n";
       }
     }
+  } else if (cmd == ".exec") {
+    if (args.empty()) {
+      out() << "execution mode = " << ExecutionModeToString(engine_->execution_mode) << "\n";
+    } else if (args.size() == 1) {
+      auto mode = ParseExecutionMode(args[0]);
+      if (!mode.ok()) {
+        out() << mode.status().ToString() << "\n";
+      } else {
+        engine_->execution_mode = *mode;
+        // Cached results are bit-identical across modes, but drop them so a
+        // mode switch observably re-executes (differential smoke tests rely
+        // on this).
+        if (service_ != nullptr) service_->InvalidateCache();
+        out() << "execution mode = " << ExecutionModeToString(engine_->execution_mode) << "\n";
+      }
+    } else {
+      out() << "usage: .exec [row|vec]\n";
+    }
   } else if (cmd == ".policy") {
     CmdPolicy(args);
   } else if (cmd == ".proposal") {
@@ -190,6 +208,8 @@ void Shell::CmdHelp() {
            "  .fraction <0..1>              required released fraction\n"
            "  .timeout <ms>                 solve budget per query (0 = unlimited);\n"
            "                                expired solves return a partial proposal\n"
+           "  .exec [row|vec]               show/set the query interpreter\n"
+           "                                (vectorized by default; bit-identical results)\n"
            "  .policy add <role> <purpose> <beta>\n"
            "  .policy list\n"
            "  .proposal                     show the last improvement proposal\n"
@@ -328,6 +348,8 @@ void Shell::CmdWhy(const std::vector<std::string>& args) {
           << last_result_->rows.size() << " rows)\n";
     return;
   }
+  // Deferred results carry no formulas yet; the explanation needs them.
+  last_result_->MaterializeLineage();
   const QueryResult::Row& result_row = last_result_->rows[row - 1];
   auto probs = SnapshotConfidences(catalog_, *last_result_);
   if (!probs.ok()) {
@@ -637,8 +659,9 @@ void Shell::RunSql(const std::string& sql) {
   }
 
   if (user_.empty()) {
-    // No session user: run unfiltered, showing raw confidences.
-    auto result = RunQuery(catalog_, sql);
+    // No session user: run unfiltered, showing raw confidences. Still honor
+    // the .exec interpreter choice so differential smokes can compare modes.
+    auto result = RunQuery(catalog_, sql, nullptr, engine_->execution_mode);
     if (!result.ok()) {
       out() << result.status().ToString() << "\n";
       return;

@@ -232,6 +232,80 @@ void RunSweep() {
   table.Print();
 }
 
+// ---------------------------------------------------------------------------
+// Profiling overhead: EXPLAIN ANALYZE must be pay-for-what-you-use. The
+// unprofiled leg (the serving default) runs with a null profiler — one
+// pointer test per operator, no allocation — so a profiled run over the same
+// scan→filter→join pipeline must land within 5% of it (plus an absolute
+// floor for timer jitter on loaded CI machines). Exits non-zero on a
+// persistent violation so check.sh catches a profiler that leaks cost onto
+// the hot path.
+
+void RunProfileOverheadLeg() {
+  bench::Scale scale = bench::BenchScale();
+  size_t n = scale == bench::Scale::kQuick  ? 100'000
+             : scale == bench::Scale::kFull ? 4'000'000
+                                            : 1'000'000;
+  auto catalog = MakeCatalog(n);
+  const std::string sql =
+      "SELECT o.id, c.region FROM orders AS o JOIN customers AS c "
+      "ON o.customer = c.customer WHERE o.amount < 500";
+
+  auto measure = [&](bool profiled) {
+    double best = 1e99;
+    for (int rep = 0; rep < 5; ++rep) {
+      OperatorProfile profile;
+      auto t0 = std::chrono::steady_clock::now();
+      Result<QueryResult> result =
+          RunQuery(*catalog, sql, nullptr, ExecutionMode::kVectorized,
+                   /*materialize_values=*/false, profiled ? &profile : nullptr);
+      auto t1 = std::chrono::steady_clock::now();
+      if (!result.ok()) {
+        std::fprintf(stderr, "overhead query failed: %s\n",
+                     result.status().ToString().c_str());
+        std::exit(1);
+      }
+      if (profiled && profile.nodes.empty()) {
+        std::fprintf(stderr, "profiled run collected no operator nodes\n");
+        std::exit(1);
+      }
+      double s = std::chrono::duration<double>(t1 - t0).count();
+      if (s < best) best = s;
+    }
+    return best;
+  };
+
+  std::printf("\n== profiling overhead (rows=%s) ==\n", bench::FormatCount(n).c_str());
+  // Min-of-5 per leg absorbs most scheduler noise; an absolute slack floor
+  // covers short quick-scale runs where 5% is below timer resolution. One
+  // remeasure before failing: a single page-cache or frequency blip should
+  // not fail the build.
+  constexpr double kAbsoluteSlack = 0.005;  // 5ms
+  double off = 0.0;
+  double on = 0.0;
+  bool ok = false;
+  for (int attempt = 0; attempt < 2 && !ok; ++attempt) {
+    off = measure(/*profiled=*/false);
+    on = measure(/*profiled=*/true);
+    ok = on <= off * 1.05 + kAbsoluteSlack;
+  }
+  double overhead_pct = (on / off - 1.0) * 100.0;
+  std::printf(
+      "BENCH {\"bench\":\"micro_query\",\"op\":\"profile_overhead\",\"rows\":%zu,"
+      "\"seconds_off\":%.6f,\"seconds_on\":%.6f,\"overhead_pct\":%.2f}\n",
+      n, off, on, overhead_pct);
+  if (!ok) {
+    std::fprintf(stderr,
+                 "FAIL: profiled run %.6fs exceeds unprofiled %.6fs by more "
+                 "than 5%% + %.0fms slack\n",
+                 on, off, kAbsoluteSlack * 1e3);
+    std::exit(1);
+  }
+  std::printf("profiling overhead %.2f%% (unprofiled %s, profiled %s) — within 5%%\n",
+              overhead_pct, bench::FormatSeconds(off).c_str(),
+              bench::FormatSeconds(on).c_str());
+}
+
 }  // namespace
 }  // namespace pcqe
 
@@ -241,5 +315,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   pcqe::RunSweep();
+  pcqe::RunProfileOverheadLeg();
   return 0;
 }

@@ -61,6 +61,37 @@ echo "$ROW_OUT" | grep -q "4 row(s)" \
   || { echo "vectorized smoke failed: row/vec outputs differ"; \
        diff <(echo "$ROW_OUT") <(echo "$VEC_OUT") || true; exit 1; }
 
+# Observability smoke: `.explain analyze json` must report a profiled
+# operator tree and `.audit json` must reconstruct the policy decision —
+# without ever exporting a blocked value. Rendered JSON is kept under
+# build/observability_smoke/ (CI uploads it as an artifact).
+echo "== shell: .explain analyze / .audit smoke"
+OBS_DIR=build/observability_smoke
+mkdir -p "$OBS_DIR"
+OBS_CSV=$(mktemp)
+cat > "$OBS_CSV" <<'EOF'
+id,secret,conf
+1,ssn-111-22-3333,0.9
+2,ssn-444-55-6666,0.2
+3,ssn-777-88-9999,0.7
+EOF
+printf '.load t %s conf\n.explain analyze json SELECT id FROM t WHERE id > 1\n.quit\n' "$OBS_CSV" \
+  | build/tools/pcqe_shell | grep -o '{"mode".*}' > "$OBS_DIR/explain.json"
+grep -q '"operators"' "$OBS_DIR/explain.json" \
+  || { echo "explain smoke failed: no operators in $OBS_DIR/explain.json"; exit 1; }
+printf '.load t %s conf\n.role add R\n.user add u\n.role grant u R\n.policy add R general 0.5\n.user use u\nSELECT id, secret FROM t;\n.audit json\n.quit\n' "$OBS_CSV" \
+  | build/tools/pcqe_shell | grep -o '{"audit".*}' > "$OBS_DIR/audit.json"
+rm -f "$OBS_CSV"
+grep -q '"kind":"query"' "$OBS_DIR/audit.json" \
+  || { echo "audit smoke failed: no query record in $OBS_DIR/audit.json"; exit 1; }
+grep -q '"released":false' "$OBS_DIR/audit.json" \
+  || { echo "audit smoke failed: no blocked row recorded"; exit 1; }
+# Privacy contract: the blocked row's value must never appear in the export.
+if grep -q 'ssn-444-55-6666' "$OBS_DIR/audit.json"; then
+  echo "audit smoke failed: blocked value leaked into the audit export"
+  exit 1
+fi
+
 for bench in build/bench/*; do
   [[ -f "$bench" && -x "$bench" ]] || continue
   echo "== bench: $bench"

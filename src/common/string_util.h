@@ -36,6 +36,10 @@ bool StartsWith(std::string_view s, std::string_view prefix);
 /// ("0.0580" -> "0.058", "3.0" -> "3").
 std::string FormatDouble(double v, int max_decimals = 6);
 
+/// Escapes `s` for inclusion inside a JSON string literal: quotes,
+/// backslashes and control characters (the latter as `\u00XX`).
+std::string JsonEscape(std::string_view s);
+
 }  // namespace pcqe
 
 #endif  // PCQE_COMMON_STRING_UTIL_H_

@@ -6,6 +6,7 @@
 
 #include "common/fault_injection.h"
 #include "common/string_util.h"
+#include "query/vec_executor.h"
 #include "storage/storage_manager.h"
 #include "strategy/brute_force.h"
 #include "strategy/dnc.h"
@@ -74,25 +75,57 @@ void PcqeEngine::AttachTelemetry(TelemetryRegistry* registry, Tracer* tracer) {
     metrics_.solver_effort.push_back(registry_->GetCounter(
         StrFormat("pcqe_solver_%s_total", name), "Solver search effort; see SolverEffort"));
   }
+  metrics_.operator_seconds.clear();
+  for (PlanKind kind :
+       {PlanKind::kScan, PlanKind::kFilter, PlanKind::kProject, PlanKind::kJoin,
+        PlanKind::kDistinct, PlanKind::kUnionAll, PlanKind::kUnion,
+        PlanKind::kExcept, PlanKind::kIntersect, PlanKind::kSort, PlanKind::kLimit,
+        PlanKind::kAggregate}) {
+    std::string key = ToLowerAscii(PlanKindToString(kind));
+    metrics_.operator_seconds[key] = registry_->GetHistogram(
+        StrFormat("pcqe_query_operator_seconds_%s", key.c_str()),
+        {0.00001, 0.0001, 0.001, 0.01, 0.1, 1.0},
+        "Per-operator wall seconds from profiled (EXPLAIN ANALYZE) queries");
+  }
+}
+
+void PcqeEngine::ObserveOperatorSeconds(const OperatorProfile& profile) const {
+  if (metrics_.operator_seconds.empty()) return;
+  for (const OperatorProfile::Node& node : profile.nodes) {
+    std::string kind = ToLowerAscii(node.label.substr(0, node.label.find(' ')));
+    auto it = metrics_.operator_seconds.find(kind);
+    if (it == metrics_.operator_seconds.end()) continue;
+    it->second->Observe(static_cast<double>(node.wall_ns) / 1e9);
+  }
 }
 
 Result<QueryOutcome> PcqeEngine::Submit(const QueryRequest& request) const {
+  std::shared_ptr<OperatorProfile> profile;
+  if (request.profile) profile = std::make_shared<OperatorProfile>();
   if (tracer_ == nullptr || !tracer_->enabled()) {
-    PCQE_ASSIGN_OR_RETURN(QueryResult intermediate, Evaluate(request.sql));
-    return Complete(request, std::move(intermediate));
+    PCQE_ASSIGN_OR_RETURN(QueryResult intermediate,
+                          Evaluate(request.sql, nullptr, profile.get()));
+    Result<QueryOutcome> outcome = Complete(request, std::move(intermediate));
+    if (outcome.ok()) outcome->profile = std::move(profile);
+    return outcome;
   }
   TraceBuilder trace("submit");
   Result<QueryOutcome> outcome = [&]() -> Result<QueryOutcome> {
-    PCQE_ASSIGN_OR_RETURN(QueryResult intermediate, Evaluate(request.sql, &trace));
+    PCQE_ASSIGN_OR_RETURN(QueryResult intermediate,
+                          Evaluate(request.sql, &trace, profile.get()));
     return Complete(request, std::move(intermediate), &trace);
   }();
   uint64_t id = tracer_->Record(trace.Finish());
-  if (outcome.ok()) outcome->trace_id = id;
+  if (outcome.ok()) {
+    outcome->trace_id = id;
+    outcome->profile = std::move(profile);
+  }
   return outcome;
 }
 
 Result<QueryResult> PcqeEngine::Evaluate(const std::string& sql,
-                                         TraceBuilder* trace) const {
+                                         TraceBuilder* trace,
+                                         OperatorProfile* profile) const {
   // (1)-(4): evaluate the query and compute result confidences.
   ScopedSpan span(trace, "evaluate");
   PCQE_INJECT_FAULT(fault_sites::kEngineEvaluate);
@@ -101,8 +134,9 @@ Result<QueryResult> PcqeEngine::Evaluate(const std::string& sql,
   // value boxing is deferred until something displays rows (ReleasedTable /
   // ToTable / MaterializeValues) — the factorized engine's late
   // materialization.
-  Result<QueryResult> result =
-      RunQuery(*catalog_, sql, trace, execution_mode, /*materialize_values=*/false);
+  Result<QueryResult> result = RunQuery(*catalog_, sql, trace, execution_mode,
+                                        /*materialize_values=*/false, profile);
+  if (result.ok() && profile != nullptr) ObserveOperatorSeconds(*profile);
   if (result.ok() && metrics_.vec_chunks != nullptr) {
     const VecExecStats& s = result->vec_stats;
     metrics_.vec_chunks->Increment(s.chunks_scanned);
@@ -178,7 +212,90 @@ Result<QueryOutcome> PcqeEngine::Complete(const QueryRequest& request,
                      request.solver_lanes.value_or(solver_parallelism),
                      request.deadline, request.cancel, trace));
   }
+  outcome.audit_id = RecordQueryAudit(request, outcome, blocked);
   return outcome;
+}
+
+namespace {
+
+/// Privacy-safe per-row lineage summary for the audit log: the contributing
+/// base tuples as `table#row` identifiers joined with " * " (conjunction).
+/// Never renders tuple values — see telemetry/audit.h.
+std::string BlockedRowLineageSummary(
+    const QueryResult& qr, size_t row,
+    const std::map<uint32_t, std::string>& table_names) {
+  std::vector<std::string> parts;
+  if (!qr.lineage_deferred() && qr.rows[row].lineage != kNullLineage) {
+    for (LineageVarId id : qr.arena->Variables(qr.rows[row].lineage)) {
+      auto table_id = static_cast<uint32_t>(id >> 32);
+      auto base_row = static_cast<uint32_t>(id & 0xffffffffU);
+      auto it = table_names.find(table_id);
+      std::string table =
+          it != table_names.end() ? it->second : StrFormat("t%u", table_id);
+      parts.push_back(StrFormat("%s#%u", table.c_str(), base_row));
+    }
+  } else if (qr.columnar != nullptr) {
+    // Deferred factorized result: the factors name the base tuples directly,
+    // no lineage interning needed.
+    for (const VecFactor& f : qr.columnar->factors) {
+      if (f.table == nullptr) continue;
+      parts.push_back(StrFormat("%s#%u", f.table->name().c_str(), f.sel[row]));
+    }
+  }
+  return JoinStrings(parts, " * ");
+}
+
+}  // namespace
+
+uint64_t PcqeEngine::RecordQueryAudit(const QueryRequest& request,
+                                      const QueryOutcome& outcome,
+                                      const std::vector<size_t>& blocked) const {
+  if (audit_ == nullptr || !audit_->enabled()) return 0;
+  const QueryResult& qr = outcome.intermediate;
+  AuditRecord rec;
+  rec.kind = AuditRecord::Kind::kQuery;
+  rec.user = request.user;
+  rec.purpose = request.purpose;
+  rec.sql = request.sql;
+  rec.beta = outcome.policy.threshold;
+  rec.confidence_version = catalog_->confidence_version();
+  rec.required_fraction = request.required_fraction;
+  rec.released_fraction = outcome.released_fraction;
+  rec.rows_total = qr.rows.size();
+  rec.rows_released = outcome.released.size();
+  rec.rows_blocked = blocked.size();
+
+  std::map<uint32_t, std::string> table_names;
+  for (const std::string& name : qr.tables) {
+    Result<const Table*> table =
+        static_cast<const Catalog*>(catalog_)->GetTable(name);
+    if (table.ok()) table_names[(*table)->table_id()] = name;
+  }
+  std::vector<bool> released(qr.rows.size(), false);
+  for (size_t i : outcome.released) released[i] = true;
+  size_t cap = audit_->max_rows_per_record();
+  for (size_t i = 0; i < qr.rows.size(); ++i) {
+    if (rec.rows.size() >= cap) {
+      rec.rows_truncated = qr.rows.size() - rec.rows.size();
+      break;
+    }
+    AuditRowDecision decision;
+    decision.row = i;
+    decision.confidence = qr.rows[i].confidence;
+    decision.released = released[i];
+    if (!released[i]) {
+      decision.lineage = BlockedRowLineageSummary(qr, i, table_names);
+    }
+    rec.rows.push_back(std::move(decision));
+  }
+  if (outcome.proposal.needed) {
+    rec.proposal_needed = true;
+    rec.proposal_feasible = outcome.proposal.feasible;
+    rec.proposal_partial = outcome.proposal.partial;
+    rec.proposal_cost = outcome.proposal.total_cost;
+    rec.proposal_algorithm = outcome.proposal.algorithm;
+  }
+  return audit_->Record(std::move(rec));
 }
 
 Result<std::vector<QueryOutcome>> PcqeEngine::SubmitBatch(
@@ -394,7 +511,20 @@ Status PcqeEngine::AcceptProposal(const StrategyProposal& proposal) {
     PCQE_RETURN_NOT_OK(storage_->LogAccept(catalog_->confidence_version(),
                                            logged));
   }
-  return improver_.Apply(proposal.actions);
+  Status applied = improver_.Apply(proposal.actions);
+  if (audit_ != nullptr && audit_->enabled()) {
+    AuditRecord rec;
+    rec.kind = AuditRecord::Kind::kAccept;
+    rec.accept_actions = proposal.actions.size();
+    rec.accept_cost = proposal.total_cost;
+    rec.accept_ok = applied.ok();
+    if (!applied.ok()) rec.accept_error = applied.message();
+    // Post-apply version: a successful accept bumped it, so the record pins
+    // which catalog state subsequent query decisions read.
+    rec.confidence_version = catalog_->confidence_version();
+    audit_->Record(std::move(rec));
+  }
+  return applied;
 }
 
 }  // namespace pcqe

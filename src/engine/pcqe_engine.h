@@ -5,6 +5,8 @@
 #define PCQE_ENGINE_PCQE_ENGINE_H_
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -19,7 +21,9 @@
 #include "query/query_engine.h"
 #include "relational/catalog.h"
 #include "strategy/solution.h"
+#include "telemetry/audit.h"
 #include "telemetry/metrics.h"
+#include "telemetry/profile.h"
 #include "telemetry/trace.h"
 
 namespace pcqe {
@@ -58,6 +62,10 @@ struct QueryRequest {
   Deadline deadline = Deadline::Infinite();
   /// Optional caller-owned cancellation flag, forwarded to the solvers.
   const CancelToken* cancel = nullptr;
+  /// `EXPLAIN ANALYZE`: collect an `OperatorProfile` for the evaluation and
+  /// attach it to `QueryOutcome::profile`. Off by default — profiling is
+  /// pay-for-what-you-use (the executors allocate nothing for it when off).
+  bool profile = false;
 };
 
 /// \brief The strategy-finding component's report: what it would cost to
@@ -98,6 +106,12 @@ struct QueryOutcome {
   /// Id of the recorded pipeline trace (0 when tracing was off); retrieve
   /// it with `Tracer::Get`.
   uint64_t trace_id = 0;
+  /// Per-operator execution profile; set only when `QueryRequest::profile`
+  /// was on (`EXPLAIN ANALYZE`).
+  std::shared_ptr<OperatorProfile> profile;
+  /// Id of the audit record documenting this decision (0 when no audit log
+  /// is attached); retrieve it with `AuditLog::Get`.
+  uint64_t audit_id = 0;
 
   /// Formats the released rows (only) as a text table.
   std::string ReleasedTable(size_t max_rows = 50) const;
@@ -145,6 +159,15 @@ class PcqeEngine {
   TelemetryRegistry* telemetry() const { return registry_; }
   Tracer* tracer() const { return tracer_; }
 
+  /// Attaches a compliance audit log (borrowed; must outlive the engine;
+  /// null detaches). Once attached, every `Complete` appends one record per
+  /// policy decision and every `AcceptProposal` one per applied increment —
+  /// see telemetry/audit.h for the privacy contract. Call before serving;
+  /// attachment is not synchronized against concurrent `Submit`s (the log
+  /// itself is thread-safe once attached).
+  void AttachAudit(AuditLog* audit) { audit_ = audit; }
+  AuditLog* audit() const { return audit_; }
+
   /// Attaches a durable-storage manager (borrowed; must outlive the
   /// engine; null detaches). Once attached, `AcceptProposal` becomes a
   /// logged transaction: the increments are appended + synced to the WAL
@@ -185,9 +208,12 @@ class PcqeEngine {
   /// makes it shareable across subjects — the service layer caches it keyed
   /// on (normalized SQL, catalog confidence-version). When `trace` is
   /// non-null an "evaluate" span (with parse/plan/execute/lineage children)
-  /// is added.
+  /// is added. A non-null `profile` collects per-operator statistics
+  /// (`EXPLAIN ANALYZE`) and feeds the `pcqe_query_operator_seconds_*`
+  /// histograms.
   [[nodiscard]] Result<QueryResult> Evaluate(const std::string& sql,
-                                             TraceBuilder* trace = nullptr) const
+                                             TraceBuilder* trace = nullptr,
+                                             OperatorProfile* profile = nullptr) const
       PCQE_REQUIRES_SHARED(catalog_mu_);
 
   /// Steps 2-3 on an already-evaluated result: resolves the policy for the
@@ -287,7 +313,21 @@ class PcqeEngine {
     Counter* vec_fallback_rows = nullptr;
     /// `pcqe_solver_<field>_total`, in `SolverEffort::Items()` order.
     std::vector<Counter*> solver_effort;
+    /// `pcqe_query_operator_seconds_<kind>`, keyed by lowercase operator
+    /// kind ("scan", "join", ...); fed by profiled evaluations only.
+    std::map<std::string, Histogram*> operator_seconds;
   };
+
+  /// Feeds each profiled operator's wall time into its per-kind
+  /// `pcqe_query_operator_seconds_<kind>` histogram.
+  void ObserveOperatorSeconds(const OperatorProfile& profile) const;
+
+  /// Appends the `Complete` decision (β filter + solver outcome) to the
+  /// attached audit log; returns the record id (0 when unattached).
+  [[nodiscard]] uint64_t RecordQueryAudit(const QueryRequest& request,
+                                          const QueryOutcome& outcome,
+                                          const std::vector<size_t>& blocked) const
+      PCQE_REQUIRES_SHARED(catalog_mu_);
 
   /// See `catalog_mu()`. Mutable: the lock is taken (by callers) around
   /// const reads too.
@@ -300,6 +340,7 @@ class PcqeEngine {
   TelemetryRegistry* registry_ = nullptr;  // borrowed; may be null
   Tracer* tracer_ = nullptr;               // borrowed; may be null
   StorageManager* storage_ = nullptr;      // borrowed; may be null
+  AuditLog* audit_ = nullptr;              // borrowed; may be null
   EngineMetrics metrics_;
 };
 

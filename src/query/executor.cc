@@ -15,6 +15,18 @@ using exec_internal::ValueVecEq;
 using exec_internal::ValueVecHash;
 
 Result<std::vector<ExecRow>> Executor::Run(const PlanNode& plan) {
+  if (profiler_ == nullptr) return Dispatch(plan);
+  size_t node = profiler_->Begin(plan.Summary());
+  uint64_t arena_before = arena_->size();
+  Result<std::vector<ExecRow>> result = Dispatch(plan);
+  OperatorProfiler::Extra extra;
+  extra.arena_nodes = arena_->size() - arena_before;
+  profiler_->End(node, result.ok() ? result->size() : 0, extra);
+  return result;
+}
+
+Result<std::vector<ExecRow>> Executor::Dispatch(
+    const PlanNode& plan) {  // NOLINT(misc-no-recursion)
   switch (plan.kind) {
     case PlanKind::kScan:
       return RunScan(plan);

@@ -9,6 +9,7 @@
 #include "common/result.h"
 #include "lineage/lineage.h"
 #include "query/plan.h"
+#include "telemetry/profile.h"
 
 namespace pcqe {
 
@@ -35,13 +36,18 @@ struct ExecRow {
 /// returned `LineageRef`s remain valid for that arena's lifetime.
 class Executor {
  public:
-  /// `arena` must outlive every row returned by `Run`.
-  explicit Executor(LineageArena* arena) : arena_(arena) {}
+  /// `arena` must outlive every row returned by `Run`. A non-null `profiler`
+  /// collects one `OperatorProfile` node per executed operator
+  /// (`EXPLAIN ANALYZE`); the default costs one branch per operator.
+  explicit Executor(LineageArena* arena, OperatorProfiler* profiler = nullptr)
+      : arena_(arena), profiler_(profiler) {}
 
   /// Executes `plan` and materializes all result rows.
   [[nodiscard]] Result<std::vector<ExecRow>> Run(const PlanNode& plan);
 
  private:
+  /// The unprofiled interpreter switch; `Run` wraps it with profiling.
+  [[nodiscard]] Result<std::vector<ExecRow>> Dispatch(const PlanNode& plan);
   [[nodiscard]] Result<std::vector<ExecRow>> RunScan(const PlanNode& plan);
   [[nodiscard]] Result<std::vector<ExecRow>> RunFilter(const PlanNode& plan);
   [[nodiscard]] Result<std::vector<ExecRow>> RunProject(const PlanNode& plan);
@@ -53,6 +59,7 @@ class Executor {
   [[nodiscard]] Result<std::vector<ExecRow>> RunAggregate(const PlanNode& plan);
 
   LineageArena* arena_;
+  OperatorProfiler* profiler_;
 };
 
 }  // namespace pcqe

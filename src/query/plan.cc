@@ -34,9 +34,8 @@ std::string PlanKindToString(PlanKind kind) {
   return "?";
 }
 
-std::string PlanNode::ToString(int indent) const {
-  std::string pad(static_cast<size_t>(indent) * 2, ' ');
-  std::string line = pad + PlanKindToString(kind);
+std::string PlanNode::Summary() const {
+  std::string line = PlanKindToString(kind);
   switch (kind) {
     case PlanKind::kScan:
       line += StrFormat(" %s", table->name().c_str());
@@ -79,8 +78,12 @@ std::string PlanNode::ToString(int indent) const {
     default:
       break;
   }
-  line += " -> " + output_schema.ToString();
-  std::string out = line;
+  return line;
+}
+
+std::string PlanNode::ToString(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string out = pad + Summary() + " -> " + output_schema.ToString();
   if (left) out += "\n" + left->ToString(indent + 1);
   if (right) out += "\n" + right->ToString(indent + 1);
   return out;

@@ -82,6 +82,10 @@ struct PlanNode {
   };
   std::vector<AggregateSpec> aggregates;
 
+  /// One-line operator summary without schema or children (`Scan orders`,
+  /// `Filter (amount < 100)`); the label `EXPLAIN ANALYZE` profiles under.
+  std::string Summary() const;
+
   /// Indented multi-line plan rendering for EXPLAIN-style diagnostics.
   std::string ToString(int indent = 0) const;
 };

@@ -124,7 +124,8 @@ void CollectScannedTables(const PlanNode& plan,
 
 Result<QueryResult> RunQuery(const Catalog& catalog, const std::string& sql,
                              TraceBuilder* trace, ExecutionMode mode,
-                             bool materialize_values) {
+                             bool materialize_values, OperatorProfile* profile) {
+  if (profile != nullptr) profile->mode = ExecutionModeToString(mode);
   std::unique_ptr<SelectStatement> stmt;
   {
     ScopedSpan span(trace, "parse");
@@ -143,8 +144,11 @@ Result<QueryResult> RunQuery(const Catalog& catalog, const std::string& sql,
   result.mode = mode;
   CollectScannedTables(*plan, &result.tables);
 
+  OperatorProfiler profiler(profile);
+
   if (mode == ExecutionMode::kVectorized) {
-    VectorExecutor executor(result.arena.get());
+    VectorExecutor executor(result.arena.get(),
+                            profile != nullptr ? &profiler : nullptr);
     size_t num_columns = plan->output_schema.num_columns();
     VecResult vec;
     {
@@ -211,7 +215,7 @@ Result<QueryResult> RunQuery(const Catalog& catalog, const std::string& sql,
 
   {
     ScopedSpan span(trace, "execute");
-    Executor executor(result.arena.get());
+    Executor executor(result.arena.get(), profile != nullptr ? &profiler : nullptr);
     PCQE_ASSIGN_OR_RETURN(std::vector<ExecRow> rows, executor.Run(*plan));
     result.rows.reserve(rows.size());
     for (ExecRow& row : rows) {

@@ -114,11 +114,15 @@ struct QueryResult {
 /// factorized over scans — per-row lineage interning, returning a deferred
 /// result (see `QueryResult::columnar`); confidences are always computed,
 /// bit-identically. The row engine ignores the flag (its operators are
-/// inherently materialized).
+/// inherently materialized). A non-null `profile` enables `EXPLAIN ANALYZE`
+/// collection: the executor records one `OperatorProfile` node per operator
+/// (rows, chunks, factors, arena nodes, wall time); null (the default) keeps
+/// the hot path allocation-free.
 [[nodiscard]] Result<QueryResult> RunQuery(const Catalog& catalog, const std::string& sql,
                                            TraceBuilder* trace = nullptr,
                                            ExecutionMode mode = ExecutionMode::kVectorized,
-                                           bool materialize_values = true);
+                                           bool materialize_values = true,
+                                           OperatorProfile* profile = nullptr);
 
 }  // namespace pcqe
 

@@ -136,6 +136,31 @@ std::optional<BorrowedColumn> ResolveBorrowed(const VecResult& r, size_t col) {
 }  // namespace
 
 Result<VecResult> VectorExecutor::Run(const PlanNode& plan) {  // NOLINT(misc-no-recursion)
+  if (profiler_ == nullptr) return Dispatch(plan);
+  size_t node = profiler_->Begin(plan.Summary());
+  uint64_t chunks_before = stats_.chunks_scanned;
+  uint64_t fallback_before = stats_.fallback_rows;
+  uint64_t arena_before = arena_->size();
+  Result<VecResult> result = Dispatch(plan);
+  OperatorProfiler::Extra extra;
+  extra.chunks = stats_.chunks_scanned - chunks_before;
+  extra.fallback_rows = stats_.fallback_rows - fallback_before;
+  extra.arena_nodes = arena_->size() - arena_before;
+  if (result.ok()) {
+    for (const VecFactor& f : result->factors) {
+      if (f.table != nullptr) {
+        ++extra.scan_factors;
+      } else {
+        ++extra.mat_factors;
+      }
+    }
+  }
+  profiler_->End(node, result.ok() ? result->num_rows : 0, extra);
+  return result;
+}
+
+Result<VecResult> VectorExecutor::Dispatch(
+    const PlanNode& plan) {  // NOLINT(misc-no-recursion)
   switch (plan.kind) {
     case PlanKind::kScan:
       return RunScan(plan);

@@ -35,6 +35,7 @@
 #include "lineage/lineage.h"
 #include "query/execution_mode.h"
 #include "query/plan.h"
+#include "telemetry/profile.h"
 
 namespace pcqe {
 
@@ -107,8 +108,11 @@ struct VecResult {
 /// passed at construction.
 class VectorExecutor {
  public:
-  /// `arena` must outlive every ref returned by `Run` and `RowLineage`.
-  explicit VectorExecutor(LineageArena* arena) : arena_(arena) {}
+  /// `arena` must outlive every ref returned by `Run` and `RowLineage`. A
+  /// non-null `profiler` collects one `OperatorProfile` node per executed
+  /// operator (`EXPLAIN ANALYZE`); the default costs one branch per operator.
+  explicit VectorExecutor(LineageArena* arena, OperatorProfiler* profiler = nullptr)
+      : arena_(arena), profiler_(profiler) {}
 
   /// Executes `plan` into a factorized result.
   [[nodiscard]] Result<VecResult> Run(const PlanNode& plan);
@@ -130,6 +134,9 @@ class VectorExecutor {
   const VecExecStats& stats() const { return stats_; }
 
  private:
+  /// The unprofiled interpreter switch; `Run` wraps it with profiling.
+  [[nodiscard]] Result<VecResult> Dispatch(const PlanNode& plan);
+
   [[nodiscard]] Result<VecResult> RunScan(const PlanNode& plan);
   [[nodiscard]] Result<VecResult> RunFilter(const PlanNode& plan);
   [[nodiscard]] Result<VecResult> RunProject(const PlanNode& plan);
@@ -167,6 +174,7 @@ class VectorExecutor {
   double VarConfidence(LineageVarId id) const;
 
   LineageArena* arena_;
+  OperatorProfiler* profiler_;
   VecExecStats stats_;
   /// Scanned tables by table id, for Var → confidence resolution.
   std::unordered_map<uint32_t, const Table*> tables_by_id_;

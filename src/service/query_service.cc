@@ -31,16 +31,25 @@ QueryService::QueryService(PcqeEngine* engine, ServiceOptions options)
       owned_tracer_(options.tracer == nullptr
                         ? std::make_unique<Tracer>(options.trace_capacity)
                         : nullptr),
+      owned_audit_(options.audit == nullptr
+                       ? std::make_unique<AuditLog>(options.audit_capacity)
+                       : nullptr),
       registry_(options.registry != nullptr ? options.registry : owned_registry_.get()),
       tracer_(options.tracer != nullptr ? options.tracer : owned_tracer_.get()),
+      audit_(options.audit != nullptr ? options.audit : owned_audit_.get()),
       cache_(options.cache_capacity),
       stats_(registry_) {
   cache_.AttachTelemetry(registry_);
+  tracer_->AttachTelemetry(registry_);
+  audit_->AttachTelemetry(registry_);
   if (options_.execution_mode.has_value()) {
     engine_->execution_mode = *options_.execution_mode;
   }
   if (engine_->telemetry() == nullptr) {
     engine_->AttachTelemetry(registry_, tracer_);
+  }
+  if (engine_->audit() == nullptr) {
+    engine_->AttachAudit(audit_);
   }
   queue_depth_gauge_ =
       registry_->GetGauge("pcqe_service_queue_depth", "Requests waiting for a worker");
@@ -91,6 +100,9 @@ QueryService::~QueryService() {
   // storage manager that dies with us.
   if (owned_storage_ != nullptr && engine_->storage() == owned_storage_.get()) {
     engine_->AttachStorage(nullptr);
+  }
+  if (owned_audit_ != nullptr && engine_->audit() == owned_audit_.get()) {
+    engine_->AttachAudit(nullptr);
   }
 }
 
@@ -222,15 +234,21 @@ Result<QueryOutcome> QueryService::Execute(const SessionHandle& session,
     // interleaved Accept.
     uint64_t version = engine_->catalog()->confidence_version();
     std::string key = NormalizeSql(request.sql);
+    // A profiled request bypasses the cache lookup — a hit executes nothing,
+    // so there would be no operator tree to report — but still populates the
+    // cache for later (unprofiled) requests.
+    std::shared_ptr<OperatorProfile> profile;
+    if (request.profile) profile = std::make_shared<OperatorProfile>();
     std::shared_ptr<const QueryResult> evaluated;
-    {
+    if (profile == nullptr) {
       ScopedSpan lookup_span(tb, "cache-lookup");
       PCQE_INJECT_FAULT(fault_sites::kCacheLookup);
       evaluated = cache_.Lookup(key, version);
       lookup_span.Annotate("hit", evaluated != nullptr ? "true" : "false");
     }
     if (evaluated == nullptr) {
-      PCQE_ASSIGN_OR_RETURN(QueryResult fresh, engine_->Evaluate(request.sql, tb));
+      PCQE_ASSIGN_OR_RETURN(QueryResult fresh,
+                            engine_->Evaluate(request.sql, tb, profile.get()));
       // The cache shares one entry (and its lineage arena) across concurrent
       // completions read-only; interning deferred lineage on demand would be
       // a write. Box it here, while this thread still owns the result.
@@ -260,7 +278,10 @@ Result<QueryOutcome> QueryService::Execute(const SessionHandle& session,
     }
     // Completion copies the shared evaluation into the outcome: rows are
     // duplicated, the lineage arena is shared by shared_ptr and read-only.
-    return engine_->Complete(engine_request, *evaluated, tb);
+    PCQE_ASSIGN_OR_RETURN(QueryOutcome completed,
+                          engine_->Complete(engine_request, *evaluated, tb));
+    completed.profile = std::move(profile);
+    return completed;
   }();
 
   if (outcome.ok()) {

@@ -91,6 +91,14 @@ struct ServiceOptions {
   /// Capacity of the service-owned trace ring (only used when `tracer` is
   /// null).
   size_t trace_capacity = 64;
+  /// Compliance audit log the engine appends policy decisions to. Borrowed
+  /// (must outlive the service); null means the service owns a private one,
+  /// reachable via `audit()`. The engine, if it has no audit log attached
+  /// yet, is attached to the service's.
+  AuditLog* audit = nullptr;
+  /// Capacity of the service-owned audit ring (only used when `audit` is
+  /// null); 0 disables audit recording.
+  size_t audit_capacity = 256;
   /// Choose each request's solver lane budget as
   /// `max(1, hardware_threads / active_requests)` (capped at the engine's
   /// own budget), so a lone request fans out wide while a full worker pool
@@ -127,6 +135,11 @@ struct ServiceRequest {
   /// Optional caller-owned cancellation flag, forwarded into the engine's
   /// solvers; must outlive the request's future.
   const CancelToken* cancel = nullptr;
+  /// `EXPLAIN ANALYZE`: collect a per-operator profile for this request
+  /// (attached to `QueryOutcome::profile`). A profiled request bypasses the
+  /// result cache's lookup — a cache hit executes nothing, so there would be
+  /// no operator tree to report — but still populates it for later requests.
+  bool profile = false;
 };
 
 /// \brief Concurrent, policy-compliant query service over one engine.
@@ -207,6 +220,10 @@ class QueryService {
   TelemetryRegistry* telemetry() const { return registry_; }
   Tracer* tracer() const { return tracer_; }
 
+  /// The compliance audit log the engine records into (service-owned unless
+  /// supplied via `ServiceOptions`). Never null after construction.
+  AuditLog* audit() const { return audit_; }
+
   /// Prometheus-style text exposition of the registry, with the service's
   /// point-in-time gauges (queue depth, sessions, in-flight requests,
   /// cache entries, solver lanes, thread-pool pressure) refreshed first.
@@ -259,8 +276,10 @@ class QueryService {
   /// Declared before every member that caches instrument pointers.
   std::unique_ptr<TelemetryRegistry> owned_registry_;
   std::unique_ptr<Tracer> owned_tracer_;
+  std::unique_ptr<AuditLog> owned_audit_;
   TelemetryRegistry* registry_;  // never null after construction
   Tracer* tracer_;               // never null after construction
+  AuditLog* audit_;              // never null after construction
 
   /// Service-owned storage when `ServiceOptions::durability` asked for it
   /// and the engine had none attached; `storage_` also covers the case of

@@ -1,0 +1,147 @@
+#include "telemetry/audit.h"
+
+#include "common/string_util.h"
+#include "telemetry/metrics.h"
+
+namespace pcqe {
+
+std::string AuditRecord::ToString() const {
+  if (kind == Kind::kAccept) {
+    std::string out = StrFormat(
+        "audit %llu [accept] actions=%llu cost=%s version=%llu %s\n",
+        static_cast<unsigned long long>(id),
+        static_cast<unsigned long long>(accept_actions),
+        FormatDouble(accept_cost).c_str(),
+        static_cast<unsigned long long>(confidence_version),
+        accept_ok ? "applied" : "rejected");
+    if (!accept_error.empty()) out += StrFormat("  error: %s\n", accept_error.c_str());
+    return out;
+  }
+  std::string out = StrFormat(
+      "audit %llu [query] user=%s purpose=%s beta=%s version=%llu\n",
+      static_cast<unsigned long long>(id), user.c_str(), purpose.c_str(),
+      FormatDouble(beta).c_str(),
+      static_cast<unsigned long long>(confidence_version));
+  out += StrFormat("  sql: %s\n", sql.c_str());
+  out += StrFormat(
+      "  rows: %llu released / %llu blocked of %llu (released_fraction=%s, "
+      "required=%s)\n",
+      static_cast<unsigned long long>(rows_released),
+      static_cast<unsigned long long>(rows_blocked),
+      static_cast<unsigned long long>(rows_total),
+      FormatDouble(released_fraction).c_str(),
+      FormatDouble(required_fraction).c_str());
+  for (const AuditRowDecision& r : rows) {
+    out += StrFormat("  row %llu conf=%s %s", static_cast<unsigned long long>(r.row),
+                     FormatDouble(r.confidence).c_str(),
+                     r.released ? "released" : "blocked");
+    if (!r.lineage.empty()) out += StrFormat(" lineage=%s", r.lineage.c_str());
+    out += "\n";
+  }
+  if (rows_truncated > 0) {
+    out += StrFormat("  (+%llu row decision(s) beyond the per-record cap)\n",
+                     static_cast<unsigned long long>(rows_truncated));
+  }
+  if (proposal_needed) {
+    out += StrFormat("  proposal: %s cost=%s%s algorithm=%s\n",
+                     proposal_feasible ? "feasible" : "infeasible",
+                     FormatDouble(proposal_cost).c_str(),
+                     proposal_partial ? " (partial)" : "",
+                     proposal_algorithm.c_str());
+  }
+  return out;
+}
+
+std::string AuditRecord::ToJson() const {
+  if (kind == Kind::kAccept) {
+    return StrFormat(
+        "{\"id\":%llu,\"kind\":\"accept\",\"actions\":%llu,\"cost\":%.17g,"
+        "\"confidence_version\":%llu,\"ok\":%s,\"error\":\"%s\"}",
+        static_cast<unsigned long long>(id),
+        static_cast<unsigned long long>(accept_actions), accept_cost,
+        static_cast<unsigned long long>(confidence_version),
+        accept_ok ? "true" : "false", JsonEscape(accept_error).c_str());
+  }
+  std::string row_items;
+  for (const AuditRowDecision& r : rows) {
+    if (!row_items.empty()) row_items += ",";
+    row_items += StrFormat(
+        "{\"row\":%llu,\"confidence\":%.17g,\"released\":%s,\"lineage\":\"%s\"}",
+        static_cast<unsigned long long>(r.row), r.confidence,
+        r.released ? "true" : "false", JsonEscape(r.lineage).c_str());
+  }
+  std::string out = StrFormat(
+      "{\"id\":%llu,\"kind\":\"query\",\"user\":\"%s\",\"purpose\":\"%s\","
+      "\"sql\":\"%s\",\"beta\":%.17g,\"confidence_version\":%llu,"
+      "\"required_fraction\":%.17g,\"released_fraction\":%.17g,"
+      "\"rows_total\":%llu,\"rows_released\":%llu,\"rows_blocked\":%llu,"
+      "\"rows_truncated\":%llu,\"rows\":[%s]",
+      static_cast<unsigned long long>(id), JsonEscape(user).c_str(),
+      JsonEscape(purpose).c_str(), JsonEscape(sql).c_str(), beta,
+      static_cast<unsigned long long>(confidence_version), required_fraction,
+      released_fraction, static_cast<unsigned long long>(rows_total),
+      static_cast<unsigned long long>(rows_released),
+      static_cast<unsigned long long>(rows_blocked),
+      static_cast<unsigned long long>(rows_truncated), row_items.c_str());
+  if (proposal_needed) {
+    out += StrFormat(
+        ",\"proposal\":{\"feasible\":%s,\"partial\":%s,\"cost\":%.17g,"
+        "\"algorithm\":\"%s\"}",
+        proposal_feasible ? "true" : "false", proposal_partial ? "true" : "false",
+        proposal_cost, JsonEscape(proposal_algorithm).c_str());
+  }
+  out += "}";
+  return out;
+}
+
+void AuditLog::AttachTelemetry(TelemetryRegistry* registry) {
+  MutexLock lock(mu_);
+  records_total_ = registry->GetCounter("pcqe_audit_records_total",
+                                        "Audit records appended to the ring.");
+  evicted_total_ = registry->GetCounter(
+      "pcqe_audit_evicted_total", "Audit records evicted from the bounded ring.");
+}
+
+uint64_t AuditLog::Record(AuditRecord record) {
+  if (!enabled()) return 0;
+  MutexLock lock(mu_);
+  record.id = next_id_++;
+  uint64_t id = record.id;
+  ring_.push_back(std::move(record));
+  if (records_total_ != nullptr) records_total_->Increment();
+  while (ring_.size() > capacity_) {
+    ring_.pop_front();
+    if (evicted_total_ != nullptr) evicted_total_->Increment();
+  }
+  return id;
+}
+
+std::vector<AuditRecord> AuditLog::Snapshot() const {
+  MutexLock lock(mu_);
+  return {ring_.rbegin(), ring_.rend()};
+}
+
+std::optional<AuditRecord> AuditLog::Get(uint64_t id) const {
+  MutexLock lock(mu_);
+  for (const AuditRecord& r : ring_) {
+    if (r.id == id) return r;
+  }
+  return std::nullopt;
+}
+
+uint64_t AuditLog::total_recorded() const {
+  MutexLock lock(mu_);
+  return next_id_ - 1;
+}
+
+std::string AuditLog::RenderJson() const {
+  std::vector<AuditRecord> records = Snapshot();
+  std::string items;
+  for (const AuditRecord& r : records) {
+    if (!items.empty()) items += ",";
+    items += r.ToJson();
+  }
+  return StrFormat("{\"audit\":[%s]}", items.c_str());
+}
+
+}  // namespace pcqe

@@ -1,0 +1,137 @@
+// Copyright (c) PCQE contributors.
+// Compliance audit log: a bounded ring of structured policy decisions.
+//
+// Every β filter the engine applies appends one record — who asked, for what
+// purpose, which threshold the policy resolved to, the catalog confidence
+// version the decision read, and the per-row released/blocked verdicts — and
+// every `AcceptProposal` appends the accepted increment's outcome. Together
+// they make the paper's pipeline reconstructible after the fact: given the
+// ring, an auditor can replay why each row was released or withheld and which
+// confidence improvements were applied.
+//
+// Privacy contract: blocked rows are described by *lineage identifiers only*
+// (`table#row` of the contributing base tuples). Audit records never carry
+// result values — a blocked value leaking through an audit export would
+// defeat the policy the record documents. `audit_test` pins this.
+//
+// Thread-safety: the ring is mutex-guarded like the Tracer; `Record` is one
+// short lock hold per decision and is safe from concurrent service workers.
+
+#ifndef PCQE_TELEMETRY_AUDIT_H_
+#define PCQE_TELEMETRY_AUDIT_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/annotations.h"
+
+namespace pcqe {
+
+class Counter;
+class TelemetryRegistry;
+
+/// \brief One row's verdict under the β filter.
+struct AuditRowDecision {
+  uint64_t row = 0;        ///< index in the query result
+  double confidence = 0.0; ///< the confidence the policy compared against β
+  bool released = false;
+  /// Lineage summary for blocked rows (`orders#3 * customers#1`); empty for
+  /// released rows and when lineage identifiers are unavailable. Never holds
+  /// result values.
+  std::string lineage;
+};
+
+/// \brief One audit record: a query-time policy decision or an accepted
+/// confidence-improvement proposal.
+struct AuditRecord {
+  enum class Kind : uint8_t { kQuery, kAccept };
+
+  uint64_t id = 0;  ///< assigned by the log on Record (1-based, monotonic)
+  Kind kind = Kind::kQuery;
+
+  // -- kQuery: the ⟨user, purpose, β⟩ decision --------------------------------
+  std::string user;
+  std::string purpose;
+  std::string sql;
+  double beta = 0.0;                 ///< resolved policy threshold
+  uint64_t confidence_version = 0;   ///< catalog version the decision read
+  double required_fraction = 0.0;
+  double released_fraction = 0.0;
+  uint64_t rows_total = 0;
+  uint64_t rows_released = 0;
+  uint64_t rows_blocked = 0;
+  std::vector<AuditRowDecision> rows;  ///< capped; see `rows_truncated`
+  uint64_t rows_truncated = 0;         ///< per-row detail dropped beyond the cap
+  // Solver outcome when the release fraction fell short.
+  bool proposal_needed = false;
+  bool proposal_feasible = false;
+  bool proposal_partial = false;
+  double proposal_cost = 0.0;
+  std::string proposal_algorithm;
+
+  // -- kAccept: an applied proposal ------------------------------------------
+  uint64_t accept_actions = 0;
+  double accept_cost = 0.0;
+  bool accept_ok = false;
+  std::string accept_error;
+
+  /// Multi-line human rendering for the shell's `.audit <id>`.
+  std::string ToString() const;
+
+  /// One-line JSON object.
+  std::string ToJson() const;
+};
+
+/// \brief Bounded in-memory ring of audit records. Thread-safe.
+///
+/// Unlike tracing, the audit log ignores the `PCQE_TELEMETRY` opt-out:
+/// accountability is part of the policy model, not optional observability.
+/// A capacity of 0 disables it.
+class AuditLog {
+ public:
+  explicit AuditLog(size_t capacity = 256, size_t max_rows_per_record = 64)
+      : capacity_(capacity), max_rows_(max_rows_per_record) {}
+  AuditLog(const AuditLog&) = delete;
+  AuditLog& operator=(const AuditLog&) = delete;
+
+  bool enabled() const { return capacity_ > 0; }
+
+  /// Per-record cap on retained `AuditRowDecision` detail; producers trim to
+  /// this and set `rows_truncated` before recording.
+  size_t max_rows_per_record() const { return max_rows_; }
+
+  /// Registers `pcqe_audit_records_total` / `pcqe_audit_evicted_total`.
+  /// Call before the log is shared with concurrent writers.
+  void AttachTelemetry(TelemetryRegistry* registry);
+
+  /// Assigns the next id, stores the record (evicting the oldest beyond
+  /// capacity) and returns the id. Returns 0 when disabled.
+  uint64_t Record(AuditRecord record);
+
+  /// Newest-first copies of the retained records.
+  std::vector<AuditRecord> Snapshot() const;
+
+  /// The record with `id`, if still in the ring.
+  std::optional<AuditRecord> Get(uint64_t id) const;
+
+  uint64_t total_recorded() const;
+
+  /// One-line JSON export, newest first: `{"audit":[{...},...]}`.
+  std::string RenderJson() const;
+
+ private:
+  size_t capacity_;
+  size_t max_rows_;
+  mutable Mutex mu_;
+  uint64_t next_id_ PCQE_GUARDED_BY(mu_) = 1;
+  std::deque<AuditRecord> ring_ PCQE_GUARDED_BY(mu_);  // front = oldest
+  Counter* records_total_ PCQE_GUARDED_BY(mu_) = nullptr;
+  Counter* evicted_total_ PCQE_GUARDED_BY(mu_) = nullptr;
+};
+
+}  // namespace pcqe
+
+#endif  // PCQE_TELEMETRY_AUDIT_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <iterator>
 #include <limits>
 
 #include "common/logging.h"
@@ -38,6 +39,19 @@ std::string FormatBound(double bound) {
   if (std::isinf(bound)) return "+Inf";
   return FormatSample(bound);
 }
+
+/// Round-trip rendering for the JSON dump: integers stay exact and compact,
+/// everything else gets the full 17 significant digits so `strtod` on the
+/// emitted text reproduces the stored double bit-for-bit.
+std::string FormatJsonNumber(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    return StrFormat("%lld", static_cast<long long>(v));
+  }
+  return StrFormat("%.17g", v);
+}
+
+constexpr double kRenderedQuantiles[] = {0.5, 0.95, 0.99};
+constexpr const char* kQuantileLabels[] = {"0.5", "0.95", "0.99"};
 
 }  // namespace
 
@@ -78,6 +92,29 @@ Histogram::Snapshot Histogram::snapshot() const {
   out.count = count_.load(std::memory_order_relaxed);
   out.sum = sum_.load(std::memory_order_relaxed);
   return out;
+}
+
+double Histogram::Quantile(const std::vector<double>& bounds, const Snapshot& snap,
+                           double q) {
+  if (snap.count == 0) return 0.0;
+  double rank = q * static_cast<double>(snap.count);
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < snap.counts.size(); ++b) {
+    uint64_t in_bucket = snap.counts[b];
+    cumulative += in_bucket;
+    if (static_cast<double>(cumulative) < rank || in_bucket == 0) continue;
+    if (b >= bounds.size()) {
+      // +Inf bucket: no upper edge to interpolate toward; clamp to the
+      // highest finite bound (0 when the histogram has no finite bounds).
+      return bounds.empty() ? 0.0 : bounds.back();
+    }
+    double lower = b == 0 ? 0.0 : bounds[b - 1];
+    double upper = bounds[b];
+    double before = static_cast<double>(cumulative - in_bucket);
+    return lower +
+           (upper - lower) * (rank - before) / static_cast<double>(in_bucket);
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
 }
 
 Counter* TelemetryRegistry::GetCounter(std::string_view name, std::string_view help) {
@@ -166,6 +203,15 @@ std::string TelemetryRegistry::RenderText() const {
         out += StrFormat("%s_sum %s\n", name.c_str(), FormatSample(snap.sum).c_str());
         out += StrFormat("%s_count %llu\n", name.c_str(),
                          static_cast<unsigned long long>(snap.count));
+        if (snap.count > 0) {
+          for (size_t q = 0; q < std::size(kRenderedQuantiles); ++q) {
+            out += StrFormat(
+                "%s{quantile=\"%s\"} %s\n", name.c_str(), kQuantileLabels[q],
+                FormatSample(
+                    Histogram::Quantile(h.bounds(), snap, kRenderedQuantiles[q]))
+                    .c_str());
+          }
+        }
         break;
       }
     }
@@ -194,22 +240,33 @@ std::string TelemetryRegistry::RenderJson() const {
       case Kind::kHistogram: {
         const Histogram& h = histograms_[entry.index];
         Histogram::Snapshot snap = h.snapshot();
+        // Bounds and sums go through the round-trip formatter: the JSON dump
+        // is machine-consumed, so a bound like 0.1 must parse back to the
+        // exact registered double (`%.10g` silently drops low bits).
         std::string bounds;
         for (double b : h.bounds()) {
           if (!bounds.empty()) bounds += ",";
-          bounds += FormatSample(b);
+          bounds += FormatJsonNumber(b);
         }
         std::string counts;
         for (uint64_t c : snap.counts) {
           if (!counts.empty()) counts += ",";
           counts += StrFormat("%llu", static_cast<unsigned long long>(c));
         }
+        std::string quantiles;
+        if (snap.count > 0) {
+          quantiles = StrFormat(
+              ",\"p50\":%s,\"p95\":%s,\"p99\":%s",
+              FormatJsonNumber(Histogram::Quantile(h.bounds(), snap, 0.5)).c_str(),
+              FormatJsonNumber(Histogram::Quantile(h.bounds(), snap, 0.95)).c_str(),
+              FormatJsonNumber(Histogram::Quantile(h.bounds(), snap, 0.99)).c_str());
+        }
         if (!histograms.empty()) histograms += ",";
         histograms += StrFormat(
-            "\"%s\":{\"bounds\":[%s],\"counts\":[%s],\"sum\":%s,\"count\":%llu}",
+            "\"%s\":{\"bounds\":[%s],\"counts\":[%s],\"sum\":%s,\"count\":%llu%s}",
             name.c_str(), bounds.c_str(), counts.c_str(),
-            FormatSample(snap.sum).c_str(),
-            static_cast<unsigned long long>(snap.count));
+            FormatJsonNumber(snap.sum).c_str(),
+            static_cast<unsigned long long>(snap.count), quantiles.c_str());
         break;
       }
     }

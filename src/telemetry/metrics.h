@@ -77,6 +77,14 @@ class Histogram {
 
   const std::vector<double>& bounds() const { return bounds_; }
 
+  /// Bucket-interpolated quantile estimate (`q` in [0, 1]), the Prometheus
+  /// `histogram_quantile` scheme: the target rank is located in the cumulative
+  /// bucket counts and linearly interpolated inside its bucket (lower edge 0
+  /// for the first bucket). Observations in the +Inf bucket clamp to the
+  /// highest finite bound. Returns 0 for an empty snapshot.
+  static double Quantile(const std::vector<double>& bounds, const Snapshot& snap,
+                         double q);
+
  private:
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1

@@ -1,0 +1,130 @@
+#include "telemetry/profile.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace pcqe {
+
+namespace {
+
+void AppendNodeTree(const OperatorProfile& profile, int32_t parent, int indent,
+                    std::string* out) {  // NOLINT(misc-no-recursion)
+  for (size_t i = 0; i < profile.nodes.size(); ++i) {
+    const OperatorProfile::Node& n = profile.nodes[i];
+    if (n.parent != parent) continue;
+    *out += StrFormat("%*s%s  rows=%llu", indent * 2, "", n.label.c_str(),
+                      static_cast<unsigned long long>(n.rows_out));
+    if (n.rows_in != n.rows_out) {
+      *out += StrFormat(" in=%llu sel=%.1f%%",
+                        static_cast<unsigned long long>(n.rows_in),
+                        n.rows_in == 0
+                            ? 0.0
+                            : 100.0 * static_cast<double>(n.rows_out) /
+                                  static_cast<double>(n.rows_in));
+    }
+    if (n.chunks > 0) {
+      *out += StrFormat(" chunks=%llu", static_cast<unsigned long long>(n.chunks));
+    }
+    if (n.fallback_rows > 0) {
+      *out += StrFormat(" fallback_rows=%llu",
+                        static_cast<unsigned long long>(n.fallback_rows));
+    }
+    if (n.scan_factors > 0 || n.mat_factors > 0) {
+      *out += StrFormat(" factors=%llu deferred/%llu materialized",
+                        static_cast<unsigned long long>(n.scan_factors),
+                        static_cast<unsigned long long>(n.mat_factors));
+    }
+    if (n.arena_nodes > 0) {
+      *out += StrFormat(" arena=%llu", static_cast<unsigned long long>(n.arena_nodes));
+    }
+    *out += StrFormat(" time=%.3fms\n", static_cast<double>(n.wall_ns) / 1e6);
+    AppendNodeTree(profile, static_cast<int32_t>(i), indent + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string OperatorProfile::RenderText() const {
+  uint64_t total_ns = nodes.empty() ? 0 : nodes.front().wall_ns;
+  std::string out =
+      StrFormat("explain analyze [%s] %zu operator(s), %.3fms\n", mode.c_str(),
+                nodes.size(), static_cast<double>(total_ns) / 1e6);
+  AppendNodeTree(*this, -1, 1, &out);
+  return out;
+}
+
+std::string OperatorProfile::RenderJson() const {
+  std::string ops;
+  for (const Node& n : nodes) {
+    if (!ops.empty()) ops += ",";
+    ops += StrFormat(
+        "{\"op\":\"%s\",\"parent\":%d,\"rows_in\":%llu,\"rows_out\":%llu,"
+        "\"chunks\":%llu,\"fallback_rows\":%llu,\"scan_factors\":%llu,"
+        "\"mat_factors\":%llu,\"arena_nodes\":%llu,\"seconds\":%.9f}",
+        JsonEscape(n.label).c_str(), n.parent,
+        static_cast<unsigned long long>(n.rows_in),
+        static_cast<unsigned long long>(n.rows_out),
+        static_cast<unsigned long long>(n.chunks),
+        static_cast<unsigned long long>(n.fallback_rows),
+        static_cast<unsigned long long>(n.scan_factors),
+        static_cast<unsigned long long>(n.mat_factors),
+        static_cast<unsigned long long>(n.arena_nodes),
+        static_cast<double>(n.wall_ns) / 1e9);
+  }
+  return StrFormat("{\"mode\":\"%s\",\"operators\":[%s]}", JsonEscape(mode).c_str(),
+                   ops.c_str());
+}
+
+size_t OperatorProfiler::Begin(std::string label) {
+  if (profile_ == nullptr) return 0;
+  OperatorProfile::Node node;
+  node.label = std::move(label);
+  node.parent = open_.empty() ? -1 : static_cast<int32_t>(open_.back());
+  profile_->nodes.push_back(std::move(node));
+  open_.push_back(profile_->nodes.size() - 1);
+  start_.push_back(Clock::now());
+  return profile_->nodes.size() - 1;
+}
+
+void OperatorProfiler::End(size_t index, uint64_t rows_out, const Extra& extra) {
+  if (profile_ == nullptr) return;
+  PCQE_CHECK(!open_.empty() && open_.back() == index)
+      << "operators must close innermost-first";
+  OperatorProfile::Node& node = profile_->nodes[index];
+  node.rows_out = rows_out;
+  // `extra` holds inclusive deltas. Because operators close innermost-first,
+  // every node after `index` is one of its descendants and already carries
+  // its exclusive share — subtracting them leaves this operator's own work.
+  Extra self = extra;
+  for (size_t i = index + 1; i < profile_->nodes.size(); ++i) {
+    const OperatorProfile::Node& d = profile_->nodes[i];
+    self.chunks -= std::min(self.chunks, d.chunks);
+    self.fallback_rows -= std::min(self.fallback_rows, d.fallback_rows);
+    self.arena_nodes -= std::min(self.arena_nodes, d.arena_nodes);
+  }
+  node.chunks = self.chunks;
+  node.fallback_rows = self.fallback_rows;
+  node.scan_factors = extra.scan_factors;
+  node.mat_factors = extra.mat_factors;
+  node.arena_nodes = self.arena_nodes;
+  node.wall_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start_.back())
+          .count());
+  // rows_in: what the children fed this operator; a leaf feeds itself.
+  uint64_t rows_in = 0;
+  bool has_children = false;
+  for (size_t i = index + 1; i < profile_->nodes.size(); ++i) {
+    if (profile_->nodes[i].parent == static_cast<int32_t>(index)) {
+      has_children = true;
+      rows_in += profile_->nodes[i].rows_out;
+    }
+  }
+  node.rows_in = has_children ? rows_in : rows_out;
+  open_.pop_back();
+  start_.pop_back();
+}
+
+}  // namespace pcqe

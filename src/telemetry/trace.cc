@@ -74,12 +74,21 @@ Trace TraceBuilder::Finish() {
 
 bool Tracer::TracingEnabledEnv() { return TelemetryEnabled(); }
 
+void Tracer::AttachTelemetry(TelemetryRegistry* registry) {
+  MutexLock lock(mu_);
+  evicted_total_ = registry->GetCounter(
+      "pcqe_traces_evicted_total", "Traces evicted from the bounded ring.");
+}
+
 uint64_t Tracer::Record(Trace trace) {
   MutexLock lock(mu_);
   trace.id = next_id_++;
   uint64_t id = trace.id;
   ring_.push_back(std::move(trace));
-  while (ring_.size() > capacity_) ring_.pop_front();
+  while (ring_.size() > capacity_) {
+    ring_.pop_front();
+    if (evicted_total_ != nullptr) evicted_total_->Increment();
+  }
   return id;
 }
 

@@ -25,6 +25,9 @@
 
 namespace pcqe {
 
+class Counter;
+class TelemetryRegistry;
+
 /// \brief One named stage of a traced request.
 struct Span {
   std::string name;
@@ -108,6 +111,11 @@ class Tracer {
   /// request paths skip building traces entirely then.
   bool enabled() const { return capacity_ > 0 && TracingEnabledEnv(); }
 
+  /// Registers `pcqe_traces_evicted_total` so a dropped trace is observable
+  /// (the ring otherwise evicts silently). Call before the tracer is shared
+  /// with concurrent writers.
+  void AttachTelemetry(TelemetryRegistry* registry);
+
   /// Assigns the next id, stores the trace (evicting the oldest beyond
   /// capacity) and returns the id.
   uint64_t Record(Trace trace);
@@ -127,6 +135,7 @@ class Tracer {
   size_t capacity_;
   uint64_t next_id_ PCQE_GUARDED_BY(mu_) = 1;
   std::deque<Trace> ring_ PCQE_GUARDED_BY(mu_);  // front = oldest
+  Counter* evicted_total_ PCQE_GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace pcqe

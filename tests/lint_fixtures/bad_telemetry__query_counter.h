@@ -1,0 +1,23 @@
+// pcqe-lint-fixture-path: src/query/frob_stats.h
+// Fixture: counter-shaped member in a src/query/ header outside
+// execution_mode.h; executor stats must flow through VecExecStats,
+// OperatorProfile, or a registry Counter.
+
+#ifndef PCQE_QUERY_FROB_STATS_H_
+#define PCQE_QUERY_FROB_STATS_H_
+
+#include <cstdint>
+
+namespace pcqe {
+
+class FrobExecutor {
+ public:
+  void Frob() { ++rows_emitted_; }
+
+ private:
+  uint64_t rows_emitted_ = 0;
+};
+
+}  // namespace pcqe
+
+#endif  // PCQE_QUERY_FROB_STATS_H_

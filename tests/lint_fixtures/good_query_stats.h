@@ -1,0 +1,32 @@
+// pcqe-lint-fixture-path: src/query/good_stats.h
+// Fixture: sanctioned ways to carry stats near the executors — a suppressed
+// non-stat member (an id, not a counter) and values routed through the
+// OperatorProfiler. Every rule must stay quiet.
+
+#ifndef PCQE_QUERY_GOOD_STATS_H_
+#define PCQE_QUERY_GOOD_STATS_H_
+
+#include <cstdint>
+
+#include "telemetry/profile.h"
+
+namespace pcqe {
+
+class GoodExecutor {
+ public:
+  explicit GoodExecutor(OperatorProfiler* profiler) : profiler_(profiler) {}
+
+  void Finish(size_t node, uint64_t rows) {
+    OperatorProfiler::Extra extra;
+    extra.chunks = 1;
+    if (profiler_ != nullptr) profiler_->End(node, rows, extra);
+  }
+
+ private:
+  OperatorProfiler* profiler_;
+  uint64_t epoch_id_ = 0;  // pcqe-lint: allow(telemetry)
+};
+
+}  // namespace pcqe
+
+#endif  // PCQE_QUERY_GOOD_STATS_H_

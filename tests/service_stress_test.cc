@@ -103,7 +103,7 @@ TEST_F(ServiceStressTest, ConcurrentSessionsWithInterleavedWrites) {
   {
     // Client threads: each drives one session with a rotating query mix.
     std::vector<std::jthread> clients;
-    clients.reserve(sessions.size() + 1);
+    clients.reserve(sessions.size() + 2);
     for (size_t s = 0; s < sessions.size(); ++s) {
       clients.emplace_back([&, s] {
         const SessionHandle& session = sessions[s];
@@ -122,6 +122,20 @@ TEST_F(ServiceStressTest, ConcurrentSessionsWithInterleavedWrites) {
         }
       });
     }
+
+    // Audit reader thread: snapshots and renders the compliance ring while
+    // workers append to it — TSan exercises the Record/Snapshot lock pair.
+    clients.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        std::vector<AuditRecord> records = service.audit()->Snapshot();
+        for (const AuditRecord& r : records) {
+          if (r.id == 0) ADD_FAILURE() << "audit record without an id";
+        }
+        std::string json = service.audit()->RenderJson();
+        if (json.empty()) ADD_FAILURE() << "empty audit export";
+        std::this_thread::yield();
+      }
+    });
 
     // Writer thread: keeps demanding full release and accepting whatever
     // proposal comes back, interleaving catalog writes with the readers.
@@ -167,6 +181,10 @@ TEST_F(ServiceStressTest, ConcurrentSessionsWithInterleavedWrites) {
   uint64_t histogram_total = 0;
   for (uint64_t bucket : stats.latency_buckets) histogram_total += bucket;
   EXPECT_EQ(histogram_total, stats.served + stats.failed);
+
+  // Every served decision appended an audit record (plus one per Accept
+  // attempt), so the ring's lifetime count is at least the served count.
+  EXPECT_GE(service.audit()->total_recorded(), stats.served);
 
   service.Shutdown();
 }

@@ -365,6 +365,87 @@ TEST_F(QueryServiceTest, EveryRequestYieldsARetrievableTrace) {
   EXPECT_TRUE(HasSpan(*warm_trace, "policy-filter"));
 }
 
+TEST_F(QueryServiceTest, AuditRingReconstructsEveryServedDecision) {
+  auto service = MakeService({.num_workers = 2});
+  ASSERT_NE(service->audit(), nullptr);
+  ASSERT_TRUE(service->audit()->enabled());
+  SessionHandle sam = *service->OpenSession("sam", "analysis");
+  SessionHandle mary = *service->OpenSession("mary", "investment");
+
+  // A small session's worth of decisions: different β per session, a cache
+  // hit in the middle, a shortfall that engages the solver.
+  struct Served {
+    SessionHandle* session;
+    double fraction;
+    QueryOutcome outcome;
+  };
+  std::vector<Served> served;
+  served.push_back({&sam, 0.0, {}});
+  served.push_back({&mary, 0.0, {}});
+  served.push_back({&mary, 1.0, {}});
+  for (Served& s : served) {
+    s.outcome = *service->Submit(
+        *s.session, {.sql = kCandidateQuery, .required_fraction = s.fraction});
+  }
+
+  // Every outcome's audit id resolves to a record that reconstructs the
+  // decision: who, for what purpose, which β, against which confidence
+  // version, and how many rows each verdict covered.
+  for (const Served& s : served) {
+    ASSERT_NE(s.outcome.audit_id, 0u);
+    std::optional<AuditRecord> record = service->audit()->Get(s.outcome.audit_id);
+    ASSERT_TRUE(record.has_value());
+    EXPECT_EQ(record->kind, AuditRecord::Kind::kQuery);
+    EXPECT_EQ(record->user, s.session->user);
+    EXPECT_EQ(record->purpose, s.session->purpose);
+    EXPECT_DOUBLE_EQ(record->beta, s.outcome.policy.threshold);
+    EXPECT_EQ(record->confidence_version, catalog_.confidence_version());
+    EXPECT_DOUBLE_EQ(record->required_fraction, s.fraction);
+    EXPECT_EQ(record->rows_total, s.outcome.intermediate.rows.size());
+    EXPECT_EQ(record->rows_released, s.outcome.released.size());
+    EXPECT_DOUBLE_EQ(record->released_fraction, s.outcome.released_fraction);
+    EXPECT_EQ(record->proposal_needed, s.outcome.proposal.needed);
+  }
+  // mary's shortfall (required 1.0, released 0) engaged the solver and the
+  // record says so.
+  EXPECT_TRUE(served[2].outcome.proposal.needed);
+  std::optional<AuditRecord> shortfall =
+      service->audit()->Get(served[2].outcome.audit_id);
+  ASSERT_TRUE(shortfall.has_value());
+  EXPECT_TRUE(shortfall->proposal_needed);
+  EXPECT_FALSE(shortfall->proposal_algorithm.empty());
+
+  // An accepted proposal lands in the same ring, with the bumped version.
+  ASSERT_TRUE(service->Accept(served[2].outcome.proposal).ok());
+  std::vector<AuditRecord> all = service->audit()->Snapshot();
+  ASSERT_FALSE(all.empty());
+  EXPECT_EQ(all.front().kind, AuditRecord::Kind::kAccept);
+  EXPECT_EQ(all.front().confidence_version, catalog_.confidence_version());
+}
+
+TEST_F(QueryServiceTest, ProfiledRequestBypassesCacheButPopulatesIt) {
+  auto service = MakeService({.num_workers = 1});
+  SessionHandle sam = *service->OpenSession("sam", "analysis");
+
+  QueryOutcome profiled = *service->Submit(
+      sam, {.sql = kCandidateQuery, .required_fraction = 0.0, .profile = true});
+  ASSERT_NE(profiled.profile, nullptr);
+  EXPECT_FALSE(profiled.profile->nodes.empty());
+  EXPECT_EQ(profiled.profile->mode,
+            ExecutionModeToString(engine_->execution_mode));
+  // Bypassing the lookup means no hit/miss was counted...
+  EXPECT_EQ(service->stats().cache_hits, 0u);
+  EXPECT_EQ(service->stats().cache_misses, 0u);
+
+  // ...but the evaluation was inserted: the next unprofiled request hits,
+  // and a cache hit has no execution to profile.
+  QueryOutcome warm =
+      *service->Submit(sam, {.sql = kCandidateQuery, .required_fraction = 0.0});
+  EXPECT_EQ(service->stats().cache_hits, 1u);
+  EXPECT_EQ(warm.profile, nullptr);
+  EXPECT_EQ(warm.released.size(), profiled.released.size());
+}
+
 TEST_F(QueryServiceTest, PolicyFilterSpanCarriesAuditAnnotations) {
   auto service = MakeService({.num_workers = 0});
   SessionHandle mary = *service->OpenSession("mary", "investment");

@@ -256,6 +256,98 @@ TEST(CapturingLogSinkTest, ThresholdStillApplies) {
   EXPECT_TRUE(capture.records().empty());
 }
 
+TEST(HistogramQuantileTest, InterpolatesWithinBucket) {
+  // All four observations land in the single finite bucket (0, 10]; the
+  // estimator interpolates linearly by rank: p50 at rank 2 of 4 sits at 5.
+  Histogram h({10.0});
+  for (double v : {2.0, 4.0, 6.0, 8.0}) h.Observe(v);
+  Histogram::Snapshot snap = h.snapshot();
+  EXPECT_DOUBLE_EQ(Histogram::Quantile(h.bounds(), snap, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(Histogram::Quantile(h.bounds(), snap, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(Histogram::Quantile(h.bounds(), snap, 0.25), 2.5);
+}
+
+TEST(HistogramQuantileTest, ClampsInfBucketAndHandlesEmpty) {
+  Histogram h({1.0, 10.0, 100.0});
+  Histogram::Snapshot empty = h.snapshot();
+  EXPECT_DOUBLE_EQ(Histogram::Quantile(h.bounds(), empty, 0.5), 0.0);
+  h.Observe(0.5);
+  h.Observe(1.0);
+  h.Observe(50.0);
+  h.Observe(1e9);  // +Inf bucket
+  Histogram::Snapshot snap = h.snapshot();
+  // rank 2 of 4 closes the first bucket exactly: interpolate to its edge.
+  EXPECT_DOUBLE_EQ(Histogram::Quantile(h.bounds(), snap, 0.5), 1.0);
+  // p95 lands in the +Inf bucket; no edge to interpolate toward, so the
+  // estimate clamps to the highest finite bound.
+  EXPECT_DOUBLE_EQ(Histogram::Quantile(h.bounds(), snap, 0.95), 100.0);
+}
+
+TEST(TelemetryRegistryTest, RenderTextEmitsParseableQuantiles) {
+  TelemetryRegistry registry;
+  Histogram* h = registry.GetHistogram("pcqe_test_latency", {10.0}, "lat");
+  for (double v : {2.0, 4.0, 6.0, 8.0}) h->Observe(v);
+  std::map<std::string, double> samples = ParseExposition(registry.RenderText());
+  EXPECT_EQ(samples.at("pcqe_test_latency{quantile=\"0.5\"}"), 5.0);
+  EXPECT_EQ(samples.at("pcqe_test_latency{quantile=\"0.95\"}"), 9.5);
+  EXPECT_EQ(samples.at("pcqe_test_latency{quantile=\"0.99\"}"), 9.9);
+  // An empty histogram renders no quantile lines (they would all be 0 and
+  // read as real measurements).
+  TelemetryRegistry empty_registry;
+  empty_registry.GetHistogram("pcqe_test_idle", {10.0});
+  std::string text = empty_registry.RenderText();
+  EXPECT_EQ(text.find("quantile"), std::string::npos) << text;
+}
+
+TEST(TelemetryRegistryTest, RenderJsonBoundsRoundTrip) {
+  // 0.1 and 3.0 are not exactly representable / print lossily at low
+  // precision; the JSON export must carry enough digits that parsing the
+  // rendered bound returns the bit-identical double.
+  const std::vector<double> bounds = {0.1, 1.0, 3.0};
+  TelemetryRegistry registry;
+  Histogram* h = registry.GetHistogram("pcqe_test_rt", bounds);
+  h->Observe(0.05);
+  std::string json = registry.RenderJson();
+  size_t start = json.find("\"pcqe_test_rt\":{\"bounds\":[");
+  ASSERT_NE(start, std::string::npos) << json;
+  start += std::string("\"pcqe_test_rt\":{\"bounds\":[").size();
+  size_t end = json.find(']', start);
+  ASSERT_NE(end, std::string::npos);
+  std::string list = json.substr(start, end - start);
+  std::vector<double> parsed;
+  const char* p = list.c_str();
+  while (*p != '\0') {
+    char* next = nullptr;
+    parsed.push_back(std::strtod(p, &next));
+    ASSERT_NE(p, next) << "unparseable bound in: " << list;
+    p = *next == ',' ? next + 1 : next;
+  }
+  ASSERT_EQ(parsed.size(), bounds.size());
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    EXPECT_EQ(parsed[i], bounds[i]) << "bound " << i << " did not round-trip";
+  }
+}
+
+TEST(TracerTest, EvictionCountsAndIdsStayMonotonic) {
+  TelemetryRegistry registry;
+  Tracer tracer(3);
+  tracer.AttachTelemetry(&registry);
+  Counter* evicted = registry.GetCounter("pcqe_traces_evicted_total");
+  for (int i = 0; i < 5; ++i) {
+    TraceBuilder builder("t" + std::to_string(i));
+    (void)tracer.Record(builder.Finish());
+  }
+  EXPECT_EQ(evicted->value(), 2u);
+  // Ids keep counting up after wraparound — eviction never recycles them.
+  TraceBuilder builder("after-wrap");
+  EXPECT_EQ(tracer.Record(builder.Finish()), 6u);
+  EXPECT_EQ(evicted->value(), 3u);
+  std::vector<Trace> traces = tracer.Snapshot();
+  ASSERT_EQ(traces.size(), 3u);
+  EXPECT_EQ(traces.front().id, 6u);
+  EXPECT_EQ(traces.back().id, 4u);
+}
+
 TEST(TelemetryRegistryTest, ConcurrentRegistrationAndIncrement) {
   TelemetryRegistry registry;
   std::vector<std::jthread> threads;

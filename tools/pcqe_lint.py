@@ -40,6 +40,12 @@ Rules (ids in brackets; suppress a line with `// pcqe-lint: allow(<rule>)`):
       TelemetryRegistry instead, so every stat shows up in `.metrics` /
       RenderText with a name and help string. Non-counter atomics (flags,
       versions) may suppress with `// pcqe-lint: allow(telemetry)`.
+      Additionally, no new counter-shaped members (`uint64_t x = 0;`) in
+      src/query/ headers outside execution_mode.h (VecExecStats, the one
+      sanctioned stats struct): executor statistics must flow through
+      VecExecStats / OperatorProfile / the registry so `.explain analyze`
+      and `.metrics` see them. Non-stat members (ids, offsets) may suppress
+      with `// pcqe-lint: allow(telemetry)`.
   [durability]            No direct `SetConfidence(` calls in src/ outside
       src/relational/ (the implementation), src/improve/ (the validated
       improver commit path) and src/storage/ (WAL replay). With durability
@@ -255,6 +261,20 @@ def lint_file(relpath, lines, status_fns):
                 "ad-hoc std::atomic<uint64_t> stat counter; register a "
                 "telemetry Counter/Gauge so it is exported by .metrics"))
 
+        # Executor stats in src/query/ headers must flow through the
+        # sanctioned channels (VecExecStats in execution_mode.h,
+        # OperatorProfile, or the registry) — a private counter member is
+        # invisible to `.explain analyze` and `.metrics`.
+        if is_header and relpath.startswith("src/query/") and \
+                basename != "execution_mode.h" and \
+                re.search(r"\buint64_t\s+\w+\s*=\s*0\s*;", code) and \
+                not _allowed(raw, "telemetry"):
+            out.append(Violation(
+                relpath, i, "telemetry",
+                "counter-shaped member in a src/query/ header; route "
+                "executor statistics through VecExecStats, OperatorProfile "
+                "or a registry Counter so observability surfaces see them"))
+
         # -- durability ----------------------------------------------------
         if in_src and not relpath.startswith(
                 ("src/relational/", "src/improve/", "src/storage/")) and \
@@ -353,8 +373,10 @@ def run_lint(root, explicit_files):
 
 def run_self_test(fixture_dir):
     """Fixture files declare their virtual repo path on line 1 via
-    `// pcqe-lint-fixture-path: src/...`. `bad_<rule>[_\\w]*.(cc|h)` must
-    trigger exactly that rule; `good_*` must be clean."""
+    `// pcqe-lint-fixture-path: src/...`. `bad_<rule>[__<variant>].(cc|h)`
+    must trigger exactly that rule (the optional double-underscore variant
+    suffix distinguishes multiple fixtures for one rule); `good_*` must be
+    clean."""
     failures = []
     names = sorted(n for n in os.listdir(fixture_dir) if n.endswith(LINT_EXTENSIONS))
     if not names:
@@ -376,8 +398,9 @@ def run_self_test(fixture_dir):
             if got:
                 failures.append(f"{name}: expected clean, got {sorted(got)}")
         elif name.startswith("bad_"):
-            # Rule id is everything after bad_ up to the extension, _ -> -.
-            rule = re.match(r"bad_(.+)\.\w+$", name).group(1).replace("_", "-")
+            # Rule id is everything after bad_ up to the extension (or a
+            # `__variant` suffix), _ -> -.
+            rule = re.match(r"bad_(.+?)(?:__\w+)?\.\w+$", name).group(1).replace("_", "-")
             if rule not in got:
                 failures.append(f"{name}: expected [{rule}], got {sorted(got) or 'clean'}")
             elif got - {rule}:

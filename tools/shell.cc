@@ -29,6 +29,9 @@ std::vector<std::string> SplitWords(const std::string& line) {
 Shell::Shell(std::ostream* out) : out_(out) {
   engine_ = std::make_unique<PcqeEngine>(&catalog_, RoleGraph(), PolicyStore());
   engine_->AttachTelemetry(&registry_, &tracer_);
+  engine_->AttachAudit(&audit_);
+  tracer_.AttachTelemetry(&registry_);
+  audit_.AttachTelemetry(&registry_);
 }
 
 bool Shell::HandleLine(const std::string& line) {
@@ -133,6 +136,8 @@ void Shell::RunCommand(const std::string& line) {
     CmdMetrics(args);
   } else if (cmd == ".trace") {
     CmdTrace(args);
+  } else if (cmd == ".audit") {
+    CmdAudit(args);
   } else if (cmd == ".durable") {
     CmdDurable(args);
   } else if (cmd == ".checkpoint") {
@@ -171,24 +176,7 @@ void Shell::RunCommand(const std::string& line) {
       out() << (s.ok() ? "access config loaded from " + args[0] : s.ToString()) << "\n";
     }
   } else if (cmd == ".explain") {
-    // Everything after ".explain" is the SQL (no ';' needed).
-    std::string sql(TrimAscii(line.substr(std::string(".explain").size())));
-    if (!sql.empty() && sql.back() == ';') sql.pop_back();
-    if (sql.empty()) {
-      out() << "usage: .explain <select statement>\n";
-      return;
-    }
-    auto stmt = ParseSelect(sql);
-    if (!stmt.ok()) {
-      out() << stmt.status().ToString() << "\n";
-      return;
-    }
-    auto plan = PlanQuery(catalog_, **stmt);
-    if (!plan.ok()) {
-      out() << plan.status().ToString() << "\n";
-      return;
-    }
-    out() << (*plan)->ToString() << "\n";
+    CmdExplain(line);
   } else {
     out() << "unknown command '" << cmd << "' (try .help)\n";
   }
@@ -221,6 +209,8 @@ void Shell::CmdHelp() {
            "  .stats                        service counters (cache, queue, latency)\n"
            "  .metrics [json]               telemetry registry (Prometheus text / JSON)\n"
            "  .trace [<id>]                 recorded query traces (latest, or by id)\n"
+           "  .audit [json|<id>]            policy-compliance audit log (latest, JSON,\n"
+           "                                or one record by id)\n"
            "  .durable <dir>                open a durable catalog: recover from <dir>\n"
            "                                if it holds one, then WAL-log every .accept\n"
            "  .checkpoint                   snapshot the catalog and rotate the WAL\n"
@@ -229,6 +219,8 @@ void Shell::CmdHelp() {
            "  .savedb <dir> | .opendb <dir> persist / restore every table\n"
            "  .saveconfig <file> | .loadconfig <file>  roles + policies\n"
            "  .explain <select>             show the query plan\n"
+           "  .explain analyze [json] <select>  execute and show the profiled\n"
+           "                                operator tree (rows, chunks, time)\n"
            "  .quit\n";
 }
 
@@ -384,6 +376,7 @@ void Shell::CmdServe(const std::vector<std::string>& args) {
   // `.trace` show one continuous view across direct and served queries.
   options.registry = &registry_;
   options.tracer = &tracer_;
+  options.audit = &audit_;
   if (!args.empty()) {
     options.num_workers = static_cast<size_t>(std::strtoull(args[0].c_str(), nullptr, 10));
     if (options.num_workers == 0 || options.num_workers > 64) {
@@ -485,6 +478,94 @@ void Shell::CmdTrace(const std::vector<std::string>& args) {
     return;
   }
   out() << trace->ToString();
+}
+
+void Shell::CmdExplain(const std::string& line) {
+  // Everything after ".explain" is the SQL (no ';' needed). An optional
+  // "analyze [json]" prefix executes the statement and prints the profiled
+  // operator tree instead of the static plan.
+  std::string rest(TrimAscii(line.substr(std::string(".explain").size())));
+  bool analyze = false;
+  bool json = false;
+  if (StartsWith(rest, "analyze ") || rest == "analyze") {
+    analyze = true;
+    rest = std::string(TrimAscii(rest.substr(std::string("analyze").size())));
+    if (StartsWith(rest, "json ")) {
+      json = true;
+      rest = std::string(TrimAscii(rest.substr(std::string("json").size())));
+    }
+  }
+  if (!rest.empty() && rest.back() == ';') rest.pop_back();
+  if (rest.empty()) {
+    out() << "usage: .explain [analyze [json]] <select statement>\n";
+    return;
+  }
+  if (!analyze) {
+    auto stmt = ParseSelect(rest);
+    if (!stmt.ok()) {
+      out() << stmt.status().ToString() << "\n";
+      return;
+    }
+    auto plan = PlanQuery(catalog_, **stmt);
+    if (!plan.ok()) {
+      out() << plan.status().ToString() << "\n";
+      return;
+    }
+    out() << (*plan)->ToString() << "\n";
+    return;
+  }
+  // `analyze` runs the query unfiltered (no policy) in the current
+  // interpreter mode, collecting the operator profile. Results are
+  // discarded; only the annotated tree is shown.
+  OperatorProfile profile;
+  auto result = [&] {
+    ReaderLock lock(engine_->catalog_mu());
+    return RunQuery(catalog_, rest, nullptr, engine_->execution_mode,
+                    /*materialize_values=*/false, &profile);
+  }();
+  if (!result.ok()) {
+    out() << result.status().ToString() << "\n";
+    return;
+  }
+  out() << (json ? profile.RenderJson() + "\n" : profile.RenderText());
+}
+
+void Shell::CmdAudit(const std::vector<std::string>& args) {
+  if (args.size() > 1) {
+    out() << "usage: .audit [json|<id>]\n";
+    return;
+  }
+  if (!audit_.enabled()) {
+    out() << "audit log disabled (capacity 0)\n";
+    return;
+  }
+  if (args.size() == 1 && args[0] == "json") {
+    out() << audit_.RenderJson() << "\n";
+    return;
+  }
+  if (args.size() == 1) {
+    uint64_t id = std::strtoull(args[0].c_str(), nullptr, 10);
+    std::optional<AuditRecord> record = audit_.Get(id);
+    if (!record.has_value()) {
+      out() << "no audit record with id " << args[0] << " (ring keeps the last "
+            << audit_.Snapshot().size() << ")\n";
+      return;
+    }
+    out() << record->ToString();
+    return;
+  }
+  std::vector<AuditRecord> records = audit_.Snapshot();
+  if (records.empty()) {
+    out() << "no audit records yet (run a query as a user)\n";
+    return;
+  }
+  out() << records.front().ToString();
+  if (records.size() > 1) {
+    out() << "-- " << records.size() << " record(s) retained ("
+          << audit_.total_recorded() << " total); .audit <id> for older:";
+    for (const AuditRecord& r : records) out() << " " << r.id;
+    out() << "\n";
+  }
 }
 
 void Shell::CmdDurable(const std::vector<std::string>& args) {

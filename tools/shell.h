@@ -50,6 +50,7 @@ class Shell {
   bool in_session() const { return session_.has_value(); }
   TelemetryRegistry* telemetry() { return &registry_; }
   Tracer* tracer() { return &tracer_; }
+  AuditLog* audit() { return &audit_; }
   /// @}
 
  private:
@@ -71,6 +72,8 @@ class Shell {
   void CmdStats();
   void CmdMetrics(const std::vector<std::string>& args);
   void CmdTrace(const std::vector<std::string>& args);
+  void CmdAudit(const std::vector<std::string>& args);
+  void CmdExplain(const std::string& line);
   void CmdDurable(const std::vector<std::string>& args);
   void CmdCheckpoint();
   void CmdRecover();
@@ -85,6 +88,10 @@ class Shell {
   /// shell, whether SQL runs direct or through the service.
   TelemetryRegistry registry_;
   Tracer tracer_;
+  /// Shell-owned compliance audit ring, attached to the engine at
+  /// construction (declared before `engine_` so the engine's pointer never
+  /// outlives it). `.audit` inspects it; `.serve` hands it to the service.
+  AuditLog audit_;
   std::unique_ptr<PcqeEngine> engine_;
   /// `.durable` mode: a StorageManager attached to the engine, making
   /// every `.accept` a WAL-logged transaction (`.checkpoint` / `.recover` /

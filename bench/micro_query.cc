@@ -7,28 +7,38 @@
 //   BENCH {"bench":"micro_query","op":...,"mode":"row"|"vec","rows":...,
 //          "seconds":...,"krows_per_sec":...}
 //   BENCH {"bench":"micro_query","op":...,"rows":...,"speedup_vec_over_row":...}
+// then a β-selectivity pushdown sweep (op "pushdown_sweep": β at the
+// 10/50/90/99th confidence percentile, pushdown off vs on, hard zero-
+// divergence gate on the released surface) and a profiling-overhead gate.
 // Scale via PCQE_BENCH_SCALE: quick=100K rows, paper (default)=1M, full=4M.
 // Recorded baselines live in bench/baselines/ (see its README.md).
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
 #include "bench_common.h"
+#include "common/math_util.h"
 #include "common/random.h"
 #include "common/string_util.h"
+#include "query/confidence_index.h"
 #include "query/parser.h"
 #include "query/query_engine.h"
 #include "relational/catalog.h"
+#include "relational/column_chunk.h"
 
 namespace pcqe {
 namespace {
 
 /// Catalog with `orders(id, customer, amount)` of `n` rows and
-/// `customers(customer, region)` of `n / 10` rows.
-std::unique_ptr<Catalog> MakeCatalog(size_t n) {
+/// `customers(customer, region)` of `n / 10` rows. With `clustered` the
+/// orders confidences grow with row position (±0.01 jitter) — the
+/// ingest-batch clustering that gives the β-pushdown zone maps real chunk
+/// skipping power; otherwise they are i.i.d. Uniform(0.05, 0.95).
+std::unique_ptr<Catalog> MakeCatalog(size_t n, bool clustered = false) {
   auto catalog = std::make_unique<Catalog>();
   Rng rng(7);
   Table* orders = *catalog->CreateTable(
@@ -37,11 +47,18 @@ std::unique_ptr<Catalog> MakeCatalog(size_t n) {
                         {"amount", DataType::kDouble, ""}}));
   size_t num_customers = std::max<size_t>(1, n / 10);
   for (size_t i = 0; i < n; ++i) {
+    double confidence =
+        clustered ? std::clamp(0.05 +
+                                   0.9 * static_cast<double>(i) /
+                                       static_cast<double>(n) +
+                                   rng.Uniform(-0.01, 0.01),
+                               0.02, 0.98)
+                  : rng.Uniform(0.05, 0.95);
     (void)*orders->Insert(
         {Value::Int(static_cast<int64_t>(i)),
          Value::Int(rng.UniformInt(0, static_cast<int64_t>(num_customers) - 1)),
          Value::Double(rng.Uniform(1.0, 1000.0))},
-        rng.Uniform(0.05, 0.95));
+        confidence);
   }
   Table* customers = *catalog->CreateTable(
       "customers",
@@ -233,6 +250,119 @@ void RunSweep() {
 }
 
 // ---------------------------------------------------------------------------
+// β-selectivity pushdown sweep: the scan→join pipeline with β pinned to the
+// 10/50/90/99th percentile of the orders confidence distribution, pushdown
+// off vs on, over a clustered-confidence catalog (each chunk spans a tight
+// range, so the zone maps can skip whole chunks). The differential gate is
+// hard: the β-filtered (released) surface of the pushed run must equal the
+// unpushed one's confidence-for-confidence, every β, or the process exits
+// non-zero — check.sh runs every bench, so this rides every CI build.
+// Speedups are report-only (timing-dependent); the expectation is ≥5x at
+// the 99th percentile at paper scale, where 99% of the join input vanishes.
+
+void RunPushdownSweep() {
+  using bench::FormatCount;
+  using bench::FormatSeconds;
+  bench::Scale scale = bench::BenchScale();
+  size_t n = scale == bench::Scale::kQuick  ? 100'000
+             : scale == bench::Scale::kFull ? 4'000'000
+                                            : 1'000'000;
+  std::printf("\n== beta-selectivity pushdown sweep (rows=%s, clustered) ==\n",
+              FormatCount(n).c_str());
+  auto catalog = MakeCatalog(n, /*clustered=*/true);
+  const std::string sql =
+      "SELECT o.id, c.region FROM orders AS o JOIN customers AS c "
+      "ON o.customer = c.customer";
+
+  // β values read off the actual stored distribution, not assumed.
+  std::vector<double> sorted;
+  const Table* orders = *static_cast<const Catalog&>(*catalog).GetTable("orders");
+  const TableColumnData& data = orders->column_data();
+  sorted.reserve(data.num_rows());
+  for (size_t c = 0; c < data.num_chunks(); ++c) {
+    const std::vector<double>& chunk = data.confidence_chunk(c);
+    sorted.insert(sorted.end(), chunk.begin(), chunk.end());
+  }
+  std::sort(sorted.begin(), sorted.end());
+
+  ConfidenceIndexCache index;
+  auto run = [&](const ConfidencePushdown* pushdown, QueryResult* out) {
+    double best = 1e99;
+    for (int rep = 0; rep < 2; ++rep) {
+      auto t0 = std::chrono::steady_clock::now();
+      Result<QueryResult> result =
+          RunQuery(*catalog, sql, nullptr, ExecutionMode::kVectorized,
+                   /*materialize_values=*/false, nullptr, pushdown);
+      auto t1 = std::chrono::steady_clock::now();
+      if (!result.ok()) {
+        std::fprintf(stderr, "pushdown sweep query failed: %s\n",
+                     result.status().ToString().c_str());
+        std::exit(1);
+      }
+      double s = std::chrono::duration<double>(t1 - t0).count();
+      if (s < best) {
+        best = s;
+        *out = std::move(*result);
+      }
+    }
+    return best;
+  };
+
+  bench::TablePrinter table({"beta_pct", "beta", "released", "no_pushdown",
+                             "pushdown", "speedup", "pruned_chunks"});
+  for (int pct : {10, 50, 90, 99}) {
+    double beta =
+        sorted[std::min(sorted.size() - 1, sorted.size() * static_cast<size_t>(pct) / 100)];
+    ConfidencePushdown pushdown;
+    pushdown.beta = beta;
+    pushdown.index = &index;
+    QueryResult off_result;
+    QueryResult on_result;
+    double off_s = run(nullptr, &off_result);
+    double on_s = run(&pushdown, &on_result);
+
+    // Release-identity: the policy keep-test (conf > β + ε) applied to both
+    // results must select the same confidence sequence. Pushdown prunes only
+    // base tuples that can never clear β, so surviving-but-blocked rows may
+    // differ in count — the released surface may not.
+    auto released = [beta](const QueryResult& result) {
+      std::vector<double> kept;
+      for (const QueryResult::Row& row : result.rows) {
+        if (row.confidence > beta + kEpsilon) kept.push_back(row.confidence);
+      }
+      return kept;
+    };
+    std::vector<double> off_released = released(off_result);
+    std::vector<double> on_released = released(on_result);
+    if (off_released != on_released) {
+      std::fprintf(stderr,
+                   "FAIL: pushdown diverged at beta=%.6f (released %zu vs %zu)\n",
+                   beta, off_released.size(), on_released.size());
+      std::exit(1);
+    }
+
+    double speedup = off_s / on_s;
+    std::printf(
+        "BENCH {\"bench\":\"micro_query\",\"op\":\"pushdown_sweep\","
+        "\"beta_pct\":%d,\"beta\":%.4f,\"rows\":%zu,\"released\":%zu,"
+        "\"seconds_off\":%.6f,\"seconds_on\":%.6f,\"speedup\":%.2f,"
+        "\"pruned_rows\":%llu,\"pruned_chunks\":%llu}\n",
+        pct, beta, n, on_released.size(), off_s, on_s, speedup,
+        static_cast<unsigned long long>(on_result.vec_stats.pruned_rows),
+        static_cast<unsigned long long>(on_result.vec_stats.pruned_chunks));
+    char beta_str[16];
+    std::snprintf(beta_str, sizeof(beta_str), "%.3f", beta);
+    char ratio[32];
+    std::snprintf(ratio, sizeof(ratio), "%.2fx", speedup);
+    table.AddRow({std::to_string(pct), beta_str, FormatCount(on_released.size()),
+                  FormatSeconds(off_s), FormatSeconds(on_s), ratio,
+                  FormatCount(on_result.vec_stats.pruned_chunks)});
+  }
+  table.Print();
+  std::printf("pushdown sweep: zero divergence across all beta percentiles\n");
+}
+
+// ---------------------------------------------------------------------------
 // Profiling overhead: EXPLAIN ANALYZE must be pay-for-what-you-use. The
 // unprofiled leg (the serving default) runs with a null profiler — one
 // pointer test per operator, no allocation — so a profiled run over the same
@@ -315,6 +445,7 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   pcqe::RunSweep();
+  pcqe::RunPushdownSweep();
   pcqe::RunProfileOverheadLeg();
   return 0;
 }

@@ -6,6 +6,8 @@
 
 #include "common/fault_injection.h"
 #include "common/string_util.h"
+#include "query/parser.h"
+#include "query/planner.h"
 #include "query/vec_executor.h"
 #include "storage/storage_manager.h"
 #include "strategy/brute_force.h"
@@ -66,6 +68,15 @@ void PcqeEngine::AttachTelemetry(TelemetryRegistry* registry, Tracer* tracer) {
   metrics_.vec_fallback_rows = registry_->GetCounter(
       "pcqe_engine_vec_fallback_rows_total",
       "Rows the vectorized interpreter evaluated row-at-a-time (no kernel)");
+  metrics_.pushdown_chunks_pruned = registry_->GetCounter(
+      "pcqe_engine_pushdown_chunks_pruned_total",
+      "Whole column chunks skipped by beta pushdown via the confidence index");
+  metrics_.pushdown_rows_pruned = registry_->GetCounter(
+      "pcqe_engine_pushdown_rows_pruned_total",
+      "Base rows pruned under scans by beta pushdown");
+  metrics_.index_rebuilds = registry_->GetCounter(
+      "pcqe_engine_index_rebuilds_total",
+      "Per-table confidence zone-map (re)builds for beta pushdown");
   metrics_.solve_seconds = registry_->GetHistogram(
       "pcqe_engine_solve_seconds", {0.0001, 0.001, 0.01, 0.1, 1.0, 10.0},
       "Strategy solve wall-clock seconds");
@@ -80,7 +91,7 @@ void PcqeEngine::AttachTelemetry(TelemetryRegistry* registry, Tracer* tracer) {
        {PlanKind::kScan, PlanKind::kFilter, PlanKind::kProject, PlanKind::kJoin,
         PlanKind::kDistinct, PlanKind::kUnionAll, PlanKind::kUnion,
         PlanKind::kExcept, PlanKind::kIntersect, PlanKind::kSort, PlanKind::kLimit,
-        PlanKind::kAggregate}) {
+        PlanKind::kAggregate, PlanKind::kConfidencePrune}) {
     std::string key = ToLowerAscii(PlanKindToString(kind));
     metrics_.operator_seconds[key] = registry_->GetHistogram(
         StrFormat("pcqe_query_operator_seconds_%s", key.c_str()),
@@ -102,9 +113,10 @@ void PcqeEngine::ObserveOperatorSeconds(const OperatorProfile& profile) const {
 Result<QueryOutcome> PcqeEngine::Submit(const QueryRequest& request) const {
   std::shared_ptr<OperatorProfile> profile;
   if (request.profile) profile = std::make_shared<OperatorProfile>();
+  std::optional<double> pushdown_beta = ResolvePushdownBeta(request);
   if (tracer_ == nullptr || !tracer_->enabled()) {
     PCQE_ASSIGN_OR_RETURN(QueryResult intermediate,
-                          Evaluate(request.sql, nullptr, profile.get()));
+                          Evaluate(request.sql, nullptr, profile.get(), pushdown_beta));
     Result<QueryOutcome> outcome = Complete(request, std::move(intermediate));
     if (outcome.ok()) outcome->profile = std::move(profile);
     return outcome;
@@ -112,7 +124,7 @@ Result<QueryOutcome> PcqeEngine::Submit(const QueryRequest& request) const {
   TraceBuilder trace("submit");
   Result<QueryOutcome> outcome = [&]() -> Result<QueryOutcome> {
     PCQE_ASSIGN_OR_RETURN(QueryResult intermediate,
-                          Evaluate(request.sql, &trace, profile.get()));
+                          Evaluate(request.sql, &trace, profile.get(), pushdown_beta));
     return Complete(request, std::move(intermediate), &trace);
   }();
   uint64_t id = tracer_->Record(trace.Finish());
@@ -125,17 +137,25 @@ Result<QueryOutcome> PcqeEngine::Submit(const QueryRequest& request) const {
 
 Result<QueryResult> PcqeEngine::Evaluate(const std::string& sql,
                                          TraceBuilder* trace,
-                                         OperatorProfile* profile) const {
+                                         OperatorProfile* profile,
+                                         std::optional<double> pushdown_beta) const {
   // (1)-(4): evaluate the query and compute result confidences.
   ScopedSpan span(trace, "evaluate");
   PCQE_INJECT_FAULT(fault_sites::kEngineEvaluate);
   if (metrics_.queries != nullptr) metrics_.queries->Increment();
+  ConfidencePushdown pushdown;
+  const ConfidencePushdown* pd = nullptr;
+  if (pushdown_beta.has_value()) {
+    pushdown.beta = *pushdown_beta;
+    pushdown.index = &index_cache_;
+    pd = &pushdown;
+  }
   // The policy filter and the solvers consume confidences and lineage only;
   // value boxing is deferred until something displays rows (ReleasedTable /
   // ToTable / MaterializeValues) — the factorized engine's late
   // materialization.
   Result<QueryResult> result = RunQuery(*catalog_, sql, trace, execution_mode,
-                                        /*materialize_values=*/false, profile);
+                                        /*materialize_values=*/false, profile, pd);
   if (result.ok() && profile != nullptr) ObserveOperatorSeconds(*profile);
   if (result.ok() && metrics_.vec_chunks != nullptr) {
     const VecExecStats& s = result->vec_stats;
@@ -143,8 +163,43 @@ Result<QueryResult> PcqeEngine::Evaluate(const std::string& sql,
     metrics_.vec_rows->Increment(s.rows_scanned);
     metrics_.vec_join_groups->Increment(s.join_groups);
     metrics_.vec_fallback_rows->Increment(s.fallback_rows);
+    metrics_.pushdown_chunks_pruned->Increment(s.pruned_chunks);
+    metrics_.pushdown_rows_pruned->Increment(s.pruned_rows);
   }
   return result;
+}
+
+std::optional<double> PcqeEngine::ResolvePushdownBeta(
+    const QueryRequest& request) const {
+  // Pushdown is only provably result-identical when the request releases by
+  // β alone: with required_fraction == 0 the needed-rows target is always 0,
+  // so the strategy solver never runs in either mode and pruned blocked rows
+  // cannot surface through proposals or released fractions.
+  if (!request.pushdown || request.required_fraction != 0.0) return std::nullopt;
+  Result<std::unique_ptr<SelectStatement>> stmt = ParseSelect(request.sql);
+  if (!stmt.ok()) return std::nullopt;
+  Result<std::unique_ptr<PlanNode>> plan = PlanQuery(*catalog_, **stmt);
+  if (!plan.ok() || !IsConfidencePushdownSafe(**plan)) return std::nullopt;
+  std::vector<std::string> tables = CollectScannedTables(**plan);
+  Result<PolicyDecision> decision =
+      policies_.Resolve(roles_, request.user, request.purpose, tables);
+  // β ≤ 0 prunes nothing (every confidence clears it) — evaluating unpushed
+  // keeps policy-less queries bit-identical and cache-shareable.
+  if (!decision.ok() || decision->threshold <= 0.0) return std::nullopt;
+  // Pre-warm the per-table confidence indexes here so rebuilds are counted
+  // once per version bump; a failed rebuild (fault injection, see
+  // fault_sites::kIndexRebuild) degrades the plan to row-exact pruning.
+  for (const std::string& name : tables) {
+    Result<const Table*> table =
+        static_cast<const Catalog*>(catalog_)->GetTable(name);
+    if (!table.ok()) continue;
+    bool rebuilt = false;
+    (void)index_cache_.Get(*catalog_, **table, &rebuilt);
+    if (rebuilt && metrics_.index_rebuilds != nullptr) {
+      metrics_.index_rebuilds->Increment();
+    }
+  }
+  return decision->threshold;
 }
 
 Result<size_t> PcqeEngine::FilterOne(const QueryRequest& request, QueryOutcome* outcome,
@@ -264,6 +319,9 @@ uint64_t PcqeEngine::RecordQueryAudit(const QueryRequest& request,
   rec.rows_total = qr.rows.size();
   rec.rows_released = outcome.released.size();
   rec.rows_blocked = blocked.size();
+  rec.pushed_down = qr.pushed_down;
+  rec.pruned_chunks = qr.vec_stats.pruned_chunks;
+  rec.pruned_rows = qr.vec_stats.pruned_rows;
 
   std::map<uint32_t, std::string> table_names;
   for (const std::string& name : qr.tables) {
@@ -307,7 +365,9 @@ Result<std::vector<QueryOutcome>> PcqeEngine::SubmitBatch(
   std::vector<size_t> needed(requests.size(), 0);
 
   for (size_t q = 0; q < requests.size(); ++q) {
-    PCQE_ASSIGN_OR_RETURN(outcomes[q].intermediate, Evaluate(requests[q].sql));
+    PCQE_ASSIGN_OR_RETURN(outcomes[q].intermediate,
+                          Evaluate(requests[q].sql, nullptr, nullptr,
+                                   ResolvePushdownBeta(requests[q])));
     PCQE_ASSIGN_OR_RETURN(needed[q], FilterOne(requests[q], &outcomes[q], &blocked[q]));
   }
 

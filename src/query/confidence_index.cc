@@ -1,0 +1,67 @@
+#include "query/confidence_index.h"
+
+#include <utility>
+
+#include "common/fault_injection.h"
+#include "relational/column_chunk.h"
+
+namespace pcqe {
+
+namespace {
+
+/// Builds the per-chunk bounds from the table's confidence chunks. Pure —
+/// the caller pins the (version, row count) the map is stamped with.
+Result<std::shared_ptr<const ConfidenceZoneMap>> BuildZoneMap(
+    const Table& table, uint64_t version) {
+  PCQE_INJECT_FAULT(fault_sites::kIndexRebuild);
+  auto map = std::make_shared<ConfidenceZoneMap>();
+  map->table_id = table.table_id();
+  map->num_rows = table.num_tuples();
+  map->confidence_version = version;
+  const TableColumnData& data = table.column_data();
+  map->chunks.resize(data.num_chunks());
+  for (size_t c = 0; c < data.num_chunks(); ++c) {
+    ConfidenceZoneMap::Bounds& bounds = map->chunks[c];
+    for (double conf : data.confidence_chunk(c)) {
+      if (conf < bounds.min) bounds.min = conf;
+      if (conf > bounds.max) bounds.max = conf;
+    }
+  }
+  return std::shared_ptr<const ConfidenceZoneMap>(std::move(map));
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const ConfidenceZoneMap>> ConfidenceIndexCache::Get(
+    const Catalog& catalog, const Table& table, bool* rebuilt) {
+  if (rebuilt != nullptr) *rebuilt = false;
+  uint64_t version = catalog.confidence_version();
+  {
+    MutexLock guard(mu_);
+    auto it = maps_.find(table.table_id());
+    if (it != maps_.end() && it->second->confidence_version == version &&
+        it->second->num_rows == table.num_tuples()) {
+      return it->second;
+    }
+  }
+  // Build outside the lock (the caller's shared catalog hold keeps the
+  // confidences stable) and install atomically: a failed build drops the
+  // stale entry and publishes nothing.
+  Result<std::shared_ptr<const ConfidenceZoneMap>> built =
+      BuildZoneMap(table, version);
+  MutexLock guard(mu_);
+  if (!built.ok()) {
+    maps_.erase(table.table_id());
+    return built.status();
+  }
+  if (rebuilt != nullptr) *rebuilt = true;
+  maps_[table.table_id()] = *built;
+  return *built;
+}
+
+void ConfidenceIndexCache::Invalidate() {
+  MutexLock guard(mu_);
+  maps_.clear();
+}
+
+}  // namespace pcqe

@@ -1,0 +1,105 @@
+// Copyright (c) PCQE contributors.
+// Per-table confidence zone maps for β pushdown (DESIGN.md §15).
+//
+// A `ConfidenceZoneMap` summarizes one table's confidence column at chunk
+// granularity: for every `kColumnChunkCapacity`-row chunk, the min and max
+// stored confidence. Because join confidence under tuple-independence is a
+// product of factors ≤ 1 — monotone non-increasing under conjunction — any
+// result row containing a base tuple with confidence ≤ β is itself ≤ β and
+// the policy filter would block it. The planner therefore inserts a
+// confidence pre-filter above each scan (plan.h `kConfidencePrune`), and the
+// zone map lets the vectorized executor skip whole chunks whose max can
+// never clear β (or keep whole chunks whose min already does) without
+// touching a single row.
+//
+// Maintenance contract: a map is valid for a (table, catalog) pair iff both
+//   * `num_rows` equals the table's current tuple count (inserts append
+//     confidences without bumping the catalog version), and
+//   * `confidence_version` equals `Catalog::confidence_version()` (every
+//     `SetConfidence` — AcceptProposal, WAL replay, recovery restore — bumps
+//     or re-pins it).
+// `ConfidenceIndexCache::Get` checks both and rebuilds lazily on mismatch;
+// a new map is built off to the side and installed atomically, so a failed
+// rebuild (fault site `query.index_rebuild`) never publishes partial bounds.
+// Staleness is fail-safe by construction regardless: the engine's policy
+// filter re-checks every surviving row's computed confidence, so a wrong
+// zone map could only ever *over*-block (a divergence the validity check
+// prevents), never release a row post-filtering would block.
+
+#ifndef PCQE_QUERY_CONFIDENCE_INDEX_H_
+#define PCQE_QUERY_CONFIDENCE_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/annotations.h"
+#include "common/result.h"
+#include "relational/catalog.h"
+#include "relational/table.h"
+
+namespace pcqe {
+
+/// \brief Immutable per-chunk confidence bounds for one table, pinned to the
+/// (tuple count, confidence version) state it was built from.
+struct ConfidenceZoneMap {
+  struct Bounds {
+    double min = 1.0;
+    double max = 0.0;
+  };
+
+  uint32_t table_id = 0;
+  /// Tuple count at build time; a mismatch means rows were appended since.
+  size_t num_rows = 0;
+  /// `Catalog::confidence_version()` at build time; a mismatch means some
+  /// confidence changed since (accept, replay, recovery). A validity
+  /// snapshot, not a counter.
+  uint64_t confidence_version = 0;  // pcqe-lint: allow(telemetry)
+  /// One entry per column chunk, in chunk order.
+  std::vector<Bounds> chunks;
+};
+
+/// \brief Lazy, version-validated cache of zone maps, one per table.
+///
+/// Thread-safe; `Get` is called by concurrent readers holding the engine's
+/// shared catalog lock, which guarantees the confidences it reads are stable
+/// while it builds. Maps are handed out as `shared_ptr<const>` so a plan
+/// keeps its snapshot alive across a concurrent invalidation.
+class ConfidenceIndexCache {
+ public:
+  ConfidenceIndexCache() = default;
+  ConfidenceIndexCache(const ConfidenceIndexCache&) = delete;
+  ConfidenceIndexCache& operator=(const ConfidenceIndexCache&) = delete;
+
+  /// Returns a zone map valid for `table` under `catalog`'s current
+  /// confidence version, rebuilding it if the cached one is missing or
+  /// stale. `rebuilt`, when non-null, is set to whether this call built a
+  /// fresh map (telemetry feeds off it). On a rebuild failure (fault
+  /// injection) nothing is installed and the stale entry, if any, is
+  /// dropped.
+  [[nodiscard]] Result<std::shared_ptr<const ConfidenceZoneMap>> Get(
+      const Catalog& catalog, const Table& table, bool* rebuilt = nullptr);
+
+  /// Drops every cached map (e.g. after out-of-band catalog edits like bulk
+  /// loads that the version counter does not cover).
+  void Invalidate();
+
+ private:
+  mutable Mutex mu_;
+  std::map<uint32_t, std::shared_ptr<const ConfidenceZoneMap>> maps_
+      PCQE_GUARDED_BY(mu_);
+};
+
+/// \brief Planner input: push the policy threshold `beta` below joins.
+///
+/// `index` may be null (no zone maps: the prune nodes fall back to row-exact
+/// confidence tests, still result-identical, just without chunk skipping).
+struct ConfidencePushdown {
+  double beta = 0.0;
+  ConfidenceIndexCache* index = nullptr;
+};
+
+}  // namespace pcqe
+
+#endif  // PCQE_QUERY_CONFIDENCE_INDEX_H_

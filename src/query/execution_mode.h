@@ -54,6 +54,12 @@ struct VecExecStats {
   /// Rows that fell back to tuple-at-a-time expression evaluation inside a
   /// vectorized operator (non-kernelizable predicates/projections).
   uint64_t fallback_rows = 0;
+  /// Whole column chunks skipped by β pushdown's zone-map test (their max
+  /// confidence could not clear β; vectorized engine only).
+  uint64_t pruned_chunks = 0;
+  /// Base rows dropped by β pushdown before reaching the operators above
+  /// (both engines report this; the row engine fills only this field).
+  uint64_t pruned_rows = 0;
 
   void Merge(const VecExecStats& o) {
     chunks_scanned += o.chunks_scanned;
@@ -61,6 +67,8 @@ struct VecExecStats {
     join_groups += o.join_groups;
     if (o.max_group_rows > max_group_rows) max_group_rows = o.max_group_rows;
     fallback_rows += o.fallback_rows;
+    pruned_chunks += o.pruned_chunks;
+    pruned_rows += o.pruned_rows;
   }
 };
 

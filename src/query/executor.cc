@@ -4,8 +4,10 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "common/math_util.h"
 #include "common/string_util.h"
 #include "query/exec_common.h"
+#include "relational/column_chunk.h"
 
 namespace pcqe {
 
@@ -18,9 +20,11 @@ Result<std::vector<ExecRow>> Executor::Run(const PlanNode& plan) {
   if (profiler_ == nullptr) return Dispatch(plan);
   size_t node = profiler_->Begin(plan.Summary());
   uint64_t arena_before = arena_->size();
+  uint64_t pruned_before = stats_.pruned_rows;
   Result<std::vector<ExecRow>> result = Dispatch(plan);
   OperatorProfiler::Extra extra;
   extra.arena_nodes = arena_->size() - arena_before;
+  extra.pruned_rows = stats_.pruned_rows - pruned_before;
   profiler_->End(node, result.ok() ? result->size() : 0, extra);
   return result;
 }
@@ -49,8 +53,30 @@ Result<std::vector<ExecRow>> Executor::Dispatch(
       return RunLimit(plan);
     case PlanKind::kAggregate:
       return RunAggregate(plan);
+    case PlanKind::kConfidencePrune:
+      return RunConfidencePrune(plan);
   }
   return Status::Internal("unknown plan kind");
+}
+
+Result<std::vector<ExecRow>> Executor::RunConfidencePrune(const PlanNode& plan) {
+  // The planner wraps scans directly, so input row i is base row i of the
+  // scanned table and its confidence reads straight off the chunk column.
+  PCQE_CHECK(plan.left != nullptr && plan.left->kind == PlanKind::kScan);
+  const TableColumnData& data = plan.left->table->column_data();
+  PCQE_ASSIGN_OR_RETURN(std::vector<ExecRow> input, Run(*plan.left));
+  std::vector<ExecRow> out;
+  out.reserve(input.size());
+  for (size_t i = 0; i < input.size(); ++i) {
+    // Exact complement of PolicyDecision::Allows' blocking test: a base
+    // tuple at or below β (mod ε) can only ever produce blocked rows.
+    if (data.confidence(i) > plan.prune_beta + kEpsilon) {
+      out.push_back(std::move(input[i]));
+    } else {
+      ++stats_.pruned_rows;
+    }
+  }
+  return out;
 }
 
 Result<std::vector<ExecRow>> Executor::RunScan(const PlanNode& plan) {

@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "lineage/lineage.h"
+#include "query/execution_mode.h"
 #include "query/plan.h"
 #include "telemetry/profile.h"
 
@@ -45,6 +46,10 @@ class Executor {
   /// Executes `plan` and materializes all result rows.
   [[nodiscard]] Result<std::vector<ExecRow>> Run(const PlanNode& plan);
 
+  /// Per-query counters (only `pruned_rows` is ever non-zero for this
+  /// engine; the chunk-level fields belong to the vectorized interpreter).
+  const VecExecStats& stats() const { return stats_; }
+
  private:
   /// The unprofiled interpreter switch; `Run` wraps it with profiling.
   [[nodiscard]] Result<std::vector<ExecRow>> Dispatch(const PlanNode& plan);
@@ -57,9 +62,11 @@ class Executor {
   [[nodiscard]] Result<std::vector<ExecRow>> RunSort(const PlanNode& plan);
   [[nodiscard]] Result<std::vector<ExecRow>> RunLimit(const PlanNode& plan);
   [[nodiscard]] Result<std::vector<ExecRow>> RunAggregate(const PlanNode& plan);
+  [[nodiscard]] Result<std::vector<ExecRow>> RunConfidencePrune(const PlanNode& plan);
 
   LineageArena* arena_;
   OperatorProfiler* profiler_;
+  VecExecStats stats_;
 };
 
 }  // namespace pcqe

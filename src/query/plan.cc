@@ -30,6 +30,8 @@ std::string PlanKindToString(PlanKind kind) {
       return "Limit";
     case PlanKind::kAggregate:
       return "Aggregate";
+    case PlanKind::kConfidencePrune:
+      return "ConfidencePrune";
   }
   return "?";
 }
@@ -62,6 +64,10 @@ std::string PlanNode::Summary() const {
     }
     case PlanKind::kLimit:
       line += StrFormat(" %lld", static_cast<long long>(limit));
+      break;
+    case PlanKind::kConfidencePrune:
+      line += StrFormat(" beta=%s%s", FormatDouble(prune_beta, 6).c_str(),
+                        zone_map != nullptr ? " zonemap" : "");
       break;
     case PlanKind::kAggregate: {
       std::vector<std::string> parts;

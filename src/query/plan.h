@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "query/confidence_index.h"
 #include "query/expression.h"
 #include "relational/table.h"
 
@@ -27,6 +28,12 @@ enum class PlanKind : uint8_t {
   kSort,      ///< order by; lineage unchanged
   kLimit,     ///< first-n; lineage unchanged
   kAggregate, ///< GROUP BY + aggregate functions; lineage = AND over group
+  /// β pushdown pre-filter over a kScan child: drops base tuples whose
+  /// confidence can never clear the policy threshold (confidence is monotone
+  /// non-increasing under conjunction, so such tuples can only produce
+  /// blocked rows). Inserted by the planner only when a request carries β
+  /// and the plan shape is pushdown-safe; see confidence_index.h.
+  kConfidencePrune,
 };
 
 /// Operator name ("Scan", "HashJoin"-agnostic "Join", ...).
@@ -72,6 +79,16 @@ struct PlanNode {
   /// kAggregate: grouping keys, bound against the child. Empty keys mean
   /// one global group.
   std::vector<std::unique_ptr<Expr>> group_keys;
+
+  /// kConfidencePrune: the policy threshold β; keep a base tuple iff its
+  /// confidence strictly clears it (the exact complement of the policy
+  /// filter's blocking test, ε included).
+  double prune_beta = 0.0;
+
+  /// kConfidencePrune: chunk-granular confidence bounds snapshotted at plan
+  /// time (shared so the plan keeps its snapshot across invalidations).
+  /// Null degrades to row-exact pruning — same results, no chunk skipping.
+  std::shared_ptr<const ConfidenceZoneMap> zone_map;
 
   /// kAggregate: one aggregate computation per synthetic `__agg<i>` output
   /// column.

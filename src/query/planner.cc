@@ -438,12 +438,93 @@ class Planner {
   const Catalog& catalog_;
 };
 
+/// Wraps every kScan in `plan` with a kConfidencePrune node carrying β and,
+/// when an index is available, a zone-map snapshot. A failed zone-map
+/// rebuild (fault injection) degrades to row-exact pruning rather than
+/// failing the query.
+void InsertConfidencePrunes(const Catalog& catalog,
+                            const ConfidencePushdown& pushdown,
+                            std::unique_ptr<PlanNode>* node) {  // NOLINT(misc-no-recursion)
+  PlanNode& plan = **node;
+  if (plan.kind == PlanKind::kScan) {
+    auto prune = std::make_unique<PlanNode>();
+    prune->kind = PlanKind::kConfidencePrune;
+    prune->output_schema = plan.output_schema;
+    prune->prune_beta = pushdown.beta;
+    if (pushdown.index != nullptr && plan.table != nullptr) {
+      Result<std::shared_ptr<const ConfidenceZoneMap>> map =
+          pushdown.index->Get(catalog, *plan.table);
+      if (map.ok()) prune->zone_map = std::move(*map);
+    }
+    prune->left = std::move(*node);
+    *node = std::move(prune);
+    return;
+  }
+  if (plan.left) InsertConfidencePrunes(catalog, pushdown, &plan.left);
+  if (plan.right) InsertConfidencePrunes(catalog, pushdown, &plan.right);
+}
+
 }  // namespace
 
+namespace {
+
+void CollectScannedTablesInto(const PlanNode& plan,
+                              std::vector<std::string>* tables) {  // NOLINT(misc-no-recursion)
+  if (plan.kind == PlanKind::kScan && plan.table != nullptr) {
+    const std::string& name = plan.table->name();
+    for (const std::string& existing : *tables) {
+      if (EqualsIgnoreCaseAscii(existing, name)) return;
+    }
+    tables->push_back(name);
+    return;
+  }
+  if (plan.left) CollectScannedTablesInto(*plan.left, tables);
+  if (plan.right) CollectScannedTablesInto(*plan.right, tables);
+}
+
+}  // namespace
+
+std::vector<std::string> CollectScannedTables(const PlanNode& plan) {
+  std::vector<std::string> tables;
+  CollectScannedTablesInto(plan, &tables);
+  return tables;
+}
+
+bool IsConfidencePushdownSafe(const PlanNode& plan) {  // NOLINT(misc-no-recursion)
+  switch (plan.kind) {
+    case PlanKind::kScan:
+    case PlanKind::kFilter:
+    case PlanKind::kProject:
+    case PlanKind::kJoin:
+    case PlanKind::kSort:
+    case PlanKind::kUnionAll:
+    case PlanKind::kConfidencePrune:
+      break;
+    case PlanKind::kDistinct:
+    case PlanKind::kUnion:
+    case PlanKind::kExcept:
+    case PlanKind::kIntersect:
+    case PlanKind::kLimit:
+    case PlanKind::kAggregate:
+      return false;
+  }
+  if (plan.left && !IsConfidencePushdownSafe(*plan.left)) return false;
+  if (plan.right && !IsConfidencePushdownSafe(*plan.right)) return false;
+  return true;
+}
+
 Result<std::unique_ptr<PlanNode>> PlanQuery(const Catalog& catalog,
-                                            const SelectStatement& stmt) {
+                                            const SelectStatement& stmt,
+                                            const ConfidencePushdown* pushdown) {
   Planner planner(catalog);
-  return planner.Plan(stmt);
+  PCQE_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> plan, planner.Plan(stmt));
+  // β ≤ 0 prunes nothing (confidences are ≥ 0 and the keep test is strict):
+  // skip the wrap so policy-less requests execute the exact unpushed plan.
+  if (pushdown != nullptr && pushdown->beta > 0.0 &&
+      IsConfidencePushdownSafe(*plan)) {
+    InsertConfidencePrunes(catalog, *pushdown, &plan);
+  }
+  return plan;
 }
 
 }  // namespace pcqe

@@ -27,8 +27,29 @@ namespace pcqe {
 ///
 /// Errors are `kBindError` (unknown table/column, type mismatch, set-op
 /// arity mismatch) or propagate from expression binding.
-[[nodiscard]] Result<std::unique_ptr<PlanNode>> PlanQuery(const Catalog& catalog,
-                                            const SelectStatement& stmt);
+///
+/// When `pushdown` is non-null and the plan is pushdown-safe (see
+/// `IsConfidencePushdownSafe`), every base-table scan is wrapped in a
+/// `kConfidencePrune` node carrying `pushdown->beta` and — when
+/// `pushdown->index` is set and its rebuild succeeds — a zone-map snapshot
+/// for chunk skipping. An unsafe shape leaves the plan untouched, so the
+/// pushed and unpushed plans stay result-identical by construction.
+[[nodiscard]] Result<std::unique_ptr<PlanNode>> PlanQuery(
+    const Catalog& catalog, const SelectStatement& stmt,
+    const ConfidencePushdown* pushdown = nullptr);
+
+/// True iff pruning sub-β base tuples below this plan cannot change the
+/// post-filter released set: every operator either keeps per-row confidence
+/// monotone non-increasing in its inputs (scan/filter/project/join/sort/
+/// union-all) or is a prune node itself. Duplicate-merging set operations
+/// (OR lineage can *raise* confidence), EXCEPT (NOT raises it), LIMIT
+/// (pruned rows change which rows occupy the cap) and aggregation (pruned
+/// group members change group values) are unsafe.
+[[nodiscard]] bool IsConfidencePushdownSafe(const PlanNode& plan);
+
+/// Base tables `plan` scans, deduplicated case-insensitively, in plan order.
+/// Policy resolution uses these to apply table-scoped confidence policies.
+[[nodiscard]] std::vector<std::string> CollectScannedTables(const PlanNode& plan);
 
 }  // namespace pcqe
 

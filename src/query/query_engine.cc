@@ -106,25 +106,20 @@ Result<ConfidenceMap> SnapshotConfidences(const Catalog& catalog,
 
 namespace {
 
-void CollectScannedTables(const PlanNode& plan,
-                          std::vector<std::string>* tables) {  // NOLINT(misc-no-recursion)
-  if (plan.kind == PlanKind::kScan && plan.table != nullptr) {
-    const std::string& name = plan.table->name();
-    for (const std::string& existing : *tables) {
-      if (EqualsIgnoreCaseAscii(existing, name)) return;
-    }
-    tables->push_back(name);
-    return;
-  }
-  if (plan.left) CollectScannedTables(*plan.left, tables);
-  if (plan.right) CollectScannedTables(*plan.right, tables);
+/// True when the planner actually inserted a β prune node (the pushdown
+/// spec alone does not imply it — unsafe shapes plan unchanged).
+bool ContainsConfidencePrune(const PlanNode& plan) {  // NOLINT(misc-no-recursion)
+  if (plan.kind == PlanKind::kConfidencePrune) return true;
+  if (plan.left && ContainsConfidencePrune(*plan.left)) return true;
+  return plan.right && ContainsConfidencePrune(*plan.right);
 }
 
 }  // namespace
 
 Result<QueryResult> RunQuery(const Catalog& catalog, const std::string& sql,
                              TraceBuilder* trace, ExecutionMode mode,
-                             bool materialize_values, OperatorProfile* profile) {
+                             bool materialize_values, OperatorProfile* profile,
+                             const ConfidencePushdown* pushdown) {
   if (profile != nullptr) profile->mode = ExecutionModeToString(mode);
   std::unique_ptr<SelectStatement> stmt;
   {
@@ -134,7 +129,7 @@ Result<QueryResult> RunQuery(const Catalog& catalog, const std::string& sql,
   std::unique_ptr<PlanNode> plan;
   {
     ScopedSpan span(trace, "plan");
-    PCQE_ASSIGN_OR_RETURN(plan, PlanQuery(catalog, *stmt));
+    PCQE_ASSIGN_OR_RETURN(plan, PlanQuery(catalog, *stmt, pushdown));
   }
 
   QueryResult result;
@@ -142,7 +137,8 @@ Result<QueryResult> RunQuery(const Catalog& catalog, const std::string& sql,
   result.arena = std::make_shared<LineageArena>();
   result.plan_text = plan->ToString();
   result.mode = mode;
-  CollectScannedTables(*plan, &result.tables);
+  result.tables = CollectScannedTables(*plan);
+  result.pushed_down = ContainsConfidencePrune(*plan);
 
   OperatorProfiler profiler(profile);
 
@@ -217,6 +213,7 @@ Result<QueryResult> RunQuery(const Catalog& catalog, const std::string& sql,
     ScopedSpan span(trace, "execute");
     Executor executor(result.arena.get(), profile != nullptr ? &profiler : nullptr);
     PCQE_ASSIGN_OR_RETURN(std::vector<ExecRow> rows, executor.Run(*plan));
+    result.vec_stats = executor.stats();
     result.rows.reserve(rows.size());
     for (ExecRow& row : rows) {
       result.rows.push_back({std::move(row.values), row.lineage, 0.0});

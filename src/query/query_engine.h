@@ -48,8 +48,13 @@ struct QueryResult {
   std::vector<std::string> tables;
   /// Which interpreter produced this result.
   ExecutionMode mode = ExecutionMode::kRow;
-  /// Vectorized-interpreter counters; all-zero when `mode == kRow`.
+  /// Vectorized-interpreter counters. Under `mode == kRow` only
+  /// `pruned_rows` can be non-zero (β pushdown's row-exact fallback).
   VecExecStats vec_stats;
+  /// True when the executed plan carried at least one `kConfidencePrune`
+  /// node, i.e. β pushdown actually applied (a pushdown request against an
+  /// unsafe plan shape leaves this false). Feeds audit and telemetry.
+  bool pushed_down = false;
   /// Set when the vectorized engine deferred materialization (the engine's
   /// serving configuration): the factorized payload boxes values
   /// (`ValuesOfRow` / `MaterializeValues`) and — for pure
@@ -117,12 +122,16 @@ struct QueryResult {
 /// inherently materialized). A non-null `profile` enables `EXPLAIN ANALYZE`
 /// collection: the executor records one `OperatorProfile` node per operator
 /// (rows, chunks, factors, arena nodes, wall time); null (the default) keeps
-/// the hot path allocation-free.
+/// the hot path allocation-free. A non-null `pushdown` asks the planner to
+/// prune sub-β base tuples below joins when the plan shape allows it (see
+/// planner.h) — result-identical to post-filtering by monotonicity, checked
+/// continuously by tests/planner_pushdown_test.cc.
 [[nodiscard]] Result<QueryResult> RunQuery(const Catalog& catalog, const std::string& sql,
                                            TraceBuilder* trace = nullptr,
                                            ExecutionMode mode = ExecutionMode::kVectorized,
                                            bool materialize_values = true,
-                                           OperatorProfile* profile = nullptr);
+                                           OperatorProfile* profile = nullptr,
+                                           const ConfidencePushdown* pushdown = nullptr);
 
 }  // namespace pcqe
 

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/math_util.h"
 #include "query/exec_common.h"
 #include "relational/column_chunk.h"
 
@@ -141,11 +142,15 @@ Result<VecResult> VectorExecutor::Run(const PlanNode& plan) {  // NOLINT(misc-no
   uint64_t chunks_before = stats_.chunks_scanned;
   uint64_t fallback_before = stats_.fallback_rows;
   uint64_t arena_before = arena_->size();
+  uint64_t pruned_chunks_before = stats_.pruned_chunks;
+  uint64_t pruned_rows_before = stats_.pruned_rows;
   Result<VecResult> result = Dispatch(plan);
   OperatorProfiler::Extra extra;
   extra.chunks = stats_.chunks_scanned - chunks_before;
   extra.fallback_rows = stats_.fallback_rows - fallback_before;
   extra.arena_nodes = arena_->size() - arena_before;
+  extra.pruned_chunks = stats_.pruned_chunks - pruned_chunks_before;
+  extra.pruned_rows = stats_.pruned_rows - pruned_rows_before;
   if (result.ok()) {
     for (const VecFactor& f : result->factors) {
       if (f.table != nullptr) {
@@ -181,8 +186,72 @@ Result<VecResult> VectorExecutor::Dispatch(
     case PlanKind::kIntersect:
     case PlanKind::kAggregate:
       return RunGrouping(plan);
+    case PlanKind::kConfidencePrune:
+      return RunConfidencePrune(plan);
   }
   return Status::Internal("unknown plan kind");
+}
+
+Result<VecResult> VectorExecutor::RunConfidencePrune(const PlanNode& plan) {
+  // Fused into the scan: the selection vector is built straight from the
+  // confidence chunks instead of scanning everything and filtering after.
+  PCQE_CHECK(plan.left != nullptr && plan.left->kind == PlanKind::kScan &&
+             plan.left->table != nullptr);
+  const Table* table = plan.left->table;
+  const TableColumnData& data = table->column_data();
+  tables_by_id_[table->table_id()] = table;
+
+  // Zone-map bounds are only trusted when they describe exactly this data
+  // (the cache validates version and row count at plan time; re-checking the
+  // shape here keeps a stale snapshot from ever skipping live rows).
+  const ConfidenceZoneMap* zones = plan.zone_map.get();
+  if (zones != nullptr && (zones->num_rows != data.num_rows() ||
+                           zones->chunks.size() != data.num_chunks())) {
+    zones = nullptr;
+  }
+
+  VecFactor factor;
+  factor.table = table;
+  factor.sel.reserve(data.num_rows());
+  for (size_t c = 0; c < data.num_chunks(); ++c) {
+    const std::vector<double>& conf = data.confidence_chunk(c);
+    auto base = static_cast<uint32_t>(c * kColumnChunkCapacity);
+    if (zones != nullptr) {
+      // Keep test: conf > β + ε (the exact complement of the policy filter's
+      // blocking test). Chunk max at or below the bar → nothing survives.
+      if (!(zones->chunks[c].max > plan.prune_beta + kEpsilon)) {
+        ++stats_.pruned_chunks;
+        stats_.pruned_rows += conf.size();
+        continue;
+      }
+      if (zones->chunks[c].min > plan.prune_beta + kEpsilon) {
+        // Whole chunk clears the bar: emit without per-row tests.
+        ++stats_.chunks_scanned;
+        stats_.rows_scanned += conf.size();
+        for (uint32_t i = 0; i < conf.size(); ++i) factor.sel.push_back(base + i);
+        continue;
+      }
+    }
+    ++stats_.chunks_scanned;
+    for (uint32_t i = 0; i < conf.size(); ++i) {
+      if (conf[i] > plan.prune_beta + kEpsilon) {
+        factor.sel.push_back(base + i);
+        ++stats_.rows_scanned;
+      } else {
+        ++stats_.pruned_rows;
+      }
+    }
+  }
+
+  VecResult out;
+  out.num_rows = factor.sel.size();
+  out.factors.push_back(std::move(factor));
+  out.columns.resize(data.num_columns());
+  for (size_t c = 0; c < data.num_columns(); ++c) {
+    out.columns[c].borrowed_factor = 0;
+    out.columns[c].base_col = c;
+  }
+  return out;
 }
 
 Result<VecResult> VectorExecutor::RunScan(const PlanNode& plan) {

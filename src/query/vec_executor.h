@@ -138,6 +138,11 @@ class VectorExecutor {
   [[nodiscard]] Result<VecResult> Dispatch(const PlanNode& plan);
 
   [[nodiscard]] Result<VecResult> RunScan(const PlanNode& plan);
+  /// β pushdown over a scan child, fused: builds the selection vector
+  /// straight from the confidence chunks, skipping whole chunks whose
+  /// zone-map max cannot clear β and keeping whole chunks whose min already
+  /// does (no per-row test either way).
+  [[nodiscard]] Result<VecResult> RunConfidencePrune(const PlanNode& plan);
   [[nodiscard]] Result<VecResult> RunFilter(const PlanNode& plan);
   [[nodiscard]] Result<VecResult> RunProject(const PlanNode& plan);
   [[nodiscard]] Result<VecResult> RunJoin(const PlanNode& plan);

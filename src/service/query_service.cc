@@ -78,7 +78,11 @@ QueryService::QueryService(PcqeEngine* engine, ServiceOptions options)
       storage_ = owned_storage_.get();
       storage_->AttachTelemetry(registry_);
       engine_->AttachStorage(storage_);
-      cache_.Clear();  // anything cached predates the recovered state
+      // Anything cached — evaluations and confidence zone maps — predates
+      // the recovered state, and the monotone confidence version cannot be
+      // trusted to have moved across a replay.
+      cache_.Clear();
+      engine_->confidence_index()->Invalidate();
     } else {
       durability_status_ = opened.WithContext("durable storage failed to open");
       owned_storage_.reset();
@@ -233,7 +237,26 @@ Result<QueryOutcome> QueryService::Execute(const SessionHandle& session,
     // a cached entry can never mix confidences from before and after an
     // interleaved Accept.
     uint64_t version = engine_->catalog()->confidence_version();
+
+    QueryRequest engine_request;
+    engine_request.sql = request.sql;
+    engine_request.user = session.user;
+    engine_request.purpose = session.purpose;
+    engine_request.required_fraction = request.required_fraction;
+    engine_request.solver = request.solver;
+    engine_request.deadline = deadline;
+    engine_request.cancel = request.cancel;
+    engine_request.pushdown = request.pushdown;
+
+    // A pushed evaluation omits sub-β rows, so it may only serve requests
+    // that resolve to the *same* pushdown β — the key forks on it. Resolved
+    // under the same shared lock as the lookup, so the decision and the
+    // served entry read one catalog state.
+    std::optional<double> push_beta = engine_->ResolvePushdownBeta(engine_request);
     std::string key = NormalizeSql(request.sql);
+    if (push_beta.has_value()) {
+      key += StrFormat("|pd=%.17g", *push_beta);
+    }
     // A profiled request bypasses the cache lookup — a hit executes nothing,
     // so there would be no operator tree to report — but still populates the
     // cache for later (unprofiled) requests.
@@ -247,8 +270,9 @@ Result<QueryOutcome> QueryService::Execute(const SessionHandle& session,
       lookup_span.Annotate("hit", evaluated != nullptr ? "true" : "false");
     }
     if (evaluated == nullptr) {
-      PCQE_ASSIGN_OR_RETURN(QueryResult fresh,
-                            engine_->Evaluate(request.sql, tb, profile.get()));
+      PCQE_ASSIGN_OR_RETURN(
+          QueryResult fresh,
+          engine_->Evaluate(request.sql, tb, profile.get(), push_beta));
       // The cache shares one entry (and its lineage arena) across concurrent
       // completions read-only; interning deferred lineage on demand would be
       // a write. Box it here, while this thread still owns the result.
@@ -256,14 +280,6 @@ Result<QueryOutcome> QueryService::Execute(const SessionHandle& session,
       evaluated = cache_.Insert(key, version, std::move(fresh));
     }
 
-    QueryRequest engine_request;
-    engine_request.sql = request.sql;
-    engine_request.user = session.user;
-    engine_request.purpose = session.purpose;
-    engine_request.required_fraction = request.required_fraction;
-    engine_request.solver = request.solver;
-    engine_request.deadline = deadline;
-    engine_request.cancel = request.cancel;
     if (options_.adaptive_solver_lanes) {
       // Share the hardware between in-flight requests: a lone request fans
       // the solver out to the engine's full budget, a saturated service
@@ -380,7 +396,12 @@ Status QueryService::Recover() {
   }
   // Even a failed recovery may have partially rewritten the catalog;
   // entries keyed on pre-recovery versions must not be served either way.
+  // The confidence index needs the same treatment: replay restores durable
+  // confidences but `RestoreConfidenceVersion` is monotone, so a zone map
+  // built over unlogged pre-crash mutations could still validate — and a
+  // stale map may wrongly *skip* rows, not just over-scan.
   cache_.Clear();
+  engine_->confidence_index()->Invalidate();
   return recovered;
 }
 

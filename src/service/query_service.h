@@ -140,6 +140,10 @@ struct ServiceRequest {
   /// result cache's lookup — a cache hit executes nothing, so there would be
   /// no operator tree to report — but still populates it for later requests.
   bool profile = false;
+  /// Opt-out knob for β pushdown (see `QueryRequest::pushdown`). When the
+  /// engine decides pushdown applies, the cache key forks on the resolved β
+  /// so a pushed (partial) evaluation can never serve an unpushed request.
+  bool pushdown = true;
 };
 
 /// \brief Concurrent, policy-compliant query service over one engine.
@@ -208,9 +212,14 @@ class QueryService {
   /// Requests currently waiting for a worker.
   [[nodiscard]] size_t queue_depth() const;
 
-  /// Drops every cached evaluation (after out-of-band catalog edits such as
-  /// bulk loads, which do not bump the confidence version).
-  void InvalidateCache() { cache_.Clear(); }
+  /// Drops every cached evaluation and confidence zone map (after
+  /// out-of-band catalog edits such as bulk loads, which do not bump the
+  /// confidence version — exactly the edits a version-validated index
+  /// cannot detect).
+  void InvalidateCache() {
+    cache_.Clear();
+    engine_->confidence_index()->Invalidate();
+  }
 
   size_t num_workers() const { return workers_.size(); }
   const ServiceOptions& options() const { return options_; }

@@ -31,6 +31,11 @@ std::string AuditRecord::ToString() const {
       static_cast<unsigned long long>(rows_total),
       FormatDouble(released_fraction).c_str(),
       FormatDouble(required_fraction).c_str());
+  if (pushed_down) {
+    out += StrFormat("  pushdown: pruned %llu row(s) / %llu chunk(s)\n",
+                     static_cast<unsigned long long>(pruned_rows),
+                     static_cast<unsigned long long>(pruned_chunks));
+  }
   for (const AuditRowDecision& r : rows) {
     out += StrFormat("  row %llu conf=%s %s", static_cast<unsigned long long>(r.row),
                      FormatDouble(r.confidence).c_str(),
@@ -83,6 +88,11 @@ std::string AuditRecord::ToJson() const {
       static_cast<unsigned long long>(rows_released),
       static_cast<unsigned long long>(rows_blocked),
       static_cast<unsigned long long>(rows_truncated), row_items.c_str());
+  if (pushed_down) {
+    out += StrFormat(",\"pushdown\":{\"pruned_rows\":%llu,\"pruned_chunks\":%llu}",
+                     static_cast<unsigned long long>(pruned_rows),
+                     static_cast<unsigned long long>(pruned_chunks));
+  }
   if (proposal_needed) {
     out += StrFormat(
         ",\"proposal\":{\"feasible\":%s,\"partial\":%s,\"cost\":%.17g,"

@@ -65,6 +65,13 @@ struct AuditRecord {
   uint64_t rows_blocked = 0;
   std::vector<AuditRowDecision> rows;  ///< capped; see `rows_truncated`
   uint64_t rows_truncated = 0;         ///< per-row detail dropped beyond the cap
+  /// β pushdown: whether the evaluated plan pruned sub-β base tuples below
+  /// joins, and how much it skipped. Pruned rows are policy-blocked by
+  /// construction (monotonicity), so the verdicts above remain the complete
+  /// released set either way.
+  bool pushed_down = false;
+  uint64_t pruned_chunks = 0;  ///< whole chunks skipped via the zone map
+  uint64_t pruned_rows = 0;    ///< base rows pruned under scans
   // Solver outcome when the release fraction fell short.
   bool proposal_needed = false;
   bool proposal_feasible = false;

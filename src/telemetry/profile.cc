@@ -39,6 +39,11 @@ void AppendNodeTree(const OperatorProfile& profile, int32_t parent, int indent,
     if (n.arena_nodes > 0) {
       *out += StrFormat(" arena=%llu", static_cast<unsigned long long>(n.arena_nodes));
     }
+    if (n.pruned_chunks > 0 || n.pruned_rows > 0) {
+      *out += StrFormat(" pruned=%llu rows/%llu chunks",
+                        static_cast<unsigned long long>(n.pruned_rows),
+                        static_cast<unsigned long long>(n.pruned_chunks));
+    }
     *out += StrFormat(" time=%.3fms\n", static_cast<double>(n.wall_ns) / 1e6);
     AppendNodeTree(profile, static_cast<int32_t>(i), indent + 1, out);
   }
@@ -62,7 +67,8 @@ std::string OperatorProfile::RenderJson() const {
     ops += StrFormat(
         "{\"op\":\"%s\",\"parent\":%d,\"rows_in\":%llu,\"rows_out\":%llu,"
         "\"chunks\":%llu,\"fallback_rows\":%llu,\"scan_factors\":%llu,"
-        "\"mat_factors\":%llu,\"arena_nodes\":%llu,\"seconds\":%.9f}",
+        "\"mat_factors\":%llu,\"arena_nodes\":%llu,\"pruned_chunks\":%llu,"
+        "\"pruned_rows\":%llu,\"seconds\":%.9f}",
         JsonEscape(n.label).c_str(), n.parent,
         static_cast<unsigned long long>(n.rows_in),
         static_cast<unsigned long long>(n.rows_out),
@@ -71,6 +77,8 @@ std::string OperatorProfile::RenderJson() const {
         static_cast<unsigned long long>(n.scan_factors),
         static_cast<unsigned long long>(n.mat_factors),
         static_cast<unsigned long long>(n.arena_nodes),
+        static_cast<unsigned long long>(n.pruned_chunks),
+        static_cast<unsigned long long>(n.pruned_rows),
         static_cast<double>(n.wall_ns) / 1e9);
   }
   return StrFormat("{\"mode\":\"%s\",\"operators\":[%s]}", JsonEscape(mode).c_str(),
@@ -103,12 +111,16 @@ void OperatorProfiler::End(size_t index, uint64_t rows_out, const Extra& extra) 
     self.chunks -= std::min(self.chunks, d.chunks);
     self.fallback_rows -= std::min(self.fallback_rows, d.fallback_rows);
     self.arena_nodes -= std::min(self.arena_nodes, d.arena_nodes);
+    self.pruned_chunks -= std::min(self.pruned_chunks, d.pruned_chunks);
+    self.pruned_rows -= std::min(self.pruned_rows, d.pruned_rows);
   }
   node.chunks = self.chunks;
   node.fallback_rows = self.fallback_rows;
   node.scan_factors = extra.scan_factors;
   node.mat_factors = extra.mat_factors;
   node.arena_nodes = self.arena_nodes;
+  node.pruned_chunks = self.pruned_chunks;
+  node.pruned_rows = self.pruned_rows;
   node.wall_ns = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
                                                            start_.back())

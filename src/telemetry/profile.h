@@ -42,6 +42,8 @@ struct OperatorProfile {
     uint64_t scan_factors = 0;    ///< result factors still backed by a base table
     uint64_t mat_factors = 0;     ///< result factors with materialized lineage
     uint64_t arena_nodes = 0;     ///< lineage nodes interned while this operator ran
+    uint64_t pruned_chunks = 0;   ///< chunks skipped whole by β pushdown's zone map
+    uint64_t pruned_rows = 0;     ///< base rows dropped by β pushdown
     uint64_t wall_ns = 0;         ///< inclusive wall time (children included)
   };
 
@@ -74,6 +76,8 @@ class OperatorProfiler {
     uint64_t scan_factors = 0;
     uint64_t mat_factors = 0;
     uint64_t arena_nodes = 0;
+    uint64_t pruned_chunks = 0;
+    uint64_t pruned_rows = 0;
   };
 
   explicit OperatorProfiler(OperatorProfile* profile) : profile_(profile) {}

@@ -128,8 +128,11 @@ TEST_F(AuditTest, AcceptProposalIsRecordedWithVersionBump) {
 TEST_F(AuditTest, PerRowDetailIsCappedWithTruncationCount) {
   AuditLog small(8, 2);
   engine_->AttachAudit(&small);
-  QueryOutcome outcome =
-      *engine_->Submit({"SELECT id, secret FROM t", "u", "general", 0.0});
+  // Fraction 0 would qualify for β pushdown, which prunes the blocked row
+  // out of the intermediate result — keep all 3 rows so the cap truncates.
+  QueryRequest request{"SELECT id, secret FROM t", "u", "general", 0.0};
+  request.pushdown = false;
+  QueryOutcome outcome = *engine_->Submit(request);
   std::optional<AuditRecord> record = small.Get(outcome.audit_id);
   ASSERT_TRUE(record.has_value());
   EXPECT_EQ(record->rows_total, 3u);

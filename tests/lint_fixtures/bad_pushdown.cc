@@ -1,0 +1,11 @@
+// pcqe-lint-fixture-path: src/engine/example.cc
+// Fixture: a hand-rolled confidence-vs-beta comparison outside the
+// sanctioned files. This one drops the kEpsilon slack — exactly the drift
+// the rule exists to catch.
+namespace pcqe {
+
+bool LeakyKeepTest(double confidence, double beta) {
+  return confidence > beta;
+}
+
+}  // namespace pcqe

@@ -1,0 +1,24 @@
+// pcqe-lint-fixture-path: src/engine/example.cc
+// Fixture: the sanctioned ways to test a confidence against beta — the
+// shared helpers own the strict > beta + kEpsilon convention.
+namespace pcqe {
+
+struct PolicyDecision {
+  double threshold = 0.0;
+  bool Allows(double p) const;
+};
+
+bool ReleasedByPolicy(const PolicyDecision& decision, double confidence) {
+  return decision.Allows(confidence);
+}
+
+bool ReleasedBySolver(double confidence, double beta) {
+  return ClearsThreshold(confidence, beta);
+}
+
+// A deliberate out-of-band comparison may suppress explicitly.
+bool Diagnostic(double confidence, double beta) {
+  return confidence > beta;  // pcqe-lint: allow(pushdown)
+}
+
+}  // namespace pcqe

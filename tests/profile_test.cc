@@ -163,7 +163,10 @@ TEST_F(ProfileTest, EngineProfileFlagFeedsOutcomeAndHistograms) {
   Tracer tracer(4);
   engine.AttachTelemetry(&registry, &tracer);
 
+  // Pushdown off: fraction 0 would otherwise qualify, and the vectorized
+  // prune operator fuses the scan it wraps (no separate Scan node).
   QueryRequest off{kSql, "u", "general", 0.0};
+  off.pushdown = false;
   Result<QueryOutcome> plain = engine.Submit(off);
   ASSERT_TRUE(plain.ok()) << plain.status().ToString();
   EXPECT_EQ(plain->profile, nullptr);
@@ -173,6 +176,7 @@ TEST_F(ProfileTest, EngineProfileFlagFeedsOutcomeAndHistograms) {
 
   QueryRequest on{kSql, "u", "general", 0.0};
   on.profile = true;
+  on.pushdown = false;
   Result<QueryOutcome> profiled = engine.Submit(on);
   ASSERT_TRUE(profiled.ok()) << profiled.status().ToString();
   ASSERT_NE(profiled->profile, nullptr);
@@ -183,6 +187,16 @@ TEST_F(ProfileTest, EngineProfileFlagFeedsOutcomeAndHistograms) {
   std::string text = registry.RenderText();
   EXPECT_GT(SampleValue(text, "pcqe_query_operator_seconds_scan_count"), 0.0);
   EXPECT_GT(SampleValue(text, "pcqe_query_operator_seconds_join_count"), 0.0);
+
+  // With pushdown on, the profiled prune operator feeds its own histogram.
+  QueryRequest pushed{kSql, "u", "general", 0.0};
+  pushed.profile = true;
+  Result<QueryOutcome> pushed_profiled = engine.Submit(pushed);
+  ASSERT_TRUE(pushed_profiled.ok()) << pushed_profiled.status().ToString();
+  EXPECT_TRUE(pushed_profiled->intermediate.pushed_down);
+  EXPECT_GT(SampleValue(registry.RenderText(),
+                        "pcqe_query_operator_seconds_confidenceprune_count"),
+            0.0);
 }
 
 }  // namespace

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/fault_injection.h"
+#include "common/logging.h"
 #include "cost/cost_function.h"
 #include "engine/pcqe_engine.h"
 #include "policy/confidence_policy.h"
@@ -348,6 +349,114 @@ TEST_F(RecoveryTest, GarbageAppendedToSegmentIsSkipped) {
   ASSERT_TRUE(revived.open_status.ok());
   EXPECT_EQ(revived.Confidences(), committed);
   EXPECT_EQ(revived.catalog.confidence_version(), version);
+}
+
+/// `Incarnation` variant with a role and a policy (<R, general, 0.5>) so
+/// pushdown queries resolve a β, plus four all-below-β base tuples.
+struct PushdownIncarnation {
+  explicit PushdownIncarnation(const std::string& dir) {
+    Table* table =
+        *catalog.CreateTable("t", Schema({{"x", DataType::kDouble, ""}}));
+    for (int i = 0; i < 4; ++i) {
+      ids.push_back(*table->Insert({Value::Double(static_cast<double>(i))}, 0.2,
+                                   *MakeLinearCost(10.0)));
+    }
+    RoleGraph roles;
+    PCQE_CHECK(roles.AddRole("R").ok());
+    PCQE_CHECK(roles.AddUser("u").ok());
+    PCQE_CHECK(roles.AssignRole("u", "R").ok());
+    PolicyStore policies;
+    PCQE_CHECK(policies.AddPolicy(roles, {"R", "general", 0.5}).ok());
+    engine = std::make_unique<PcqeEngine>(&catalog, std::move(roles),
+                                          std::move(policies));
+    open_status = storage.Open({.dir = dir}, &catalog);
+    if (open_status.ok()) engine->AttachStorage(&storage);
+  }
+
+  Status Accept(BaseTupleId id, double to) {
+    StrategyProposal proposal;
+    proposal.needed = true;
+    proposal.feasible = true;
+    proposal.actions = {{id, 0.0, to, 0.0}};
+    return engine->AcceptProposal(proposal);
+  }
+
+  Result<QueryOutcome> Query(bool pushdown) {
+    QueryRequest request{"SELECT x FROM t", "u", "general", 0.0};
+    request.pushdown = pushdown;
+    return engine->Submit(request);
+  }
+
+  Catalog catalog;
+  std::vector<BaseTupleId> ids;
+  std::unique_ptr<PcqeEngine> engine;
+  StorageManager storage;
+  Status open_status = Status::OK();
+};
+
+TEST_F(RecoveryTest, PushdownAfterCrashPrunesPerRecoveredConfidences) {
+  std::string dir = FreshDir("rec_pushdown");
+  {
+    PushdownIncarnation live(dir);
+    ASSERT_TRUE(live.open_status.ok()) << live.open_status.ToString();
+    // Everything starts below β = 0.5: the pushed query prunes all 4 rows.
+    Result<QueryOutcome> before = live.Query(true);
+    ASSERT_TRUE(before.ok()) << before.status().ToString();
+    EXPECT_TRUE(before->intermediate.pushed_down);
+    EXPECT_TRUE(before->released.empty());
+    EXPECT_EQ(before->intermediate.vec_stats.pruned_rows, 4u);
+    // Two logged accepts lift ids[1] and ids[3] above β.
+    ASSERT_TRUE(live.Accept(live.ids[1], 0.8).ok());
+    ASSERT_TRUE(live.Accept(live.ids[3], 0.7).ok());
+  }  // crash
+
+  PushdownIncarnation revived(dir);
+  ASSERT_TRUE(revived.open_status.ok()) << revived.open_status.ToString();
+  // The revived engine's (empty) index rebuilds over the replayed state:
+  // exactly the accepted rows clear β, and the pushed run stays
+  // release-identical to the unpushed reference.
+  Result<QueryOutcome> pushed = revived.Query(true);
+  Result<QueryOutcome> unpushed = revived.Query(false);
+  ASSERT_TRUE(pushed.ok()) << pushed.status().ToString();
+  ASSERT_TRUE(unpushed.ok()) << unpushed.status().ToString();
+  EXPECT_TRUE(pushed->intermediate.pushed_down);
+  EXPECT_FALSE(unpushed->intermediate.pushed_down);
+  ASSERT_EQ(pushed->released.size(), 2u);
+  ASSERT_EQ(unpushed->released.size(), 2u);
+  for (size_t i = 0; i < pushed->released.size(); ++i) {
+    EXPECT_EQ(pushed->intermediate.rows[pushed->released[i]].confidence,
+              unpushed->intermediate.rows[unpushed->released[i]].confidence);
+  }
+  EXPECT_EQ(pushed->intermediate.vec_stats.pruned_rows, 2u);
+}
+
+TEST_F(RecoveryTest, IndexRebuildFaultDegradesToRowExactPruning) {
+  std::string dir = FreshDir("rec_index_fault");
+  PushdownIncarnation live(dir);
+  ASSERT_TRUE(live.open_status.ok()) << live.open_status.ToString();
+  ASSERT_TRUE(live.Accept(live.ids[0], 0.8).ok());
+
+  // Every rebuild attempt fails: no zone map is ever published, the prune
+  // node falls back to row-exact tests — same released set, no chunk
+  // skipping — and the query itself still succeeds.
+  FaultInjector::Global().Arm(fault_sites::kIndexRebuild, {});
+  Result<QueryOutcome> degraded = live.Query(true);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_TRUE(degraded->intermediate.pushed_down);
+  ASSERT_EQ(degraded->released.size(), 1u);
+  EXPECT_EQ(degraded->intermediate.vec_stats.pruned_chunks, 0u);
+  EXPECT_EQ(degraded->intermediate.vec_stats.pruned_rows, 3u);
+  EXPECT_GT(FaultInjector::Global().hits(fault_sites::kIndexRebuild), 0u);
+
+  // Disarm: the rebuild succeeds on the next query and the released set is
+  // unchanged.
+  FaultInjector::Global().Disarm(fault_sites::kIndexRebuild);
+  Result<QueryOutcome> healed = live.Query(true);
+  ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+  ASSERT_EQ(healed->released.size(), 1u);
+  EXPECT_EQ(healed->intermediate.rows[healed->released[0]].confidence,
+            degraded->intermediate.rows[degraded->released[0]].confidence);
+  EXPECT_EQ(healed->intermediate.vec_stats.pruned_rows, 3u);
 }
 
 TEST_F(RecoveryTest, ValidationFailureSkipsLoggingEntirely) {

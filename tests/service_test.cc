@@ -151,6 +151,45 @@ TEST_F(QueryServiceTest, DistinctSessionsShareOneEvaluation) {
   EXPECT_EQ(service->stats().cache_hits, 2u);
 }
 
+TEST_F(QueryServiceTest, PushdownModeForksTheCacheKey) {
+  auto service = MakeService({.num_workers = 1});
+  SessionHandle mary = *service->OpenSession("mary", "investment");
+  // Shape-safe query (no DISTINCT/aggregate/LIMIT): the engine resolves
+  // mary's β = 0.06 and pushes it below the scan.
+  constexpr const char* kSafeQuery = "SELECT company, funding FROM proposal";
+
+  QueryOutcome pushed =
+      *service->Submit(mary, {.sql = kSafeQuery, .required_fraction = 0.0});
+  EXPECT_TRUE(pushed.intermediate.pushed_down);
+  EXPECT_EQ(service->stats().cache_misses, 1u);
+
+  // The same SQL with pushdown off must MISS: a pushed evaluation excludes
+  // pruned rows from its intermediate, so serving it to an unpushed request
+  // would silently change the audit surface.
+  QueryOutcome unpushed = *service->Submit(
+      mary, {.sql = kSafeQuery, .required_fraction = 0.0, .pushdown = false});
+  EXPECT_FALSE(unpushed.intermediate.pushed_down);
+  EXPECT_EQ(service->stats().cache_misses, 2u);
+  EXPECT_EQ(service->stats().cache_hits, 0u);
+  // Both modes release the same rows (the differential identity claim).
+  ASSERT_EQ(unpushed.released.size(), pushed.released.size());
+  for (size_t i = 0; i < pushed.released.size(); ++i) {
+    EXPECT_EQ(pushed.intermediate.rows[pushed.released[i]].confidence,
+              unpushed.intermediate.rows[unpushed.released[i]].confidence);
+  }
+
+  // Each mode re-serves from its own entry.
+  ASSERT_TRUE(
+      service->Submit(mary, {.sql = kSafeQuery, .required_fraction = 0.0}).ok());
+  ASSERT_TRUE(service
+                  ->Submit(mary, {.sql = kSafeQuery,
+                                  .required_fraction = 0.0,
+                                  .pushdown = false})
+                  .ok());
+  EXPECT_EQ(service->stats().cache_hits, 2u);
+  EXPECT_EQ(service->stats().cache_misses, 2u);
+}
+
 TEST_F(QueryServiceTest, AcceptInvalidatesCacheViaConfidenceVersion) {
   auto service = MakeService({.num_workers = 1});
   SessionHandle mary = *service->OpenSession("mary", "investment");
@@ -748,6 +787,45 @@ TEST_F(QueryServiceTest, RecoverClearsStaleVersionKeyedCacheEntries) {
     EXPECT_EQ(warm.intermediate.rows[i].confidence,
               fresh.intermediate.rows[i].confidence);
   }
+}
+
+TEST_F(QueryServiceTest, RecoverInvalidatesConfidenceZoneMaps) {
+  // WAL replay restores the *logged* version counter, and later unlogged
+  // writes can re-reach the number a pre-recovery zone map was built at —
+  // the (rows, version) validity check alone would then trust bounds
+  // describing vanished state and skip a chunk that now holds a releasable
+  // row. Recover() must drop the confidence index along with the cache.
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.durability.dir = FreshServiceDir("svc_index_recovery");
+  auto service = MakeService(options);
+  ASSERT_TRUE(service->durability_status().ok());
+  SessionHandle amy = *service->OpenSession("amy", "audit");  // β = 0.9
+  constexpr const char* kSafeQuery = "SELECT company FROM proposal";
+
+  // An unlogged write, then a pushed query: the zone map is built at
+  // version 1 with every confidence ≤ β, so the whole table is skipped.
+  ASSERT_TRUE(catalog_.SetConfidence(id03_, 0.35).ok());
+  ASSERT_EQ(catalog_.confidence_version(), 1u);
+  QueryOutcome skipped =
+      *service->Submit(amy, {.sql = kSafeQuery, .required_fraction = 0.0});
+  EXPECT_TRUE(skipped.intermediate.pushed_down);
+  EXPECT_TRUE(skipped.released.empty());
+  EXPECT_GT(skipped.intermediate.vec_stats.pruned_chunks, 0u);
+
+  // Crash-recover (rewinds to version 0), then a different unlogged write
+  // re-reaches version 1 — this time with a row above β.
+  ASSERT_TRUE(service->Recover().ok());
+  ASSERT_EQ(catalog_.confidence_version(), 0u);
+  ASSERT_TRUE(catalog_.SetConfidence(id03_, 0.95).ok());
+  ASSERT_EQ(catalog_.confidence_version(), 1u);
+
+  // A stale-but-validating map would skip the chunk and lose the row; the
+  // rebuilt one scans per-row and releases it.
+  QueryOutcome released =
+      *service->Submit(amy, {.sql = kSafeQuery, .required_fraction = 0.0});
+  EXPECT_EQ(released.released.size(), 1u);
+  EXPECT_EQ(released.intermediate.vec_stats.pruned_chunks, 0u);
 }
 
 TEST_F(QueryServiceTest, FailedDurabilityOpenDisablesAcceptsNotReads) {

@@ -63,6 +63,16 @@ Rules (ids in brackets; suppress a line with `// pcqe-lint: allow(<rule>)`):
       avoid. Boxing belongs at the boundary (QueryResult::MaterializeValues
       / MaterializeLineage), not in operators. Deliberate boundary code in
       those files may suppress with `// pcqe-lint: allow(vectorized)`.
+  [pushdown]              No hand-rolled confidence-vs-β comparisons in src/
+      outside the sanctioned sites (PolicyDecision::Allows in src/policy/,
+      ClearsThreshold in src/strategy/problem.h, and the β-pushdown
+      implementation files src/query/confidence_index.*, planner.cc,
+      executor.cc, vec_executor.cc). The strict keep-test
+      (`conf > β + kEpsilon`) must stay the exact complement of the policy
+      block-test everywhere — a re-implementation that drops the epsilon or
+      flips the strictness silently breaks pushdown's release-identity
+      guarantee. Call the shared helpers instead, or suppress deliberately
+      with `// pcqe-lint: allow(pushdown)`.
   [deadline]              No raw `steady_clock::now()` deadline comparisons
       in src/strategy/ or src/service/. Budget checks must go through the
       `Deadline` helper (common/deadline.h: `Expired()`, `RemainingSeconds()`,
@@ -107,6 +117,25 @@ DEADLINE_CMP_RE = re.compile(
     r"(?:steady_clock|\bClock)::now\s*\(\)\s*[<>]=?"
     r"|[<>]=?\s*(?:std::chrono::)?(?:steady_clock|\bClock)::now\s*\(\)"
 )
+
+# The only src/ files allowed to compare a confidence against β directly:
+# the policy decision, the solvers' shared ClearsThreshold helper, and the
+# β-pushdown implementation (zone maps, planner wrap, both prune operators).
+PUSHDOWN_ALLOWED_FILES = (
+    "src/policy/confidence_policy.h",
+    "src/policy/confidence_policy.cc",
+    "src/strategy/problem.h",
+    "src/query/confidence_index.h",
+    "src/query/confidence_index.cc",
+    "src/query/planner.cc",
+    "src/query/executor.cc",
+    "src/query/vec_executor.cc",
+)
+# A relational comparator that is not the arrow of `->` nor a shift/template
+# bracket pair.
+PUSHDOWN_CMP_RE = re.compile(r"(?<![-<>])[<>]=?(?![<>])")
+PUSHDOWN_CONF_RE = re.compile(r"\bconf(?:idence)?\w*\b", re.IGNORECASE)
+PUSHDOWN_BETA_RE = re.compile(r"\b(?:prune_)?beta\w*\b", re.IGNORECASE)
 
 
 class Violation:
@@ -304,6 +333,21 @@ def lint_file(relpath, lines, status_fns):
                     "tuples() row-vector access in a vectorized operator "
                     "file; read per-column chunk data "
                     "(Table::column_data()) instead of boxed rows"))
+
+        # -- pushdown ------------------------------------------------------
+        # A confidence and a β on either side of a comparator, outside the
+        # sanctioned implementation files: the strict `> β + ε` convention
+        # must not be re-derived ad hoc (see the rule doc above).
+        if in_src and relpath not in PUSHDOWN_ALLOWED_FILES and \
+                not _allowed(raw, "pushdown") and \
+                PUSHDOWN_CMP_RE.search(code) and \
+                PUSHDOWN_CONF_RE.search(code) and PUSHDOWN_BETA_RE.search(code):
+            out.append(Violation(
+                relpath, i, "pushdown",
+                "hand-rolled confidence-vs-beta comparison; use "
+                "PolicyDecision::Allows / ClearsThreshold (or the pushdown "
+                "operator files) so the strict > beta + kEpsilon convention "
+                "stays in one place"))
 
         # -- deadline ------------------------------------------------------
         if relpath.startswith(("src/strategy/", "src/service/")) and \

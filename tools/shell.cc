@@ -118,6 +118,19 @@ void Shell::RunCommand(const std::string& line) {
     } else {
       out() << "usage: .exec [row|vec]\n";
     }
+  } else if (cmd == ".pushdown") {
+    if (args.empty()) {
+      out() << "beta pushdown = " << (pushdown_ ? "on" : "off") << "\n";
+    } else if (args.size() == 1 && (args[0] == "on" || args[0] == "off")) {
+      pushdown_ = args[0] == "on";
+      // Pushed and unpushed evaluations are keyed apart in the cache, but
+      // drop it anyway so a mode switch observably re-executes (the
+      // differential smoke tests rely on this, as with .exec).
+      if (service_ != nullptr) service_->InvalidateCache();
+      out() << "beta pushdown = " << (pushdown_ ? "on" : "off") << "\n";
+    } else {
+      out() << "usage: .pushdown [on|off]\n";
+    }
   } else if (cmd == ".policy") {
     CmdPolicy(args);
   } else if (cmd == ".proposal") {
@@ -158,7 +171,13 @@ void Shell::RunCommand(const std::string& line) {
       out() << "usage: .opendb <directory>\n";
     } else {
       Status s = LoadDatabase(args[0], &catalog_);
-      if (s.ok() && service_ != nullptr) service_->InvalidateCache();
+      if (s.ok()) {
+        // Wholesale restore: table ids (and possibly row counts) can repeat
+        // under different confidences, which version-validated zone maps
+        // cannot detect.
+        engine_->confidence_index()->Invalidate();
+        if (service_ != nullptr) service_->InvalidateCache();
+      }
       out() << (s.ok() ? "database loaded from " + args[0] : s.ToString()) << "\n";
     }
   } else if (cmd == ".saveconfig") {
@@ -198,6 +217,10 @@ void Shell::CmdHelp() {
            "                                expired solves return a partial proposal\n"
            "  .exec [row|vec]               show/set the query interpreter\n"
            "                                (vectorized by default; bit-identical results)\n"
+           "  .pushdown [on|off]            show/set beta pushdown (on by default;\n"
+           "                                prunes sub-beta tuples below joins via\n"
+           "                                per-table confidence indexes; released\n"
+           "                                rows are provably identical either way)\n"
            "  .policy add <role> <purpose> <beta>\n"
            "  .policy list\n"
            "  .proposal                     show the last improvement proposal\n"
@@ -256,7 +279,9 @@ void Shell::CmdLoad(const std::vector<std::string>& args) {
     out() << table.status().ToString() << "\n";
     return;
   }
-  // Bulk loads bypass the confidence-version counter; drop stale entries.
+  // Bulk loads bypass the confidence-version counter; drop stale entries
+  // (cached evaluations and confidence zone maps alike).
+  engine_->confidence_index()->Invalidate();
   if (service_ != nullptr) service_->InvalidateCache();
   out() << "loaded " << (*table)->num_tuples() << " rows into " << args[0] << "\n";
 }
@@ -514,12 +539,25 @@ void Shell::CmdExplain(const std::string& line) {
     out() << (*plan)->ToString() << "\n";
     return;
   }
-  // `analyze` runs the query unfiltered (no policy) in the current
-  // interpreter mode, collecting the operator profile. Results are
-  // discarded; only the annotated tree is shown.
+  // `analyze` executes the statement and prints the profiled operator tree;
+  // results are discarded. With an active user the evaluation mirrors a
+  // real submission — same qualification through ResolvePushdownBeta — so
+  // the tree shows the ConfidencePrune operator (and its pruned counters)
+  // exactly as the user's queries run it. Without a user it runs
+  // unfiltered in the current interpreter mode.
   OperatorProfile profile;
-  auto result = [&] {
+  auto result = [&]() -> Result<QueryResult> {
     ReaderLock lock(engine_->catalog_mu());
+    if (!user_.empty()) {
+      QueryRequest request;
+      request.sql = rest;
+      request.user = user_;
+      request.purpose = purpose_;
+      request.required_fraction = fraction_;
+      request.pushdown = pushdown_;
+      return engine_->Evaluate(rest, nullptr, &profile,
+                               engine_->ResolvePushdownBeta(request));
+    }
     return RunQuery(catalog_, rest, nullptr, engine_->execution_mode,
                     /*materialize_values=*/false, &profile);
   }();
@@ -595,6 +633,8 @@ void Shell::CmdDurable(const std::vector<std::string>& args) {
   storage_ = std::move(storage);
   storage_->AttachTelemetry(&registry_);
   engine_->AttachStorage(storage_.get());
+  // Opening an existing directory recovered the catalog wholesale.
+  engine_->confidence_index()->Invalidate();
   if (service_ != nullptr) service_->InvalidateCache();
   StorageSnapshot snap = storage_->snapshot();
   out() << "durable catalog at " << snap.dir << ": checkpoint " << snap.checkpoint
@@ -632,7 +672,10 @@ void Shell::CmdRecover() {
     WriterLock lock(engine_->catalog_mu());
     s = storage_->Recover();
   }
-  // Pre-recovery evaluations must not be served against replayed state.
+  // Pre-recovery evaluations and confidence zone maps must not be served
+  // against replayed state: replay keeps the confidence version monotone,
+  // so a map built over unlogged pre-crash mutations could still validate.
+  engine_->confidence_index()->Invalidate();
   if (service_ != nullptr) service_->InvalidateCache();
   if (!s.ok()) {
     out() << s.ToString() << "\n";
@@ -717,6 +760,7 @@ void Shell::RunSql(const std::string& sql) {
     request.sql = sql;
     request.required_fraction = fraction_;
     request.timeout_ms = timeout_ms_;
+    request.pushdown = pushdown_;
     auto outcome = service_->Submit(*session_, std::move(request));
     if (!outcome.ok()) {
       out() << outcome.status().ToString() << "\n";
@@ -758,6 +802,7 @@ void Shell::RunSql(const std::string& sql) {
   request.user = user_;
   request.purpose = purpose_;
   request.required_fraction = fraction_;
+  request.pushdown = pushdown_;
   if (timeout_ms_ > 0) request.deadline = Deadline::AfterMillis(timeout_ms_);
   auto outcome = [&] {
     // Direct submission bypasses the service, so it takes the engine's

@@ -44,6 +44,7 @@ class Shell {
   const std::string& purpose() const { return purpose_; }
   double fraction() const { return fraction_; }
   int64_t timeout_ms() const { return timeout_ms_; }
+  bool pushdown() const { return pushdown_; }
   Catalog* catalog() { return &catalog_; }
   PcqeEngine* engine() { return engine_.get(); }
   QueryService* service() { return service_.get(); }
@@ -107,6 +108,10 @@ class Shell {
   double fraction_ = 1.0;
   /// `.timeout`: per-query solve budget in milliseconds; 0 = unlimited.
   int64_t timeout_ms_ = 0;
+  /// `.pushdown`: β pushdown opt-out. On by default; the engine still only
+  /// pushes down when the request qualifies (fraction 0, safe plan shape,
+  /// β > 0 — see `PcqeEngine::ResolvePushdownBeta`).
+  bool pushdown_ = true;
   std::string pending_sql_;
   StrategyProposal last_proposal_;
   bool has_proposal_ = false;
